@@ -1,0 +1,90 @@
+//! The trivial full-scan baseline: no index structure at all.
+
+use std::time::Instant;
+
+use tsunami_core::{AggResult, BuildTiming, Dataset, IndexStats, MultiDimIndex, Query};
+use tsunami_store::ColumnStore;
+
+/// An "index" that always scans the entire table. Useful as a correctness
+/// oracle and as the floor for performance comparisons.
+#[derive(Debug)]
+pub struct FullScanIndex {
+    store: ColumnStore,
+    timing: BuildTiming,
+}
+
+impl FullScanIndex {
+    /// Builds the full-scan baseline (just copies the data into the store).
+    pub fn build(data: &Dataset) -> Self {
+        let start = Instant::now();
+        let store = ColumnStore::from_dataset(data);
+        Self {
+            store,
+            timing: BuildTiming {
+                sort_secs: start.elapsed().as_secs_f64(),
+                optimize_secs: 0.0,
+            },
+        }
+    }
+}
+
+impl MultiDimIndex for FullScanIndex {
+    fn name(&self) -> &str {
+        "FullScan"
+    }
+
+    fn execute(&self, query: &Query) -> AggResult {
+        self.store.full_scan(query)
+    }
+
+    fn execute_with_stats(&self, query: &Query) -> (AggResult, IndexStats) {
+        self.store.reset_counters();
+        let result = self.store.full_scan(query);
+        let c = self.store.counters();
+        (
+            result,
+            IndexStats {
+                ranges_scanned: c.ranges,
+                points_scanned: c.points,
+                points_matched: c.matched,
+            },
+        )
+    }
+
+    fn size_bytes(&self) -> usize {
+        0
+    }
+
+    fn build_timing(&self) -> BuildTiming {
+        self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsunami_core::Predicate;
+
+    #[test]
+    fn full_scan_matches_reference() {
+        let data = Dataset::from_columns(vec![(0..100u64).collect(), (0..100u64).rev().collect()])
+            .unwrap();
+        let idx = FullScanIndex::build(&data);
+        let q = Query::count(vec![Predicate::range(0, 10, 29).unwrap()]).unwrap();
+        assert_eq!(idx.execute(&q), q.execute_full_scan(&data));
+        assert_eq!(idx.size_bytes(), 0);
+        assert_eq!(idx.name(), "FullScan");
+    }
+
+    #[test]
+    fn stats_report_whole_table_scanned() {
+        let data = Dataset::from_columns(vec![(0..50u64).collect()]).unwrap();
+        let idx = FullScanIndex::build(&data);
+        let q = Query::count(vec![Predicate::range(0, 0, 9).unwrap()]).unwrap();
+        let (res, stats) = idx.execute_with_stats(&q);
+        assert_eq!(res, AggResult::Count(10));
+        assert_eq!(stats.points_scanned, 50);
+        assert_eq!(stats.ranges_scanned, 1);
+        assert_eq!(stats.points_matched, 10);
+    }
+}

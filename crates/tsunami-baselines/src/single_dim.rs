@@ -1,0 +1,213 @@
+//! Clustered single-dimensional index (§6.1, baseline 1).
+//!
+//! Points are sorted by the workload's most selective dimension. When a query
+//! filters that dimension, the matching row range is located with binary
+//! search and only that range is scanned (checking the remaining predicates);
+//! otherwise the index degenerates to a full scan.
+
+use std::time::Instant;
+
+use tsunami_core::{
+    AggAccumulator, AggResult, BuildTiming, Dataset, IndexStats, MultiDimIndex, Query, Value,
+    Workload,
+};
+use tsunami_store::ColumnStore;
+
+/// A clustered index sorted on a single dimension.
+#[derive(Debug)]
+pub struct ClusteredSingleDimIndex {
+    store: ColumnStore,
+    /// Sorted copy of the sort dimension's values for binary search.
+    sort_keys: Vec<Value>,
+    sort_dim: usize,
+    timing: BuildTiming,
+}
+
+impl ClusteredSingleDimIndex {
+    /// Picks the most selective dimension of the workload: the filtered
+    /// dimension with the lowest average per-dimension selectivity.
+    pub fn choose_sort_dim(data: &Dataset, workload: &Workload) -> usize {
+        let d = data.num_dims();
+        let mut best_dim = 0usize;
+        let mut best_sel = f64::INFINITY;
+        for dim in 0..d {
+            let mut sel_sum = 0.0;
+            let mut count = 0usize;
+            for q in workload.queries() {
+                if q.predicate_on(dim).is_some() {
+                    sel_sum += q.dim_selectivity(data, dim);
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                // Weight by how often the dimension is filtered.
+                let avg = sel_sum / count as f64;
+                let freq = count as f64 / workload.len().max(1) as f64;
+                let score = avg / freq.max(1e-6);
+                if score < best_sel {
+                    best_sel = score;
+                    best_dim = dim;
+                }
+            }
+        }
+        best_dim
+    }
+
+    /// Builds the index sorted on the workload's most selective dimension.
+    pub fn build(data: &Dataset, workload: &Workload) -> Self {
+        let sort_dim = Self::choose_sort_dim(data, workload);
+        Self::build_on_dim(data, sort_dim)
+    }
+
+    /// Builds the index sorted on an explicit dimension.
+    pub fn build_on_dim(data: &Dataset, sort_dim: usize) -> Self {
+        let start = Instant::now();
+        let col = data.column(sort_dim);
+        let mut perm: Vec<usize> = (0..data.len()).collect();
+        perm.sort_by_key(|&r| col[r]);
+        let sort_keys: Vec<Value> = perm.iter().map(|&r| col[r]).collect();
+        let mut store = ColumnStore::from_dataset(data);
+        store.permute(&perm);
+        Self {
+            store,
+            sort_keys,
+            sort_dim,
+            timing: BuildTiming {
+                sort_secs: start.elapsed().as_secs_f64(),
+                optimize_secs: 0.0,
+            },
+        }
+    }
+
+    /// The dimension the data is sorted by.
+    pub fn sort_dim(&self) -> usize {
+        self.sort_dim
+    }
+
+    fn range_for(&self, query: &Query) -> (std::ops::Range<usize>, bool) {
+        match query.predicate_on(self.sort_dim) {
+            None => (0..self.store.len(), false),
+            Some(pred) => {
+                let start = self.sort_keys.partition_point(|&v| v < pred.lo);
+                let end = self.sort_keys.partition_point(|&v| v <= pred.hi);
+                // If the sort dimension is the only filtered one, the range
+                // is exact and per-value checks can be skipped.
+                let exact = query.num_filtered_dims() == 1;
+                (start..end, exact)
+            }
+        }
+    }
+}
+
+impl MultiDimIndex for ClusteredSingleDimIndex {
+    fn name(&self) -> &str {
+        "SingleDim"
+    }
+
+    fn execute(&self, query: &Query) -> AggResult {
+        let (range, exact) = self.range_for(query);
+        let mut acc = AggAccumulator::new(query.aggregation());
+        self.store.scan_range(range, query, exact, &mut acc);
+        acc.finish()
+    }
+
+    fn execute_with_stats(&self, query: &Query) -> (AggResult, IndexStats) {
+        self.store.reset_counters();
+        let result = self.execute(query);
+        let c = self.store.counters();
+        (
+            result,
+            IndexStats {
+                ranges_scanned: c.ranges,
+                points_scanned: c.points,
+                points_matched: c.matched,
+            },
+        )
+    }
+
+    fn size_bytes(&self) -> usize {
+        // The sorted key copy is the index structure.
+        self.sort_keys.len() * std::mem::size_of::<Value>()
+    }
+
+    fn build_timing(&self) -> BuildTiming {
+        self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsunami_core::sample::SplitMix;
+    use tsunami_core::Predicate;
+
+    fn data() -> Dataset {
+        let mut rng = SplitMix::new(5);
+        Dataset::from_columns(vec![
+            (0..2000).map(|_| rng.next_below(1000)).collect(),
+            (0..2000u64).map(|v| v % 777).collect(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn chooses_most_selective_dimension() {
+        let ds = data();
+        let w = Workload::new(vec![
+            Query::count(vec![
+                Predicate::range(0, 0, 900).unwrap(),
+                Predicate::range(1, 10, 20).unwrap(),
+            ])
+            .unwrap(),
+        ]);
+        assert_eq!(ClusteredSingleDimIndex::choose_sort_dim(&ds, &w), 1);
+    }
+
+    #[test]
+    fn matches_full_scan_on_sorted_dim_queries() {
+        let ds = data();
+        let idx = ClusteredSingleDimIndex::build_on_dim(&ds, 0);
+        for (lo, hi) in [(0u64, 99u64), (500, 700), (990, 2000), (1500, 1600)] {
+            let q = Query::count(vec![Predicate::range(0, lo, hi).unwrap()]).unwrap();
+            assert_eq!(idx.execute(&q), q.execute_full_scan(&ds));
+        }
+    }
+
+    #[test]
+    fn matches_full_scan_on_multi_dim_and_unsorted_queries() {
+        let ds = data();
+        let idx = ClusteredSingleDimIndex::build_on_dim(&ds, 0);
+        let q = Query::count(vec![
+            Predicate::range(0, 100, 500).unwrap(),
+            Predicate::range(1, 0, 300).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(idx.execute(&q), q.execute_full_scan(&ds));
+        // Query that does not filter the sort dimension -> full scan path.
+        let q = Query::count(vec![Predicate::range(1, 0, 300).unwrap()]).unwrap();
+        assert_eq!(idx.execute(&q), q.execute_full_scan(&ds));
+    }
+
+    #[test]
+    fn sorted_dim_queries_scan_fewer_points() {
+        let ds = data();
+        let idx = ClusteredSingleDimIndex::build_on_dim(&ds, 0);
+        let q = Query::count(vec![Predicate::range(0, 100, 150).unwrap()]).unwrap();
+        let (_, stats) = idx.execute_with_stats(&q);
+        assert!(stats.points_scanned < ds.len() / 2);
+        let q = Query::count(vec![Predicate::range(1, 100, 150).unwrap()]).unwrap();
+        let (_, stats) = idx.execute_with_stats(&q);
+        assert_eq!(stats.points_scanned, ds.len());
+    }
+
+    #[test]
+    fn build_uses_workload_to_pick_dim() {
+        let ds = data();
+        let w = Workload::new(vec![Query::count(vec![Predicate::range(1, 5, 10).unwrap()]).unwrap()]);
+        let idx = ClusteredSingleDimIndex::build(&ds, &w);
+        assert_eq!(idx.sort_dim(), 1);
+        assert!(idx.size_bytes() > 0);
+        assert!(idx.build_timing().sort_secs >= 0.0);
+        assert_eq!(idx.name(), "SingleDim");
+    }
+}

@@ -1,0 +1,127 @@
+//! Page-size tuning for the non-learned baselines.
+//!
+//! The paper tunes the page size of each traditional index to achieve its
+//! best performance on each dataset/workload (§6.3: "we tuned the page size
+//! to achieve best performance"), so the learned-vs-non-learned comparison is
+//! against *optimally tuned* baselines. This module reproduces that tuning by
+//! building the index at several page sizes and measuring the actual average
+//! query latency over the sample workload.
+
+use std::time::Instant;
+
+use tsunami_core::{Dataset, MultiDimIndex, Workload};
+
+/// The default grid of candidate page sizes.
+pub const DEFAULT_PAGE_SIZES: &[usize] = &[64, 256, 1024, 4096, 16384];
+
+/// Result of tuning: the winning page size and the measured average query
+/// latency (seconds) for every candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningResult {
+    /// The page size with the lowest measured average query latency.
+    pub best_page_size: usize,
+    /// `(page_size, average_query_seconds)` for every candidate tried.
+    pub measurements: Vec<(usize, f64)>,
+}
+
+/// Tunes the page size of an index family by building it at each candidate
+/// page size and measuring average query latency on the workload.
+///
+/// `build` constructs the index for a given page size. Returns the tuning
+/// result; the caller typically rebuilds the index at `best_page_size` (or
+/// keeps the last built one).
+pub fn tune_page_size<I, F>(
+    data: &Dataset,
+    workload: &Workload,
+    candidates: &[usize],
+    mut build: F,
+) -> TuningResult
+where
+    I: MultiDimIndex,
+    F: FnMut(&Dataset, &Workload, usize) -> I,
+{
+    assert!(!candidates.is_empty(), "need at least one candidate page size");
+    let mut measurements = Vec::with_capacity(candidates.len());
+    let mut best = (candidates[0], f64::INFINITY);
+    for &page_size in candidates {
+        let index = build(data, workload, page_size);
+        let avg = measure_average_latency(&index, workload);
+        measurements.push((page_size, avg));
+        if avg < best.1 {
+            best = (page_size, avg);
+        }
+    }
+    TuningResult {
+        best_page_size: best.0,
+        measurements,
+    }
+}
+
+/// Measures the average per-query latency (seconds) of an index over a
+/// workload.
+pub fn measure_average_latency<I: MultiDimIndex>(index: &I, workload: &Workload) -> f64 {
+    if workload.is_empty() {
+        return 0.0;
+    }
+    let start = Instant::now();
+    for q in workload.queries() {
+        std::hint::black_box(index.execute(q));
+    }
+    start.elapsed().as_secs_f64() / workload.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdtree::KdTree;
+    use tsunami_core::sample::SplitMix;
+    use tsunami_core::{Predicate, Query};
+
+    fn data(n: usize) -> Dataset {
+        let mut rng = SplitMix::new(61);
+        Dataset::from_columns(vec![
+            (0..n).map(|_| rng.next_below(10_000)).collect(),
+            (0..n).map(|_| rng.next_below(10_000)).collect(),
+        ])
+        .unwrap()
+    }
+
+    fn workload() -> Workload {
+        let mut rng = SplitMix::new(62);
+        Workload::new(
+            (0..10)
+                .map(|_| {
+                    let lo = rng.next_below(9_000);
+                    Query::count(vec![Predicate::range(0, lo, lo + 500).unwrap()]).unwrap()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn tuning_tries_every_candidate_and_picks_a_winner() {
+        let ds = data(3_000);
+        let w = workload();
+        let result = tune_page_size(&ds, &w, &[64, 512, 2048], |d, wl, ps| {
+            KdTree::build(d, wl, ps)
+        });
+        assert_eq!(result.measurements.len(), 3);
+        assert!([64, 512, 2048].contains(&result.best_page_size));
+        let best_measure = result
+            .measurements
+            .iter()
+            .find(|(p, _)| *p == result.best_page_size)
+            .unwrap()
+            .1;
+        assert!(result.measurements.iter().all(|&(_, m)| m >= best_measure));
+    }
+
+    #[test]
+    fn latency_measurement_is_positive_for_real_work() {
+        let ds = data(2_000);
+        let w = workload();
+        let tree = KdTree::build(&ds, &w, 256);
+        assert!(measure_average_latency(&tree, &w) > 0.0);
+        assert_eq!(measure_average_latency(&tree, &Workload::default()), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion bench for Fig 12: (a) query latency of the component ablations
+//! (Flood, Augmented-Grid-only, Grid-Tree-only, full Tsunami) and (b) the
+//! runtime of the Augmented Grid layout optimizers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsunami_bench::harness::{build_variant, HarnessConfig};
+use tsunami_core::{CostModel, MultiDimIndex};
+use tsunami_flood::FloodIndex;
+use tsunami_index::augmented_grid::{optimize_layout, OptimizerKind};
+use tsunami_index::IndexVariant;
+use tsunami_workloads::taxi;
+
+fn bench_components(c: &mut Criterion) {
+    let config = HarnessConfig {
+        rows: 20_000,
+        queries_per_type: 5,
+        seed: 42,
+    };
+    let data = taxi::generate(config.rows, config.seed);
+    let workload = taxi::workload(&data, config.queries_per_type, config.seed ^ 11);
+    let cost = CostModel::default();
+
+    // Fig 12a: query latency per component configuration.
+    let mut indexes: Vec<(String, Box<dyn MultiDimIndex>)> = vec![(
+        "Flood".to_string(),
+        Box::new(FloodIndex::build(&data, &workload, &cost, &config.flood_config())),
+    )];
+    for variant in [
+        IndexVariant::AugmentedGridOnly,
+        IndexVariant::GridTreeOnly,
+        IndexVariant::Full,
+    ] {
+        let idx = build_variant(&data, &workload, &config, variant);
+        indexes.push((idx.name().to_string(), Box::new(idx)));
+    }
+    let mut group = c.benchmark_group("fig12a_components");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, index) in &indexes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), index, |b, index| {
+            let mut qi = 0usize;
+            b.iter(|| {
+                let q = &workload.queries()[qi % workload.len()];
+                qi += 1;
+                std::hint::black_box(index.execute(q))
+            });
+        });
+    }
+    group.finish();
+
+    // Fig 12b: optimizer runtime comparison.
+    let mut group = c.benchmark_group("fig12b_optimizers");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (label, kind) in [
+        ("AGD", OptimizerKind::Adaptive),
+        ("GD", OptimizerKind::GradientOnly),
+        ("BlackBox", OptimizerKind::BlackBox),
+        ("AGD-NI", OptimizerKind::AdaptiveNaiveInit),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
+            b.iter(|| {
+                std::hint::black_box(optimize_layout(
+                    &data,
+                    &workload,
+                    &cost,
+                    &config.tsunami_config(),
+                    kind,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

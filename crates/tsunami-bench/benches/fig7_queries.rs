@@ -1,0 +1,40 @@
+//! Criterion bench for Fig 7: per-query latency of every index on each of
+//! the four dataset/workload bundles (scaled down for bench runtime).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsunami_bench::harness::{build_all_indexes, HarnessConfig};
+use tsunami_workloads::DatasetBundle;
+
+fn bench_queries(c: &mut Criterion) {
+    let config = HarnessConfig {
+        rows: 20_000,
+        queries_per_type: 5,
+        seed: 42,
+    };
+    let bundles = DatasetBundle::standard(config.rows, config.queries_per_type, config.seed);
+    for bundle in &bundles {
+        let indexes = build_all_indexes(&bundle.data, &bundle.workload, &config);
+        let mut group = c.benchmark_group(format!("fig7/{}", bundle.name));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for index in &indexes {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(index.name()),
+                index,
+                |b, index| {
+                    let mut qi = 0usize;
+                    b.iter(|| {
+                        let q = &bundle.workload.queries()[qi % bundle.workload.len()];
+                        qi += 1;
+                        std::hint::black_box(index.execute(q))
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Fig 9b: index creation time (data sorting +
+//! optimization) for the learned indexes on a TPC-H-like bundle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsunami_bench::harness::HarnessConfig;
+use tsunami_core::CostModel;
+use tsunami_flood::FloodIndex;
+use tsunami_index::TsunamiIndex;
+use tsunami_workloads::tpch;
+
+fn bench_build(c: &mut Criterion) {
+    let config = HarnessConfig {
+        rows: 15_000,
+        queries_per_type: 5,
+        seed: 42,
+    };
+    let data = tpch::generate(config.rows, config.seed);
+    let workload = tpch::workload(&data, config.queries_per_type, config.seed ^ 10);
+    let cost = CostModel::default();
+
+    let mut group = c.benchmark_group("fig9b_build");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_with_input(BenchmarkId::from_parameter("Tsunami"), &(), |b, ()| {
+        b.iter(|| {
+            std::hint::black_box(
+                TsunamiIndex::build_with_cost(&data, &workload, &cost, &config.tsunami_config())
+                    .expect("build"),
+            )
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("Flood"), &(), |b, ()| {
+        b.iter(|| {
+            std::hint::black_box(FloodIndex::build(&data, &workload, &cost, &config.flood_config()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

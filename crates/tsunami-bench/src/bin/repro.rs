@@ -1,0 +1,84 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [EXPERIMENT] [--rows N] [--queries-per-type N] [--seed N]
+//! ```
+//!
+//! `EXPERIMENT` is one of `table3`, `table4`, `fig7`, `fig8`, `fig9a`,
+//! `fig9b`, `fig10`, `fig11a`, `fig11b`, `fig12a`, `fig12b`, or `all`
+//! (default). Run in release mode: `cargo run --release -p tsunami-bench
+//! --bin repro -- fig7`.
+
+use tsunami_bench::experiments;
+use tsunami_bench::HarnessConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_string();
+    let mut config = HarnessConfig::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rows" => {
+                config.rows = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.rows);
+                i += 2;
+            }
+            "--queries-per-type" | "--qpt" => {
+                config.queries_per_type = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.queries_per_type);
+                i += 2;
+            }
+            "--seed" => {
+                config.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.seed);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => {
+                experiment = other.to_string();
+                i += 1;
+            }
+        }
+    }
+
+    eprintln!(
+        "# repro: experiment={experiment} rows={} queries/type={} seed={}",
+        config.rows, config.queries_per_type, config.seed
+    );
+
+    if experiment == "all" {
+        experiments::all(&config);
+        return;
+    }
+    match experiments::experiments()
+        .into_iter()
+        .find(|(name, _)| *name == experiment)
+    {
+        Some((_, f)) => {
+            f(&config);
+        }
+        None => {
+            eprintln!("unknown experiment: {experiment}");
+            print_usage();
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: repro [EXPERIMENT] [--rows N] [--queries-per-type N] [--seed N]");
+    eprintln!("experiments: all, table3, table4, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b");
+}

@@ -1,0 +1,425 @@
+//! One function per table/figure of the paper's evaluation (§6).
+//!
+//! Every function prints (and returns) a plain-text table whose rows mirror
+//! the corresponding table or figure series in the paper.
+
+use crate::harness::{
+    build_all_indexes, build_learned_indexes, build_variant, build_with_optimizer, measure, report,
+    HarnessConfig,
+};
+use crate::table::{fmt_f64, Table};
+
+use std::time::Instant;
+
+use tsunami_core::{CostModel, MultiDimIndex};
+use tsunami_flood::FloodIndex;
+use tsunami_index::augmented_grid::{optimize_layout, OptimizerKind};
+use tsunami_index::{IndexVariant, TsunamiIndex};
+use tsunami_workloads::{synthetic, tpch, DatasetBundle};
+
+fn standard_bundles(config: &HarnessConfig) -> Vec<DatasetBundle> {
+    DatasetBundle::standard(config.rows, config.queries_per_type, config.seed)
+}
+
+/// Table 3: dataset and query characteristics.
+pub fn table3(config: &HarnessConfig) -> String {
+    let bundles = standard_bundles(config);
+    let mut t = Table::new(
+        "Table 3: Dataset and query characteristics (scaled reproduction)",
+        &["dataset", "records", "query types", "dimensions", "size (MiB)", "avg selectivity %"],
+    );
+    for b in &bundles {
+        t.add_row(vec![
+            b.name.to_string(),
+            b.data.len().to_string(),
+            b.query_types.to_string(),
+            b.data.num_dims().to_string(),
+            fmt_f64(b.size_gib() * 1024.0),
+            fmt_f64(b.average_selectivity() * 100.0),
+        ]);
+    }
+    finish(t)
+}
+
+/// Table 4: index statistics after optimization (Tsunami structure vs Flood
+/// cell counts).
+pub fn table4(config: &HarnessConfig) -> String {
+    let bundles = standard_bundles(config);
+    let mut t = Table::new(
+        "Table 4: Index statistics after optimization",
+        &[
+            "dataset",
+            "GT nodes",
+            "GT depth",
+            "leaf regions",
+            "min pts/region",
+            "median pts/region",
+            "max pts/region",
+            "avg FMs/region",
+            "avg CCDFs/region",
+            "Tsunami cells",
+            "Flood cells",
+        ],
+    );
+    let cost = CostModel::default();
+    for b in &bundles {
+        let tsunami =
+            TsunamiIndex::build_with_cost(&b.data, &b.workload, &cost, &config.tsunami_config())
+                .expect("tsunami build");
+        let flood = FloodIndex::build(&b.data, &b.workload, &cost, &config.flood_config());
+        let s = tsunami.stats();
+        t.add_row(vec![
+            b.name.to_string(),
+            s.num_grid_tree_nodes.to_string(),
+            s.grid_tree_depth.to_string(),
+            s.num_leaf_regions.to_string(),
+            s.min_points_per_region.to_string(),
+            s.median_points_per_region.to_string(),
+            s.max_points_per_region.to_string(),
+            fmt_f64(s.avg_fms_per_region),
+            fmt_f64(s.avg_ccdfs_per_region),
+            s.total_grid_cells.to_string(),
+            flood.num_cells().to_string(),
+        ]);
+    }
+    finish(t)
+}
+
+/// Fig 7: average query latency / throughput of every index on every dataset.
+pub fn fig7(config: &HarnessConfig) -> String {
+    let bundles = standard_bundles(config);
+    let mut t = Table::new(
+        "Fig 7: Query performance (average latency in microseconds; lower is better)",
+        &["dataset", "index", "avg query (us)", "throughput (q/s)", "avg points scanned"],
+    );
+    for b in &bundles {
+        let indexes = build_all_indexes(&b.data, &b.workload, config);
+        for idx in &indexes {
+            let r = report(idx.as_ref(), &b.workload);
+            t.add_row(vec![
+                b.name.to_string(),
+                r.name,
+                fmt_f64(r.avg_query_us),
+                fmt_f64(r.throughput_qps),
+                fmt_f64(r.avg_points_scanned),
+            ]);
+        }
+    }
+    finish(t)
+}
+
+/// Fig 8: index sizes.
+pub fn fig8(config: &HarnessConfig) -> String {
+    let bundles = standard_bundles(config);
+    let mut t = Table::new(
+        "Fig 8: Index size in KiB (excluding data; lower is better)",
+        &["dataset", "index", "size (KiB)"],
+    );
+    for b in &bundles {
+        let indexes = build_all_indexes(&b.data, &b.workload, config);
+        for idx in &indexes {
+            t.add_row(vec![
+                b.name.to_string(),
+                idx.name().to_string(),
+                fmt_f64(idx.size_bytes() as f64 / 1024.0),
+            ]);
+        }
+    }
+    finish(t)
+}
+
+/// Fig 9a: adaptability to workload shift — query latency before the shift,
+/// after the shift (stale layout), and after re-optimizing for the new
+/// workload.
+pub fn fig9a(config: &HarnessConfig) -> String {
+    let data = tpch::generate(config.rows, config.seed);
+    let original = tpch::workload(&data, config.queries_per_type, config.seed ^ 10);
+    let shifted = tpch::shifted_workload(&data, config.queries_per_type, config.seed ^ 20);
+    let cost = CostModel::default();
+
+    let mut t = Table::new(
+        "Fig 9a: Adaptability to workload shift (TPC-H; avg query us)",
+        &["index", "original workload", "after shift (stale layout)", "after re-optimization", "re-opt time (s)"],
+    );
+
+    // Tsunami.
+    let tsunami = TsunamiIndex::build_with_cost(&data, &original, &cost, &config.tsunami_config())
+        .expect("tsunami build");
+    let (before, _) = measure(&tsunami, &original);
+    let (stale, _) = measure(&tsunami, &shifted);
+    let t0 = Instant::now();
+    let tsunami2 = TsunamiIndex::build_with_cost(&data, &shifted, &cost, &config.tsunami_config())
+        .expect("tsunami rebuild");
+    let reopt = t0.elapsed().as_secs_f64();
+    let (after, _) = measure(&tsunami2, &shifted);
+    t.add_row(vec![
+        "Tsunami".into(),
+        fmt_f64(before),
+        fmt_f64(stale),
+        fmt_f64(after),
+        fmt_f64(reopt),
+    ]);
+
+    // Flood.
+    let flood = FloodIndex::build(&data, &original, &cost, &config.flood_config());
+    let (before, _) = measure(&flood, &original);
+    let (stale, _) = measure(&flood, &shifted);
+    let t0 = Instant::now();
+    let flood2 = FloodIndex::build(&data, &shifted, &cost, &config.flood_config());
+    let reopt = t0.elapsed().as_secs_f64();
+    let (after, _) = measure(&flood2, &shifted);
+    t.add_row(vec![
+        "Flood".into(),
+        fmt_f64(before),
+        fmt_f64(stale),
+        fmt_f64(after),
+        fmt_f64(reopt),
+    ]);
+    finish(t)
+}
+
+/// Fig 9b: index creation time, split into data-sorting and optimization.
+pub fn fig9b(config: &HarnessConfig) -> String {
+    let bundles = standard_bundles(config);
+    let mut t = Table::new(
+        "Fig 9b: Index creation time (seconds; sort + optimize)",
+        &["dataset", "index", "sort (s)", "optimize (s)", "total (s)"],
+    );
+    for b in &bundles {
+        let indexes = build_all_indexes(&b.data, &b.workload, config);
+        for idx in &indexes {
+            let timing = idx.build_timing();
+            t.add_row(vec![
+                b.name.to_string(),
+                idx.name().to_string(),
+                fmt_f64(timing.sort_secs),
+                fmt_f64(timing.optimize_secs),
+                fmt_f64(timing.total_secs()),
+            ]);
+        }
+    }
+    finish(t)
+}
+
+/// Fig 10: scalability with dimensionality, on uncorrelated and correlated
+/// synthetic data.
+pub fn fig10(config: &HarnessConfig) -> String {
+    let mut t = Table::new(
+        "Fig 10: Dimensionality scaling (avg query us, learned indexes)",
+        &["group", "dims", "index", "avg query (us)", "avg points scanned"],
+    );
+    let rows = config.rows.min(40_000);
+    for &dims in &[4usize, 8, 12, 16, 20] {
+        for (group, data) in [
+            ("uncorrelated", synthetic::uncorrelated(rows, dims, config.seed)),
+            ("correlated", synthetic::correlated(rows, dims, config.seed)),
+        ] {
+            let workload = synthetic::workload(&data, config.queries_per_type, config.seed ^ dims as u64);
+            let indexes = build_learned_indexes(&data, &workload, config);
+            for idx in &indexes {
+                let r = report(idx.as_ref(), &workload);
+                t.add_row(vec![
+                    group.to_string(),
+                    dims.to_string(),
+                    r.name,
+                    fmt_f64(r.avg_query_us),
+                    fmt_f64(r.avg_points_scanned),
+                ]);
+            }
+        }
+    }
+    finish(t)
+}
+
+/// Fig 11a: scalability with dataset size (TPC-H workload).
+pub fn fig11a(config: &HarnessConfig) -> String {
+    let mut t = Table::new(
+        "Fig 11a: Dataset-size scaling (TPC-H; avg query us)",
+        &["rows", "index", "avg query (us)", "avg points scanned"],
+    );
+    let sizes = [config.rows / 4, config.rows / 2, config.rows, config.rows * 2];
+    for &rows in &sizes {
+        let data = tpch::generate(rows, config.seed);
+        let workload = tpch::workload(&data, config.queries_per_type, config.seed ^ 10);
+        let indexes = build_learned_indexes(&data, &workload, config);
+        for idx in &indexes {
+            let r = report(idx.as_ref(), &workload);
+            t.add_row(vec![
+                rows.to_string(),
+                r.name,
+                fmt_f64(r.avg_query_us),
+                fmt_f64(r.avg_points_scanned),
+            ]);
+        }
+    }
+    finish(t)
+}
+
+/// Fig 11b: query-selectivity scaling on the 8-d correlated synthetic
+/// dataset.
+pub fn fig11b(config: &HarnessConfig) -> String {
+    let mut t = Table::new(
+        "Fig 11b: Selectivity scaling (8-d correlated synthetic; avg query us)",
+        &["selectivity scale", "avg selectivity %", "index", "avg query (us)"],
+    );
+    let rows = config.rows.min(50_000);
+    let data = synthetic::correlated(rows, 8, config.seed);
+    let base = synthetic::workload(&data, config.queries_per_type, config.seed ^ 7);
+    for &factor in &[0.1f64, 0.5, 1.0, 4.0, 16.0] {
+        let workload = synthetic::scale_selectivity(&base, factor);
+        let avg_sel = workload.average_selectivity(&data);
+        let indexes = build_learned_indexes(&data, &workload, config);
+        for idx in &indexes {
+            let r = report(idx.as_ref(), &workload);
+            t.add_row(vec![
+                fmt_f64(factor),
+                fmt_f64(avg_sel * 100.0),
+                r.name,
+                fmt_f64(r.avg_query_us),
+            ]);
+        }
+    }
+    finish(t)
+}
+
+/// Fig 12a: component drill-down — Flood vs Augmented-Grid-only vs
+/// Grid-Tree-only vs full Tsunami.
+pub fn fig12a(config: &HarnessConfig) -> String {
+    let bundles = standard_bundles(config);
+    let mut t = Table::new(
+        "Fig 12a: Component drill-down (avg query us)",
+        &["dataset", "index", "avg query (us)"],
+    );
+    let cost = CostModel::default();
+    for b in &bundles {
+        let flood = FloodIndex::build(&b.data, &b.workload, &cost, &config.flood_config());
+        let (flood_us, _) = measure(&flood, &b.workload);
+        t.add_row(vec![b.name.to_string(), "Flood".into(), fmt_f64(flood_us)]);
+        for variant in [
+            IndexVariant::AugmentedGridOnly,
+            IndexVariant::GridTreeOnly,
+            IndexVariant::Full,
+        ] {
+            let idx = build_variant(&b.data, &b.workload, config, variant);
+            let (us, _) = measure(&idx, &b.workload);
+            t.add_row(vec![b.name.to_string(), idx.name().to_string(), fmt_f64(us)]);
+        }
+    }
+    finish(t)
+}
+
+/// Fig 12b: optimizer comparison — predicted cost and actual query time of
+/// the Augmented Grid produced by AGD, GD, Black-Box, and AGD with naive
+/// initialization.
+pub fn fig12b(config: &HarnessConfig) -> String {
+    let bundles = standard_bundles(config);
+    let mut t = Table::new(
+        "Fig 12b: Augmented Grid optimizer comparison (whole-space grid)",
+        &["dataset", "optimizer", "predicted cost", "actual avg query (us)", "layouts evaluated"],
+    );
+    let cost = CostModel::default();
+    for b in &bundles {
+        for (label, kind) in [
+            ("AGD", OptimizerKind::Adaptive),
+            ("GD", OptimizerKind::GradientOnly),
+            ("BlackBox", OptimizerKind::BlackBox),
+            ("AGD-NI", OptimizerKind::AdaptiveNaiveInit),
+        ] {
+            let layout = optimize_layout(
+                &b.data,
+                &b.workload,
+                &cost,
+                &config.tsunami_config(),
+                kind,
+            );
+            let idx = build_with_optimizer(&b.data, &b.workload, config, kind);
+            let (us, _) = measure(&idx, &b.workload);
+            t.add_row(vec![
+                b.name.to_string(),
+                label.to_string(),
+                fmt_f64(layout.predicted_cost),
+                fmt_f64(us),
+                layout.evaluations.to_string(),
+            ]);
+        }
+    }
+    finish(t)
+}
+
+/// Runs every experiment in sequence and returns the concatenated output.
+pub fn all(config: &HarnessConfig) -> String {
+    let mut out = String::new();
+    for (name, f) in experiments() {
+        let _ = name;
+        out.push_str(&f(config));
+        out.push('\n');
+    }
+    out
+}
+
+/// The registry of experiment names and functions, in paper order.
+#[allow(clippy::type_complexity)]
+pub fn experiments() -> Vec<(&'static str, fn(&HarnessConfig) -> String)> {
+    vec![
+        ("table3", table3 as fn(&HarnessConfig) -> String),
+        ("table4", table4),
+        ("fig7", fig7),
+        ("fig8", fig8),
+        ("fig9a", fig9a),
+        ("fig9b", fig9b),
+        ("fig10", fig10),
+        ("fig11a", fig11a),
+        ("fig11b", fig11b),
+        ("fig12a", fig12a),
+        ("fig12b", fig12b),
+    ]
+}
+
+fn finish(t: Table) -> String {
+    let rendered = t.render();
+    println!("{rendered}");
+    rendered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HarnessConfig {
+        HarnessConfig {
+            rows: 2_500,
+            queries_per_type: 3,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn table3_lists_four_datasets() {
+        let out = table3(&tiny());
+        for name in ["TPC-H", "Taxi", "Perfmon", "Stocks"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn experiment_registry_covers_every_table_and_figure() {
+        let names: Vec<&str> = experiments().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "table3", "table4", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11a", "fig11b",
+                "fig12a", "fig12b"
+            ]
+        );
+    }
+
+    #[test]
+    fn fig12a_reports_all_variants_for_each_dataset() {
+        let mut cfg = tiny();
+        cfg.rows = 2_000;
+        let out = fig12a(&cfg);
+        for label in ["Flood", "AugmentedGrid-only", "GridTree-only", "Tsunami"] {
+            assert!(out.contains(label), "missing {label} in:\n{out}");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Shared machinery for building every index on a dataset/workload bundle
+//! and measuring query performance, index size, and build time.
+
+use std::time::Instant;
+
+use tsunami_baselines::{
+    tune_page_size, ClusteredSingleDimIndex, HyperOctree, KdTree, ZOrderIndex,
+};
+use tsunami_core::{CostModel, Dataset, MultiDimIndex, Workload};
+use tsunami_flood::{FloodConfig, FloodIndex};
+use tsunami_index::{IndexVariant, OptimizerKind, TsunamiConfig, TsunamiIndex};
+
+/// Scale knobs for the experiment harness. The paper runs 184M–300M rows;
+/// this reproduction defaults to laptop-scale sizes that preserve the
+/// relative behaviour of the indexes.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Rows per generated dataset.
+    pub rows: usize,
+    /// Queries per query type.
+    pub queries_per_type: usize,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            rows: 60_000,
+            queries_per_type: 25,
+            seed: 42,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// The Tsunami build configuration used by the experiments (moderate
+    /// optimizer effort, suitable for repeated builds in one process).
+    pub fn tsunami_config(&self) -> TsunamiConfig {
+        TsunamiConfig {
+            optimizer_sample_size: 800,
+            optimizer_max_iters: 6,
+            max_cells_per_grid: 1 << 13,
+            max_tree_depth: 5,
+            ..TsunamiConfig::default()
+        }
+    }
+
+    /// The Flood build configuration used by the experiments.
+    pub fn flood_config(&self) -> FloodConfig {
+        FloodConfig {
+            max_cells: 1 << 15,
+            sample_size: 1_500,
+            max_iters: 12,
+            seed: self.seed,
+        }
+    }
+
+    /// Candidate page sizes used when tuning the non-learned baselines.
+    pub fn page_size_candidates(&self) -> Vec<usize> {
+        vec![256, 1024, 4096]
+    }
+}
+
+/// Measured behaviour of one index on one workload.
+#[derive(Debug, Clone)]
+pub struct IndexReport {
+    /// Index name.
+    pub name: String,
+    /// Average query latency in microseconds.
+    pub avg_query_us: f64,
+    /// Queries per second (1e6 / avg_query_us).
+    pub throughput_qps: f64,
+    /// Index structure size in bytes.
+    pub size_bytes: usize,
+    /// Seconds spent reorganizing (sorting) the data at build time.
+    pub sort_secs: f64,
+    /// Seconds spent optimizing the layout at build time.
+    pub optimize_secs: f64,
+    /// Average number of points scanned per query.
+    pub avg_points_scanned: f64,
+}
+
+/// Measures average query latency and scan volume of an index.
+pub fn measure(index: &dyn MultiDimIndex, workload: &Workload) -> (f64, f64) {
+    if workload.is_empty() {
+        return (0.0, 0.0);
+    }
+    // Warm-up pass (fills caches) followed by the measured pass.
+    for q in workload.queries().iter().take(8) {
+        std::hint::black_box(index.execute(q));
+    }
+    let mut scanned = 0usize;
+    for q in workload.queries() {
+        let (_, stats) = index.execute_with_stats(q);
+        scanned += stats.points_scanned;
+    }
+    let start = Instant::now();
+    for q in workload.queries() {
+        std::hint::black_box(index.execute(q));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let avg_us = elapsed * 1e6 / workload.len() as f64;
+    (avg_us, scanned as f64 / workload.len() as f64)
+}
+
+/// Builds a report for an already-built index.
+pub fn report(index: &dyn MultiDimIndex, workload: &Workload) -> IndexReport {
+    let (avg_query_us, avg_points_scanned) = measure(index, workload);
+    let timing = index.build_timing();
+    IndexReport {
+        name: index.name().to_string(),
+        avg_query_us,
+        throughput_qps: if avg_query_us > 0.0 { 1e6 / avg_query_us } else { 0.0 },
+        size_bytes: index.size_bytes(),
+        sort_secs: timing.sort_secs,
+        optimize_secs: timing.optimize_secs,
+        avg_points_scanned,
+    }
+}
+
+/// Builds the full line-up of indexes the paper compares (Fig 7/8): Tsunami,
+/// Flood, and the tuned non-learned baselines.
+pub fn build_all_indexes(
+    data: &Dataset,
+    workload: &Workload,
+    config: &HarnessConfig,
+) -> Vec<Box<dyn MultiDimIndex>> {
+    let cost = CostModel::default();
+    let mut indexes: Vec<Box<dyn MultiDimIndex>> = Vec::new();
+
+    let tsunami = TsunamiIndex::build_with_cost(data, workload, &cost, &config.tsunami_config())
+        .expect("tsunami build");
+    indexes.push(Box::new(tsunami));
+
+    let flood = FloodIndex::build(data, workload, &cost, &config.flood_config());
+    indexes.push(Box::new(flood));
+
+    indexes.push(Box::new(ClusteredSingleDimIndex::build(data, workload)));
+
+    let candidates = config.page_size_candidates();
+    let z = tune_page_size(data, workload, &candidates, |d, w, ps| {
+        ZOrderIndex::build(d, w, ps)
+    });
+    indexes.push(Box::new(ZOrderIndex::build(data, workload, z.best_page_size)));
+
+    let oct = tune_page_size(data, workload, &candidates, |d, w, ps| {
+        HyperOctree::build(d, w, ps)
+    });
+    indexes.push(Box::new(HyperOctree::build(data, workload, oct.best_page_size)));
+
+    let kd = tune_page_size(data, workload, &candidates, |d, w, ps| {
+        KdTree::build(d, w, ps)
+    });
+    indexes.push(Box::new(KdTree::build(data, workload, kd.best_page_size)));
+
+    indexes
+}
+
+/// Builds just the learned indexes (used by scalability sweeps where
+/// re-tuning every baseline would dominate runtime).
+pub fn build_learned_indexes(
+    data: &Dataset,
+    workload: &Workload,
+    config: &HarnessConfig,
+) -> Vec<Box<dyn MultiDimIndex>> {
+    let cost = CostModel::default();
+    let tsunami = TsunamiIndex::build_with_cost(data, workload, &cost, &config.tsunami_config())
+        .expect("tsunami build");
+    let flood = FloodIndex::build(data, workload, &cost, &config.flood_config());
+    vec![Box::new(tsunami), Box::new(flood)]
+}
+
+/// Builds a Tsunami variant (full / Grid-Tree-only / Augmented-Grid-only) for
+/// the Fig 12a drill-down.
+pub fn build_variant(
+    data: &Dataset,
+    workload: &Workload,
+    config: &HarnessConfig,
+    variant: IndexVariant,
+) -> TsunamiIndex {
+    TsunamiIndex::build_with_cost(
+        data,
+        workload,
+        &CostModel::default(),
+        &config.tsunami_config().with_variant(variant),
+    )
+    .expect("variant build")
+}
+
+/// Builds an Augmented-Grid-only Tsunami index with a specific optimizer
+/// (Fig 12b).
+pub fn build_with_optimizer(
+    data: &Dataset,
+    workload: &Workload,
+    config: &HarnessConfig,
+    optimizer: OptimizerKind,
+) -> TsunamiIndex {
+    TsunamiIndex::build_with_cost(
+        data,
+        workload,
+        &CostModel::default(),
+        &config
+            .tsunami_config()
+            .with_variant(IndexVariant::AugmentedGridOnly)
+            .with_optimizer(optimizer),
+    )
+    .expect("optimizer build")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsunami_workloads::DatasetBundle;
+
+    #[test]
+    fn full_lineup_builds_and_answers_consistently() {
+        let config = HarnessConfig {
+            rows: 4_000,
+            queries_per_type: 4,
+            seed: 7,
+        };
+        let bundles = DatasetBundle::standard(config.rows, config.queries_per_type, config.seed);
+        let bundle = &bundles[0];
+        let indexes = build_all_indexes(&bundle.data, &bundle.workload, &config);
+        assert_eq!(indexes.len(), 6);
+        // All indexes agree with the full-scan oracle on a few queries.
+        for q in bundle.workload.queries().iter().step_by(7) {
+            let expected = q.execute_full_scan(&bundle.data);
+            for idx in &indexes {
+                assert_eq!(idx.execute(q), expected, "{} disagrees on {q:?}", idx.name());
+            }
+        }
+        // Reports contain sane values.
+        for idx in &indexes {
+            let r = report(idx.as_ref(), &bundle.workload);
+            assert!(r.avg_query_us > 0.0);
+            assert!(r.throughput_qps > 0.0);
+            assert!(r.avg_points_scanned <= bundle.data.len() as f64);
+        }
+    }
+
+    #[test]
+    fn learned_only_lineup_is_smaller() {
+        let config = HarnessConfig {
+            rows: 3_000,
+            queries_per_type: 3,
+            seed: 8,
+        };
+        let bundles = DatasetBundle::standard(config.rows, config.queries_per_type, config.seed);
+        let learned = build_learned_indexes(&bundles[2].data, &bundles[2].workload, &config);
+        assert_eq!(learned.len(), 2);
+        assert_eq!(learned[0].name(), "Tsunami");
+        assert_eq!(learned[1].name(), "Flood");
+    }
+}

@@ -1,0 +1,15 @@
+//! Benchmark harness regenerating every table and figure of the Tsunami
+//! paper's evaluation (§6).
+//!
+//! The [`experiments`] module contains one function per table/figure; the
+//! `repro` binary dispatches to them. Absolute numbers differ from the paper
+//! (different hardware, synthetic data, laptop-scale sizes) but the *shape*
+//! of each result — which index wins, by roughly what factor, and where the
+//! crossovers fall — is what the experiments reproduce.
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{HarnessConfig, IndexReport};
+pub use table::Table;

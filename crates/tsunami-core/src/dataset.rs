@@ -1,0 +1,263 @@
+//! The in-memory data model: 64-bit integer attributes arranged in columns.
+//!
+//! The paper stores all attributes as 64-bit integers: strings are dictionary
+//! encoded and decimal values are scaled by a power of ten (§6.1). A
+//! [`Dataset`] is the logical, immutable view of a table used when *building*
+//! indexes; the physical, scan-optimized representation lives in the
+//! `tsunami-store` crate.
+
+use crate::error::{Result, TsunamiError};
+
+/// A single attribute value. Every dimension is a 64-bit unsigned integer.
+pub type Value = u64;
+
+/// A single record, i.e. a point in d-dimensional data space.
+pub type Point = Vec<Value>;
+
+/// A logical, column-oriented table of `u64` attributes.
+///
+/// The dataset is column-major: `columns[d][r]` is the value of row `r` in
+/// dimension `d`. All columns have identical length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    columns: Vec<Vec<Value>>,
+    len: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from column vectors. All columns must have the same
+    /// length and there must be at least one column.
+    pub fn from_columns(columns: Vec<Vec<Value>>) -> Result<Self> {
+        if columns.is_empty() {
+            return Err(TsunamiError::Build("dataset needs at least one column".into()));
+        }
+        let len = columns[0].len();
+        if columns.iter().any(|c| c.len() != len) {
+            return Err(TsunamiError::Build(
+                "all dataset columns must have equal length".into(),
+            ));
+        }
+        Ok(Self { columns, len })
+    }
+
+    /// Creates a dataset from row-major points. All rows must have the same
+    /// arity `num_dims`.
+    pub fn from_rows(num_dims: usize, rows: &[Point]) -> Result<Self> {
+        if num_dims == 0 {
+            return Err(TsunamiError::Build("dataset needs at least one dimension".into()));
+        }
+        let mut columns = vec![Vec::with_capacity(rows.len()); num_dims];
+        for row in rows {
+            if row.len() != num_dims {
+                return Err(TsunamiError::DimensionMismatch {
+                    expected: num_dims,
+                    got: row.len(),
+                });
+            }
+            for (d, v) in row.iter().enumerate() {
+                columns[d].push(*v);
+            }
+        }
+        Ok(Self {
+            columns,
+            len: rows.len(),
+        })
+    }
+
+    /// Creates an empty dataset with `num_dims` dimensions, useful as a
+    /// builder together with [`Dataset::push_row`].
+    pub fn empty(num_dims: usize) -> Self {
+        Self {
+            columns: vec![Vec::new(); num_dims],
+            len: 0,
+        }
+    }
+
+    /// Appends a single row. The row's arity must match the dataset's.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
+        if row.len() != self.num_dims() {
+            return Err(TsunamiError::DimensionMismatch {
+                expected: self.num_dims(),
+                got: row.len(),
+            });
+        }
+        for (d, v) in row.iter().enumerate() {
+            self.columns[d].push(*v);
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Number of dimensions (columns).
+    pub fn num_dims(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value of row `row` in dimension `dim`.
+    #[inline]
+    pub fn get(&self, row: usize, dim: usize) -> Value {
+        self.columns[dim][row]
+    }
+
+    /// The full column for dimension `dim`.
+    pub fn column(&self, dim: usize) -> &[Value] {
+        &self.columns[dim]
+    }
+
+    /// Materializes row `row` as a point.
+    pub fn row(&self, row: usize) -> Point {
+        self.columns.iter().map(|c| c[row]).collect()
+    }
+
+    /// Iterates over all rows as materialized points.
+    pub fn rows(&self) -> impl Iterator<Item = Point> + '_ {
+        (0..self.len).map(move |r| self.row(r))
+    }
+
+    /// The (min, max) value range of dimension `dim`, or `None` if empty.
+    pub fn domain(&self, dim: usize) -> Option<(Value, Value)> {
+        let col = &self.columns[dim];
+        if col.is_empty() {
+            return None;
+        }
+        let mut lo = Value::MAX;
+        let mut hi = Value::MIN;
+        for &v in col {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// The domains of every dimension. Empty datasets yield `(0, 0)` per dim.
+    pub fn domains(&self) -> Vec<(Value, Value)> {
+        (0..self.num_dims())
+            .map(|d| self.domain(d).unwrap_or((0, 0)))
+            .collect()
+    }
+
+    /// Builds a new dataset that keeps only the rows at `indices`, in order.
+    pub fn select_rows(&self, indices: &[usize]) -> Dataset {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| indices.iter().map(|&i| c[i]).collect())
+            .collect();
+        Dataset {
+            columns,
+            len: indices.len(),
+        }
+    }
+
+    /// Builds a new dataset keeping only the given dimensions, in order.
+    pub fn select_dims(&self, dims: &[usize]) -> Dataset {
+        let columns = dims.iter().map(|&d| self.columns[d].clone()).collect();
+        Dataset {
+            columns,
+            len: self.len,
+        }
+    }
+
+    /// Consumes the dataset and returns the raw column vectors.
+    pub fn into_columns(self) -> Vec<Vec<Value>> {
+        self.columns
+    }
+
+    /// Approximate heap size of the dataset in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| c.capacity() * std::mem::size_of::<Value>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(3, &[vec![1, 10, 100], vec![2, 20, 200], vec![3, 30, 300]]).unwrap()
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let ds = sample();
+        assert_eq!(ds.num_dims(), 3);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.get(1, 2), 200);
+        assert_eq!(ds.row(2), vec![3, 30, 300]);
+        assert_eq!(ds.column(1), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn from_columns_validates_lengths() {
+        assert!(Dataset::from_columns(vec![vec![1, 2], vec![3]]).is_err());
+        assert!(Dataset::from_columns(vec![]).is_err());
+        let ds = Dataset::from_columns(vec![vec![1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn from_rows_validates_arity() {
+        let err = Dataset::from_rows(2, &[vec![1, 2], vec![3]]).unwrap_err();
+        assert_eq!(err, TsunamiError::DimensionMismatch { expected: 2, got: 1 });
+        assert!(Dataset::from_rows(0, &[]).is_err());
+    }
+
+    #[test]
+    fn push_row_grows_dataset() {
+        let mut ds = Dataset::empty(2);
+        assert!(ds.is_empty());
+        ds.push_row(&[5, 6]).unwrap();
+        ds.push_row(&[7, 8]).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(1), vec![7, 8]);
+        assert!(ds.push_row(&[1]).is_err());
+    }
+
+    #[test]
+    fn domain_reports_min_max() {
+        let ds = sample();
+        assert_eq!(ds.domain(0), Some((1, 3)));
+        assert_eq!(ds.domain(2), Some((100, 300)));
+        assert_eq!(ds.domains(), vec![(1, 3), (10, 30), (100, 300)]);
+        assert_eq!(Dataset::empty(1).domain(0), None);
+    }
+
+    #[test]
+    fn select_rows_and_dims() {
+        let ds = sample();
+        let sub = ds.select_rows(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.row(0), vec![3, 30, 300]);
+        assert_eq!(sub.row(1), vec![1, 10, 100]);
+
+        let dims = ds.select_dims(&[2, 0]);
+        assert_eq!(dims.num_dims(), 2);
+        assert_eq!(dims.row(1), vec![200, 2]);
+    }
+
+    #[test]
+    fn rows_iterator_visits_all_rows() {
+        let ds = sample();
+        let rows: Vec<Point> = ds.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![1, 10, 100]);
+    }
+
+    #[test]
+    fn size_bytes_is_positive_for_nonempty() {
+        assert!(sample().size_bytes() >= 3 * 3 * 8);
+    }
+}

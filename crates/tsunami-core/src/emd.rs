@@ -1,0 +1,115 @@
+//! Earth Mover's Distance between one-dimensional discrete distributions.
+//!
+//! The Grid Tree defines query skew as the EMD between the empirical query
+//! PDF over a range and the uniform distribution over that range (§4.2.1).
+//! For one-dimensional distributions over ordered bins with equal total mass,
+//! the EMD has a closed form: the sum of absolute differences of the prefix
+//! sums (work needed to move mass across each bin boundary).
+
+/// Computes the Earth Mover's Distance between two discrete distributions
+/// defined over the same ordered bins.
+///
+/// Both inputs must have the same length. If the total masses differ, the
+/// distributions are compared after normalizing to the mean of the two totals
+/// (the caller normally passes equal-mass distributions, e.g. a query
+/// histogram and a uniform histogram of identical total mass).
+///
+/// Returns 0.0 for empty inputs.
+pub fn emd(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "EMD requires equal-length distributions");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ta: f64 = a.iter().sum();
+    let tb: f64 = b.iter().sum();
+    // Scale factors so both sides carry the same total mass.
+    let target = (ta + tb) / 2.0;
+    let sa = if ta > 0.0 { target / ta } else { 0.0 };
+    let sb = if tb > 0.0 { target / tb } else { 0.0 };
+
+    let mut carried = 0.0f64;
+    let mut work = 0.0f64;
+    for i in 0..a.len() {
+        carried += a[i] * sa - b[i] * sb;
+        work += carried.abs();
+    }
+    work
+}
+
+/// EMD between a distribution and the uniform distribution of equal total
+/// mass over the same bins. This is exactly the `Skew_i(Q, x, y)` quantity of
+/// §4.2.1 when `dist` is the query histogram over bins `[x, y)`.
+pub fn emd_from_uniform(dist: &[f64]) -> f64 {
+    if dist.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = dist.iter().sum();
+    let uniform = vec![total / dist.len() as f64; dist.len()];
+    emd(dist, &uniform)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let d = vec![1.0, 2.0, 3.0, 4.0];
+        assert!(emd(&d, &d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_bin_shift_costs_distance_times_mass() {
+        // Moving one unit of mass by one bin costs 1.
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        assert!((emd(&a, &b) - 1.0).abs() < 1e-12);
+        // Moving it two bins costs 2.
+        let a = vec![1.0, 0.0, 0.0];
+        let b = vec![0.0, 0.0, 1.0];
+        assert!((emd(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_is_symmetric() {
+        let a = vec![0.5, 1.5, 3.0, 0.0];
+        let b = vec![2.0, 1.0, 1.0, 1.0];
+        assert!((emd(&a, &b) - emd(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_distribution_has_zero_skew() {
+        let d = vec![2.0; 8];
+        assert!(emd_from_uniform(&d) < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_mass_is_more_skewed_than_spread_mass() {
+        // All queries hit the last bin.
+        let concentrated = vec![0.0, 0.0, 0.0, 12.0];
+        // Queries spread over the last two bins.
+        let spread = vec![0.0, 0.0, 6.0, 6.0];
+        assert!(emd_from_uniform(&concentrated) > emd_from_uniform(&spread));
+        assert!(emd_from_uniform(&spread) > 0.0);
+    }
+
+    #[test]
+    fn single_bin_has_no_skew() {
+        // A single bin cannot distinguish uniform from anything (§4.3.2).
+        assert!(emd_from_uniform(&[5.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_totals_are_normalized() {
+        // Same shape, different scale: distance should be ~0.
+        let a = vec![1.0, 2.0, 1.0];
+        let b = vec![2.0, 4.0, 2.0];
+        assert!(emd(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(emd(&[], &[]), 0.0);
+        assert_eq!(emd_from_uniform(&[]), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, TsunamiError>;
+
+/// Errors produced while building or querying indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsunamiError {
+    /// A query or point referenced a dimension outside the dataset's arity.
+    DimensionMismatch {
+        /// Number of dimensions the dataset has.
+        expected: usize,
+        /// Dimension index (or arity) that was supplied.
+        got: usize,
+    },
+    /// An operation that requires at least one row was given an empty dataset.
+    EmptyDataset,
+    /// An operation that requires at least one query was given an empty workload.
+    EmptyWorkload,
+    /// A range predicate had `lo > hi`.
+    InvalidPredicate {
+        /// Dimension the predicate filters.
+        dim: usize,
+        /// Lower bound supplied.
+        lo: u64,
+        /// Upper bound supplied.
+        hi: u64,
+    },
+    /// A structural invariant was violated while building an index.
+    Build(String),
+    /// An invalid configuration value was supplied.
+    Config(String),
+}
+
+impl fmt::Display for TsunamiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsunamiError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            TsunamiError::EmptyDataset => write!(f, "dataset has no rows"),
+            TsunamiError::EmptyWorkload => write!(f, "workload has no queries"),
+            TsunamiError::InvalidPredicate { dim, lo, hi } => {
+                write!(f, "invalid predicate on dim {dim}: lo {lo} > hi {hi}")
+            }
+            TsunamiError::Build(msg) => write!(f, "index build error: {msg}"),
+            TsunamiError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TsunamiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TsunamiError::DimensionMismatch {
+            expected: 4,
+            got: 7,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        assert!(e.to_string().contains("got 7"));
+
+        let e = TsunamiError::InvalidPredicate {
+            dim: 2,
+            lo: 10,
+            hi: 3,
+        };
+        assert!(e.to_string().contains("dim 2"));
+
+        assert!(TsunamiError::EmptyDataset.to_string().contains("no rows"));
+        assert!(TsunamiError::Build("boom".into()).to_string().contains("boom"));
+        assert!(TsunamiError::Config("bad".into()).to_string().contains("bad"));
+        assert!(TsunamiError::EmptyWorkload.to_string().contains("queries"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(TsunamiError::EmptyDataset, TsunamiError::EmptyDataset);
+        assert_ne!(
+            TsunamiError::EmptyDataset,
+            TsunamiError::Build("x".to_string())
+        );
+    }
+}

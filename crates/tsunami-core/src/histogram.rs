@@ -1,0 +1,293 @@
+//! Histograms used for the Grid Tree's query-skew computation and for
+//! equi-depth partitioning.
+//!
+//! The paper approximates the continuous query PDF over a dimension with a
+//! histogram of (by default) 128 bins (§4.2.1): a query whose filter range
+//! intersects `m` contiguous bins contributes `1/m` mass to each of them, so
+//! the total histogram mass equals the number of queries.
+
+use crate::dataset::Value;
+
+/// A one-dimensional histogram with explicit bin edges and floating-point
+/// mass per bin.
+///
+/// Bin `i` covers the half-open value range `[edges[i], edges[i+1])`, except
+/// the last bin which is closed on the right so the histogram covers the full
+/// `[lo, hi]` domain it was built over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<Value>,
+    mass: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an equi-width histogram with `bins` bins over `[lo, hi]`.
+    ///
+    /// If the domain has fewer distinct integer values than `bins`, one bin is
+    /// created per distinct value (matching §4.3.2: "if there are fewer than
+    /// 128 unique values ... we create a bin for each unique value").
+    pub fn equi_width(lo: Value, hi: Value, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let hi = hi.max(lo);
+        let span = hi - lo;
+        // Number of representable integer values in [lo, hi].
+        let distinct = span.saturating_add(1);
+        let bins = if distinct < bins as u64 {
+            distinct.max(1) as usize
+        } else {
+            bins
+        };
+        let mut edges = Vec::with_capacity(bins + 1);
+        for i in 0..bins {
+            edges.push(lo + (span as u128 * i as u128 / bins as u128) as Value);
+        }
+        edges.push(hi);
+        // De-duplicate degenerate edges (possible when span < bins).
+        edges.dedup();
+        if edges.len() < 2 {
+            edges = vec![lo, hi.max(lo.saturating_add(1))];
+        }
+        let n = edges.len() - 1;
+        Self {
+            edges,
+            mass: vec![0.0; n],
+        }
+    }
+
+    /// Creates a histogram with one bin per distinct value of `values`.
+    pub fn per_value(values: &[Value]) -> Self {
+        let mut distinct: Vec<Value> = values.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.is_empty() {
+            return Self::equi_width(0, 1, 1);
+        }
+        let mut edges = distinct.clone();
+        // The final edge closes the last per-value bin.
+        let last = *distinct.last().unwrap();
+        edges.push(last.saturating_add(1));
+        let n = edges.len() - 1;
+        Self {
+            edges,
+            mass: vec![0.0; n],
+        }
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// The bin edges (length `num_bins() + 1`).
+    pub fn edges(&self) -> &[Value] {
+        &self.edges
+    }
+
+    /// Per-bin mass.
+    pub fn mass(&self) -> &[f64] {
+        &self.mass
+    }
+
+    /// Total mass across all bins.
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Domain covered by the histogram.
+    pub fn domain(&self) -> (Value, Value) {
+        (self.edges[0], *self.edges.last().unwrap())
+    }
+
+    /// Index of the bin containing `v`, clamped into range.
+    pub fn bin_of(&self, v: Value) -> usize {
+        let n = self.num_bins();
+        if v <= self.edges[0] {
+            return 0;
+        }
+        if v >= self.edges[n] {
+            return n - 1;
+        }
+        // partition_point returns the first edge > v; the bin is one before.
+        let idx = self.edges.partition_point(|&e| e <= v);
+        (idx - 1).min(n - 1)
+    }
+
+    /// Adds `weight` of point mass to the bin containing `v`.
+    pub fn add_value(&mut self, v: Value, weight: f64) {
+        let b = self.bin_of(v);
+        self.mass[b] += weight;
+    }
+
+    /// Adds a query filter range `[lo, hi]` (inclusive): if the range
+    /// intersects `m` contiguous bins, each receives `1/m` mass, so every
+    /// query contributes exactly one unit of mass (§4.2.1).
+    pub fn add_query_range(&mut self, lo: Value, hi: Value) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let b_lo = self.bin_of(lo);
+        let b_hi = self.bin_of(hi);
+        let m = (b_hi - b_lo + 1) as f64;
+        for b in b_lo..=b_hi {
+            self.mass[b] += 1.0 / m;
+        }
+    }
+
+    /// Mass restricted to the bin range `[from, to)`.
+    pub fn mass_in(&self, from: usize, to: usize) -> f64 {
+        self.mass[from..to].iter().sum()
+    }
+
+    /// The value at which bin `bin` starts.
+    pub fn bin_start(&self, bin: usize) -> Value {
+        self.edges[bin]
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.edges.capacity() * std::mem::size_of::<Value>()
+            + self.mass.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Computes equi-depth partition boundaries for `values` split into `p`
+/// partitions: the returned vector has `p + 1` entries, the first being the
+/// minimum value and the last being `max + 1`, such that partition `i` covers
+/// values in `[boundaries[i], boundaries[i+1])` and partitions hold roughly
+/// equal numbers of points.
+///
+/// Ties are kept within a single partition boundary (a value never straddles
+/// two partitions), so heavily skewed data may produce fewer distinct
+/// boundaries than requested.
+pub fn equi_depth_boundaries(values: &[Value], p: usize) -> Vec<Value> {
+    assert!(p > 0, "need at least one partition");
+    let mut sorted: Vec<Value> = values.to_vec();
+    sorted.sort_unstable();
+    if sorted.is_empty() {
+        return vec![0, 1];
+    }
+    let n = sorted.len();
+    let max = *sorted.last().unwrap();
+    let mut boundaries = Vec::with_capacity(p + 1);
+    boundaries.push(sorted[0]);
+    for i in 1..p {
+        let idx = (i as u128 * n as u128 / p as u128) as usize;
+        let b = sorted[idx.min(n - 1)];
+        if b > *boundaries.last().unwrap() {
+            boundaries.push(b);
+        }
+    }
+    let end = max.saturating_add(1);
+    if end > *boundaries.last().unwrap() {
+        boundaries.push(end);
+    } else {
+        boundaries.push(boundaries.last().unwrap().saturating_add(1));
+    }
+    boundaries
+}
+
+/// Locates the partition of `v` given equi-depth `boundaries` as produced by
+/// [`equi_depth_boundaries`]: the last partition whose start is `<= v`,
+/// clamped into range.
+pub fn partition_of(boundaries: &[Value], v: Value) -> usize {
+    let p = boundaries.len() - 1;
+    if v < boundaries[0] {
+        return 0;
+    }
+    let idx = boundaries.partition_point(|&b| b <= v);
+    idx.saturating_sub(1).min(p - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equi_width_covers_domain() {
+        let h = Histogram::equi_width(0, 1000, 10);
+        assert_eq!(h.num_bins(), 10);
+        assert_eq!(h.domain(), (0, 1000));
+        assert_eq!(h.bin_of(0), 0);
+        assert_eq!(h.bin_of(1000), 9);
+        assert_eq!(h.bin_of(999), 9);
+        assert_eq!(h.bin_of(100), 1);
+    }
+
+    #[test]
+    fn equi_width_shrinks_to_distinct_values() {
+        // Domain with only 4 distinct integers gets at most 4 bins.
+        let h = Histogram::equi_width(10, 13, 128);
+        assert!(h.num_bins() <= 4);
+        assert_eq!(h.domain().0, 10);
+    }
+
+    #[test]
+    fn per_value_histogram_builds_one_bin_per_distinct() {
+        let h = Histogram::per_value(&[5, 5, 7, 9, 9, 9]);
+        assert_eq!(h.num_bins(), 3);
+        assert_eq!(h.bin_of(5), 0);
+        assert_eq!(h.bin_of(7), 1);
+        assert_eq!(h.bin_of(9), 2);
+        // Values between distinct values fall into the lower bin.
+        assert_eq!(h.bin_of(8), 1);
+    }
+
+    #[test]
+    fn query_range_mass_sums_to_one_per_query() {
+        let mut h = Histogram::equi_width(0, 100, 10);
+        h.add_query_range(0, 100);
+        h.add_query_range(35, 35);
+        h.add_query_range(90, 10); // reversed bounds are tolerated
+        assert!((h.total_mass() - 3.0).abs() < 1e-9);
+        // The equality query put all of its mass in one bin.
+        assert!((h.mass()[h.bin_of(35)] - (1.0 / 10.0 + 1.0 + 1.0 / 9.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_value_accumulates_weight() {
+        let mut h = Histogram::equi_width(0, 10, 5);
+        h.add_value(3, 2.5);
+        h.add_value(3, 0.5);
+        assert!((h.mass()[h.bin_of(3)] - 3.0).abs() < 1e-12);
+        assert!((h.mass_in(0, h.num_bins()) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equi_depth_boundaries_balance_points() {
+        let values: Vec<Value> = (0..1000).collect();
+        let b = equi_depth_boundaries(&values, 4);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b[0], 0);
+        assert_eq!(*b.last().unwrap(), 1000);
+        // Each partition holds ~250 values.
+        for w in b.windows(2) {
+            let cnt = values.iter().filter(|&&v| v >= w[0] && v < w[1]).count();
+            assert!((200..=300).contains(&cnt), "unbalanced partition: {cnt}");
+        }
+    }
+
+    #[test]
+    fn equi_depth_handles_heavy_ties() {
+        let mut values = vec![7u64; 500];
+        values.extend(0..10u64);
+        let b = equi_depth_boundaries(&values, 8);
+        // Boundaries are strictly increasing despite the ties.
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn partition_of_respects_boundaries() {
+        let b = vec![0u64, 10, 20, 30];
+        assert_eq!(partition_of(&b, 0), 0);
+        assert_eq!(partition_of(&b, 9), 0);
+        assert_eq!(partition_of(&b, 10), 1);
+        assert_eq!(partition_of(&b, 29), 2);
+        assert_eq!(partition_of(&b, 1000), 2);
+    }
+
+    #[test]
+    fn empty_inputs_do_not_panic() {
+        let b = equi_depth_boundaries(&[], 4);
+        assert_eq!(b.len(), 2);
+        let h = Histogram::per_value(&[]);
+        assert_eq!(h.num_bins(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! The common interface implemented by every multi-dimensional index in the
+//! workspace, learned or not.
+//!
+//! The benchmark harness treats all indexes uniformly through this trait: it
+//! builds them from a [`crate::Dataset`] and a sample [`crate::Workload`],
+//! executes queries, and reports index size and build-time breakdowns
+//! (Fig 8 and Fig 9b of the paper).
+
+use crate::query::{AggResult, Query};
+
+/// Wall-clock breakdown of building an index (Fig 9b): every index must sort
+/// (reorganize) the data according to its layout, and learned indexes
+/// additionally spend time optimizing the layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BuildTiming {
+    /// Seconds spent physically reordering the data.
+    pub sort_secs: f64,
+    /// Seconds spent optimizing the layout (zero for non-learned indexes).
+    pub optimize_secs: f64,
+}
+
+impl BuildTiming {
+    /// Total build time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.sort_secs + self.optimize_secs
+    }
+}
+
+/// Diagnostic counters describing how an index executed a query. Used to
+/// validate the cost model (Fig 12b) and to explain performance differences.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IndexStats {
+    /// Number of contiguous physical ranges scanned.
+    pub ranges_scanned: usize,
+    /// Number of points scanned (visited), matching or not.
+    pub points_scanned: usize,
+    /// Number of points that matched all predicates.
+    pub points_matched: usize,
+}
+
+/// A clustered in-memory multi-dimensional index over a single table.
+///
+/// Implementations own their (re-organized) copy of the data, so `execute`
+/// needs only the query.
+pub trait MultiDimIndex {
+    /// Short human-readable name used in benchmark output (e.g. `"Tsunami"`).
+    fn name(&self) -> &str;
+
+    /// Executes a query and returns its aggregation result.
+    fn execute(&self, query: &Query) -> AggResult;
+
+    /// Executes a query while collecting diagnostic counters.
+    ///
+    /// The default implementation runs [`MultiDimIndex::execute`] and reports
+    /// empty stats; indexes that can cheaply count scanned ranges/points
+    /// should override it.
+    fn execute_with_stats(&self, query: &Query) -> (AggResult, IndexStats) {
+        (self.execute(query), IndexStats::default())
+    }
+
+    /// Size of the index structure in bytes, excluding the data itself
+    /// (Fig 8 reports index size, not data size).
+    fn size_bytes(&self) -> usize;
+
+    /// Build-time breakdown recorded while constructing the index (Fig 9b).
+    fn build_timing(&self) -> BuildTiming;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{AggAccumulator, Aggregation};
+
+    /// A trivial index used to exercise the trait's default methods.
+    struct Dummy;
+
+    impl MultiDimIndex for Dummy {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn execute(&self, _query: &Query) -> AggResult {
+            AggAccumulator::new(Aggregation::Count).finish()
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+        fn build_timing(&self) -> BuildTiming {
+            BuildTiming {
+                sort_secs: 1.0,
+                optimize_secs: 2.0,
+            }
+        }
+    }
+
+    #[test]
+    fn build_timing_totals() {
+        let d = Dummy;
+        assert_eq!(d.build_timing().total_secs(), 3.0);
+    }
+
+    #[test]
+    fn default_execute_with_stats_reports_empty_stats() {
+        let d = Dummy;
+        let q = Query::count(vec![]).unwrap();
+        let (res, stats) = d.execute_with_stats(&q);
+        assert_eq!(res, AggResult::Count(0));
+        assert_eq!(stats, IndexStats::default());
+    }
+}

@@ -1,0 +1,35 @@
+//! Shared primitives for the Tsunami learned multi-dimensional index reproduction.
+//!
+//! This crate holds the vocabulary types used by every other crate in the
+//! workspace:
+//!
+//! * [`Value`], [`Point`], [`Dataset`] — the data model. All attributes are
+//!   unsigned 64-bit integers, mirroring the paper's setup where strings are
+//!   dictionary encoded and decimals are scaled to integers (§6.1).
+//! * [`Predicate`], [`Query`], [`Workload`], [`Aggregation`], [`AggResult`] —
+//!   the query model: conjunctions of per-dimension range filters feeding an
+//!   aggregation (§2).
+//! * [`Histogram`] and [`emd`] — the building blocks of the Grid Tree's query
+//!   skew definition (§4.2.1).
+//! * [`CostModel`] — the analytic linear cost model used to optimize both
+//!   Flood and the Augmented Grid (§5.3.1).
+//! * [`MultiDimIndex`] — the trait every index in the workspace (learned and
+//!   non-learned) implements so benchmarks can treat them uniformly.
+
+pub mod cost;
+pub mod dataset;
+pub mod emd;
+pub mod error;
+pub mod histogram;
+pub mod index;
+pub mod query;
+pub mod sample;
+pub mod size;
+
+pub use cost::{CostFeatures, CostModel};
+pub use dataset::{Dataset, Point, Value};
+pub use emd::emd;
+pub use error::{Result, TsunamiError};
+pub use histogram::Histogram;
+pub use index::{BuildTiming, IndexStats, MultiDimIndex};
+pub use query::{AggAccumulator, AggResult, Aggregation, Predicate, Query, Workload};

@@ -1,0 +1,142 @@
+//! Deterministic sampling utilities used by index optimizers.
+//!
+//! The Augmented Grid's cost model estimates the number of scanned points
+//! from a *sample* of the dataset (§5.3.1), and the Grid Tree is optimized
+//! over a *sample* query workload. Index builds must be reproducible, so all
+//! sampling here is driven by an explicit seed using a small, self-contained
+//! xorshift generator (avoiding a `rand` dependency in the core crate).
+
+use crate::dataset::Dataset;
+
+/// A tiny deterministic pseudo-random number generator (xorshift64*).
+///
+/// Not cryptographically secure; used only for reproducible sampling and
+/// optimizer perturbations.
+#[derive(Debug, Clone)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// Creates a generator from a seed. A zero seed is remapped to a fixed
+    /// non-zero constant.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. Returns 0 when `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Returns up to `k` distinct row indices from `0..n`, deterministically for a
+/// given seed. If `k >= n` every index is returned (in order).
+pub fn sample_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    // Reservoir sampling keeps memory at O(k) and is deterministic.
+    let mut rng = SplitMix::new(seed);
+    let mut reservoir: Vec<usize> = (0..k).collect();
+    for i in k..n {
+        let j = rng.next_below((i + 1) as u64) as usize;
+        if j < k {
+            reservoir[j] = i;
+        }
+    }
+    reservoir.sort_unstable();
+    reservoir
+}
+
+/// Returns a dataset containing a deterministic sample of up to `k` rows.
+pub fn sample_dataset(data: &Dataset, k: usize, seed: u64) -> Dataset {
+    let idx = sample_indices(data.len(), k, seed);
+    data.select_rows(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_varies() {
+        let mut a = SplitMix::new(42);
+        let mut b = SplitMix::new(42);
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        // Values are not all identical.
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix::new(7);
+        for _ in 0..1000 {
+            assert!(rng.next_below(13) < 13);
+        }
+        assert_eq!(rng.next_below(0), 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitMix::new(3);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_sorted_and_bounded() {
+        let idx = sample_indices(1000, 100, 5);
+        assert_eq!(idx.len(), 100);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(idx.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn sample_indices_returns_all_when_k_exceeds_n() {
+        let idx = sample_indices(10, 50, 1);
+        assert_eq!(idx, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_is_seed_dependent() {
+        let a = sample_indices(10_000, 50, 1);
+        let b = sample_indices(10_000, 50, 2);
+        let a_again = sample_indices(10_000, 50, 1);
+        assert_eq!(a, a_again);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sample_dataset_selects_rows() {
+        let ds = Dataset::from_columns(vec![(0..100u64).collect()]).unwrap();
+        let s = sample_dataset(&ds, 10, 9);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.num_dims(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Helpers for accounting the memory footprint of index structures.
+//!
+//! Fig 8 of the paper compares *index* sizes (not data sizes), so every index
+//! reports the bytes of its auxiliary structures: lookup tables, CDF models,
+//! tree nodes, page metadata, and so on.
+
+/// Heap bytes held by a `Vec<T>` (capacity, not length, to reflect the actual
+/// allocation).
+pub fn vec_bytes<T>(v: &[T]) -> usize {
+    std::mem::size_of_val(v)
+}
+
+/// Heap bytes held by a `Vec<Vec<T>>`, including the outer spine.
+pub fn nested_vec_bytes<T>(v: &[Vec<T>]) -> usize {
+    v.iter()
+        .map(|inner| inner.len() * std::mem::size_of::<T>())
+        .sum::<usize>()
+        + v.len() * std::mem::size_of::<Vec<T>>()
+}
+
+/// Formats a byte count as a human-readable string (KiB / MiB).
+pub fn format_bytes(bytes: usize) -> String {
+    const KIB: f64 = 1024.0;
+    const MIB: f64 = 1024.0 * 1024.0;
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    let b = bytes as f64;
+    if b >= GIB {
+        format!("{:.2} GiB", b / GIB)
+    } else if b >= MIB {
+        format!("{:.2} MiB", b / MIB)
+    } else if b >= KIB {
+        format!("{:.2} KiB", b / KIB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_bytes_counts_elements() {
+        let v = vec![0u64; 10];
+        assert_eq!(vec_bytes(&v), 80);
+        let v: Vec<u32> = vec![];
+        assert_eq!(vec_bytes(&v), 0);
+    }
+
+    #[test]
+    fn nested_vec_bytes_includes_spine() {
+        let v = vec![vec![0u8; 100], vec![0u8; 50]];
+        let expected = 150 + 2 * std::mem::size_of::<Vec<u8>>();
+        assert_eq!(nested_vec_bytes(&v), expected);
+    }
+
+    #[test]
+    fn format_bytes_scales_units() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert!(format_bytes(3 * 1024 * 1024).contains("MiB"));
+        assert!(format_bytes(2 * 1024 * 1024 * 1024).contains("GiB"));
+    }
+}

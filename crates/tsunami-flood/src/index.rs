@@ -1,0 +1,273 @@
+//! The Flood index: an optimized uniform grid over a clustered column store.
+
+use std::time::Instant;
+
+use crate::config::FloodConfig;
+use crate::layout::GridLayout;
+use crate::optimizer::optimize_partitions;
+use tsunami_core::{
+    AggAccumulator, AggResult, BuildTiming, CostModel, Dataset, IndexStats, MultiDimIndex, Query,
+    Workload,
+};
+use tsunami_store::ColumnStore;
+
+/// The Flood learned multi-dimensional index (§2.2).
+///
+/// Data is clustered by grid cell: the cell lookup table maps each cell id to
+/// its contiguous range in the column store.
+#[derive(Debug)]
+pub struct FloodIndex {
+    layout: GridLayout,
+    /// `cell_offsets[c]..cell_offsets[c+1]` is the physical row range of cell `c`.
+    cell_offsets: Vec<usize>,
+    store: ColumnStore,
+    timing: BuildTiming,
+    predicted_cost: f64,
+}
+
+impl FloodIndex {
+    /// Builds a Flood index whose layout is optimized for the given sample
+    /// workload.
+    pub fn build(data: &Dataset, workload: &Workload, cost: &CostModel, config: &FloodConfig) -> Self {
+        let opt_start = Instant::now();
+        let optimized = optimize_partitions(data, workload, cost, config);
+        let optimize_secs = opt_start.elapsed().as_secs_f64();
+        Self::build_with_partitions_timed(data, &optimized.partitions, optimize_secs, optimized.predicted_cost)
+    }
+
+    /// Builds a Flood index with explicit per-dimension partition counts
+    /// (used by tests and by Tsunami's "Grid Tree only" ablation).
+    pub fn build_with_partitions(data: &Dataset, partitions: &[usize]) -> Self {
+        Self::build_with_partitions_timed(data, partitions, 0.0, 0.0)
+    }
+
+    fn build_with_partitions_timed(
+        data: &Dataset,
+        partitions: &[usize],
+        optimize_secs: f64,
+        predicted_cost: f64,
+    ) -> Self {
+        let sort_start = Instant::now();
+        let layout = GridLayout::build(data, partitions);
+        let num_cells = layout.num_cells();
+
+        // Assign every row to its cell and sort rows by cell id (counting sort).
+        let mut cell_of_row = vec![0usize; data.len()];
+        let mut counts = vec![0usize; num_cells + 1];
+        let d = data.num_dims();
+        let mut point = vec![0u64; d];
+        for r in 0..data.len() {
+            for dim in 0..d {
+                point[dim] = data.get(r, dim);
+            }
+            let c = layout.cell_of(&point);
+            cell_of_row[r] = c;
+            counts[c + 1] += 1;
+        }
+        for c in 0..num_cells {
+            counts[c + 1] += counts[c];
+        }
+        let cell_offsets = counts.clone();
+        // Stable counting sort producing the permutation: position -> source row.
+        let mut next = counts;
+        let mut perm = vec![0usize; data.len()];
+        for r in 0..data.len() {
+            let c = cell_of_row[r];
+            perm[next[c]] = r;
+            next[c] += 1;
+        }
+
+        let mut store = ColumnStore::from_dataset(data);
+        store.permute(&perm);
+        let sort_secs = sort_start.elapsed().as_secs_f64();
+
+        Self {
+            layout,
+            cell_offsets,
+            store,
+            timing: BuildTiming {
+                sort_secs,
+                optimize_secs,
+            },
+            predicted_cost,
+        }
+    }
+
+    /// The grid layout in use.
+    pub fn layout(&self) -> &GridLayout {
+        &self.layout
+    }
+
+    /// Number of grid cells (Table 4 reports this).
+    pub fn num_cells(&self) -> usize {
+        self.layout.num_cells()
+    }
+
+    /// Predicted average query cost from the optimizer (0 if not optimized).
+    pub fn predicted_cost(&self) -> f64 {
+        self.predicted_cost
+    }
+
+    /// The physical row ranges (with exactness flags) a query must scan.
+    fn ranges_for(&self, query: &Query) -> Vec<(std::ops::Range<usize>, bool)> {
+        let pr = self.layout.partition_ranges(query);
+        let runs = self.layout.cell_runs(&pr);
+        let mut out: Vec<(std::ops::Range<usize>, bool)> = Vec::with_capacity(runs.len());
+        for (first_cell, last_cell, exact) in runs {
+            let start = self.cell_offsets[first_cell];
+            let end = self.cell_offsets[last_cell + 1];
+            if start == end {
+                continue;
+            }
+            // Merge with the previous range when physically contiguous and
+            // equally exact.
+            if let Some((prev, prev_exact)) = out.last_mut() {
+                if prev.end == start && *prev_exact == exact {
+                    prev.end = end;
+                    continue;
+                }
+            }
+            out.push((start..end, exact));
+        }
+        out
+    }
+}
+
+impl MultiDimIndex for FloodIndex {
+    fn name(&self) -> &str {
+        "Flood"
+    }
+
+    fn execute(&self, query: &Query) -> AggResult {
+        let mut acc = AggAccumulator::new(query.aggregation());
+        for (range, exact) in self.ranges_for(query) {
+            self.store.scan_range(range, query, exact, &mut acc);
+        }
+        acc.finish()
+    }
+
+    fn execute_with_stats(&self, query: &Query) -> (AggResult, IndexStats) {
+        self.store.reset_counters();
+        let result = self.execute(query);
+        let c = self.store.counters();
+        (
+            result,
+            IndexStats {
+                ranges_scanned: c.ranges,
+                points_scanned: c.points,
+                points_matched: c.matched,
+            },
+        )
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.layout.size_bytes() + self.cell_offsets.len() * std::mem::size_of::<usize>()
+    }
+
+    fn build_timing(&self) -> BuildTiming {
+        self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsunami_core::sample::SplitMix;
+    use tsunami_core::Predicate;
+
+    fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = SplitMix::new(seed);
+        let cols = (0..d)
+            .map(|dim| {
+                (0..n)
+                    .map(|_| rng.next_below(10_000) + dim as u64)
+                    .collect()
+            })
+            .collect();
+        Dataset::from_columns(cols).unwrap()
+    }
+
+    fn random_workload(d: usize, count: usize, seed: u64) -> Workload {
+        let mut rng = SplitMix::new(seed);
+        let mut qs = Vec::new();
+        for _ in 0..count {
+            let dim = (rng.next_below(d as u64)) as usize;
+            let lo = rng.next_below(9_000);
+            let hi = lo + rng.next_below(1_000) + 1;
+            qs.push(Query::count(vec![Predicate::range(dim, lo, hi).unwrap()]).unwrap());
+        }
+        Workload::new(qs)
+    }
+
+    #[test]
+    fn flood_matches_full_scan_oracle() {
+        let data = random_dataset(5_000, 3, 1);
+        let workload = random_workload(3, 30, 2);
+        let index = FloodIndex::build(&data, &workload, &CostModel::default(), &FloodConfig::fast());
+        for q in workload.queries() {
+            assert_eq!(index.execute(q), q.execute_full_scan(&data), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn flood_answers_multi_dim_and_unseen_queries() {
+        let data = random_dataset(3_000, 4, 3);
+        let workload = random_workload(4, 10, 4);
+        let index = FloodIndex::build(&data, &workload, &CostModel::default(), &FloodConfig::fast());
+        // Queries not in the training workload (multi-dimensional).
+        let q = Query::count(vec![
+            Predicate::range(0, 100, 5_000).unwrap(),
+            Predicate::range(2, 0, 2_500).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(index.execute(&q), q.execute_full_scan(&data));
+        // Empty-result query.
+        let q = Query::count(vec![Predicate::range(1, 50_000, 60_000).unwrap()]).unwrap();
+        assert_eq!(index.execute(&q), AggResult::Count(0));
+    }
+
+    #[test]
+    fn flood_sum_aggregation_is_correct() {
+        let data = random_dataset(2_000, 2, 7);
+        let workload = random_workload(2, 10, 8);
+        let index = FloodIndex::build(&data, &workload, &CostModel::default(), &FloodConfig::fast());
+        let q = Query::new(
+            vec![Predicate::range(0, 0, 5_000).unwrap()],
+            tsunami_core::Aggregation::Sum(1),
+        )
+        .unwrap();
+        assert_eq!(index.execute(&q), q.execute_full_scan(&data));
+    }
+
+    #[test]
+    fn stats_show_fewer_points_scanned_than_full_scan() {
+        let data = random_dataset(20_000, 2, 11);
+        let workload = random_workload(2, 40, 12);
+        let index = FloodIndex::build(&data, &workload, &CostModel::default(), &FloodConfig::fast());
+        let q = &workload.queries()[0];
+        let (_, stats) = index.execute_with_stats(q);
+        assert!(stats.points_scanned < data.len(), "grid should prune the scan");
+        assert!(stats.ranges_scanned >= 1);
+        assert!(stats.points_matched <= stats.points_scanned);
+    }
+
+    #[test]
+    fn explicit_partitions_build_and_report_cells() {
+        let data = random_dataset(1_000, 2, 21);
+        let index = FloodIndex::build_with_partitions(&data, &[8, 4]);
+        assert_eq!(index.num_cells(), 32);
+        assert_eq!(index.name(), "Flood");
+        assert!(index.size_bytes() > 0);
+        assert!(index.build_timing().optimize_secs == 0.0);
+        let q = Query::count(vec![Predicate::range(0, 0, 4_999).unwrap()]).unwrap();
+        assert_eq!(index.execute(&q), q.execute_full_scan(&data));
+    }
+
+    #[test]
+    fn empty_dataset_is_handled() {
+        let data = Dataset::from_columns(vec![vec![], vec![]]).unwrap();
+        let index = FloodIndex::build_with_partitions(&data, &[4, 4]);
+        let q = Query::count(vec![Predicate::range(0, 0, 10).unwrap()]).unwrap();
+        assert_eq!(index.execute(&q), AggResult::Count(0));
+    }
+}

@@ -1,0 +1,349 @@
+//! The uniform grid layout: per-dimension equi-depth partitions, cell
+//! numbering, and partition-range computation for queries.
+
+use tsunami_cdf::{CdfModel, HistogramCdf};
+use tsunami_core::{Dataset, Predicate, Query, Value};
+
+/// A Flood-style grid layout: every dimension partitioned independently,
+/// uniformly in its CDF.
+///
+/// Cell ids are row-major with the *last* dimension varying fastest, so cells
+/// adjacent along the last dimension are contiguous in physical storage and
+/// merge into a single cell range.
+#[derive(Debug, Clone)]
+pub struct GridLayout {
+    partitions: Vec<usize>,
+    models: Vec<HistogramCdf>,
+    /// Stride of each dimension in the cell numbering.
+    strides: Vec<usize>,
+    num_cells: usize,
+}
+
+/// The inclusive per-dimension partition ranges a query intersects, plus the
+/// sub-ranges that are fully contained in the filter (used for the
+/// exact-range scan optimization).
+#[derive(Debug, Clone)]
+pub struct PartitionRanges {
+    /// For each dimension, the inclusive `[lo, hi]` partition range the query
+    /// intersects.
+    pub intersecting: Vec<(usize, usize)>,
+    /// For each dimension, the inclusive partition range that is *fully
+    /// contained* in the query filter, or `None` if no partition is fully
+    /// contained. Unfiltered dimensions are fully contained everywhere.
+    pub exact: Vec<Option<(usize, usize)>>,
+}
+
+impl GridLayout {
+    /// Builds a layout over a dataset with the given per-dimension partition
+    /// counts (each at least 1).
+    ///
+    /// The *effective* partition count of a dimension may be lower than
+    /// requested when the data has fewer distinct equi-depth boundaries
+    /// (e.g. heavy duplicates); partitions are always aligned with the CDF
+    /// model's bucket boundaries so that partition membership and partition
+    /// value bounds agree exactly.
+    pub fn build(data: &Dataset, partitions: &[usize]) -> Self {
+        assert_eq!(partitions.len(), data.num_dims());
+        let models: Vec<HistogramCdf> = (0..data.num_dims())
+            .map(|d| HistogramCdf::build(data.column(d), partitions[d].max(1)))
+            .collect();
+        let effective: Vec<usize> = models.iter().map(HistogramCdf::num_buckets).collect();
+        Self::from_parts(effective, models)
+    }
+
+    /// Builds a layout from pre-computed CDF models. The partition counts
+    /// must equal each model's bucket count.
+    pub fn from_parts(partitions: Vec<usize>, models: Vec<HistogramCdf>) -> Self {
+        assert_eq!(partitions.len(), models.len());
+        debug_assert!(partitions
+            .iter()
+            .zip(&models)
+            .all(|(&p, m)| p == m.num_buckets()));
+        let d = partitions.len();
+        let mut strides = vec![1usize; d];
+        for i in (0..d.saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * partitions[i + 1];
+        }
+        let num_cells = partitions.iter().product::<usize>().max(1);
+        Self {
+            partitions,
+            models,
+            strides,
+            num_cells,
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn num_dims(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Per-dimension partition counts.
+    pub fn partitions(&self) -> &[usize] {
+        &self.partitions
+    }
+
+    /// Total number of cells (product of partition counts).
+    pub fn num_cells(&self) -> usize {
+        self.num_cells
+    }
+
+    /// The CDF model of a dimension.
+    pub fn model(&self, dim: usize) -> &HistogramCdf {
+        &self.models[dim]
+    }
+
+    /// Partition index of a value in a dimension.
+    #[inline]
+    pub fn partition_of(&self, dim: usize, v: Value) -> usize {
+        self.models[dim].bucket_of(v)
+    }
+
+    /// Cell id of a point.
+    pub fn cell_of(&self, point: &[Value]) -> usize {
+        debug_assert_eq!(point.len(), self.num_dims());
+        let mut cell = 0usize;
+        for d in 0..self.num_dims() {
+            cell += self.partition_of(d, point[d]) * self.strides[d];
+        }
+        cell
+    }
+
+    /// Cell id from explicit per-dimension partition indices.
+    pub fn cell_from_partitions(&self, parts: &[usize]) -> usize {
+        parts
+            .iter()
+            .zip(&self.strides)
+            .map(|(&p, &s)| p * s)
+            .sum()
+    }
+
+    /// Whether partition `p` of dimension `dim` is fully contained in the
+    /// predicate's value range (every possible value in the partition
+    /// matches the filter).
+    pub fn partition_fully_contained(&self, dim: usize, p: usize, pred: &Predicate) -> bool {
+        let b = self.models[dim].boundaries();
+        if p + 1 >= b.len() {
+            // Values can exceed the last boundary only if they were unseen at
+            // build time; be conservative.
+            return false;
+        }
+        pred.lo <= b[p] && b[p + 1] - 1 <= pred.hi
+    }
+
+    /// Computes the per-dimension partition ranges a query intersects and the
+    /// fully-contained (exact) sub-ranges.
+    pub fn partition_ranges(&self, query: &Query) -> PartitionRanges {
+        let d = self.num_dims();
+        let mut intersecting = Vec::with_capacity(d);
+        let mut exact = Vec::with_capacity(d);
+        for dim in 0..d {
+            let p = self.partitions[dim];
+            match query.predicate_on(dim) {
+                None => {
+                    intersecting.push((0, p - 1));
+                    exact.push(Some((0, p - 1)));
+                }
+                Some(pred) => {
+                    let (lo, hi) = self.models[dim].bucket_range(pred.lo, pred.hi);
+                    intersecting.push((lo, hi));
+                    // Fully-contained subrange: shrink from both ends.
+                    let mut elo = lo;
+                    let mut ehi = hi;
+                    while elo <= ehi && !self.partition_fully_contained(dim, elo, pred) {
+                        elo += 1;
+                    }
+                    while ehi >= elo && ehi > 0 && !self.partition_fully_contained(dim, ehi, pred) {
+                        ehi -= 1;
+                    }
+                    if elo <= ehi && self.partition_fully_contained(dim, elo, pred) {
+                        exact.push(Some((elo, ehi)));
+                    } else {
+                        exact.push(None);
+                    }
+                }
+            }
+        }
+        PartitionRanges { intersecting, exact }
+    }
+
+    /// Enumerates the intersecting cells of a query as `(first_cell,
+    /// last_cell, exact)` runs that are contiguous in cell-id space (runs
+    /// along the last dimension).
+    pub fn cell_runs(&self, ranges: &PartitionRanges) -> Vec<(usize, usize, bool)> {
+        let d = self.num_dims();
+        if d == 0 {
+            return vec![];
+        }
+        let last = d - 1;
+        let (last_lo, last_hi) = ranges.intersecting[last];
+        let last_exact_full = match ranges.exact[last] {
+            Some((elo, ehi)) => elo <= last_lo && last_hi <= ehi,
+            None => false,
+        };
+
+        // Iterate the Cartesian product of the prefix dimensions.
+        let mut runs = Vec::new();
+        let mut current: Vec<usize> = ranges.intersecting[..last].iter().map(|&(lo, _)| lo).collect();
+        loop {
+            // Base cell id for this prefix.
+            let mut base = 0usize;
+            let mut prefix_exact = true;
+            for dim in 0..last {
+                base += current[dim] * self.strides[dim];
+                prefix_exact &= match ranges.exact[dim] {
+                    Some((elo, ehi)) => current[dim] >= elo && current[dim] <= ehi,
+                    None => false,
+                };
+            }
+            let first = base + last_lo * self.strides[last];
+            let last_cell = base + last_hi * self.strides[last];
+            runs.push((first, last_cell, prefix_exact && last_exact_full));
+
+            // Advance the prefix odometer.
+            if last == 0 {
+                break;
+            }
+            let mut dim = last - 1;
+            loop {
+                current[dim] += 1;
+                if current[dim] <= ranges.intersecting[dim].1 {
+                    break;
+                }
+                current[dim] = ranges.intersecting[dim].0;
+                if dim == 0 {
+                    return runs;
+                }
+                dim -= 1;
+            }
+        }
+        runs
+    }
+
+    /// Size of the layout's models and metadata in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.models.iter().map(CdfModel::size_bytes).sum::<usize>()
+            + self.partitions.len() * std::mem::size_of::<usize>() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsunami_core::Predicate;
+
+    fn dataset() -> Dataset {
+        // 2 dims, 1000 rows: dim0 uniform 0..1000, dim1 uniform 0..500
+        Dataset::from_columns(vec![
+            (0..1000u64).collect(),
+            (0..1000u64).map(|v| v / 2).collect(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn cell_numbering_is_row_major_last_dim_fastest() {
+        let layout = GridLayout::build(&dataset(), &[4, 5]);
+        assert_eq!(layout.num_cells(), 20);
+        assert_eq!(layout.cell_from_partitions(&[0, 0]), 0);
+        assert_eq!(layout.cell_from_partitions(&[0, 1]), 1);
+        assert_eq!(layout.cell_from_partitions(&[1, 0]), 5);
+        assert_eq!(layout.cell_from_partitions(&[3, 4]), 19);
+    }
+
+    #[test]
+    fn partitions_are_balanced_on_uncorrelated_data() {
+        // Use a scrambled second dimension so the two dims are uncorrelated;
+        // on correlated data a uniform grid produces unequal cells, which is
+        // exactly the Flood limitation Tsunami addresses.
+        let ds = Dataset::from_columns(vec![
+            (0..1000u64).collect(),
+            (0..1000u64).map(|v| (v * 13) % 1000).collect(),
+        ])
+        .unwrap();
+        let layout = GridLayout::build(&ds, &[4, 4]);
+        let mut counts = vec![0usize; 16];
+        for r in 0..ds.len() {
+            counts[layout.cell_of(&ds.row(r))] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max <= min * 2 + 10, "cells should be roughly equal: {counts:?}");
+    }
+
+    #[test]
+    fn partition_ranges_cover_query() {
+        let ds = dataset();
+        let layout = GridLayout::build(&ds, &[10, 10]);
+        let q = Query::count(vec![Predicate::range(0, 250, 749).unwrap()]).unwrap();
+        let pr = layout.partition_ranges(&q);
+        // dim0 filtered: partitions roughly 2..7
+        let (lo, hi) = pr.intersecting[0];
+        assert!(lo <= 3 && hi >= 6);
+        // dim1 unfiltered: full range and fully exact.
+        assert_eq!(pr.intersecting[1], (0, 9));
+        assert_eq!(pr.exact[1], Some((0, 9)));
+        // Exact subrange of dim0 is inside the intersecting range.
+        if let Some((elo, ehi)) = pr.exact[0] {
+            assert!(elo >= lo && ehi <= hi);
+        }
+    }
+
+    #[test]
+    fn cell_runs_enumerate_cartesian_product() {
+        let ds = dataset();
+        let layout = GridLayout::build(&ds, &[4, 6]);
+        let q = Query::count(vec![
+            Predicate::range(0, 0, 499).unwrap(),
+            Predicate::range(1, 0, 124).unwrap(),
+        ])
+        .unwrap();
+        let pr = layout.partition_ranges(&q);
+        let runs = layout.cell_runs(&pr);
+        // One run per intersecting partition of dim0.
+        let (lo0, hi0) = pr.intersecting[0];
+        assert_eq!(runs.len(), hi0 - lo0 + 1);
+        // Runs are within the cell space.
+        for (first, last, _) in &runs {
+            assert!(first <= last);
+            assert!(*last < layout.num_cells());
+        }
+    }
+
+    #[test]
+    fn exactness_requires_full_containment() {
+        let ds = dataset();
+        let layout = GridLayout::build(&ds, &[1, 1]);
+        // Whole-space query: the single cell is exact.
+        let q = Query::count(vec![]).unwrap();
+        let pr = layout.partition_ranges(&q);
+        let runs = layout.cell_runs(&pr);
+        assert_eq!(runs, vec![(0, 0, true)]);
+
+        // Narrow query: the single cell intersects but is not exact.
+        let q = Query::count(vec![Predicate::range(0, 10, 20).unwrap()]).unwrap();
+        let pr = layout.partition_ranges(&q);
+        let runs = layout.cell_runs(&pr);
+        assert_eq!(runs, vec![(0, 0, false)]);
+    }
+
+    #[test]
+    fn single_dimension_layout_works() {
+        let ds = Dataset::from_columns(vec![(0..100u64).collect()]).unwrap();
+        let layout = GridLayout::build(&ds, &[8]);
+        let q = Query::count(vec![Predicate::range(0, 25, 74).unwrap()]).unwrap();
+        let pr = layout.partition_ranges(&q);
+        let runs = layout.cell_runs(&pr);
+        assert_eq!(runs.len(), 1);
+        let (first, last, _) = runs[0];
+        assert!(first <= last && last < 8);
+    }
+
+    #[test]
+    fn size_bytes_scales_with_partitions() {
+        let ds = dataset();
+        let small = GridLayout::build(&ds, &[2, 2]).size_bytes();
+        let large = GridLayout::build(&ds, &[64, 64]).size_bytes();
+        assert!(large > small);
+    }
+}

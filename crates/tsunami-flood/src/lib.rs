@@ -1,0 +1,28 @@
+//! Flood: the original in-memory learned multi-dimensional index (Nathan et
+//! al., SIGMOD 2020), reproduced here as Tsunami's primary baseline (§2.2).
+//!
+//! Flood models the CDF of every dimension, divides each dimension `i` into
+//! `p_i` equal-mass partitions, and lays the data out in the grid formed by
+//! the Cartesian product of those partitions. Query processing finds the
+//! intersecting partitions per dimension with the CDF models, takes the
+//! Cartesian product to obtain intersecting cells, looks up their physical
+//! ranges in a cell table, and scans.
+//!
+//! Per the paper's evaluation setup (§6.1), this implementation uses
+//! Tsunami's analytic cost model for layout optimization and performs
+//! refinement with plain scans rather than per-cell models.
+//!
+//! The [`layout::GridLayout`] machinery is shared conceptually with
+//! Tsunami's Augmented Grid, which generalizes it with correlation-aware
+//! partitioning strategies.
+
+pub mod config;
+pub mod estimator;
+pub mod index;
+pub mod layout;
+pub mod optimizer;
+
+pub use config::FloodConfig;
+pub use index::FloodIndex;
+pub use layout::GridLayout;
+pub use optimizer::optimize_partitions;

@@ -1,0 +1,595 @@
+//! Optimizing an Augmented Grid's layout `(S, P)` (§5.3).
+//!
+//! The search space of skeletons is `O(d^d)`, so Tsunami uses **Adaptive
+//! Gradient Descent (AGD)**: initialize `(S0, P0)` with heuristics, then
+//! alternate (a) a numeric gradient-descent step over the partition counts
+//! `P` and (b) a local search over skeletons one hop away from the current
+//! one, both scored by the analytic cost model over a sample of the data and
+//! the workload.
+//!
+//! For the Fig 12b comparison, this module also implements plain Gradient
+//! Descent (no skeleton search), AGD with naive initialization (start from
+//! the all-independent skeleton), and a black-box basin-hopping baseline.
+
+use super::skeleton::{DimStrategy, Skeleton};
+use super::AugmentedGrid;
+use crate::config::TsunamiConfig;
+use tsunami_core::sample::{sample_dataset, SplitMix};
+use tsunami_core::{CostFeatures, CostModel, Dataset, Query, Workload};
+
+/// Which optimization algorithm to use for the Augmented Grid (Fig 12b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerKind {
+    /// Adaptive Gradient Descent with heuristic initialization (the paper's
+    /// default).
+    Adaptive,
+    /// Gradient descent over `P` only; the skeleton never changes.
+    GradientOnly,
+    /// AGD started from the all-independent (naive) skeleton.
+    AdaptiveNaiveInit,
+    /// Basin-hopping black-box search over `(S, P)`.
+    BlackBox,
+}
+
+/// The outcome of layout optimization.
+#[derive(Debug, Clone)]
+pub struct OptimizedLayout {
+    /// Chosen skeleton.
+    pub skeleton: Skeleton,
+    /// Chosen per-dimension partition counts.
+    pub partitions: Vec<usize>,
+    /// Predicted average query cost (cost-model units) of the chosen layout.
+    pub predicted_cost: f64,
+    /// Number of candidate layouts evaluated.
+    pub evaluations: usize,
+}
+
+/// Evaluates the predicted average query cost of a candidate layout by
+/// building the Augmented Grid over the *sample* and pricing each query's
+/// scan with the cost model, scaling scanned points to the full data size.
+pub fn predicted_cost(
+    sample: &Dataset,
+    total_rows: usize,
+    skeleton: &Skeleton,
+    partitions: &[usize],
+    workload: &Workload,
+    cost: &CostModel,
+) -> f64 {
+    if workload.is_empty() || sample.is_empty() {
+        return 0.0;
+    }
+    let (grid, _perm) = AugmentedGrid::build(sample, skeleton, partitions);
+    let scale = total_rows as f64 / sample.len() as f64;
+    let mut total = 0.0;
+    for q in workload.queries() {
+        total += cost.predict(&query_features(&grid, q, scale));
+    }
+    total / workload.len() as f64
+}
+
+fn query_features(grid: &AugmentedGrid, q: &Query, scale: f64) -> CostFeatures {
+    let ranges = grid.ranges_for(q);
+    let scanned: usize = ranges.iter().map(|(r, _)| r.len()).sum();
+    CostFeatures {
+        cell_ranges: ranges.len().max(1) as f64,
+        scanned_points: scanned as f64 * scale,
+        filtered_dims: q.num_filtered_dims().max(1) as f64,
+    }
+}
+
+/// Heuristically initializes the skeleton (§5.3.2, step 1): for each
+/// dimension `X`, use a functional mapping to `Y` if the fitted error bound
+/// is below `fm_error_fraction` of `Y`'s domain; else partition with
+/// `CDF(X | Y)` if more than `ccdf_empty_fraction` of the cells in the `XY`
+/// hyperplane would be empty; else partition independently.
+pub fn heuristic_skeleton(sample: &Dataset, config: &TsunamiConfig) -> Skeleton {
+    let d = sample.num_dims();
+    let mut strategies = vec![DimStrategy::Independent; d];
+    if sample.len() < 16 {
+        return Skeleton::new_unchecked(strategies);
+    }
+
+    for dim in 0..d {
+        // Candidate targets/bases, best-first.
+        let mut best_fm: Option<(usize, f64)> = None;
+        let mut best_ccdf: Option<(usize, f64)> = None;
+        for other in 0..d {
+            if other == dim {
+                continue;
+            }
+            // Functional mapping dim -> other (other is the target).
+            if let Some(fm) = tsunami_cdf::FunctionalMapping::fit(sample.column(dim), sample.column(other))
+            {
+                let domain = sample.domain(other).unwrap_or((0, 1));
+                let width = (domain.1 - domain.0).max(1) as f64;
+                let frac = fm.error_span() / width;
+                if frac < config.fm_error_fraction
+                    && best_fm.map_or(true, |(_, f)| frac < f)
+                {
+                    best_fm = Some((other, frac));
+                }
+            }
+            // Conditional CDF candidate: fraction of empty cells in the
+            // (dim, other) hyperplane under independent partitioning.
+            let empty = empty_cell_fraction(sample, dim, other, 16);
+            if empty > config.ccdf_empty_fraction && best_ccdf.map_or(true, |(_, e)| empty > e) {
+                best_ccdf = Some((other, empty));
+            }
+        }
+        if let Some((target, _)) = best_fm {
+            strategies[dim] = DimStrategy::Mapped { target };
+        } else if let Some((base, _)) = best_ccdf {
+            strategies[dim] = DimStrategy::Conditional { base };
+        }
+    }
+
+    repair_skeleton(strategies)
+}
+
+/// Fraction of cells in the `dim x other` hyperplane (with `p x p`
+/// equi-depth partitions) that contain no sample points. High emptiness means
+/// the two dimensions are correlated and a conditional CDF would help.
+pub fn empty_cell_fraction(sample: &Dataset, dim: usize, other: usize, p: usize) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    use tsunami_cdf::CdfModel;
+    let ma = tsunami_cdf::HistogramCdf::build(sample.column(dim), p);
+    let mb = tsunami_cdf::HistogramCdf::build(sample.column(other), p);
+    let mut occupied = vec![false; p * p];
+    for r in 0..sample.len() {
+        let a = ma.partition(sample.get(r, dim), p);
+        let b = mb.partition(sample.get(r, other), p);
+        occupied[a * p + b] = true;
+    }
+    let filled = occupied.iter().filter(|&&o| o).count();
+    1.0 - filled as f64 / (p * p) as f64
+}
+
+/// Repairs an arbitrary strategy assignment into a valid skeleton by
+/// downgrading offending dimensions to Independent (processing in order, so
+/// earlier dimensions win conflicts).
+pub fn repair_skeleton(mut strategies: Vec<DimStrategy>) -> Skeleton {
+    let d = strategies.len();
+    for dim in 0..d {
+        match strategies[dim] {
+            DimStrategy::Independent => {}
+            DimStrategy::Mapped { target } => {
+                if target >= d
+                    || target == dim
+                    || matches!(strategies[target], DimStrategy::Mapped { .. })
+                {
+                    strategies[dim] = DimStrategy::Independent;
+                }
+            }
+            DimStrategy::Conditional { base } => {
+                if base >= d || base == dim || !matches!(strategies[base], DimStrategy::Independent) {
+                    strategies[dim] = DimStrategy::Independent;
+                }
+            }
+        }
+    }
+    // Ensure at least one grid dimension.
+    if !strategies.iter().any(DimStrategy::is_grid_dim) {
+        if let Some(first) = strategies.first_mut() {
+            *first = DimStrategy::Independent;
+        }
+    }
+    Skeleton::new(strategies.clone()).unwrap_or_else(|| {
+        // Extremely defensive fallback: all independent is always valid for d >= 1.
+        Skeleton::all_independent(strategies.len().max(1))
+    })
+}
+
+/// Initializes partition counts proportionally to the workload's average
+/// filter selectivity per grid dimension (§5.3.2, step 1), within the cell
+/// budget.
+pub fn initial_partitions(
+    sample: &Dataset,
+    skeleton: &Skeleton,
+    workload: &Workload,
+    max_cells: usize,
+) -> Vec<usize> {
+    let d = sample.num_dims();
+    let grid_dims = skeleton.grid_dims();
+    let mut weights = vec![0.0f64; d];
+    for &dim in &grid_dims {
+        let mut sel_sum = 0.0;
+        let mut count = 0usize;
+        for q in workload.queries() {
+            if q.predicate_on(dim).is_some() {
+                sel_sum += q.dim_selectivity(sample, dim);
+                count += 1;
+            }
+        }
+        let avg = if count == 0 { 1.0 } else { sel_sum / count as f64 };
+        let freq = count as f64 / workload.len().max(1) as f64;
+        weights[dim] = (1.0 / avg.max(1e-3)).ln().max(0.0) * freq + 1e-6;
+    }
+    let total_w: f64 = grid_dims.iter().map(|&d2| weights[d2]).sum();
+    let log_budget = (max_cells.max(2) as f64).ln();
+    let mut partitions = vec![1usize; d];
+    if total_w > 0.0 {
+        for &dim in &grid_dims {
+            let share = weights[dim] / total_w;
+            partitions[dim] = ((share * log_budget).exp().round() as usize).clamp(1, 4096);
+        }
+    }
+    clamp_partitions(&mut partitions, &grid_dims, max_cells);
+    partitions
+}
+
+fn clamp_partitions(partitions: &mut [usize], grid_dims: &[usize], max_cells: usize) {
+    let max_cells = max_cells.max(1);
+    loop {
+        let product: usize = grid_dims
+            .iter()
+            .fold(1usize, |acc, &d| acc.saturating_mul(partitions[d]));
+        if product <= max_cells {
+            return;
+        }
+        if let Some(&max_dim) = grid_dims.iter().max_by_key(|&&d| partitions[d]) {
+            if partitions[max_dim] <= 1 {
+                return;
+            }
+            partitions[max_dim] = (partitions[max_dim] * 3 / 4).max(1);
+        } else {
+            return;
+        }
+    }
+}
+
+/// Optimizes the Augmented Grid layout for a dataset and workload.
+pub fn optimize_layout(
+    data: &Dataset,
+    workload: &Workload,
+    cost: &CostModel,
+    config: &TsunamiConfig,
+    kind: OptimizerKind,
+) -> OptimizedLayout {
+    let sample = sample_dataset(data, config.optimizer_sample_size, config.seed);
+    let total_rows = data.len();
+    let mut evaluations = 0usize;
+
+    // Cap the number of queries used for cost evaluation: optimization cost
+    // grows with |workload| x |candidate layouts|, and a modest subsample is
+    // enough to rank layouts.
+    const MAX_EVAL_QUERIES: usize = 64;
+    let workload_small;
+    let workload = if workload.len() > MAX_EVAL_QUERIES {
+        let step = workload.len().div_ceil(MAX_EVAL_QUERIES);
+        workload_small = Workload::new(
+            workload
+                .queries()
+                .iter()
+                .step_by(step)
+                .cloned()
+                .collect::<Vec<_>>(),
+        );
+        &workload_small
+    } else {
+        workload
+    };
+
+    let mut skeleton = match kind {
+        OptimizerKind::AdaptiveNaiveInit => Skeleton::all_independent(data.num_dims()),
+        _ => heuristic_skeleton(&sample, config),
+    };
+    let mut partitions = initial_partitions(&sample, &skeleton, workload, config.max_cells_per_grid);
+    let mut best_cost = predicted_cost(&sample, total_rows, &skeleton, &partitions, workload, cost);
+    evaluations += 1;
+
+    if workload.is_empty() || sample.is_empty() {
+        return OptimizedLayout {
+            skeleton,
+            partitions,
+            predicted_cost: best_cost,
+            evaluations,
+        };
+    }
+
+    match kind {
+        OptimizerKind::BlackBox => {
+            let mut rng = SplitMix::new(config.seed ^ 0xB1ACB0);
+            for _ in 0..config.blackbox_iters {
+                let (cand_s, mut cand_p) =
+                    random_perturbation(&skeleton, &partitions, &mut rng, data.num_dims());
+                clamp_partitions(&mut cand_p, &cand_s.grid_dims(), config.max_cells_per_grid);
+                let c = predicted_cost(&sample, total_rows, &cand_s, &cand_p, workload, cost);
+                evaluations += 1;
+                if c < best_cost {
+                    best_cost = c;
+                    skeleton = cand_s;
+                    partitions = cand_p;
+                }
+            }
+        }
+        _ => {
+            let search_skeletons =
+                matches!(kind, OptimizerKind::Adaptive | OptimizerKind::AdaptiveNaiveInit);
+            for _ in 0..config.optimizer_max_iters {
+                let mut improved = false;
+
+                // --- Step 2: gradient step over P ---
+                let grid_dims = skeleton.grid_dims();
+                for &dim in &grid_dims {
+                    let candidates = [
+                        (partitions[dim] as f64 * 1.5).ceil() as usize,
+                        (partitions[dim] as f64 * 0.67).floor().max(1.0) as usize,
+                        partitions[dim] + 1,
+                        partitions[dim].saturating_sub(1).max(1),
+                    ];
+                    for &cand in &candidates {
+                        if cand == partitions[dim] {
+                            continue;
+                        }
+                        let mut trial = partitions.clone();
+                        trial[dim] = cand;
+                        clamp_partitions(&mut trial, &grid_dims, config.max_cells_per_grid);
+                        let c = predicted_cost(&sample, total_rows, &skeleton, &trial, workload, cost);
+                        evaluations += 1;
+                        if c < best_cost * 0.999 {
+                            best_cost = c;
+                            partitions = trial;
+                            improved = true;
+                        }
+                    }
+                }
+
+                // --- Step 3: local search over skeletons one hop away ---
+                if search_skeletons {
+                    let mut best_neighbor: Option<(Skeleton, Vec<usize>, f64)> = None;
+                    for neighbor in skeleton.neighbors() {
+                        let mut trial_p = partitions.clone();
+                        // Dimensions that just joined the grid get a default
+                        // partition count; dimensions that left it drop to 1.
+                        for dim in 0..data.num_dims() {
+                            let was_grid = skeleton.strategy(dim).is_grid_dim();
+                            let is_grid = neighbor.strategy(dim).is_grid_dim();
+                            if is_grid && !was_grid {
+                                trial_p[dim] = 8;
+                            } else if !is_grid {
+                                trial_p[dim] = 1;
+                            }
+                        }
+                        clamp_partitions(&mut trial_p, &neighbor.grid_dims(), config.max_cells_per_grid);
+                        let c =
+                            predicted_cost(&sample, total_rows, &neighbor, &trial_p, workload, cost);
+                        evaluations += 1;
+                        if c < best_cost * 0.999
+                            && best_neighbor.as_ref().map_or(true, |&(_, _, bc)| c < bc)
+                        {
+                            best_neighbor = Some((neighbor, trial_p, c));
+                        }
+                    }
+                    if let Some((s, p, c)) = best_neighbor {
+                        skeleton = s;
+                        partitions = p;
+                        best_cost = c;
+                        improved = true;
+                    }
+                }
+
+                if !improved {
+                    break;
+                }
+            }
+        }
+    }
+
+    OptimizedLayout {
+        skeleton,
+        partitions,
+        predicted_cost: best_cost,
+        evaluations,
+    }
+}
+
+/// One basin-hopping perturbation: change one dimension's strategy to a
+/// random valid alternative and jitter all partition counts.
+fn random_perturbation(
+    skeleton: &Skeleton,
+    partitions: &[usize],
+    rng: &mut SplitMix,
+    d: usize,
+) -> (Skeleton, Vec<usize>) {
+    let dim = rng.next_below(d as u64) as usize;
+    let strategy = match rng.next_below(3) {
+        0 => DimStrategy::Independent,
+        1 => {
+            let target = rng.next_below(d as u64) as usize;
+            DimStrategy::Mapped {
+                target: if target == dim { (target + 1) % d } else { target },
+            }
+        }
+        _ => {
+            let base = rng.next_below(d as u64) as usize;
+            DimStrategy::Conditional {
+                base: if base == dim { (base + 1) % d } else { base },
+            }
+        }
+    };
+    let candidate = skeleton.with_strategy(dim, strategy);
+    let new_skeleton = if candidate.is_valid() {
+        candidate
+    } else {
+        repair_skeleton(candidate.strategies().to_vec())
+    };
+    let new_partitions: Vec<usize> = partitions
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            if !new_skeleton.strategy(i).is_grid_dim() {
+                1
+            } else {
+                let factor = 0.5 + rng.next_f64();
+                ((p as f64 * factor).round() as usize).clamp(1, 4096)
+            }
+        })
+        .collect();
+    (new_skeleton, new_partitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsunami_core::sample::SplitMix;
+    use tsunami_core::Predicate;
+
+    /// x uniform; y tightly (linearly) correlated with x; z generically
+    /// correlated with x; w independent.
+    fn correlated_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = SplitMix::new(seed);
+        let x: Vec<u64> = (0..n).map(|_| rng.next_below(100_000)).collect();
+        let y: Vec<u64> = x.iter().map(|&v| 3 * v + 1_000 + (v % 53)).collect();
+        let z: Vec<u64> = x.iter().map(|&v| v / 3 + (v * 7919) % 15_000).collect();
+        let w: Vec<u64> = (0..n).map(|_| rng.next_below(100_000)).collect();
+        Dataset::from_columns(vec![x, y, z, w]).unwrap()
+    }
+
+    fn workload(n: usize, seed: u64) -> Workload {
+        let mut rng = SplitMix::new(seed);
+        Workload::new(
+            (0..n)
+                .map(|i| {
+                    let lo = rng.next_below(80_000);
+                    match i % 3 {
+                        0 => Query::count(vec![Predicate::range(0, lo, lo + 5_000).unwrap()]).unwrap(),
+                        1 => Query::count(vec![
+                            Predicate::range(1, 3 * lo, 3 * (lo + 5_000)).unwrap(),
+                            Predicate::range(3, lo, lo + 30_000).unwrap(),
+                        ])
+                        .unwrap(),
+                        _ => Query::count(vec![
+                            Predicate::range(2, lo / 3, lo / 3 + 8_000).unwrap(),
+                            Predicate::range(0, lo, lo + 20_000).unwrap(),
+                        ])
+                        .unwrap(),
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn heuristic_skeleton_detects_tight_and_generic_correlation() {
+        let data = correlated_data(4_000, 91);
+        let sample = sample_dataset(&data, 1_000, 1);
+        let skeleton = heuristic_skeleton(&sample, &TsunamiConfig::fast());
+        assert!(skeleton.is_valid());
+        // Dimension 1 (tightly correlated with 0) should be mapped or at
+        // least not independent; dimension 3 (independent) stays independent.
+        assert!(
+            skeleton.strategy(1) != DimStrategy::Independent,
+            "dim 1 should exploit its correlation, got {skeleton}"
+        );
+        assert_eq!(skeleton.strategy(3), DimStrategy::Independent);
+    }
+
+    #[test]
+    fn empty_cell_fraction_flags_correlated_pairs() {
+        let data = correlated_data(4_000, 92);
+        let corr = empty_cell_fraction(&data, 1, 0, 16);
+        let indep = empty_cell_fraction(&data, 3, 0, 16);
+        assert!(corr > 0.5, "correlated pair should leave many empty cells: {corr}");
+        assert!(indep < 0.3, "independent pair should fill most cells: {indep}");
+    }
+
+    #[test]
+    fn repair_skeleton_fixes_invalid_assignments() {
+        // dim0 mapped to dim1, dim1 mapped to dim0: the second mapping must
+        // be downgraded.
+        let s = repair_skeleton(vec![
+            DimStrategy::Mapped { target: 1 },
+            DimStrategy::Mapped { target: 0 },
+            DimStrategy::Conditional { base: 0 },
+        ]);
+        assert!(s.is_valid());
+        // Everything mapped -> repaired to keep at least one grid dim.
+        let s = repair_skeleton(vec![DimStrategy::Mapped { target: 1 }, DimStrategy::Mapped { target: 0 }]);
+        assert!(s.is_valid());
+        assert!(!s.grid_dims().is_empty());
+    }
+
+    #[test]
+    fn agd_does_not_regress_from_initialization() {
+        let data = correlated_data(5_000, 93);
+        let w = workload(30, 94);
+        let cost = CostModel::default();
+        let config = TsunamiConfig::fast();
+        let sample = sample_dataset(&data, config.optimizer_sample_size, config.seed);
+        let init_s = heuristic_skeleton(&sample, &config);
+        let init_p = initial_partitions(&sample, &init_s, &w, config.max_cells_per_grid);
+        let init_cost = predicted_cost(&sample, data.len(), &init_s, &init_p, &w, &cost);
+
+        let opt = optimize_layout(&data, &w, &cost, &config, OptimizerKind::Adaptive);
+        assert!(opt.predicted_cost <= init_cost * 1.001);
+        assert!(opt.skeleton.is_valid());
+        assert!(opt.evaluations > 1);
+    }
+
+    #[test]
+    fn agd_beats_or_matches_plain_gradient_descent() {
+        let data = correlated_data(5_000, 95);
+        let w = workload(30, 96);
+        let cost = CostModel::default();
+        let config = TsunamiConfig::fast();
+        let agd = optimize_layout(&data, &w, &cost, &config, OptimizerKind::Adaptive);
+        let gd = optimize_layout(&data, &w, &cost, &config, OptimizerKind::GradientOnly);
+        assert!(agd.predicted_cost <= gd.predicted_cost * 1.05);
+    }
+
+    #[test]
+    fn naive_init_agd_still_finds_a_valid_low_cost_layout() {
+        let data = correlated_data(4_000, 97);
+        let w = workload(24, 98);
+        let cost = CostModel::default();
+        let config = TsunamiConfig::fast();
+        let agd_ni = optimize_layout(&data, &w, &cost, &config, OptimizerKind::AdaptiveNaiveInit);
+        assert!(agd_ni.skeleton.is_valid());
+        assert!(agd_ni.predicted_cost.is_finite());
+    }
+
+    #[test]
+    fn blackbox_runs_within_iteration_budget() {
+        let data = correlated_data(3_000, 99);
+        let w = workload(18, 100);
+        let config = TsunamiConfig::fast();
+        let bb = optimize_layout(&data, &w, &CostModel::default(), &config, OptimizerKind::BlackBox);
+        assert!(bb.skeleton.is_valid());
+        // Initial evaluation + one per basin-hopping iteration.
+        assert!(bb.evaluations <= config.blackbox_iters + 1);
+    }
+
+    #[test]
+    fn initial_partitions_respect_cell_budget_and_grid_dims() {
+        let data = correlated_data(2_000, 101);
+        let sample = sample_dataset(&data, 500, 1);
+        let skeleton = Skeleton::new(vec![
+            DimStrategy::Independent,
+            DimStrategy::Mapped { target: 0 },
+            DimStrategy::Conditional { base: 0 },
+            DimStrategy::Independent,
+        ])
+        .unwrap();
+        let w = workload(20, 102);
+        let p = initial_partitions(&sample, &skeleton, &w, 1 << 10);
+        assert_eq!(p[1], 1, "mapped dims get no partitions");
+        let cells: usize = skeleton.grid_dims().iter().map(|&d| p[d]).product();
+        assert!(cells <= 1 << 10);
+    }
+
+    #[test]
+    fn empty_workload_short_circuits() {
+        let data = correlated_data(1_000, 103);
+        let opt = optimize_layout(
+            &data,
+            &Workload::default(),
+            &CostModel::default(),
+            &TsunamiConfig::fast(),
+            OptimizerKind::Adaptive,
+        );
+        assert_eq!(opt.evaluations, 1);
+        assert!(opt.skeleton.is_valid());
+    }
+}

@@ -1,0 +1,150 @@
+//! Configuration knobs for building a Tsunami index.
+//!
+//! Defaults follow the paper: 128 histogram bins for skew computation, a
+//! DBSCAN eps of 0.2 for query-type clustering, a minimum skew reduction of
+//! 5% of |Q| to accept a Grid Tree split, a minimum region population of 1%
+//! of the points/queries, and a 10% tolerance when merging adjacent covering
+//! nodes of the skew tree (§4.3). Augmented Grid heuristics use a 10%
+//! error-bound threshold for functional mappings and a 25% empty-cell
+//! threshold for conditional CDFs (§5.3.2).
+
+use crate::augmented_grid::OptimizerKind;
+
+/// Which components of Tsunami are enabled — used for the Fig 12a drill-down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexVariant {
+    /// Full Tsunami: Grid Tree + Augmented Grid per region.
+    Full,
+    /// Grid Tree only: each region is indexed with a Flood-style grid
+    /// (independent CDFs only).
+    GridTreeOnly,
+    /// Augmented Grid only: a single Augmented Grid over the whole space.
+    AugmentedGridOnly,
+}
+
+/// Configuration for [`crate::TsunamiIndex::build_with_config`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsunamiConfig {
+    /// Which components to enable (Fig 12a ablation).
+    pub variant: IndexVariant,
+    /// Optimizer used for each Augmented Grid (Fig 12b comparison).
+    pub optimizer: OptimizerKind,
+
+    // --- Grid Tree parameters (§4.3) ---
+    /// Number of histogram bins used to approximate query PDFs.
+    pub skew_bins: usize,
+    /// DBSCAN eps for query-type clustering over selectivity embeddings.
+    pub dbscan_eps: f64,
+    /// Minimum number of queries for a DBSCAN core point.
+    pub dbscan_min_pts: usize,
+    /// A split is accepted only if the best skew reduction is at least this
+    /// fraction of the number of intersecting queries.
+    pub min_skew_reduction_fraction: f64,
+    /// A node is a leaf if it has fewer than this fraction of all points.
+    pub min_region_point_fraction: f64,
+    /// A node is a leaf if it intersects fewer than this fraction of all queries.
+    pub min_region_query_fraction: f64,
+    /// Adjacent covering-set nodes are merged if the merged skew is at most
+    /// `(1 + merge_tolerance)` times the sum of their skews.
+    pub merge_tolerance: f64,
+    /// Hard cap on Grid Tree depth (safety bound, not from the paper).
+    pub max_tree_depth: usize,
+
+    // --- Augmented Grid parameters (§5.3) ---
+    /// Functional mapping is used when its error span is below this fraction
+    /// of the target dimension's domain.
+    pub fm_error_fraction: f64,
+    /// Conditional CDF is used when more than this fraction of cells in the
+    /// 2-d hyperplane would otherwise be empty.
+    pub ccdf_empty_fraction: f64,
+    /// Maximum number of cells per Augmented Grid.
+    pub max_cells_per_grid: usize,
+    /// Rows sampled per region for cost estimation during optimization.
+    pub optimizer_sample_size: usize,
+    /// Maximum optimizer iterations (AGD outer loop).
+    pub optimizer_max_iters: usize,
+    /// Iterations for the black-box (basin hopping) optimizer baseline.
+    pub blackbox_iters: usize,
+    /// Seed for deterministic sampling and optimizer perturbations.
+    pub seed: u64,
+}
+
+impl Default for TsunamiConfig {
+    fn default() -> Self {
+        Self {
+            variant: IndexVariant::Full,
+            optimizer: OptimizerKind::Adaptive,
+            skew_bins: 128,
+            dbscan_eps: 0.2,
+            dbscan_min_pts: 2,
+            min_skew_reduction_fraction: 0.05,
+            min_region_point_fraction: 0.01,
+            min_region_query_fraction: 0.01,
+            merge_tolerance: 0.10,
+            max_tree_depth: 8,
+            fm_error_fraction: 0.10,
+            ccdf_empty_fraction: 0.25,
+            max_cells_per_grid: 1 << 16,
+            optimizer_sample_size: 2_000,
+            optimizer_max_iters: 20,
+            blackbox_iters: 50,
+            seed: 0x7500_0A11,
+        }
+    }
+}
+
+impl TsunamiConfig {
+    /// A reduced configuration for unit tests and doc tests: small samples,
+    /// few iterations, small cell budgets.
+    pub fn fast() -> Self {
+        Self {
+            skew_bins: 64,
+            max_cells_per_grid: 1 << 10,
+            optimizer_sample_size: 400,
+            optimizer_max_iters: 6,
+            blackbox_iters: 10,
+            max_tree_depth: 4,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy using the given index variant.
+    pub fn with_variant(mut self, variant: IndexVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Returns a copy using the given Augmented Grid optimizer.
+    pub fn with_optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = TsunamiConfig::default();
+        assert_eq!(c.skew_bins, 128);
+        assert!((c.dbscan_eps - 0.2).abs() < 1e-12);
+        assert!((c.min_skew_reduction_fraction - 0.05).abs() < 1e-12);
+        assert!((c.min_region_point_fraction - 0.01).abs() < 1e-12);
+        assert!((c.merge_tolerance - 0.10).abs() < 1e-12);
+        assert!((c.fm_error_fraction - 0.10).abs() < 1e-12);
+        assert!((c.ccdf_empty_fraction - 0.25).abs() < 1e-12);
+        assert_eq!(c.variant, IndexVariant::Full);
+    }
+
+    #[test]
+    fn builders_modify_variant_and_optimizer() {
+        let c = TsunamiConfig::fast()
+            .with_variant(IndexVariant::GridTreeOnly)
+            .with_optimizer(OptimizerKind::GradientOnly);
+        assert_eq!(c.variant, IndexVariant::GridTreeOnly);
+        assert_eq!(c.optimizer, OptimizerKind::GradientOnly);
+        assert!(c.optimizer_sample_size < TsunamiConfig::default().optimizer_sample_size);
+    }
+}

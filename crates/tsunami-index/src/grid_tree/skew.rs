@@ -1,0 +1,223 @@
+//! Query-skew computation (§4.2.1).
+//!
+//! The skew of a query set `Q` over a range `[a, b)` in dimension `i` is the
+//! Earth Mover's Distance between the empirical PDF of the queries over that
+//! range and the uniform distribution. The PDF is approximated with a
+//! histogram: a query intersecting `m` contiguous bins contributes `1/m` mass
+//! to each. Skew is computed *per query type* and summed, so opposing skews
+//! of different types cannot cancel each other out (§4.3.1).
+
+use crate::query_types::QueryType;
+use tsunami_core::{emd::emd_from_uniform, Histogram, Value};
+
+/// Pre-computed per-type query histograms over one dimension of a Grid Tree
+/// node's range, supporting skew queries over arbitrary bin sub-ranges.
+#[derive(Debug, Clone)]
+pub struct SkewAnalyzer {
+    /// One histogram per query type (types with no query filtering this
+    /// dimension inside the range are omitted — they are uniform by
+    /// definition and contribute no skew).
+    hists: Vec<Histogram>,
+    /// Shared bin edges (all histograms use the same binning).
+    edges: Vec<Value>,
+    /// Number of queries that actually contributed mass.
+    contributing_queries: usize,
+}
+
+impl SkewAnalyzer {
+    /// Builds the analyzer for dimension `dim` over the value range
+    /// `[lo, hi]` with (up to) `bins` histogram bins.
+    pub fn new(types: &[QueryType], dim: usize, lo: Value, hi: Value, bins: usize) -> Self {
+        let template = Histogram::equi_width(lo, hi, bins.max(2));
+        let edges = template.edges().to_vec();
+        let mut hists = Vec::new();
+        let mut contributing = 0usize;
+        for t in types {
+            if !t.filtered_dims.contains(&dim) {
+                continue;
+            }
+            let mut h = template.clone();
+            let mut any = false;
+            for q in &t.queries {
+                if let Some(p) = q.predicate_on(dim) {
+                    // Clip the filter range to the node's range; skip queries
+                    // that do not intersect it.
+                    if p.hi < lo || p.lo > hi {
+                        continue;
+                    }
+                    let clo = p.lo.max(lo);
+                    let chi = p.hi.min(hi);
+                    h.add_query_range(clo, chi);
+                    any = true;
+                    contributing += 1;
+                }
+            }
+            if any {
+                hists.push(h);
+            }
+        }
+        Self {
+            hists,
+            edges,
+            contributing_queries: contributing,
+        }
+    }
+
+    /// Number of histogram bins.
+    pub fn num_bins(&self) -> usize {
+        self.edges.len() - 1
+    }
+
+    /// Number of queries that contributed mass to any histogram.
+    pub fn contributing_queries(&self) -> usize {
+        self.contributing_queries
+    }
+
+    /// The value at which bin `bin` starts.
+    pub fn bin_start(&self, bin: usize) -> Value {
+        self.edges[bin.min(self.edges.len() - 1)]
+    }
+
+    /// Skew over the bin range `[x, y)`: the sum over query types of the EMD
+    /// between that type's histogram restricted to `[x, y)` and the uniform
+    /// distribution of equal mass.
+    ///
+    /// The EMD is measured with distance expressed as a *fraction of the
+    /// range* `[x, y)` (i.e. bin distance divided by the number of bins), so
+    /// skew values are comparable across ranges of different widths and the
+    /// "5% of |Q|" split-acceptance threshold is meaningful: a query type
+    /// whose mass all sits at one end of the range has skew ≈ 0.5 × |Q_t|,
+    /// while a uniform type has skew ≈ 0.
+    pub fn skew_bins(&self, x: usize, y: usize) -> f64 {
+        if y <= x + 1 {
+            // A single bin cannot be distinguished from uniform (§4.3.2).
+            return 0.0;
+        }
+        let width = (y - x) as f64;
+        self.hists
+            .iter()
+            .map(|h| emd_from_uniform(&h.mass()[x..y]) / width)
+            .sum()
+    }
+
+    /// Skew over the full range of the analyzer.
+    pub fn total_skew(&self) -> f64 {
+        self.skew_bins(0, self.num_bins())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsunami_core::{Predicate, Query};
+
+    fn query(dim: usize, lo: Value, hi: Value) -> Query {
+        Query::count(vec![Predicate::range(dim, lo, hi).unwrap()]).unwrap()
+    }
+
+    /// The running example of Fig 2/3: points over years 2016..2020 (encoded
+    /// 0..4800 "days"); Qr filters uniform one-year spans, Qg filters
+    /// one-month spans only over the last year.
+    fn fig2_types() -> Vec<QueryType> {
+        let mut qr = Vec::new();
+        for i in 0..40u64 {
+            let start = (i * 90) % 3600;
+            qr.push(query(0, start, start + 1200));
+        }
+        let mut qg = Vec::new();
+        for i in 0..40u64 {
+            let start = 3600 + (i * 28) % 1100;
+            qg.push(query(0, start, start + 100));
+        }
+        vec![
+            QueryType {
+                queries: qr,
+                filtered_dims: vec![0],
+            },
+            QueryType {
+                queries: qg,
+                filtered_dims: vec![0],
+            },
+        ]
+    }
+
+    #[test]
+    fn uniform_queries_have_low_skew_and_concentrated_queries_high_skew() {
+        let types = fig2_types();
+        let a = SkewAnalyzer::new(&types[..1], 0, 0, 4800, 64);
+        let b = SkewAnalyzer::new(&types[1..], 0, 0, 4800, 64);
+        assert!(
+            b.total_skew() > a.total_skew() * 2.0,
+            "recent-only queries should be far more skewed: {} vs {}",
+            b.total_skew(),
+            a.total_skew()
+        );
+    }
+
+    #[test]
+    fn splitting_at_the_skew_boundary_reduces_skew() {
+        let types = fig2_types();
+        let analyzer = SkewAnalyzer::new(&types, 0, 0, 4800, 64);
+        let total = analyzer.total_skew();
+        // Bin index corresponding to value 3600 (== 3/4 of the range).
+        let split_bin = 48;
+        let after = analyzer.skew_bins(0, split_bin) + analyzer.skew_bins(split_bin, 64);
+        assert!(
+            after < total * 0.8,
+            "splitting at the year boundary should cut skew: {after} vs {total}"
+        );
+    }
+
+    #[test]
+    fn per_type_separation_prevents_cancellation() {
+        // Two types with opposite skews over the same dimension.
+        let low = QueryType {
+            queries: (0..20).map(|_| query(0, 0, 99)).collect(),
+            filtered_dims: vec![0],
+        };
+        let high = QueryType {
+            queries: (0..20).map(|_| query(0, 900, 999)).collect(),
+            filtered_dims: vec![0],
+        };
+        let combined_as_one_type = QueryType {
+            queries: low.queries.iter().chain(&high.queries).cloned().collect(),
+            filtered_dims: vec![0],
+        };
+        let separated = SkewAnalyzer::new(&[low, high], 0, 0, 1000, 32).total_skew();
+        let merged = SkewAnalyzer::new(&[combined_as_one_type], 0, 0, 1000, 32).total_skew();
+        // Both are skewed, but the merged view under-reports it relative to
+        // the per-type view (the two ends partially cancel).
+        assert!(separated >= merged * 0.99);
+    }
+
+    #[test]
+    fn queries_outside_the_range_are_ignored() {
+        let t = QueryType {
+            queries: vec![query(0, 5000, 6000)],
+            filtered_dims: vec![0],
+        };
+        let analyzer = SkewAnalyzer::new(&[t], 0, 0, 1000, 32);
+        assert_eq!(analyzer.contributing_queries(), 0);
+        assert_eq!(analyzer.total_skew(), 0.0);
+    }
+
+    #[test]
+    fn types_not_filtering_the_dimension_are_skipped() {
+        let t = QueryType {
+            queries: vec![query(1, 0, 10)],
+            filtered_dims: vec![1],
+        };
+        let analyzer = SkewAnalyzer::new(&[t], 0, 0, 1000, 32);
+        assert_eq!(analyzer.total_skew(), 0.0);
+    }
+
+    #[test]
+    fn single_bin_ranges_have_zero_skew() {
+        let types = fig2_types();
+        let analyzer = SkewAnalyzer::new(&types, 0, 0, 4800, 64);
+        assert_eq!(analyzer.skew_bins(10, 11), 0.0);
+        assert_eq!(analyzer.skew_bins(10, 10), 0.0);
+        assert!(analyzer.bin_start(0) == 0);
+        assert!(analyzer.num_bins() <= 64);
+    }
+}

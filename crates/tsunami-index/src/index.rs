@@ -1,0 +1,467 @@
+//! The composed Tsunami index: Grid Tree over the data space, with an
+//! independently-optimized Augmented Grid inside every region that receives
+//! queries (§3).
+
+use std::time::Instant;
+
+use crate::augmented_grid::{
+    optimize_layout, AugmentedGrid, OptimizerKind, Skeleton,
+};
+use crate::config::{IndexVariant, TsunamiConfig};
+use crate::grid_tree::GridTree;
+use crate::query_types::cluster_query_types;
+use tsunami_core::{
+    AggAccumulator, AggResult, BuildTiming, CostModel, Dataset, IndexStats, MultiDimIndex, Query,
+    Result, TsunamiError, Workload,
+};
+use tsunami_store::ColumnStore;
+
+/// Per-region physical layout information.
+#[derive(Debug, Clone)]
+struct RegionIndex {
+    /// First physical row of the region in the reordered store.
+    base: usize,
+    /// Number of rows in the region.
+    len: usize,
+    /// The region's Augmented Grid, or `None` when no query intersects the
+    /// region (it is then answered with a plain region scan).
+    grid: Option<AugmentedGrid>,
+}
+
+/// Statistics of an optimized Tsunami index (Table 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsunamiStats {
+    /// Total Grid Tree nodes (internal + leaf).
+    pub num_grid_tree_nodes: usize,
+    /// Grid Tree depth.
+    pub grid_tree_depth: usize,
+    /// Number of leaf regions.
+    pub num_leaf_regions: usize,
+    /// Minimum points in a region.
+    pub min_points_per_region: usize,
+    /// Median points in a region.
+    pub median_points_per_region: usize,
+    /// Maximum points in a region.
+    pub max_points_per_region: usize,
+    /// Average number of functional mappings per indexed region.
+    pub avg_fms_per_region: f64,
+    /// Average number of conditional CDFs per indexed region.
+    pub avg_ccdfs_per_region: f64,
+    /// Total number of grid cells across all regions.
+    pub total_grid_cells: usize,
+}
+
+/// Tsunami: a learned multi-dimensional index robust to data correlation and
+/// query skew.
+#[derive(Debug)]
+pub struct TsunamiIndex {
+    tree: GridTree,
+    regions: Vec<RegionIndex>,
+    store: ColumnStore,
+    timing: BuildTiming,
+    name: String,
+}
+
+impl TsunamiIndex {
+    /// Builds a Tsunami index with the default configuration's structure but
+    /// the provided config (convenience wrapper around
+    /// [`TsunamiIndex::build_with_cost`] using a default [`CostModel`]).
+    pub fn build(data: &Dataset, workload: &Workload, config: &TsunamiConfig) -> Result<Self> {
+        Self::build_with_cost(data, workload, &CostModel::default(), config)
+    }
+
+    /// Builds a Tsunami index using an explicit cost model (e.g. one
+    /// calibrated on the current machine).
+    pub fn build_with_cost(
+        data: &Dataset,
+        workload: &Workload,
+        cost: &CostModel,
+        config: &TsunamiConfig,
+    ) -> Result<Self> {
+        if data.num_dims() == 0 {
+            return Err(TsunamiError::Build("dataset has no dimensions".into()));
+        }
+
+        // ------------------------------------------------------------------
+        // Offline optimization (Fig 9b "optimization time"):
+        //   (1) cluster query types, (2) optimize the Grid Tree,
+        //   (3) optimize each region's Augmented Grid layout.
+        // ------------------------------------------------------------------
+        let opt_start = Instant::now();
+        let (effective_config, optimizer_kind) = match config.variant {
+            // Grid Tree only: disable the correlation-aware strategies so the
+            // heuristic skeleton degenerates to Flood's all-independent grid,
+            // and skip the skeleton search.
+            IndexVariant::GridTreeOnly => {
+                let mut c = config.clone();
+                c.fm_error_fraction = 0.0;
+                c.ccdf_empty_fraction = 1.1;
+                (c, OptimizerKind::GradientOnly)
+            }
+            _ => (config.clone(), config.optimizer),
+        };
+
+        let types = if config.variant == IndexVariant::AugmentedGridOnly {
+            Vec::new()
+        } else {
+            cluster_query_types(
+                data,
+                workload,
+                effective_config.dbscan_eps,
+                effective_config.dbscan_min_pts,
+                effective_config.optimizer_sample_size,
+                effective_config.seed,
+            )
+        };
+        let (tree, region_data) = GridTree::build(data, &types, &effective_config);
+
+        // Optimize a layout for every region that has intersecting queries.
+        let mut layouts: Vec<Option<(Skeleton, Vec<usize>)>> = Vec::with_capacity(region_data.len());
+        let mut region_datasets: Vec<Dataset> = Vec::with_capacity(region_data.len());
+        for rd in &region_data {
+            let region_ds = data.select_rows(&rd.rows);
+            if rd.queries.is_empty() || rd.rows.is_empty() {
+                layouts.push(None);
+            } else {
+                let region_workload = Workload::new(rd.queries.clone());
+                let layout = optimize_layout(
+                    &region_ds,
+                    &region_workload,
+                    cost,
+                    &effective_config,
+                    optimizer_kind,
+                );
+                layouts.push(Some((layout.skeleton, layout.partitions)));
+            }
+            region_datasets.push(region_ds);
+        }
+        let optimize_secs = opt_start.elapsed().as_secs_f64();
+
+        // ------------------------------------------------------------------
+        // Data organization (Fig 9b "data sorting time"): build each region's
+        // grid over its full data and reorder the column store so regions
+        // (and cells within regions) are contiguous.
+        // ------------------------------------------------------------------
+        let sort_start = Instant::now();
+        let mut regions = Vec::with_capacity(region_data.len());
+        let mut global_perm: Vec<usize> = Vec::with_capacity(data.len());
+        for (rd, (region_ds, layout)) in region_data
+            .iter()
+            .zip(region_datasets.iter().zip(layouts.into_iter()))
+        {
+            let base = global_perm.len();
+            let grid = match layout {
+                None => {
+                    global_perm.extend_from_slice(&rd.rows);
+                    None
+                }
+                Some((skeleton, partitions)) => {
+                    let (grid, local_perm) = AugmentedGrid::build(region_ds, &skeleton, &partitions);
+                    global_perm.extend(local_perm.into_iter().map(|local| rd.rows[local]));
+                    Some(grid)
+                }
+            };
+            regions.push(RegionIndex {
+                base,
+                len: rd.rows.len(),
+                grid,
+            });
+        }
+        let mut store = ColumnStore::from_dataset(data);
+        store.permute(&global_perm);
+        let sort_secs = sort_start.elapsed().as_secs_f64();
+
+        let name = match config.variant {
+            IndexVariant::Full => "Tsunami",
+            IndexVariant::GridTreeOnly => "GridTree-only",
+            IndexVariant::AugmentedGridOnly => "AugmentedGrid-only",
+        };
+
+        Ok(Self {
+            tree,
+            regions,
+            store,
+            timing: BuildTiming {
+                sort_secs,
+                optimize_secs,
+            },
+            name: name.to_string(),
+        })
+    }
+
+    /// The Grid Tree component.
+    pub fn grid_tree(&self) -> &GridTree {
+        &self.tree
+    }
+
+    /// Index statistics in the shape of the paper's Table 4.
+    pub fn stats(&self) -> TsunamiStats {
+        let mut points: Vec<usize> = self.regions.iter().map(|r| r.len).collect();
+        points.sort_unstable();
+        let indexed: Vec<&AugmentedGrid> =
+            self.regions.iter().filter_map(|r| r.grid.as_ref()).collect();
+        let n_indexed = indexed.len().max(1);
+        TsunamiStats {
+            num_grid_tree_nodes: self.tree.num_nodes(),
+            grid_tree_depth: self.tree.depth(),
+            num_leaf_regions: self.tree.num_regions(),
+            min_points_per_region: points.first().copied().unwrap_or(0),
+            median_points_per_region: points.get(points.len() / 2).copied().unwrap_or(0),
+            max_points_per_region: points.last().copied().unwrap_or(0),
+            avg_fms_per_region: indexed
+                .iter()
+                .map(|g| g.num_functional_mappings() as f64)
+                .sum::<f64>()
+                / n_indexed as f64,
+            avg_ccdfs_per_region: indexed
+                .iter()
+                .map(|g| g.num_conditional_cdfs() as f64)
+                .sum::<f64>()
+                / n_indexed as f64,
+            total_grid_cells: indexed.iter().map(|g| g.num_cells()).sum(),
+        }
+    }
+
+    /// Total number of grid cells across regions (Table 4).
+    pub fn total_cells(&self) -> usize {
+        self.stats().total_grid_cells
+    }
+
+    fn ranges_for(&self, query: &Query) -> Vec<(std::ops::Range<usize>, bool)> {
+        let mut out = Vec::new();
+        for region_id in self.tree.regions_for_query(query) {
+            let region = &self.regions[region_id];
+            if region.len == 0 {
+                continue;
+            }
+            match &region.grid {
+                Some(grid) => {
+                    for (r, exact) in grid.ranges_for(query) {
+                        out.push((region.base + r.start..region.base + r.end, exact));
+                    }
+                }
+                None => {
+                    let exact = self.tree.region(region_id).contained_in(query);
+                    out.push((region.base..region.base + region.len, exact));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl MultiDimIndex for TsunamiIndex {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&self, query: &Query) -> AggResult {
+        let mut acc = AggAccumulator::new(query.aggregation());
+        for (range, exact) in self.ranges_for(query) {
+            self.store.scan_range(range, query, exact, &mut acc);
+        }
+        acc.finish()
+    }
+
+    fn execute_with_stats(&self, query: &Query) -> (AggResult, IndexStats) {
+        self.store.reset_counters();
+        let result = self.execute(query);
+        let c = self.store.counters();
+        (
+            result,
+            IndexStats {
+                ranges_scanned: c.ranges,
+                points_scanned: c.points,
+                points_matched: c.matched,
+            },
+        )
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.tree.size_bytes()
+            + self
+                .regions
+                .iter()
+                .map(|r| {
+                    r.grid.as_ref().map_or(0, AugmentedGrid::size_bytes)
+                        + std::mem::size_of::<RegionIndex>()
+                })
+                .sum::<usize>()
+    }
+
+    fn build_timing(&self) -> BuildTiming {
+        self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsunami_core::sample::SplitMix;
+    use tsunami_core::Predicate;
+
+    /// A dataset with both correlation (dim1 ~ 2*dim0) and a time-like
+    /// dimension (dim2) that the workload queries with recency skew.
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = SplitMix::new(seed);
+        let d0: Vec<u64> = (0..n).map(|_| rng.next_below(50_000)).collect();
+        let d1: Vec<u64> = d0.iter().map(|&v| 2 * v + rng.next_below(200)).collect();
+        let d2: Vec<u64> = (0..n as u64).map(|i| i * 10_000 / n as u64).collect();
+        Dataset::from_columns(vec![d0, d1, d2]).unwrap()
+    }
+
+    /// Two query types: broad historical scans over dim0, and narrow recent
+    /// scans over dim2 (skewed towards the top of its domain).
+    fn workload(seed: u64) -> Workload {
+        let mut rng = SplitMix::new(seed);
+        let mut qs = Vec::new();
+        for _ in 0..30 {
+            let lo = rng.next_below(40_000);
+            qs.push(Query::count(vec![Predicate::range(0, lo, lo + 8_000).unwrap()]).unwrap());
+        }
+        for _ in 0..30 {
+            let lo = 8_000 + rng.next_below(1_800);
+            qs.push(Query::count(vec![Predicate::range(2, lo, lo + 150).unwrap()]).unwrap());
+        }
+        Workload::new(qs)
+    }
+
+    #[test]
+    fn tsunami_matches_full_scan_oracle_on_workload_queries() {
+        let data = dataset(8_000, 111);
+        let w = workload(112);
+        let index = TsunamiIndex::build(&data, &w, &TsunamiConfig::fast()).unwrap();
+        for q in w.queries() {
+            assert_eq!(index.execute(q), q.execute_full_scan(&data), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn tsunami_matches_oracle_on_unseen_multidim_queries() {
+        let data = dataset(6_000, 113);
+        let w = workload(114);
+        let index = TsunamiIndex::build(&data, &w, &TsunamiConfig::fast()).unwrap();
+        let mut rng = SplitMix::new(115);
+        for _ in 0..25 {
+            let a = rng.next_below(45_000);
+            let c = rng.next_below(9_000);
+            let q = Query::count(vec![
+                Predicate::range(0, a, a + 10_000).unwrap(),
+                Predicate::range(1, 2 * a, 2 * a + 30_000).unwrap(),
+                Predicate::range(2, c, c + 2_000).unwrap(),
+            ])
+            .unwrap();
+            assert_eq!(index.execute(&q), q.execute_full_scan(&data), "{q:?}");
+        }
+        // Empty-result query.
+        let q = Query::count(vec![Predicate::range(0, 400_000, 500_000).unwrap()]).unwrap();
+        assert_eq!(q.execute_full_scan(&data), AggResult::Count(0));
+        assert_eq!(index.execute(&q), AggResult::Count(0));
+    }
+
+    #[test]
+    fn tsunami_scans_far_fewer_points_than_a_full_scan() {
+        let data = dataset(20_000, 116);
+        let w = workload(117);
+        let index = TsunamiIndex::build(&data, &w, &TsunamiConfig::fast()).unwrap();
+        let mut total_scanned = 0usize;
+        for q in w.queries() {
+            let (_, stats) = index.execute_with_stats(q);
+            total_scanned += stats.points_scanned;
+        }
+        let avg = total_scanned / w.len();
+        assert!(
+            avg < data.len() / 3,
+            "average scan of {avg} points out of {} is not selective enough",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn stats_describe_the_structure() {
+        let data = dataset(10_000, 118);
+        let w = workload(119);
+        let index = TsunamiIndex::build(&data, &w, &TsunamiConfig::fast()).unwrap();
+        let stats = index.stats();
+        assert_eq!(stats.num_leaf_regions, index.grid_tree().num_regions());
+        assert!(stats.num_grid_tree_nodes >= stats.num_leaf_regions);
+        assert!(stats.max_points_per_region >= stats.median_points_per_region);
+        assert!(stats.median_points_per_region >= stats.min_points_per_region);
+        assert!(stats.total_grid_cells > 0);
+        let total_points: usize = index.regions.iter().map(|r| r.len).sum();
+        assert_eq!(total_points, data.len());
+        assert!(index.size_bytes() > 0);
+        assert!(index.build_timing().total_secs() > 0.0);
+    }
+
+    #[test]
+    fn variants_build_and_answer_correctly() {
+        let data = dataset(5_000, 120);
+        let w = workload(121);
+        for variant in [
+            IndexVariant::Full,
+            IndexVariant::GridTreeOnly,
+            IndexVariant::AugmentedGridOnly,
+        ] {
+            let config = TsunamiConfig::fast().with_variant(variant);
+            let index = TsunamiIndex::build(&data, &w, &config).unwrap();
+            for q in w.queries().iter().step_by(9) {
+                assert_eq!(index.execute(q), q.execute_full_scan(&data), "{variant:?} {q:?}");
+            }
+            match variant {
+                IndexVariant::AugmentedGridOnly => {
+                    assert_eq!(index.grid_tree().num_regions(), 1);
+                    assert_eq!(index.name(), "AugmentedGrid-only");
+                }
+                IndexVariant::GridTreeOnly => {
+                    // Flood-style regions: no correlation-aware strategies.
+                    let s = index.stats();
+                    assert_eq!(s.avg_fms_per_region, 0.0);
+                    assert_eq!(s.avg_ccdfs_per_region, 0.0);
+                }
+                IndexVariant::Full => {
+                    assert_eq!(index.name(), "Tsunami");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_workload_produces_multiple_regions_in_full_variant() {
+        let data = dataset(10_000, 122);
+        let w = workload(123);
+        let index = TsunamiIndex::build(&data, &w, &TsunamiConfig::fast()).unwrap();
+        assert!(
+            index.grid_tree().num_regions() >= 2,
+            "expected the Grid Tree to split this skewed workload"
+        );
+    }
+
+    #[test]
+    fn empty_workload_still_builds_a_valid_index() {
+        let data = dataset(2_000, 124);
+        let index = TsunamiIndex::build(&data, &Workload::default(), &TsunamiConfig::fast()).unwrap();
+        let q = Query::count(vec![Predicate::range(0, 0, 25_000).unwrap()]).unwrap();
+        assert_eq!(index.execute(&q), q.execute_full_scan(&data));
+    }
+
+    #[test]
+    fn sum_queries_are_supported_end_to_end() {
+        let data = dataset(4_000, 125);
+        let w = workload(126);
+        let index = TsunamiIndex::build(&data, &w, &TsunamiConfig::fast()).unwrap();
+        let q = Query::new(
+            vec![Predicate::range(0, 0, 25_000).unwrap()],
+            tsunami_core::Aggregation::Sum(1),
+        )
+        .unwrap();
+        assert_eq!(index.execute(&q), q.execute_full_scan(&data));
+    }
+
+    #[test]
+    fn zero_dimensional_dataset_is_rejected() {
+        let data = Dataset::from_columns(vec![vec![1, 2, 3]]).unwrap().select_dims(&[]);
+        let err = TsunamiIndex::build(&data, &Workload::default(), &TsunamiConfig::fast());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Workload-shift detection (§8, "Data and Workload Shift").
+//!
+//! Tsunami adapts to a new workload by re-optimizing, but the paper leaves
+//! open *when* to trigger that re-optimization. Following the paper's
+//! suggestion, this module detects three signals by comparing a reference
+//! workload (the one the index was optimized for) against a window of
+//! recently observed queries:
+//!
+//! 1. an existing query type disappears,
+//! 2. a new query type appears,
+//! 3. the relative frequencies of query types change substantially.
+//!
+//! Query types are matched by their filtered-dimension set and average
+//! per-dimension selectivity (the same embedding used for clustering in
+//! §4.3.1).
+
+use crate::config::TsunamiConfig;
+use crate::query_types::{cluster_query_types, QueryType};
+use tsunami_core::{Dataset, Workload};
+
+/// A fingerprint of one query type: which dimensions it filters, its average
+/// selectivity embedding, and its share of the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeSignature {
+    /// Dimensions filtered by every query of the type.
+    pub filtered_dims: Vec<usize>,
+    /// Mean per-dimension selectivity over the filtered dimensions.
+    pub mean_selectivity: Vec<f64>,
+    /// Fraction of the workload belonging to this type.
+    pub frequency: f64,
+}
+
+/// The outcome of comparing an observed workload against the reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShiftReport {
+    /// Types present in the reference but absent from the observation.
+    pub disappeared_types: usize,
+    /// Types present in the observation but absent from the reference.
+    pub new_types: usize,
+    /// Total absolute change in type frequency (0 = identical mix, 2 = fully
+    /// disjoint mixes).
+    pub frequency_drift: f64,
+    /// Whether re-optimization is recommended under the configured thresholds.
+    pub reoptimize: bool,
+}
+
+/// Detects workload shift by fingerprinting query types.
+#[derive(Debug, Clone)]
+pub struct WorkloadMonitor {
+    reference: Vec<TypeSignature>,
+    /// Embedding distance below which two types are considered the same.
+    match_eps: f64,
+    /// Frequency drift above which re-optimization is recommended.
+    drift_threshold: f64,
+}
+
+impl WorkloadMonitor {
+    /// Creates a monitor from the workload the index was optimized for.
+    ///
+    /// `match_eps` follows the clustering eps (default 0.2);
+    /// `drift_threshold` defaults to 0.5 (half of the workload's mass moved).
+    pub fn new(data: &Dataset, reference: &Workload, config: &TsunamiConfig) -> Self {
+        Self {
+            reference: signatures(data, reference, config),
+            match_eps: config.dbscan_eps,
+            drift_threshold: 0.5,
+        }
+    }
+
+    /// Overrides the drift threshold.
+    pub fn with_drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = threshold;
+        self
+    }
+
+    /// The reference type signatures.
+    pub fn reference(&self) -> &[TypeSignature] {
+        &self.reference
+    }
+
+    /// Compares an observed workload window against the reference.
+    pub fn observe(&self, data: &Dataset, observed: &Workload, config: &TsunamiConfig) -> ShiftReport {
+        let obs = signatures(data, observed, config);
+        let mut matched_obs = vec![false; obs.len()];
+        let mut disappeared = 0usize;
+        let mut drift = 0.0f64;
+
+        for r in &self.reference {
+            match obs
+                .iter()
+                .enumerate()
+                .filter(|(i, o)| !matched_obs[*i] && same_type(r, o, self.match_eps))
+                .min_by(|(_, a), (_, b)| {
+                    distance(r, a)
+                        .partial_cmp(&distance(r, b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                }) {
+                Some((i, o)) => {
+                    matched_obs[i] = true;
+                    drift += (r.frequency - o.frequency).abs();
+                }
+                None => {
+                    disappeared += 1;
+                    drift += r.frequency;
+                }
+            }
+        }
+        let new_types = matched_obs.iter().filter(|&&m| !m).count();
+        drift += obs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !matched_obs[*i])
+            .map(|(_, o)| o.frequency)
+            .sum::<f64>();
+
+        let reoptimize =
+            disappeared > 0 || new_types > 0 || drift > self.drift_threshold;
+        ShiftReport {
+            disappeared_types: disappeared,
+            new_types,
+            frequency_drift: drift,
+            reoptimize,
+        }
+    }
+}
+
+fn signatures(data: &Dataset, workload: &Workload, config: &TsunamiConfig) -> Vec<TypeSignature> {
+    let types: Vec<QueryType> = cluster_query_types(
+        data,
+        workload,
+        config.dbscan_eps,
+        config.dbscan_min_pts,
+        config.optimizer_sample_size,
+        config.seed,
+    );
+    let total: usize = types.iter().map(|t| t.queries.len()).sum();
+    types
+        .iter()
+        .map(|t| {
+            let sample = tsunami_core::sample::sample_dataset(data, config.optimizer_sample_size, config.seed);
+            let mean_selectivity: Vec<f64> = t
+                .filtered_dims
+                .iter()
+                .map(|&d| {
+                    t.queries
+                        .iter()
+                        .map(|q| q.dim_selectivity(&sample, d))
+                        .sum::<f64>()
+                        / t.queries.len().max(1) as f64
+                })
+                .collect();
+            TypeSignature {
+                filtered_dims: t.filtered_dims.clone(),
+                mean_selectivity,
+                frequency: t.queries.len() as f64 / total.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+fn same_type(a: &TypeSignature, b: &TypeSignature, eps: f64) -> bool {
+    a.filtered_dims == b.filtered_dims && distance(a, b) <= eps
+}
+
+fn distance(a: &TypeSignature, b: &TypeSignature) -> f64 {
+    if a.mean_selectivity.len() != b.mean_selectivity.len() {
+        return f64::INFINITY;
+    }
+    a.mean_selectivity
+        .iter()
+        .zip(&b.mean_selectivity)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsunami_core::{Predicate, Query};
+
+    fn data() -> Dataset {
+        Dataset::from_columns(vec![
+            (0..5_000u64).collect(),
+            (0..5_000u64).map(|v| (v * 31) % 5_000).collect(),
+        ])
+        .unwrap()
+    }
+
+    fn workload_a(offset: u64) -> Workload {
+        Workload::new(
+            (0..30u64)
+                .map(|i| {
+                    Query::count(vec![
+                        Predicate::range(0, offset + i * 10, offset + i * 10 + 100).unwrap(),
+                    ])
+                    .unwrap()
+                })
+                .collect(),
+        )
+    }
+
+    fn workload_b() -> Workload {
+        Workload::new(
+            (0..30u64)
+                .map(|i| {
+                    Query::count(vec![Predicate::range(1, i * 50, i * 50 + 2_000).unwrap()]).unwrap()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_workload_needs_no_reoptimization() {
+        let ds = data();
+        let cfg = TsunamiConfig::fast();
+        let monitor = WorkloadMonitor::new(&ds, &workload_a(0), &cfg);
+        let report = monitor.observe(&ds, &workload_a(5), &cfg);
+        assert_eq!(report.disappeared_types, 0);
+        assert_eq!(report.new_types, 0);
+        assert!(report.frequency_drift < 0.2, "{report:?}");
+        assert!(!report.reoptimize);
+    }
+
+    #[test]
+    fn replaced_workload_triggers_reoptimization() {
+        let ds = data();
+        let cfg = TsunamiConfig::fast();
+        let monitor = WorkloadMonitor::new(&ds, &workload_a(0), &cfg);
+        let report = monitor.observe(&ds, &workload_b(), &cfg);
+        assert!(report.new_types > 0 || report.disappeared_types > 0);
+        assert!(report.reoptimize, "{report:?}");
+    }
+
+    #[test]
+    fn mixed_workload_reports_partial_drift() {
+        let ds = data();
+        let cfg = TsunamiConfig::fast();
+        let monitor = WorkloadMonitor::new(&ds, &workload_a(0), &cfg);
+        let mut mixed = workload_a(0);
+        mixed.extend(&workload_b());
+        let report = monitor.observe(&ds, &mixed, &cfg);
+        // The original type is still present, a new one appeared.
+        assert_eq!(report.disappeared_types, 0);
+        assert!(report.new_types >= 1);
+        assert!(report.reoptimize);
+    }
+
+    #[test]
+    fn drift_threshold_is_configurable() {
+        let ds = data();
+        let cfg = TsunamiConfig::fast();
+        let strict = WorkloadMonitor::new(&ds, &workload_a(0), &cfg).with_drift_threshold(0.0);
+        // Even tiny drift now triggers re-optimization.
+        let report = strict.observe(&ds, &workload_a(40), &cfg);
+        assert!(report.reoptimize || report.frequency_drift == 0.0);
+        assert!(!strict.reference().is_empty());
+    }
+}

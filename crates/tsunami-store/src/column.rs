@@ -1,0 +1,128 @@
+//! A single column of 64-bit integer values with lightweight metadata.
+
+use tsunami_core::Value;
+
+/// A dense, in-memory column of `u64` values.
+///
+/// The column tracks its min/max so scans over a whole column (or index
+/// structures that need per-page metadata) can cheaply prune.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    values: Vec<Value>,
+    min: Value,
+    max: Value,
+}
+
+impl Column {
+    /// Creates a column from raw values.
+    pub fn new(values: Vec<Value>) -> Self {
+        let (min, max) = min_max(&values);
+        Self { values, min, max }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at row `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Value {
+        self.values[i]
+    }
+
+    /// Minimum value (0 for an empty column).
+    pub fn min(&self) -> Value {
+        self.min
+    }
+
+    /// Maximum value (0 for an empty column).
+    pub fn max(&self) -> Value {
+        self.max
+    }
+
+    /// Rebuilds the column with rows in permuted order: new row `i` holds the
+    /// value previously at row `perm[i]`.
+    pub fn permute(&mut self, perm: &[usize]) {
+        debug_assert_eq!(perm.len(), self.values.len());
+        let new_values: Vec<Value> = perm.iter().map(|&src| self.values[src]).collect();
+        self.values = new_values;
+    }
+
+    /// Sum of values in `range`, as a wide integer.
+    pub fn sum_range(&self, range: std::ops::Range<usize>) -> u128 {
+        self.values[range].iter().map(|&v| v as u128).sum()
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<Value>()
+    }
+}
+
+fn min_max(values: &[Value]) -> (Value, Value) {
+    let mut min = Value::MAX;
+    let mut max = Value::MIN;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if values.is_empty() {
+        (0, 0)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_min_max() {
+        let c = Column::new(vec![5, 1, 9, 3]);
+        assert_eq!(c.min(), 1);
+        assert_eq!(c.max(), 9);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn empty_column_has_zero_bounds() {
+        let c = Column::new(vec![]);
+        assert_eq!((c.min(), c.max()), (0, 0));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn permute_reorders_values() {
+        let mut c = Column::new(vec![10, 20, 30, 40]);
+        c.permute(&[3, 1, 0, 2]);
+        assert_eq!(c.values(), &[40, 20, 10, 30]);
+        assert_eq!(c.get(0), 40);
+    }
+
+    #[test]
+    fn sum_range_uses_wide_accumulator() {
+        let c = Column::new(vec![u64::MAX, u64::MAX, 1]);
+        assert_eq!(c.sum_range(0..2), 2 * (u64::MAX as u128));
+        assert_eq!(c.sum_range(2..3), 1);
+        assert_eq!(c.sum_range(1..1), 0);
+    }
+
+    #[test]
+    fn size_bytes_counts_values() {
+        let c = Column::new(vec![0; 100]);
+        assert_eq!(c.size_bytes(), 800);
+    }
+}

@@ -1,0 +1,133 @@
+//! Dictionary encoding of string attributes into `u64` codes.
+//!
+//! The paper uses 64-bit integer attributes throughout and dictionary-encodes
+//! string values before evaluation (§6.1). Codes are assigned in first-seen
+//! order by default; [`Dictionary::from_sorted`] assigns codes in
+//! lexicographic order so that range predicates over the encoded column
+//! correspond to lexicographic ranges over the strings.
+
+use std::collections::HashMap;
+use tsunami_core::Value;
+
+/// A bidirectional mapping between strings and dense integer codes.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    codes: HashMap<String, Value>,
+    values: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a dictionary whose codes follow the lexicographic order of the
+    /// distinct input strings, so encoded range filters are meaningful.
+    pub fn from_sorted<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut distinct: Vec<String> = values.into_iter().map(Into::into).collect();
+        distinct.sort();
+        distinct.dedup();
+        let mut dict = Dictionary::new();
+        for v in distinct {
+            dict.encode(&v);
+        }
+        dict
+    }
+
+    /// Returns the code for `value`, assigning the next free code if unseen.
+    pub fn encode(&mut self, value: &str) -> Value {
+        if let Some(&code) = self.codes.get(value) {
+            return code;
+        }
+        let code = self.values.len() as Value;
+        self.codes.insert(value.to_string(), code);
+        self.values.push(value.to_string());
+        code
+    }
+
+    /// Returns the code for `value` if it has been seen.
+    pub fn lookup(&self, value: &str) -> Option<Value> {
+        self.codes.get(value).copied()
+    }
+
+    /// Returns the string for a code, if valid.
+    pub fn decode(&self, code: Value) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values in the dictionary.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Encodes a whole string column.
+    pub fn encode_column<S: AsRef<str>>(&mut self, column: &[S]) -> Vec<Value> {
+        column.iter().map(|s| self.encode(s.as_ref())).collect()
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.values
+            .iter()
+            .map(|s| s.len() + std::mem::size_of::<String>())
+            .sum::<usize>()
+            * 2 // stored both in the vec and (as keys) in the map
+            + self.values.len() * std::mem::size_of::<Value>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_assigns_dense_codes() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.encode("air"), 0);
+        assert_eq!(d.encode("rail"), 1);
+        assert_eq!(d.encode("air"), 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.decode(1), Some("rail"));
+        assert_eq!(d.decode(7), None);
+        assert_eq!(d.lookup("rail"), Some(1));
+        assert_eq!(d.lookup("ship"), None);
+    }
+
+    #[test]
+    fn from_sorted_preserves_lexicographic_order() {
+        let d = Dictionary::from_sorted(["truck", "air", "rail", "air"]);
+        assert_eq!(d.len(), 3);
+        let air = d.lookup("air").unwrap();
+        let rail = d.lookup("rail").unwrap();
+        let truck = d.lookup("truck").unwrap();
+        assert!(air < rail && rail < truck);
+    }
+
+    #[test]
+    fn encode_column_round_trips() {
+        let mut d = Dictionary::new();
+        let col = d.encode_column(&["a", "b", "a", "c"]);
+        assert_eq!(col, vec![0, 1, 0, 2]);
+        let decoded: Vec<&str> = col.iter().map(|&c| d.decode(c).unwrap()).collect();
+        assert_eq!(decoded, vec!["a", "b", "a", "c"]);
+    }
+
+    #[test]
+    fn size_bytes_grows_with_entries() {
+        let mut d = Dictionary::new();
+        let empty = d.size_bytes();
+        d.encode("something-long-enough");
+        assert!(d.size_bytes() > empty);
+        assert!(!d.is_empty());
+    }
+}

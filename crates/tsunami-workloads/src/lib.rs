@@ -1,0 +1,30 @@
+//! Synthetic datasets and query workloads reproducing the *structure* of the
+//! paper's evaluation data (§6.2).
+//!
+//! The paper evaluates on three real datasets (NYC Taxi, a university
+//! performance-monitoring log, and daily stock prices) plus TPC-H's
+//! `lineitem`, each with hundreds of millions of rows and a workload of 5–6
+//! query types (100 queries per type). Those datasets are not redistributable
+//! here, so this crate generates synthetic stand-ins that deliberately plant
+//! the characteristics Tsunami exploits:
+//!
+//! * **Correlations** — e.g. fare ≈ linear in trip distance (Taxi), open ≈
+//!   close prices (Stocks), ship/commit/receipt dates within days of each
+//!   other (TPC-H), CPU counters tracking each other (Perfmon).
+//! * **Query skew** — more queries over recent time ranges, query types about
+//!   extreme values (very low / very high passenger counts or volumes), and
+//!   query types with very different per-dimension selectivities.
+//!
+//! Each dataset module exposes `generate(rows, seed)` and
+//! `workload(&Dataset, queries_per_type, seed)`; [`DatasetBundle::standard`]
+//! returns all four ready for the benchmark harness.
+
+pub mod perfmon;
+pub mod queries;
+pub mod spec;
+pub mod stocks;
+pub mod synthetic;
+pub mod taxi;
+pub mod tpch;
+
+pub use spec::DatasetBundle;

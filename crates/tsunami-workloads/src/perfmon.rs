@@ -1,0 +1,149 @@
+//! A performance-monitoring-log-like dataset and workload (§6.2).
+//!
+//! Dimensions:
+//!
+//! | idx | column        | structure                                        |
+//! |-----|---------------|--------------------------------------------------|
+//! | 0   | log time      | minutes over one year, uniform                   |
+//! | 1   | machine id    | 0..=499 dictionary-encoded                       |
+//! | 2   | cpu user %    | bimodal: mostly low, occasionally high (x100)    |
+//! | 3   | cpu system %  | correlated with user cpu                         |
+//! | 4   | load avg 1m   | correlated with cpu (x100)                       |
+//! | 5   | load avg 5m   | tightly correlated with 1m load                  |
+//! | 6   | memory used % | weakly correlated with load (x100)               |
+//!
+//! Five query types. Queries skew over time (recent data) and CPU usage
+//! (queries about high usage), e.g. "when in the last month did a certain set
+//! of machines experience high load?".
+
+use crate::queries::{count_query, range_at, recency_biased_start, sorted_column};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsunami_core::{Dataset, Value, Workload};
+
+/// Column names, index-aligned with the generated dataset.
+pub const COLUMNS: [&str; 7] = [
+    "time",
+    "machine",
+    "cpu_user",
+    "cpu_sys",
+    "load1",
+    "load5",
+    "mem_used",
+];
+
+/// Minutes in the one-year time domain.
+pub const TIME_DOMAIN: u64 = 365 * 24 * 60;
+
+/// Generates a perfmon-like dataset with `rows` rows.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rows); 7];
+    for _ in 0..rows {
+        let time = rng.gen_range(0..TIME_DOMAIN);
+        let machine = rng.gen_range(0..500u64);
+        // Bimodal CPU: 85% of samples idle-ish, 15% busy.
+        let cpu_user: u64 = if rng.gen_bool(0.85) {
+            rng.gen_range(0..2_500)
+        } else {
+            rng.gen_range(6_000..10_000)
+        };
+        let cpu_sys = cpu_user / 4 + rng.gen_range(0..800);
+        let load1 = cpu_user / 2 + rng.gen_range(0..1_000);
+        let load5 = load1 * 9 / 10 + rng.gen_range(0..300);
+        let mem = 2_000 + load1 / 3 + rng.gen_range(0..4_000);
+        let row = [time, machine, cpu_user, cpu_sys, load1, load5, mem.min(10_000)];
+        for (c, v) in row.into_iter().enumerate() {
+            cols[c].push(v);
+        }
+    }
+    Dataset::from_columns(cols).expect("valid perfmon dataset")
+}
+
+/// Generates the perfmon workload: five query types, `queries_per_type` each.
+pub fn workload(data: &Dataset, queries_per_type: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sorted: Vec<Vec<Value>> = (0..data.num_dims())
+        .map(|d| sorted_column(data.column(d)))
+        .collect();
+    let mut queries = Vec::with_capacity(5 * queries_per_type);
+    for _ in 0..queries_per_type {
+        // Type 1: a set of machines with high load in the last month.
+        let m = rng.gen_range(0..460u64);
+        let start = recency_biased_start(&mut rng, 0.9, 0.08);
+        let (t_lo, t_hi) = range_at(&sorted[0], start.min(0.97), 0.03);
+        queries.push(count_query(&[(0, t_lo, t_hi), (1, m, m + 25), (4, 5_000, 20_000)]));
+
+        // Type 2: very high user CPU recently.
+        let start = recency_biased_start(&mut rng, 0.85, 0.15);
+        let (t_lo, t_hi) = range_at(&sorted[0], start.min(0.95), 0.05);
+        queries.push(count_query(&[(0, t_lo, t_hi), (2, 8_000, 10_000)]));
+
+        // Type 3: memory pressure on a machine band over a broad window.
+        let m = rng.gen_range(0..440u64);
+        let (mem_lo, mem_hi) = range_at(&sorted[6], 0.85 + 0.1 * rng.gen::<f64>(), 0.06);
+        queries.push(count_query(&[(1, m, m + 60), (6, mem_lo, mem_hi)]));
+
+        // Type 4: system CPU vs user CPU band (correlated pair).
+        let (u_lo, u_hi) = range_at(&sorted[2], rng.gen::<f64>() * 0.7, 0.1);
+        let (s_lo, s_hi) = range_at(&sorted[3], rng.gen::<f64>() * 0.7, 0.15);
+        queries.push(count_query(&[(2, u_lo, u_hi), (3, s_lo, s_hi)]));
+
+        // Type 5: 5-minute load spike in a narrow recent window.
+        let start = recency_biased_start(&mut rng, 0.8, 0.1);
+        let (t_lo, t_hi) = range_at(&sorted[0], start.min(0.98), 0.01);
+        let (l_lo, l_hi) = range_at(&sorted[5], 0.9, 0.1);
+        queries.push(count_query(&[(0, t_lo, t_hi), (5, l_lo, l_hi)]));
+    }
+    Workload::new(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_shape_and_correlations_hold() {
+        let ds = generate(20_000, 21);
+        assert_eq!(ds.num_dims(), COLUMNS.len());
+        for r in (0..ds.len()).step_by(983) {
+            let user = ds.get(r, 2);
+            let sys = ds.get(r, 3);
+            assert!(sys >= user / 4 && sys <= user / 4 + 800);
+            let l1 = ds.get(r, 4);
+            let l5 = ds.get(r, 5);
+            assert!(l5 >= l1 * 9 / 10 && l5 <= l1 * 9 / 10 + 300);
+        }
+    }
+
+    #[test]
+    fn cpu_usage_is_bimodal() {
+        let ds = generate(20_000, 22);
+        let low = ds.column(2).iter().filter(|&&v| v < 2_500).count();
+        let high = ds.column(2).iter().filter(|&&v| v >= 6_000).count();
+        let mid = ds.len() - low - high;
+        assert!(low > high);
+        assert!(high > ds.len() / 20);
+        assert_eq!(mid, 0);
+    }
+
+    #[test]
+    fn workload_skews_to_recent_time_and_high_cpu() {
+        let ds = generate(30_000, 23);
+        let w = workload(&ds, 20, 24);
+        assert_eq!(w.len(), 100);
+        assert!(w.group_by_filtered_dims().len() >= 4);
+        let time_preds: Vec<_> = w
+            .queries()
+            .iter()
+            .filter_map(|q| q.predicate_on(0).copied())
+            .collect();
+        let recent = time_preds
+            .iter()
+            .filter(|p| p.lo > TIME_DOMAIN * 6 / 10)
+            .count();
+        assert!(recent * 2 > time_preds.len());
+        let avg = w.average_selectivity(&ds);
+        assert!(avg < 0.12, "avg selectivity {avg}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Helpers for generating range queries with controlled selectivity and skew.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tsunami_core::{Predicate, Query, Value};
+
+/// Picks an inclusive range over a column that covers approximately
+/// `selectivity` of the rows, with the range's *starting* position drawn at
+/// `start_quantile` of the value distribution.
+///
+/// `sorted` must be a sorted copy (or sorted sample) of the column.
+pub fn range_at(sorted: &[Value], start_quantile: f64, selectivity: f64) -> (Value, Value) {
+    if sorted.is_empty() {
+        return (0, 0);
+    }
+    let n = sorted.len();
+    let sel = selectivity.clamp(0.0, 1.0);
+    let start = (start_quantile.clamp(0.0, 1.0) * (n - 1) as f64) as usize;
+    let start = start.min(n - 1);
+    let end = ((start as f64 + sel * n as f64) as usize).min(n - 1);
+    let lo = sorted[start];
+    let hi = sorted[end].max(lo);
+    (lo, hi)
+}
+
+/// Draws a start quantile that is skewed toward the *top* of the domain
+/// (recent data): with probability `recency`, the start is drawn from the
+/// top `top_fraction` of the distribution.
+pub fn recency_biased_start(rng: &mut StdRng, recency: f64, top_fraction: f64) -> f64 {
+    if rng.gen_bool(recency.clamp(0.0, 1.0)) {
+        1.0 - top_fraction * rng.gen::<f64>()
+    } else {
+        rng.gen::<f64>()
+    }
+}
+
+/// Builds a `COUNT(*)` query from `(dim, lo, hi)` triples.
+pub fn count_query(preds: &[(usize, Value, Value)]) -> Query {
+    Query::count(
+        preds
+            .iter()
+            .map(|&(dim, lo, hi)| Predicate::range(dim, lo.min(hi), lo.max(hi)).expect("valid range"))
+            .collect(),
+    )
+    .expect("valid query")
+}
+
+/// Returns a sorted copy of a column (used to pick quantile-based ranges).
+pub fn sorted_column(col: &[Value]) -> Vec<Value> {
+    let mut v = col.to_vec();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_at_hits_requested_selectivity_on_uniform_data() {
+        let sorted: Vec<Value> = (0..10_000).collect();
+        let (lo, hi) = range_at(&sorted, 0.2, 0.1);
+        let covered = sorted.iter().filter(|&&v| v >= lo && v <= hi).count();
+        let frac = covered as f64 / sorted.len() as f64;
+        assert!((frac - 0.1).abs() < 0.02, "got selectivity {frac}");
+    }
+
+    #[test]
+    fn range_at_clamps_at_domain_end() {
+        let sorted: Vec<Value> = (0..1000).collect();
+        let (lo, hi) = range_at(&sorted, 0.95, 0.2);
+        assert!(hi >= lo);
+        assert_eq!(hi, 999);
+        assert_eq!(range_at(&[], 0.5, 0.5), (0, 0));
+    }
+
+    #[test]
+    fn recency_bias_concentrates_starts_near_the_top() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let starts: Vec<f64> = (0..2000)
+            .map(|_| recency_biased_start(&mut rng, 0.9, 0.1))
+            .collect();
+        let recent = starts.iter().filter(|&&s| s >= 0.9).count();
+        assert!(recent as f64 / starts.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn count_query_normalizes_reversed_bounds() {
+        let q = count_query(&[(0, 50, 10), (2, 3, 3)]);
+        let p = q.predicate_on(0).unwrap();
+        assert_eq!((p.lo, p.hi), (10, 50));
+        assert_eq!(q.num_filtered_dims(), 2);
+    }
+
+    #[test]
+    fn sorted_column_sorts() {
+        assert_eq!(sorted_column(&[3, 1, 2]), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Bundles of (dataset, workload, metadata) ready for the benchmark harness.
+
+use crate::{perfmon, stocks, taxi, tpch};
+use tsunami_core::{Dataset, Workload};
+
+/// A named dataset together with its sample workload and column names —
+/// one row of the paper's Table 3.
+#[derive(Debug, Clone)]
+pub struct DatasetBundle {
+    /// Human-readable dataset name ("TPC-H", "Taxi", "Perfmon", "Stocks").
+    pub name: &'static str,
+    /// The generated dataset.
+    pub data: Dataset,
+    /// The sample query workload (used both for optimization and evaluation).
+    pub workload: Workload,
+    /// Column names, index-aligned with the dataset's dimensions.
+    pub columns: Vec<&'static str>,
+    /// Number of query types in the workload.
+    pub query_types: usize,
+}
+
+impl DatasetBundle {
+    /// Generates the four standard dataset/workload bundles of the paper's
+    /// evaluation, scaled to `rows` rows and `queries_per_type` queries per
+    /// type.
+    pub fn standard(rows: usize, queries_per_type: usize, seed: u64) -> Vec<DatasetBundle> {
+        let tpch_data = tpch::generate(rows, seed);
+        let taxi_data = taxi::generate(rows, seed ^ 1);
+        let perfmon_data = perfmon::generate(rows, seed ^ 2);
+        let stocks_data = stocks::generate(rows, seed ^ 3);
+        vec![
+            DatasetBundle {
+                name: "TPC-H",
+                workload: tpch::workload(&tpch_data, queries_per_type, seed ^ 10),
+                data: tpch_data,
+                columns: tpch::COLUMNS.to_vec(),
+                query_types: 5,
+            },
+            DatasetBundle {
+                name: "Taxi",
+                workload: taxi::workload(&taxi_data, queries_per_type, seed ^ 11),
+                data: taxi_data,
+                columns: taxi::COLUMNS.to_vec(),
+                query_types: 6,
+            },
+            DatasetBundle {
+                name: "Perfmon",
+                workload: perfmon::workload(&perfmon_data, queries_per_type, seed ^ 12),
+                data: perfmon_data,
+                columns: perfmon::COLUMNS.to_vec(),
+                query_types: 5,
+            },
+            DatasetBundle {
+                name: "Stocks",
+                workload: stocks::workload(&stocks_data, queries_per_type, seed ^ 13),
+                data: stocks_data,
+                columns: stocks::COLUMNS.to_vec(),
+                query_types: 5,
+            },
+        ]
+    }
+
+    /// Dataset size in GiB (8 bytes per value), for Table 3.
+    pub fn size_gib(&self) -> f64 {
+        (self.data.len() * self.data.num_dims() * 8) as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Average workload selectivity over this dataset.
+    pub fn average_selectivity(&self) -> f64 {
+        self.workload.average_selectivity(&self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_bundles_cover_the_four_datasets() {
+        let bundles = DatasetBundle::standard(3_000, 5, 99);
+        assert_eq!(bundles.len(), 4);
+        let names: Vec<&str> = bundles.iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["TPC-H", "Taxi", "Perfmon", "Stocks"]);
+        for b in &bundles {
+            assert_eq!(b.data.len(), 3_000);
+            assert_eq!(b.columns.len(), b.data.num_dims());
+            assert!(!b.workload.is_empty());
+            assert!(b.size_gib() > 0.0);
+            assert!(b.average_selectivity() < 0.2);
+        }
+        // Dimensionalities match Table 3: 8, 9, 7, 7.
+        let dims: Vec<usize> = bundles.iter().map(|b| b.data.num_dims()).collect();
+        assert_eq!(dims, vec![8, 9, 7, 7]);
+    }
+}

@@ -1,0 +1,152 @@
+//! A daily-stock-prices-like dataset and workload (§6.2).
+//!
+//! Dimensions:
+//!
+//! | idx | column      | structure                                            |
+//! |-----|-------------|------------------------------------------------------|
+//! | 0   | date        | trading days over ~48 years, uniform                 |
+//! | 1   | open        | log-uniform price in cents                           |
+//! | 2   | close       | open ± a few percent (tightly correlated)            |
+//! | 3   | low         | ≤ min(open, close), correlated                       |
+//! | 4   | high        | ≥ max(open, close), correlated                       |
+//! | 5   | adj close   | close scaled by a split factor (correlated)          |
+//! | 6   | volume      | heavy-tailed, skewed low                             |
+//!
+//! Five query types, e.g. "which stocks saw the lowest intra-day price change
+//! while trading at high volume?" and "what one-year span in the past decade
+//! saw the most stocks close in a certain price range?". Queries skew over
+//! time (recent years) and volume (very low and very high volume types).
+//! Query selectivity is tightly concentrated (the paper reports 0.5%±0.04%).
+
+use crate::queries::{count_query, range_at, recency_biased_start, sorted_column};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsunami_core::{Dataset, Value, Workload};
+
+/// Column names, index-aligned with the generated dataset.
+pub const COLUMNS: [&str; 7] = [
+    "date", "open", "close", "low", "high", "adj_close", "volume",
+];
+
+/// Trading days in the date domain (1970–2018).
+pub const DATE_DOMAIN: u64 = 48 * 252;
+
+/// Generates a stock-prices-like dataset with `rows` rows.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rows); 7];
+    for _ in 0..rows {
+        let date = rng.gen_range(0..DATE_DOMAIN);
+        // Log-uniform open price between $1 and $1000 (in cents).
+        let open = (100.0 * 1000f64.powf(rng.gen::<f64>())) as u64;
+        let drift = 1.0 + (rng.gen::<f64>() - 0.5) * 0.06;
+        let close = ((open as f64) * drift) as u64;
+        let low = (open.min(close) as f64 * (1.0 - rng.gen::<f64>() * 0.03)) as u64;
+        let high = (open.max(close) as f64 * (1.0 + rng.gen::<f64>() * 0.03)) as u64;
+        let adj = close * rng.gen_range(90..=100) / 100;
+        // Heavy-tailed volume.
+        let v: f64 = rng.gen::<f64>();
+        let volume = (1_000.0 + 10_000_000.0 * v.powi(4)) as u64;
+        let row = [date, open, close, low, high, adj, volume];
+        for (c, val) in row.into_iter().enumerate() {
+            cols[c].push(val);
+        }
+    }
+    Dataset::from_columns(cols).expect("valid stocks dataset")
+}
+
+/// Generates the stocks workload: five query types, `queries_per_type` each,
+/// each with roughly 0.5% selectivity.
+pub fn workload(data: &Dataset, queries_per_type: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sorted: Vec<Vec<Value>> = (0..data.num_dims())
+        .map(|d| sorted_column(data.column(d)))
+        .collect();
+    let mut queries = Vec::with_capacity(5 * queries_per_type);
+    for _ in 0..queries_per_type {
+        // Type 1: low intra-day change at high volume.
+        let (o_lo, o_hi) = range_at(&sorted[1], rng.gen::<f64>() * 0.8, 0.05);
+        let (v_lo, v_hi) = range_at(&sorted[6], 0.9 + 0.09 * rng.gen::<f64>(), 0.08);
+        queries.push(count_query(&[(1, o_lo, o_hi), (6, v_lo, v_hi)]));
+
+        // Type 2: recent one-year span, close in a price band.
+        let start = recency_biased_start(&mut rng, 0.85, 0.2);
+        let (d_lo, d_hi) = range_at(&sorted[0], start.min(0.97), 0.02);
+        let (c_lo, c_hi) = range_at(&sorted[2], rng.gen::<f64>() * 0.7, 0.2);
+        queries.push(count_query(&[(0, d_lo, d_hi), (2, c_lo, c_hi)]));
+
+        // Type 3: very low volume penny-stock days.
+        let (v_lo, v_hi) = range_at(&sorted[6], 0.0, 0.04);
+        let (l_lo, l_hi) = range_at(&sorted[3], 0.0, 0.12);
+        queries.push(count_query(&[(6, v_lo, v_hi), (3, l_lo, l_hi)]));
+
+        // Type 4: high/low band spread over a recent window.
+        let start = recency_biased_start(&mut rng, 0.8, 0.15);
+        let (d_lo, d_hi) = range_at(&sorted[0], start.min(0.96), 0.03);
+        let (h_lo, h_hi) = range_at(&sorted[4], 0.75 + 0.2 * rng.gen::<f64>(), 0.15);
+        queries.push(count_query(&[(0, d_lo, d_hi), (4, h_lo, h_hi)]));
+
+        // Type 5: adjusted close vs close band (correlated pair).
+        let start = rng.gen::<f64>() * 0.8;
+        let (a_lo, a_hi) = range_at(&sorted[5], start, 0.05);
+        let (c_lo, c_hi) = range_at(&sorted[2], start, 0.1);
+        queries.push(count_query(&[(5, a_lo, a_hi), (2, c_lo, c_hi)]));
+    }
+    Workload::new(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_shape_and_price_correlations_hold() {
+        let ds = generate(20_000, 31);
+        assert_eq!(ds.num_dims(), COLUMNS.len());
+        for r in (0..ds.len()).step_by(991) {
+            let open = ds.get(r, 1);
+            let close = ds.get(r, 2);
+            let low = ds.get(r, 3);
+            let high = ds.get(r, 4);
+            assert!(low <= open.min(close) && high >= open.max(close));
+            // Close within ±4% of open.
+            assert!((close as f64) < open as f64 * 1.04 && (close as f64) > open as f64 * 0.96);
+            assert!(ds.get(r, 5) <= close);
+        }
+    }
+
+    #[test]
+    fn volume_is_heavy_tailed() {
+        let ds = generate(20_000, 32);
+        let sorted = sorted_column(ds.column(6));
+        let median = sorted[sorted.len() / 2];
+        let p99 = sorted[sorted.len() * 99 / 100];
+        assert!(p99 > median * 10, "median {median}, p99 {p99}");
+    }
+
+    #[test]
+    fn workload_selectivity_is_tightly_concentrated_and_low() {
+        let ds = generate(30_000, 33);
+        let w = workload(&ds, 20, 34);
+        assert_eq!(w.len(), 100);
+        let avg = w.average_selectivity(&ds);
+        assert!(avg < 0.06, "avg selectivity {avg}");
+        assert!(w.group_by_filtered_dims().len() >= 4);
+    }
+
+    #[test]
+    fn workload_skews_to_recent_dates() {
+        let ds = generate(20_000, 35);
+        let w = workload(&ds, 30, 36);
+        let date_preds: Vec<_> = w
+            .queries()
+            .iter()
+            .filter_map(|q| q.predicate_on(0).copied())
+            .collect();
+        let recent = date_preds
+            .iter()
+            .filter(|p| p.lo > DATE_DOMAIN * 6 / 10)
+            .count();
+        assert!(recent * 2 > date_preds.len());
+    }
+}

@@ -1,0 +1,216 @@
+//! Synthetic datasets for the scalability experiments (Fig 10 and Fig 11b).
+//!
+//! Two families of d-dimensional datasets (§6.5):
+//!
+//! * **Uncorrelated** — every dimension sampled i.i.d. uniformly.
+//! * **Correlated** — half of the dimensions are uniform; each dimension in
+//!   the other half is linearly correlated with one of the first half, either
+//!   strongly (±1% error) or loosely (±10% error).
+//!
+//! The accompanying workload has four query types; earlier dimensions are
+//! filtered with exponentially higher selectivity than later ones, and the
+//! queries are skewed over the first four dimensions.
+
+use crate::queries::{count_query, range_at, sorted_column};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsunami_core::{Dataset, Value, Workload};
+
+/// Domain size of every synthetic dimension.
+pub const DOMAIN: u64 = 1_000_000;
+
+/// Generates an uncorrelated d-dimensional uniform dataset.
+pub fn uncorrelated(rows: usize, dims: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cols: Vec<Vec<Value>> = (0..dims)
+        .map(|_| (0..rows).map(|_| rng.gen_range(0..DOMAIN)).collect())
+        .collect();
+    Dataset::from_columns(cols).expect("valid synthetic dataset")
+}
+
+/// Generates a correlated d-dimensional dataset: dimensions `0..dims/2` are
+/// uniform; dimension `dims/2 + i` is linearly correlated with dimension `i`,
+/// strongly (±1%) for even `i` and loosely (±10%) for odd `i`.
+pub fn correlated(rows: usize, dims: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let half = (dims + 1) / 2;
+    let mut cols: Vec<Vec<Value>> = (0..half)
+        .map(|_| (0..rows).map(|_| rng.gen_range(0..DOMAIN)).collect())
+        .collect();
+    for i in 0..dims - half {
+        let src = i % half;
+        let error_frac = if i % 2 == 0 { 0.01 } else { 0.10 };
+        let max_err = (DOMAIN as f64 * error_frac) as i64;
+        let col: Vec<Value> = (0..rows)
+            .map(|r| {
+                let base = cols[src][r] as i64;
+                let err = rng.gen_range(-max_err..=max_err);
+                (base + err).clamp(0, DOMAIN as i64 - 1) as Value
+            })
+            .collect();
+        cols.push(col);
+    }
+    Dataset::from_columns(cols).expect("valid synthetic dataset")
+}
+
+/// Generates the synthetic workload: four query types with exponentially
+/// decreasing selectivity by dimension index and recency-style skew over the
+/// first (up to) four dimensions.
+pub fn workload(data: &Dataset, queries_per_type: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5711);
+    let d = data.num_dims();
+    let sorted: Vec<Vec<Value>> = (0..d).map(|dim| sorted_column(data.column(dim))).collect();
+
+    // Each query type filters a distinct pair of dimensions.
+    let type_dims: Vec<(usize, usize)> = (0..4)
+        .map(|t| (t % d, (t + d / 2).max(t + 1) % d))
+        .collect();
+
+    let mut queries = Vec::with_capacity(4 * queries_per_type);
+    for (t, &(d0, d1)) in type_dims.iter().enumerate() {
+        // Earlier dimensions are filtered with exponentially higher
+        // selectivity than later dimensions.
+        let sel0 = (0.02 / (1 << d0.min(4)) as f64).max(0.003);
+        let sel1 = (0.4 / (1 << (d1.min(4))) as f64).max(0.05);
+        for _ in 0..queries_per_type {
+            // Skew: query types concentrate on the upper part of the first
+            // four dimensions.
+            let start0 = if d0 < 4 {
+                0.7 + 0.3 * rng.gen::<f64>() * (1.0 - sel0)
+            } else {
+                rng.gen::<f64>()
+            };
+            let start1 = rng.gen::<f64>() * (1.0 - sel1);
+            let (lo0, hi0) = range_at(&sorted[d0], start0.min(0.999), sel0);
+            let (lo1, hi1) = range_at(&sorted[d1], start1, sel1);
+            if d0 == d1 {
+                queries.push(count_query(&[(d0, lo0, hi0)]));
+            } else {
+                queries.push(count_query(&[(d0, lo0, hi0), (d1, lo1, hi1)]));
+            }
+        }
+        let _ = t;
+    }
+    Workload::new(queries)
+}
+
+/// Scales every query's filter ranges around their centers so the workload's
+/// average selectivity changes by roughly `factor` in each filtered dimension
+/// (used for the selectivity sweep of Fig 11b).
+pub fn scale_selectivity(workload: &Workload, factor: f64) -> Workload {
+    let factor = factor.max(0.0);
+    Workload::new(
+        workload
+            .queries()
+            .iter()
+            .map(|q| {
+                let preds = q
+                    .predicates()
+                    .iter()
+                    .map(|p| {
+                        let center = (p.lo as f64 + p.hi as f64) / 2.0;
+                        let half_width = (p.hi - p.lo) as f64 / 2.0 * factor;
+                        let lo = (center - half_width).max(0.0) as Value;
+                        let hi = (center + half_width) as Value;
+                        (p.dim, lo, hi.max(lo))
+                    })
+                    .collect::<Vec<_>>();
+                count_query(&preds)
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncorrelated_dataset_has_requested_shape() {
+        let ds = uncorrelated(5_000, 6, 1);
+        assert_eq!(ds.len(), 5_000);
+        assert_eq!(ds.num_dims(), 6);
+        let (lo, hi) = ds.domain(3).unwrap();
+        assert!(hi <= DOMAIN && hi > DOMAIN / 2 && lo < DOMAIN / 10);
+    }
+
+    #[test]
+    fn correlated_dataset_actually_correlates_pairs() {
+        let ds = correlated(5_000, 8, 2);
+        assert_eq!(ds.num_dims(), 8);
+        // dim 4 is strongly correlated with dim 0.
+        let c0 = ds.column(0);
+        let c4 = ds.column(4);
+        let max_dev = c0
+            .iter()
+            .zip(c4)
+            .map(|(&a, &b)| (a as i64 - b as i64).unsigned_abs())
+            .max()
+            .unwrap();
+        assert!(max_dev <= (DOMAIN as f64 * 0.011) as u64, "deviation {max_dev}");
+        // dim 5 is loosely correlated with dim 1.
+        let dev5: u64 = ds
+            .column(1)
+            .iter()
+            .zip(ds.column(5))
+            .map(|(&a, &b)| (a as i64 - b as i64).unsigned_abs())
+            .max()
+            .unwrap();
+        assert!(dev5 <= (DOMAIN as f64 * 0.11) as u64);
+        assert!(dev5 > (DOMAIN as f64 * 0.02) as u64);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(correlated(500, 4, 7), correlated(500, 4, 7));
+        assert_ne!(correlated(500, 4, 7), correlated(500, 4, 8));
+    }
+
+    #[test]
+    fn workload_has_four_types_and_sane_selectivities() {
+        let ds = correlated(20_000, 8, 3);
+        let w = workload(&ds, 25, 4);
+        assert_eq!(w.len(), 100);
+        let avg = w.average_selectivity(&ds);
+        assert!(avg > 0.00002 && avg < 0.3, "average selectivity {avg}");
+        // Queries are well-formed over existing dimensions.
+        assert!(w
+            .queries()
+            .iter()
+            .all(|q| q.filtered_dims().iter().all(|&d| d < 8)));
+    }
+
+    #[test]
+    fn workload_is_skewed_toward_high_values_of_early_dims() {
+        let ds = correlated(10_000, 8, 5);
+        let w = workload(&ds, 50, 6);
+        // Queries filtering dim 0 should mostly start in the top third.
+        let (dom_lo, dom_hi) = ds.domain(0).unwrap();
+        let cutoff = dom_lo + (dom_hi - dom_lo) / 2;
+        let dim0_preds: Vec<_> = w
+            .queries()
+            .iter()
+            .filter_map(|q| q.predicate_on(0).copied())
+            .collect();
+        assert!(!dim0_preds.is_empty());
+        let high = dim0_preds.iter().filter(|p| p.lo >= cutoff).count();
+        assert!(high * 2 > dim0_preds.len(), "{high}/{}", dim0_preds.len());
+    }
+
+    #[test]
+    fn scale_selectivity_changes_range_widths() {
+        let ds = correlated(5_000, 4, 9);
+        let w = workload(&ds, 10, 10);
+        let wider = scale_selectivity(&w, 4.0);
+        let narrower = scale_selectivity(&w, 0.25);
+        let width = |wl: &Workload| -> f64 {
+            wl.queries()
+                .iter()
+                .flat_map(|q| q.predicates().iter().map(|p| (p.hi - p.lo) as f64))
+                .sum::<f64>()
+        };
+        assert!(width(&wider) > width(&w) * 2.0);
+        assert!(width(&narrower) < width(&w));
+        assert_eq!(wider.len(), w.len());
+    }
+}

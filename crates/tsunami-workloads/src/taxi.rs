@@ -1,0 +1,185 @@
+//! A NYC-Taxi-like dataset and workload (§6.2).
+//!
+//! Dimensions:
+//!
+//! | idx | column           | structure                                            |
+//! |-----|------------------|------------------------------------------------------|
+//! | 0   | pickup time      | minutes over two years, uniform                      |
+//! | 1   | dropoff time     | pickup + trip duration (tightly correlated)          |
+//! | 2   | trip distance    | 1/100 miles, heavy-tailed (many short trips)         |
+//! | 3   | fare             | ≈ linear in distance (correlated)                    |
+//! | 4   | tip              | ≈ fraction of fare (correlated)                      |
+//! | 5   | total amount     | fare + tip + fees (tightly correlated)               |
+//! | 6   | passenger count  | 1..=6, heavily skewed toward 1                       |
+//! | 7   | pickup zone      | 0..=262 dictionary-encoded                           |
+//! | 8   | dropoff zone     | 0..=262, correlated with pickup for short trips      |
+//!
+//! Six query types: queries skew over time (recent data), passenger count
+//! (types about very low and very high counts) and trip distance (more
+//! queries about very short trips). Examples: "how common were
+//! single-passenger trips between two particular parts of Manhattan?",
+//! "what month saw the most short-distance trips?".
+
+use crate::queries::{count_query, range_at, recency_biased_start, sorted_column};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsunami_core::{Dataset, Value, Workload};
+
+/// Column names, index-aligned with the generated dataset.
+pub const COLUMNS: [&str; 9] = [
+    "pickup_time",
+    "dropoff_time",
+    "trip_distance",
+    "fare",
+    "tip",
+    "total",
+    "passenger_count",
+    "pickup_zone",
+    "dropoff_zone",
+];
+
+/// Minutes in the two-year time domain.
+pub const TIME_DOMAIN: u64 = 2 * 365 * 24 * 60;
+
+/// Generates a taxi-trip-like dataset with `rows` rows.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rows); 9];
+    for _ in 0..rows {
+        let pickup: u64 = rng.gen_range(0..TIME_DOMAIN);
+        // Heavy-tailed trip distance in 1/100 miles: mostly short trips.
+        let r: f64 = rng.gen::<f64>();
+        let distance = (100.0 + 4_900.0 * r * r * r) as u64;
+        let duration = 3 + distance / 30 + rng.gen_range(0..20);
+        let fare = 250 + distance * 25 / 100 + rng.gen_range(0..200);
+        let tip = fare * rng.gen_range(0..=30) / 100;
+        let total = fare + tip + rng.gen_range(0..300);
+        let passengers = match rng.gen_range(0..100) {
+            0..=69 => 1,
+            70..=84 => 2,
+            85..=92 => 3,
+            93..=96 => 4,
+            97..=98 => 5,
+            _ => 6,
+        };
+        let pickup_zone = rng.gen_range(0..263u64);
+        let dropoff_zone = if distance < 500 {
+            // Short trips stay near the pickup zone.
+            (pickup_zone + rng.gen_range(0..20)) % 263
+        } else {
+            rng.gen_range(0..263u64)
+        };
+        let row = [
+            pickup,
+            (pickup + duration).min(TIME_DOMAIN + 10_000),
+            distance,
+            fare,
+            tip,
+            total,
+            passengers,
+            pickup_zone,
+            dropoff_zone,
+        ];
+        for (c, v) in row.into_iter().enumerate() {
+            cols[c].push(v);
+        }
+    }
+    Dataset::from_columns(cols).expect("valid taxi dataset")
+}
+
+/// Generates the taxi workload: six query types, `queries_per_type` each.
+pub fn workload(data: &Dataset, queries_per_type: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sorted: Vec<Vec<Value>> = (0..data.num_dims())
+        .map(|d| sorted_column(data.column(d)))
+        .collect();
+    let mut queries = Vec::with_capacity(6 * queries_per_type);
+    for _ in 0..queries_per_type {
+        // Type 1: single-passenger trips between two particular zone bands.
+        let pz = rng.gen_range(0..250u64);
+        let dz = rng.gen_range(0..250u64);
+        queries.push(count_query(&[
+            (6, 1, 1),
+            (7, pz, pz + 12),
+            (8, dz, dz + 12),
+        ]));
+
+        // Type 2: short-distance trips in a recent month.
+        let start = recency_biased_start(&mut rng, 0.85, 0.12);
+        let (t_lo, t_hi) = range_at(&sorted[0], start.min(0.96), 0.04);
+        queries.push(count_query(&[(0, t_lo, t_hi), (2, 0, 400)]));
+
+        // Type 3: very high passenger counts over a broad recent window.
+        let start = recency_biased_start(&mut rng, 0.8, 0.25);
+        let (t_lo, t_hi) = range_at(&sorted[0], start.min(0.9), 0.1);
+        queries.push(count_query(&[(0, t_lo, t_hi), (6, 5, 6)]));
+
+        // Type 4: expensive trips (high fare, decent tip).
+        let (f_lo, f_hi) = range_at(&sorted[3], 0.9 + 0.09 * rng.gen::<f64>(), 0.04);
+        let (tip_lo, tip_hi) = range_at(&sorted[4], 0.7, 0.3);
+        queries.push(count_query(&[(3, f_lo, f_hi), (4, tip_lo, tip_hi)]));
+
+        // Type 5: narrow dropoff-time window (rush hour style), any distance.
+        let start = recency_biased_start(&mut rng, 0.75, 0.2);
+        let (d_lo, d_hi) = range_at(&sorted[1], start.min(0.97), 0.015);
+        queries.push(count_query(&[(1, d_lo, d_hi)]));
+
+        // Type 6: medium-distance trips with a particular total band.
+        let (dist_lo, dist_hi) = range_at(&sorted[2], 0.5 + 0.3 * rng.gen::<f64>(), 0.08);
+        let (tot_lo, tot_hi) = range_at(&sorted[5], rng.gen::<f64>() * 0.6, 0.1);
+        queries.push(count_query(&[(2, dist_lo, dist_hi), (5, tot_lo, tot_hi)]));
+    }
+    Workload::new(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_shape_and_correlations_hold() {
+        let ds = generate(20_000, 11);
+        assert_eq!(ds.num_dims(), COLUMNS.len());
+        // Dropoff after pickup; fare grows with distance.
+        for r in (0..ds.len()).step_by(991) {
+            assert!(ds.get(r, 1) >= ds.get(r, 0));
+            let distance = ds.get(r, 2);
+            let fare = ds.get(r, 3);
+            assert!(fare >= 250 + distance / 4 && fare <= 450 + distance / 2);
+            assert!(ds.get(r, 5) >= fare);
+            assert!((1..=6).contains(&ds.get(r, 6)));
+        }
+    }
+
+    #[test]
+    fn trip_distances_are_heavy_tailed() {
+        let ds = generate(20_000, 12);
+        let short = ds.column(2).iter().filter(|&&d| d < 1_000).count();
+        assert!(short * 2 > ds.len(), "most trips should be short: {short}");
+    }
+
+    #[test]
+    fn passenger_counts_are_skewed_toward_one() {
+        let ds = generate(20_000, 13);
+        let singles = ds.column(6).iter().filter(|&&p| p == 1).count();
+        assert!(singles as f64 / ds.len() as f64 > 0.6);
+    }
+
+    #[test]
+    fn workload_has_six_types_and_time_skew() {
+        let ds = generate(30_000, 14);
+        let w = workload(&ds, 15, 15);
+        assert_eq!(w.len(), 90);
+        assert!(w.group_by_filtered_dims().len() >= 5);
+        // Pickup-time filters skew toward recent values.
+        let preds: Vec<_> = w
+            .queries()
+            .iter()
+            .filter_map(|q| q.predicate_on(0).copied())
+            .collect();
+        let recent = preds.iter().filter(|p| p.lo > TIME_DOMAIN * 6 / 10).count();
+        assert!(recent * 2 > preds.len());
+        let avg = w.average_selectivity(&ds);
+        assert!(avg < 0.15, "avg selectivity {avg}");
+    }
+}

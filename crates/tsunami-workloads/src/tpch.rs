@@ -1,0 +1,223 @@
+//! A TPC-H `lineitem`-like dataset and workload (§6.2).
+//!
+//! Dimensions (all integer-encoded, mirroring the paper's setup):
+//!
+//! | idx | column          | structure                                              |
+//! |-----|-----------------|--------------------------------------------------------|
+//! | 0   | quantity        | uniform 1..=50                                          |
+//! | 1   | extended price  | ≈ quantity × unit price (correlated with quantity)      |
+//! | 2   | discount        | 0..=10 (percent)                                        |
+//! | 3   | tax             | 0..=8 (percent)                                         |
+//! | 4   | ship mode       | 7 dictionary-encoded values                             |
+//! | 5   | ship date       | days 0..2555 (7 years), uniform                         |
+//! | 6   | commit date     | ship date ± 45 days (correlated)                        |
+//! | 7   | receipt date    | ship date + 1..30 days (tightly correlated)             |
+//!
+//! The workload has five query types modeled on common TPC-H filters, e.g.
+//! "how many high-priced orders in the past year used a significant
+//! discount?" and "how many shipments by air had below ten items?". Queries
+//! skew toward recent ship dates.
+
+use crate::queries::{count_query, range_at, recency_biased_start, sorted_column};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsunami_core::{Dataset, Value, Workload};
+
+/// Column names, index-aligned with the generated dataset.
+pub const COLUMNS: [&str; 8] = [
+    "quantity",
+    "extendedprice",
+    "discount",
+    "tax",
+    "shipmode",
+    "shipdate",
+    "commitdate",
+    "receiptdate",
+];
+
+/// Number of days in the generated date domain.
+pub const DATE_DOMAIN: u64 = 2555;
+
+/// Generates a `lineitem`-like dataset with `rows` rows.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut quantity = Vec::with_capacity(rows);
+    let mut price = Vec::with_capacity(rows);
+    let mut discount = Vec::with_capacity(rows);
+    let mut tax = Vec::with_capacity(rows);
+    let mut shipmode = Vec::with_capacity(rows);
+    let mut shipdate = Vec::with_capacity(rows);
+    let mut commitdate = Vec::with_capacity(rows);
+    let mut receiptdate = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let q: u64 = rng.gen_range(1..=50);
+        // Unit price in cents, so extended price is correlated with quantity.
+        let unit_price: u64 = rng.gen_range(90_000..110_000);
+        quantity.push(q);
+        price.push(q * unit_price / 100);
+        discount.push(rng.gen_range(0..=10));
+        tax.push(rng.gen_range(0..=8));
+        shipmode.push(rng.gen_range(0..7));
+        let sd: u64 = rng.gen_range(0..DATE_DOMAIN);
+        shipdate.push(sd);
+        commitdate.push((sd as i64 + rng.gen_range(-45..=45)).clamp(0, DATE_DOMAIN as i64 - 1) as u64);
+        receiptdate.push((sd + rng.gen_range(1..=30)).min(DATE_DOMAIN - 1));
+    }
+    Dataset::from_columns(vec![
+        quantity, price, discount, tax, shipmode, shipdate, commitdate, receiptdate,
+    ])
+    .expect("valid tpch dataset")
+}
+
+/// Generates the TPC-H-like workload: five query types, `queries_per_type`
+/// queries each.
+pub fn workload(data: &Dataset, queries_per_type: usize, seed: u64) -> Workload {
+    build_workload(data, queries_per_type, seed, false)
+}
+
+/// Generates the *shifted* workload used by the adaptability experiment
+/// (Fig 9a): five new query types with different filtered dimensions and
+/// selectivities.
+pub fn shifted_workload(data: &Dataset, queries_per_type: usize, seed: u64) -> Workload {
+    build_workload(data, queries_per_type, seed ^ 0x5817F7, true)
+}
+
+fn build_workload(data: &Dataset, per_type: usize, seed: u64, shifted: bool) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sorted: Vec<Vec<Value>> = (0..data.num_dims())
+        .map(|d| sorted_column(data.column(d)))
+        .collect();
+    let mut queries = Vec::with_capacity(5 * per_type);
+
+    for _ in 0..per_type {
+        if !shifted {
+            // Type 1: high-priced recent orders with a significant discount.
+            let start = recency_biased_start(&mut rng, 0.9, 0.15);
+            let (d_lo, d_hi) = (7, 10);
+            let (p_lo, p_hi) = range_at(&sorted[1], 0.8 + 0.19 * rng.gen::<f64>(), 0.05);
+            let (s_lo, s_hi) = range_at(&sorted[5], start.min(0.97), 0.03);
+            queries.push(count_query(&[(1, p_lo, p_hi), (2, d_lo, d_hi), (5, s_lo, s_hi)]));
+
+            // Type 2: shipments by air (one ship mode) with below ten items.
+            let mode = rng.gen_range(0..7);
+            queries.push(count_query(&[(4, mode, mode), (0, 1, 9)]));
+
+            // Type 3: narrow receipt-date window with tax filter (recent skew).
+            let start = recency_biased_start(&mut rng, 0.8, 0.2);
+            let (r_lo, r_hi) = range_at(&sorted[7], start.min(0.98), 0.015);
+            queries.push(count_query(&[(7, r_lo, r_hi), (3, 0, 4)]));
+
+            // Type 4: quantity + discount + ship date over a season.
+            let start = rng.gen::<f64>() * 0.9;
+            let (s_lo, s_hi) = range_at(&sorted[5], start, 0.08);
+            queries.push(count_query(&[(0, 25, 50), (2, 5, 10), (5, s_lo, s_hi)]));
+
+            // Type 5: commit-vs-ship window, broad price band.
+            let start = rng.gen::<f64>() * 0.95;
+            let (c_lo, c_hi) = range_at(&sorted[6], start, 0.04);
+            let (p_lo, p_hi) = range_at(&sorted[1], rng.gen::<f64>() * 0.5, 0.3);
+            queries.push(count_query(&[(6, c_lo, c_hi), (1, p_lo, p_hi)]));
+        } else {
+            // Five new query types for the workload-shift experiment: they
+            // filter different dimensions with different selectivities.
+            let (t_lo, t_hi) = range_at(&sorted[3], rng.gen::<f64>() * 0.6, 0.2);
+            queries.push(count_query(&[(3, t_lo, t_hi), (0, 1, 5)]));
+
+            let (q_lo, q_hi) = (40, 50);
+            let (p_lo, p_hi) = range_at(&sorted[1], 0.01 * rng.gen::<f64>(), 0.04);
+            queries.push(count_query(&[(0, q_lo, q_hi), (1, p_lo, p_hi)]));
+
+            let start = 0.3 * rng.gen::<f64>();
+            let (s_lo, s_hi) = range_at(&sorted[5], start, 0.02);
+            queries.push(count_query(&[(5, s_lo, s_hi), (4, 0, 2)]));
+
+            let (c_lo, c_hi) = range_at(&sorted[6], 0.5 + 0.4 * rng.gen::<f64>(), 0.01);
+            queries.push(count_query(&[(6, c_lo, c_hi), (2, 0, 2), (3, 5, 8)]));
+
+            let (r_lo, r_hi) = range_at(&sorted[7], rng.gen::<f64>() * 0.5, 0.1);
+            let (p_lo, p_hi) = range_at(&sorted[1], 0.45 + 0.1 * rng.gen::<f64>(), 0.08);
+            queries.push(count_query(&[(7, r_lo, r_hi), (1, p_lo, p_hi)]));
+        }
+    }
+    Workload::new(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_has_documented_shape_and_correlations() {
+        let ds = generate(20_000, 1);
+        assert_eq!(ds.num_dims(), COLUMNS.len());
+        assert_eq!(ds.len(), 20_000);
+        // Price is correlated with quantity (ratio bounded by unit price range).
+        for r in (0..ds.len()).step_by(977) {
+            let q = ds.get(r, 0);
+            let p = ds.get(r, 1);
+            assert!(p >= q * 900 && p <= q * 1100, "row {r}: q={q} p={p}");
+        }
+        // Receipt date is within 30 days after ship date.
+        for r in (0..ds.len()).step_by(977) {
+            let s = ds.get(r, 5);
+            let rc = ds.get(r, 7);
+            assert!(rc >= s && rc <= s + 30 || rc == DATE_DOMAIN - 1);
+        }
+        // Ship mode has 7 distinct values.
+        let (lo, hi) = ds.domain(4).unwrap();
+        assert!(lo == 0 && hi == 6);
+    }
+
+    #[test]
+    fn workload_has_five_types_and_reasonable_selectivity() {
+        let ds = generate(30_000, 2);
+        let w = workload(&ds, 20, 3);
+        assert_eq!(w.len(), 100);
+        let groups = w.group_by_filtered_dims();
+        assert!(groups.len() >= 4, "expected >=4 distinct filter-dim sets, got {}", groups.len());
+        let avg = w.average_selectivity(&ds);
+        assert!(avg > 0.0001 && avg < 0.1, "avg selectivity {avg}");
+    }
+
+    #[test]
+    fn workload_skews_toward_recent_ship_dates() {
+        let ds = generate(20_000, 4);
+        let w = workload(&ds, 40, 5);
+        let ship_preds: Vec<_> = w
+            .queries()
+            .iter()
+            .filter_map(|q| q.predicate_on(5).copied())
+            .collect();
+        assert!(!ship_preds.is_empty());
+        let recent = ship_preds
+            .iter()
+            .filter(|p| p.lo >= DATE_DOMAIN * 7 / 10)
+            .count();
+        assert!(
+            recent * 2 > ship_preds.len(),
+            "recent {recent} of {}",
+            ship_preds.len()
+        );
+    }
+
+    #[test]
+    fn shifted_workload_differs_from_original() {
+        let ds = generate(10_000, 6);
+        let original = workload(&ds, 10, 7);
+        let shifted = shifted_workload(&ds, 10, 7);
+        assert_eq!(shifted.len(), 50);
+        // The filtered-dimension signature of the shifted workload differs.
+        let sig = |w: &Workload| {
+            let mut dims: Vec<Vec<usize>> = w.queries().iter().map(|q| q.filtered_dims()).collect();
+            dims.sort();
+            dims.dedup();
+            dims
+        };
+        assert_ne!(sig(&original), sig(&shifted));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(1_000, 9), generate(1_000, 9));
+    }
+}

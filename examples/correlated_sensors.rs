@@ -1,0 +1,74 @@
+//! Correlated sensors: demonstrates the Augmented Grid's correlation-aware
+//! strategies (functional mappings and conditional CDFs) on a
+//! performance-monitoring workload where CPU, load, and memory usage track
+//! each other.
+//!
+//! Run with: `cargo run --release --example correlated_sensors`
+
+use tsunami_core::{CostModel, MultiDimIndex, Predicate, Query};
+use tsunami_flood::{FloodConfig, FloodIndex};
+use tsunami_index::augmented_grid::{optimize_layout, OptimizerKind};
+use tsunami_index::{IndexVariant, TsunamiConfig, TsunamiIndex};
+use tsunami_workloads::perfmon;
+
+fn main() {
+    let rows = 80_000;
+    let data = perfmon::generate(rows, 11);
+    let workload = perfmon::workload(&data, 25, 12);
+    println!(
+        "perfmon dataset: {} rows x {} dims, {} queries",
+        data.len(),
+        data.num_dims(),
+        workload.len()
+    );
+
+    // Ask the optimizer what layout it would choose for a single Augmented
+    // Grid over the whole space, and show the skeleton it discovered.
+    let cost = CostModel::default();
+    let config = TsunamiConfig::default();
+    let layout = optimize_layout(&data, &workload, &cost, &config, OptimizerKind::Adaptive);
+    println!("\nAGD-chosen skeleton: {}", layout.skeleton);
+    println!("partition counts:    {:?}", layout.partitions);
+    println!("predicted avg cost:  {:.0} (cost-model units)", layout.predicted_cost);
+
+    // Build the Augmented-Grid-only index (no Grid Tree), the full Tsunami
+    // index, and Flood — then compare scan volumes on the workload.
+    let ag_only = TsunamiIndex::build_with_cost(
+        &data,
+        &workload,
+        &cost,
+        &config.clone().with_variant(IndexVariant::AugmentedGridOnly),
+    )
+    .expect("augmented-grid build");
+    let tsunami =
+        TsunamiIndex::build_with_cost(&data, &workload, &cost, &config).expect("tsunami build");
+    let flood = FloodIndex::build(&data, &workload, &cost, &FloodConfig::default());
+
+    println!("\n{:<22} {:>16} {:>14}", "index", "avg scanned rows", "size (KiB)");
+    for index in [&flood as &dyn MultiDimIndex, &ag_only, &tsunami] {
+        let mut scanned = 0usize;
+        for q in workload.queries() {
+            let (_, stats) = index.execute_with_stats(q);
+            scanned += stats.points_scanned;
+        }
+        println!(
+            "{:<22} {:>16.0} {:>14.1}",
+            index.name(),
+            scanned as f64 / workload.len() as f64,
+            index.size_bytes() as f64 / 1024.0
+        );
+    }
+
+    // An operations-monitoring question: "when did machines 100..120 run hot
+    // (high user CPU and high 1-minute load) during the last week?"
+    let week = 7 * 24 * 60;
+    let q = Query::count(vec![
+        Predicate::range(0, perfmon::TIME_DOMAIN - week, perfmon::TIME_DOMAIN).unwrap(),
+        Predicate::range(1, 100, 120).unwrap(),
+        Predicate::range(2, 8_000, 10_000).unwrap(),
+        Predicate::range(4, 4_000, 20_000).unwrap(),
+    ])
+    .unwrap();
+    println!("\nhot samples for machines 100-120 in the last week: {:?}", tsunami.execute(&q));
+    assert_eq!(tsunami.execute(&q), q.execute_full_scan(&data));
+}

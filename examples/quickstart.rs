@@ -1,0 +1,88 @@
+//! Quickstart: build a Tsunami index over a small correlated dataset and run
+//! a few range-aggregation queries.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tsunami_core::{Aggregation, Dataset, MultiDimIndex, Predicate, Query, Workload};
+use tsunami_index::{TsunamiConfig, TsunamiIndex};
+
+fn main() {
+    // ---------------------------------------------------------------------
+    // 1. Build a small 3-dimensional dataset.
+    //    dim 0: order id (uniform), dim 1: price (correlated with quantity),
+    //    dim 2: quantity.
+    // ---------------------------------------------------------------------
+    let n: u64 = 50_000;
+    let order_id: Vec<u64> = (0..n).collect();
+    let quantity: Vec<u64> = (0..n).map(|i| 1 + (i * 7919) % 50).collect();
+    let price: Vec<u64> = quantity.iter().map(|&q| q * 1_000 + (q * 37) % 500).collect();
+    let data = Dataset::from_columns(vec![order_id, price, quantity]).expect("valid dataset");
+    println!("dataset: {} rows x {} dims", data.len(), data.num_dims());
+
+    // ---------------------------------------------------------------------
+    // 2. Describe the workload Tsunami should optimize for: recent orders
+    //    (high order ids) filtered by price bands.
+    // ---------------------------------------------------------------------
+    let workload = Workload::new(
+        (0..50u64)
+            .map(|i| {
+                let id_lo = n * 8 / 10 + (i * 97) % (n / 10);
+                let price_lo = 5_000 + (i % 40) * 1_000;
+                Query::count(vec![
+                    Predicate::range(0, id_lo, id_lo + n / 50).unwrap(),
+                    Predicate::range(1, price_lo, price_lo + 3_000).unwrap(),
+                ])
+                .unwrap()
+            })
+            .collect(),
+    );
+
+    // ---------------------------------------------------------------------
+    // 3. Build the index (offline optimization + data reorganization).
+    // ---------------------------------------------------------------------
+    let index = TsunamiIndex::build(&data, &workload, &TsunamiConfig::default())
+        .expect("index build succeeds");
+    let stats = index.stats();
+    println!(
+        "built Tsunami: {} grid-tree nodes, {} regions, {} cells, {} bytes, {:.3}s optimize + {:.3}s sort",
+        stats.num_grid_tree_nodes,
+        stats.num_leaf_regions,
+        stats.total_grid_cells,
+        index.size_bytes(),
+        index.build_timing().optimize_secs,
+        index.build_timing().sort_secs,
+    );
+
+    // ---------------------------------------------------------------------
+    // 4. Run queries: COUNT and SUM aggregations with range predicates.
+    // ---------------------------------------------------------------------
+    let count_query = Query::count(vec![
+        Predicate::range(0, n * 9 / 10, n - 1).unwrap(),
+        Predicate::range(1, 10_000, 20_000).unwrap(),
+    ])
+    .unwrap();
+    println!(
+        "recent orders priced 10k-20k: {:?} (full scan agrees: {:?})",
+        index.execute(&count_query),
+        count_query.execute_full_scan(&data)
+    );
+
+    let sum_query = Query::new(
+        vec![Predicate::range(2, 40, 50).unwrap()],
+        Aggregation::Sum(1),
+    )
+    .unwrap();
+    println!(
+        "total revenue of large orders (quantity 40-50): {:?}",
+        index.execute(&sum_query)
+    );
+
+    let (result, scan) = index.execute_with_stats(&count_query);
+    println!(
+        "diagnostics: {:?} scanned {} of {} rows across {} ranges",
+        result,
+        scan.points_scanned,
+        data.len(),
+        scan.ranges_scanned
+    );
+}

@@ -1,0 +1,84 @@
+//! Taxi analytics: the paper's motivating scenario — a skewed, correlated
+//! trip-record workload — comparing Tsunami against Flood and a tuned k-d
+//! tree on the same column store.
+//!
+//! Run with: `cargo run --release --example taxi_analytics`
+
+use tsunami_baselines::{tune_page_size, KdTree};
+use tsunami_core::{CostModel, MultiDimIndex, Predicate, Query};
+use tsunami_flood::{FloodConfig, FloodIndex};
+use tsunami_index::{TsunamiConfig, TsunamiIndex};
+use tsunami_workloads::taxi;
+
+fn main() {
+    // Generate a Taxi-like dataset (correlated fares/distances, skewed
+    // passenger counts) and its 6-query-type workload.
+    let rows = 80_000;
+    let data = taxi::generate(rows, 7);
+    let workload = taxi::workload(&data, 25, 8);
+    println!(
+        "taxi dataset: {} rows x {} dims ({} queries in {} types)",
+        data.len(),
+        data.num_dims(),
+        workload.len(),
+        workload.group_by_filtered_dims().len()
+    );
+
+    let cost = CostModel::calibrate();
+    println!("calibrated cost model: w0={:.1}ns/range w1={:.2}ns/value", cost.w0, cost.w1);
+
+    // Build the three indexes.
+    let tsunami = TsunamiIndex::build_with_cost(&data, &workload, &cost, &TsunamiConfig::default())
+        .expect("tsunami build");
+    let flood = FloodIndex::build(&data, &workload, &cost, &FloodConfig::default());
+    let tuned = tune_page_size(&data, &workload, &[256, 1024, 4096], |d, w, ps| {
+        KdTree::build(d, w, ps)
+    });
+    let kdtree = KdTree::build(&data, &workload, tuned.best_page_size);
+
+    // Measure average query latency for each index.
+    let indexes: Vec<&dyn MultiDimIndex> = vec![&tsunami, &flood, &kdtree];
+    println!("\n{:<12} {:>14} {:>14} {:>18}", "index", "avg query (us)", "size (KiB)", "avg points scanned");
+    for index in indexes {
+        let mut scanned = 0usize;
+        let start = std::time::Instant::now();
+        for q in workload.queries() {
+            let (_, stats) = index.execute_with_stats(q);
+            scanned += stats.points_scanned;
+        }
+        let avg_us = start.elapsed().as_secs_f64() * 1e6 / workload.len() as f64;
+        println!(
+            "{:<12} {:>14.1} {:>14.1} {:>18.0}",
+            index.name(),
+            avg_us,
+            index.size_bytes() as f64 / 1024.0,
+            scanned as f64 / workload.len() as f64
+        );
+    }
+
+    // A concrete analytics question from the paper's description: how common
+    // were single-passenger, short-distance trips in the most recent month?
+    let recent_month_start = taxi::TIME_DOMAIN - 30 * 24 * 60;
+    let q = Query::count(vec![
+        Predicate::range(0, recent_month_start, taxi::TIME_DOMAIN).unwrap(),
+        Predicate::range(2, 0, 300).unwrap(),
+        Predicate::eq(6, 1),
+    ])
+    .unwrap();
+    println!(
+        "\nsingle-passenger short trips in the last month: {:?}",
+        tsunami.execute(&q)
+    );
+    assert_eq!(tsunami.execute(&q), q.execute_full_scan(&data));
+
+    // Show Table-4-style structure statistics for the built Tsunami index.
+    let stats = tsunami.stats();
+    println!(
+        "tsunami structure: {} regions (depth {}), {:.2} FMs/region, {:.2} CCDFs/region, {} cells",
+        stats.num_leaf_regions,
+        stats.grid_tree_depth,
+        stats.avg_fms_per_region,
+        stats.avg_ccdfs_per_region,
+        stats.total_grid_cells
+    );
+}

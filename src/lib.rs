@@ -1,0 +1,4 @@
+//! `tsunami-suite` is the workspace-level package that hosts the repository's
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). It intentionally exposes no API of its own; see the
+//! `tsunami-index` crate for the library entry point.

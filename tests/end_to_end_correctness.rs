@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: every index in the workspace must return
+//! exactly the same results as the full-scan oracle on every generated
+//! dataset/workload bundle.
+
+use tsunami_baselines::{ClusteredSingleDimIndex, FullScanIndex, HyperOctree, KdTree, ZOrderIndex};
+use tsunami_core::{CostModel, MultiDimIndex, Workload};
+use tsunami_flood::{FloodConfig, FloodIndex};
+use tsunami_index::{TsunamiConfig, TsunamiIndex};
+use tsunami_workloads::DatasetBundle;
+
+fn small_bundles() -> Vec<DatasetBundle> {
+    DatasetBundle::standard(4_000, 4, 1234)
+}
+
+fn tsunami_config() -> TsunamiConfig {
+    TsunamiConfig::fast()
+}
+
+#[test]
+fn every_index_agrees_with_the_oracle_on_every_bundle() {
+    let cost = CostModel::default();
+    for bundle in small_bundles() {
+        let data = &bundle.data;
+        let workload = &bundle.workload;
+
+        let indexes: Vec<Box<dyn MultiDimIndex>> = vec![
+            Box::new(TsunamiIndex::build_with_cost(data, workload, &cost, &tsunami_config()).unwrap()),
+            Box::new(FloodIndex::build(data, workload, &cost, &FloodConfig::fast())),
+            Box::new(ClusteredSingleDimIndex::build(data, workload)),
+            Box::new(ZOrderIndex::build(data, workload, 512)),
+            Box::new(HyperOctree::build(data, workload, 512)),
+            Box::new(KdTree::build(data, workload, 512)),
+            Box::new(FullScanIndex::build(data)),
+        ];
+
+        for q in workload.queries() {
+            let expected = q.execute_full_scan(data);
+            for index in &indexes {
+                assert_eq!(
+                    index.execute(q),
+                    expected,
+                    "{} disagrees with the oracle on {} for {q:?}",
+                    index.name(),
+                    bundle.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn learned_indexes_scan_fewer_points_than_full_scan() {
+    let cost = CostModel::default();
+    for bundle in small_bundles() {
+        let data = &bundle.data;
+        let workload = &bundle.workload;
+        let tsunami =
+            TsunamiIndex::build_with_cost(data, workload, &cost, &tsunami_config()).unwrap();
+        let flood = FloodIndex::build(data, workload, &cost, &FloodConfig::fast());
+
+        let avg_scanned = |index: &dyn MultiDimIndex| -> f64 {
+            let mut total = 0usize;
+            for q in workload.queries() {
+                let (_, stats) = index.execute_with_stats(q);
+                total += stats.points_scanned;
+            }
+            total as f64 / workload.len() as f64
+        };
+        let t = avg_scanned(&tsunami);
+        let f = avg_scanned(&flood);
+        let full = data.len() as f64;
+        assert!(t < full, "{}: Tsunami scans everything ({t} of {full})", bundle.name);
+        assert!(f < full, "{}: Flood scans everything ({f} of {full})", bundle.name);
+    }
+}
+
+#[test]
+fn index_sizes_exclude_data_and_stay_below_data_size() {
+    // The learned index structures (cell tables, CDF models, tree nodes)
+    // must stay well below the size of the data they index. The fast test
+    // config still allocates thousands of cells, so we check at a scale where
+    // the data is comfortably larger than those fixed layout overheads; at
+    // benchmark scale the gap is orders of magnitude (Fig 8).
+    let cost = CostModel::default();
+    let bundle = DatasetBundle::standard(16_000, 4, 1234).remove(0);
+    let data_bytes = bundle.data.len() * bundle.data.num_dims() * 8;
+
+    let tsunami =
+        TsunamiIndex::build_with_cost(&bundle.data, &bundle.workload, &cost, &tsunami_config())
+            .unwrap();
+    let flood = FloodIndex::build(&bundle.data, &bundle.workload, &cost, &FloodConfig::fast());
+
+    assert!(
+        tsunami.size_bytes() < data_bytes,
+        "Tsunami index ({}) should be smaller than the data ({data_bytes})",
+        tsunami.size_bytes()
+    );
+    assert!(
+        flood.size_bytes() < data_bytes,
+        "Flood index ({}) should be smaller than the data ({data_bytes})",
+        flood.size_bytes()
+    );
+}
+
+#[test]
+fn indexes_handle_queries_outside_the_trained_workload() {
+    use tsunami_core::{Predicate, Query};
+    let cost = CostModel::default();
+    let bundle = &small_bundles()[1]; // Taxi-like
+    let data = &bundle.data;
+    let index =
+        TsunamiIndex::build_with_cost(data, &bundle.workload, &cost, &tsunami_config()).unwrap();
+
+    // Queries with filter shapes never seen during optimization.
+    let unseen = vec![
+        Query::count(vec![Predicate::range(3, 0, 100_000).unwrap()]).unwrap(),
+        Query::count(vec![
+            Predicate::range(0, 0, 1_000_000).unwrap(),
+            Predicate::range(8, 5, 200).unwrap(),
+        ])
+        .unwrap(),
+        Query::count(vec![Predicate::eq(6, 4)]).unwrap(),
+        Query::count(vec![]).unwrap(),
+    ];
+    for q in &unseen {
+        assert_eq!(index.execute(q), q.execute_full_scan(data), "{q:?}");
+    }
+}
+
+#[test]
+fn empty_workload_build_still_answers_queries() {
+    let bundle = &small_bundles()[2];
+    let index = TsunamiIndex::build_with_cost(
+        &bundle.data,
+        &Workload::default(),
+        &CostModel::default(),
+        &tsunami_config(),
+    )
+    .unwrap();
+    for q in bundle.workload.queries().iter().take(5) {
+        assert_eq!(index.execute(q), q.execute_full_scan(&bundle.data));
+    }
+}
