@@ -1,0 +1,206 @@
+//! A minimal, dependency-free stand-in for the `criterion` bench harness.
+//!
+//! The build container has no crates.io access, so the real criterion crate
+//! cannot be fetched. This shim implements exactly the API surface the
+//! `tsunami-bench` benchmarks use (`criterion_group!`/`criterion_main!`,
+//! benchmark groups with per-input benches, and `Bencher::iter`) with a
+//! straightforward timing loop: per sample it runs a fixed batch of
+//! iterations and reports the median per-iteration time.
+//!
+//! Numbers from this shim are comparable between indexes in the same run but
+//! lack criterion's outlier analysis; swap the workspace `criterion`
+//! dependency back to the real crate when network access is available.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from the benchmark's parameter (e.g. an index name).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Drives the measured closure. Handed to the bench body by
+/// [`BenchmarkGroup::bench_with_input`] and [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    measurement_time: Duration,
+    /// Median per-iteration time of the last `iter` call, in seconds.
+    last_median_secs: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration latency.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate a batch size so one sample takes roughly
+        // measurement_time / samples.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let per_sample = self.measurement_time.as_secs_f64() / self.samples.max(1) as f64;
+        let batch = ((per_sample / once) as usize).clamp(1, 1_000_000);
+
+        let mut sample_secs = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            sample_secs.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+        sample_secs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        self.last_median_secs = sample_secs[sample_secs.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored beyond API compatibility (the shim warms up with one call).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Total time budget split across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            last_median_secs: 0.0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, b.last_median_secs);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            last_median_secs: 0.0,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, b.last_median_secs);
+        self
+    }
+
+    /// Ends the group (printing is done per bench; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The bench harness entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 10,
+            measurement_time: Duration::from_secs(2),
+            last_median_secs: 0.0,
+        };
+        f(&mut b);
+        report(name, "", b.last_median_secs);
+        self
+    }
+}
+
+fn report(group: &str, id: &str, median_secs: f64) {
+    let label = if id.is_empty() {
+        group.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let (value, unit) = if median_secs >= 1.0 {
+        (median_secs, "s")
+    } else if median_secs >= 1e-3 {
+        (median_secs * 1e3, "ms")
+    } else if median_secs >= 1e-6 {
+        (median_secs * 1e6, "us")
+    } else {
+        (median_secs * 1e9, "ns")
+    };
+    println!("{label:<60} time: [{value:.3} {unit}]");
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: generates `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

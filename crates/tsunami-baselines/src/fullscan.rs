@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use tsunami_core::{AggResult, BuildTiming, Dataset, IndexStats, MultiDimIndex, Query};
+use tsunami_core::{BuildTiming, Dataset, MultiDimIndex, Query, ScanPlan, ScanSource};
 use tsunami_store::ColumnStore;
 
 /// An "index" that always scans the entire table. Useful as a correctness
@@ -33,22 +33,12 @@ impl MultiDimIndex for FullScanIndex {
         "FullScan"
     }
 
-    fn execute(&self, query: &Query) -> AggResult {
-        self.store.full_scan(query)
+    fn source(&self) -> &dyn ScanSource {
+        &self.store
     }
 
-    fn execute_with_stats(&self, query: &Query) -> (AggResult, IndexStats) {
-        self.store.reset_counters();
-        let result = self.store.full_scan(query);
-        let c = self.store.counters();
-        (
-            result,
-            IndexStats {
-                ranges_scanned: c.ranges,
-                points_scanned: c.points,
-                points_matched: c.matched,
-            },
-        )
+    fn plan(&self, _query: &Query) -> ScanPlan {
+        ScanPlan::full(self.store.len())
     }
 
     fn size_bytes(&self) -> usize {
@@ -63,7 +53,7 @@ impl MultiDimIndex for FullScanIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsunami_core::Predicate;
+    use tsunami_core::{AggResult, Predicate};
 
     #[test]
     fn full_scan_matches_reference() {

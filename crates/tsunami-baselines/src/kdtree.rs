@@ -9,8 +9,7 @@
 use std::time::Instant;
 
 use tsunami_core::{
-    AggAccumulator, AggResult, BuildTiming, Dataset, IndexStats, MultiDimIndex, Query, Value,
-    Workload,
+    BuildTiming, Dataset, MultiDimIndex, Query, ScanPlan, ScanSource, Value, Workload,
 };
 use tsunami_store::ColumnStore;
 
@@ -169,10 +168,24 @@ impl KdTree {
         }
         let (left_rows, right_rows) = rows.split_at_mut(boundary);
         let left = Self::build_node(
-            data, left_rows, dim_order, depth + 1, page_size, perm, num_leaves, num_nodes,
+            data,
+            left_rows,
+            dim_order,
+            depth + 1,
+            page_size,
+            perm,
+            num_leaves,
+            num_nodes,
         );
         let right = Self::build_node(
-            data, right_rows, dim_order, depth + 1, page_size, perm, num_leaves, num_nodes,
+            data,
+            right_rows,
+            dim_order,
+            depth + 1,
+            page_size,
+            perm,
+            num_leaves,
+            num_nodes,
         );
         Node::Internal {
             dim,
@@ -197,12 +210,7 @@ impl KdTree {
         self.page_size
     }
 
-    fn collect_ranges(
-        &self,
-        node: &Node,
-        query: &Query,
-        out: &mut Vec<(std::ops::Range<usize>, bool)>,
-    ) {
+    fn collect_ranges(&self, node: &Node, query: &Query, plan: &mut ScanPlan) {
         match node {
             Node::Leaf { start, end, bbox } => {
                 if *start == *end {
@@ -223,7 +231,7 @@ impl KdTree {
                     }
                 }
                 if intersects {
-                    out.push((*start..*end, contained));
+                    plan.push(*start..*end, contained);
                 }
             }
             Node::Internal {
@@ -234,16 +242,16 @@ impl KdTree {
             } => {
                 match query.predicate_on(*dim) {
                     None => {
-                        self.collect_ranges(left, query, out);
-                        self.collect_ranges(right, query, out);
+                        self.collect_ranges(left, query, plan);
+                        self.collect_ranges(right, query, plan);
                     }
                     Some(pred) => {
                         // Left subtree holds values < split, right holds >= split.
                         if pred.lo < *split {
-                            self.collect_ranges(left, query, out);
+                            self.collect_ranges(left, query, plan);
                         }
                         if pred.hi >= *split {
-                            self.collect_ranges(right, query, out);
+                            self.collect_ranges(right, query, plan);
                         }
                     }
                 }
@@ -276,28 +284,14 @@ impl MultiDimIndex for KdTree {
         "KdTree"
     }
 
-    fn execute(&self, query: &Query) -> AggResult {
-        let mut ranges = Vec::new();
-        self.collect_ranges(&self.root, query, &mut ranges);
-        let mut acc = AggAccumulator::new(query.aggregation());
-        for (range, exact) in ranges {
-            self.store.scan_range(range, query, exact, &mut acc);
-        }
-        acc.finish()
+    fn source(&self) -> &dyn ScanSource {
+        &self.store
     }
 
-    fn execute_with_stats(&self, query: &Query) -> (AggResult, IndexStats) {
-        self.store.reset_counters();
-        let result = self.execute(query);
-        let c = self.store.counters();
-        (
-            result,
-            IndexStats {
-                ranges_scanned: c.ranges,
-                points_scanned: c.points,
-                points_matched: c.matched,
-            },
-        )
+    fn plan(&self, query: &Query) -> ScanPlan {
+        let mut plan = ScanPlan::new();
+        self.collect_ranges(&self.root, query, &mut plan);
+        plan
     }
 
     fn size_bytes(&self) -> usize {
@@ -318,7 +312,7 @@ impl MultiDimIndex for KdTree {
 mod tests {
     use super::*;
     use tsunami_core::sample::SplitMix;
-    use tsunami_core::Predicate;
+    use tsunami_core::{AggResult, Predicate};
 
     fn data(n: usize, d: usize, seed: u64) -> Dataset {
         let mut rng = SplitMix::new(seed);

@@ -10,8 +10,7 @@
 use std::time::Instant;
 
 use tsunami_core::{
-    AggAccumulator, AggResult, BuildTiming, Dataset, IndexStats, MultiDimIndex, Query, Value,
-    Workload,
+    BuildTiming, Dataset, MultiDimIndex, Query, ScanPlan, ScanSource, Value, Workload,
 };
 use tsunami_store::ColumnStore;
 
@@ -267,29 +266,16 @@ impl MultiDimIndex for HyperOctree {
         "HyperOctree"
     }
 
-    fn execute(&self, query: &Query) -> AggResult {
-        let mut ranges = Vec::new();
-        self.collect_ranges(&self.root, query, &mut ranges);
-        ranges.sort_by_key(|(r, _)| r.start);
-        let mut acc = AggAccumulator::new(query.aggregation());
-        for (range, exact) in ranges {
-            self.store.scan_range(range, query, exact, &mut acc);
-        }
-        acc.finish()
+    fn source(&self) -> &dyn ScanSource {
+        &self.store
     }
 
-    fn execute_with_stats(&self, query: &Query) -> (AggResult, IndexStats) {
-        self.store.reset_counters();
-        let result = self.execute(query);
-        let c = self.store.counters();
-        (
-            result,
-            IndexStats {
-                ranges_scanned: c.ranges,
-                points_scanned: c.points,
-                points_matched: c.matched,
-            },
-        )
+    fn plan(&self, query: &Query) -> ScanPlan {
+        let mut ranges = Vec::new();
+        self.collect_ranges(&self.root, query, &mut ranges);
+        // Scan in physical order so adjacent leaves merge into one range.
+        ranges.sort_by_key(|(r, _)| r.start);
+        ScanPlan::from_ranges(ranges)
     }
 
     fn size_bytes(&self) -> usize {
@@ -309,7 +295,7 @@ impl MultiDimIndex for HyperOctree {
 mod tests {
     use super::*;
     use tsunami_core::sample::SplitMix;
-    use tsunami_core::Predicate;
+    use tsunami_core::{AggResult, Predicate};
 
     fn data(n: usize, d: usize, seed: u64) -> Dataset {
         let mut rng = SplitMix::new(seed);

@@ -8,8 +8,7 @@
 use std::time::Instant;
 
 use tsunami_core::{
-    AggAccumulator, AggResult, BuildTiming, Dataset, IndexStats, MultiDimIndex, Query, Value,
-    Workload,
+    BuildTiming, Dataset, MultiDimIndex, Query, ScanPlan, ScanSource, Value, Workload,
 };
 use tsunami_store::ColumnStore;
 
@@ -83,20 +82,6 @@ impl ClusteredSingleDimIndex {
     pub fn sort_dim(&self) -> usize {
         self.sort_dim
     }
-
-    fn range_for(&self, query: &Query) -> (std::ops::Range<usize>, bool) {
-        match query.predicate_on(self.sort_dim) {
-            None => (0..self.store.len(), false),
-            Some(pred) => {
-                let start = self.sort_keys.partition_point(|&v| v < pred.lo);
-                let end = self.sort_keys.partition_point(|&v| v <= pred.hi);
-                // If the sort dimension is the only filtered one, the range
-                // is exact and per-value checks can be skipped.
-                let exact = query.num_filtered_dims() == 1;
-                (start..end, exact)
-            }
-        }
-    }
 }
 
 impl MultiDimIndex for ClusteredSingleDimIndex {
@@ -104,25 +89,36 @@ impl MultiDimIndex for ClusteredSingleDimIndex {
         "SingleDim"
     }
 
-    fn execute(&self, query: &Query) -> AggResult {
-        let (range, exact) = self.range_for(query);
-        let mut acc = AggAccumulator::new(query.aggregation());
-        self.store.scan_range(range, query, exact, &mut acc);
-        acc.finish()
+    fn source(&self) -> &dyn ScanSource {
+        &self.store
     }
 
-    fn execute_with_stats(&self, query: &Query) -> (AggResult, IndexStats) {
-        self.store.reset_counters();
-        let result = self.execute(query);
-        let c = self.store.counters();
-        (
-            result,
-            IndexStats {
-                ranges_scanned: c.ranges,
-                points_scanned: c.points,
-                points_matched: c.matched,
-            },
-        )
+    fn plan(&self, query: &Query) -> ScanPlan {
+        match query.predicate_on(self.sort_dim) {
+            None => ScanPlan::full(self.store.len()),
+            Some(pred) => {
+                let start = self.sort_keys.partition_point(|&v| v < pred.lo);
+                let end = self.sort_keys.partition_point(|&v| v <= pred.hi);
+                // The binary search already guarantees the sort-dimension
+                // predicate for every row in the range: if it is the only
+                // filter the range is exact, otherwise only the *other*
+                // predicates remain to be checked (residual predicates).
+                let exact = query.num_filtered_dims() == 1;
+                let plan = ScanPlan::from_ranges([(start..end, exact)]);
+                if exact {
+                    plan
+                } else {
+                    plan.with_residual(
+                        query
+                            .predicates()
+                            .iter()
+                            .filter(|p| p.dim != self.sort_dim)
+                            .copied()
+                            .collect(),
+                    )
+                }
+            }
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -153,13 +149,11 @@ mod tests {
     #[test]
     fn chooses_most_selective_dimension() {
         let ds = data();
-        let w = Workload::new(vec![
-            Query::count(vec![
-                Predicate::range(0, 0, 900).unwrap(),
-                Predicate::range(1, 10, 20).unwrap(),
-            ])
-            .unwrap(),
-        ]);
+        let w = Workload::new(vec![Query::count(vec![
+            Predicate::range(0, 0, 900).unwrap(),
+            Predicate::range(1, 10, 20).unwrap(),
+        ])
+        .unwrap()]);
         assert_eq!(ClusteredSingleDimIndex::choose_sort_dim(&ds, &w), 1);
     }
 
@@ -203,7 +197,10 @@ mod tests {
     #[test]
     fn build_uses_workload_to_pick_dim() {
         let ds = data();
-        let w = Workload::new(vec![Query::count(vec![Predicate::range(1, 5, 10).unwrap()]).unwrap()]);
+        let w = Workload::new(vec![Query::count(
+            vec![Predicate::range(1, 5, 10).unwrap()],
+        )
+        .unwrap()]);
         let idx = ClusteredSingleDimIndex::build(&ds, &w);
         assert_eq!(idx.sort_dim(), 1);
         assert!(idx.size_bytes() > 0);

@@ -40,7 +40,10 @@ where
     I: MultiDimIndex,
     F: FnMut(&Dataset, &Workload, usize) -> I,
 {
-    assert!(!candidates.is_empty(), "need at least one candidate page size");
+    assert!(
+        !candidates.is_empty(),
+        "need at least one candidate page size"
+    );
     let mut measurements = Vec::with_capacity(candidates.len());
     let mut best = (candidates[0], f64::INFINITY);
     for &page_size in candidates {

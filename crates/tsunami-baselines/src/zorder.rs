@@ -10,8 +10,7 @@
 use std::time::Instant;
 
 use tsunami_core::{
-    AggAccumulator, AggResult, BuildTiming, Dataset, IndexStats, MultiDimIndex, Query, Value,
-    Workload,
+    BuildTiming, Dataset, MultiDimIndex, Query, ScanPlan, ScanSource, Value, Workload,
 };
 use tsunami_store::ColumnStore;
 
@@ -73,7 +72,7 @@ impl ZOrderIndex {
     pub fn build(data: &Dataset, _workload: &Workload, page_size: usize) -> Self {
         let start_t = Instant::now();
         let d = data.num_dims().max(1);
-        let bits_per_dim = (64 / d as u32).min(16).max(1);
+        let bits_per_dim = (64 / d as u32).clamp(1, 16);
         let domains: Vec<(Value, Value)> = (0..data.num_dims())
             .map(|dim| {
                 let (lo, hi) = data.domain(dim).unwrap_or((0, 0));
@@ -100,10 +99,10 @@ impl ZOrderIndex {
             let end = (i + page_size).min(keyed.len());
             let mut bbox = vec![(Value::MAX, Value::MIN); data.num_dims()];
             for &(_, r) in &keyed[i..end] {
-                for dim in 0..data.num_dims() {
+                for (dim, b) in bbox.iter_mut().enumerate() {
                     let v = data.get(r, dim);
-                    bbox[dim].0 = bbox[dim].0.min(v);
-                    bbox[dim].1 = bbox[dim].1.max(v);
+                    b.0 = b.0.min(v);
+                    b.1 = b.1.max(v);
                 }
             }
             pages.push(Page {
@@ -149,8 +148,25 @@ impl ZOrderIndex {
             .collect();
         morton_encode(&coords, self.bits_per_dim)
     }
+}
 
-    fn ranges_for(&self, query: &Query) -> Vec<(std::ops::Range<usize>, bool)> {
+fn normalize(v: Value, (lo, width): (Value, Value), bits: u32) -> u64 {
+    let clamped = v.max(lo) - lo;
+    let frac = (clamped as u128).min(width as u128);
+    let buckets = (1u128 << bits) - 1;
+    (frac * buckets / width as u128) as u64
+}
+
+impl MultiDimIndex for ZOrderIndex {
+    fn name(&self) -> &str {
+        "ZOrder"
+    }
+
+    fn source(&self) -> &dyn ScanSource {
+        &self.store
+    }
+
+    fn plan(&self, query: &Query) -> ScanPlan {
         let d = self.store.num_dims();
         // Z-range of the query rectangle: the Z-value of the lower corner is
         // a lower bound and of the upper corner an upper bound for the
@@ -158,7 +174,7 @@ impl ZOrderIndex {
         let z_lo = self.z_of_corner(&query.lower_corner(d));
         let z_hi = self.z_of_corner(&query.upper_corner(d));
 
-        let mut out: Vec<(std::ops::Range<usize>, bool)> = Vec::new();
+        let mut plan = ScanPlan::new();
         for page in &self.pages {
             if page.z_max < z_lo || page.z_min > z_hi {
                 continue;
@@ -176,53 +192,13 @@ impl ZOrderIndex {
                     contained = false;
                 }
             }
-            if !intersects {
-                continue;
+            if intersects {
+                // Physically adjacent pages of equal exactness merge in the
+                // plan automatically.
+                plan.push(page.start..page.end, contained);
             }
-            if let Some((prev, prev_exact)) = out.last_mut() {
-                if prev.end == page.start && *prev_exact == contained {
-                    prev.end = page.end;
-                    continue;
-                }
-            }
-            out.push((page.start..page.end, contained));
         }
-        out
-    }
-}
-
-fn normalize(v: Value, (lo, width): (Value, Value), bits: u32) -> u64 {
-    let clamped = v.max(lo) - lo;
-    let frac = (clamped as u128).min(width as u128);
-    let buckets = (1u128 << bits) - 1;
-    (frac * buckets / width as u128) as u64
-}
-
-impl MultiDimIndex for ZOrderIndex {
-    fn name(&self) -> &str {
-        "ZOrder"
-    }
-
-    fn execute(&self, query: &Query) -> AggResult {
-        let mut acc = AggAccumulator::new(query.aggregation());
-        for (range, exact) in self.ranges_for(query) {
-            self.store.scan_range(range, query, exact, &mut acc);
-        }
-        acc.finish()
-    }
-
-    fn execute_with_stats(&self, query: &Query) -> (AggResult, IndexStats) {
-        self.store.reset_counters();
-        let result = self.execute(query);
-        let c = self.store.counters();
-        (
-            result,
-            IndexStats {
-                ranges_scanned: c.ranges,
-                points_scanned: c.points,
-                points_matched: c.matched,
-            },
-        )
+        plan
     }
 
     fn size_bytes(&self) -> usize {
@@ -242,7 +218,7 @@ impl MultiDimIndex for ZOrderIndex {
 mod tests {
     use super::*;
     use tsunami_core::sample::SplitMix;
-    use tsunami_core::Predicate;
+    use tsunami_core::{AggResult, Predicate};
 
     #[test]
     fn morton_encode_decode_round_trips() {

@@ -23,7 +23,12 @@ fn bench_components(c: &mut Criterion) {
     // Fig 12a: query latency per component configuration.
     let mut indexes: Vec<(String, Box<dyn MultiDimIndex>)> = vec![(
         "Flood".to_string(),
-        Box::new(FloodIndex::build(&data, &workload, &cost, &config.flood_config())),
+        Box::new(FloodIndex::build(
+            &data,
+            &workload,
+            &cost,
+            &config.flood_config(),
+        )),
     )];
     for variant in [
         IndexVariant::AugmentedGridOnly,

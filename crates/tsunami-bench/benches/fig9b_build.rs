@@ -32,7 +32,12 @@ fn bench_build(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::from_parameter("Flood"), &(), |b, ()| {
         b.iter(|| {
-            std::hint::black_box(FloodIndex::build(&data, &workload, &cost, &config.flood_config()))
+            std::hint::black_box(FloodIndex::build(
+                &data,
+                &workload,
+                &cost,
+                &config.flood_config(),
+            ))
         });
     });
     group.finish();

@@ -4,8 +4,8 @@
 //! the corresponding table or figure series in the paper.
 
 use crate::harness::{
-    build_all_indexes, build_learned_indexes, build_variant, build_with_optimizer, measure, report,
-    HarnessConfig,
+    build_all_indexes, build_learned_indexes, build_variant, build_with_optimizer, measure,
+    measure_parallel, report, HarnessConfig,
 };
 use crate::table::{fmt_f64, Table};
 
@@ -26,7 +26,14 @@ pub fn table3(config: &HarnessConfig) -> String {
     let bundles = standard_bundles(config);
     let mut t = Table::new(
         "Table 3: Dataset and query characteristics (scaled reproduction)",
-        &["dataset", "records", "query types", "dimensions", "size (MiB)", "avg selectivity %"],
+        &[
+            "dataset",
+            "records",
+            "query types",
+            "dimensions",
+            "size (MiB)",
+            "avg selectivity %",
+        ],
     );
     for b in &bundles {
         t.add_row(vec![
@@ -85,12 +92,20 @@ pub fn table4(config: &HarnessConfig) -> String {
     finish(t)
 }
 
-/// Fig 7: average query latency / throughput of every index on every dataset.
+/// Fig 7: average query latency / throughput of every index on every dataset,
+/// with the shared executor's scan counters (points and contiguous ranges).
 pub fn fig7(config: &HarnessConfig) -> String {
     let bundles = standard_bundles(config);
     let mut t = Table::new(
         "Fig 7: Query performance (average latency in microseconds; lower is better)",
-        &["dataset", "index", "avg query (us)", "throughput (q/s)", "avg points scanned"],
+        &[
+            "dataset",
+            "index",
+            "avg query (us)",
+            "throughput (q/s)",
+            "avg points scanned",
+            "avg ranges scanned",
+        ],
     );
     for b in &bundles {
         let indexes = build_all_indexes(&b.data, &b.workload, config);
@@ -102,6 +117,48 @@ pub fn fig7(config: &HarnessConfig) -> String {
                 fmt_f64(r.avg_query_us),
                 fmt_f64(r.throughput_qps),
                 fmt_f64(r.avg_points_scanned),
+                fmt_f64(r.avg_ranges_scanned),
+            ]);
+        }
+    }
+    finish(t)
+}
+
+/// Parallel-executor drill-down: serial vs multi-threaded latency of the
+/// learned indexes, with the executor counter invariant (parallel counters
+/// equal serial counters) checked on every dataset.
+pub fn fig7_parallel(config: &HarnessConfig) -> String {
+    let bundles = standard_bundles(config);
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut t = Table::new(
+        "Fig 7 (parallel): Serial vs parallel executor (avg query us)",
+        &[
+            "dataset",
+            "index",
+            "serial (us)",
+            "parallel (us)",
+            "threads",
+            "avg points scanned",
+        ],
+    );
+    for b in &bundles {
+        let indexes = build_learned_indexes(&b.data, &b.workload, config);
+        for idx in &indexes {
+            let serial = measure(idx.as_ref(), &b.workload);
+            let parallel = measure_parallel(idx.as_ref(), &b.workload, threads);
+            assert_eq!(
+                (serial.avg_points_scanned, serial.avg_ranges_scanned),
+                (parallel.avg_points_scanned, parallel.avg_ranges_scanned),
+                "parallel executor counters diverged from serial on {}",
+                b.name
+            );
+            t.add_row(vec![
+                b.name.to_string(),
+                idx.name().to_string(),
+                fmt_f64(serial.avg_query_us),
+                fmt_f64(parallel.avg_query_us),
+                threads.to_string(),
+                fmt_f64(serial.avg_points_scanned),
             ]);
         }
     }
@@ -139,19 +196,25 @@ pub fn fig9a(config: &HarnessConfig) -> String {
 
     let mut t = Table::new(
         "Fig 9a: Adaptability to workload shift (TPC-H; avg query us)",
-        &["index", "original workload", "after shift (stale layout)", "after re-optimization", "re-opt time (s)"],
+        &[
+            "index",
+            "original workload",
+            "after shift (stale layout)",
+            "after re-optimization",
+            "re-opt time (s)",
+        ],
     );
 
     // Tsunami.
     let tsunami = TsunamiIndex::build_with_cost(&data, &original, &cost, &config.tsunami_config())
         .expect("tsunami build");
-    let (before, _) = measure(&tsunami, &original);
-    let (stale, _) = measure(&tsunami, &shifted);
+    let before = measure(&tsunami, &original).avg_query_us;
+    let stale = measure(&tsunami, &shifted).avg_query_us;
     let t0 = Instant::now();
     let tsunami2 = TsunamiIndex::build_with_cost(&data, &shifted, &cost, &config.tsunami_config())
         .expect("tsunami rebuild");
     let reopt = t0.elapsed().as_secs_f64();
-    let (after, _) = measure(&tsunami2, &shifted);
+    let after = measure(&tsunami2, &shifted).avg_query_us;
     t.add_row(vec![
         "Tsunami".into(),
         fmt_f64(before),
@@ -162,12 +225,12 @@ pub fn fig9a(config: &HarnessConfig) -> String {
 
     // Flood.
     let flood = FloodIndex::build(&data, &original, &cost, &config.flood_config());
-    let (before, _) = measure(&flood, &original);
-    let (stale, _) = measure(&flood, &shifted);
+    let before = measure(&flood, &original).avg_query_us;
+    let stale = measure(&flood, &shifted).avg_query_us;
     let t0 = Instant::now();
     let flood2 = FloodIndex::build(&data, &shifted, &cost, &config.flood_config());
     let reopt = t0.elapsed().as_secs_f64();
-    let (after, _) = measure(&flood2, &shifted);
+    let after = measure(&flood2, &shifted).avg_query_us;
     t.add_row(vec![
         "Flood".into(),
         fmt_f64(before),
@@ -206,15 +269,25 @@ pub fn fig9b(config: &HarnessConfig) -> String {
 pub fn fig10(config: &HarnessConfig) -> String {
     let mut t = Table::new(
         "Fig 10: Dimensionality scaling (avg query us, learned indexes)",
-        &["group", "dims", "index", "avg query (us)", "avg points scanned"],
+        &[
+            "group",
+            "dims",
+            "index",
+            "avg query (us)",
+            "avg points scanned",
+        ],
     );
     let rows = config.rows.min(40_000);
     for &dims in &[4usize, 8, 12, 16, 20] {
         for (group, data) in [
-            ("uncorrelated", synthetic::uncorrelated(rows, dims, config.seed)),
+            (
+                "uncorrelated",
+                synthetic::uncorrelated(rows, dims, config.seed),
+            ),
             ("correlated", synthetic::correlated(rows, dims, config.seed)),
         ] {
-            let workload = synthetic::workload(&data, config.queries_per_type, config.seed ^ dims as u64);
+            let workload =
+                synthetic::workload(&data, config.queries_per_type, config.seed ^ dims as u64);
             let indexes = build_learned_indexes(&data, &workload, config);
             for idx in &indexes {
                 let r = report(idx.as_ref(), &workload);
@@ -237,7 +310,12 @@ pub fn fig11a(config: &HarnessConfig) -> String {
         "Fig 11a: Dataset-size scaling (TPC-H; avg query us)",
         &["rows", "index", "avg query (us)", "avg points scanned"],
     );
-    let sizes = [config.rows / 4, config.rows / 2, config.rows, config.rows * 2];
+    let sizes = [
+        config.rows / 4,
+        config.rows / 2,
+        config.rows,
+        config.rows * 2,
+    ];
     for &rows in &sizes {
         let data = tpch::generate(rows, config.seed);
         let workload = tpch::workload(&data, config.queries_per_type, config.seed ^ 10);
@@ -260,7 +338,12 @@ pub fn fig11a(config: &HarnessConfig) -> String {
 pub fn fig11b(config: &HarnessConfig) -> String {
     let mut t = Table::new(
         "Fig 11b: Selectivity scaling (8-d correlated synthetic; avg query us)",
-        &["selectivity scale", "avg selectivity %", "index", "avg query (us)"],
+        &[
+            "selectivity scale",
+            "avg selectivity %",
+            "index",
+            "avg query (us)",
+        ],
     );
     let rows = config.rows.min(50_000);
     let data = synthetic::correlated(rows, 8, config.seed);
@@ -293,7 +376,7 @@ pub fn fig12a(config: &HarnessConfig) -> String {
     let cost = CostModel::default();
     for b in &bundles {
         let flood = FloodIndex::build(&b.data, &b.workload, &cost, &config.flood_config());
-        let (flood_us, _) = measure(&flood, &b.workload);
+        let flood_us = measure(&flood, &b.workload).avg_query_us;
         t.add_row(vec![b.name.to_string(), "Flood".into(), fmt_f64(flood_us)]);
         for variant in [
             IndexVariant::AugmentedGridOnly,
@@ -301,8 +384,12 @@ pub fn fig12a(config: &HarnessConfig) -> String {
             IndexVariant::Full,
         ] {
             let idx = build_variant(&b.data, &b.workload, config, variant);
-            let (us, _) = measure(&idx, &b.workload);
-            t.add_row(vec![b.name.to_string(), idx.name().to_string(), fmt_f64(us)]);
+            let us = measure(&idx, &b.workload).avg_query_us;
+            t.add_row(vec![
+                b.name.to_string(),
+                idx.name().to_string(),
+                fmt_f64(us),
+            ]);
         }
     }
     finish(t)
@@ -315,7 +402,13 @@ pub fn fig12b(config: &HarnessConfig) -> String {
     let bundles = standard_bundles(config);
     let mut t = Table::new(
         "Fig 12b: Augmented Grid optimizer comparison (whole-space grid)",
-        &["dataset", "optimizer", "predicted cost", "actual avg query (us)", "layouts evaluated"],
+        &[
+            "dataset",
+            "optimizer",
+            "predicted cost",
+            "actual avg query (us)",
+            "layouts evaluated",
+        ],
     );
     let cost = CostModel::default();
     for b in &bundles {
@@ -325,15 +418,10 @@ pub fn fig12b(config: &HarnessConfig) -> String {
             ("BlackBox", OptimizerKind::BlackBox),
             ("AGD-NI", OptimizerKind::AdaptiveNaiveInit),
         ] {
-            let layout = optimize_layout(
-                &b.data,
-                &b.workload,
-                &cost,
-                &config.tsunami_config(),
-                kind,
-            );
+            let layout =
+                optimize_layout(&b.data, &b.workload, &cost, &config.tsunami_config(), kind);
             let idx = build_with_optimizer(&b.data, &b.workload, config, kind);
-            let (us, _) = measure(&idx, &b.workload);
+            let us = measure(&idx, &b.workload).avg_query_us;
             t.add_row(vec![
                 b.name.to_string(),
                 label.to_string(),
@@ -364,6 +452,7 @@ pub fn experiments() -> Vec<(&'static str, fn(&HarnessConfig) -> String)> {
         ("table3", table3 as fn(&HarnessConfig) -> String),
         ("table4", table4),
         ("fig7", fig7),
+        ("fig7par", fig7_parallel),
         ("fig8", fig8),
         ("fig9a", fig9a),
         ("fig9b", fig9b),
@@ -407,8 +496,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "table3", "table4", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11a", "fig11b",
-                "fig12a", "fig12b"
+                "table3", "table4", "fig7", "fig7par", "fig8", "fig9a", "fig9b", "fig10", "fig11a",
+                "fig11b", "fig12a", "fig12b"
             ]
         );
     }

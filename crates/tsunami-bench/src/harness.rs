@@ -79,43 +79,88 @@ pub struct IndexReport {
     pub optimize_secs: f64,
     /// Average number of points scanned per query.
     pub avg_points_scanned: f64,
+    /// Average number of contiguous physical ranges scanned per query.
+    pub avg_ranges_scanned: f64,
 }
 
-/// Measures average query latency and scan volume of an index.
-pub fn measure(index: &dyn MultiDimIndex, workload: &Workload) -> (f64, f64) {
+/// What [`measure`] observed: latency plus the executor's scan counters,
+/// averaged over the workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Measurement {
+    /// Average query latency in microseconds.
+    pub avg_query_us: f64,
+    /// Average number of points scanned per query.
+    pub avg_points_scanned: f64,
+    /// Average number of contiguous physical ranges scanned per query.
+    pub avg_ranges_scanned: f64,
+}
+
+/// Measures average query latency and the shared executor's scan counters.
+pub fn measure(index: &dyn MultiDimIndex, workload: &Workload) -> Measurement {
+    measure_with(workload, |q| index.execute_with_stats(q))
+}
+
+/// Like [`measure`], but running every query through the parallel executor
+/// with `threads` worker threads.
+pub fn measure_parallel(
+    index: &dyn MultiDimIndex,
+    workload: &Workload,
+    threads: usize,
+) -> Measurement {
+    measure_with(workload, |q| index.execute_parallel(q, threads))
+}
+
+/// Shared measurement loop: warm-up, one counter-collecting pass, then one
+/// timed pass, all through the provided execution closure so the serial and
+/// parallel measurements stay methodologically identical.
+fn measure_with(
+    workload: &Workload,
+    execute: impl Fn(&tsunami_core::Query) -> (tsunami_core::AggResult, tsunami_core::IndexStats),
+) -> Measurement {
     if workload.is_empty() {
-        return (0.0, 0.0);
+        return Measurement::default();
     }
     // Warm-up pass (fills caches) followed by the measured pass.
     for q in workload.queries().iter().take(8) {
-        std::hint::black_box(index.execute(q));
+        std::hint::black_box(execute(q));
     }
-    let mut scanned = 0usize;
+    let mut points = 0usize;
+    let mut ranges = 0usize;
     for q in workload.queries() {
-        let (_, stats) = index.execute_with_stats(q);
-        scanned += stats.points_scanned;
+        let (_, stats) = execute(q);
+        points += stats.points_scanned;
+        ranges += stats.ranges_scanned;
     }
     let start = Instant::now();
     for q in workload.queries() {
-        std::hint::black_box(index.execute(q));
+        std::hint::black_box(execute(q).0);
     }
     let elapsed = start.elapsed().as_secs_f64();
-    let avg_us = elapsed * 1e6 / workload.len() as f64;
-    (avg_us, scanned as f64 / workload.len() as f64)
+    let n = workload.len() as f64;
+    Measurement {
+        avg_query_us: elapsed * 1e6 / n,
+        avg_points_scanned: points as f64 / n,
+        avg_ranges_scanned: ranges as f64 / n,
+    }
 }
 
 /// Builds a report for an already-built index.
 pub fn report(index: &dyn MultiDimIndex, workload: &Workload) -> IndexReport {
-    let (avg_query_us, avg_points_scanned) = measure(index, workload);
+    let m = measure(index, workload);
     let timing = index.build_timing();
     IndexReport {
         name: index.name().to_string(),
-        avg_query_us,
-        throughput_qps: if avg_query_us > 0.0 { 1e6 / avg_query_us } else { 0.0 },
+        avg_query_us: m.avg_query_us,
+        throughput_qps: if m.avg_query_us > 0.0 {
+            1e6 / m.avg_query_us
+        } else {
+            0.0
+        },
         size_bytes: index.size_bytes(),
         sort_secs: timing.sort_secs,
         optimize_secs: timing.optimize_secs,
-        avg_points_scanned,
+        avg_points_scanned: m.avg_points_scanned,
+        avg_ranges_scanned: m.avg_ranges_scanned,
     }
 }
 
@@ -142,12 +187,20 @@ pub fn build_all_indexes(
     let z = tune_page_size(data, workload, &candidates, |d, w, ps| {
         ZOrderIndex::build(d, w, ps)
     });
-    indexes.push(Box::new(ZOrderIndex::build(data, workload, z.best_page_size)));
+    indexes.push(Box::new(ZOrderIndex::build(
+        data,
+        workload,
+        z.best_page_size,
+    )));
 
     let oct = tune_page_size(data, workload, &candidates, |d, w, ps| {
         HyperOctree::build(d, w, ps)
     });
-    indexes.push(Box::new(HyperOctree::build(data, workload, oct.best_page_size)));
+    indexes.push(Box::new(HyperOctree::build(
+        data,
+        workload,
+        oct.best_page_size,
+    )));
 
     let kd = tune_page_size(data, workload, &candidates, |d, w, ps| {
         KdTree::build(d, w, ps)
@@ -228,7 +281,12 @@ mod tests {
         for q in bundle.workload.queries().iter().step_by(7) {
             let expected = q.execute_full_scan(&bundle.data);
             for idx in &indexes {
-                assert_eq!(idx.execute(q), expected, "{} disagrees on {q:?}", idx.name());
+                assert_eq!(
+                    idx.execute(q),
+                    expected,
+                    "{} disagrees on {q:?}",
+                    idx.name()
+                );
             }
         }
         // Reports contain sane values.
@@ -237,6 +295,31 @@ mod tests {
             assert!(r.avg_query_us > 0.0);
             assert!(r.throughput_qps > 0.0);
             assert!(r.avg_points_scanned <= bundle.data.len() as f64);
+        }
+    }
+
+    #[test]
+    fn parallel_executor_agrees_with_serial_across_the_lineup() {
+        let config = HarnessConfig {
+            rows: 5_000,
+            queries_per_type: 3,
+            seed: 9,
+        };
+        let bundles = DatasetBundle::standard(config.rows, config.queries_per_type, config.seed);
+        let bundle = &bundles[1];
+        let indexes = build_all_indexes(&bundle.data, &bundle.workload, &config);
+        for q in bundle.workload.queries().iter().step_by(5) {
+            for idx in &indexes {
+                let (serial, serial_stats) = idx.execute_with_stats(q);
+                let (parallel, parallel_stats) = idx.execute_parallel(q, 4);
+                assert_eq!(serial, parallel, "{} result on {q:?}", idx.name());
+                assert_eq!(
+                    serial_stats,
+                    parallel_stats,
+                    "{} counters on {q:?}",
+                    idx.name()
+                );
+            }
         }
     }
 

@@ -128,7 +128,7 @@ mod tests {
         let (base, y) = correlated(4, 1000);
         let ccdf = ConditionalCdf::build(&base, &y, 4, 8);
         for b in 0..4 {
-            let mut counts = vec![0usize; 8];
+            let mut counts = [0usize; 8];
             for i in 0..base.len() {
                 if base[i] == b {
                     counts[ccdf.partition(b, y[i], 8)] += 1;

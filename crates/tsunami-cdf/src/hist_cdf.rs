@@ -109,7 +109,11 @@ impl CdfModel for HistogramCdf {
         let bucket = idx - 1;
         let lo = self.boundaries[bucket] as f64;
         let hi = self.boundaries[bucket + 1] as f64;
-        let within = if hi > lo { (v as f64 - lo) / (hi - lo) } else { 0.0 };
+        let within = if hi > lo {
+            (v as f64 - lo) / (hi - lo)
+        } else {
+            0.0
+        };
         (bucket as f64 + within) / n as f64
     }
 
@@ -151,7 +155,7 @@ mod tests {
         // Heavily skewed data: most mass near zero.
         let values: Vec<Value> = (0..10_000u64).map(|v| (v / 100).pow(2)).collect();
         let m = HistogramCdf::build(&values, 16);
-        let mut counts = vec![0usize; 8];
+        let mut counts = [0usize; 8];
         for &v in &values {
             counts[m.partition(v, 8)] += 1;
         }

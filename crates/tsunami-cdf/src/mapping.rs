@@ -80,11 +80,19 @@ impl FunctionalMapping {
     /// The result is widened by the error bounds so the containment guarantee
     /// holds for every training point; it is clamped to the `u64` domain.
     pub fn map_range(&self, y_lo: Value, y_hi: Value) -> (Value, Value) {
-        let (y_lo, y_hi) = if y_lo <= y_hi { (y_lo, y_hi) } else { (y_hi, y_lo) };
+        let (y_lo, y_hi) = if y_lo <= y_hi {
+            (y_lo, y_hi)
+        } else {
+            (y_hi, y_lo)
+        };
         let p_lo = self.model.predict(y_lo as f64);
         let p_hi = self.model.predict(y_hi as f64);
         // A negative slope flips the ends of the interval.
-        let (mut lo, mut hi) = if p_lo <= p_hi { (p_lo, p_hi) } else { (p_hi, p_lo) };
+        let (mut lo, mut hi) = if p_lo <= p_hi {
+            (p_lo, p_hi)
+        } else {
+            (p_hi, p_lo)
+        };
         lo -= self.err_lo;
         hi += self.err_hi;
         let x_lo = if lo <= 0.0 { 0 } else { lo.floor() as Value };
@@ -163,8 +171,8 @@ mod tests {
         let xs: Vec<Value> = ys.iter().map(|&y| 10_000 - 5 * y).collect();
         let fm = FunctionalMapping::fit(&ys, &xs).unwrap();
         let (xlo, xhi) = fm.map_range(100, 200);
-        for i in 100..=200usize {
-            assert!(xs[i] >= xlo && xs[i] <= xhi);
+        for &x in &xs[100..=200] {
+            assert!(x >= xlo && x <= xhi);
         }
         assert!(xlo < xhi);
     }

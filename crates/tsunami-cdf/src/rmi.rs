@@ -213,7 +213,7 @@ mod tests {
     fn partition_balance_on_uniform_data() {
         let values: Vec<Value> = (0..10_000).collect();
         let rmi = Rmi::build(&values, 32);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for &v in &values {
             counts[rmi.partition(v, 10)] += 1;
         }

@@ -14,7 +14,6 @@
 //! Aggregation time is deliberately *not* modeled: it is a fixed cost paid by
 //! every index, so it does not affect the optimizer's choices.
 
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Features of a query execution that the cost model prices.
@@ -33,7 +32,7 @@ pub struct CostFeatures {
 /// Weights are in arbitrary time units (the default values are nanoseconds
 /// calibrated for a typical modern core); only their *ratio* matters for
 /// optimization decisions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Cost of visiting one cell range (lookup + cache miss), in ns.
     pub w0: f64,
@@ -97,7 +96,9 @@ impl CostModel {
         let mut acc = 0u64;
         let mut idx = 12345usize;
         for _ in 0..jumps {
-            idx = (idx.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+            idx = (idx
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407))
                 % big.len();
             acc = acc.wrapping_add(big[idx]);
         }

@@ -29,7 +29,9 @@ impl Dataset {
     /// length and there must be at least one column.
     pub fn from_columns(columns: Vec<Vec<Value>>) -> Result<Self> {
         if columns.is_empty() {
-            return Err(TsunamiError::Build("dataset needs at least one column".into()));
+            return Err(TsunamiError::Build(
+                "dataset needs at least one column".into(),
+            ));
         }
         let len = columns[0].len();
         if columns.iter().any(|c| c.len() != len) {
@@ -44,7 +46,9 @@ impl Dataset {
     /// arity `num_dims`.
     pub fn from_rows(num_dims: usize, rows: &[Point]) -> Result<Self> {
         if num_dims == 0 {
-            return Err(TsunamiError::Build("dataset needs at least one dimension".into()));
+            return Err(TsunamiError::Build(
+                "dataset needs at least one dimension".into(),
+            ));
         }
         let mut columns = vec![Vec::with_capacity(rows.len()); num_dims];
         for row in rows {
@@ -211,7 +215,13 @@ mod tests {
     #[test]
     fn from_rows_validates_arity() {
         let err = Dataset::from_rows(2, &[vec![1, 2], vec![3]]).unwrap_err();
-        assert_eq!(err, TsunamiError::DimensionMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            TsunamiError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
         assert!(Dataset::from_rows(0, &[]).is_err());
     }
 

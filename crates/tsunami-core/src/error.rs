@@ -74,8 +74,12 @@ mod tests {
         assert!(e.to_string().contains("dim 2"));
 
         assert!(TsunamiError::EmptyDataset.to_string().contains("no rows"));
-        assert!(TsunamiError::Build("boom".into()).to_string().contains("boom"));
-        assert!(TsunamiError::Config("bad".into()).to_string().contains("bad"));
+        assert!(TsunamiError::Build("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(TsunamiError::Config("bad".into())
+            .to_string()
+            .contains("bad"));
         assert!(TsunamiError::EmptyWorkload.to_string().contains("queries"));
     }
 

@@ -1,0 +1,681 @@
+//! The shared scan-execution engine: every index answers queries by emitting
+//! a [`ScanPlan`] that one vectorized executor runs.
+//!
+//! # The ScanPlan / executor contract
+//!
+//! Tsunami's core performance claim (§6.1 of the paper) is that *every* query
+//! — against the learned indexes and the traditional baselines alike — boils
+//! down to scanning an ordered list of contiguous physical row ranges, where
+//! some ranges are known *exact* (every row in them is guaranteed to match
+//! the query filter, so per-value predicate checks are skipped). Before this
+//! module existed, each index hand-rolled its own accumulator loop over those
+//! ranges; now an index only implements
+//! [`MultiDimIndex::plan`](crate::MultiDimIndex::plan), producing:
+//!
+//! * `ranges` — the contiguous physical ranges to visit, in scan order, each
+//!   tagged with its exactness flag. [`ScanPlan::push`] transparently merges
+//!   physically adjacent ranges of equal exactness, so indexes never pay for
+//!   an extra range jump they did not need.
+//! * `residual` — optionally, the subset of the query's predicates that still
+//!   has to be checked inside non-exact ranges. An index that guarantees some
+//!   predicate by construction (e.g. a clustered single-dimension index whose
+//!   binary search already bounds the sort dimension) lists only the
+//!   remaining predicates and the executor skips re-checking the guaranteed
+//!   one. When absent, all of the query's predicates are checked.
+//!
+//! The executor ([`execute_plan`]) evaluates plans with columnar, blockwise
+//! kernels: predicates are applied one column at a time over fixed-size row
+//! blocks ([`BLOCK_ROWS`]) into a reusable *selection vector* of in-block row
+//! offsets, and only the selected rows are fed to the aggregation — touching
+//! just the filtered columns plus (at most) the aggregation input column,
+//! exactly what the paper's cost model prices. Exact ranges skip selection
+//! entirely: `COUNT` never touches data, `SUM`/`AVG` reduce the input column
+//! directly, and `MIN`/`MAX` fall back to a tight fold over the input column
+//! (they need per-value inspection even when the range is exact).
+//!
+//! Execution is counter-transparent: the executor returns the
+//! [`ScanCounters`] (ranges/points/matched) accumulated *by that call*,
+//! threaded through the kernels rather than stored in shared mutable state,
+//! so concurrent queries against one source can never corrupt each other's
+//! statistics.
+//!
+//! [`execute_plan_parallel`] runs the same plan across worker threads
+//! (std-only; the container has no rayon), splitting ranges into balanced
+//! pieces and merging per-thread [`AggAccumulator`]s with
+//! [`AggAccumulator::merge`]. It returns bit-identical results and counters
+//! to the serial executor: range pieces carved from one plan range count as a
+//! single scanned range.
+//!
+//! Data access is abstracted behind [`ScanSource`] (rows of `u64` columns),
+//! implemented by both the logical [`Dataset`](crate::Dataset) and the
+//! physical `ColumnStore` in `tsunami-store`. Sources must be `Sync`: scans
+//! never mutate them.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::dataset::{Dataset, Value};
+use crate::query::{AggAccumulator, AggResult, Aggregation, Predicate, Query};
+
+/// Number of rows per vectorized block. Chosen so one block of one column
+/// (8 KiB) plus the selection vector stays comfortably inside L1.
+pub const BLOCK_ROWS: usize = 1024;
+
+/// Read-only columnar data that scan plans execute against.
+///
+/// `Sync` is a supertrait on purpose: executing a plan never mutates the
+/// source, and the parallel executor shares one source across threads.
+pub trait ScanSource: Sync {
+    /// Number of rows.
+    fn num_rows(&self) -> usize;
+    /// Number of columns (dimensions).
+    fn num_dims(&self) -> usize;
+    /// The full value slice of one column.
+    fn column_values(&self, dim: usize) -> &[Value];
+}
+
+impl ScanSource for Dataset {
+    fn num_rows(&self) -> usize {
+        self.len()
+    }
+    fn num_dims(&self) -> usize {
+        self.num_dims()
+    }
+    fn column_values(&self, dim: usize) -> &[Value] {
+        self.column(dim)
+    }
+}
+
+/// One contiguous physical row range of a scan plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanRange {
+    /// The physical rows to visit.
+    pub range: Range<usize>,
+    /// Whether every row in `range` is guaranteed to match the query filter,
+    /// enabling the §6.1 exact-range optimization.
+    pub exact: bool,
+}
+
+/// The ordered list of contiguous physical ranges an index wants scanned for
+/// one query, plus optional residual predicates. See the module docs for the
+/// full contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanPlan {
+    ranges: Vec<ScanRange>,
+    residual: Option<Vec<Predicate>>,
+}
+
+impl ScanPlan {
+    /// An empty plan (matches nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The trivial full-scan plan over `len` rows.
+    pub fn full(len: usize) -> Self {
+        let mut plan = Self::new();
+        plan.push(0..len, false);
+        plan
+    }
+
+    /// Builds a plan from `(range, exact)` pairs, merging adjacent ranges.
+    pub fn from_ranges<I: IntoIterator<Item = (Range<usize>, bool)>>(ranges: I) -> Self {
+        let mut plan = Self::new();
+        for (r, exact) in ranges {
+            plan.push(r, exact);
+        }
+        plan
+    }
+
+    /// Appends a range. Empty ranges are dropped; a range physically adjacent
+    /// to the previous one with the same exactness is merged into it, so the
+    /// executor sees maximal contiguous runs.
+    pub fn push(&mut self, range: Range<usize>, exact: bool) {
+        if range.start >= range.end {
+            return;
+        }
+        if let Some(last) = self.ranges.last_mut() {
+            if last.range.end == range.start && last.exact == exact {
+                last.range.end = range.end;
+                return;
+            }
+        }
+        self.ranges.push(ScanRange { range, exact });
+    }
+
+    /// Declares the predicates still to be checked inside non-exact ranges;
+    /// the executor then skips the query predicates not listed. Only sound
+    /// when the index guarantees the omitted predicates hold on every planned
+    /// range.
+    pub fn with_residual(mut self, residual: Vec<Predicate>) -> Self {
+        self.residual = Some(residual);
+        self
+    }
+
+    /// The planned ranges in scan order.
+    pub fn ranges(&self) -> &[ScanRange] {
+        &self.ranges
+    }
+
+    /// The residual predicates for non-exact ranges: the explicitly declared
+    /// set, or all of the query's predicates.
+    pub fn residual<'a>(&'a self, query: &'a Query) -> &'a [Predicate] {
+        match &self.residual {
+            Some(r) => r,
+            None => query.predicates(),
+        }
+    }
+
+    /// Number of planned ranges.
+    pub fn num_ranges(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the plan scans nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Total number of rows the plan visits (before clamping to the source).
+    pub fn total_points(&self) -> usize {
+        self.ranges.iter().map(|r| r.range.len()).sum()
+    }
+}
+
+/// Counters accumulated while executing one plan.
+///
+/// These mirror the features of the paper's cost model (§5.3.1): the number
+/// of contiguous physical ranges visited and the number of points scanned.
+/// They are returned by value from the executor — never stored in the source
+/// — so concurrent executions cannot double-account each other's work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanCounters {
+    /// Number of contiguous ranges scanned.
+    pub ranges: usize,
+    /// Number of points visited (whether or not they matched).
+    pub points: usize,
+    /// Number of points that matched every predicate.
+    pub matched: usize,
+}
+
+impl ScanCounters {
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &ScanCounters) {
+        self.ranges += other.ranges;
+        self.points += other.points;
+        self.matched += other.matched;
+    }
+}
+
+/// Executes a plan serially with the vectorized kernels.
+///
+/// Returns the aggregation result together with the counters for exactly
+/// this execution.
+pub fn execute_plan(
+    source: &dyn ScanSource,
+    query: &Query,
+    plan: &ScanPlan,
+) -> (AggResult, ScanCounters) {
+    let resolved = ResolvedQuery::new(source, plan.residual(query), query.aggregation());
+    let mut acc = AggAccumulator::new(query.aggregation());
+    let mut counters = ScanCounters::default();
+    let mut sel: Vec<u32> = Vec::with_capacity(BLOCK_ROWS);
+    for sr in plan.ranges() {
+        resolved.scan_range(
+            sr.range.clone(),
+            sr.exact,
+            true,
+            &mut acc,
+            &mut counters,
+            &mut sel,
+        );
+    }
+    (acc.finish(), counters)
+}
+
+/// Executes a plan across `threads` worker threads.
+///
+/// The plan's ranges are split into balanced pieces which workers claim from
+/// a shared queue; each worker keeps a private [`AggAccumulator`] and
+/// [`ScanCounters`], merged once at the end. Results and counters are
+/// identical to [`execute_plan`]: aggregation merging is associative, and
+/// pieces carved from one plan range count as a single scanned range.
+pub fn execute_plan_parallel(
+    source: &dyn ScanSource,
+    query: &Query,
+    plan: &ScanPlan,
+    threads: usize,
+) -> (AggResult, ScanCounters) {
+    let threads = threads.max(1);
+    let total: usize = plan
+        .ranges()
+        .iter()
+        .map(|r| r.range.start.min(source.num_rows())..r.range.end.min(source.num_rows()))
+        .map(|r| r.len())
+        .sum();
+    // Parallelism only pays off once there is real work to split.
+    if threads == 1 || total < 4 * BLOCK_ROWS {
+        return execute_plan(source, query, plan);
+    }
+
+    // Work units: (range, exact, counts_as_new_range). Large ranges are split
+    // so no single unit dominates a thread; only the first piece of a plan
+    // range increments the range counter, keeping counters identical to the
+    // serial executor.
+    let piece = (total / (threads * 4)).max(BLOCK_ROWS);
+    let mut units: Vec<(Range<usize>, bool, bool)> = Vec::new();
+    for sr in plan.ranges() {
+        let range = sr.range.start.min(source.num_rows())..sr.range.end.min(source.num_rows());
+        if range.is_empty() {
+            continue;
+        }
+        let mut start = range.start;
+        let mut first = true;
+        while start < range.end {
+            let end = (start + piece).min(range.end);
+            units.push((start..end, sr.exact, first));
+            first = false;
+            start = end;
+        }
+    }
+
+    let agg = query.aggregation();
+    let resolved = ResolvedQuery::new(source, plan.residual(query), agg);
+    let next_unit = AtomicUsize::new(0);
+    let mut acc = AggAccumulator::new(agg);
+    let mut counters = ScanCounters::default();
+
+    std::thread::scope(|scope| {
+        // Never spawn more workers than there are units to claim.
+        let workers: Vec<_> = (0..threads.min(units.len()))
+            .map(|_| {
+                let units = &units;
+                let next_unit = &next_unit;
+                let resolved = &resolved;
+                scope.spawn(move || {
+                    let mut acc = AggAccumulator::new(agg);
+                    let mut counters = ScanCounters::default();
+                    let mut sel: Vec<u32> = Vec::with_capacity(BLOCK_ROWS);
+                    loop {
+                        let i = next_unit.fetch_add(1, Ordering::Relaxed);
+                        let Some((range, exact, count_range)) = units.get(i).cloned() else {
+                            break;
+                        };
+                        resolved.scan_range(
+                            range,
+                            exact,
+                            count_range,
+                            &mut acc,
+                            &mut counters,
+                            &mut sel,
+                        );
+                    }
+                    (acc, counters)
+                })
+            })
+            .collect();
+        for worker in workers {
+            let (worker_acc, worker_counters) = worker.join().expect("scan worker panicked");
+            acc.merge(&worker_acc);
+            counters.merge(&worker_counters);
+        }
+    });
+    (acc.finish(), counters)
+}
+
+/// A query resolved against one source: predicate and aggregation columns
+/// looked up once, so scanning many ranges (or many split pieces, in the
+/// parallel executor) pays no per-range column resolution or allocation.
+struct ResolvedQuery<'a> {
+    /// `(column, predicate)` pairs for the residual predicates.
+    preds: Vec<(&'a [Value], Predicate)>,
+    agg: Aggregation,
+    agg_col: Option<&'a [Value]>,
+    num_rows: usize,
+}
+
+impl<'a> ResolvedQuery<'a> {
+    fn new(source: &'a dyn ScanSource, residual: &[Predicate], agg: Aggregation) -> Self {
+        Self {
+            preds: residual
+                .iter()
+                .map(|&p| (source.column_values(p.dim), p))
+                .collect(),
+            agg,
+            agg_col: agg.input_dim().map(|d| source.column_values(d)),
+            num_rows: source.num_rows(),
+        }
+    }
+
+    /// Scans one contiguous range into an accumulator, vectorized.
+    ///
+    /// `count_range` controls whether this call increments the range counter
+    /// (the parallel executor passes `false` for continuation pieces of a
+    /// split range). The caller provides the reusable selection-vector
+    /// scratch.
+    fn scan_range(
+        &self,
+        range: Range<usize>,
+        exact: bool,
+        count_range: bool,
+        acc: &mut AggAccumulator,
+        counters: &mut ScanCounters,
+        sel: &mut Vec<u32>,
+    ) {
+        let range = range.start.min(self.num_rows)..range.end.min(self.num_rows);
+        if range.is_empty() {
+            return;
+        }
+        if count_range {
+            counters.ranges += 1;
+        }
+        counters.points += range.len();
+
+        // An exact range — or a query with no predicates left to check —
+        // matches every row: aggregate the whole range without building a
+        // selection.
+        if exact || self.preds.is_empty() {
+            counters.matched += range.len();
+            aggregate_dense(self.agg, self.agg_col, range, acc);
+            return;
+        }
+
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + BLOCK_ROWS).min(range.end);
+
+            // First predicate seeds the selection vector; the rest refine it.
+            sel.clear();
+            let (col0, p0) = self.preds[0];
+            for (i, &v) in col0[start..end].iter().enumerate() {
+                if p0.matches(v) {
+                    sel.push(i as u32);
+                }
+            }
+            for &(col, p) in &self.preds[1..] {
+                if sel.is_empty() {
+                    break;
+                }
+                let block = &col[start..end];
+                sel.retain(|&i| p.matches(block[i as usize]));
+            }
+
+            counters.matched += sel.len();
+            aggregate_selected(self.agg, self.agg_col, start, sel, acc);
+            start = end;
+        }
+    }
+}
+
+/// Scans one contiguous range into an accumulator, vectorized.
+///
+/// One-shot form of the kernel shared by both executors, used by
+/// `ColumnStore::scan_range` for direct single-range scans. Callers scanning
+/// many ranges of one query should go through [`execute_plan`], which
+/// resolves the query's columns once.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_range_into(
+    source: &dyn ScanSource,
+    residual: &[Predicate],
+    range: Range<usize>,
+    exact: bool,
+    count_range: bool,
+    acc: &mut AggAccumulator,
+    counters: &mut ScanCounters,
+    sel: &mut Vec<u32>,
+) {
+    ResolvedQuery::new(source, residual, acc.aggregation()).scan_range(
+        range,
+        exact,
+        count_range,
+        acc,
+        counters,
+        sel,
+    );
+}
+
+/// Aggregates every row of a contiguous range (exact-range fast path).
+fn aggregate_dense(
+    agg: Aggregation,
+    agg_col: Option<&[Value]>,
+    range: Range<usize>,
+    acc: &mut AggAccumulator,
+) {
+    let n = range.len() as u64;
+    match (agg, agg_col) {
+        (Aggregation::Count, _) | (_, None) => acc.add_bulk(n, 0),
+        (Aggregation::Sum(_) | Aggregation::Avg(_), Some(col)) => {
+            let sum: u128 = col[range].iter().map(|&v| v as u128).sum();
+            acc.add_bulk(n, sum);
+        }
+        // MIN/MAX cannot use the bulk-sum shortcut: even an exact range needs
+        // its values inspected. Fold the slice tightly instead.
+        (Aggregation::Min(_), Some(col)) => {
+            let lo = col[range].iter().copied().min();
+            acc.add_block(n, 0, lo, None);
+        }
+        (Aggregation::Max(_), Some(col)) => {
+            let hi = col[range].iter().copied().max();
+            acc.add_block(n, 0, None, hi);
+        }
+    }
+}
+
+/// Aggregates the selected rows of one block.
+fn aggregate_selected(
+    agg: Aggregation,
+    agg_col: Option<&[Value]>,
+    block_start: usize,
+    sel: &[u32],
+    acc: &mut AggAccumulator,
+) {
+    if sel.is_empty() {
+        return;
+    }
+    let n = sel.len() as u64;
+    match (agg, agg_col) {
+        (Aggregation::Count, _) | (_, None) => acc.add_bulk(n, 0),
+        (Aggregation::Sum(_) | Aggregation::Avg(_), Some(col)) => {
+            let sum: u128 = sel
+                .iter()
+                .map(|&i| col[block_start + i as usize] as u128)
+                .sum();
+            acc.add_bulk(n, sum);
+        }
+        (Aggregation::Min(_), Some(col)) => {
+            let lo = sel.iter().map(|&i| col[block_start + i as usize]).min();
+            acc.add_block(n, 0, lo, None);
+        }
+        (Aggregation::Max(_), Some(col)) => {
+            let hi = sel.iter().map(|&i| col[block_start + i as usize]).max();
+            acc.add_block(n, 0, None, hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Predicate, Query};
+
+    fn source() -> Dataset {
+        // dim0: 0..1000, dim1: reversed, dim2: i*3 % 101.
+        Dataset::from_columns(vec![
+            (0..1000u64).collect(),
+            (0..1000u64).rev().collect(),
+            (0..1000u64).map(|v| v * 3 % 101).collect(),
+        ])
+        .unwrap()
+    }
+
+    fn count(preds: Vec<Predicate>) -> Query {
+        Query::count(preds).unwrap()
+    }
+
+    #[test]
+    fn plan_push_merges_adjacent_equal_exactness() {
+        let mut plan = ScanPlan::new();
+        plan.push(0..10, false);
+        plan.push(10..20, false);
+        plan.push(20..30, true);
+        plan.push(30..40, true);
+        plan.push(50..60, true);
+        plan.push(60..60, true); // dropped: empty
+        assert_eq!(plan.num_ranges(), 3);
+        assert_eq!(plan.ranges()[0].range, 0..20);
+        assert!(!plan.ranges()[0].exact);
+        assert_eq!(plan.ranges()[1].range, 20..40);
+        assert!(plan.ranges()[1].exact);
+        assert_eq!(plan.ranges()[2].range, 50..60);
+        assert_eq!(plan.total_points(), 50);
+    }
+
+    #[test]
+    fn executor_matches_oracle_on_full_scan() {
+        let ds = source();
+        let q = count(vec![Predicate::range(0, 100, 499).unwrap()]);
+        let (res, counters) = execute_plan(&ds, &q, &ScanPlan::full(ds.len()));
+        assert_eq!(res, q.execute_full_scan(&ds));
+        assert_eq!(counters.ranges, 1);
+        assert_eq!(counters.points, 1000);
+        assert_eq!(counters.matched, 400);
+    }
+
+    #[test]
+    fn executor_handles_multi_predicate_blocks() {
+        let ds = source();
+        let q = count(vec![
+            Predicate::range(0, 0, 899).unwrap(),
+            Predicate::range(1, 200, 999).unwrap(),
+            Predicate::range(2, 0, 50).unwrap(),
+        ]);
+        let (res, _) = execute_plan(&ds, &q, &ScanPlan::full(ds.len()));
+        assert_eq!(res, q.execute_full_scan(&ds));
+    }
+
+    #[test]
+    fn exact_ranges_skip_residual_checks() {
+        let ds = source();
+        // The filter matches only 0..10 but the plan claims 0..20 is exact:
+        // the executor must trust the plan and count all 20.
+        let q = count(vec![Predicate::range(0, 0, 9).unwrap()]);
+        let (res, counters) = execute_plan(&ds, &q, &ScanPlan::from_ranges([(0..20, true)]));
+        assert_eq!(res, AggResult::Count(20));
+        assert_eq!(counters.matched, 20);
+    }
+
+    #[test]
+    fn exact_min_max_uses_value_fold() {
+        let ds = source();
+        let q = Query::new(vec![], Aggregation::Min(1)).unwrap();
+        let (res, _) = execute_plan(&ds, &q, &ScanPlan::from_ranges([(5..10, true)]));
+        assert_eq!(res, AggResult::Min(Some(990)));
+        let q = Query::new(vec![], Aggregation::Max(1)).unwrap();
+        let (res, _) = execute_plan(&ds, &q, &ScanPlan::from_ranges([(5..10, true)]));
+        assert_eq!(res, AggResult::Max(Some(994)));
+    }
+
+    #[test]
+    fn residual_predicates_replace_query_predicates() {
+        let ds = source();
+        // Query filters dim0 and dim2, but the plan declares only dim2 as
+        // residual (claiming dim0 is guaranteed by construction).
+        let q = count(vec![
+            Predicate::range(0, 500, 509).unwrap(),
+            Predicate::range(2, 0, 100).unwrap(),
+        ]);
+        let plan = ScanPlan::from_ranges([(500..510, false)])
+            .with_residual(vec![Predicate::range(2, 0, 100).unwrap()]);
+        let (res, _) = execute_plan(&ds, &q, &plan);
+        // dim2 predicate matches everything (domain is 0..=100): all 10 rows.
+        assert_eq!(res, AggResult::Count(10));
+    }
+
+    #[test]
+    fn out_of_bounds_ranges_are_clamped() {
+        let ds = source();
+        let q = count(vec![]);
+        let (res, counters) = execute_plan(&ds, &q, &ScanPlan::from_ranges([(990..5000, false)]));
+        assert_eq!(res, AggResult::Count(10));
+        assert_eq!(counters.points, 10);
+        let (res, counters) = execute_plan(&ds, &q, &ScanPlan::from_ranges([(5000..6000, false)]));
+        assert_eq!(res, AggResult::Count(0));
+        assert_eq!(counters.ranges, 0);
+    }
+
+    #[test]
+    fn all_aggregations_match_oracle_over_fragmented_plans() {
+        let ds = source();
+        let preds = vec![Predicate::range(2, 10, 60).unwrap()];
+        let plan = ScanPlan::from_ranges([(0..300, false), (300..700, false), (800..1000, false)]);
+        for agg in [
+            Aggregation::Count,
+            Aggregation::Sum(1),
+            Aggregation::Min(1),
+            Aggregation::Max(1),
+            Aggregation::Avg(1),
+        ] {
+            let q = Query::new(preds.clone(), agg).unwrap();
+            // The oracle over the same rows: 0..700 and 800..1000.
+            let rows: Vec<usize> = (0..700).chain(800..1000).collect();
+            let expected = q.execute_full_scan(&ds.select_rows(&rows));
+            let (res, _) = execute_plan(&ds, &q, &plan);
+            assert_eq!(res, expected, "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_executor_matches_serial_results_and_counters() {
+        // Big enough to clear the parallel threshold, with a mix of exact and
+        // non-exact fragments.
+        let n = 40_000u64;
+        let ds = Dataset::from_columns(vec![
+            (0..n).collect(),
+            (0..n).map(|v| v * 7 % 1_000).collect(),
+        ])
+        .unwrap();
+        let plan = ScanPlan::from_ranges([
+            (0..15_000, false),
+            (15_000..16_000, true),
+            (20_000..40_000, false),
+        ]);
+        for agg in [
+            Aggregation::Count,
+            Aggregation::Sum(1),
+            Aggregation::Min(1),
+            Aggregation::Max(1),
+            Aggregation::Avg(1),
+        ] {
+            let q = Query::new(vec![Predicate::range(1, 100, 800).unwrap()], agg).unwrap();
+            let (serial, serial_counters) = execute_plan(&ds, &q, &plan);
+            for threads in [2, 3, 8] {
+                let (parallel, parallel_counters) = execute_plan_parallel(&ds, &q, &plan, threads);
+                assert_eq!(parallel, serial, "{agg:?} with {threads} threads");
+                assert_eq!(
+                    parallel_counters, serial_counters,
+                    "{agg:?} counters with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_executor_degrades_to_serial_for_tiny_plans() {
+        let ds = source();
+        let q = count(vec![Predicate::range(0, 0, 99).unwrap()]);
+        let plan = ScanPlan::full(ds.len());
+        let (serial, sc) = execute_plan(&ds, &q, &plan);
+        let (parallel, pc) = execute_plan_parallel(&ds, &q, &plan, 8);
+        assert_eq!(serial, parallel);
+        assert_eq!(sc, pc);
+    }
+
+    #[test]
+    fn empty_plan_yields_empty_aggregates() {
+        let ds = source();
+        let q = Query::new(vec![], Aggregation::Min(0)).unwrap();
+        let (res, counters) = execute_plan(&ds, &q, &ScanPlan::new());
+        assert_eq!(res, AggResult::Min(None));
+        assert_eq!(counters, ScanCounters::default());
+    }
+}

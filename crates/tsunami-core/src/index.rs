@@ -5,7 +5,16 @@
 //! builds them from a [`crate::Dataset`] and a sample [`crate::Workload`],
 //! executes queries, and reports index size and build-time breakdowns
 //! (Fig 8 and Fig 9b of the paper).
+//!
+//! Query execution is *not* implemented per index. An index only answers
+//! [`MultiDimIndex::plan`] — which contiguous physical ranges to scan, with
+//! the §6.1 exact-range flags — and exposes its reordered data through
+//! [`MultiDimIndex::source`]; the provided [`MultiDimIndex::execute`],
+//! [`MultiDimIndex::execute_with_stats`], and
+//! [`MultiDimIndex::execute_parallel`] methods run every plan through the
+//! shared vectorized executor in [`crate::exec`].
 
+use crate::exec::{self, ScanCounters, ScanPlan, ScanSource};
 use crate::query::{AggResult, Query};
 
 /// Wall-clock breakdown of building an index (Fig 9b): every index must sort
@@ -38,24 +47,52 @@ pub struct IndexStats {
     pub points_matched: usize,
 }
 
+impl From<ScanCounters> for IndexStats {
+    fn from(c: ScanCounters) -> Self {
+        Self {
+            ranges_scanned: c.ranges,
+            points_scanned: c.points,
+            points_matched: c.matched,
+        }
+    }
+}
+
 /// A clustered in-memory multi-dimensional index over a single table.
 ///
-/// Implementations own their (re-organized) copy of the data, so `execute`
-/// needs only the query.
+/// Implementations own their (re-organized) copy of the data, so planning
+/// needs only the query. Execution is provided: implement [`Self::plan`] and
+/// [`Self::source`] and the shared executor does the rest.
 pub trait MultiDimIndex {
     /// Short human-readable name used in benchmark output (e.g. `"Tsunami"`).
     fn name(&self) -> &str;
 
-    /// Executes a query and returns its aggregation result.
-    fn execute(&self, query: &Query) -> AggResult;
+    /// The physical data the index's plans scan (its clustered copy).
+    fn source(&self) -> &dyn ScanSource;
 
-    /// Executes a query while collecting diagnostic counters.
-    ///
-    /// The default implementation runs [`MultiDimIndex::execute`] and reports
-    /// empty stats; indexes that can cheaply count scanned ranges/points
-    /// should override it.
+    /// Plans a query: the ordered contiguous physical ranges to scan, with
+    /// per-range exactness flags (and optionally residual predicates). This
+    /// is the only query-time logic an index implements.
+    fn plan(&self, query: &Query) -> ScanPlan;
+
+    /// Executes a query through the shared vectorized executor.
+    fn execute(&self, query: &Query) -> AggResult {
+        exec::execute_plan(self.source(), query, &self.plan(query)).0
+    }
+
+    /// Executes a query while collecting diagnostic counters from the
+    /// executor.
     fn execute_with_stats(&self, query: &Query) -> (AggResult, IndexStats) {
-        (self.execute(query), IndexStats::default())
+        let (result, counters) = exec::execute_plan(self.source(), query, &self.plan(query));
+        (result, counters.into())
+    }
+
+    /// Executes a query with the parallel executor, splitting the plan across
+    /// `threads` worker threads. Results and counters are identical to
+    /// [`Self::execute_with_stats`].
+    fn execute_parallel(&self, query: &Query, threads: usize) -> (AggResult, IndexStats) {
+        let (result, counters) =
+            exec::execute_plan_parallel(self.source(), query, &self.plan(query), threads);
+        (result, counters.into())
     }
 
     /// Size of the index structure in bytes, excluding the data itself
@@ -69,17 +106,32 @@ pub trait MultiDimIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::{AggAccumulator, Aggregation};
+    use crate::dataset::Dataset;
+    use crate::query::{AggResult, Predicate};
 
-    /// A trivial index used to exercise the trait's default methods.
-    struct Dummy;
+    /// A trivial index (plain full scan over a small dataset) used to
+    /// exercise the trait's provided methods.
+    struct Dummy {
+        data: Dataset,
+    }
+
+    impl Dummy {
+        fn new() -> Self {
+            Self {
+                data: Dataset::from_columns(vec![(0..100u64).collect()]).unwrap(),
+            }
+        }
+    }
 
     impl MultiDimIndex for Dummy {
         fn name(&self) -> &str {
             "dummy"
         }
-        fn execute(&self, _query: &Query) -> AggResult {
-            AggAccumulator::new(Aggregation::Count).finish()
+        fn source(&self) -> &dyn ScanSource {
+            &self.data
+        }
+        fn plan(&self, _query: &Query) -> ScanPlan {
+            ScanPlan::full(self.data.len())
         }
         fn size_bytes(&self) -> usize {
             0
@@ -94,16 +146,22 @@ mod tests {
 
     #[test]
     fn build_timing_totals() {
-        let d = Dummy;
+        let d = Dummy::new();
         assert_eq!(d.build_timing().total_secs(), 3.0);
     }
 
     #[test]
-    fn default_execute_with_stats_reports_empty_stats() {
-        let d = Dummy;
-        let q = Query::count(vec![]).unwrap();
+    fn provided_execute_runs_the_plan() {
+        let d = Dummy::new();
+        let q = Query::count(vec![Predicate::range(0, 10, 19).unwrap()]).unwrap();
+        assert_eq!(d.execute(&q), AggResult::Count(10));
         let (res, stats) = d.execute_with_stats(&q);
-        assert_eq!(res, AggResult::Count(0));
-        assert_eq!(stats, IndexStats::default());
+        assert_eq!(res, AggResult::Count(10));
+        assert_eq!(stats.ranges_scanned, 1);
+        assert_eq!(stats.points_scanned, 100);
+        assert_eq!(stats.points_matched, 10);
+        let (res, pstats) = d.execute_parallel(&q, 4);
+        assert_eq!(res, AggResult::Count(10));
+        assert_eq!(pstats, stats);
     }
 }

@@ -13,13 +13,19 @@
 //!   skew definition (§4.2.1).
 //! * [`CostModel`] — the analytic linear cost model used to optimize both
 //!   Flood and the Augmented Grid (§5.3.1).
+//! * [`ScanPlan`], [`exec`] — the shared scan-execution engine: indexes plan
+//!   queries as ordered lists of contiguous physical ranges (with §6.1
+//!   exact-range flags and residual predicates) and one vectorized executor
+//!   runs every plan, serially or in parallel.
 //! * [`MultiDimIndex`] — the trait every index in the workspace (learned and
-//!   non-learned) implements so benchmarks can treat them uniformly.
+//!   non-learned) implements so benchmarks can treat them uniformly; query
+//!   execution is provided by the trait on top of [`exec`].
 
 pub mod cost;
 pub mod dataset;
 pub mod emd;
 pub mod error;
+pub mod exec;
 pub mod histogram;
 pub mod index;
 pub mod query;
@@ -30,6 +36,7 @@ pub use cost::{CostFeatures, CostModel};
 pub use dataset::{Dataset, Point, Value};
 pub use emd::emd;
 pub use error::{Result, TsunamiError};
+pub use exec::{ScanCounters, ScanPlan, ScanRange, ScanSource};
 pub use histogram::Histogram;
 pub use index::{BuildTiming, IndexStats, MultiDimIndex};
 pub use query::{AggAccumulator, AggResult, Aggregation, Predicate, Query, Workload};

@@ -11,10 +11,9 @@
 
 use crate::dataset::{Dataset, Point, Value};
 use crate::error::{Result, TsunamiError};
-use serde::{Deserialize, Serialize};
 
 /// An inclusive range filter over a single dimension: `lo <= value <= hi`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Predicate {
     /// Dimension the filter applies to.
     pub dim: usize,
@@ -54,7 +53,7 @@ impl Predicate {
 ///
 /// All indexes pay the same aggregation cost, so the paper evaluates with
 /// `COUNT`; the other aggregations are provided for API completeness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Aggregation {
     /// `COUNT(*)`.
     Count,
@@ -73,9 +72,10 @@ impl Aggregation {
     pub fn input_dim(&self) -> Option<usize> {
         match self {
             Aggregation::Count => None,
-            Aggregation::Sum(d) | Aggregation::Min(d) | Aggregation::Max(d) | Aggregation::Avg(d) => {
-                Some(*d)
-            }
+            Aggregation::Sum(d)
+            | Aggregation::Min(d)
+            | Aggregation::Max(d)
+            | Aggregation::Avg(d) => Some(*d),
         }
     }
 }
@@ -160,6 +160,34 @@ impl AggAccumulator {
         }
     }
 
+    /// Adds a whole pre-aggregated block of `n` matching records: their sum
+    /// (for `SUM`/`AVG`) and their extreme values (for `MIN`/`MAX`). Used by
+    /// the vectorized kernels, which reduce each block before touching the
+    /// accumulator. A zero-row block is a no-op.
+    #[inline]
+    pub fn add_block(&mut self, n: u64, sum: u128, min: Option<Value>, max: Option<Value>) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        match self.agg {
+            Aggregation::Count => {}
+            Aggregation::Sum(_) | Aggregation::Avg(_) => self.sum += sum,
+            Aggregation::Min(_) => {
+                self.min = match (self.min, min) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            Aggregation::Max(_) => {
+                self.max = match (self.max, max) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
+    }
+
     /// Merges another accumulator (for the same aggregation) into this one.
     pub fn merge(&mut self, other: &AggAccumulator) {
         self.count += other.count;
@@ -196,7 +224,7 @@ impl AggAccumulator {
 }
 
 /// A conjunctive range query with an aggregation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Query {
     predicates: Vec<Predicate>,
     aggregation: Aggregation,
@@ -359,7 +387,7 @@ impl Query {
 
 /// A set of queries, typically a sampled workload used for optimization or a
 /// benchmark run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Workload {
     queries: Vec<Query>,
 }
@@ -486,7 +514,10 @@ mod tests {
         let ds = data();
         let preds = vec![Predicate::range(0, 2, 5).unwrap()];
         let sum = Query::new(preds.clone(), Aggregation::Sum(1)).unwrap();
-        assert_eq!(sum.execute_full_scan(&ds), AggResult::Sum(20 + 30 + 40 + 50));
+        assert_eq!(
+            sum.execute_full_scan(&ds),
+            AggResult::Sum(20 + 30 + 40 + 50)
+        );
         let min = Query::new(preds.clone(), Aggregation::Min(1)).unwrap();
         assert_eq!(min.execute_full_scan(&ds), AggResult::Min(Some(20)));
         let max = Query::new(preds.clone(), Aggregation::Max(1)).unwrap();

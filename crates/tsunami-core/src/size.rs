@@ -15,7 +15,7 @@ pub fn nested_vec_bytes<T>(v: &[Vec<T>]) -> usize {
     v.iter()
         .map(|inner| inner.len() * std::mem::size_of::<T>())
         .sum::<usize>()
-        + v.len() * std::mem::size_of::<Vec<T>>()
+        + std::mem::size_of_val(v)
 }
 
 /// Formats a byte count as a human-readable string (KiB / MiB).

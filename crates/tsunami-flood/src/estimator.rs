@@ -173,7 +173,10 @@ mod tests {
     fn empty_workload_costs_nothing() {
         let s = sample();
         let est = GridCostEstimator::new(&s, &[4, 4], 1000);
-        assert_eq!(est.average_cost(&Workload::default(), &CostModel::default()), 0.0);
+        assert_eq!(
+            est.average_cost(&Workload::default(), &CostModel::default()),
+            0.0
+        );
         assert_eq!(est.layout().num_cells(), 16);
     }
 }

@@ -6,8 +6,7 @@ use crate::config::FloodConfig;
 use crate::layout::GridLayout;
 use crate::optimizer::optimize_partitions;
 use tsunami_core::{
-    AggAccumulator, AggResult, BuildTiming, CostModel, Dataset, IndexStats, MultiDimIndex, Query,
-    Workload,
+    BuildTiming, CostModel, Dataset, MultiDimIndex, Query, ScanPlan, ScanSource, Workload,
 };
 use tsunami_store::ColumnStore;
 
@@ -28,11 +27,21 @@ pub struct FloodIndex {
 impl FloodIndex {
     /// Builds a Flood index whose layout is optimized for the given sample
     /// workload.
-    pub fn build(data: &Dataset, workload: &Workload, cost: &CostModel, config: &FloodConfig) -> Self {
+    pub fn build(
+        data: &Dataset,
+        workload: &Workload,
+        cost: &CostModel,
+        config: &FloodConfig,
+    ) -> Self {
         let opt_start = Instant::now();
         let optimized = optimize_partitions(data, workload, cost, config);
         let optimize_secs = opt_start.elapsed().as_secs_f64();
-        Self::build_with_partitions_timed(data, &optimized.partitions, optimize_secs, optimized.predicted_cost)
+        Self::build_with_partitions_timed(
+            data,
+            &optimized.partitions,
+            optimize_secs,
+            optimized.predicted_cost,
+        )
     }
 
     /// Builds a Flood index with explicit per-dimension partition counts
@@ -56,12 +65,12 @@ impl FloodIndex {
         let mut counts = vec![0usize; num_cells + 1];
         let d = data.num_dims();
         let mut point = vec![0u64; d];
-        for r in 0..data.len() {
-            for dim in 0..d {
-                point[dim] = data.get(r, dim);
+        for (r, row_cell) in cell_of_row.iter_mut().enumerate() {
+            for (dim, coord) in point.iter_mut().enumerate() {
+                *coord = data.get(r, dim);
             }
             let c = layout.cell_of(&point);
-            cell_of_row[r] = c;
+            *row_cell = c;
             counts[c + 1] += 1;
         }
         for c in 0..num_cells {
@@ -71,8 +80,7 @@ impl FloodIndex {
         // Stable counting sort producing the permutation: position -> source row.
         let mut next = counts;
         let mut perm = vec![0usize; data.len()];
-        for r in 0..data.len() {
-            let c = cell_of_row[r];
+        for (r, &c) in cell_of_row.iter().enumerate() {
             perm[next[c]] = r;
             next[c] += 1;
         }
@@ -107,30 +115,6 @@ impl FloodIndex {
     pub fn predicted_cost(&self) -> f64 {
         self.predicted_cost
     }
-
-    /// The physical row ranges (with exactness flags) a query must scan.
-    fn ranges_for(&self, query: &Query) -> Vec<(std::ops::Range<usize>, bool)> {
-        let pr = self.layout.partition_ranges(query);
-        let runs = self.layout.cell_runs(&pr);
-        let mut out: Vec<(std::ops::Range<usize>, bool)> = Vec::with_capacity(runs.len());
-        for (first_cell, last_cell, exact) in runs {
-            let start = self.cell_offsets[first_cell];
-            let end = self.cell_offsets[last_cell + 1];
-            if start == end {
-                continue;
-            }
-            // Merge with the previous range when physically contiguous and
-            // equally exact.
-            if let Some((prev, prev_exact)) = out.last_mut() {
-                if prev.end == start && *prev_exact == exact {
-                    prev.end = end;
-                    continue;
-                }
-            }
-            out.push((start..end, exact));
-        }
-        out
-    }
 }
 
 impl MultiDimIndex for FloodIndex {
@@ -138,26 +122,23 @@ impl MultiDimIndex for FloodIndex {
         "Flood"
     }
 
-    fn execute(&self, query: &Query) -> AggResult {
-        let mut acc = AggAccumulator::new(query.aggregation());
-        for (range, exact) in self.ranges_for(query) {
-            self.store.scan_range(range, query, exact, &mut acc);
-        }
-        acc.finish()
+    fn source(&self) -> &dyn ScanSource {
+        &self.store
     }
 
-    fn execute_with_stats(&self, query: &Query) -> (AggResult, IndexStats) {
-        self.store.reset_counters();
-        let result = self.execute(query);
-        let c = self.store.counters();
-        (
-            result,
-            IndexStats {
-                ranges_scanned: c.ranges,
-                points_scanned: c.points,
-                points_matched: c.matched,
-            },
-        )
+    fn plan(&self, query: &Query) -> ScanPlan {
+        let pr = self.layout.partition_ranges(query);
+        let runs = self.layout.cell_runs(&pr);
+        let mut plan = ScanPlan::new();
+        for (first_cell, last_cell, exact) in runs {
+            // Physically contiguous, equally exact cell runs merge in the
+            // plan automatically.
+            plan.push(
+                self.cell_offsets[first_cell]..self.cell_offsets[last_cell + 1],
+                exact,
+            );
+        }
+        plan
     }
 
     fn size_bytes(&self) -> usize {
@@ -173,7 +154,7 @@ impl MultiDimIndex for FloodIndex {
 mod tests {
     use super::*;
     use tsunami_core::sample::SplitMix;
-    use tsunami_core::Predicate;
+    use tsunami_core::{AggResult, Predicate};
 
     fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset {
         let mut rng = SplitMix::new(seed);
@@ -203,7 +184,12 @@ mod tests {
     fn flood_matches_full_scan_oracle() {
         let data = random_dataset(5_000, 3, 1);
         let workload = random_workload(3, 30, 2);
-        let index = FloodIndex::build(&data, &workload, &CostModel::default(), &FloodConfig::fast());
+        let index = FloodIndex::build(
+            &data,
+            &workload,
+            &CostModel::default(),
+            &FloodConfig::fast(),
+        );
         for q in workload.queries() {
             assert_eq!(index.execute(q), q.execute_full_scan(&data), "query {q:?}");
         }
@@ -213,7 +199,12 @@ mod tests {
     fn flood_answers_multi_dim_and_unseen_queries() {
         let data = random_dataset(3_000, 4, 3);
         let workload = random_workload(4, 10, 4);
-        let index = FloodIndex::build(&data, &workload, &CostModel::default(), &FloodConfig::fast());
+        let index = FloodIndex::build(
+            &data,
+            &workload,
+            &CostModel::default(),
+            &FloodConfig::fast(),
+        );
         // Queries not in the training workload (multi-dimensional).
         let q = Query::count(vec![
             Predicate::range(0, 100, 5_000).unwrap(),
@@ -230,7 +221,12 @@ mod tests {
     fn flood_sum_aggregation_is_correct() {
         let data = random_dataset(2_000, 2, 7);
         let workload = random_workload(2, 10, 8);
-        let index = FloodIndex::build(&data, &workload, &CostModel::default(), &FloodConfig::fast());
+        let index = FloodIndex::build(
+            &data,
+            &workload,
+            &CostModel::default(),
+            &FloodConfig::fast(),
+        );
         let q = Query::new(
             vec![Predicate::range(0, 0, 5_000).unwrap()],
             tsunami_core::Aggregation::Sum(1),
@@ -243,10 +239,18 @@ mod tests {
     fn stats_show_fewer_points_scanned_than_full_scan() {
         let data = random_dataset(20_000, 2, 11);
         let workload = random_workload(2, 40, 12);
-        let index = FloodIndex::build(&data, &workload, &CostModel::default(), &FloodConfig::fast());
+        let index = FloodIndex::build(
+            &data,
+            &workload,
+            &CostModel::default(),
+            &FloodConfig::fast(),
+        );
         let q = &workload.queries()[0];
         let (_, stats) = index.execute_with_stats(q);
-        assert!(stats.points_scanned < data.len(), "grid should prune the scan");
+        assert!(
+            stats.points_scanned < data.len(),
+            "grid should prune the scan"
+        );
         assert!(stats.ranges_scanned >= 1);
         assert!(stats.points_matched <= stats.points_scanned);
     }

@@ -103,19 +103,15 @@ impl GridLayout {
     pub fn cell_of(&self, point: &[Value]) -> usize {
         debug_assert_eq!(point.len(), self.num_dims());
         let mut cell = 0usize;
-        for d in 0..self.num_dims() {
-            cell += self.partition_of(d, point[d]) * self.strides[d];
+        for (d, &coord) in point.iter().enumerate() {
+            cell += self.partition_of(d, coord) * self.strides[d];
         }
         cell
     }
 
     /// Cell id from explicit per-dimension partition indices.
     pub fn cell_from_partitions(&self, parts: &[usize]) -> usize {
-        parts
-            .iter()
-            .zip(&self.strides)
-            .map(|(&p, &s)| p * s)
-            .sum()
+        parts.iter().zip(&self.strides).map(|(&p, &s)| p * s).sum()
     }
 
     /// Whether partition `p` of dimension `dim` is fully contained in the
@@ -164,7 +160,10 @@ impl GridLayout {
                 }
             }
         }
-        PartitionRanges { intersecting, exact }
+        PartitionRanges {
+            intersecting,
+            exact,
+        }
     }
 
     /// Enumerates the intersecting cells of a query as `(first_cell,
@@ -184,15 +183,18 @@ impl GridLayout {
 
         // Iterate the Cartesian product of the prefix dimensions.
         let mut runs = Vec::new();
-        let mut current: Vec<usize> = ranges.intersecting[..last].iter().map(|&(lo, _)| lo).collect();
+        let mut current: Vec<usize> = ranges.intersecting[..last]
+            .iter()
+            .map(|&(lo, _)| lo)
+            .collect();
         loop {
             // Base cell id for this prefix.
             let mut base = 0usize;
             let mut prefix_exact = true;
-            for dim in 0..last {
-                base += current[dim] * self.strides[dim];
+            for (dim, &part) in current.iter().enumerate().take(last) {
+                base += part * self.strides[dim];
                 prefix_exact &= match ranges.exact[dim] {
-                    Some((elo, ehi)) => current[dim] >= elo && current[dim] <= ehi,
+                    Some((elo, ehi)) => part >= elo && part <= ehi,
                     None => false,
                 };
             }
@@ -268,7 +270,10 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max <= min * 2 + 10, "cells should be roughly equal: {counts:?}");
+        assert!(
+            max <= min * 2 + 10,
+            "cells should be roughly equal: {counts:?}"
+        );
     }
 
     #[test]

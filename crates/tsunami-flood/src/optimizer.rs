@@ -39,7 +39,7 @@ pub fn initial_partitions(
     // Average selectivity of each dimension across queries that filter it
     // (1.0 when never filtered).
     let mut weights = vec![0.0f64; d];
-    for dim in 0..d {
+    for (dim, weight) in weights.iter_mut().enumerate() {
         let mut sel_sum = 0.0;
         let mut count = 0usize;
         for q in workload.queries() {
@@ -48,11 +48,15 @@ pub fn initial_partitions(
                 count += 1;
             }
         }
-        let avg_sel: f64 = if count == 0 { 1.0 } else { sel_sum / count as f64 };
+        let avg_sel: f64 = if count == 0 {
+            1.0
+        } else {
+            sel_sum / count as f64
+        };
         // More selective (smaller fraction) => larger weight. The frequency
         // with which the dimension is filtered also matters.
         let freq = count as f64 / workload.len().max(1) as f64;
-        weights[dim] = (1.0 / avg_sel.max(1e-3)).ln().max(0.0) * freq + 1e-6;
+        *weight = (1.0 / avg_sel.max(1e-3)).ln().max(0.0) * freq + 1e-6;
     }
     let total_weight: f64 = weights.iter().sum();
     // Allocate a log-space budget: product of partitions <= max_cells.
@@ -72,7 +76,9 @@ pub fn initial_partitions(
 pub fn clamp_to_budget(partitions: &mut [usize], max_cells: usize) {
     let max_cells = max_cells.max(1);
     loop {
-        let product: usize = partitions.iter().fold(1usize, |acc, &p| acc.saturating_mul(p));
+        let product: usize = partitions
+            .iter()
+            .fold(1usize, |acc, &p| acc.saturating_mul(p));
         if product <= max_cells {
             return;
         }

@@ -18,6 +18,11 @@ use std::ops::Range;
 use tsunami_cdf::{CdfModel, ConditionalCdf, FunctionalMapping, HistogramCdf};
 use tsunami_core::{Dataset, Predicate, Query, Value};
 
+/// Per-dimension effective filter ranges after the functional-mapping
+/// rewrite, plus whether any mapped dimension is filtered (in which case no
+/// cell can be exact).
+type EffectiveRanges = (Vec<Option<(Value, Value)>>, bool);
+
 /// A built Augmented Grid over one region's data.
 ///
 /// The grid stores only *local* row offsets (0-based within the region); the
@@ -79,7 +84,8 @@ impl AugmentedGrid {
             let needs_independent = match skeleton.strategy(dim) {
                 DimStrategy::Independent => true,
                 DimStrategy::Conditional { .. } | DimStrategy::Mapped { .. } => false,
-            } || (0..d).any(|other| skeleton.strategy(other) == DimStrategy::Conditional { base: dim });
+            } || (0..d)
+                .any(|other| skeleton.strategy(other) == DimStrategy::Conditional { base: dim });
             if needs_independent {
                 let model = HistogramCdf::build(data.column(dim), partitions[dim]);
                 partitions[dim] = model.num_buckets();
@@ -140,12 +146,12 @@ impl AugmentedGrid {
         let mut counts = vec![0usize; num_cells + 1];
         let mut cell_of_row = vec![0usize; data.len()];
         let mut point = vec![0u64; d];
-        for r in 0..data.len() {
-            for dim in 0..d {
-                point[dim] = data.get(r, dim);
+        for (r, row_cell) in cell_of_row.iter_mut().enumerate() {
+            for (dim, coord) in point.iter_mut().enumerate() {
+                *coord = data.get(r, dim);
             }
             let c = grid.cell_of(&point);
-            cell_of_row[r] = c;
+            *row_cell = c;
             counts[c + 1] += 1;
         }
         for c in 0..num_cells {
@@ -154,8 +160,7 @@ impl AugmentedGrid {
         grid.cell_offsets = counts.clone();
         let mut next = counts;
         let mut perm = vec![0usize; data.len()];
-        for r in 0..data.len() {
-            let c = cell_of_row[r];
+        for (r, &c) in cell_of_row.iter().enumerate() {
             perm[next[c]] = r;
             next[c] += 1;
         }
@@ -230,7 +235,7 @@ impl AugmentedGrid {
     /// used for partition-range computation. Returns `None` if a mapping
     /// proves the query empty on this grid. The boolean is true when any
     /// mapped dimension is filtered (in which case no cell can be exact).
-    fn effective_predicates(&self, query: &Query) -> Option<(Vec<Option<(Value, Value)>>, bool)> {
+    fn effective_predicates(&self, query: &Query) -> Option<EffectiveRanges> {
         let d = self.skeleton.num_dims();
         let mut eff: Vec<Option<(Value, Value)>> = vec![None; d];
         for p in query.predicates() {
@@ -266,7 +271,12 @@ impl AugmentedGrid {
 
     /// Whether partition `part` of an independent/base dimension is fully
     /// contained in the original query predicate on that dimension.
-    fn independent_partition_exact(&self, dim: usize, part: usize, pred: Option<&Predicate>) -> bool {
+    fn independent_partition_exact(
+        &self,
+        dim: usize,
+        part: usize,
+        pred: Option<&Predicate>,
+    ) -> bool {
         match pred {
             None => true,
             Some(p) => match &self.independent[dim] {
@@ -524,7 +534,11 @@ mod tests {
         let (grid, perm) = AugmentedGrid::build(&data, &skeleton, &[8, 8, 4]);
         assert_eq!(grid.num_cells(), 8 * 8 * 4);
         for q in queries(20, 72) {
-            assert_eq!(execute(&grid, &perm, &data, &q), q.execute_full_scan(&data), "{q:?}");
+            assert_eq!(
+                execute(&grid, &perm, &data, &q),
+                q.execute_full_scan(&data),
+                "{q:?}"
+            );
         }
     }
 
@@ -542,7 +556,11 @@ mod tests {
         assert_eq!(grid.num_cells(), 16 * 4);
         assert_eq!(grid.num_functional_mappings(), 1);
         for q in queries(30, 74) {
-            assert_eq!(execute(&grid, &perm, &data, &q), q.execute_full_scan(&data), "{q:?}");
+            assert_eq!(
+                execute(&grid, &perm, &data, &q),
+                q.execute_full_scan(&data),
+                "{q:?}"
+            );
         }
     }
 
@@ -560,7 +578,11 @@ mod tests {
         let (grid, perm) = AugmentedGrid::build(&data, &skeleton, &[8, 2, 8]);
         assert_eq!(grid.num_conditional_cdfs(), 1);
         for q in queries(30, 76) {
-            assert_eq!(execute(&grid, &perm, &data, &q), q.execute_full_scan(&data), "{q:?}");
+            assert_eq!(
+                execute(&grid, &perm, &data, &q),
+                q.execute_full_scan(&data),
+                "{q:?}"
+            );
         }
     }
 
@@ -575,7 +597,11 @@ mod tests {
         .unwrap();
         let (grid, perm) = AugmentedGrid::build(&data, &skeleton, &[12, 1, 6]);
         for q in queries(30, 78) {
-            assert_eq!(execute(&grid, &perm, &data, &q), q.execute_full_scan(&data), "{q:?}");
+            assert_eq!(
+                execute(&grid, &perm, &data, &q),
+                q.execute_full_scan(&data),
+                "{q:?}"
+            );
         }
         // Multi-dimensional query touching the mapped dimension and others.
         let q = Query::count(vec![
@@ -605,9 +631,8 @@ mod tests {
         .unwrap();
         let (gc, _pc) = AugmentedGrid::build(&data, &cond, &[16, 1, 16]);
 
-        let scanned = |g: &AugmentedGrid| -> usize {
-            g.ranges_for(&q).iter().map(|(r, _)| r.len()).sum()
-        };
+        let scanned =
+            |g: &AugmentedGrid| -> usize { g.ranges_for(&q).iter().map(|(r, _)| r.len()).sum() };
         assert!(
             scanned(&gc) <= scanned(&gi),
             "conditional CDF should not scan more points ({} vs {})",
@@ -634,7 +659,9 @@ mod tests {
             Predicate::range(1, 500, 700).unwrap(),
         ])
         .unwrap();
-        assert!(grid.ranges_for(&q).is_empty() || q.execute_full_scan(&data) == AggResult::Count(0));
+        assert!(
+            grid.ranges_for(&q).is_empty() || q.execute_full_scan(&data) == AggResult::Count(0)
+        );
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub fn heuristic_skeleton(sample: &Dataset, config: &TsunamiConfig) -> Skeleton 
         return Skeleton::new_unchecked(strategies);
     }
 
-    for dim in 0..d {
+    for (dim, strategy) in strategies.iter_mut().enumerate() {
         // Candidate targets/bases, best-first.
         let mut best_fm: Option<(usize, f64)> = None;
         let mut best_ccdf: Option<(usize, f64)> = None;
@@ -98,28 +98,27 @@ pub fn heuristic_skeleton(sample: &Dataset, config: &TsunamiConfig) -> Skeleton 
                 continue;
             }
             // Functional mapping dim -> other (other is the target).
-            if let Some(fm) = tsunami_cdf::FunctionalMapping::fit(sample.column(dim), sample.column(other))
+            if let Some(fm) =
+                tsunami_cdf::FunctionalMapping::fit(sample.column(dim), sample.column(other))
             {
                 let domain = sample.domain(other).unwrap_or((0, 1));
                 let width = (domain.1 - domain.0).max(1) as f64;
                 let frac = fm.error_span() / width;
-                if frac < config.fm_error_fraction
-                    && best_fm.map_or(true, |(_, f)| frac < f)
-                {
+                if frac < config.fm_error_fraction && best_fm.is_none_or(|(_, f)| frac < f) {
                     best_fm = Some((other, frac));
                 }
             }
             // Conditional CDF candidate: fraction of empty cells in the
             // (dim, other) hyperplane under independent partitioning.
             let empty = empty_cell_fraction(sample, dim, other, 16);
-            if empty > config.ccdf_empty_fraction && best_ccdf.map_or(true, |(_, e)| empty > e) {
+            if empty > config.ccdf_empty_fraction && best_ccdf.is_none_or(|(_, e)| empty > e) {
                 best_ccdf = Some((other, empty));
             }
         }
         if let Some((target, _)) = best_fm {
-            strategies[dim] = DimStrategy::Mapped { target };
+            *strategy = DimStrategy::Mapped { target };
         } else if let Some((base, _)) = best_ccdf {
-            strategies[dim] = DimStrategy::Conditional { base };
+            *strategy = DimStrategy::Conditional { base };
         }
     }
 
@@ -163,7 +162,8 @@ pub fn repair_skeleton(mut strategies: Vec<DimStrategy>) -> Skeleton {
                 }
             }
             DimStrategy::Conditional { base } => {
-                if base >= d || base == dim || !matches!(strategies[base], DimStrategy::Independent) {
+                if base >= d || base == dim || !matches!(strategies[base], DimStrategy::Independent)
+                {
                     strategies[dim] = DimStrategy::Independent;
                 }
             }
@@ -202,7 +202,11 @@ pub fn initial_partitions(
                 count += 1;
             }
         }
-        let avg = if count == 0 { 1.0 } else { sel_sum / count as f64 };
+        let avg = if count == 0 {
+            1.0
+        } else {
+            sel_sum / count as f64
+        };
         let freq = count as f64 / workload.len().max(1) as f64;
         weights[dim] = (1.0 / avg.max(1e-3)).ln().max(0.0) * freq + 1e-6;
     }
@@ -275,7 +279,8 @@ pub fn optimize_layout(
         OptimizerKind::AdaptiveNaiveInit => Skeleton::all_independent(data.num_dims()),
         _ => heuristic_skeleton(&sample, config),
     };
-    let mut partitions = initial_partitions(&sample, &skeleton, workload, config.max_cells_per_grid);
+    let mut partitions =
+        initial_partitions(&sample, &skeleton, workload, config.max_cells_per_grid);
     let mut best_cost = predicted_cost(&sample, total_rows, &skeleton, &partitions, workload, cost);
     evaluations += 1;
 
@@ -305,8 +310,10 @@ pub fn optimize_layout(
             }
         }
         _ => {
-            let search_skeletons =
-                matches!(kind, OptimizerKind::Adaptive | OptimizerKind::AdaptiveNaiveInit);
+            let search_skeletons = matches!(
+                kind,
+                OptimizerKind::Adaptive | OptimizerKind::AdaptiveNaiveInit
+            );
             for _ in 0..config.optimizer_max_iters {
                 let mut improved = false;
 
@@ -326,7 +333,8 @@ pub fn optimize_layout(
                         let mut trial = partitions.clone();
                         trial[dim] = cand;
                         clamp_partitions(&mut trial, &grid_dims, config.max_cells_per_grid);
-                        let c = predicted_cost(&sample, total_rows, &skeleton, &trial, workload, cost);
+                        let c =
+                            predicted_cost(&sample, total_rows, &skeleton, &trial, workload, cost);
                         evaluations += 1;
                         if c < best_cost * 0.999 {
                             best_cost = c;
@@ -343,21 +351,26 @@ pub fn optimize_layout(
                         let mut trial_p = partitions.clone();
                         // Dimensions that just joined the grid get a default
                         // partition count; dimensions that left it drop to 1.
-                        for dim in 0..data.num_dims() {
+                        for (dim, p) in trial_p.iter_mut().enumerate() {
                             let was_grid = skeleton.strategy(dim).is_grid_dim();
                             let is_grid = neighbor.strategy(dim).is_grid_dim();
                             if is_grid && !was_grid {
-                                trial_p[dim] = 8;
+                                *p = 8;
                             } else if !is_grid {
-                                trial_p[dim] = 1;
+                                *p = 1;
                             }
                         }
-                        clamp_partitions(&mut trial_p, &neighbor.grid_dims(), config.max_cells_per_grid);
-                        let c =
-                            predicted_cost(&sample, total_rows, &neighbor, &trial_p, workload, cost);
+                        clamp_partitions(
+                            &mut trial_p,
+                            &neighbor.grid_dims(),
+                            config.max_cells_per_grid,
+                        );
+                        let c = predicted_cost(
+                            &sample, total_rows, &neighbor, &trial_p, workload, cost,
+                        );
                         evaluations += 1;
                         if c < best_cost * 0.999
-                            && best_neighbor.as_ref().map_or(true, |&(_, _, bc)| c < bc)
+                            && best_neighbor.as_ref().is_none_or(|&(_, _, bc)| c < bc)
                         {
                             best_neighbor = Some((neighbor, trial_p, c));
                         }
@@ -399,7 +412,11 @@ fn random_perturbation(
         1 => {
             let target = rng.next_below(d as u64) as usize;
             DimStrategy::Mapped {
-                target: if target == dim { (target + 1) % d } else { target },
+                target: if target == dim {
+                    (target + 1) % d
+                } else {
+                    target
+                },
             }
         }
         _ => {
@@ -454,7 +471,8 @@ mod tests {
                 .map(|i| {
                     let lo = rng.next_below(80_000);
                     match i % 3 {
-                        0 => Query::count(vec![Predicate::range(0, lo, lo + 5_000).unwrap()]).unwrap(),
+                        0 => Query::count(vec![Predicate::range(0, lo, lo + 5_000).unwrap()])
+                            .unwrap(),
                         1 => Query::count(vec![
                             Predicate::range(1, 3 * lo, 3 * (lo + 5_000)).unwrap(),
                             Predicate::range(3, lo, lo + 30_000).unwrap(),
@@ -491,8 +509,14 @@ mod tests {
         let data = correlated_data(4_000, 92);
         let corr = empty_cell_fraction(&data, 1, 0, 16);
         let indep = empty_cell_fraction(&data, 3, 0, 16);
-        assert!(corr > 0.5, "correlated pair should leave many empty cells: {corr}");
-        assert!(indep < 0.3, "independent pair should fill most cells: {indep}");
+        assert!(
+            corr > 0.5,
+            "correlated pair should leave many empty cells: {corr}"
+        );
+        assert!(
+            indep < 0.3,
+            "independent pair should fill most cells: {indep}"
+        );
     }
 
     #[test]
@@ -506,7 +530,10 @@ mod tests {
         ]);
         assert!(s.is_valid());
         // Everything mapped -> repaired to keep at least one grid dim.
-        let s = repair_skeleton(vec![DimStrategy::Mapped { target: 1 }, DimStrategy::Mapped { target: 0 }]);
+        let s = repair_skeleton(vec![
+            DimStrategy::Mapped { target: 1 },
+            DimStrategy::Mapped { target: 0 },
+        ]);
         assert!(s.is_valid());
         assert!(!s.grid_dims().is_empty());
     }
@@ -555,7 +582,13 @@ mod tests {
         let data = correlated_data(3_000, 99);
         let w = workload(18, 100);
         let config = TsunamiConfig::fast();
-        let bb = optimize_layout(&data, &w, &CostModel::default(), &config, OptimizerKind::BlackBox);
+        let bb = optimize_layout(
+            &data,
+            &w,
+            &CostModel::default(),
+            &config,
+            OptimizerKind::BlackBox,
+        );
         assert!(bb.skeleton.is_valid());
         // Initial evaluation + one per basin-hopping iteration.
         assert!(bb.evaluations <= config.blackbox_iters + 1);

@@ -91,7 +91,9 @@ impl GridTree {
         config: &TsunamiConfig,
     ) -> (GridTree, Vec<RegionData>) {
         let d = data.num_dims();
-        let bounds: Vec<(Value, Value)> = (0..d).map(|dim| data.domain(dim).unwrap_or((0, 0))).collect();
+        let bounds: Vec<(Value, Value)> = (0..d)
+            .map(|dim| data.domain(dim).unwrap_or((0, 0)))
+            .collect();
         let total_queries: usize = types.iter().map(|t| t.queries.len()).sum();
         let min_points = ((data.len() as f64) * config.min_region_point_fraction).ceil() as usize;
         let min_queries =
@@ -172,10 +174,8 @@ impl GridTree {
                     child_bounds_list.push(b);
                 }
 
-                for (c, (crows, cbounds)) in child_rows
-                    .into_iter()
-                    .zip(child_bounds_list.into_iter())
-                    .enumerate()
+                for (c, (crows, cbounds)) in
+                    child_rows.into_iter().zip(child_bounds_list).enumerate()
                 {
                     let _ = c;
                     // Queries intersecting this child along the split dim.
@@ -246,8 +246,7 @@ impl GridTree {
         config: &TsunamiConfig,
     ) -> Option<(usize, Vec<Value>)> {
         let mut best: Option<(usize, Vec<Value>, f64)> = None;
-        for dim in 0..bounds.len() {
-            let (lo, hi) = bounds[dim];
+        for (dim, &(lo, hi)) in bounds.iter().enumerate() {
             if hi <= lo {
                 continue;
             }
@@ -272,7 +271,7 @@ impl GridTree {
             if values.is_empty() {
                 continue;
             }
-            if best.as_ref().map_or(true, |&(_, _, r)| reduction > r) {
+            if best.as_ref().is_none_or(|&(_, _, r)| reduction > r) {
                 best = Some((dim, values, reduction));
             }
         }
@@ -371,7 +370,9 @@ impl GridTree {
         for n in &self.nodes {
             total += match n {
                 Node::Leaf { .. } => std::mem::size_of::<usize>(),
-                Node::Internal { splits, children, .. } => {
+                Node::Internal {
+                    splits, children, ..
+                } => {
                     std::mem::size_of::<usize>()
                         + splits.len() * std::mem::size_of::<Value>()
                         + children.len() * std::mem::size_of::<usize>()
@@ -444,10 +445,9 @@ mod tests {
         assert_eq!(tree.num_regions(), regions.len());
         assert!(tree.depth() >= 1);
         // One of the splits should be on the time dimension near 3600.
-        let has_time_boundary = tree
-            .regions()
-            .iter()
-            .any(|r| (3000..=4200).contains(&r.bounds[0].0) || (3000..=4200).contains(&r.bounds[0].1));
+        let has_time_boundary = tree.regions().iter().any(|r| {
+            (3000..=4200).contains(&r.bounds[0].0) || (3000..=4200).contains(&r.bounds[0].1)
+        });
         assert!(has_time_boundary, "regions: {:?}", tree.regions());
     }
 
@@ -509,8 +509,13 @@ mod tests {
         // Perfectly uniform workload over time.
         let qs: Vec<Query> = (0..50u64)
             .map(|i| {
-                Query::count(vec![Predicate::range(0, (i * 96) % 4800, (i * 96) % 4800 + 96).unwrap()])
-                    .unwrap()
+                Query::count(vec![Predicate::range(
+                    0,
+                    (i * 96) % 4800,
+                    (i * 96) % 4800 + 96,
+                )
+                .unwrap()])
+                .unwrap()
             })
             .collect();
         let (tree, _) = build_tree(&data, &Workload::new(qs));

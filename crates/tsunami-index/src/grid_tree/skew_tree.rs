@@ -153,7 +153,9 @@ mod tests {
     fn concentrated_workload_finds_the_boundary() {
         // All queries hit only the last quarter of the domain.
         let t = QueryType {
-            queries: (0..50u64).map(|i| query(750 + (i % 20) * 10, 760 + (i % 20) * 10)).collect(),
+            queries: (0..50u64)
+                .map(|i| query(750 + (i % 20) * 10, 760 + (i % 20) * 10))
+                .collect(),
             filtered_dims: vec![0],
         };
         let analyzer = SkewAnalyzer::new(&[t], 0, 0, 1000, 64);
@@ -166,13 +168,18 @@ mod tests {
         );
         assert!(!sol.split_bins.is_empty());
         // The chosen split bins are within the bin range.
-        assert!(sol.split_bins.iter().all(|&b| b > 0 && b < analyzer.num_bins()));
+        assert!(sol
+            .split_bins
+            .iter()
+            .all(|&b| b > 0 && b < analyzer.num_bins()));
     }
 
     #[test]
     fn two_query_types_like_fig2_produce_a_split_near_the_year_boundary() {
         let qr = QueryType {
-            queries: (0..40u64).map(|i| query((i * 90) % 3600, (i * 90) % 3600 + 1200)).collect(),
+            queries: (0..40u64)
+                .map(|i| query((i * 90) % 3600, (i * 90) % 3600 + 1200))
+                .collect(),
             filtered_dims: vec![0],
         };
         let qg = QueryType {

@@ -4,15 +4,13 @@
 
 use std::time::Instant;
 
-use crate::augmented_grid::{
-    optimize_layout, AugmentedGrid, OptimizerKind, Skeleton,
-};
+use crate::augmented_grid::{optimize_layout, AugmentedGrid, OptimizerKind, Skeleton};
 use crate::config::{IndexVariant, TsunamiConfig};
 use crate::grid_tree::GridTree;
 use crate::query_types::cluster_query_types;
 use tsunami_core::{
-    AggAccumulator, AggResult, BuildTiming, CostModel, Dataset, IndexStats, MultiDimIndex, Query,
-    Result, TsunamiError, Workload,
+    BuildTiming, CostModel, Dataset, MultiDimIndex, Query, Result, ScanPlan, ScanSource,
+    TsunamiError, Workload,
 };
 use tsunami_store::ColumnStore;
 
@@ -116,7 +114,8 @@ impl TsunamiIndex {
         let (tree, region_data) = GridTree::build(data, &types, &effective_config);
 
         // Optimize a layout for every region that has intersecting queries.
-        let mut layouts: Vec<Option<(Skeleton, Vec<usize>)>> = Vec::with_capacity(region_data.len());
+        let mut layouts: Vec<Option<(Skeleton, Vec<usize>)>> =
+            Vec::with_capacity(region_data.len());
         let mut region_datasets: Vec<Dataset> = Vec::with_capacity(region_data.len());
         for rd in &region_data {
             let region_ds = data.select_rows(&rd.rows);
@@ -145,9 +144,7 @@ impl TsunamiIndex {
         let sort_start = Instant::now();
         let mut regions = Vec::with_capacity(region_data.len());
         let mut global_perm: Vec<usize> = Vec::with_capacity(data.len());
-        for (rd, (region_ds, layout)) in region_data
-            .iter()
-            .zip(region_datasets.iter().zip(layouts.into_iter()))
+        for (rd, (region_ds, layout)) in region_data.iter().zip(region_datasets.iter().zip(layouts))
         {
             let base = global_perm.len();
             let grid = match layout {
@@ -156,7 +153,8 @@ impl TsunamiIndex {
                     None
                 }
                 Some((skeleton, partitions)) => {
-                    let (grid, local_perm) = AugmentedGrid::build(region_ds, &skeleton, &partitions);
+                    let (grid, local_perm) =
+                        AugmentedGrid::build(region_ds, &skeleton, &partitions);
                     global_perm.extend(local_perm.into_iter().map(|local| rd.rows[local]));
                     Some(grid)
                 }
@@ -198,8 +196,11 @@ impl TsunamiIndex {
     pub fn stats(&self) -> TsunamiStats {
         let mut points: Vec<usize> = self.regions.iter().map(|r| r.len).collect();
         points.sort_unstable();
-        let indexed: Vec<&AugmentedGrid> =
-            self.regions.iter().filter_map(|r| r.grid.as_ref()).collect();
+        let indexed: Vec<&AugmentedGrid> = self
+            .regions
+            .iter()
+            .filter_map(|r| r.grid.as_ref())
+            .collect();
         let n_indexed = indexed.len().max(1);
         TsunamiStats {
             num_grid_tree_nodes: self.tree.num_nodes(),
@@ -226,9 +227,19 @@ impl TsunamiIndex {
     pub fn total_cells(&self) -> usize {
         self.stats().total_grid_cells
     }
+}
 
-    fn ranges_for(&self, query: &Query) -> Vec<(std::ops::Range<usize>, bool)> {
-        let mut out = Vec::new();
+impl MultiDimIndex for TsunamiIndex {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn source(&self) -> &dyn ScanSource {
+        &self.store
+    }
+
+    fn plan(&self, query: &Query) -> ScanPlan {
+        let mut plan = ScanPlan::new();
         for region_id in self.tree.regions_for_query(query) {
             let region = &self.regions[region_id];
             if region.len == 0 {
@@ -237,44 +248,16 @@ impl TsunamiIndex {
             match &region.grid {
                 Some(grid) => {
                     for (r, exact) in grid.ranges_for(query) {
-                        out.push((region.base + r.start..region.base + r.end, exact));
+                        plan.push(region.base + r.start..region.base + r.end, exact);
                     }
                 }
                 None => {
                     let exact = self.tree.region(region_id).contained_in(query);
-                    out.push((region.base..region.base + region.len, exact));
+                    plan.push(region.base..region.base + region.len, exact);
                 }
             }
         }
-        out
-    }
-}
-
-impl MultiDimIndex for TsunamiIndex {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn execute(&self, query: &Query) -> AggResult {
-        let mut acc = AggAccumulator::new(query.aggregation());
-        for (range, exact) in self.ranges_for(query) {
-            self.store.scan_range(range, query, exact, &mut acc);
-        }
-        acc.finish()
-    }
-
-    fn execute_with_stats(&self, query: &Query) -> (AggResult, IndexStats) {
-        self.store.reset_counters();
-        let result = self.execute(query);
-        let c = self.store.counters();
-        (
-            result,
-            IndexStats {
-                ranges_scanned: c.ranges,
-                points_scanned: c.points,
-                points_matched: c.matched,
-            },
-        )
+        plan
     }
 
     fn size_bytes(&self) -> usize {
@@ -298,7 +281,7 @@ impl MultiDimIndex for TsunamiIndex {
 mod tests {
     use super::*;
     use tsunami_core::sample::SplitMix;
-    use tsunami_core::Predicate;
+    use tsunami_core::{AggResult, Predicate};
 
     /// A dataset with both correlation (dim1 ~ 2*dim0) and a time-like
     /// dimension (dim2) that the workload queries with recency skew.
@@ -406,7 +389,11 @@ mod tests {
             let config = TsunamiConfig::fast().with_variant(variant);
             let index = TsunamiIndex::build(&data, &w, &config).unwrap();
             for q in w.queries().iter().step_by(9) {
-                assert_eq!(index.execute(q), q.execute_full_scan(&data), "{variant:?} {q:?}");
+                assert_eq!(
+                    index.execute(q),
+                    q.execute_full_scan(&data),
+                    "{variant:?} {q:?}"
+                );
             }
             match variant {
                 IndexVariant::AugmentedGridOnly => {
@@ -440,7 +427,8 @@ mod tests {
     #[test]
     fn empty_workload_still_builds_a_valid_index() {
         let data = dataset(2_000, 124);
-        let index = TsunamiIndex::build(&data, &Workload::default(), &TsunamiConfig::fast()).unwrap();
+        let index =
+            TsunamiIndex::build(&data, &Workload::default(), &TsunamiConfig::fast()).unwrap();
         let q = Query::count(vec![Predicate::range(0, 0, 25_000).unwrap()]).unwrap();
         assert_eq!(index.execute(&q), q.execute_full_scan(&data));
     }
@@ -460,7 +448,9 @@ mod tests {
 
     #[test]
     fn zero_dimensional_dataset_is_rejected() {
-        let data = Dataset::from_columns(vec![vec![1, 2, 3]]).unwrap().select_dims(&[]);
+        let data = Dataset::from_columns(vec![vec![1, 2, 3]])
+            .unwrap()
+            .select_dims(&[]);
         let err = TsunamiIndex::build(&data, &Workload::default(), &TsunamiConfig::fast());
         assert!(err.is_err());
     }

@@ -41,10 +41,14 @@ pub fn cluster_query_types(
         // Embed each query as its per-dimension selectivity vector.
         let embeddings: Vec<Vec<f64>> = group
             .iter()
-            .map(|q| dims.iter().map(|&d| q.dim_selectivity(&sample, d)).collect())
+            .map(|q| {
+                dims.iter()
+                    .map(|&d| q.dim_selectivity(&sample, d))
+                    .collect()
+            })
             .collect();
         let labels = dbscan(&embeddings, eps, min_pts);
-        let num_clusters = labels.iter().copied().filter_map(|l| l).max().map_or(0, |m| m + 1);
+        let num_clusters = labels.iter().copied().flatten().max().map_or(0, |m| m + 1);
         let mut clusters: Vec<Vec<Query>> = vec![Vec::new(); num_clusters];
         let mut noise: Vec<Query> = Vec::new();
         for (q, label) in group.into_iter().zip(labels) {
@@ -202,7 +206,11 @@ mod tests {
             queries.push(Query::count(vec![Predicate::range(0, i, i + 600).unwrap()]).unwrap());
         }
         let types = cluster_query_types(&ds, &Workload::new(queries), 0.2, 2, 1000, 1);
-        assert!(types.len() >= 2, "expected selective and broad types, got {}", types.len());
+        assert!(
+            types.len() >= 2,
+            "expected selective and broad types, got {}",
+            types.len()
+        );
         let sizes: usize = types.iter().map(|t| t.queries.len()).sum();
         assert_eq!(sizes, 20, "every query must belong to exactly one type");
     }

@@ -79,7 +79,12 @@ impl WorkloadMonitor {
     }
 
     /// Compares an observed workload window against the reference.
-    pub fn observe(&self, data: &Dataset, observed: &Workload, config: &TsunamiConfig) -> ShiftReport {
+    pub fn observe(
+        &self,
+        data: &Dataset,
+        observed: &Workload,
+        config: &TsunamiConfig,
+    ) -> ShiftReport {
         let obs = signatures(data, observed, config);
         let mut matched_obs = vec![false; obs.len()];
         let mut disappeared = 0usize;
@@ -113,8 +118,7 @@ impl WorkloadMonitor {
             .map(|(_, o)| o.frequency)
             .sum::<f64>();
 
-        let reoptimize =
-            disappeared > 0 || new_types > 0 || drift > self.drift_threshold;
+        let reoptimize = disappeared > 0 || new_types > 0 || drift > self.drift_threshold;
         ShiftReport {
             disappeared_types: disappeared,
             new_types,
@@ -137,7 +141,11 @@ fn signatures(data: &Dataset, workload: &Workload, config: &TsunamiConfig) -> Ve
     types
         .iter()
         .map(|t| {
-            let sample = tsunami_core::sample::sample_dataset(data, config.optimizer_sample_size, config.seed);
+            let sample = tsunami_core::sample::sample_dataset(
+                data,
+                config.optimizer_sample_size,
+                config.seed,
+            );
             let mean_selectivity: Vec<f64> = t
                 .filtered_dims
                 .iter()
@@ -191,9 +199,12 @@ mod tests {
         Workload::new(
             (0..30u64)
                 .map(|i| {
-                    Query::count(vec![
-                        Predicate::range(0, offset + i * 10, offset + i * 10 + 100).unwrap(),
-                    ])
+                    Query::count(vec![Predicate::range(
+                        0,
+                        offset + i * 10,
+                        offset + i * 10 + 100,
+                    )
+                    .unwrap()])
                     .unwrap()
                 })
                 .collect(),
@@ -204,7 +215,8 @@ mod tests {
         Workload::new(
             (0..30u64)
                 .map(|i| {
-                    Query::count(vec![Predicate::range(1, i * 50, i * 50 + 2_000).unwrap()]).unwrap()
+                    Query::count(vec![Predicate::range(1, i * 50, i * 50 + 2_000).unwrap()])
+                        .unwrap()
                 })
                 .collect(),
         )

@@ -12,8 +12,11 @@
 //!   execution scans contiguous ranges.
 //! * [`Dictionary`] — string dictionary encoding (§6.1: "any string values
 //!   are dictionary encoded prior to evaluation").
-//! * [`ScanCounters`] — per-query counters (ranges/points scanned) that feed
-//!   the cost-model validation experiments.
+//!
+//! Scanning itself — the vectorized kernels, the exact-range fast path, and
+//! the per-query [`ScanCounters`] — lives in [`tsunami_core::exec`]; the
+//! store implements [`tsunami_core::ScanSource`] and adds thin conveniences
+//! ([`ColumnStore::execute_plan`], [`ColumnStore::full_scan`]).
 
 pub mod column;
 pub mod dictionary;
@@ -21,4 +24,7 @@ pub mod table;
 
 pub use column::Column;
 pub use dictionary::Dictionary;
-pub use table::{ColumnStore, ScanCounters};
+pub use table::ColumnStore;
+// Re-exported for backwards compatibility: counters moved into the shared
+// executor in `tsunami_core::exec`.
+pub use tsunami_core::ScanCounters;

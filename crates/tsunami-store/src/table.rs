@@ -1,36 +1,26 @@
-//! The clustered column store: permuted physical storage plus range scans
-//! with the paper's exact-range optimization.
+//! The clustered column store: permuted physical storage scanned through the
+//! shared vectorized executor (with the paper's exact-range optimization).
 
-use std::cell::Cell;
 use std::ops::Range;
 
 use crate::column::Column;
-use tsunami_core::{AggAccumulator, AggResult, Dataset, Query, Value};
-
-/// Counters accumulated while executing one query against the store.
-///
-/// These mirror the features of the cost model (§5.3.1): the number of
-/// contiguous physical ranges visited and the number of points scanned.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ScanCounters {
-    /// Number of contiguous ranges scanned.
-    pub ranges: usize,
-    /// Number of points visited (whether or not they matched).
-    pub points: usize,
-    /// Number of points that matched every predicate.
-    pub matched: usize,
-}
+use tsunami_core::exec::{self, ScanPlan, ScanSource, BLOCK_ROWS};
+use tsunami_core::{AggAccumulator, AggResult, Dataset, Query, ScanCounters, Value};
 
 /// A column-oriented physical table.
 ///
 /// Indexes are *clustered*: at build time each index computes a permutation
 /// of the rows (its sort order / cell order) and the store is reordered once
-/// with [`ColumnStore::permute`]. Queries then scan contiguous row ranges.
+/// with [`ColumnStore::permute`]. Queries then scan contiguous row ranges
+/// through the executor in [`tsunami_core::exec`].
+///
+/// The store holds no per-query mutable state — scan counters are threaded
+/// through the executor and returned per call — so a `ColumnStore` is `Sync`
+/// and many queries can scan it concurrently.
 #[derive(Debug, Clone)]
 pub struct ColumnStore {
     columns: Vec<Column>,
     len: usize,
-    scan_counters: Cell<ScanCounters>,
 }
 
 impl ColumnStore {
@@ -42,7 +32,6 @@ impl ColumnStore {
         Self {
             columns,
             len: data.len(),
-            scan_counters: Cell::new(ScanCounters::default()),
         }
     }
 
@@ -75,98 +64,94 @@ impl ColumnStore {
     /// Physically reorders all columns so that new row `i` holds what was at
     /// row `perm[i]`. This is the "data sorting" phase of index creation.
     pub fn permute(&mut self, perm: &[usize]) {
-        assert_eq!(perm.len(), self.len, "permutation length must match row count");
+        assert_eq!(
+            perm.len(),
+            self.len,
+            "permutation length must match row count"
+        );
         for c in &mut self.columns {
             c.permute(perm);
         }
     }
 
-    /// Resets the per-query scan counters.
-    pub fn reset_counters(&self) {
-        self.scan_counters.set(ScanCounters::default());
-    }
-
-    /// Returns the counters accumulated since the last reset.
-    pub fn counters(&self) -> ScanCounters {
-        self.scan_counters.get()
-    }
-
-    /// Scans a contiguous row range, adding matching rows to the accumulator.
+    /// Scans a contiguous row range, adding matching rows to the accumulator
+    /// and folding the work done into `counters`.
     ///
     /// `exact` enables the paper's scan-time optimization (§6.1): when the
     /// caller guarantees that *every* row in the range matches the query
     /// filter, per-value predicate checks are skipped entirely. For `COUNT`
     /// this avoids touching the data at all; for other aggregations only the
     /// aggregation input column is read.
-    pub fn scan_range(&self, range: Range<usize>, query: &Query, exact: bool, acc: &mut AggAccumulator) {
-        let range = range.start.min(self.len)..range.end.min(self.len);
-        if range.is_empty() {
-            return;
-        }
-        let mut counters = self.scan_counters.get();
-        counters.ranges += 1;
-        counters.points += range.len();
-
-        let agg_dim = acc.aggregation().input_dim();
-        if exact {
-            counters.matched += range.len();
-            match agg_dim {
-                None => acc.add_bulk(range.len() as u64, 0),
-                Some(d) => {
-                    let sum = self.columns[d].sum_range(range.clone());
-                    // MIN/MAX still need per-row values; fall through for those.
-                    match acc.aggregation() {
-                        tsunami_core::Aggregation::Min(_) | tsunami_core::Aggregation::Max(_) => {
-                            for row in range {
-                                acc.add(self.columns[d].get(row));
-                            }
-                        }
-                        _ => acc.add_bulk(range.len() as u64, sum),
-                    }
-                }
-            }
-            self.scan_counters.set(counters);
-            return;
-        }
-
-        let preds = query.predicates();
-        for row in range {
-            let mut ok = true;
-            for p in preds {
-                if !p.matches(self.columns[p.dim].get(row)) {
-                    ok = false;
-                    break;
-                }
-            }
-            if ok {
-                counters.matched += 1;
-                acc.add(agg_dim.map_or(0, |d| self.columns[d].get(row)));
-            }
-        }
-        self.scan_counters.set(counters);
+    ///
+    /// Counter updates are computed locally and folded in once — there is no
+    /// shared counter state to double-account, and concurrent scans cannot
+    /// interleave updates.
+    pub fn scan_range(
+        &self,
+        range: Range<usize>,
+        query: &Query,
+        exact: bool,
+        acc: &mut AggAccumulator,
+        counters: &mut ScanCounters,
+    ) {
+        let mut sel = Vec::with_capacity(BLOCK_ROWS.min(range.len()));
+        exec::scan_range_into(
+            self,
+            query.predicates(),
+            range,
+            exact,
+            true,
+            acc,
+            counters,
+            &mut sel,
+        );
     }
 
     /// Convenience: executes a query by scanning the given ranges (with
     /// per-range exactness flags) and returns the final aggregate.
-    pub fn execute_ranges<I>(&self, query: &Query, ranges: I) -> AggResult
+    pub fn execute_ranges<I>(&self, query: &Query, ranges: I) -> (AggResult, ScanCounters)
     where
         I: IntoIterator<Item = (Range<usize>, bool)>,
     {
-        let mut acc = AggAccumulator::new(query.aggregation());
-        for (r, exact) in ranges {
-            self.scan_range(r, query, exact, &mut acc);
-        }
-        acc.finish()
+        self.execute_plan(query, &ScanPlan::from_ranges(ranges))
+    }
+
+    /// Executes a scan plan serially through the shared executor.
+    pub fn execute_plan(&self, query: &Query, plan: &ScanPlan) -> (AggResult, ScanCounters) {
+        exec::execute_plan(self, query, plan)
+    }
+
+    /// Executes a scan plan with the parallel executor across `threads`
+    /// worker threads. Results and counters match [`Self::execute_plan`].
+    pub fn execute_plan_parallel(
+        &self,
+        query: &Query,
+        plan: &ScanPlan,
+        threads: usize,
+    ) -> (AggResult, ScanCounters) {
+        exec::execute_plan_parallel(self, query, plan, threads)
     }
 
     /// Executes a query by scanning the entire store (the trivial index).
     pub fn full_scan(&self, query: &Query) -> AggResult {
-        self.execute_ranges(query, [(0..self.len, false)])
+        self.execute_plan(query, &ScanPlan::full(self.len)).0
     }
 
     /// Size of the stored data in bytes.
     pub fn data_bytes(&self) -> usize {
         self.columns.iter().map(Column::size_bytes).sum()
+    }
+}
+
+impl ScanSource for ColumnStore {
+    fn num_rows(&self) -> usize {
+        self.len
+    }
+    fn num_dims(&self) -> usize {
+        self.columns.len()
+    }
+    fn column_values(&self, dim: usize) -> &[Value] {
+        self.columns[dim].values()
     }
 }
 
@@ -196,13 +181,68 @@ mod tests {
     fn scan_counters_track_ranges_and_points() {
         let s = store();
         let q = Query::count(vec![Predicate::range(0, 0, 9).unwrap()]).unwrap();
-        s.reset_counters();
-        let res = s.execute_ranges(&q, [(0..50, false), (50..100, false)]);
+        // Non-adjacent fragments stay distinct ranges.
+        let (res, c) = s.execute_ranges(&q, [(0..40, false), (60..100, false)]);
         assert_eq!(res, AggResult::Count(10));
-        let c = s.counters();
         assert_eq!(c.ranges, 2);
-        assert_eq!(c.points, 100);
+        assert_eq!(c.points, 80);
         assert_eq!(c.matched, 10);
+        // Adjacent fragments of equal exactness are merged by the plan.
+        let (_, c) = s.execute_ranges(&q, [(0..50, false), (50..100, false)]);
+        assert_eq!(c.ranges, 1);
+        assert_eq!(c.points, 100);
+    }
+
+    #[test]
+    fn counters_come_from_the_call_not_shared_state() {
+        // Regression test for the old `Cell<ScanCounters>` double-accounting
+        // hazard: two executions over the same store must each see exactly
+        // their own work, and an interleaved scan_range call cannot leak into
+        // another execution's counters.
+        let s = store();
+        let q = Query::count(vec![Predicate::range(0, 0, 9).unwrap()]).unwrap();
+        let (_, c1) = s.execute_ranges(&q, [(0..100, false)]);
+        let (_, c2) = s.execute_ranges(&q, [(0..100, false)]);
+        assert_eq!(
+            c1, c2,
+            "identical executions must report identical counters"
+        );
+
+        let mut acc = AggAccumulator::new(q.aggregation());
+        let mut mine = ScanCounters::default();
+        s.scan_range(0..50, &q, false, &mut acc, &mut mine);
+        // A scan on another "thread" (same store, different counters).
+        let mut other_acc = AggAccumulator::new(q.aggregation());
+        let mut other = ScanCounters::default();
+        s.scan_range(0..100, &q, false, &mut other_acc, &mut other);
+        s.scan_range(50..100, &q, false, &mut acc, &mut mine);
+        assert_eq!(mine.points, 100);
+        assert_eq!(mine.ranges, 2);
+        assert_eq!(mine.matched, 10);
+        assert_eq!(other.points, 100);
+        assert_eq!(other.ranges, 1);
+    }
+
+    #[test]
+    fn concurrent_scans_do_not_interfere() {
+        // The store is Sync: many threads can scan simultaneously, each with
+        // private counters.
+        let s = store();
+        let q = Query::count(vec![Predicate::range(0, 0, 9).unwrap()]).unwrap();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let s = &s;
+                    let q = &q;
+                    scope.spawn(move || s.execute_ranges(q, [(0..100, false)]))
+                })
+                .collect();
+            for h in handles {
+                let (res, c) = h.join().unwrap();
+                assert_eq!(res, AggResult::Count(10));
+                assert_eq!((c.ranges, c.points, c.matched), (1, 100, 10));
+            }
+        });
     }
 
     #[test]
@@ -211,15 +251,19 @@ mod tests {
         // Query filter actually only matches rows 0..10, but we claim the
         // whole range 0..20 is exact: the store must trust us and count 20.
         let q = Query::count(vec![Predicate::range(0, 0, 9).unwrap()]).unwrap();
-        let res = s.execute_ranges(&q, [(0..20, true)]);
+        let (res, _) = s.execute_ranges(&q, [(0..20, true)]);
         assert_eq!(res, AggResult::Count(20));
     }
 
     #[test]
     fn exact_range_sum_uses_column_sum() {
         let s = store();
-        let q = Query::new(vec![Predicate::range(0, 0, 9).unwrap()], Aggregation::Sum(1)).unwrap();
-        let res = s.execute_ranges(&q, [(0..10, true)]);
+        let q = Query::new(
+            vec![Predicate::range(0, 0, 9).unwrap()],
+            Aggregation::Sum(1),
+        )
+        .unwrap();
+        let (res, _) = s.execute_ranges(&q, [(0..10, true)]);
         assert_eq!(res, AggResult::Sum((0..10u128).map(|v| v * 2).sum()));
     }
 
@@ -227,10 +271,10 @@ mod tests {
     fn exact_range_min_max_still_correct() {
         let s = store();
         let q = Query::new(vec![], Aggregation::Max(1)).unwrap();
-        let res = s.execute_ranges(&q, [(5..10, true)]);
+        let (res, _) = s.execute_ranges(&q, [(5..10, true)]);
         assert_eq!(res, AggResult::Max(Some(18)));
         let q = Query::new(vec![], Aggregation::Min(1)).unwrap();
-        let res = s.execute_ranges(&q, [(5..10, true)]);
+        let (res, _) = s.execute_ranges(&q, [(5..10, true)]);
         assert_eq!(res, AggResult::Min(Some(10)));
     }
 
@@ -251,10 +295,31 @@ mod tests {
     fn out_of_bounds_ranges_are_clamped() {
         let s = store();
         let q = Query::count(vec![]).unwrap();
-        let res = s.execute_ranges(&q, [(90..500, false)]);
+        let (res, _) = s.execute_ranges(&q, [(90..500, false)]);
         assert_eq!(res, AggResult::Count(10));
-        let res = s.execute_ranges(&q, [(500..600, false)]);
+        let (res, c) = s.execute_ranges(&q, [(500..600, false)]);
         assert_eq!(res, AggResult::Count(0));
+        assert_eq!(c.ranges, 0);
+    }
+
+    #[test]
+    fn parallel_plan_execution_matches_serial() {
+        let ds = Dataset::from_columns(vec![
+            (0..30_000u64).collect(),
+            (0..30_000u64).map(|v| v % 321).collect(),
+        ])
+        .unwrap();
+        let s = ColumnStore::from_dataset(&ds);
+        let q = Query::new(
+            vec![Predicate::range(1, 5, 200).unwrap()],
+            Aggregation::Sum(0),
+        )
+        .unwrap();
+        let plan = ScanPlan::full(s.len());
+        let (serial, sc) = s.execute_plan(&q, &plan);
+        let (parallel, pc) = s.execute_plan_parallel(&q, &plan, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(sc, pc);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod perfmon;
 pub mod queries;
+pub mod rng;
 pub mod spec;
 pub mod stocks;
 pub mod synthetic;

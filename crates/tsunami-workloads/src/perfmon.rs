@@ -17,19 +17,13 @@
 //! of machines experience high load?".
 
 use crate::queries::{count_query, range_at, recency_biased_start, sorted_column};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
+use crate::rng::{Rng, SeedableRng};
 use tsunami_core::{Dataset, Value, Workload};
 
 /// Column names, index-aligned with the generated dataset.
 pub const COLUMNS: [&str; 7] = [
-    "time",
-    "machine",
-    "cpu_user",
-    "cpu_sys",
-    "load1",
-    "load5",
-    "mem_used",
+    "time", "machine", "cpu_user", "cpu_sys", "load1", "load5", "mem_used",
 ];
 
 /// Minutes in the one-year time domain.
@@ -38,21 +32,29 @@ pub const TIME_DOMAIN: u64 = 365 * 24 * 60;
 /// Generates a perfmon-like dataset with `rows` rows.
 pub fn generate(rows: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rows); 7];
+    let mut cols: Vec<Vec<Value>> = (0..7).map(|_| Vec::with_capacity(rows)).collect();
     for _ in 0..rows {
         let time = rng.gen_range(0..TIME_DOMAIN);
         let machine = rng.gen_range(0..500u64);
         // Bimodal CPU: 85% of samples idle-ish, 15% busy.
         let cpu_user: u64 = if rng.gen_bool(0.85) {
-            rng.gen_range(0..2_500)
+            rng.gen_range(0..2_500u64)
         } else {
-            rng.gen_range(6_000..10_000)
+            rng.gen_range(6_000..10_000u64)
         };
-        let cpu_sys = cpu_user / 4 + rng.gen_range(0..800);
-        let load1 = cpu_user / 2 + rng.gen_range(0..1_000);
-        let load5 = load1 * 9 / 10 + rng.gen_range(0..300);
-        let mem = 2_000 + load1 / 3 + rng.gen_range(0..4_000);
-        let row = [time, machine, cpu_user, cpu_sys, load1, load5, mem.min(10_000)];
+        let cpu_sys = cpu_user / 4 + rng.gen_range(0..800u64);
+        let load1 = cpu_user / 2 + rng.gen_range(0..1_000u64);
+        let load5 = load1 * 9 / 10 + rng.gen_range(0..300u64);
+        let mem = 2_000 + load1 / 3 + rng.gen_range(0..4_000u64);
+        let row = [
+            time,
+            machine,
+            cpu_user,
+            cpu_sys,
+            load1,
+            load5,
+            mem.min(10_000),
+        ];
         for (c, v) in row.into_iter().enumerate() {
             cols[c].push(v);
         }
@@ -72,7 +74,11 @@ pub fn workload(data: &Dataset, queries_per_type: usize, seed: u64) -> Workload 
         let m = rng.gen_range(0..460u64);
         let start = recency_biased_start(&mut rng, 0.9, 0.08);
         let (t_lo, t_hi) = range_at(&sorted[0], start.min(0.97), 0.03);
-        queries.push(count_query(&[(0, t_lo, t_hi), (1, m, m + 25), (4, 5_000, 20_000)]));
+        queries.push(count_query(&[
+            (0, t_lo, t_hi),
+            (1, m, m + 25),
+            (4, 5_000, 20_000),
+        ]));
 
         // Type 2: very high user CPU recently.
         let start = recency_biased_start(&mut rng, 0.85, 0.15);

@@ -1,7 +1,7 @@
 //! Helpers for generating range queries with controlled selectivity and skew.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::Rng;
+use crate::rng::StdRng;
 use tsunami_core::{Predicate, Query, Value};
 
 /// Picks an inclusive range over a column that covers approximately
@@ -39,7 +39,9 @@ pub fn count_query(preds: &[(usize, Value, Value)]) -> Query {
     Query::count(
         preds
             .iter()
-            .map(|&(dim, lo, hi)| Predicate::range(dim, lo.min(hi), lo.max(hi)).expect("valid range"))
+            .map(|&(dim, lo, hi)| {
+                Predicate::range(dim, lo.min(hi), lo.max(hi)).expect("valid range")
+            })
             .collect(),
     )
     .expect("valid query")
@@ -55,7 +57,7 @@ pub fn sorted_column(col: &[Value]) -> Vec<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
 
     #[test]
     fn range_at_hits_requested_selectivity_on_uniform_data() {

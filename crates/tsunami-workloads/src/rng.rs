@@ -1,0 +1,172 @@
+//! A tiny self-contained pseudo-random number generator with a `rand`-style
+//! API surface.
+//!
+//! The build container has no crates.io access, so the `rand` crate cannot be
+//! fetched; this module provides the subset of its API the workload
+//! generators use (`StdRng::seed_from_u64`, `gen`, `gen_range`, `gen_bool`)
+//! on top of the SplitMix64 mixer. The streams differ from `rand`'s StdRng,
+//! which only changes the concrete synthetic data, not its distributional
+//! structure; every generator remains fully deterministic per seed.
+
+/// Seeding interface mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface mirroring the parts of `rand::Rng` the workload
+/// generators use.
+pub trait Rng {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T` (here: `f64` in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self.next_u64())
+    }
+
+    /// A uniform sample from a range (`lo..hi` or `lo..=hi`). The output
+    /// type is an independent parameter (as in `rand`) so integer literals
+    /// in the range infer from the expected result type.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::from_rng(self.next_u64()) < p.clamp(0.0, 1.0)
+    }
+}
+
+/// Types samplable uniformly from raw generator output (mirrors
+/// `rand::distributions::Standard`).
+pub trait Standard {
+    /// Converts 64 uniform bits into a uniform value of `Self`.
+    fn from_rng(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng(bits: u64) -> Self {
+        // 53 uniform mantissa bits -> [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng(bits: u64) -> Self {
+        bits
+    }
+}
+
+/// Ranges that can be sampled uniformly into `T` (mirrors
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Maps 64 uniform bits onto the range.
+    fn sample(self, bits: u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, bits: u64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (bits as u128 % width) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, bits: u64) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (bits as u128 % width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i32, u32, i64, u64, usize);
+
+/// The workspace's standard generator: SplitMix64.
+///
+/// Small state, excellent mixing, and no external dependencies; statistical
+/// quality is more than sufficient for generating benchmark datasets.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Namespace mirror of `rand::rngs` so call sites can keep the familiar
+/// `use crate::rng::rngs::StdRng` shape if they prefer it.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let v = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let v = rng.gen_range(0..100);
+            assert!((0..100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval_and_varied() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut low = 0;
+        for _ in 0..1_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            if v < 0.5 {
+                low += 1;
+            }
+        }
+        // Roughly balanced halves.
+        assert!((300..700).contains(&low), "low half count: {low}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..1_000).filter(|_| rng.gen_bool(0.2)).count();
+        assert!((100..300).contains(&hits), "hits: {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -19,13 +19,19 @@
 //! Query selectivity is tightly concentrated (the paper reports 0.5%±0.04%).
 
 use crate::queries::{count_query, range_at, recency_biased_start, sorted_column};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
+use crate::rng::{Rng, SeedableRng};
 use tsunami_core::{Dataset, Value, Workload};
 
 /// Column names, index-aligned with the generated dataset.
 pub const COLUMNS: [&str; 7] = [
-    "date", "open", "close", "low", "high", "adj_close", "volume",
+    "date",
+    "open",
+    "close",
+    "low",
+    "high",
+    "adj_close",
+    "volume",
 ];
 
 /// Trading days in the date domain (1970–2018).
@@ -34,7 +40,7 @@ pub const DATE_DOMAIN: u64 = 48 * 252;
 /// Generates a stock-prices-like dataset with `rows` rows.
 pub fn generate(rows: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rows); 7];
+    let mut cols: Vec<Vec<Value>> = (0..7).map(|_| Vec::with_capacity(rows)).collect();
     for _ in 0..rows {
         let date = rng.gen_range(0..DATE_DOMAIN);
         // Log-uniform open price between $1 and $1000 (in cents).
@@ -43,7 +49,7 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         let close = ((open as f64) * drift) as u64;
         let low = (open.min(close) as f64 * (1.0 - rng.gen::<f64>() * 0.03)) as u64;
         let high = (open.max(close) as f64 * (1.0 + rng.gen::<f64>() * 0.03)) as u64;
-        let adj = close * rng.gen_range(90..=100) / 100;
+        let adj = close * rng.gen_range(90..=100u64) / 100;
         // Heavy-tailed volume.
         let v: f64 = rng.gen::<f64>();
         let volume = (1_000.0 + 10_000_000.0 * v.powi(4)) as u64;

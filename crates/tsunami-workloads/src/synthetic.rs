@@ -12,8 +12,8 @@
 //! queries are skewed over the first four dimensions.
 
 use crate::queries::{count_query, range_at, sorted_column};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
+use crate::rng::{Rng, SeedableRng};
 use tsunami_core::{Dataset, Value, Workload};
 
 /// Domain size of every synthetic dimension.
@@ -33,7 +33,7 @@ pub fn uncorrelated(rows: usize, dims: usize, seed: u64) -> Dataset {
 /// strongly (±1%) for even `i` and loosely (±10%) for odd `i`.
 pub fn correlated(rows: usize, dims: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let half = (dims + 1) / 2;
+    let half = dims.div_ceil(2);
     let mut cols: Vec<Vec<Value>> = (0..half)
         .map(|_| (0..rows).map(|_| rng.gen_range(0..DOMAIN)).collect())
         .collect();
@@ -147,7 +147,10 @@ mod tests {
             .map(|(&a, &b)| (a as i64 - b as i64).unsigned_abs())
             .max()
             .unwrap();
-        assert!(max_dev <= (DOMAIN as f64 * 0.011) as u64, "deviation {max_dev}");
+        assert!(
+            max_dev <= (DOMAIN as f64 * 0.011) as u64,
+            "deviation {max_dev}"
+        );
         // dim 5 is loosely correlated with dim 1.
         let dev5: u64 = ds
             .column(1)

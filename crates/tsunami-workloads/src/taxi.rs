@@ -21,8 +21,8 @@
 //! "what month saw the most short-distance trips?".
 
 use crate::queries::{count_query, range_at, recency_biased_start, sorted_column};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
+use crate::rng::{Rng, SeedableRng};
 use tsunami_core::{Dataset, Value, Workload};
 
 /// Column names, index-aligned with the generated dataset.
@@ -44,16 +44,16 @@ pub const TIME_DOMAIN: u64 = 2 * 365 * 24 * 60;
 /// Generates a taxi-trip-like dataset with `rows` rows.
 pub fn generate(rows: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rows); 9];
+    let mut cols: Vec<Vec<Value>> = (0..9).map(|_| Vec::with_capacity(rows)).collect();
     for _ in 0..rows {
         let pickup: u64 = rng.gen_range(0..TIME_DOMAIN);
         // Heavy-tailed trip distance in 1/100 miles: mostly short trips.
         let r: f64 = rng.gen::<f64>();
         let distance = (100.0 + 4_900.0 * r * r * r) as u64;
-        let duration = 3 + distance / 30 + rng.gen_range(0..20);
-        let fare = 250 + distance * 25 / 100 + rng.gen_range(0..200);
-        let tip = fare * rng.gen_range(0..=30) / 100;
-        let total = fare + tip + rng.gen_range(0..300);
+        let duration = 3 + distance / 30 + rng.gen_range(0..20u64);
+        let fare = 250 + distance * 25 / 100 + rng.gen_range(0..200u64);
+        let tip = fare * rng.gen_range(0..=30u64) / 100;
+        let total = fare + tip + rng.gen_range(0..300u64);
         let passengers = match rng.gen_range(0..100) {
             0..=69 => 1,
             70..=84 => 2,
@@ -65,7 +65,7 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         let pickup_zone = rng.gen_range(0..263u64);
         let dropoff_zone = if distance < 500 {
             // Short trips stay near the pickup zone.
-            (pickup_zone + rng.gen_range(0..20)) % 263
+            (pickup_zone + rng.gen_range(0..20u64)) % 263
         } else {
             rng.gen_range(0..263u64)
         };

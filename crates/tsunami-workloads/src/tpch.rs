@@ -19,8 +19,8 @@
 //! skew toward recent ship dates.
 
 use crate::queries::{count_query, range_at, recency_biased_start, sorted_column};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
+use crate::rng::{Rng, SeedableRng};
 use tsunami_core::{Dataset, Value, Workload};
 
 /// Column names, index-aligned with the generated dataset.
@@ -60,11 +60,19 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         shipmode.push(rng.gen_range(0..7));
         let sd: u64 = rng.gen_range(0..DATE_DOMAIN);
         shipdate.push(sd);
-        commitdate.push((sd as i64 + rng.gen_range(-45..=45)).clamp(0, DATE_DOMAIN as i64 - 1) as u64);
-        receiptdate.push((sd + rng.gen_range(1..=30)).min(DATE_DOMAIN - 1));
+        commitdate
+            .push((sd as i64 + rng.gen_range(-45i64..=45)).clamp(0, DATE_DOMAIN as i64 - 1) as u64);
+        receiptdate.push((sd + rng.gen_range(1..=30u64)).min(DATE_DOMAIN - 1));
     }
     Dataset::from_columns(vec![
-        quantity, price, discount, tax, shipmode, shipdate, commitdate, receiptdate,
+        quantity,
+        price,
+        discount,
+        tax,
+        shipmode,
+        shipdate,
+        commitdate,
+        receiptdate,
     ])
     .expect("valid tpch dataset")
 }
@@ -96,7 +104,11 @@ fn build_workload(data: &Dataset, per_type: usize, seed: u64, shifted: bool) -> 
             let (d_lo, d_hi) = (7, 10);
             let (p_lo, p_hi) = range_at(&sorted[1], 0.8 + 0.19 * rng.gen::<f64>(), 0.05);
             let (s_lo, s_hi) = range_at(&sorted[5], start.min(0.97), 0.03);
-            queries.push(count_query(&[(1, p_lo, p_hi), (2, d_lo, d_hi), (5, s_lo, s_hi)]));
+            queries.push(count_query(&[
+                (1, p_lo, p_hi),
+                (2, d_lo, d_hi),
+                (5, s_lo, s_hi),
+            ]));
 
             // Type 2: shipments by air (one ship mode) with below ten items.
             let mode = rng.gen_range(0..7);
@@ -174,7 +186,11 @@ mod tests {
         let w = workload(&ds, 20, 3);
         assert_eq!(w.len(), 100);
         let groups = w.group_by_filtered_dims();
-        assert!(groups.len() >= 4, "expected >=4 distinct filter-dim sets, got {}", groups.len());
+        assert!(
+            groups.len() >= 4,
+            "expected >=4 distinct filter-dim sets, got {}",
+            groups.len()
+        );
         let avg = w.average_selectivity(&ds);
         assert!(avg > 0.0001 && avg < 0.1, "avg selectivity {avg}");
     }

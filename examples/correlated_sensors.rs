@@ -29,7 +29,10 @@ fn main() {
     let layout = optimize_layout(&data, &workload, &cost, &config, OptimizerKind::Adaptive);
     println!("\nAGD-chosen skeleton: {}", layout.skeleton);
     println!("partition counts:    {:?}", layout.partitions);
-    println!("predicted avg cost:  {:.0} (cost-model units)", layout.predicted_cost);
+    println!(
+        "predicted avg cost:  {:.0} (cost-model units)",
+        layout.predicted_cost
+    );
 
     // Build the Augmented-Grid-only index (no Grid Tree), the full Tsunami
     // index, and Flood — then compare scan volumes on the workload.
@@ -44,7 +47,10 @@ fn main() {
         TsunamiIndex::build_with_cost(&data, &workload, &cost, &config).expect("tsunami build");
     let flood = FloodIndex::build(&data, &workload, &cost, &FloodConfig::default());
 
-    println!("\n{:<22} {:>16} {:>14}", "index", "avg scanned rows", "size (KiB)");
+    println!(
+        "\n{:<22} {:>16} {:>14}",
+        "index", "avg scanned rows", "size (KiB)"
+    );
     for index in [&flood as &dyn MultiDimIndex, &ag_only, &tsunami] {
         let mut scanned = 0usize;
         for q in workload.queries() {
@@ -69,6 +75,9 @@ fn main() {
         Predicate::range(4, 4_000, 20_000).unwrap(),
     ])
     .unwrap();
-    println!("\nhot samples for machines 100-120 in the last week: {:?}", tsunami.execute(&q));
+    println!(
+        "\nhot samples for machines 100-120 in the last week: {:?}",
+        tsunami.execute(&q)
+    );
     assert_eq!(tsunami.execute(&q), q.execute_full_scan(&data));
 }

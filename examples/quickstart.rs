@@ -15,7 +15,10 @@ fn main() {
     let n: u64 = 50_000;
     let order_id: Vec<u64> = (0..n).collect();
     let quantity: Vec<u64> = (0..n).map(|i| 1 + (i * 7919) % 50).collect();
-    let price: Vec<u64> = quantity.iter().map(|&q| q * 1_000 + (q * 37) % 500).collect();
+    let price: Vec<u64> = quantity
+        .iter()
+        .map(|&q| q * 1_000 + (q * 37) % 500)
+        .collect();
     let data = Dataset::from_columns(vec![order_id, price, quantity]).expect("valid dataset");
     println!("dataset: {} rows x {} dims", data.len(), data.num_dims());
 

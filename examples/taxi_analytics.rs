@@ -25,7 +25,10 @@ fn main() {
     );
 
     let cost = CostModel::calibrate();
-    println!("calibrated cost model: w0={:.1}ns/range w1={:.2}ns/value", cost.w0, cost.w1);
+    println!(
+        "calibrated cost model: w0={:.1}ns/range w1={:.2}ns/value",
+        cost.w0, cost.w1
+    );
 
     // Build the three indexes.
     let tsunami = TsunamiIndex::build_with_cost(&data, &workload, &cost, &TsunamiConfig::default())
@@ -38,7 +41,10 @@ fn main() {
 
     // Measure average query latency for each index.
     let indexes: Vec<&dyn MultiDimIndex> = vec![&tsunami, &flood, &kdtree];
-    println!("\n{:<12} {:>14} {:>14} {:>18}", "index", "avg query (us)", "size (KiB)", "avg points scanned");
+    println!(
+        "\n{:<12} {:>14} {:>14} {:>18}",
+        "index", "avg query (us)", "size (KiB)", "avg points scanned"
+    );
     for index in indexes {
         let mut scanned = 0usize;
         let start = std::time::Instant::now();

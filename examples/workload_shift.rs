@@ -24,7 +24,11 @@ fn main() {
     let data = tpch::generate(rows, 3);
     let day_workload = tpch::workload(&data, 30, 4);
     let night_workload = tpch::shifted_workload(&data, 30, 5);
-    println!("lineitem-like dataset: {} rows x {} dims", data.len(), data.num_dims());
+    println!(
+        "lineitem-like dataset: {} rows x {} dims",
+        data.len(),
+        data.num_dims()
+    );
 
     // Phase 1: optimized for the daytime workload.
     let config = TsunamiConfig::default();
@@ -46,7 +50,9 @@ fn main() {
     );
 
     let recovery = stale_us / fresh_us.max(1e-9);
-    println!("re-optimization recovered a {recovery:.1}x latency improvement on the shifted workload");
+    println!(
+        "re-optimization recovered a {recovery:.1}x latency improvement on the shifted workload"
+    );
 
     // Correctness is never affected by staleness, only performance.
     for q in night_workload.queries().iter().take(10) {

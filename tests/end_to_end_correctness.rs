@@ -24,8 +24,15 @@ fn every_index_agrees_with_the_oracle_on_every_bundle() {
         let workload = &bundle.workload;
 
         let indexes: Vec<Box<dyn MultiDimIndex>> = vec![
-            Box::new(TsunamiIndex::build_with_cost(data, workload, &cost, &tsunami_config()).unwrap()),
-            Box::new(FloodIndex::build(data, workload, &cost, &FloodConfig::fast())),
+            Box::new(
+                TsunamiIndex::build_with_cost(data, workload, &cost, &tsunami_config()).unwrap(),
+            ),
+            Box::new(FloodIndex::build(
+                data,
+                workload,
+                &cost,
+                &FloodConfig::fast(),
+            )),
             Box::new(ClusteredSingleDimIndex::build(data, workload)),
             Box::new(ZOrderIndex::build(data, workload, 512)),
             Box::new(HyperOctree::build(data, workload, 512)),
@@ -69,8 +76,16 @@ fn learned_indexes_scan_fewer_points_than_full_scan() {
         let t = avg_scanned(&tsunami);
         let f = avg_scanned(&flood);
         let full = data.len() as f64;
-        assert!(t < full, "{}: Tsunami scans everything ({t} of {full})", bundle.name);
-        assert!(f < full, "{}: Flood scans everything ({f} of {full})", bundle.name);
+        assert!(
+            t < full,
+            "{}: Tsunami scans everything ({t} of {full})",
+            bundle.name
+        );
+        assert!(
+            f < full,
+            "{}: Flood scans everything ({f} of {full})",
+            bundle.name
+        );
     }
 }
 

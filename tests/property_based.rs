@@ -1,77 +1,73 @@
-//! Property-based integration tests (proptest): random datasets, random
+//! Property-style integration tests: seeded random datasets, random
 //! workloads, random queries — every index must agree with the full-scan
 //! oracle, and core structural invariants must hold.
-
-use proptest::prelude::*;
+//!
+//! The container has no crates.io access, so instead of `proptest` these
+//! tests drive the same invariants with an explicit seed loop (deterministic,
+//! and the failing seed is part of every assertion message).
 
 use tsunami_baselines::{HyperOctree, KdTree, ZOrderIndex};
 use tsunami_cdf::{CdfModel, Ecdf, FunctionalMapping, HistogramCdf, Rmi};
+use tsunami_core::sample::SplitMix;
 use tsunami_core::{CostModel, Dataset, MultiDimIndex, Predicate, Query, Workload};
 use tsunami_flood::FloodIndex;
 use tsunami_index::{TsunamiConfig, TsunamiIndex};
 
-/// Strategy: a small random dataset with 2-4 dimensions, where dimension 1
-/// (when present) is correlated with dimension 0.
-fn dataset_strategy() -> impl Strategy<Value = Dataset> {
-    (2usize..=4, 50usize..400, any::<u64>()).prop_map(|(dims, rows, seed)| {
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let mut cols: Vec<Vec<u64>> = Vec::new();
-        let base: Vec<u64> = (0..rows).map(|_| next() % 10_000).collect();
-        cols.push(base.clone());
-        for d in 1..dims {
-            if d == 1 {
-                // Correlated with dimension 0.
-                cols.push(base.iter().map(|&v| v * 3 + next() % 100).collect());
-            } else {
-                cols.push((0..rows).map(|_| next() % 10_000).collect());
-            }
+/// A small random dataset with 2-4 dimensions, where dimension 1 (when
+/// present) is correlated with dimension 0.
+fn random_dataset(rng: &mut SplitMix) -> Dataset {
+    let dims = 2 + rng.next_below(3) as usize;
+    let rows = 50 + rng.next_below(350) as usize;
+    let base: Vec<u64> = (0..rows).map(|_| rng.next_below(10_000)).collect();
+    let mut cols: Vec<Vec<u64>> = vec![base.clone()];
+    for d in 1..dims {
+        if d == 1 {
+            // Correlated with dimension 0.
+            cols.push(base.iter().map(|&v| v * 3 + rng.next_below(100)).collect());
+        } else {
+            cols.push((0..rows).map(|_| rng.next_below(10_000)).collect());
         }
-        Dataset::from_columns(cols).unwrap()
-    })
+    }
+    Dataset::from_columns(cols).unwrap()
 }
 
-/// Strategy: a random conjunctive range query over up to 3 dimensions.
-///
-/// Two random predicates on the same dimension can have an empty
-/// intersection, which `Query::new` rejects; such draws degrade to an
-/// unfiltered query rather than failing the strategy.
-fn query_strategy(dims: usize) -> impl Strategy<Value = Query> {
-    proptest::collection::vec((0usize..dims, 0u64..40_000, 0u64..40_000), 0..3).prop_map(|preds| {
-        let preds = preds
-            .into_iter()
-            .map(|(d, a, b)| Predicate::range(d, a.min(b), a.max(b)).unwrap())
-            .collect();
-        Query::count(preds).unwrap_or_else(|_| Query::count(vec![]).unwrap())
-    })
+/// A random conjunctive range query over up to 3 dimensions. Draws whose
+/// same-dimension predicates have an empty intersection degrade to an
+/// unfiltered query rather than failing.
+fn random_query(rng: &mut SplitMix, dims: usize) -> Query {
+    let n_preds = rng.next_below(3) as usize;
+    let preds = (0..n_preds)
+        .map(|_| {
+            let d = rng.next_below(dims as u64) as usize;
+            let a = rng.next_below(40_000);
+            let b = rng.next_below(40_000);
+            Predicate::range(d, a.min(b), a.max(b)).unwrap()
+        })
+        .collect();
+    Query::count(preds).unwrap_or_else(|_| Query::count(vec![]).unwrap())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn all_indexes_agree_with_oracle_on_random_data(
-        data in dataset_strategy(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn all_indexes_agree_with_oracle_on_random_data() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix::new(seed * 1_000 + 17);
+        let data = random_dataset(&mut rng);
         let dims = data.num_dims();
         // A small deterministic workload for optimization.
         let workload = Workload::new(
             (0..8u64)
                 .map(|i| {
-                    let lo = (seed.wrapping_mul(i + 1)) % 8_000;
-                    Query::count(vec![Predicate::range((i as usize) % dims, lo, lo + 2_000).unwrap()])
-                        .unwrap()
+                    let lo = seed.wrapping_mul(i + 1) % 8_000;
+                    Query::count(vec![
+                        Predicate::range((i as usize) % dims, lo, lo + 2_000).unwrap()
+                    ])
+                    .unwrap()
                 })
                 .collect(),
         );
         let cost = CostModel::default();
-        let tsunami = TsunamiIndex::build_with_cost(&data, &workload, &cost, &TsunamiConfig::fast()).unwrap();
+        let tsunami =
+            TsunamiIndex::build_with_cost(&data, &workload, &cost, &TsunamiConfig::fast()).unwrap();
         let flood = FloodIndex::build(&data, &workload, &cost, &tsunami_flood::FloodConfig::fast());
         let kd = KdTree::build(&data, &workload, 64);
         let z = ZOrderIndex::build(&data, &workload, 64);
@@ -79,33 +75,52 @@ proptest! {
 
         for q in workload.queries() {
             let expected = q.execute_full_scan(&data);
-            prop_assert_eq!(tsunami.execute(q), expected, "tsunami");
-            prop_assert_eq!(flood.execute(q), expected, "flood");
-            prop_assert_eq!(kd.execute(q), expected, "kdtree");
-            prop_assert_eq!(z.execute(q), expected, "zorder");
-            prop_assert_eq!(oct.execute(q), expected, "octree");
+            assert_eq!(tsunami.execute(q), expected, "tsunami seed {seed} {q:?}");
+            assert_eq!(flood.execute(q), expected, "flood seed {seed} {q:?}");
+            assert_eq!(kd.execute(q), expected, "kdtree seed {seed} {q:?}");
+            assert_eq!(z.execute(q), expected, "zorder seed {seed} {q:?}");
+            assert_eq!(oct.execute(q), expected, "octree seed {seed} {q:?}");
         }
     }
+}
 
-    #[test]
-    fn tsunami_answers_arbitrary_queries_correctly(
-        data in dataset_strategy(),
-        queries in proptest::collection::vec(query_strategy(2), 1..6),
-    ) {
+#[test]
+fn tsunami_answers_arbitrary_queries_correctly() {
+    for seed in 0..12u64 {
+        let mut rng = SplitMix::new(seed * 7_919 + 3);
+        let data = random_dataset(&mut rng);
         let workload = Workload::new(
             (0..6u64)
-                .map(|i| Query::count(vec![Predicate::range(0, i * 1000, i * 1000 + 3000).unwrap()]).unwrap())
+                .map(|i| {
+                    Query::count(vec![Predicate::range(0, i * 1000, i * 1000 + 3000).unwrap()])
+                        .unwrap()
+                })
                 .collect(),
         );
         let index = TsunamiIndex::build_with_cost(
-            &data, &workload, &CostModel::default(), &TsunamiConfig::fast()).unwrap();
-        for q in &queries {
-            prop_assert_eq!(index.execute(q), q.execute_full_scan(&data));
+            &data,
+            &workload,
+            &CostModel::default(),
+            &TsunamiConfig::fast(),
+        )
+        .unwrap();
+        for _ in 0..6 {
+            let q = random_query(&mut rng, 2);
+            assert_eq!(
+                index.execute(&q),
+                q.execute_full_scan(&data),
+                "seed {seed} {q:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn cdf_models_are_monotone_and_bounded(values in proptest::collection::vec(0u64..1_000_000, 2..500)) {
+#[test]
+fn cdf_models_are_monotone_and_bounded() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix::new(seed * 31 + 5);
+        let n = 2 + rng.next_below(498) as usize;
+        let values: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000)).collect();
         let ecdf = Ecdf::new(&values);
         let hist = HistogramCdf::build(&values, 32);
         let rmi = Rmi::build(&values, 16);
@@ -117,46 +132,54 @@ proptest! {
             let mut prev = -1.0f64;
             for &v in &probes {
                 let c = model.cdf(v);
-                prop_assert!((0.0..=1.0).contains(&c));
-                prop_assert!(c >= prev - 0.05, "CDF decreased: {} after {}", c, prev);
+                assert!((0.0..=1.0).contains(&c), "seed {seed}: cdf({v}) = {c}");
+                assert!(
+                    c >= prev - 0.05,
+                    "seed {seed}: CDF decreased: {c} after {prev}"
+                );
                 prev = prev.max(c);
             }
         }
     }
+}
 
-    #[test]
-    fn functional_mapping_containment_holds_on_random_correlated_pairs(
-        rows in 10usize..300,
-        slope in 1u64..5,
-        noise in 1u64..500,
-        seed in any::<u64>(),
-    ) {
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let ys: Vec<u64> = (0..rows).map(|_| next() % 100_000).collect();
-        let xs: Vec<u64> = ys.iter().map(|&y| y * slope + next() % noise).collect();
+#[test]
+fn functional_mapping_containment_holds_on_random_correlated_pairs() {
+    for seed in 0..20u64 {
+        let mut rng = SplitMix::new(seed * 101 + 9);
+        let rows = 10 + rng.next_below(290) as usize;
+        let slope = 1 + rng.next_below(4);
+        let noise = 1 + rng.next_below(499);
+        let ys: Vec<u64> = (0..rows).map(|_| rng.next_below(100_000)).collect();
+        let xs: Vec<u64> = ys
+            .iter()
+            .map(|&y| y * slope + rng.next_below(noise))
+            .collect();
         let fm = FunctionalMapping::fit(&ys, &xs).unwrap();
         // Any training point inside a queried Y range must fall inside the
         // mapped X range.
-        let y_lo = next() % 100_000;
-        let y_hi = y_lo + next() % 20_000;
+        let y_lo = rng.next_below(100_000);
+        let y_hi = y_lo + rng.next_below(20_000);
         let (x_lo, x_hi) = fm.map_range(y_lo, y_hi);
         for i in 0..rows {
             if ys[i] >= y_lo && ys[i] <= y_hi {
-                prop_assert!(xs[i] >= x_lo && xs[i] <= x_hi);
+                assert!(
+                    xs[i] >= x_lo && xs[i] <= x_hi,
+                    "seed {seed}: x={} outside mapped [{x_lo}, {x_hi}]",
+                    xs[i]
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn equi_depth_partitions_are_balanced(values in proptest::collection::vec(0u64..100_000, 64..600)) {
-        let p = 8;
-        let model = HistogramCdf::build(&values, p);
+#[test]
+fn equi_depth_partitions_are_balanced() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix::new(seed * 977 + 1);
+        let n = 64 + rng.next_below(536) as usize;
+        let values: Vec<u64> = (0..n).map(|_| rng.next_below(100_000)).collect();
+        let model = HistogramCdf::build(&values, 8);
         let mut counts = vec![0usize; model.num_buckets()];
         for &v in &values {
             counts[model.bucket_of(v)] += 1;
@@ -165,7 +188,11 @@ proptest! {
         // imbalance, but gross imbalance would defeat the design).
         let fair = values.len() / model.num_buckets();
         for &c in &counts {
-            prop_assert!(c <= fair * 4 + 8, "bucket with {} of {} values", c, values.len());
+            assert!(
+                c <= fair * 4 + 8,
+                "seed {seed}: bucket with {c} of {} values",
+                values.len()
+            );
         }
     }
 }
