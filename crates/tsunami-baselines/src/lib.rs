@@ -29,5 +29,5 @@ pub use fullscan::FullScanIndex;
 pub use kdtree::KdTree;
 pub use octree::HyperOctree;
 pub use single_dim::ClusteredSingleDimIndex;
-pub use tuning::tune_page_size;
+pub use tuning::{tune_page_size, DEFAULT_PAGE_SIZES};
 pub use zorder::ZOrderIndex;

@@ -3,11 +3,9 @@
 //! runtime of the Augmented Grid layout optimizers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tsunami_bench::harness::{build_variant, HarnessConfig};
-use tsunami_core::{CostModel, MultiDimIndex};
-use tsunami_flood::FloodIndex;
+use tsunami_bench::harness::{database_for_named, variant_specs, HarnessConfig};
+use tsunami_core::CostModel;
 use tsunami_index::augmented_grid::{optimize_layout, OptimizerKind};
-use tsunami_index::IndexVariant;
 use tsunami_workloads::taxi;
 
 fn bench_components(c: &mut Criterion) {
@@ -20,37 +18,26 @@ fn bench_components(c: &mut Criterion) {
     let workload = taxi::workload(&data, config.queries_per_type, config.seed ^ 11);
     let cost = CostModel::default();
 
-    // Fig 12a: query latency per component configuration.
-    let mut indexes: Vec<(String, Box<dyn MultiDimIndex>)> = vec![(
-        "Flood".to_string(),
-        Box::new(FloodIndex::build(
-            &data,
-            &workload,
-            &cost,
-            &config.flood_config(),
-        )),
-    )];
-    for variant in [
-        IndexVariant::AugmentedGridOnly,
-        IndexVariant::GridTreeOnly,
-        IndexVariant::Full,
-    ] {
-        let idx = build_variant(&data, &workload, &config, variant);
-        indexes.push((idx.name().to_string(), Box::new(idx)));
-    }
+    // Fig 12a: query latency per component configuration, registered as
+    // tables of one database.
+    let db = database_for_named(&data, &workload, &[], &variant_specs(&config));
     let mut group = c.benchmark_group("fig12a_components");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for (name, index) in &indexes {
-        group.bench_with_input(BenchmarkId::from_parameter(name), index, |b, index| {
-            let mut qi = 0usize;
-            b.iter(|| {
-                let q = &workload.queries()[qi % workload.len()];
-                qi += 1;
-                std::hint::black_box(index.execute(q))
-            });
-        });
+    for table in db.tables() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(table.index().name()),
+            table,
+            |b, table| {
+                let mut qi = 0usize;
+                b.iter(|| {
+                    let q = &workload.queries()[qi % workload.len()];
+                    qi += 1;
+                    std::hint::black_box(table.index().execute(q))
+                });
+            },
+        );
     }
     group.finish();
 

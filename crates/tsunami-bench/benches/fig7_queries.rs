@@ -2,7 +2,7 @@
 //! the four dataset/workload bundles (scaled down for bench runtime).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tsunami_bench::harness::{build_all_indexes, HarnessConfig};
+use tsunami_bench::harness::{database_for_bundle, HarnessConfig};
 use tsunami_workloads::DatasetBundle;
 
 fn bench_queries(c: &mut Criterion) {
@@ -13,21 +13,21 @@ fn bench_queries(c: &mut Criterion) {
     };
     let bundles = DatasetBundle::standard(config.rows, config.queries_per_type, config.seed);
     for bundle in &bundles {
-        let indexes = build_all_indexes(&bundle.data, &bundle.workload, &config);
+        let db = database_for_bundle(bundle, &config.all_specs());
         let mut group = c.benchmark_group(format!("fig7/{}", bundle.name));
         group.sample_size(10);
         group.warm_up_time(std::time::Duration::from_millis(500));
         group.measurement_time(std::time::Duration::from_secs(2));
-        for index in &indexes {
+        for table in db.tables() {
             group.bench_with_input(
-                BenchmarkId::from_parameter(index.name()),
-                index,
-                |b, index| {
+                BenchmarkId::from_parameter(table.name()),
+                table,
+                |b, table| {
                     let mut qi = 0usize;
                     b.iter(|| {
                         let q = &bundle.workload.queries()[qi % bundle.workload.len()];
                         qi += 1;
-                        std::hint::black_box(index.execute(q))
+                        std::hint::black_box(table.index().execute(q))
                     });
                 },
             );

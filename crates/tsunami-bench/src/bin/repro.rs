@@ -6,10 +6,10 @@
 //! repro [EXPERIMENT] [--rows N] [--queries-per-type N] [--seed N]
 //! ```
 //!
-//! `EXPERIMENT` is one of `table3`, `table4`, `fig7`, `fig7par`, `fig8`,
-//! `fig9a`, `fig9b`, `fig10`, `fig11a`, `fig11b`, `fig12a`, `fig12b`, or
-//! `all` (default). Run in release mode: `cargo run --release -p
-//! tsunami-bench --bin repro -- fig7`.
+//! `EXPERIMENT` is one of `table3`, `table4`, `fig7`, `fig7par`,
+//! `fig7sched`, `fig8`, `fig9a`, `fig9b`, `fig10`, `fig11a`, `fig11b`,
+//! `fig12a`, `fig12b`, or `all` (default). Run in release mode: `cargo run
+//! --release -p tsunami-bench --bin repro -- fig7`.
 
 use tsunami_bench::experiments;
 use tsunami_bench::HarnessConfig;
@@ -80,5 +80,5 @@ fn main() {
 
 fn print_usage() {
     eprintln!("usage: repro [EXPERIMENT] [--rows N] [--queries-per-type N] [--seed N]");
-    eprintln!("experiments: all, table3, table4, fig7, fig7par, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b");
+    eprintln!("experiments: all, table3, table4, fig7, fig7par, fig7sched, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b");
 }

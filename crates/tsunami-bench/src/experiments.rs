@@ -1,17 +1,24 @@
 //! One function per table/figure of the paper's evaluation (§6).
 //!
 //! Every function prints (and returns) a plain-text table whose rows mirror
-//! the corresponding table or figure series in the paper.
+//! the corresponding table or figure series in the paper. Query-execution
+//! experiments go through the `tsunami-engine` [`tsunami_engine::Database`]
+//! facade — tables are registered per index family and measured through
+//! their handles. Structure-introspection rows (Table 4's Grid Tree
+//! statistics, Fig 12b's predicted layout costs) still build the concrete
+//! types directly, since those statistics are not part of the uniform
+//! `MultiDimIndex` surface.
 
 use crate::harness::{
-    build_all_indexes, build_learned_indexes, build_variant, build_with_optimizer, measure,
-    measure_parallel, report, HarnessConfig,
+    database_for, database_for_bundle, database_for_named, measure, measure_parallel, report,
+    variant_specs, HarnessConfig,
 };
 use crate::table::{fmt_f64, Table};
 
 use std::time::Instant;
 
-use tsunami_core::{CostModel, MultiDimIndex};
+use tsunami_core::CostModel;
+use tsunami_engine::{IndexSpec, Scheduler};
 use tsunami_flood::FloodIndex;
 use tsunami_index::augmented_grid::{optimize_layout, OptimizerKind};
 use tsunami_index::{IndexVariant, TsunamiIndex};
@@ -108,9 +115,9 @@ pub fn fig7(config: &HarnessConfig) -> String {
         ],
     );
     for b in &bundles {
-        let indexes = build_all_indexes(&b.data, &b.workload, config);
-        for idx in &indexes {
-            let r = report(idx.as_ref(), &b.workload);
+        let db = database_for_bundle(b, &config.all_specs());
+        for table in db.tables() {
+            let r = report(table, &b.workload);
             t.add_row(vec![
                 b.name.to_string(),
                 r.name,
@@ -142,10 +149,10 @@ pub fn fig7_parallel(config: &HarnessConfig) -> String {
         ],
     );
     for b in &bundles {
-        let indexes = build_learned_indexes(&b.data, &b.workload, config);
-        for idx in &indexes {
-            let serial = measure(idx.as_ref(), &b.workload);
-            let parallel = measure_parallel(idx.as_ref(), &b.workload, threads);
+        let db = database_for_bundle(b, &config.learned_specs());
+        for table in db.tables() {
+            let serial = measure(table.index(), &b.workload);
+            let parallel = measure_parallel(table.index(), &b.workload, threads);
             assert_eq!(
                 (serial.avg_points_scanned, serial.avg_ranges_scanned),
                 (parallel.avg_points_scanned, parallel.avg_ranges_scanned),
@@ -154,11 +161,71 @@ pub fn fig7_parallel(config: &HarnessConfig) -> String {
             );
             t.add_row(vec![
                 b.name.to_string(),
-                idx.name().to_string(),
+                table.name().to_string(),
                 fmt_f64(serial.avg_query_us),
                 fmt_f64(parallel.avg_query_us),
                 threads.to_string(),
                 fmt_f64(serial.avg_points_scanned),
+            ]);
+        }
+    }
+    finish(t)
+}
+
+/// Multi-client throughput: many independent fig7-workload queries executed
+/// concurrently by the engine's [`Scheduler`], sweeping the worker count.
+/// This measures *inter-query* parallelism over the `Sync` store — the
+/// serving-scale complement to `fig7par`'s intra-query parallelism. Speedup
+/// over one worker tracks the host's available cores; a correctness check
+/// compares every scheduler result against serial execution.
+pub fn fig7_scheduler(config: &HarnessConfig) -> String {
+    let bundles = standard_bundles(config);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut t = Table::new(
+        "Fig 7 (scheduler): Multi-client throughput over a Tsunami table (QPS vs workers)",
+        &[
+            "dataset",
+            "workers",
+            "batch QPS",
+            "speedup vs 1 worker",
+            "host cores",
+        ],
+    );
+    // A batch large enough to keep every worker busy for a measurable span.
+    const MIN_BATCH: usize = 512;
+    for b in &bundles {
+        let db = database_for_bundle(b, &[IndexSpec::Tsunami(config.tsunami_config())]);
+        let table = db.table("Tsunami").expect("registered above");
+        let prepared = table.prepare_workload(&b.workload).expect("validated");
+        if prepared.is_empty() {
+            continue;
+        }
+        let mut batch = Vec::with_capacity(MIN_BATCH + prepared.len());
+        while batch.len() < MIN_BATCH {
+            batch.extend(prepared.iter().cloned());
+        }
+        let mut base_qps = f64::NAN;
+        for &workers in &[1usize, 2, 4, 8] {
+            let scheduler = Scheduler::new(workers);
+            // Warm-up, plus the correctness check: scheduler == serial.
+            let warm = scheduler.execute_batch(&prepared).expect("warm-up batch");
+            for (result, q) in warm.iter().zip(&prepared) {
+                assert_eq!(*result, q.execute(), "scheduler diverged from serial");
+            }
+            let start = Instant::now();
+            let results = scheduler.execute_batch(&batch).expect("measured batch");
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(results.len(), batch.len());
+            let qps = batch.len() as f64 / elapsed.max(1e-12);
+            if workers == 1 {
+                base_qps = qps;
+            }
+            t.add_row(vec![
+                b.name.to_string(),
+                workers.to_string(),
+                fmt_f64(qps),
+                fmt_f64(qps / base_qps),
+                host_cores.to_string(),
             ]);
         }
     }
@@ -173,12 +240,12 @@ pub fn fig8(config: &HarnessConfig) -> String {
         &["dataset", "index", "size (KiB)"],
     );
     for b in &bundles {
-        let indexes = build_all_indexes(&b.data, &b.workload, config);
-        for idx in &indexes {
+        let db = database_for_bundle(b, &config.all_specs());
+        for table in db.tables() {
             t.add_row(vec![
                 b.name.to_string(),
-                idx.name().to_string(),
-                fmt_f64(idx.size_bytes() as f64 / 1024.0),
+                table.name().to_string(),
+                fmt_f64(table.index().size_bytes() as f64 / 1024.0),
             ]);
         }
     }
@@ -187,12 +254,11 @@ pub fn fig8(config: &HarnessConfig) -> String {
 
 /// Fig 9a: adaptability to workload shift — query latency before the shift,
 /// after the shift (stale layout), and after re-optimizing for the new
-/// workload.
+/// workload via the database facade's `reindex`.
 pub fn fig9a(config: &HarnessConfig) -> String {
     let data = tpch::generate(config.rows, config.seed);
     let original = tpch::workload(&data, config.queries_per_type, config.seed ^ 10);
     let shifted = tpch::shifted_workload(&data, config.queries_per_type, config.seed ^ 20);
-    let cost = CostModel::default();
 
     let mut t = Table::new(
         "Fig 9a: Adaptability to workload shift (TPC-H; avg query us)",
@@ -205,39 +271,26 @@ pub fn fig9a(config: &HarnessConfig) -> String {
         ],
     );
 
-    // Tsunami.
-    let tsunami = TsunamiIndex::build_with_cost(&data, &original, &cost, &config.tsunami_config())
-        .expect("tsunami build");
-    let before = measure(&tsunami, &original).avg_query_us;
-    let stale = measure(&tsunami, &shifted).avg_query_us;
-    let t0 = Instant::now();
-    let tsunami2 = TsunamiIndex::build_with_cost(&data, &shifted, &cost, &config.tsunami_config())
-        .expect("tsunami rebuild");
-    let reopt = t0.elapsed().as_secs_f64();
-    let after = measure(&tsunami2, &shifted).avg_query_us;
-    t.add_row(vec![
-        "Tsunami".into(),
-        fmt_f64(before),
-        fmt_f64(stale),
-        fmt_f64(after),
-        fmt_f64(reopt),
-    ]);
-
-    // Flood.
-    let flood = FloodIndex::build(&data, &original, &cost, &config.flood_config());
-    let before = measure(&flood, &original).avg_query_us;
-    let stale = measure(&flood, &shifted).avg_query_us;
-    let t0 = Instant::now();
-    let flood2 = FloodIndex::build(&data, &shifted, &cost, &config.flood_config());
-    let reopt = t0.elapsed().as_secs_f64();
-    let after = measure(&flood2, &shifted).avg_query_us;
-    t.add_row(vec![
-        "Flood".into(),
-        fmt_f64(before),
-        fmt_f64(stale),
-        fmt_f64(after),
-        fmt_f64(reopt),
-    ]);
+    let specs = config.learned_specs();
+    let mut db = database_for(&data, &original, &tpch::COLUMNS, &specs);
+    for spec in &specs {
+        let table = db.table(spec.label()).expect("registered above");
+        let before = measure(table.index(), &original).avg_query_us;
+        let stale = measure(table.index(), &shifted).avg_query_us;
+        let t0 = Instant::now();
+        let fresh = db
+            .reindex(spec.label(), &shifted, spec)
+            .expect("reindex for shifted workload");
+        let reopt = t0.elapsed().as_secs_f64();
+        let after = measure(fresh.index(), &shifted).avg_query_us;
+        t.add_row(vec![
+            spec.label().to_string(),
+            fmt_f64(before),
+            fmt_f64(stale),
+            fmt_f64(after),
+            fmt_f64(reopt),
+        ]);
+    }
     finish(t)
 }
 
@@ -249,12 +302,12 @@ pub fn fig9b(config: &HarnessConfig) -> String {
         &["dataset", "index", "sort (s)", "optimize (s)", "total (s)"],
     );
     for b in &bundles {
-        let indexes = build_all_indexes(&b.data, &b.workload, config);
-        for idx in &indexes {
-            let timing = idx.build_timing();
+        let db = database_for_bundle(b, &config.all_specs());
+        for table in db.tables() {
+            let timing = table.index().build_timing();
             t.add_row(vec![
                 b.name.to_string(),
-                idx.name().to_string(),
+                table.name().to_string(),
                 fmt_f64(timing.sort_secs),
                 fmt_f64(timing.optimize_secs),
                 fmt_f64(timing.total_secs()),
@@ -288,9 +341,9 @@ pub fn fig10(config: &HarnessConfig) -> String {
         ] {
             let workload =
                 synthetic::workload(&data, config.queries_per_type, config.seed ^ dims as u64);
-            let indexes = build_learned_indexes(&data, &workload, config);
-            for idx in &indexes {
-                let r = report(idx.as_ref(), &workload);
+            let db = database_for(&data, &workload, &[], &config.learned_specs());
+            for table in db.tables() {
+                let r = report(table, &workload);
                 t.add_row(vec![
                     group.to_string(),
                     dims.to_string(),
@@ -319,9 +372,9 @@ pub fn fig11a(config: &HarnessConfig) -> String {
     for &rows in &sizes {
         let data = tpch::generate(rows, config.seed);
         let workload = tpch::workload(&data, config.queries_per_type, config.seed ^ 10);
-        let indexes = build_learned_indexes(&data, &workload, config);
-        for idx in &indexes {
-            let r = report(idx.as_ref(), &workload);
+        let db = database_for(&data, &workload, &tpch::COLUMNS, &config.learned_specs());
+        for table in db.tables() {
+            let r = report(table, &workload);
             t.add_row(vec![
                 rows.to_string(),
                 r.name,
@@ -351,9 +404,9 @@ pub fn fig11b(config: &HarnessConfig) -> String {
     for &factor in &[0.1f64, 0.5, 1.0, 4.0, 16.0] {
         let workload = synthetic::scale_selectivity(&base, factor);
         let avg_sel = workload.average_selectivity(&data);
-        let indexes = build_learned_indexes(&data, &workload, config);
-        for idx in &indexes {
-            let r = report(idx.as_ref(), &workload);
+        let db = database_for(&data, &workload, &[], &config.learned_specs());
+        for table in db.tables() {
+            let r = report(table, &workload);
             t.add_row(vec![
                 fmt_f64(factor),
                 fmt_f64(avg_sel * 100.0),
@@ -366,28 +419,22 @@ pub fn fig11b(config: &HarnessConfig) -> String {
 }
 
 /// Fig 12a: component drill-down — Flood vs Augmented-Grid-only vs
-/// Grid-Tree-only vs full Tsunami.
+/// Grid-Tree-only vs full Tsunami, all registered as tables of one database.
 pub fn fig12a(config: &HarnessConfig) -> String {
     let bundles = standard_bundles(config);
     let mut t = Table::new(
         "Fig 12a: Component drill-down (avg query us)",
         &["dataset", "index", "avg query (us)"],
     );
-    let cost = CostModel::default();
     for b in &bundles {
-        let flood = FloodIndex::build(&b.data, &b.workload, &cost, &config.flood_config());
-        let flood_us = measure(&flood, &b.workload).avg_query_us;
-        t.add_row(vec![b.name.to_string(), "Flood".into(), fmt_f64(flood_us)]);
-        for variant in [
-            IndexVariant::AugmentedGridOnly,
-            IndexVariant::GridTreeOnly,
-            IndexVariant::Full,
-        ] {
-            let idx = build_variant(&b.data, &b.workload, config, variant);
-            let us = measure(&idx, &b.workload).avg_query_us;
+        // Display names come from the built index itself
+        // ("AugmentedGrid-only", "GridTree-only", ...).
+        let db = database_for_named(&b.data, &b.workload, &b.columns, &variant_specs(config));
+        for table in db.tables() {
+            let us = measure(table.index(), &b.workload).avg_query_us;
             t.add_row(vec![
                 b.name.to_string(),
-                idx.name().to_string(),
+                table.index().name().to_string(),
                 fmt_f64(us),
             ]);
         }
@@ -420,8 +467,15 @@ pub fn fig12b(config: &HarnessConfig) -> String {
         ] {
             let layout =
                 optimize_layout(&b.data, &b.workload, &cost, &config.tsunami_config(), kind);
-            let idx = build_with_optimizer(&b.data, &b.workload, config, kind);
-            let us = measure(&idx, &b.workload).avg_query_us;
+            let spec = IndexSpec::Tsunami(
+                config
+                    .tsunami_config()
+                    .with_variant(IndexVariant::AugmentedGridOnly)
+                    .with_optimizer(kind),
+            );
+            let db = database_for_bundle(b, std::slice::from_ref(&spec));
+            let table = db.table(spec.label()).expect("registered above");
+            let us = measure(table.index(), &b.workload).avg_query_us;
             t.add_row(vec![
                 b.name.to_string(),
                 label.to_string(),
@@ -453,6 +507,7 @@ pub fn experiments() -> Vec<(&'static str, fn(&HarnessConfig) -> String)> {
         ("table4", table4),
         ("fig7", fig7),
         ("fig7par", fig7_parallel),
+        ("fig7sched", fig7_scheduler),
         ("fig8", fig8),
         ("fig9a", fig9a),
         ("fig9b", fig9b),
@@ -496,8 +551,19 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "table3", "table4", "fig7", "fig7par", "fig8", "fig9a", "fig9b", "fig10", "fig11a",
-                "fig11b", "fig12a", "fig12b"
+                "table3",
+                "table4",
+                "fig7",
+                "fig7par",
+                "fig7sched",
+                "fig8",
+                "fig9a",
+                "fig9b",
+                "fig10",
+                "fig11a",
+                "fig11b",
+                "fig12a",
+                "fig12b"
             ]
         );
     }
@@ -510,5 +576,16 @@ mod tests {
         for label in ["Flood", "AugmentedGrid-only", "GridTree-only", "Tsunami"] {
             assert!(out.contains(label), "missing {label} in:\n{out}");
         }
+    }
+
+    #[test]
+    fn fig7_scheduler_sweeps_worker_counts() {
+        let mut cfg = tiny();
+        cfg.rows = 2_000;
+        let out = fig7_scheduler(&cfg);
+        for workers in ["1", "2", "4", "8"] {
+            assert!(out.contains(workers), "missing worker row {workers}");
+        }
+        assert!(out.contains("QPS"));
     }
 }

@@ -1,14 +1,18 @@
 //! Shared machinery for building every index on a dataset/workload bundle
 //! and measuring query performance, index size, and build time.
+//!
+//! Since the `tsunami-engine` front-end landed, the harness goes through the
+//! [`Database`] facade: each experiment registers one table per index family
+//! (same dataset, different [`IndexSpec`]) and measures through the table
+//! handles, exactly like an application would.
 
 use std::time::Instant;
 
-use tsunami_baselines::{
-    tune_page_size, ClusteredSingleDimIndex, HyperOctree, KdTree, ZOrderIndex,
-};
-use tsunami_core::{CostModel, Dataset, MultiDimIndex, Workload};
-use tsunami_flood::{FloodConfig, FloodIndex};
-use tsunami_index::{IndexVariant, OptimizerKind, TsunamiConfig, TsunamiIndex};
+use tsunami_core::{Dataset, MultiDimIndex, Workload};
+use tsunami_engine::{Database, IndexSpec, PageSize, Table};
+use tsunami_flood::FloodConfig;
+use tsunami_index::{IndexVariant, TsunamiConfig};
+use tsunami_workloads::DatasetBundle;
 
 /// Scale knobs for the experiment harness. The paper runs 184M–300M rows;
 /// this reproduction defaults to laptop-scale sizes that preserve the
@@ -59,6 +63,29 @@ impl HarnessConfig {
     /// Candidate page sizes used when tuning the non-learned baselines.
     pub fn page_size_candidates(&self) -> Vec<usize> {
         vec![256, 1024, 4096]
+    }
+
+    /// The paper's full index line-up (Fig 7/8) as engine specs: Tsunami,
+    /// Flood, and the tuned non-learned baselines.
+    pub fn all_specs(&self) -> Vec<IndexSpec> {
+        let tuned = PageSize::TunedOver(self.page_size_candidates());
+        vec![
+            IndexSpec::Tsunami(self.tsunami_config()),
+            IndexSpec::Flood(self.flood_config()),
+            IndexSpec::SingleDim,
+            IndexSpec::ZOrder(tuned.clone()),
+            IndexSpec::Octree(tuned.clone()),
+            IndexSpec::KdTree(tuned),
+        ]
+    }
+
+    /// Just the learned indexes (used by scalability sweeps where re-tuning
+    /// every baseline would dominate runtime).
+    pub fn learned_specs(&self) -> Vec<IndexSpec> {
+        vec![
+            IndexSpec::Tsunami(self.tsunami_config()),
+            IndexSpec::Flood(self.flood_config()),
+        ]
     }
 }
 
@@ -144,8 +171,9 @@ fn measure_with(
     }
 }
 
-/// Builds a report for an already-built index.
-pub fn report(index: &dyn MultiDimIndex, workload: &Workload) -> IndexReport {
+/// Builds a report for a registered table's index.
+pub fn report(table: &Table, workload: &Workload) -> IndexReport {
+    let index = table.index();
     let m = measure(index, workload);
     let timing = index.build_timing();
     IndexReport {
@@ -164,101 +192,66 @@ pub fn report(index: &dyn MultiDimIndex, workload: &Workload) -> IndexReport {
     }
 }
 
-/// Builds the full line-up of indexes the paper compares (Fig 7/8): Tsunami,
-/// Flood, and the tuned non-learned baselines.
-pub fn build_all_indexes(
+/// Registers one table per spec over the same dataset (table names are the
+/// spec labels) and returns the database. This is how every experiment
+/// compares index families: same data, same workload, different layouts.
+pub fn database_for(
     data: &Dataset,
     workload: &Workload,
-    config: &HarnessConfig,
-) -> Vec<Box<dyn MultiDimIndex>> {
-    let cost = CostModel::default();
-    let mut indexes: Vec<Box<dyn MultiDimIndex>> = Vec::new();
-
-    let tsunami = TsunamiIndex::build_with_cost(data, workload, &cost, &config.tsunami_config())
-        .expect("tsunami build");
-    indexes.push(Box::new(tsunami));
-
-    let flood = FloodIndex::build(data, workload, &cost, &config.flood_config());
-    indexes.push(Box::new(flood));
-
-    indexes.push(Box::new(ClusteredSingleDimIndex::build(data, workload)));
-
-    let candidates = config.page_size_candidates();
-    let z = tune_page_size(data, workload, &candidates, |d, w, ps| {
-        ZOrderIndex::build(d, w, ps)
-    });
-    indexes.push(Box::new(ZOrderIndex::build(
-        data,
-        workload,
-        z.best_page_size,
-    )));
-
-    let oct = tune_page_size(data, workload, &candidates, |d, w, ps| {
-        HyperOctree::build(d, w, ps)
-    });
-    indexes.push(Box::new(HyperOctree::build(
-        data,
-        workload,
-        oct.best_page_size,
-    )));
-
-    let kd = tune_page_size(data, workload, &candidates, |d, w, ps| {
-        KdTree::build(d, w, ps)
-    });
-    indexes.push(Box::new(KdTree::build(data, workload, kd.best_page_size)));
-
-    indexes
+    columns: &[&str],
+    specs: &[IndexSpec],
+) -> Database {
+    let named: Vec<(String, IndexSpec)> = specs
+        .iter()
+        .map(|s| (s.label().to_string(), s.clone()))
+        .collect();
+    database_for_named(data, workload, columns, &named)
 }
 
-/// Builds just the learned indexes (used by scalability sweeps where
-/// re-tuning every baseline would dominate runtime).
-pub fn build_learned_indexes(
+/// Like [`database_for`] with explicit table names, for line-ups where
+/// several specs share a label (e.g. the Fig 12a Tsunami variants). All
+/// tables share one `Arc` of the dataset.
+pub fn database_for_named(
     data: &Dataset,
     workload: &Workload,
-    config: &HarnessConfig,
-) -> Vec<Box<dyn MultiDimIndex>> {
-    let cost = CostModel::default();
-    let tsunami = TsunamiIndex::build_with_cost(data, workload, &cost, &config.tsunami_config())
-        .expect("tsunami build");
-    let flood = FloodIndex::build(data, workload, &cost, &config.flood_config());
-    vec![Box::new(tsunami), Box::new(flood)]
+    columns: &[&str],
+    named_specs: &[(String, IndexSpec)],
+) -> Database {
+    let data = std::sync::Arc::new(data.clone());
+    let mut db = Database::new();
+    for (name, spec) in named_specs {
+        if columns.is_empty() {
+            db.create_table_unnamed(name, std::sync::Arc::clone(&data), workload, spec)
+        } else {
+            db.create_table(name, columns, std::sync::Arc::clone(&data), workload, spec)
+        }
+        .unwrap_or_else(|e| panic!("building {name}: {e}"));
+    }
+    db
 }
 
-/// Builds a Tsunami variant (full / Grid-Tree-only / Augmented-Grid-only) for
-/// the Fig 12a drill-down.
-pub fn build_variant(
-    data: &Dataset,
-    workload: &Workload,
-    config: &HarnessConfig,
-    variant: IndexVariant,
-) -> TsunamiIndex {
-    TsunamiIndex::build_with_cost(
-        data,
-        workload,
-        &CostModel::default(),
-        &config.tsunami_config().with_variant(variant),
-    )
-    .expect("variant build")
+/// [`database_for`] over a standard dataset bundle, carrying the bundle's
+/// column names into the schema.
+pub fn database_for_bundle(bundle: &DatasetBundle, specs: &[IndexSpec]) -> Database {
+    database_for(&bundle.data, &bundle.workload, &bundle.columns, specs)
 }
 
-/// Builds an Augmented-Grid-only Tsunami index with a specific optimizer
-/// (Fig 12b).
-pub fn build_with_optimizer(
-    data: &Dataset,
-    workload: &Workload,
-    config: &HarnessConfig,
-    optimizer: OptimizerKind,
-) -> TsunamiIndex {
-    TsunamiIndex::build_with_cost(
-        data,
-        workload,
-        &CostModel::default(),
-        &config
-            .tsunami_config()
-            .with_variant(IndexVariant::AugmentedGridOnly)
-            .with_optimizer(optimizer),
-    )
-    .expect("optimizer build")
+/// Flood plus the three Tsunami component ablations (Fig 12a), as
+/// `(table name, spec)` pairs — the Tsunami variants share the "Tsunami"
+/// label, so they need distinct table names.
+pub fn variant_specs(config: &HarnessConfig) -> Vec<(String, IndexSpec)> {
+    let mut named = vec![("Flood".to_string(), IndexSpec::Flood(config.flood_config()))];
+    for variant in [
+        IndexVariant::AugmentedGridOnly,
+        IndexVariant::GridTreeOnly,
+        IndexVariant::Full,
+    ] {
+        named.push((
+            format!("{variant:?}"),
+            IndexSpec::Tsunami(config.tsunami_config().with_variant(variant)),
+        ));
+    }
+    named
 }
 
 #[cfg(test)]
@@ -275,23 +268,23 @@ mod tests {
         };
         let bundles = DatasetBundle::standard(config.rows, config.queries_per_type, config.seed);
         let bundle = &bundles[0];
-        let indexes = build_all_indexes(&bundle.data, &bundle.workload, &config);
-        assert_eq!(indexes.len(), 6);
+        let db = database_for_bundle(bundle, &config.all_specs());
+        assert_eq!(db.num_tables(), 6);
         // All indexes agree with the full-scan oracle on a few queries.
         for q in bundle.workload.queries().iter().step_by(7) {
             let expected = q.execute_full_scan(&bundle.data);
-            for idx in &indexes {
+            for table in db.tables() {
                 assert_eq!(
-                    idx.execute(q),
+                    table.execute(q).unwrap(),
                     expected,
                     "{} disagrees on {q:?}",
-                    idx.name()
+                    table.name()
                 );
             }
         }
         // Reports contain sane values.
-        for idx in &indexes {
-            let r = report(idx.as_ref(), &bundle.workload);
+        for table in db.tables() {
+            let r = report(table, &bundle.workload);
             assert!(r.avg_query_us > 0.0);
             assert!(r.throughput_qps > 0.0);
             assert!(r.avg_points_scanned <= bundle.data.len() as f64);
@@ -307,17 +300,18 @@ mod tests {
         };
         let bundles = DatasetBundle::standard(config.rows, config.queries_per_type, config.seed);
         let bundle = &bundles[1];
-        let indexes = build_all_indexes(&bundle.data, &bundle.workload, &config);
+        let db = database_for_bundle(bundle, &config.all_specs());
         for q in bundle.workload.queries().iter().step_by(5) {
-            for idx in &indexes {
+            for table in db.tables() {
+                let idx = table.index();
                 let (serial, serial_stats) = idx.execute_with_stats(q);
                 let (parallel, parallel_stats) = idx.execute_parallel(q, 4);
-                assert_eq!(serial, parallel, "{} result on {q:?}", idx.name());
+                assert_eq!(serial, parallel, "{} result on {q:?}", table.name());
                 assert_eq!(
                     serial_stats,
                     parallel_stats,
                     "{} counters on {q:?}",
-                    idx.name()
+                    table.name()
                 );
             }
         }
@@ -331,9 +325,9 @@ mod tests {
             seed: 8,
         };
         let bundles = DatasetBundle::standard(config.rows, config.queries_per_type, config.seed);
-        let learned = build_learned_indexes(&bundles[2].data, &bundles[2].workload, &config);
-        assert_eq!(learned.len(), 2);
-        assert_eq!(learned[0].name(), "Tsunami");
-        assert_eq!(learned[1].name(), "Flood");
+        let db = database_for_bundle(&bundles[2], &config.learned_specs());
+        assert_eq!(db.num_tables(), 2);
+        let names: Vec<&str> = db.tables().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["Tsunami", "Flood"]);
     }
 }

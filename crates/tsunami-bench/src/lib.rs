@@ -6,6 +6,11 @@
 //! (different hardware, synthetic data, laptop-scale sizes) but the *shape*
 //! of each result — which index wins, by roughly what factor, and where the
 //! crossovers fall — is what the experiments reproduce.
+//!
+//! All query-execution experiments run through the `tsunami-engine`
+//! `Database` facade: one table per index family, measured through table
+//! handles. `fig7sched` additionally sweeps the engine's concurrent query
+//! [`tsunami_engine::Scheduler`] (multi-client throughput, QPS vs workers).
 
 pub mod experiments;
 pub mod harness;

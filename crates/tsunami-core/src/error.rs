@@ -28,6 +28,28 @@ pub enum TsunamiError {
         /// Upper bound supplied.
         hi: u64,
     },
+    /// A predicate or aggregation referenced a dimension at or beyond the
+    /// dataset's width. Caught at the engine boundary so queries never
+    /// silently mis-scan (predicates on phantom dimensions) or panic.
+    DimensionOutOfBounds {
+        /// Dimension that was referenced.
+        dim: usize,
+        /// Number of dimensions the dataset actually has.
+        num_dims: usize,
+    },
+    /// A table name was not registered in the database.
+    UnknownTable(String),
+    /// A table with the same name is already registered.
+    DuplicateTable(String),
+    /// A column name was not found in the table's schema.
+    UnknownColumn(String),
+    /// The scheduler's bounded submission queue was full (backpressure).
+    SchedulerQueueFull,
+    /// The scheduler has shut down and no longer accepts queries.
+    SchedulerShutdown,
+    /// A query panicked on a scheduler worker; the panic was caught so the
+    /// pool keeps serving, and the payload message is preserved here.
+    QueryPanicked(String),
     /// A structural invariant was violated while building an index.
     Build(String),
     /// An invalid configuration value was supplied.
@@ -44,6 +66,24 @@ impl fmt::Display for TsunamiError {
             TsunamiError::EmptyWorkload => write!(f, "workload has no queries"),
             TsunamiError::InvalidPredicate { dim, lo, hi } => {
                 write!(f, "invalid predicate on dim {dim}: lo {lo} > hi {hi}")
+            }
+            TsunamiError::DimensionOutOfBounds { dim, num_dims } => {
+                write!(
+                    f,
+                    "dimension {dim} out of bounds for a {num_dims}-dimensional dataset"
+                )
+            }
+            TsunamiError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            TsunamiError::DuplicateTable(name) => {
+                write!(f, "table already registered: {name}")
+            }
+            TsunamiError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            TsunamiError::SchedulerQueueFull => {
+                write!(f, "scheduler queue is full (backpressure)")
+            }
+            TsunamiError::SchedulerShutdown => write!(f, "scheduler has shut down"),
+            TsunamiError::QueryPanicked(msg) => {
+                write!(f, "query panicked on a scheduler worker: {msg}")
             }
             TsunamiError::Build(msg) => write!(f, "index build error: {msg}"),
             TsunamiError::Config(msg) => write!(f, "invalid configuration: {msg}"),
@@ -81,6 +121,30 @@ mod tests {
             .to_string()
             .contains("bad"));
         assert!(TsunamiError::EmptyWorkload.to_string().contains("queries"));
+        let e = TsunamiError::DimensionOutOfBounds {
+            dim: 9,
+            num_dims: 3,
+        };
+        assert!(e.to_string().contains("dimension 9"));
+        assert!(e.to_string().contains("3-dimensional"));
+        assert!(TsunamiError::UnknownTable("trips".into())
+            .to_string()
+            .contains("trips"));
+        assert!(TsunamiError::DuplicateTable("trips".into())
+            .to_string()
+            .contains("already"));
+        assert!(TsunamiError::UnknownColumn("fare".into())
+            .to_string()
+            .contains("fare"));
+        assert!(TsunamiError::SchedulerQueueFull
+            .to_string()
+            .contains("full"));
+        assert!(TsunamiError::SchedulerShutdown
+            .to_string()
+            .contains("shut down"));
+        assert!(TsunamiError::QueryPanicked("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 
     #[test]

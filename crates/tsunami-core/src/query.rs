@@ -9,6 +9,8 @@
 //! A [`Query`] is a set of per-dimension inclusive range [`Predicate`]s plus an
 //! [`Aggregation`]. Equality filters are ranges with `lo == hi`.
 
+use std::fmt;
+
 use crate::dataset::{Dataset, Point, Value};
 use crate::error::{Result, TsunamiError};
 
@@ -97,10 +99,71 @@ pub enum AggResult {
 
 impl AggResult {
     /// Convenience accessor for `COUNT` results; panics for other variants.
+    #[deprecated(note = "panics on non-COUNT results; use `as_count()` instead")]
     pub fn count(&self) -> u64 {
         match self {
             AggResult::Count(c) => *c,
             other => panic!("expected Count result, got {other:?}"),
+        }
+    }
+
+    /// The `COUNT` value, or `None` for other variants.
+    pub fn as_count(&self) -> Option<u64> {
+        match self {
+            AggResult::Count(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The `SUM` value, or `None` for other variants.
+    pub fn as_sum(&self) -> Option<u128> {
+        match self {
+            AggResult::Sum(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// The `MIN` value, or `None` for other variants. The inner `Option` is
+    /// `None` when no record matched the query.
+    pub fn as_min(&self) -> Option<Option<Value>> {
+        match self {
+            AggResult::Min(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// The `MAX` value, or `None` for other variants. The inner `Option` is
+    /// `None` when no record matched the query.
+    pub fn as_max(&self) -> Option<Option<Value>> {
+        match self {
+            AggResult::Max(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// The `AVG` value, or `None` for other variants. The inner `Option` is
+    /// `None` when no record matched the query.
+    pub fn as_avg(&self) -> Option<Option<f64>> {
+        match self {
+            AggResult::Avg(a) => Some(*a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggResult {
+    /// Renders the result as `KIND=value`, with `NULL` for aggregations over
+    /// zero matching records (e.g. `COUNT=42`, `MIN=NULL`, `AVG=3.5`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggResult::Count(c) => write!(f, "COUNT={c}"),
+            AggResult::Sum(s) => write!(f, "SUM={s}"),
+            AggResult::Min(Some(v)) => write!(f, "MIN={v}"),
+            AggResult::Min(None) => write!(f, "MIN=NULL"),
+            AggResult::Max(Some(v)) => write!(f, "MAX={v}"),
+            AggResult::Max(None) => write!(f, "MAX=NULL"),
+            AggResult::Avg(Some(a)) => write!(f, "AVG={a}"),
+            AggResult::Avg(None) => write!(f, "AVG=NULL"),
         }
     }
 }
@@ -283,6 +346,32 @@ impl Query {
         self.aggregation
     }
 
+    /// Validates that every predicate dimension and the aggregation's input
+    /// dimension fall inside a `num_dims`-dimensional dataset.
+    ///
+    /// `Query` itself is dataset-agnostic (it can be built before any table
+    /// exists), so this is the boundary check engine paths run before
+    /// executing: it turns the out-of-bounds cases that scan paths would
+    /// otherwise silently treat as non-matching (see [`Query::matches_point`])
+    /// or panic on (aggregation input column lookups) into
+    /// [`TsunamiError::DimensionOutOfBounds`].
+    pub fn validate_dims(&self, num_dims: usize) -> Result<()> {
+        for p in &self.predicates {
+            if p.dim >= num_dims {
+                return Err(TsunamiError::DimensionOutOfBounds {
+                    dim: p.dim,
+                    num_dims,
+                });
+            }
+        }
+        if let Some(dim) = self.aggregation.input_dim() {
+            if dim >= num_dims {
+                return Err(TsunamiError::DimensionOutOfBounds { dim, num_dims });
+            }
+        }
+        Ok(())
+    }
+
     /// The predicate on a particular dimension, if the query filters it.
     pub fn predicate_on(&self, dim: usize) -> Option<&Predicate> {
         self.predicates.iter().find(|p| p.dim == dim)
@@ -299,6 +388,11 @@ impl Query {
     }
 
     /// Whether a point satisfies every predicate.
+    ///
+    /// A predicate on a dimension the point does not have never matches.
+    /// Callers that want such queries rejected instead of silently returning
+    /// empty results should run [`Query::validate_dims`] first (the engine
+    /// facade does this for every query it prepares).
     #[inline]
     pub fn matches_point(&self, point: &[Value]) -> bool {
         self.predicates
@@ -597,6 +691,60 @@ mod tests {
 
     #[test]
     fn agg_result_count_accessor() {
-        assert_eq!(AggResult::Count(7).count(), 7);
+        // The deprecated panicking shim still works for old callers.
+        #[allow(deprecated)]
+        let c = AggResult::Count(7).count();
+        assert_eq!(c, 7);
+    }
+
+    #[test]
+    fn agg_result_non_panicking_accessors() {
+        assert_eq!(AggResult::Count(7).as_count(), Some(7));
+        assert_eq!(AggResult::Sum(9).as_count(), None);
+        assert_eq!(AggResult::Sum(9).as_sum(), Some(9));
+        assert_eq!(AggResult::Count(7).as_sum(), None);
+        assert_eq!(AggResult::Min(Some(3)).as_min(), Some(Some(3)));
+        assert_eq!(AggResult::Min(None).as_min(), Some(None));
+        assert_eq!(AggResult::Count(7).as_min(), None);
+        assert_eq!(AggResult::Max(Some(5)).as_max(), Some(Some(5)));
+        assert_eq!(AggResult::Count(7).as_max(), None);
+        assert_eq!(AggResult::Avg(Some(1.5)).as_avg(), Some(Some(1.5)));
+        assert_eq!(AggResult::Sum(9).as_avg(), None);
+    }
+
+    #[test]
+    fn agg_result_display() {
+        assert_eq!(AggResult::Count(42).to_string(), "COUNT=42");
+        assert_eq!(AggResult::Sum(123).to_string(), "SUM=123");
+        assert_eq!(AggResult::Min(Some(17)).to_string(), "MIN=17");
+        assert_eq!(AggResult::Min(None).to_string(), "MIN=NULL");
+        assert_eq!(AggResult::Max(Some(9)).to_string(), "MAX=9");
+        assert_eq!(AggResult::Avg(Some(3.5)).to_string(), "AVG=3.5");
+        assert_eq!(AggResult::Avg(None).to_string(), "AVG=NULL");
+    }
+
+    #[test]
+    fn validate_dims_catches_out_of_bounds_references() {
+        let q = Query::count(vec![Predicate::range(0, 2, 5).unwrap()]).unwrap();
+        assert!(q.validate_dims(1).is_ok());
+
+        let q = Query::count(vec![Predicate::range(3, 2, 5).unwrap()]).unwrap();
+        assert_eq!(
+            q.validate_dims(2),
+            Err(TsunamiError::DimensionOutOfBounds {
+                dim: 3,
+                num_dims: 2
+            })
+        );
+
+        let q = Query::new(vec![], Aggregation::Sum(5)).unwrap();
+        assert_eq!(
+            q.validate_dims(4),
+            Err(TsunamiError::DimensionOutOfBounds {
+                dim: 5,
+                num_dims: 4
+            })
+        );
+        assert!(q.validate_dims(6).is_ok());
     }
 }

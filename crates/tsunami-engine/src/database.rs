@@ -1,0 +1,350 @@
+//! The [`Database`] facade: named tables over built indexes.
+//!
+//! This is the front door the ROADMAP's serving-scale items plug into: it
+//! owns the catalog of tables (each a dataset + schema + one index built from
+//! an [`IndexSpec`]), validates every query at the boundary, and hands out
+//! cheap [`Table`] handles that the [`crate::Scheduler`]'s workers share.
+
+use std::sync::Arc;
+
+use tsunami_core::{CostModel, Dataset, Result, TsunamiError, Workload};
+
+use crate::schema::Schema;
+use crate::spec::{IndexSpec, SharedIndex};
+use crate::table::Table;
+
+/// A catalog of named, indexed tables. Registration order is preserved for
+/// iteration (benchmark output stays deterministic).
+pub struct Database {
+    tables: Vec<Table>,
+    cost: CostModel,
+}
+
+impl Database {
+    /// Creates an empty database with the default analytic cost model.
+    pub fn new() -> Self {
+        Self::with_cost_model(CostModel::default())
+    }
+
+    /// Creates an empty database using a specific cost model for all index
+    /// builds (e.g. [`CostModel::calibrate`]d to the host).
+    pub fn with_cost_model(cost: CostModel) -> Self {
+        Self {
+            tables: Vec::new(),
+            cost,
+        }
+    }
+
+    /// The cost model used for index builds.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Registers a table: names the dataset's columns, builds the index
+    /// described by `spec` optimized for the sample `workload`, and returns a
+    /// handle. The schema's width must match the dataset's and the name must
+    /// be unused. `data` accepts either an owned [`Dataset`] or an
+    /// `Arc<Dataset>` — pass an `Arc` clone to register the same data under
+    /// several index families without copying it per table.
+    pub fn create_table<S: Into<String> + Clone>(
+        &mut self,
+        name: &str,
+        columns: &[S],
+        data: impl Into<Arc<Dataset>>,
+        workload: &Workload,
+        spec: &IndexSpec,
+    ) -> Result<Table> {
+        let data = data.into();
+        let schema = Schema::new(columns.to_vec())?;
+        let index = self.build_index(&schema, &data, workload, spec)?;
+        self.register(name, schema, data, index)
+    }
+
+    /// Like [`Database::create_table`] with auto-generated `col0..colN`
+    /// column names.
+    pub fn create_table_unnamed(
+        &mut self,
+        name: &str,
+        data: impl Into<Arc<Dataset>>,
+        workload: &Workload,
+        spec: &IndexSpec,
+    ) -> Result<Table> {
+        let data = data.into();
+        let schema = Schema::numbered(data.num_dims());
+        let index = self.build_index(&schema, &data, workload, spec)?;
+        self.register(name, schema, data, index)
+    }
+
+    /// Registers a table around an already-built index (escape hatch for
+    /// custom index construction).
+    pub fn register_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        data: impl Into<Arc<Dataset>>,
+        index: SharedIndex,
+    ) -> Result<Table> {
+        let data = data.into();
+        if schema.num_columns() != data.num_dims() {
+            return Err(TsunamiError::DimensionMismatch {
+                expected: data.num_dims(),
+                got: schema.num_columns(),
+            });
+        }
+        self.register(name, schema, data, index)
+    }
+
+    fn build_index(
+        &self,
+        schema: &Schema,
+        data: &Dataset,
+        workload: &Workload,
+        spec: &IndexSpec,
+    ) -> Result<SharedIndex> {
+        if schema.num_columns() != data.num_dims() {
+            return Err(TsunamiError::DimensionMismatch {
+                expected: data.num_dims(),
+                got: schema.num_columns(),
+            });
+        }
+        for q in workload.queries() {
+            q.validate_dims(data.num_dims())?;
+        }
+        spec.build(data, workload, &self.cost)
+    }
+
+    fn register(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        data: Arc<Dataset>,
+        index: SharedIndex,
+    ) -> Result<Table> {
+        if self.tables.iter().any(|t| t.name() == name) {
+            return Err(TsunamiError::DuplicateTable(name.to_string()));
+        }
+        let table = Table::new(name.to_string(), schema, data, index);
+        self.tables.push(table.clone());
+        Ok(table)
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Result<Table> {
+        self.tables
+            .iter()
+            .find(|t| t.name() == name)
+            .cloned()
+            .ok_or_else(|| TsunamiError::UnknownTable(name.to_string()))
+    }
+
+    /// All registered tables, in registration order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.iter()
+    }
+
+    /// Number of registered tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Drops a table from the catalog. Outstanding handles and prepared
+    /// queries keep working (the state is shared by `Arc`); only the name
+    /// becomes free.
+    pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        match self.tables.iter().position(|t| t.name() == name) {
+            Some(i) => Ok(self.tables.remove(i)),
+            None => Err(TsunamiError::UnknownTable(name.to_string())),
+        }
+    }
+
+    /// Rebuilds a table's index for a new workload (the paper's workload-
+    /// shift scenario, Fig 9a): same name, same schema, same data, fresh
+    /// layout, same position in the catalog's iteration order. Returns the
+    /// new handle; old handles keep answering through the stale layout until
+    /// dropped. On failure the catalog is unchanged.
+    pub fn reindex(&mut self, name: &str, workload: &Workload, spec: &IndexSpec) -> Result<Table> {
+        let pos = self
+            .tables
+            .iter()
+            .position(|t| t.name() == name)
+            .ok_or_else(|| TsunamiError::UnknownTable(name.to_string()))?;
+        let old = &self.tables[pos];
+        let schema = old.schema().clone();
+        // Shares the dataset with the old table; only the index is rebuilt.
+        let data = Arc::clone(&old.state.data);
+        let index = self.build_index(&schema, &data, workload, spec)?;
+        let table = Table::new(name.to_string(), schema, data, index);
+        self.tables[pos] = table.clone();
+        Ok(table)
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsunami_core::{Aggregation, Predicate, Query};
+
+    fn data() -> Dataset {
+        Dataset::from_columns(vec![
+            (0..1_000u64).collect(),
+            (0..1_000u64).map(|v| v * 2).collect(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn create_lookup_and_query_roundtrip() {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "orders",
+                &["id", "price"],
+                data(),
+                &Workload::default(),
+                &IndexSpec::FullScan,
+            )
+            .unwrap();
+        assert_eq!(t.name(), "orders");
+        assert_eq!(db.num_tables(), 1);
+
+        let r = db
+            .table("orders")
+            .unwrap()
+            .query()
+            .range("id", 10, 19)
+            .unwrap()
+            .execute()
+            .unwrap();
+        assert_eq!(r.as_count(), Some(10));
+
+        assert_eq!(
+            db.table("nope").err(),
+            Some(TsunamiError::UnknownTable("nope".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_and_mismatched_registrations_are_rejected() {
+        let mut db = Database::new();
+        db.create_table_unnamed("t", data(), &Workload::default(), &IndexSpec::FullScan)
+            .unwrap();
+        assert_eq!(
+            db.create_table_unnamed("t", data(), &Workload::default(), &IndexSpec::FullScan)
+                .err(),
+            Some(TsunamiError::DuplicateTable("t".into()))
+        );
+        // Schema width must match the dataset.
+        assert!(matches!(
+            db.create_table(
+                "u",
+                &["only_one"],
+                data(),
+                &Workload::default(),
+                &IndexSpec::FullScan
+            )
+            .err(),
+            Some(TsunamiError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn boundary_validation_rejects_out_of_bounds_queries() {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "t",
+                &["a", "b"],
+                data(),
+                &Workload::default(),
+                &IndexSpec::FullScan,
+            )
+            .unwrap();
+
+        // Hand-assembled query with a phantom predicate dimension.
+        let q = Query::count(vec![Predicate::range(7, 0, 10).unwrap()]).unwrap();
+        assert_eq!(
+            t.execute(&q).err(),
+            Some(TsunamiError::DimensionOutOfBounds {
+                dim: 7,
+                num_dims: 2
+            })
+        );
+        // ... and with an out-of-bounds aggregation input.
+        let q = Query::new(vec![], Aggregation::Sum(4)).unwrap();
+        assert_eq!(
+            t.prepare(q).err(),
+            Some(TsunamiError::DimensionOutOfBounds {
+                dim: 4,
+                num_dims: 2
+            })
+        );
+        // The builder can't even express those: unknown names fail earlier.
+        assert_eq!(
+            t.query().range("zzz", 0, 1).err(),
+            Some(TsunamiError::UnknownColumn("zzz".into()))
+        );
+        assert_eq!(
+            t.query().sum(9usize).err(),
+            Some(TsunamiError::DimensionOutOfBounds {
+                dim: 9,
+                num_dims: 2
+            })
+        );
+        // A workload containing an out-of-bounds query is rejected at build.
+        let bad = Workload::new(vec![
+            Query::count(vec![Predicate::range(5, 0, 1).unwrap()]).unwrap()
+        ]);
+        assert_eq!(
+            db.create_table_unnamed("v", data(), &bad, &IndexSpec::FullScan)
+                .err(),
+            Some(TsunamiError::DimensionOutOfBounds {
+                dim: 5,
+                num_dims: 2
+            })
+        );
+    }
+
+    #[test]
+    fn drop_and_reindex_manage_the_catalog() {
+        let mut db = Database::new();
+        db.create_table_unnamed("t", data(), &Workload::default(), &IndexSpec::FullScan)
+            .unwrap();
+        db.create_table_unnamed("u", data(), &Workload::default(), &IndexSpec::FullScan)
+            .unwrap();
+        let old = db.table("t").unwrap();
+
+        let reindexed = db
+            .reindex("t", &Workload::default(), &IndexSpec::SingleDim)
+            .unwrap();
+        assert_eq!(db.num_tables(), 2);
+        // Reindexing keeps the catalog's registration order.
+        let names: Vec<&str> = db.tables().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["t", "u"]);
+        db.drop_table("u").unwrap();
+        assert_eq!(reindexed.index().name(), "SingleDim");
+        // The old handle still answers through the stale index.
+        let q = Query::count(vec![Predicate::range(0, 0, 9).unwrap()]).unwrap();
+        assert_eq!(old.execute(&q).unwrap(), reindexed.execute(&q).unwrap());
+
+        db.drop_table("t").unwrap();
+        assert_eq!(db.num_tables(), 0);
+        assert!(db.drop_table("t").is_err());
+        assert!(db
+            .reindex("t", &Workload::default(), &IndexSpec::FullScan)
+            .is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! The `tsunami-engine` front-end: a database facade, fluent query builder,
+//! and concurrent query scheduler over the Tsunami index family.
+//!
+//! The lower crates expose kernels: datasets, indexes, and a shared scan
+//! executor. This crate is the shape consumers actually program against:
+//!
+//! * [`Database`] — registers named tables (a [`tsunami_core::Dataset`] +
+//!   [`Schema`] + one index built from an [`IndexSpec`], which covers every
+//!   index family in the workspace) and validates all queries at the
+//!   boundary.
+//! * [`QueryBuilder`] — fluent, schema-aware query construction:
+//!   `db.table("trips")?.query().range("pickup", lo, hi)?.sum("fare")?
+//!   .execute()?`. Unknown columns and out-of-bounds dimensions are errors,
+//!   not silent mis-scans.
+//! * [`PreparedQuery`] — a validated (table, query) pair that executes
+//!   infallibly, any number of times, from any thread.
+//! * [`Scheduler`] — a worker pool running many independent queries
+//!   concurrently over the `Sync` stores (inter-query parallelism), with
+//!   batch execution and a bounded submit/poll queue with backpressure.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tsunami_core::{Dataset, Predicate, Query, Workload};
+//! use tsunami_engine::{Database, IndexSpec, Scheduler};
+//!
+//! // A tiny 2-d table with a correlated second column.
+//! let n = 2_000u64;
+//! let data = Dataset::from_columns(vec![
+//!     (0..n).collect(),
+//!     (0..n).map(|v| v * 2 + (v % 7)).collect(),
+//! ])
+//! .unwrap();
+//! let workload = Workload::new(
+//!     (0..20u64)
+//!         .map(|i| Query::count(vec![Predicate::range(0, i * 50, i * 50 + 200).unwrap()]).unwrap())
+//!         .collect(),
+//! );
+//!
+//! let mut db = Database::new();
+//! db.create_table("orders", &["id", "price"], data, &workload, &IndexSpec::tsunami())?;
+//!
+//! // Fluent, schema-validated queries.
+//! let trips = db.table("orders")?;
+//! let r = trips.query().range("id", 100, 299)?.execute()?;
+//! assert_eq!(r.as_count(), Some(200));
+//!
+//! // Concurrent execution of many independent queries.
+//! let queries = trips.prepare_workload(&workload)?;
+//! let scheduler = Scheduler::new(4);
+//! let results = scheduler.execute_batch(&queries)?;
+//! assert_eq!(results.len(), queries.len());
+//! # Ok::<(), tsunami_core::TsunamiError>(())
+//! ```
+
+pub mod builder;
+pub mod database;
+pub mod prepared;
+pub mod scheduler;
+pub mod schema;
+pub mod spec;
+pub mod table;
+
+pub use builder::QueryBuilder;
+pub use database::Database;
+pub use prepared::PreparedQuery;
+pub use scheduler::{QueryHandle, Scheduler};
+pub use schema::{ColumnRef, Schema};
+pub use spec::{IndexSpec, PageSize, SharedIndex};
+pub use table::Table;

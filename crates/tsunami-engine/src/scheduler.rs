@@ -1,0 +1,431 @@
+//! The concurrent query scheduler: a worker pool executing many independent
+//! prepared queries over the `Sync` column stores.
+//!
+//! This complements the intra-query parallel executor (`exec::
+//! execute_plan_parallel`, which splits *one* query's scan plan across
+//! threads) with *inter-query* parallelism: many small queries in flight at
+//! once, which is how serving-scale traffic actually arrives. Queries carry
+//! their table handle ([`PreparedQuery`]), so one scheduler serves every
+//! table in a database.
+//!
+//! Two submission APIs:
+//!
+//! * [`Scheduler::execute_batch`] — run a batch, results in input order.
+//! * [`Scheduler::submit`] / [`Scheduler::try_submit`] — enqueue one query
+//!   and get a [`QueryHandle`] to `poll`/`wait` on. The queue is bounded:
+//!   `submit` blocks when full (backpressure), `try_submit` returns
+//!   [`TsunamiError::SchedulerQueueFull`] instead.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use tsunami_core::{AggResult, IndexStats, Result, TsunamiError};
+
+use crate::prepared::PreparedQuery;
+
+/// What a worker writes into a completion slot: the result and counters, or
+/// the caught panic payload of a query that blew up mid-execution.
+type Outcome = std::result::Result<(AggResult, IndexStats), String>;
+
+/// Completion slot shared between a worker and the submitter's handle.
+struct Slot {
+    result: Mutex<Option<Outcome>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, value: Outcome) {
+        *self.result.lock().unwrap() = Some(value);
+        self.done.notify_all();
+    }
+}
+
+/// A handle to one submitted query. Obtained from [`Scheduler::submit`];
+/// poll for completion or block until the result is ready. A query that
+/// panicked on its worker resolves to [`TsunamiError::QueryPanicked`]
+/// instead of hanging the waiter.
+pub struct QueryHandle {
+    slot: Arc<Slot>,
+}
+
+impl QueryHandle {
+    /// Non-blocking: the query's outcome if it has finished, `None` if it is
+    /// still queued or running.
+    pub fn poll(&self) -> Option<Result<AggResult>> {
+        self.outcome().map(to_result)
+    }
+
+    /// Whether the query has finished.
+    pub fn is_done(&self) -> bool {
+        self.outcome().is_some()
+    }
+
+    /// Blocks until the query finishes and returns its result.
+    pub fn wait(&self) -> Result<AggResult> {
+        self.wait_with_stats().map(|(r, _)| r)
+    }
+
+    /// Blocks until the query finishes; returns result plus scan counters.
+    pub fn wait_with_stats(&self) -> Result<(AggResult, IndexStats)> {
+        let mut guard = self.slot.result.lock().unwrap();
+        loop {
+            if let Some(outcome) = guard.clone() {
+                return outcome.map_err(TsunamiError::QueryPanicked);
+            }
+            guard = self.slot.done.wait(guard).unwrap();
+        }
+    }
+}
+
+fn to_result(outcome: Outcome) -> Result<AggResult> {
+    outcome.map(|(r, _)| r).map_err(TsunamiError::QueryPanicked)
+}
+
+// Private accessor used by poll/is_done (kept out of the public surface).
+impl QueryHandle {
+    fn outcome(&self) -> Option<Outcome> {
+        self.slot.result.lock().unwrap().clone()
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<(PreparedQuery, Arc<Slot>)>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signals workers that a job (or shutdown) is available.
+    job_ready: Condvar,
+    /// Signals blocked submitters that queue space freed up.
+    space_ready: Condvar,
+    capacity: usize,
+    completed: AtomicU64,
+}
+
+/// A fixed-size pool of worker threads draining a bounded query queue.
+/// Dropping the scheduler finishes all queued queries, then joins the
+/// workers.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Default queue capacity per worker used by [`Scheduler::new`].
+    pub const DEFAULT_QUEUE_PER_WORKER: usize = 64;
+
+    /// Creates a scheduler with `workers` threads (clamped to at least one)
+    /// and a queue of `workers * DEFAULT_QUEUE_PER_WORKER` slots.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self::with_queue_capacity(workers, workers * Self::DEFAULT_QUEUE_PER_WORKER)
+    }
+
+    /// Creates a scheduler with an explicit queue capacity (clamped to at
+    /// least one slot). Smaller capacities apply backpressure sooner.
+    pub fn with_queue_capacity(workers: usize, capacity: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            capacity: capacity.max(1),
+            completed: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue capacity (maximum queries awaiting a worker).
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Total queries completed since the scheduler started.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues a query, blocking while the queue is full (backpressure).
+    pub fn submit(&self, query: PreparedQuery) -> Result<QueryHandle> {
+        self.enqueue(query, true)
+    }
+
+    /// Enqueues a query without blocking; fails with
+    /// [`TsunamiError::SchedulerQueueFull`] when the queue is at capacity.
+    pub fn try_submit(&self, query: PreparedQuery) -> Result<QueryHandle> {
+        self.enqueue(query, false)
+    }
+
+    fn enqueue(&self, query: PreparedQuery, block: bool) -> Result<QueryHandle> {
+        let mut state = self.shared.state.lock().unwrap();
+        while state.jobs.len() >= self.shared.capacity {
+            if state.shutdown {
+                return Err(TsunamiError::SchedulerShutdown);
+            }
+            if !block {
+                return Err(TsunamiError::SchedulerQueueFull);
+            }
+            state = self.shared.space_ready.wait(state).unwrap();
+        }
+        if state.shutdown {
+            return Err(TsunamiError::SchedulerShutdown);
+        }
+        let slot = Slot::new();
+        state.jobs.push_back((query, Arc::clone(&slot)));
+        drop(state);
+        self.shared.job_ready.notify_one();
+        Ok(QueryHandle { slot })
+    }
+
+    /// Executes a batch of queries across the pool and returns their results
+    /// in input order. Submission applies the same backpressure as
+    /// [`Scheduler::submit`]; a query that panicked surfaces as an error.
+    pub fn execute_batch(&self, queries: &[PreparedQuery]) -> Result<Vec<AggResult>> {
+        let handles: Vec<QueryHandle> = queries
+            .iter()
+            .map(|q| self.submit(q.clone()))
+            .collect::<Result<_>>()?;
+        handles.iter().map(QueryHandle::wait).collect()
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.job_ready.wait(state).unwrap();
+            }
+        };
+        // A slot freed up; wake one blocked submitter.
+        shared.space_ready.notify_one();
+        let (query, slot) = job;
+        // Catch panics so a poisoned query can neither hang its waiter (the
+        // slot always gets filled) nor kill the worker thread.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| query.execute_with_stats()))
+                .map_err(|payload| {
+                    payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string())
+                });
+        // Count before filling: once `fill` wakes a waiter, the query must
+        // already be visible in `completed()`.
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        slot.fill(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::spec::IndexSpec;
+    use tsunami_core::{Dataset, Workload};
+
+    fn table() -> crate::table::Table {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            &["a", "b"],
+            Dataset::from_columns(vec![
+                (0..5_000u64).collect(),
+                (0..5_000u64).map(|v| v % 97).collect(),
+            ])
+            .unwrap(),
+            &Workload::default(),
+            &IndexSpec::FullScan,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_results_match_serial_execution_in_order() {
+        let t = table();
+        let queries: Vec<_> = (0..40u64)
+            .map(|i| {
+                t.query()
+                    .range("a", i * 100, i * 100 + 500)
+                    .unwrap()
+                    .sum("b")
+                    .unwrap()
+                    .prepare()
+                    .unwrap()
+            })
+            .collect();
+        let scheduler = Scheduler::new(4);
+        let parallel = scheduler.execute_batch(&queries).unwrap();
+        let serial: Vec<_> = queries.iter().map(|q| q.execute()).collect();
+        assert_eq!(parallel, serial);
+        assert_eq!(scheduler.completed(), 40);
+    }
+
+    #[test]
+    fn submit_poll_wait_lifecycle() {
+        let t = table();
+        let q = t.query().range("a", 0, 999).unwrap().prepare().unwrap();
+        let scheduler = Scheduler::new(2);
+        let handle = scheduler.submit(q.clone()).unwrap();
+        let result = handle.wait().unwrap();
+        assert_eq!(result.as_count(), Some(1_000));
+        assert!(handle.is_done());
+        assert_eq!(handle.poll().unwrap().unwrap(), result);
+        // wait() is idempotent.
+        assert_eq!(handle.wait().unwrap(), result);
+    }
+
+    #[test]
+    fn worker_panics_surface_as_errors_and_do_not_hang_the_pool() {
+        use tsunami_core::exec::{ScanPlan, ScanSource};
+        use tsunami_core::{BuildTiming, Dataset, MultiDimIndex, Query};
+
+        /// An index whose planner panics — stands in for any internal
+        /// invariant failure during query execution.
+        struct Exploding {
+            data: Dataset,
+        }
+        impl MultiDimIndex for Exploding {
+            fn name(&self) -> &str {
+                "Exploding"
+            }
+            fn source(&self) -> &dyn ScanSource {
+                &self.data
+            }
+            fn plan(&self, _query: &Query) -> ScanPlan {
+                panic!("invariant violated")
+            }
+            fn size_bytes(&self) -> usize {
+                0
+            }
+            fn build_timing(&self) -> BuildTiming {
+                BuildTiming::default()
+            }
+        }
+
+        let data = Dataset::from_columns(vec![(0..100u64).collect()]).unwrap();
+        let mut db = Database::new();
+        let bad = db
+            .register_table(
+                "bad",
+                crate::schema::Schema::numbered(1),
+                data.clone(),
+                Box::new(Exploding { data }),
+            )
+            .unwrap();
+        let good = table();
+
+        let scheduler = Scheduler::new(2);
+        let bad_handle = scheduler.submit(bad.query().prepare().unwrap()).unwrap();
+        match bad_handle.wait() {
+            Err(TsunamiError::QueryPanicked(msg)) => assert!(msg.contains("invariant")),
+            other => panic!("expected QueryPanicked, got {other:?}"),
+        }
+        assert!(bad_handle.is_done());
+        assert!(bad_handle.poll().unwrap().is_err());
+
+        // The pool keeps serving after the panic.
+        let q = good.query().range("a", 0, 9).unwrap().prepare().unwrap();
+        for _ in 0..8 {
+            let h = scheduler.submit(q.clone()).unwrap();
+            assert_eq!(h.wait().unwrap().as_count(), Some(10));
+        }
+        // execute_batch propagates the panic as an error, not a hang.
+        let batch = vec![q.clone(), bad.query().prepare().unwrap(), q];
+        assert!(matches!(
+            scheduler.execute_batch(&batch),
+            Err(TsunamiError::QueryPanicked(_))
+        ));
+    }
+
+    #[test]
+    fn try_submit_applies_backpressure_when_the_queue_is_full() {
+        let t = table();
+        let q = t.query().prepare().unwrap();
+        // One worker, one queue slot; park the worker on a first job by
+        // filling the queue faster than one thread can drain... Instead,
+        // deterministically: capacity 1 and submit without any worker being
+        // able to keep up is racy, so just check the error surfaces when we
+        // flood a tiny queue.
+        let scheduler = Scheduler::with_queue_capacity(1, 1);
+        let mut saw_full = false;
+        let mut handles = Vec::new();
+        for _ in 0..10_000 {
+            match scheduler.try_submit(q.clone()) {
+                Ok(h) => handles.push(h),
+                Err(TsunamiError::SchedulerQueueFull) => {
+                    saw_full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(saw_full, "a 1-slot queue never reported backpressure");
+        for h in &handles {
+            h.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_finishes_queued_work() {
+        let t = table();
+        let q = t.query().range("a", 0, 99).unwrap().prepare().unwrap();
+        let scheduler = Scheduler::new(2);
+        let handles: Vec<_> = (0..16)
+            .map(|_| scheduler.submit(q.clone()).unwrap())
+            .collect();
+        drop(scheduler);
+        // Every queued query still completed before the workers exited.
+        for h in handles {
+            assert_eq!(h.wait().unwrap().as_count(), Some(100));
+        }
+    }
+}

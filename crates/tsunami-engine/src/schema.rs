@@ -1,0 +1,154 @@
+//! Named columns for a table, and the column-reference trait the fluent
+//! query builder accepts.
+//!
+//! Every dimension of a [`tsunami_core::Dataset`] is an anonymous `u64`
+//! column; a [`Schema`] gives each one a name so queries can be written
+//! against `"pickup_time"` instead of dimension `0`, with unknown names
+//! rejected at the API boundary instead of silently scanning the wrong
+//! column.
+
+use tsunami_core::{Result, TsunamiError};
+
+/// An ordered list of unique column names, index-aligned with the dataset's
+/// dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from column names. Names must be non-empty and
+    /// unique.
+    pub fn new<S: Into<String>>(columns: Vec<S>) -> Result<Self> {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        if columns.is_empty() {
+            return Err(TsunamiError::Config(
+                "schema needs at least one column".into(),
+            ));
+        }
+        for (i, name) in columns.iter().enumerate() {
+            if name.is_empty() {
+                return Err(TsunamiError::Config(format!(
+                    "column {i} has an empty name"
+                )));
+            }
+            if columns[..i].contains(name) {
+                return Err(TsunamiError::Config(format!(
+                    "duplicate column name: {name}"
+                )));
+            }
+        }
+        Ok(Self { columns })
+    }
+
+    /// A fallback schema naming `width` columns `col0`, `col1`, ... — used
+    /// when a table is registered without explicit names.
+    pub fn numbered(width: usize) -> Self {
+        Self {
+            columns: (0..width).map(|d| format!("col{d}")).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The dimension index of a named column.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| TsunamiError::UnknownColumn(name.to_string()))
+    }
+
+    /// The name of a dimension, if it exists.
+    pub fn column_name(&self, dim: usize) -> Option<&str> {
+        self.columns.get(dim).map(String::as_str)
+    }
+
+    /// All column names in dimension order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(String::as_str)
+    }
+}
+
+/// Anything the query builder accepts as a column reference: a schema name
+/// (`"fare"`) or a raw dimension index (`3`).
+pub trait ColumnRef {
+    /// Resolves the reference to a dimension index against a schema,
+    /// validating that the dimension exists.
+    fn resolve(&self, schema: &Schema) -> Result<usize>;
+}
+
+impl ColumnRef for &str {
+    fn resolve(&self, schema: &Schema) -> Result<usize> {
+        schema.column_index(self)
+    }
+}
+
+impl ColumnRef for String {
+    fn resolve(&self, schema: &Schema) -> Result<usize> {
+        schema.column_index(self)
+    }
+}
+
+impl ColumnRef for usize {
+    fn resolve(&self, schema: &Schema) -> Result<usize> {
+        if *self >= schema.num_columns() {
+            return Err(TsunamiError::DimensionOutOfBounds {
+                dim: *self,
+                num_dims: schema.num_columns(),
+            });
+        }
+        Ok(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_resolves_names_and_rejects_unknowns() {
+        let s = Schema::new(vec!["time", "fare"]).unwrap();
+        assert_eq!(s.num_columns(), 2);
+        assert_eq!(s.column_index("fare").unwrap(), 1);
+        assert_eq!(s.column_name(0), Some("time"));
+        assert_eq!(s.column_name(2), None);
+        assert_eq!(
+            s.column_index("tip"),
+            Err(TsunamiError::UnknownColumn("tip".into()))
+        );
+        assert_eq!(s.column_names().collect::<Vec<_>>(), vec!["time", "fare"]);
+    }
+
+    #[test]
+    fn schema_rejects_bad_shapes() {
+        assert!(Schema::new(Vec::<String>::new()).is_err());
+        assert!(Schema::new(vec!["a", ""]).is_err());
+        assert!(Schema::new(vec!["a", "b", "a"]).is_err());
+    }
+
+    #[test]
+    fn numbered_schema_names_every_dimension() {
+        let s = Schema::numbered(3);
+        assert_eq!(s.column_index("col2").unwrap(), 2);
+        assert_eq!(s.num_columns(), 3);
+    }
+
+    #[test]
+    fn column_refs_resolve_names_and_indexes() {
+        let s = Schema::new(vec!["a", "b"]).unwrap();
+        assert_eq!("b".resolve(&s).unwrap(), 1);
+        assert_eq!(String::from("a").resolve(&s).unwrap(), 0);
+        assert_eq!(1usize.resolve(&s).unwrap(), 1);
+        assert_eq!(
+            2usize.resolve(&s),
+            Err(TsunamiError::DimensionOutOfBounds {
+                dim: 2,
+                num_dims: 2
+            })
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! A registered table: named, schema-carrying, and backed by one built
+//! index. Cheaply cloneable so prepared queries and scheduler workers can
+//! share it across threads.
+
+use std::sync::Arc;
+
+use tsunami_core::{AggResult, Dataset, IndexStats, MultiDimIndex, Query, Result, Workload};
+
+use crate::builder::QueryBuilder;
+use crate::prepared::PreparedQuery;
+use crate::schema::Schema;
+use crate::spec::SharedIndex;
+
+/// Immutable table state shared between the database, prepared queries, and
+/// scheduler workers. The logical dataset is held by `Arc` so registering
+/// the same data under several index families (the benchmark pattern)
+/// shares one copy instead of deep-cloning per table.
+pub(crate) struct TableState {
+    pub(crate) name: String,
+    pub(crate) schema: Schema,
+    pub(crate) data: Arc<Dataset>,
+    pub(crate) index: SharedIndex,
+}
+
+/// A handle to a registered table. Cloning is cheap (`Arc`); all query
+/// execution goes through the immutable built index, so handles can be used
+/// freely from many threads at once.
+#[derive(Clone)]
+pub struct Table {
+    pub(crate) state: Arc<TableState>,
+}
+
+impl Table {
+    pub(crate) fn new(
+        name: String,
+        schema: Schema,
+        data: Arc<Dataset>,
+        index: SharedIndex,
+    ) -> Self {
+        Self {
+            state: Arc::new(TableState {
+                name,
+                schema,
+                data,
+                index,
+            }),
+        }
+    }
+
+    /// The table's registered name.
+    pub fn name(&self) -> &str {
+        &self.state.name
+    }
+
+    /// The table's column schema.
+    pub fn schema(&self) -> &Schema {
+        &self.state.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.state.data.len()
+    }
+
+    /// Number of columns (dimensions).
+    pub fn num_columns(&self) -> usize {
+        self.state.data.num_dims()
+    }
+
+    /// The logical dataset the table was registered with (build-order rows;
+    /// the index owns its own reorganized copy).
+    pub fn dataset(&self) -> &Dataset {
+        &self.state.data
+    }
+
+    /// The built index backing this table.
+    pub fn index(&self) -> &dyn MultiDimIndex {
+        self.state.index.as_ref()
+    }
+
+    /// Starts a fluent query against this table.
+    pub fn query(&self) -> QueryBuilder {
+        QueryBuilder::new(self.clone())
+    }
+
+    /// Validates a hand-assembled [`Query`] against this table's width and
+    /// wraps it as a reusable [`PreparedQuery`].
+    pub fn prepare(&self, query: Query) -> Result<PreparedQuery> {
+        query.validate_dims(self.num_columns())?;
+        Ok(PreparedQuery::new(self.clone(), query))
+    }
+
+    /// Prepares every query of a workload against this table.
+    pub fn prepare_workload(&self, workload: &Workload) -> Result<Vec<PreparedQuery>> {
+        workload
+            .queries()
+            .iter()
+            .map(|q| self.prepare(q.clone()))
+            .collect()
+    }
+
+    /// Validates and executes a hand-assembled query in one step.
+    pub fn execute(&self, query: &Query) -> Result<AggResult> {
+        query.validate_dims(self.num_columns())?;
+        Ok(self.state.index.execute(query))
+    }
+
+    /// Like [`Table::execute`], returning the executor's scan counters too.
+    pub fn execute_with_stats(&self, query: &Query) -> Result<(AggResult, IndexStats)> {
+        query.validate_dims(self.num_columns())?;
+        Ok(self.state.index.execute_with_stats(query))
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.state.name)
+            .field("rows", &self.state.data.len())
+            .field("columns", &self.state.data.num_dims())
+            .field("index", &self.state.index.name())
+            .finish()
+    }
+}

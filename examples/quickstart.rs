@@ -1,16 +1,17 @@
-//! Quickstart: build a Tsunami index over a small correlated dataset and run
-//! a few range-aggregation queries.
+//! Quickstart: register a table in the engine's `Database`, run fluent
+//! schema-validated queries over a Tsunami index, and push a batch of
+//! queries through the concurrent `Scheduler`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use tsunami_core::{Aggregation, Dataset, MultiDimIndex, Predicate, Query, Workload};
-use tsunami_index::{TsunamiConfig, TsunamiIndex};
+use tsunami_core::{Dataset, TsunamiError};
+use tsunami_core::{Predicate, Query, Workload};
+use tsunami_suite::{Database, IndexSpec, Scheduler};
 
-fn main() {
+fn main() -> Result<(), TsunamiError> {
     // ---------------------------------------------------------------------
     // 1. Build a small 3-dimensional dataset.
-    //    dim 0: order id (uniform), dim 1: price (correlated with quantity),
-    //    dim 2: quantity.
+    //    order_id: uniform; price correlated with quantity.
     // ---------------------------------------------------------------------
     let n: u64 = 50_000;
     let order_id: Vec<u64> = (0..n).collect();
@@ -19,7 +20,7 @@ fn main() {
         .iter()
         .map(|&q| q * 1_000 + (q * 37) % 500)
         .collect();
-    let data = Dataset::from_columns(vec![order_id, price, quantity]).expect("valid dataset");
+    let data = Dataset::from_columns(vec![order_id, price, quantity])?;
     println!("dataset: {} rows x {} dims", data.len(), data.num_dims());
 
     // ---------------------------------------------------------------------
@@ -41,51 +42,76 @@ fn main() {
     );
 
     // ---------------------------------------------------------------------
-    // 3. Build the index (offline optimization + data reorganization).
+    // 3. Register the table: names the columns and builds the index
+    //    (offline optimization + data reorganization) from a spec.
     // ---------------------------------------------------------------------
-    let index = TsunamiIndex::build(&data, &workload, &TsunamiConfig::default())
-        .expect("index build succeeds");
-    let stats = index.stats();
+    let mut db = Database::new();
+    let orders = db.create_table(
+        "orders",
+        &["order_id", "price", "quantity"],
+        data,
+        &workload,
+        &IndexSpec::tsunami(),
+    )?;
     println!(
-        "built Tsunami: {} grid-tree nodes, {} regions, {} cells, {} bytes, {:.3}s optimize + {:.3}s sort",
-        stats.num_grid_tree_nodes,
-        stats.num_leaf_regions,
-        stats.total_grid_cells,
-        index.size_bytes(),
-        index.build_timing().optimize_secs,
-        index.build_timing().sort_secs,
+        "registered table '{}' over a {} index ({} bytes, {:.3}s optimize + {:.3}s sort)",
+        orders.name(),
+        orders.index().name(),
+        orders.index().size_bytes(),
+        orders.index().build_timing().optimize_secs,
+        orders.index().build_timing().sort_secs,
     );
 
     // ---------------------------------------------------------------------
-    // 4. Run queries: COUNT and SUM aggregations with range predicates.
+    // 4. Fluent queries: named columns, validated at the boundary.
     // ---------------------------------------------------------------------
-    let count_query = Query::count(vec![
-        Predicate::range(0, n * 9 / 10, n - 1).unwrap(),
-        Predicate::range(1, 10_000, 20_000).unwrap(),
-    ])
-    .unwrap();
-    println!(
-        "recent orders priced 10k-20k: {:?} (full scan agrees: {:?})",
-        index.execute(&count_query),
-        count_query.execute_full_scan(&data)
-    );
+    let recent = db
+        .table("orders")?
+        .query()
+        .range("order_id", n * 9 / 10, n - 1)?
+        .range("price", 10_000, 20_000)?
+        .execute()?;
+    println!("recent orders priced 10k-20k: {recent}");
 
-    let sum_query = Query::new(
-        vec![Predicate::range(2, 40, 50).unwrap()],
-        Aggregation::Sum(1),
-    )
-    .unwrap();
-    println!(
-        "total revenue of large orders (quantity 40-50): {:?}",
-        index.execute(&sum_query)
-    );
+    let revenue = orders
+        .query()
+        .range("quantity", 40, 50)?
+        .sum("price")?
+        .execute()?;
+    println!("total revenue of large orders (quantity 40-50): {revenue}");
 
-    let (result, scan) = index.execute_with_stats(&count_query);
+    // Mistakes are errors, not silent mis-scans:
+    assert!(orders.query().range("pirce", 0, 1).is_err()); // typo'd column
+    assert!(orders.query().range("price", 9, 3).is_err()); // lo > hi
+
+    // Diagnostics come from the same fluent surface.
+    let (result, scan) = orders
+        .query()
+        .range("order_id", n * 9 / 10, n - 1)?
+        .range("price", 10_000, 20_000)?
+        .execute_with_stats()?;
     println!(
-        "diagnostics: {:?} scanned {} of {} rows across {} ranges",
-        result,
+        "diagnostics: {result} scanned {} of {} rows across {} ranges",
         scan.points_scanned,
-        data.len(),
+        orders.num_rows(),
         scan.ranges_scanned
     );
+
+    // ---------------------------------------------------------------------
+    // 5. Concurrent execution: prepare the whole workload once, then let a
+    //    worker pool run it (inter-query parallelism).
+    // ---------------------------------------------------------------------
+    let prepared = orders.prepare_workload(&workload)?;
+    let scheduler = Scheduler::new(4);
+    let results = scheduler.execute_batch(&prepared)?;
+    let serial_first = prepared[0].execute();
+    println!(
+        "scheduler ran {} queries on {} workers (first result {} == serial {})",
+        results.len(),
+        scheduler.worker_count(),
+        results[0],
+        serial_first,
+    );
+    assert_eq!(results[0], serial_first);
+    Ok(())
 }

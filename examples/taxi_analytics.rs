@@ -1,19 +1,31 @@
 //! Taxi analytics: the paper's motivating scenario — a skewed, correlated
 //! trip-record workload — comparing Tsunami against Flood and a tuned k-d
-//! tree on the same column store.
+//! tree, all registered as tables of one engine `Database`, then serving a
+//! multi-client burst through the `Scheduler`.
 //!
 //! Run with: `cargo run --release --example taxi_analytics`
 
-use tsunami_baselines::{tune_page_size, KdTree};
-use tsunami_core::{CostModel, MultiDimIndex, Predicate, Query};
-use tsunami_flood::{FloodConfig, FloodIndex};
-use tsunami_index::{TsunamiConfig, TsunamiIndex};
+use tsunami_core::{CostModel, TsunamiError};
+use tsunami_flood::FloodConfig;
+use tsunami_index::TsunamiConfig;
+use tsunami_suite::{Database, IndexSpec, PageSize, Scheduler};
 use tsunami_workloads::taxi;
 
-fn main() {
+/// Demo-scale build-effort configs so the example finishes in seconds;
+/// `*Config::default()` searches much harder (use it — and the benchmark
+/// harness's settings — for real measurements via the `repro` binary).
+fn tsunami_config() -> TsunamiConfig {
+    TsunamiConfig::fast()
+}
+
+fn flood_config() -> FloodConfig {
+    FloodConfig::fast()
+}
+
+fn main() -> Result<(), TsunamiError> {
     // Generate a Taxi-like dataset (correlated fares/distances, skewed
     // passenger counts) and its 6-query-type workload.
-    let rows = 80_000;
+    let rows = 20_000;
     let data = taxi::generate(rows, 7);
     let workload = taxi::workload(&data, 25, 8);
     println!(
@@ -24,67 +36,83 @@ fn main() {
         workload.group_by_filtered_dims().len()
     );
 
-    let cost = CostModel::calibrate();
+    // The default cost model keeps the demo deterministic across machines.
+    // (`CostModel::calibrate()` measures the host instead; on hosts where it
+    // reports a very low w0/w1 ratio the optimizer trades ranges for cells
+    // aggressively, which can blow up layout size — tune with care.)
+    let cost = CostModel::default();
     println!(
-        "calibrated cost model: w0={:.1}ns/range w1={:.2}ns/value",
+        "cost model: w0={:.1}ns/range w1={:.2}ns/value",
         cost.w0, cost.w1
     );
 
-    // Build the three indexes.
-    let tsunami = TsunamiIndex::build_with_cost(&data, &workload, &cost, &TsunamiConfig::default())
-        .expect("tsunami build");
-    let flood = FloodIndex::build(&data, &workload, &cost, &FloodConfig::default());
-    let tuned = tune_page_size(&data, &workload, &[256, 1024, 4096], |d, w, ps| {
-        KdTree::build(d, w, ps)
-    });
-    let kdtree = KdTree::build(&data, &workload, tuned.best_page_size);
+    // Register the same dataset under three index families.
+    let mut db = Database::with_cost_model(cost);
+    for spec in [
+        IndexSpec::Tsunami(tsunami_config()),
+        IndexSpec::Flood(flood_config()),
+        IndexSpec::KdTree(PageSize::TunedOver(vec![256, 1024, 4096])),
+    ] {
+        db.create_table(spec.label(), &taxi::COLUMNS, data.clone(), &workload, &spec)?;
+    }
 
-    // Measure average query latency for each index.
-    let indexes: Vec<&dyn MultiDimIndex> = vec![&tsunami, &flood, &kdtree];
+    // Measure average query latency for each table.
     println!(
         "\n{:<12} {:>14} {:>14} {:>18}",
         "index", "avg query (us)", "size (KiB)", "avg points scanned"
     );
-    for index in indexes {
+    for table in db.tables() {
+        let prepared = table.prepare_workload(&workload)?;
         let mut scanned = 0usize;
         let start = std::time::Instant::now();
-        for q in workload.queries() {
-            let (_, stats) = index.execute_with_stats(q);
+        for q in &prepared {
+            let (_, stats) = q.execute_with_stats();
             scanned += stats.points_scanned;
         }
-        let avg_us = start.elapsed().as_secs_f64() * 1e6 / workload.len() as f64;
+        let avg_us = start.elapsed().as_secs_f64() * 1e6 / prepared.len() as f64;
         println!(
             "{:<12} {:>14.1} {:>14.1} {:>18.0}",
-            index.name(),
+            table.name(),
             avg_us,
-            index.size_bytes() as f64 / 1024.0,
-            scanned as f64 / workload.len() as f64
+            table.index().size_bytes() as f64 / 1024.0,
+            scanned as f64 / prepared.len() as f64
         );
     }
 
     // A concrete analytics question from the paper's description: how common
     // were single-passenger, short-distance trips in the most recent month?
+    let trips = db.table("Tsunami")?;
     let recent_month_start = taxi::TIME_DOMAIN - 30 * 24 * 60;
-    let q = Query::count(vec![
-        Predicate::range(0, recent_month_start, taxi::TIME_DOMAIN).unwrap(),
-        Predicate::range(2, 0, 300).unwrap(),
-        Predicate::eq(6, 1),
-    ])
-    .unwrap();
+    let short_single = trips
+        .query()
+        .range("pickup_time", recent_month_start, taxi::TIME_DOMAIN)?
+        .range("trip_distance", 0, 300)?
+        .eq("passenger_count", 1)?
+        .prepare()?;
     println!(
-        "\nsingle-passenger short trips in the last month: {:?}",
-        tsunami.execute(&q)
+        "\nsingle-passenger short trips in the last month: {}",
+        short_single.execute()
     );
-    assert_eq!(tsunami.execute(&q), q.execute_full_scan(&data));
+    assert_eq!(short_single.execute(), short_single.execute_oracle());
 
-    // Show Table-4-style structure statistics for the built Tsunami index.
-    let stats = tsunami.stats();
+    // Serve a concurrent burst: every workload query plus the ad-hoc one,
+    // across all three tables, through one scheduler.
+    let mut burst = Vec::new();
+    for table in db.tables() {
+        burst.extend(table.prepare_workload(&workload)?);
+    }
+    burst.push(short_single);
+    let scheduler = Scheduler::new(4);
+    let start = std::time::Instant::now();
+    let results = scheduler.execute_batch(&burst)?;
+    let secs = start.elapsed().as_secs_f64();
     println!(
-        "tsunami structure: {} regions (depth {}), {:.2} FMs/region, {:.2} CCDFs/region, {} cells",
-        stats.num_leaf_regions,
-        stats.grid_tree_depth,
-        stats.avg_fms_per_region,
-        stats.avg_ccdfs_per_region,
-        stats.total_grid_cells
+        "scheduler burst: {} queries over {} tables on {} workers in {:.1}ms ({:.0} QPS)",
+        results.len(),
+        db.num_tables(),
+        scheduler.worker_count(),
+        secs * 1e3,
+        results.len() as f64 / secs
     );
+    Ok(())
 }

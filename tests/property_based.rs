@@ -6,12 +6,12 @@
 //! tests drive the same invariants with an explicit seed loop (deterministic,
 //! and the failing seed is part of every assertion message).
 
-use tsunami_baselines::{HyperOctree, KdTree, ZOrderIndex};
 use tsunami_cdf::{CdfModel, Ecdf, FunctionalMapping, HistogramCdf, Rmi};
 use tsunami_core::sample::SplitMix;
-use tsunami_core::{CostModel, Dataset, MultiDimIndex, Predicate, Query, Workload};
-use tsunami_flood::FloodIndex;
-use tsunami_index::{TsunamiConfig, TsunamiIndex};
+use tsunami_core::{CostModel, Dataset, Predicate, Query, Workload};
+use tsunami_flood::FloodConfig;
+use tsunami_index::TsunamiConfig;
+use tsunami_suite::{IndexSpec, PageSize};
 
 /// A small random dataset with 2-4 dimensions, where dimension 1 (when
 /// present) is correlated with dimension 0.
@@ -66,20 +66,23 @@ fn all_indexes_agree_with_oracle_on_random_data() {
                 .collect(),
         );
         let cost = CostModel::default();
-        let tsunami =
-            TsunamiIndex::build_with_cost(&data, &workload, &cost, &TsunamiConfig::fast()).unwrap();
-        let flood = FloodIndex::build(&data, &workload, &cost, &tsunami_flood::FloodConfig::fast());
-        let kd = KdTree::build(&data, &workload, 64);
-        let z = ZOrderIndex::build(&data, &workload, 64);
-        let oct = HyperOctree::build(&data, &workload, 64);
+        let specs = [
+            IndexSpec::Tsunami(TsunamiConfig::fast()),
+            IndexSpec::Flood(FloodConfig::fast()),
+            IndexSpec::KdTree(PageSize::Fixed(64)),
+            IndexSpec::ZOrder(PageSize::Fixed(64)),
+            IndexSpec::Octree(PageSize::Fixed(64)),
+        ];
+        let indexes: Vec<_> = specs
+            .iter()
+            .map(|spec| (spec.label(), spec.build(&data, &workload, &cost).unwrap()))
+            .collect();
 
         for q in workload.queries() {
             let expected = q.execute_full_scan(&data);
-            assert_eq!(tsunami.execute(q), expected, "tsunami seed {seed} {q:?}");
-            assert_eq!(flood.execute(q), expected, "flood seed {seed} {q:?}");
-            assert_eq!(kd.execute(q), expected, "kdtree seed {seed} {q:?}");
-            assert_eq!(z.execute(q), expected, "zorder seed {seed} {q:?}");
-            assert_eq!(oct.execute(q), expected, "octree seed {seed} {q:?}");
+            for (label, index) in &indexes {
+                assert_eq!(index.execute(q), expected, "{label} seed {seed} {q:?}");
+            }
         }
     }
 }
@@ -97,13 +100,9 @@ fn tsunami_answers_arbitrary_queries_correctly() {
                 })
                 .collect(),
         );
-        let index = TsunamiIndex::build_with_cost(
-            &data,
-            &workload,
-            &CostModel::default(),
-            &TsunamiConfig::fast(),
-        )
-        .unwrap();
+        let index = IndexSpec::Tsunami(TsunamiConfig::fast())
+            .build(&data, &workload, &CostModel::default())
+            .unwrap();
         for _ in 0..6 {
             let q = random_query(&mut rng, 2);
             assert_eq!(
