@@ -210,7 +210,13 @@ impl KdTree {
         self.page_size
     }
 
-    fn collect_ranges(&self, node: &Node, query: &Query, plan: &mut ScanPlan) {
+    fn collect_ranges(
+        &self,
+        node: &Node,
+        query: &Query,
+        plan: &mut ScanPlan,
+        guaranteed: &mut [bool],
+    ) {
         match node {
             Node::Leaf { start, end, bbox } => {
                 if *start == *end {
@@ -231,6 +237,12 @@ impl KdTree {
                     }
                 }
                 if intersects {
+                    if !contained {
+                        for p in query.predicates() {
+                            let (lo, hi) = bbox[p.dim];
+                            guaranteed[p.dim] &= p.lo <= lo && hi <= p.hi;
+                        }
+                    }
                     plan.push(*start..*end, contained);
                 }
             }
@@ -242,16 +254,16 @@ impl KdTree {
             } => {
                 match query.predicate_on(*dim) {
                     None => {
-                        self.collect_ranges(left, query, plan);
-                        self.collect_ranges(right, query, plan);
+                        self.collect_ranges(left, query, plan, guaranteed);
+                        self.collect_ranges(right, query, plan, guaranteed);
                     }
                     Some(pred) => {
                         // Left subtree holds values < split, right holds >= split.
                         if pred.lo < *split {
-                            self.collect_ranges(left, query, plan);
+                            self.collect_ranges(left, query, plan, guaranteed);
                         }
                         if pred.hi >= *split {
-                            self.collect_ranges(right, query, plan);
+                            self.collect_ranges(right, query, plan, guaranteed);
                         }
                     }
                 }
@@ -290,8 +302,9 @@ impl MultiDimIndex for KdTree {
 
     fn plan(&self, query: &Query) -> ScanPlan {
         let mut plan = ScanPlan::new();
-        self.collect_ranges(&self.root, query, &mut plan);
-        plan
+        let mut guaranteed = vec![true; self.store.num_dims()];
+        self.collect_ranges(&self.root, query, &mut plan, &mut guaranteed);
+        plan.with_guaranteed_dims(query, &guaranteed)
     }
 
     fn size_bytes(&self) -> usize {

@@ -191,6 +191,7 @@ impl HyperOctree {
         node: &Node,
         query: &Query,
         out: &mut Vec<(std::ops::Range<usize>, bool)>,
+        guaranteed: &mut [bool],
     ) {
         match node {
             Node::Leaf { start, end, bbox } => {
@@ -210,6 +211,12 @@ impl HyperOctree {
                     }
                 }
                 if intersects {
+                    if !contained {
+                        for p in query.predicates() {
+                            let (lo, hi) = bbox[p.dim];
+                            guaranteed[p.dim] &= p.lo <= lo && hi <= p.hi;
+                        }
+                    }
                     out.push((*start..*end, contained));
                 }
             }
@@ -234,7 +241,7 @@ impl HyperOctree {
                         }
                     }
                     if overlaps {
-                        self.collect_ranges(node, query, out);
+                        self.collect_ranges(node, query, out, guaranteed);
                     }
                 }
             }
@@ -272,10 +279,11 @@ impl MultiDimIndex for HyperOctree {
 
     fn plan(&self, query: &Query) -> ScanPlan {
         let mut ranges = Vec::new();
-        self.collect_ranges(&self.root, query, &mut ranges);
+        let mut guaranteed = vec![true; self.store.num_dims()];
+        self.collect_ranges(&self.root, query, &mut ranges, &mut guaranteed);
         // Scan in physical order so adjacent leaves merge into one range.
         ranges.sort_by_key(|(r, _)| r.start);
-        ScanPlan::from_ranges(ranges)
+        ScanPlan::from_ranges(ranges).with_guaranteed_dims(query, &guaranteed)
     }
 
     fn size_bytes(&self) -> usize {

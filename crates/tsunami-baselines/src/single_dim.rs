@@ -19,6 +19,9 @@ pub struct ClusteredSingleDimIndex {
     /// Sorted copy of the sort dimension's values for binary search.
     sort_keys: Vec<Value>,
     sort_dim: usize,
+    /// Per-dimension `(min, max)` value bounds of the stored data, used to
+    /// drop residual predicates the whole table trivially satisfies.
+    domains: Vec<(Value, Value)>,
     timing: BuildTiming,
 }
 
@@ -65,16 +68,30 @@ impl ClusteredSingleDimIndex {
         let mut perm: Vec<usize> = (0..data.len()).collect();
         perm.sort_by_key(|&r| col[r]);
         let sort_keys: Vec<Value> = perm.iter().map(|&r| col[r]).collect();
+        let domains: Vec<(Value, Value)> = (0..data.num_dims())
+            .map(|d| data.domain(d).unwrap_or((0, 0)))
+            .collect();
         let mut store = ColumnStore::from_dataset(data);
         store.permute(&perm);
         Self {
             store,
             sort_keys,
             sort_dim,
+            domains,
             timing: BuildTiming {
                 sort_secs: start.elapsed().as_secs_f64(),
                 optimize_secs: 0.0,
             },
+        }
+    }
+
+    /// Whether the whole table already satisfies a predicate (its range
+    /// covers the dimension's entire stored value domain), making any
+    /// re-check of it redundant.
+    fn covered_by_domain(&self, p: &tsunami_core::Predicate) -> bool {
+        match self.domains.get(p.dim) {
+            Some(&(lo, hi)) => p.lo <= lo && hi <= p.hi,
+            None => false,
         }
     }
 
@@ -94,31 +111,30 @@ impl MultiDimIndex for ClusteredSingleDimIndex {
     }
 
     fn plan(&self, query: &Query) -> ScanPlan {
-        match query.predicate_on(self.sort_dim) {
+        let on_sort_dim = query.predicate_on(self.sort_dim);
+        let plan = match on_sort_dim {
             None => ScanPlan::full(self.store.len()),
             Some(pred) => {
                 let start = self.sort_keys.partition_point(|&v| v < pred.lo);
                 let end = self.sort_keys.partition_point(|&v| v <= pred.hi);
                 // The binary search already guarantees the sort-dimension
                 // predicate for every row in the range: if it is the only
-                // filter the range is exact, otherwise only the *other*
-                // predicates remain to be checked (residual predicates).
-                let exact = query.num_filtered_dims() == 1;
-                let plan = ScanPlan::from_ranges([(start..end, exact)]);
-                if exact {
-                    plan
-                } else {
-                    plan.with_residual(
-                        query
-                            .predicates()
-                            .iter()
-                            .filter(|p| p.dim != self.sort_dim)
-                            .copied()
-                            .collect(),
-                    )
-                }
+                // filter the range is exact.
+                ScanPlan::from_ranges([(start..end, query.num_filtered_dims() == 1)])
             }
-        }
+        };
+        // Residual elimination: the binary search guarantees the sort
+        // dimension (when filtered), and the stored per-dimension value
+        // domains guarantee any predicate covering them whole.
+        let guaranteed: Vec<bool> = (0..self.store.num_dims())
+            .map(|dim| {
+                (dim == self.sort_dim && on_sort_dim.is_some())
+                    || query
+                        .predicate_on(dim)
+                        .is_none_or(|p| self.covered_by_domain(p))
+            })
+            .collect();
+        plan.with_guaranteed_dims(query, &guaranteed)
     }
 
     fn size_bytes(&self) -> usize {

@@ -175,6 +175,9 @@ impl MultiDimIndex for ZOrderIndex {
         let z_hi = self.z_of_corner(&query.upper_corner(d));
 
         let mut plan = ScanPlan::new();
+        // Residual elimination: a predicate stays only if some planned
+        // non-exact page's bounding box sticks out of its value range.
+        let mut guaranteed = vec![true; d];
         for page in &self.pages {
             if page.z_max < z_lo || page.z_min > z_hi {
                 continue;
@@ -193,12 +196,18 @@ impl MultiDimIndex for ZOrderIndex {
                 }
             }
             if intersects {
+                if !contained {
+                    for p in query.predicates() {
+                        let (lo, hi) = page.bbox[p.dim];
+                        guaranteed[p.dim] &= p.lo <= lo && hi <= p.hi;
+                    }
+                }
                 // Physically adjacent pages of equal exactness merge in the
                 // plan automatically.
                 plan.push(page.start..page.end, contained);
             }
         }
-        plan
+        plan.with_guaranteed_dims(query, &guaranteed)
     }
 
     fn size_bytes(&self) -> usize {

@@ -8,8 +8,13 @@
 //!
 //! `EXPERIMENT` is one of `table3`, `table4`, `fig7`, `fig7par`,
 //! `fig7sched`, `fig8`, `fig9a`, `fig9b`, `fig10`, `fig11a`, `fig11b`,
-//! `fig12a`, `fig12b`, or `all` (default). Run in release mode: `cargo run
-//! --release -p tsunami-bench --bin repro -- fig7`.
+//! `fig12a`, `fig12b`, `fig12kern`, or `all` (default). Run in release mode:
+//! `cargo run --release -p tsunami-bench --bin repro -- fig7`.
+//!
+//! `fig12kern` additionally writes machine-readable `BENCH_scan.json`
+//! (median ns/row per selectivity × predicate count × kernel tier; path
+//! overridable via the `BENCH_SCAN_JSON` env var) so scan-kernel performance
+//! is tracked across PRs.
 
 use tsunami_bench::experiments;
 use tsunami_bench::HarnessConfig;
@@ -80,5 +85,6 @@ fn main() {
 
 fn print_usage() {
     eprintln!("usage: repro [EXPERIMENT] [--rows N] [--queries-per-type N] [--seed N]");
-    eprintln!("experiments: all, table3, table4, fig7, fig7par, fig7sched, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b");
+    eprintln!("experiments: all, table3, table4, fig7, fig7par, fig7sched, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig12kern");
+    eprintln!("fig12kern also writes BENCH_scan.json (override path with BENCH_SCAN_JSON)");
 }

@@ -488,6 +488,141 @@ pub fn fig12b(config: &HarnessConfig) -> String {
     finish(t)
 }
 
+/// Fig 12 (kernel drill-down): median ns/row of every executor kernel tier
+/// over a full scan, sweeping selection density × predicate count, with the
+/// speedup over the scalar selection loop. Every tier's result is
+/// cross-checked against the scalar oracle while measuring. The machine-
+/// readable results land in `BENCH_scan.json` (path overridable via the
+/// `BENCH_SCAN_JSON` env var) so the scan-kernel perf trajectory is tracked
+/// across PRs.
+pub fn fig12kern(config: &HarnessConfig) -> String {
+    let path = std::env::var("BENCH_SCAN_JSON").unwrap_or_else(|_| "BENCH_scan.json".to_string());
+    fig12kern_impl(config, Some(std::path::Path::new(&path)))
+}
+
+fn fig12kern_impl(config: &HarnessConfig, json_path: Option<&std::path::Path>) -> String {
+    use tsunami_core::exec::{execute_plan_tiered, KernelTier, ScanPlan};
+    use tsunami_core::sample::SplitMix;
+    use tsunami_core::{Aggregation, Dataset, Predicate, Query};
+
+    const DOMAIN: u64 = 1_000_000;
+    const PRED_DIMS: usize = 4;
+    // At least a handful of blocks so the adaptive tier's estimate settles.
+    let rows = config.rows.max(8 * 1024);
+    let mut rng = SplitMix::new(config.seed ^ 0xf12);
+    let data = Dataset::from_columns(
+        (0..PRED_DIMS)
+            .map(|_| (0..rows).map(|_| rng.next_below(DOMAIN)).collect())
+            .collect(),
+    )
+    .expect("uniform columns");
+    let plan = ScanPlan::full(rows);
+
+    let mut t = Table::new(
+        "Fig 12 (kernels): executor kernel tiers (median ns/row; speedup vs scalar)",
+        &[
+            "selectivity %",
+            "predicates",
+            "agg",
+            "tier",
+            "median ns/row",
+            "speedup vs scalar",
+        ],
+    );
+    // (selectivity %, predicate count, agg label, tier label, median ns/row)
+    let mut entries: Vec<(f64, usize, &'static str, &'static str, f64)> = Vec::new();
+    let reps = 5;
+    // First-predicate ranges hitting the target selection densities exactly
+    // (values are uniform below DOMAIN; the 0% range lies outside it).
+    let sweeps: [(f64, u64, u64); 5] = [
+        (0.0, DOMAIN, DOMAIN),
+        (1.0, 0, DOMAIN / 100 - 1),
+        (50.0, 0, DOMAIN / 2 - 1),
+        (99.0, 0, DOMAIN / 100 * 99 - 1),
+        (100.0, 0, DOMAIN),
+    ];
+    for (sel_pct, lo, hi) in sweeps {
+        for npreds in 1..=PRED_DIMS {
+            // Predicate 1 sets the density; the rest are full-range (always
+            // true) so refinement work scales with the predicate count while
+            // the density stays controlled.
+            let mut preds = vec![Predicate::range(0, lo, hi).expect("valid sweep range")];
+            for dim in 1..npreds {
+                preds.push(Predicate::range(dim, 0, DOMAIN).expect("full range"));
+            }
+            for (agg_label, agg) in [
+                ("count", Aggregation::Count),
+                ("sum", Aggregation::Sum(PRED_DIMS - 1)),
+            ] {
+                let q = Query::new(preds.clone(), agg).expect("valid query");
+                let scalar_result = execute_plan_tiered(&data, &q, &plan, KernelTier::Scalar);
+                let mut scalar_ns = f64::NAN;
+                for tier in KernelTier::ALL {
+                    // Warm-up doubling as the tier cross-check.
+                    assert_eq!(
+                        execute_plan_tiered(&data, &q, &plan, tier),
+                        scalar_result,
+                        "{tier:?} diverged from the scalar oracle"
+                    );
+                    let mut samples: Vec<f64> = (0..reps)
+                        .map(|_| {
+                            let start = Instant::now();
+                            std::hint::black_box(execute_plan_tiered(&data, &q, &plan, tier));
+                            start.elapsed().as_nanos() as f64 / rows as f64
+                        })
+                        .collect();
+                    samples.sort_by(f64::total_cmp);
+                    let median = samples[samples.len() / 2];
+                    if tier == KernelTier::Scalar {
+                        scalar_ns = median;
+                    }
+                    t.add_row(vec![
+                        fmt_f64(sel_pct),
+                        npreds.to_string(),
+                        agg_label.to_string(),
+                        tier.label().to_string(),
+                        fmt_f64(median),
+                        fmt_f64(scalar_ns / median),
+                    ]);
+                    entries.push((sel_pct, npreds, agg_label, tier.label(), median));
+                }
+            }
+        }
+    }
+    if let Some(path) = json_path {
+        match write_bench_scan_json(path, rows, config.seed, &entries) {
+            Ok(()) => eprintln!("# fig12kern: wrote {}", path.display()),
+            Err(e) => eprintln!("# fig12kern: could not write {}: {e}", path.display()),
+        }
+    }
+    finish(t)
+}
+
+/// Hand-rolled (the workspace is offline — no serde) machine-readable dump of
+/// the kernel microbenchmark: median ns/row per (selectivity, predicate
+/// count, aggregation, kernel tier).
+fn write_bench_scan_json(
+    path: &std::path::Path,
+    rows: usize,
+    seed: u64,
+    entries: &[(f64, usize, &'static str, &'static str, f64)],
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"experiment\": \"fig12kern\",\n  \"rows\": {rows},\n  \"seed\": {seed},\n  \"entries\": [\n"
+    ));
+    for (i, (sel, npreds, agg, tier, ns)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"selectivity_pct\": {sel}, \"predicates\": {npreds}, \"agg\": \"{agg}\", \
+             \"tier\": \"{tier}\", \"median_ns_per_row\": {ns:.4}}}{comma}\n"
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
 /// Runs every experiment in sequence and returns the concatenated output.
 pub fn all(config: &HarnessConfig) -> String {
     let mut out = String::new();
@@ -516,6 +651,7 @@ pub fn experiments() -> Vec<(&'static str, fn(&HarnessConfig) -> String)> {
         ("fig11b", fig11b),
         ("fig12a", fig12a),
         ("fig12b", fig12b),
+        ("fig12kern", fig12kern),
     ]
 }
 
@@ -563,9 +699,39 @@ mod tests {
                 "fig11a",
                 "fig11b",
                 "fig12a",
-                "fig12b"
+                "fig12b",
+                "fig12kern"
             ]
         );
+    }
+
+    #[test]
+    fn fig12kern_sweeps_every_tier_and_stays_consistent() {
+        // Tiny run, no JSON file: the impl itself asserts every tier matches
+        // the scalar oracle while measuring.
+        let cfg = HarnessConfig {
+            rows: 1_000, // floored to 8 Ki rows inside
+            queries_per_type: 1,
+            seed: 3,
+        };
+        let out = fig12kern_impl(&cfg, None);
+        for tier in ["scalar", "vector", "bitmap", "adaptive"] {
+            assert!(out.contains(tier), "missing tier {tier} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn bench_scan_json_is_well_formed() {
+        let dir = std::env::temp_dir().join("tsunami_bench_scan_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_scan.json");
+        write_bench_scan_json(&path, 1234, 42, &[(50.0, 2, "count", "bitmap", 1.5)]).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains("\"experiment\": \"fig12kern\""));
+        assert!(s.contains("\"rows\": 1234"));
+        assert!(s.contains("\"tier\": \"bitmap\""));
+        assert!(s.contains("\"median_ns_per_row\": 1.5000"));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Branchless block kernels for predicate evaluation and aggregation.
+//!
+//! Everything in this module operates on one *block* of at most
+//! [`BLOCK_ROWS`](super::BLOCK_ROWS) contiguous rows of a single column, in
+//! one of two selection representations:
+//!
+//! * a **selection vector** — `u32` in-block row offsets of the matching
+//!   rows, materialized with unconditional stores and a cursor advanced by
+//!   the 0/1 compare result (no data-dependent branch in the loop body);
+//! * a **selection bitmap** — one bit per row, packed into `u64` words, where
+//!   the inner loop builds 8-lane mask groups (`u64x8`-style manual
+//!   unrolling) that the compiler turns into SIMD compares.
+//!
+//! The refine kernels narrow an existing selection by another predicate
+//! (`retain` for vectors, `AND` for bitmaps), and the aggregate kernels
+//! reduce a selection against the aggregation input column. Bitmap
+//! aggregation is mask-native: `COUNT` is a popcount, `SUM`/`MIN`/`MAX` are
+//! masked folds with a whole-word fast path for fully set words.
+//!
+//! All kernels are deliberately total functions of their inputs — given the
+//! same block and predicates they produce the same selection regardless of
+//! representation, which is what makes the executor's kernel tiers
+//! bit-identical (see the [`exec`](super) module docs).
+
+use super::BLOCK_ROWS;
+use crate::dataset::Value;
+use crate::query::Predicate;
+
+/// Bits per bitmap word.
+pub(crate) const WORD_BITS: usize = 64;
+/// Bitmap words per block.
+pub(crate) const BLOCK_WORDS: usize = BLOCK_ROWS / WORD_BITS;
+/// Manual unroll width of the mask kernels.
+const LANES: usize = 8;
+
+/// Reusable per-thread scratch space for the block kernels: a full-block
+/// selection vector and a full-block selection bitmap. Executors allocate one
+/// per call (or per worker thread) and reuse it across every block they scan.
+#[derive(Debug, Clone)]
+pub struct BlockScratch {
+    /// Selection-vector buffer; always `BLOCK_ROWS` long, kernels return the
+    /// live prefix length.
+    pub(crate) sel: Vec<u32>,
+    /// Selection-bitmap buffer; always `BLOCK_WORDS` words.
+    pub(crate) words: Vec<u64>,
+}
+
+impl BlockScratch {
+    /// Allocates scratch space for one scanning thread.
+    pub fn new() -> Self {
+        Self {
+            sel: vec![0; BLOCK_ROWS],
+            words: vec![0; BLOCK_WORDS],
+        }
+    }
+}
+
+impl Default for BlockScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Match mask of 8 consecutive values as the low 8 bits of a `u64`.
+#[inline(always)]
+fn lane_mask8(v: &[Value], p: Predicate) -> u64 {
+    debug_assert_eq!(v.len(), LANES);
+    (p.matches(v[0]) as u64)
+        | (p.matches(v[1]) as u64) << 1
+        | (p.matches(v[2]) as u64) << 2
+        | (p.matches(v[3]) as u64) << 3
+        | (p.matches(v[4]) as u64) << 4
+        | (p.matches(v[5]) as u64) << 5
+        | (p.matches(v[6]) as u64) << 6
+        | (p.matches(v[7]) as u64) << 7
+}
+
+/// Match mask of up to 64 values as one bitmap word (bit `i` = value `i`
+/// matches). Built from 8-lane groups; the partial tail is handled scalar.
+#[inline(always)]
+fn word_mask(chunk: &[Value], p: Predicate) -> u64 {
+    debug_assert!(chunk.len() <= WORD_BITS);
+    let mut word = 0u64;
+    let mut shift = 0u32;
+    let mut lanes = chunk.chunks_exact(LANES);
+    for group in &mut lanes {
+        word |= lane_mask8(group, p) << shift;
+        shift += LANES as u32;
+    }
+    for (i, &v) in lanes.remainder().iter().enumerate() {
+        word |= (p.matches(v) as u64) << (shift + i as u32);
+    }
+    word
+}
+
+/// Evaluates the first predicate of a block into a selection bitmap.
+/// Returns the OR of all words, so callers can skip further refinement and
+/// aggregation when the selection is already empty.
+pub(crate) fn mask_first(block: &[Value], p: Predicate, words: &mut [u64]) -> u64 {
+    let mut any = 0u64;
+    for (w, chunk) in block.chunks(WORD_BITS).enumerate() {
+        words[w] = word_mask(chunk, p);
+        any |= words[w];
+    }
+    any
+}
+
+/// Refines an existing selection bitmap by another predicate (`AND`).
+/// Returns the OR of all words after refinement (see [`mask_first`]).
+pub(crate) fn mask_refine(block: &[Value], p: Predicate, words: &mut [u64]) -> u64 {
+    let mut any = 0u64;
+    for (w, chunk) in block.chunks(WORD_BITS).enumerate() {
+        words[w] &= word_mask(chunk, p);
+        any |= words[w];
+    }
+    any
+}
+
+/// Evaluates the first predicate of a block into a selection vector via
+/// branchless cursor stores. Returns the number of selected rows; `sel` must
+/// be at least as long as the block.
+pub(crate) fn select_first(block: &[Value], p: Predicate, sel: &mut [u32]) -> usize {
+    debug_assert!(sel.len() >= block.len());
+    let mut n = 0usize;
+    let mut base = 0usize;
+    let mut lanes = block.chunks_exact(LANES);
+    for group in &mut lanes {
+        // 8-wide unrolled: the store is unconditional, only the cursor moves.
+        for (j, &v) in group.iter().enumerate() {
+            sel[n] = (base + j) as u32;
+            n += p.matches(v) as usize;
+        }
+        base += LANES;
+    }
+    for (j, &v) in lanes.remainder().iter().enumerate() {
+        sel[n] = (base + j) as u32;
+        n += p.matches(v) as usize;
+    }
+    n
+}
+
+/// Refines the first `n` entries of a selection vector by another predicate,
+/// compacting in place with branchless cursor stores. Returns the new length.
+pub(crate) fn select_refine(block: &[Value], p: Predicate, sel: &mut [u32], n: usize) -> usize {
+    let mut out = 0usize;
+    for k in 0..n {
+        let i = sel[k];
+        sel[out] = i;
+        out += p.matches(block[i as usize]) as usize;
+    }
+    out
+}
+
+/// Number of selected rows in a bitmap (popcount).
+pub(crate) fn mask_count(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Masked fold for `SUM`/`AVG`: `(selected rows, sum of their values)`.
+/// Fully set words take a straight-line whole-word reduction.
+pub(crate) fn mask_sum(vals: &[Value], words: &[u64]) -> (u64, u128) {
+    let mut n = 0u64;
+    let mut sum = 0u128;
+    for (w, &word) in words.iter().enumerate() {
+        if word == 0 {
+            continue;
+        }
+        let base = w * WORD_BITS;
+        if word == u64::MAX {
+            sum += vals[base..base + WORD_BITS]
+                .iter()
+                .map(|&v| v as u128)
+                .sum::<u128>();
+            n += WORD_BITS as u64;
+        } else {
+            let mut m = word;
+            while m != 0 {
+                sum += vals[base + m.trailing_zeros() as usize] as u128;
+                m &= m - 1;
+            }
+            n += word.count_ones() as u64;
+        }
+    }
+    (n, sum)
+}
+
+/// Masked fold for `MIN`: `(selected rows, minimum of their values)`.
+pub(crate) fn mask_min(vals: &[Value], words: &[u64]) -> (u64, Option<Value>) {
+    mask_extreme(vals, words, Value::MAX, Value::min)
+}
+
+/// Masked fold for `MAX`: `(selected rows, maximum of their values)`.
+pub(crate) fn mask_max(vals: &[Value], words: &[u64]) -> (u64, Option<Value>) {
+    mask_extreme(vals, words, Value::MIN, Value::max)
+}
+
+#[inline(always)]
+fn mask_extreme(
+    vals: &[Value],
+    words: &[u64],
+    identity: Value,
+    fold: fn(Value, Value) -> Value,
+) -> (u64, Option<Value>) {
+    let mut n = 0u64;
+    let mut best = identity;
+    for (w, &word) in words.iter().enumerate() {
+        if word == 0 {
+            continue;
+        }
+        let base = w * WORD_BITS;
+        if word == u64::MAX {
+            best = vals[base..base + WORD_BITS]
+                .iter()
+                .fold(best, |acc, &v| fold(acc, v));
+            n += WORD_BITS as u64;
+        } else {
+            let mut m = word;
+            while m != 0 {
+                best = fold(best, vals[base + m.trailing_zeros() as usize]);
+                m &= m - 1;
+            }
+            n += word.count_ones() as u64;
+        }
+    }
+    (n, (n > 0).then_some(best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(lo: Value, hi: Value) -> Predicate {
+        Predicate::range(0, lo, hi).unwrap()
+    }
+
+    /// Reference selection: the plainly branchy filter.
+    fn oracle(block: &[Value], p: Predicate) -> Vec<u32> {
+        block
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| p.matches(v))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    fn blocks() -> Vec<Vec<Value>> {
+        // Full block, one word, partial word, partial lanes, empty.
+        vec![
+            (0..BLOCK_ROWS as u64).map(|v| v * 7 % 1000).collect(),
+            (0..64u64).collect(),
+            (0..100u64).map(|v| v * 3 % 37).collect(),
+            (0..5u64).collect(),
+            Vec::new(),
+        ]
+    }
+
+    #[test]
+    fn mask_and_select_agree_with_oracle_on_odd_block_sizes() {
+        for block in blocks() {
+            for p in [
+                pred(0, 10),
+                pred(3, 500),
+                pred(2000, 3000),
+                pred(0, u64::MAX),
+            ] {
+                let expected = oracle(&block, p);
+
+                let mut sel = vec![0u32; BLOCK_ROWS];
+                let n = select_first(&block, p, &mut sel);
+                assert_eq!(&sel[..n], &expected[..], "select_first {p:?}");
+
+                let mut words = [0u64; BLOCK_WORDS];
+                mask_first(&block, p, &mut words[..block.len().div_ceil(WORD_BITS)]);
+                let from_bits: Vec<u32> = (0..block.len() as u32)
+                    .filter(|&i| words[i as usize / WORD_BITS] >> (i as usize % WORD_BITS) & 1 == 1)
+                    .collect();
+                assert_eq!(from_bits, expected, "mask_first {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn refine_matches_sequential_filters() {
+        let block: Vec<Value> = (0..777u64).map(|v| v * 13 % 101).collect();
+        let p1 = pred(10, 80);
+        let p2 = pred(20, 60);
+        let expected: Vec<u32> = block
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| p1.matches(v) && p2.matches(v))
+            .map(|(i, _)| i as u32)
+            .collect();
+
+        let mut sel = vec![0u32; BLOCK_ROWS];
+        let n = select_first(&block, p1, &mut sel);
+        let n = select_refine(&block, p2, &mut sel, n);
+        assert_eq!(&sel[..n], &expected[..]);
+
+        let nw = block.len().div_ceil(WORD_BITS);
+        let mut words = vec![0u64; nw];
+        mask_first(&block, p1, &mut words);
+        mask_refine(&block, p2, &mut words);
+        assert_eq!(mask_count(&words), expected.len());
+    }
+
+    #[test]
+    fn mask_aggregates_match_selected_folds() {
+        let vals: Vec<Value> = (0..300u64).map(|v| v * 17 % 999).collect();
+        for p in [pred(0, 0), pred(100, 700), pred(0, u64::MAX)] {
+            let nw = vals.len().div_ceil(WORD_BITS);
+            let mut words = vec![0u64; nw];
+            mask_first(&vals, p, &mut words);
+            let selected: Vec<Value> = vals.iter().copied().filter(|&v| p.matches(v)).collect();
+
+            assert_eq!(mask_count(&words), selected.len());
+            let (n, sum) = mask_sum(&vals, &words);
+            assert_eq!(n as usize, selected.len());
+            assert_eq!(sum, selected.iter().map(|&v| v as u128).sum::<u128>());
+            let (_, lo) = mask_min(&vals, &words);
+            assert_eq!(lo, selected.iter().copied().min());
+            let (_, hi) = mask_max(&vals, &words);
+            assert_eq!(hi, selected.iter().copied().max());
+        }
+    }
+
+    #[test]
+    fn dense_word_fast_path_is_exercised() {
+        // 128 values all matching: both words fully set.
+        let vals: Vec<Value> = (0..128u64).collect();
+        let p = pred(0, u64::MAX);
+        let mut words = vec![0u64; 2];
+        mask_first(&vals, p, &mut words);
+        assert_eq!(words, vec![u64::MAX, u64::MAX]);
+        let (n, sum) = mask_sum(&vals, &words);
+        assert_eq!((n, sum), (128, (0..128u128).sum()));
+        assert_eq!(mask_min(&vals, &words), (128, Some(0)));
+        assert_eq!(mask_max(&vals, &words), (128, Some(127)));
+    }
+
+    #[test]
+    fn scratch_buffers_are_block_sized() {
+        let s = BlockScratch::new();
+        assert_eq!(s.sel.len(), BLOCK_ROWS);
+        assert_eq!(s.words.len(), BLOCK_WORDS);
+    }
+}

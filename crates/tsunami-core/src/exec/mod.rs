@@ -1,5 +1,5 @@
 //! The shared scan-execution engine: every index answers queries by emitting
-//! a [`ScanPlan`] that one vectorized executor runs.
+//! a [`ScanPlan`] that one tiered, vectorized executor runs.
 //!
 //! # The ScanPlan / executor contract
 //!
@@ -18,20 +18,57 @@
 //!   an extra range jump they did not need.
 //! * `residual` — optionally, the subset of the query's predicates that still
 //!   has to be checked inside non-exact ranges. An index that guarantees some
-//!   predicate by construction (e.g. a clustered single-dimension index whose
-//!   binary search already bounds the sort dimension) lists only the
-//!   remaining predicates and the executor skips re-checking the guaranteed
-//!   one. When absent, all of the query's predicates are checked.
+//!   predicate by construction — a clustered single-dimension index whose
+//!   binary search already bounds the sort dimension, or a grid/tree index
+//!   whose visited cell bounds all lie inside the predicate's range — lists
+//!   only the remaining predicates and the executor skips re-checking the
+//!   guaranteed ones. When absent, all of the query's predicates are checked.
 //!
-//! The executor ([`execute_plan`]) evaluates plans with columnar, blockwise
-//! kernels: predicates are applied one column at a time over fixed-size row
-//! blocks ([`BLOCK_ROWS`]) into a reusable *selection vector* of in-block row
-//! offsets, and only the selected rows are fed to the aggregation — touching
-//! just the filtered columns plus (at most) the aggregation input column,
-//! exactly what the paper's cost model prices. Exact ranges skip selection
-//! entirely: `COUNT` never touches data, `SUM`/`AVG` reduce the input column
-//! directly, and `MIN`/`MAX` fall back to a tight fold over the input column
-//! (they need per-value inspection even when the range is exact).
+//! Plans are clamped to the source **once**, at executor entry
+//! ([`ScanPlan::clamped`]); the scan kernels then assume in-bounds ranges and
+//! never re-clamp per range or per piece.
+//!
+//! # Kernel tiers
+//!
+//! The executor evaluates non-exact ranges with columnar, blockwise kernels:
+//! predicates are applied one column at a time over fixed-size row blocks
+//! ([`BLOCK_ROWS`]), and only the selected rows are fed to the aggregation —
+//! touching just the filtered columns plus (at most) the aggregation input
+//! column, exactly what the paper's cost model prices. *How* a block's
+//! selection is represented and materialized is a [`KernelTier`]:
+//!
+//! * [`KernelTier::Scalar`] — the reference row-at-a-time branchy loop
+//!   (`if matches { keep }`). Kept as the in-tree oracle the other tiers are
+//!   differentially tested against, and as the baseline the `fig12kern`
+//!   microbenchmark measures speedups over.
+//! * [`KernelTier::Vector`] — branchless selection-vector kernels: match
+//!   masks are computed with arithmetic compares, rows are materialized with
+//!   unconditional stores and a mask-advanced cursor. No data-dependent
+//!   branches, so selectivity near 50% costs no misprediction penalty.
+//! * [`KernelTier::Bitmap`] — a word-packed selection bitmap (1 bit/row):
+//!   8-lane unrolled compare groups build `u64` mask words, further
+//!   predicates `AND` into them, and aggregation is mask-native (popcount for
+//!   `COUNT`, masked folds with a fully-set-word fast path for
+//!   `SUM`/`MIN`/`MAX`). Cheapest when selections are dense.
+//! * [`KernelTier::Adaptive`] — the default: per block, picks the cheapest
+//!   representation from the selectivity observed so far in this execution.
+//!   Very sparse selections (&lt;1/16 matched) drop back to the scalar loop,
+//!   whose almost-never-taken branch predicts perfectly and skips all
+//!   materialization work; dense ones (≥1/2 matched, ≥3/4 with multiple
+//!   predicates since bitmap refinement re-touches whole blocks) engage the
+//!   bitmap; the mid band — where the scalar branch mispredicts hardest —
+//!   takes the branchless selection vector.
+//!
+//! Every tier computes the same selection for the same block, so results
+//! **and** [`ScanCounters`] are tier-invariant: `ranges`/`points` depend only
+//! on the plan, and `matched` is the selection's cardinality, which no
+//! representation changes. The differential suites assert bit-identical
+//! results across all tiers, serial and parallel.
+//!
+//! Exact ranges skip selection entirely regardless of tier: `COUNT` never
+//! touches data, `SUM`/`AVG` reduce the input column directly, and
+//! `MIN`/`MAX` fall back to a tight fold over the input column (they need
+//! per-value inspection even when the range is exact).
 //!
 //! Execution is counter-transparent: the executor returns the
 //! [`ScanCounters`] (ranges/points/matched) accumulated *by that call*,
@@ -44,22 +81,66 @@
 //! pieces and merging per-thread [`AggAccumulator`]s with
 //! [`AggAccumulator::merge`]. It returns bit-identical results and counters
 //! to the serial executor: range pieces carved from one plan range count as a
-//! single scanned range.
+//! single scanned range. Each worker keeps its own [`BlockScratch`] and its
+//! own adaptive-density estimate; the estimate only steers representation
+//! choice, never results.
 //!
 //! Data access is abstracted behind [`ScanSource`] (rows of `u64` columns),
 //! implemented by both the logical [`Dataset`](crate::Dataset) and the
 //! physical `ColumnStore` in `tsunami-store`. Sources must be `Sync`: scans
 //! never mutate them.
 
+pub mod kernels;
+
+use std::borrow::Cow;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::dataset::{Dataset, Value};
 use crate::query::{AggAccumulator, AggResult, Aggregation, Predicate, Query};
 
+pub use kernels::BlockScratch;
+
 /// Number of rows per vectorized block. Chosen so one block of one column
 /// (8 KiB) plus the selection vector stays comfortably inside L1.
 pub const BLOCK_ROWS: usize = 1024;
+
+/// Which block-kernel implementation the executor uses for non-exact ranges.
+/// See the module docs for the full contract; all tiers are bit-identical in
+/// results and counters, they differ only in speed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Reference branchy row-at-a-time loop (the in-tree oracle).
+    Scalar,
+    /// Branchless selection-vector kernels.
+    Vector,
+    /// Branchless word-packed selection-bitmap kernels.
+    Bitmap,
+    /// Per-block Scalar/Vector/Bitmap choice driven by observed selectivity.
+    #[default]
+    Adaptive,
+}
+
+impl KernelTier {
+    /// Every tier, scalar oracle first (benchmark / differential-sweep
+    /// order).
+    pub const ALL: [KernelTier; 4] = [
+        KernelTier::Scalar,
+        KernelTier::Vector,
+        KernelTier::Bitmap,
+        KernelTier::Adaptive,
+    ];
+
+    /// Short lowercase label used in benchmark tables and `BENCH_scan.json`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Vector => "vector",
+            KernelTier::Bitmap => "bitmap",
+            KernelTier::Adaptive => "adaptive",
+        }
+    }
+}
 
 /// Read-only columnar data that scan plans execute against.
 ///
@@ -152,6 +233,27 @@ impl ScanPlan {
         self
     }
 
+    /// Attaches residual predicates derived from per-dimension guarantee
+    /// flags: the query predicates whose dimension is *not* guaranteed (or
+    /// lies beyond the flag slice — conservatively kept) become the
+    /// residual. A no-op when nothing can be dropped, so planners can call
+    /// this unconditionally. This is the one shared implementation of the
+    /// guarantee → residual rule; see [`ScanPlan::with_residual`] for the
+    /// soundness contract.
+    pub fn with_guaranteed_dims(self, query: &Query, guaranteed: &[bool]) -> ScanPlan {
+        let residual: Vec<Predicate> = query
+            .predicates()
+            .iter()
+            .filter(|p| !guaranteed.get(p.dim).copied().unwrap_or(false))
+            .copied()
+            .collect();
+        if residual.len() < query.predicates().len() {
+            self.with_residual(residual)
+        } else {
+            self
+        }
+    }
+
     /// The planned ranges in scan order.
     pub fn ranges(&self) -> &[ScanRange] {
         &self.ranges
@@ -176,9 +278,31 @@ impl ScanPlan {
         self.ranges.is_empty()
     }
 
-    /// Total number of rows the plan visits (before clamping to the source).
+    /// Total number of rows the plan visits.
     pub fn total_points(&self) -> usize {
         self.ranges.iter().map(|r| r.range.len()).sum()
+    }
+
+    /// The plan with every range clamped to a source of `num_rows` rows
+    /// (empty ranges dropped). Borrows when already in bounds — the common
+    /// case, since planners derive ranges from the source itself — so the
+    /// executors pay one `O(ranges)` check instead of re-clamping every range
+    /// (twice, in the parallel executor) per execution.
+    pub fn clamped(&self, num_rows: usize) -> Cow<'_, ScanPlan> {
+        if self.ranges.iter().all(|r| r.range.end <= num_rows) {
+            return Cow::Borrowed(self);
+        }
+        let mut clamped = ScanPlan {
+            ranges: Vec::with_capacity(self.ranges.len()),
+            residual: self.residual.clone(),
+        };
+        for r in &self.ranges {
+            clamped.push(
+                r.range.start.min(num_rows)..r.range.end.min(num_rows),
+                r.exact,
+            );
+        }
+        Cow::Owned(clamped)
     }
 }
 
@@ -187,7 +311,8 @@ impl ScanPlan {
 /// These mirror the features of the paper's cost model (§5.3.1): the number
 /// of contiguous physical ranges visited and the number of points scanned.
 /// They are returned by value from the executor — never stored in the source
-/// — so concurrent executions cannot double-account each other's work.
+/// — so concurrent executions cannot double-account each other's work. All
+/// kernel tiers report identical counters (see the module docs).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScanCounters {
     /// Number of contiguous ranges scanned.
@@ -207,7 +332,8 @@ impl ScanCounters {
     }
 }
 
-/// Executes a plan serially with the vectorized kernels.
+/// Executes a plan serially with the default [`KernelTier::Adaptive`]
+/// kernels.
 ///
 /// Returns the aggregation result together with the counters for exactly
 /// this execution.
@@ -216,46 +342,72 @@ pub fn execute_plan(
     query: &Query,
     plan: &ScanPlan,
 ) -> (AggResult, ScanCounters) {
+    execute_plan_tiered(source, query, plan, KernelTier::default())
+}
+
+/// Executes a plan serially with an explicit kernel tier. All tiers return
+/// bit-identical results and counters; benchmarks and differential tests use
+/// this to pin a tier.
+pub fn execute_plan_tiered(
+    source: &dyn ScanSource,
+    query: &Query,
+    plan: &ScanPlan,
+    tier: KernelTier,
+) -> (AggResult, ScanCounters) {
+    let plan = plan.clamped(source.num_rows());
     let resolved = ResolvedQuery::new(source, plan.residual(query), query.aggregation());
     let mut acc = AggAccumulator::new(query.aggregation());
     let mut counters = ScanCounters::default();
-    let mut sel: Vec<u32> = Vec::with_capacity(BLOCK_ROWS);
+    let mut scratch = BlockScratch::new();
+    let mut density = Density::default();
     for sr in plan.ranges() {
         resolved.scan_range(
             sr.range.clone(),
             sr.exact,
             true,
+            tier,
+            &mut density,
             &mut acc,
             &mut counters,
-            &mut sel,
+            &mut scratch,
         );
     }
     (acc.finish(), counters)
 }
 
-/// Executes a plan across `threads` worker threads.
-///
-/// The plan's ranges are split into balanced pieces which workers claim from
-/// a shared queue; each worker keeps a private [`AggAccumulator`] and
-/// [`ScanCounters`], merged once at the end. Results and counters are
-/// identical to [`execute_plan`]: aggregation merging is associative, and
-/// pieces carved from one plan range count as a single scanned range.
+/// Executes a plan across `threads` worker threads with the default
+/// [`KernelTier::Adaptive`] kernels.
 pub fn execute_plan_parallel(
     source: &dyn ScanSource,
     query: &Query,
     plan: &ScanPlan,
     threads: usize,
 ) -> (AggResult, ScanCounters) {
+    execute_plan_parallel_tiered(source, query, plan, threads, KernelTier::default())
+}
+
+/// Executes a plan across `threads` worker threads with an explicit kernel
+/// tier.
+///
+/// The plan's ranges are split into balanced pieces which workers claim from
+/// a shared queue; each worker keeps a private [`AggAccumulator`] and
+/// [`ScanCounters`], merged once at the end. Results and counters are
+/// identical to [`execute_plan`]: aggregation merging is associative, and
+/// pieces carved from one plan range count as a single scanned range.
+pub fn execute_plan_parallel_tiered(
+    source: &dyn ScanSource,
+    query: &Query,
+    plan: &ScanPlan,
+    threads: usize,
+    tier: KernelTier,
+) -> (AggResult, ScanCounters) {
     let threads = threads.max(1);
-    let total: usize = plan
-        .ranges()
-        .iter()
-        .map(|r| r.range.start.min(source.num_rows())..r.range.end.min(source.num_rows()))
-        .map(|r| r.len())
-        .sum();
+    let plan = plan.clamped(source.num_rows());
+    let plan = plan.as_ref();
+    let total = plan.total_points();
     // Parallelism only pays off once there is real work to split.
     if threads == 1 || total < 4 * BLOCK_ROWS {
-        return execute_plan(source, query, plan);
+        return execute_plan_tiered(source, query, plan, tier);
     }
 
     // Work units: (range, exact, counts_as_new_range). Large ranges are split
@@ -265,14 +417,10 @@ pub fn execute_plan_parallel(
     let piece = (total / (threads * 4)).max(BLOCK_ROWS);
     let mut units: Vec<(Range<usize>, bool, bool)> = Vec::new();
     for sr in plan.ranges() {
-        let range = sr.range.start.min(source.num_rows())..sr.range.end.min(source.num_rows());
-        if range.is_empty() {
-            continue;
-        }
-        let mut start = range.start;
+        let mut start = sr.range.start;
         let mut first = true;
-        while start < range.end {
-            let end = (start + piece).min(range.end);
+        while start < sr.range.end {
+            let end = (start + piece).min(sr.range.end);
             units.push((start..end, sr.exact, first));
             first = false;
             start = end;
@@ -295,7 +443,8 @@ pub fn execute_plan_parallel(
                 scope.spawn(move || {
                     let mut acc = AggAccumulator::new(agg);
                     let mut counters = ScanCounters::default();
-                    let mut sel: Vec<u32> = Vec::with_capacity(BLOCK_ROWS);
+                    let mut scratch = BlockScratch::new();
+                    let mut density = Density::default();
                     loop {
                         let i = next_unit.fetch_add(1, Ordering::Relaxed);
                         let Some((range, exact, count_range)) = units.get(i).cloned() else {
@@ -305,9 +454,11 @@ pub fn execute_plan_parallel(
                             range,
                             exact,
                             count_range,
+                            tier,
+                            &mut density,
                             &mut acc,
                             &mut counters,
-                            &mut sel,
+                            &mut scratch,
                         );
                     }
                     (acc, counters)
@@ -321,6 +472,60 @@ pub fn execute_plan_parallel(
         }
     });
     (acc.finish(), counters)
+}
+
+/// The block representation the adaptive tier settles on for one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockRepr {
+    Scalar,
+    Vector,
+    Bitmap,
+}
+
+/// Running selectivity estimate for the adaptive tier: cumulative filtered
+/// points and matches observed so far in one execution (per worker thread in
+/// the parallel executor). Only steers the per-block representation choice —
+/// results and counters never depend on it.
+#[derive(Debug, Clone, Copy, Default)]
+struct Density {
+    points: usize,
+    matched: usize,
+}
+
+impl Density {
+    /// Picks the cheapest representation for the next block from the
+    /// selectivity observed so far:
+    ///
+    /// * under 1/16 matched — the scalar loop: its almost-never-taken branch
+    ///   predicts perfectly and skips all selection-materialization work, so
+    ///   sparse scans never pay branchless overhead;
+    /// * at least 1/2 matched (3/4 with multiple predicates, whose bitmap
+    ///   refinement re-touches whole blocks) — the bitmap: mask words +
+    ///   popcount/masked folds amortize best on dense selections;
+    /// * in between — the branchless selection vector: mid selectivities are
+    ///   exactly where the scalar loop's branch mispredicts.
+    ///
+    /// The first block (no observations yet) takes the vector path as the
+    /// middle ground.
+    fn choose(&self, num_preds: usize) -> BlockRepr {
+        if self.points == 0 {
+            return BlockRepr::Vector;
+        }
+        if self.matched * 16 < self.points {
+            BlockRepr::Scalar
+        } else if (num_preds == 1 && self.matched * 2 >= self.points)
+            || (num_preds > 1 && self.matched * 4 >= self.points * 3)
+        {
+            BlockRepr::Bitmap
+        } else {
+            BlockRepr::Vector
+        }
+    }
+
+    fn observe(&mut self, points: usize, matched: usize) {
+        self.points += points;
+        self.matched += matched;
+    }
 }
 
 /// A query resolved against one source: predicate and aggregation columns
@@ -347,22 +552,26 @@ impl<'a> ResolvedQuery<'a> {
         }
     }
 
-    /// Scans one contiguous range into an accumulator, vectorized.
+    /// Scans one contiguous in-bounds range into an accumulator, blockwise
+    /// with the requested kernel tier.
     ///
     /// `count_range` controls whether this call increments the range counter
     /// (the parallel executor passes `false` for continuation pieces of a
-    /// split range). The caller provides the reusable selection-vector
-    /// scratch.
+    /// split range). The caller provides the reusable [`BlockScratch`] and
+    /// the adaptive-density state.
+    #[allow(clippy::too_many_arguments)]
     fn scan_range(
         &self,
         range: Range<usize>,
         exact: bool,
         count_range: bool,
+        tier: KernelTier,
+        density: &mut Density,
         acc: &mut AggAccumulator,
         counters: &mut ScanCounters,
-        sel: &mut Vec<u32>,
+        scratch: &mut BlockScratch,
     ) {
-        let range = range.start.min(self.num_rows)..range.end.min(self.num_rows);
+        debug_assert!(range.end <= self.num_rows, "plans are clamped at entry");
         if range.is_empty() {
             return;
         }
@@ -383,36 +592,133 @@ impl<'a> ResolvedQuery<'a> {
         let mut start = range.start;
         while start < range.end {
             let end = (start + BLOCK_ROWS).min(range.end);
-
-            // First predicate seeds the selection vector; the rest refine it.
-            sel.clear();
-            let (col0, p0) = self.preds[0];
-            for (i, &v) in col0[start..end].iter().enumerate() {
-                if p0.matches(v) {
-                    sel.push(i as u32);
-                }
-            }
-            for &(col, p) in &self.preds[1..] {
-                if sel.is_empty() {
-                    break;
-                }
-                let block = &col[start..end];
-                sel.retain(|&i| p.matches(block[i as usize]));
-            }
-
-            counters.matched += sel.len();
-            aggregate_selected(self.agg, self.agg_col, start, sel, acc);
+            let matched = match tier {
+                KernelTier::Scalar => self.scan_block_scalar(start, end, acc, scratch),
+                KernelTier::Vector => self.scan_block_vector(start, end, acc, scratch),
+                KernelTier::Bitmap => self.scan_block_bitmap(start, end, acc, scratch),
+                KernelTier::Adaptive => match density.choose(self.preds.len()) {
+                    BlockRepr::Scalar => self.scan_block_scalar(start, end, acc, scratch),
+                    BlockRepr::Vector => self.scan_block_vector(start, end, acc, scratch),
+                    BlockRepr::Bitmap => self.scan_block_bitmap(start, end, acc, scratch),
+                },
+            };
+            density.observe(end - start, matched);
+            counters.matched += matched;
             start = end;
+        }
+    }
+
+    /// Reference branchy selection loop (the oracle tier).
+    fn scan_block_scalar(
+        &self,
+        start: usize,
+        end: usize,
+        acc: &mut AggAccumulator,
+        scratch: &mut BlockScratch,
+    ) -> usize {
+        let sel = &mut scratch.sel;
+        let (col0, p0) = self.preds[0];
+        let mut n = 0usize;
+        for (i, &v) in col0[start..end].iter().enumerate() {
+            if p0.matches(v) {
+                sel[n] = i as u32;
+                n += 1;
+            }
+        }
+        for &(col, p) in &self.preds[1..] {
+            if n == 0 {
+                break;
+            }
+            let block = &col[start..end];
+            let mut out = 0usize;
+            for k in 0..n {
+                let i = sel[k];
+                if p.matches(block[i as usize]) {
+                    sel[out] = i;
+                    out += 1;
+                }
+            }
+            n = out;
+        }
+        aggregate_selected(self.agg, self.agg_col, start, &sel[..n], acc);
+        n
+    }
+
+    /// Branchless selection-vector kernels.
+    fn scan_block_vector(
+        &self,
+        start: usize,
+        end: usize,
+        acc: &mut AggAccumulator,
+        scratch: &mut BlockScratch,
+    ) -> usize {
+        let sel = &mut scratch.sel;
+        let (col0, p0) = self.preds[0];
+        let mut n = kernels::select_first(&col0[start..end], p0, sel);
+        for &(col, p) in &self.preds[1..] {
+            if n == 0 {
+                break;
+            }
+            n = kernels::select_refine(&col[start..end], p, sel, n);
+        }
+        aggregate_selected(self.agg, self.agg_col, start, &sel[..n], acc);
+        n
+    }
+
+    /// Branchless word-packed selection-bitmap kernels with mask-native
+    /// aggregation.
+    fn scan_block_bitmap(
+        &self,
+        start: usize,
+        end: usize,
+        acc: &mut AggAccumulator,
+        scratch: &mut BlockScratch,
+    ) -> usize {
+        let len = end - start;
+        let words = &mut scratch.words[..len.div_ceil(kernels::WORD_BITS)];
+        let (col0, p0) = self.preds[0];
+        let mut any = kernels::mask_first(&col0[start..end], p0, words);
+        for &(col, p) in &self.preds[1..] {
+            if any == 0 {
+                break;
+            }
+            any = kernels::mask_refine(&col[start..end], p, words);
+        }
+        if any == 0 {
+            return 0;
+        }
+        match (self.agg, self.agg_col) {
+            (Aggregation::Count, _) | (_, None) => {
+                let n = kernels::mask_count(words);
+                acc.add_bulk(n as u64, 0);
+                n
+            }
+            (Aggregation::Sum(_) | Aggregation::Avg(_), Some(col)) => {
+                let (n, sum) = kernels::mask_sum(&col[start..end], words);
+                acc.add_bulk(n, sum);
+                n as usize
+            }
+            (Aggregation::Min(_), Some(col)) => {
+                let (n, lo) = kernels::mask_min(&col[start..end], words);
+                acc.add_block(n, 0, lo, None);
+                n as usize
+            }
+            (Aggregation::Max(_), Some(col)) => {
+                let (n, hi) = kernels::mask_max(&col[start..end], words);
+                acc.add_block(n, 0, None, hi);
+                n as usize
+            }
         }
     }
 }
 
-/// Scans one contiguous range into an accumulator, vectorized.
+/// Scans one contiguous range into an accumulator with the default kernels.
 ///
 /// One-shot form of the kernel shared by both executors, used by
-/// `ColumnStore::scan_range` for direct single-range scans. Callers scanning
-/// many ranges of one query should go through [`execute_plan`], which
-/// resolves the query's columns once.
+/// `ColumnStore::scan_range` for direct single-range scans. Unlike the plan
+/// executors (which clamp once at entry), this clamps the given range itself.
+/// Callers scanning many ranges of one query should go through
+/// [`execute_plan`], which resolves the query's columns once.
 #[allow(clippy::too_many_arguments)]
 pub fn scan_range_into(
     source: &dyn ScanSource,
@@ -422,15 +728,18 @@ pub fn scan_range_into(
     count_range: bool,
     acc: &mut AggAccumulator,
     counters: &mut ScanCounters,
-    sel: &mut Vec<u32>,
+    scratch: &mut BlockScratch,
 ) {
+    let range = range.start.min(source.num_rows())..range.end.min(source.num_rows());
     ResolvedQuery::new(source, residual, acc.aggregation()).scan_range(
         range,
         exact,
         count_range,
+        KernelTier::default(),
+        &mut Density::default(),
         acc,
         counters,
-        sel,
+        scratch,
     );
 }
 
@@ -531,6 +840,20 @@ mod tests {
     }
 
     #[test]
+    fn clamped_borrows_in_bounds_plans_and_trims_others() {
+        let plan = ScanPlan::from_ranges([(0..10, false), (20..30, true)]);
+        assert!(matches!(plan.clamped(30), Cow::Borrowed(_)));
+
+        let plan = ScanPlan::from_ranges([(0..10, false), (20..50, true), (60..70, false)]);
+        let clamped = plan.clamped(25);
+        assert!(matches!(clamped, Cow::Owned(_)));
+        assert_eq!(clamped.num_ranges(), 2);
+        assert_eq!(clamped.ranges()[1].range, 20..25);
+        assert!(clamped.ranges()[1].exact);
+        assert_eq!(clamped.total_points(), 15);
+    }
+
+    #[test]
     fn executor_matches_oracle_on_full_scan() {
         let ds = source();
         let q = count(vec![Predicate::range(0, 100, 499).unwrap()]);
@@ -551,6 +874,70 @@ mod tests {
         ]);
         let (res, _) = execute_plan(&ds, &q, &ScanPlan::full(ds.len()));
         assert_eq!(res, q.execute_full_scan(&ds));
+    }
+
+    #[test]
+    fn every_tier_is_bit_identical_including_counters() {
+        let ds = source();
+        let plan = ScanPlan::from_ranges([(0..300, false), (450..700, false), (800..1000, true)]);
+        for agg in [
+            Aggregation::Count,
+            Aggregation::Sum(1),
+            Aggregation::Min(1),
+            Aggregation::Max(1),
+            Aggregation::Avg(1),
+        ] {
+            let q = Query::new(
+                vec![
+                    Predicate::range(0, 50, 650).unwrap(),
+                    Predicate::range(2, 5, 95).unwrap(),
+                ],
+                agg,
+            )
+            .unwrap();
+            let (expected, expected_counters) =
+                execute_plan_tiered(&ds, &q, &plan, KernelTier::Scalar);
+            for tier in KernelTier::ALL {
+                let (res, counters) = execute_plan_tiered(&ds, &q, &plan, tier);
+                assert_eq!(res, expected, "{agg:?} via {tier:?}");
+                assert_eq!(counters, expected_counters, "{agg:?} counters via {tier:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_tier_handles_all_aggregations_on_dense_selections() {
+        // ~99% dense selection: the bitmap's fully-set-word fast paths run.
+        let ds = source();
+        let preds = vec![Predicate::range(0, 5, 994).unwrap()];
+        for agg in [
+            Aggregation::Count,
+            Aggregation::Sum(1),
+            Aggregation::Min(1),
+            Aggregation::Max(1),
+            Aggregation::Avg(1),
+        ] {
+            let q = Query::new(preds.clone(), agg).unwrap();
+            let (res, _) =
+                execute_plan_tiered(&ds, &q, &ScanPlan::full(ds.len()), KernelTier::Bitmap);
+            assert_eq!(res, q.execute_full_scan(&ds), "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_tier_switches_to_bitmap_on_observed_density() {
+        // First block seeds the estimate on the vector path; subsequent
+        // blocks of this ~90%-dense scan take the bitmap path and must stay
+        // correct. (Representation choice is unobservable except through
+        // timing, so this asserts end-to-end equality on a multi-block scan.)
+        let n = 8 * BLOCK_ROWS as u64;
+        let ds = Dataset::from_columns(vec![(0..n).map(|v| v % 10).collect()]).unwrap();
+        let q = count(vec![Predicate::range(0, 1, 9).unwrap()]);
+        let expected = q.execute_full_scan(&ds);
+        let (res, counters) =
+            execute_plan_tiered(&ds, &q, &ScanPlan::full(ds.len()), KernelTier::Adaptive);
+        assert_eq!(res, expected);
+        assert_eq!(Some(counters.matched as u64), expected.as_count());
     }
 
     #[test]
@@ -649,12 +1036,15 @@ mod tests {
             let q = Query::new(vec![Predicate::range(1, 100, 800).unwrap()], agg).unwrap();
             let (serial, serial_counters) = execute_plan(&ds, &q, &plan);
             for threads in [2, 3, 8] {
-                let (parallel, parallel_counters) = execute_plan_parallel(&ds, &q, &plan, threads);
-                assert_eq!(parallel, serial, "{agg:?} with {threads} threads");
-                assert_eq!(
-                    parallel_counters, serial_counters,
-                    "{agg:?} counters with {threads} threads"
-                );
+                for tier in KernelTier::ALL {
+                    let (parallel, parallel_counters) =
+                        execute_plan_parallel_tiered(&ds, &q, &plan, threads, tier);
+                    assert_eq!(parallel, serial, "{agg:?} with {threads} threads {tier:?}");
+                    assert_eq!(
+                        parallel_counters, serial_counters,
+                        "{agg:?} counters with {threads} threads {tier:?}"
+                    );
+                }
             }
         }
     }
@@ -677,5 +1067,12 @@ mod tests {
         let (res, counters) = execute_plan(&ds, &q, &ScanPlan::new());
         assert_eq!(res, AggResult::Min(None));
         assert_eq!(counters, ScanCounters::default());
+    }
+
+    #[test]
+    fn tier_labels_are_stable() {
+        let labels: Vec<&str> = KernelTier::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels, vec!["scalar", "vector", "bitmap", "adaptive"]);
+        assert_eq!(KernelTier::default(), KernelTier::Adaptive);
     }
 }

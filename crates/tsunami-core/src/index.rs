@@ -14,7 +14,7 @@
 //! [`MultiDimIndex::execute_parallel`] methods run every plan through the
 //! shared vectorized executor in [`crate::exec`].
 
-use crate::exec::{self, ScanCounters, ScanPlan, ScanSource};
+use crate::exec::{self, KernelTier, ScanCounters, ScanPlan, ScanSource};
 use crate::query::{AggResult, Query};
 
 /// Wall-clock breakdown of building an index (Fig 9b): every index must sort
@@ -92,6 +92,33 @@ pub trait MultiDimIndex {
     fn execute_parallel(&self, query: &Query, threads: usize) -> (AggResult, IndexStats) {
         let (result, counters) =
             exec::execute_plan_parallel(self.source(), query, &self.plan(query), threads);
+        (result, counters.into())
+    }
+
+    /// Executes a query with an explicitly pinned [`KernelTier`]. All tiers
+    /// are bit-identical in results and counters (see the
+    /// [`exec`](crate::exec) module docs); benchmarks and differential tests
+    /// use this to compare them.
+    fn execute_tiered(&self, query: &Query, tier: KernelTier) -> (AggResult, IndexStats) {
+        let (result, counters) =
+            exec::execute_plan_tiered(self.source(), query, &self.plan(query), tier);
+        (result, counters.into())
+    }
+
+    /// [`Self::execute_tiered`] through the parallel executor.
+    fn execute_parallel_tiered(
+        &self,
+        query: &Query,
+        threads: usize,
+        tier: KernelTier,
+    ) -> (AggResult, IndexStats) {
+        let (result, counters) = exec::execute_plan_parallel_tiered(
+            self.source(),
+            query,
+            &self.plan(query),
+            threads,
+            tier,
+        );
         (result, counters.into())
     }
 

@@ -36,7 +36,7 @@ pub use cost::{CostFeatures, CostModel};
 pub use dataset::{Dataset, Point, Value};
 pub use emd::emd;
 pub use error::{Result, TsunamiError};
-pub use exec::{ScanCounters, ScanPlan, ScanRange, ScanSource};
+pub use exec::{BlockScratch, KernelTier, ScanCounters, ScanPlan, ScanRange, ScanSource};
 pub use histogram::Histogram;
 pub use index::{BuildTiming, IndexStats, MultiDimIndex};
 pub use query::{AggAccumulator, AggResult, Aggregation, Predicate, Query, Workload};

@@ -40,9 +40,14 @@ impl Predicate {
     }
 
     /// Whether a value satisfies this predicate.
-    #[inline]
+    ///
+    /// Branchless on purpose: the two compares are folded with a
+    /// non-short-circuiting `&`, so this compiles to straight-line compare
+    /// arithmetic the vectorized kernels can lift into SIMD lanes. This sits
+    /// in the innermost loop of every non-exact scan.
+    #[inline(always)]
     pub fn matches(&self, v: Value) -> bool {
-        self.lo <= v && v <= self.hi
+        (self.lo <= v) & (v <= self.hi)
     }
 
     /// The width of the filter range (inclusive), saturating at `u64::MAX`.

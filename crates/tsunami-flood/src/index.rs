@@ -127,6 +127,7 @@ impl MultiDimIndex for FloodIndex {
     }
 
     fn plan(&self, query: &Query) -> ScanPlan {
+        let d = self.layout.num_dims();
         let pr = self.layout.partition_ranges(query);
         let runs = self.layout.cell_runs(&pr);
         let mut plan = ScanPlan::new();
@@ -138,7 +139,13 @@ impl MultiDimIndex for FloodIndex {
                 exact,
             );
         }
-        plan
+        // Residual elimination: drop the predicates whose every intersecting
+        // partition the grid bounds exactly — only genuinely undecided
+        // dimensions are re-checked inside non-exact cells.
+        let guaranteed: Vec<bool> = (0..d)
+            .map(|dim| self.layout.dim_guaranteed(&pr, dim))
+            .collect();
+        plan.with_guaranteed_dims(query, &guaranteed)
     }
 
     fn size_bytes(&self) -> usize {

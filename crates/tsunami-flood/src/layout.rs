@@ -166,6 +166,20 @@ impl GridLayout {
         }
     }
 
+    /// Whether the query's predicate on `dim` is guaranteed to hold for every
+    /// row of every cell the query visits: each intersecting partition of
+    /// `dim` is fully contained in the predicate's value range. Unfiltered
+    /// dimensions are trivially guaranteed. Guaranteed predicates can be
+    /// dropped from the plan's residual — the executor then re-checks only
+    /// genuinely undecided dimensions inside non-exact cells.
+    pub fn dim_guaranteed(&self, ranges: &PartitionRanges, dim: usize) -> bool {
+        let (lo, hi) = ranges.intersecting[dim];
+        match ranges.exact[dim] {
+            Some((elo, ehi)) => elo <= lo && hi <= ehi,
+            None => false,
+        }
+    }
+
     /// Enumerates the intersecting cells of a query as `(first_cell,
     /// last_cell, exact)` runs that are contiguous in cell-id space (runs
     /// along the last dimension).

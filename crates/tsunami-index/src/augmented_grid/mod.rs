@@ -23,6 +23,21 @@ use tsunami_core::{Dataset, Predicate, Query, Value};
 /// cell can be exact).
 type EffectiveRanges = (Vec<Option<(Value, Value)>>, bool);
 
+/// The outcome of planning one query against an [`AugmentedGrid`]: the local
+/// physical ranges to scan plus per-dimension predicate guarantees.
+#[derive(Debug, Clone)]
+pub struct GridRanges {
+    /// Local `(row range, exact)` pairs in physical scan order.
+    pub ranges: Vec<(Range<usize>, bool)>,
+    /// `guaranteed[dim]` is true when the query's predicate on `dim` (if
+    /// any) is satisfied by construction on *every* returned range — every
+    /// visited partition of `dim` lies fully inside the predicate's value
+    /// range — so the executor never needs to re-check it. Unfiltered
+    /// dimensions are trivially guaranteed; filtered mapped dimensions never
+    /// are (the mapping rewrite only over-approximates their filter).
+    pub guaranteed: Vec<bool>,
+}
+
 /// A built Augmented Grid over one region's data.
 ///
 /// The grid stores only *local* row offsets (0-based within the region); the
@@ -311,8 +326,24 @@ impl AugmentedGrid {
     /// Computes the local physical row ranges (and exactness flags) a query
     /// must scan.
     pub fn ranges_for(&self, query: &Query) -> Vec<(Range<usize>, bool)> {
+        self.plan_ranges(query).ranges
+    }
+
+    /// Like [`AugmentedGrid::ranges_for`], additionally reporting which
+    /// dimensions' predicates the visited cells guarantee by construction
+    /// (see [`GridRanges::guaranteed`]). The owning index uses this for
+    /// residual-predicate elimination: guaranteed predicates never need
+    /// re-checking inside the returned non-exact ranges.
+    pub fn plan_ranges(&self, query: &Query) -> GridRanges {
+        let d = self.skeleton.num_dims();
+        let empty = GridRanges {
+            ranges: Vec::new(),
+            guaranteed: vec![true; d],
+        };
         let Some((eff, mapped_filter)) = self.effective_predicates(query) else {
-            return Vec::new();
+            // Proven empty: nothing is scanned, every predicate is trivially
+            // guaranteed on the (empty) set of planned ranges.
+            return empty;
         };
 
         // Enumerate intersecting cells. Base dimensions must be enumerated
@@ -336,17 +367,24 @@ impl AugmentedGrid {
 
         let mut cells: Vec<(usize, bool)> = Vec::new();
         // chosen[dim] = partition chosen for already-enumerated dims.
-        let mut chosen: Vec<usize> = vec![0; self.skeleton.num_dims()];
+        let mut chosen: Vec<usize> = vec![0; d];
+        // Union over emitted cells of the dims whose partition was not fully
+        // contained in the original predicate (bit per dim; guarantee
+        // tracking is skipped for >128-dim grids, which do not occur in
+        // practice).
+        let mut not_guaranteed: u128 = 0;
         self.enumerate_cells(
             &order,
             0,
             0,
             !mapped_filter,
+            0,
             &eff,
             query,
             &stride_of,
             &mut chosen,
             &mut cells,
+            &mut not_guaranteed,
         );
 
         cells.sort_unstable_by_key(|&(c, _)| c);
@@ -367,7 +405,26 @@ impl AugmentedGrid {
             }
             out.push((start..end, exact));
         }
-        out
+
+        let guaranteed: Vec<bool> = (0..d)
+            .map(|dim| {
+                if query.predicate_on(dim).is_none() {
+                    return true;
+                }
+                // A filtered mapped dimension is removed from the grid and
+                // its filter only over-approximated through the mapping: it
+                // must always be re-checked. Beyond 128 dims the tracking
+                // bitmask is too narrow; be conservative.
+                if matches!(self.skeleton.strategy(dim), DimStrategy::Mapped { .. }) || d > 128 {
+                    return false;
+                }
+                not_guaranteed & (1u128 << dim) == 0
+            })
+            .collect();
+        GridRanges {
+            ranges: out,
+            guaranteed,
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -377,20 +434,24 @@ impl AugmentedGrid {
         idx: usize,
         cell_acc: usize,
         exact_acc: bool,
+        inexact_dims: u128,
         eff: &[Option<(Value, Value)>],
         query: &Query,
         stride_of: &dyn Fn(usize) -> usize,
         chosen: &mut Vec<usize>,
         out: &mut Vec<(usize, bool)>,
+        not_guaranteed: &mut u128,
     ) {
         if idx == order.len() {
             out.push((cell_acc, exact_acc));
+            *not_guaranteed |= inexact_dims;
             return;
         }
         let dim = order[idx];
         let p = self.partitions[dim];
         let stride = stride_of(dim);
         let orig_pred = query.predicate_on(dim);
+        let dim_bit = if dim < 128 { 1u128 << dim } else { 0 };
 
         match self.skeleton.strategy(dim) {
             DimStrategy::Independent => {
@@ -402,17 +463,19 @@ impl AugmentedGrid {
                 };
                 for part in lo_p..=hi_p {
                     chosen[dim] = part;
-                    let exact = exact_acc && self.independent_partition_exact(dim, part, orig_pred);
+                    let dim_exact = self.independent_partition_exact(dim, part, orig_pred);
                     self.enumerate_cells(
                         order,
                         idx + 1,
                         cell_acc + part * stride,
-                        exact,
+                        exact_acc && dim_exact,
+                        inexact_dims | if dim_exact { 0 } else { dim_bit },
                         eff,
                         query,
                         stride_of,
                         chosen,
                         out,
+                        not_guaranteed,
                     );
                 }
             }
@@ -436,18 +499,20 @@ impl AugmentedGrid {
                 }
                 for part in lo_p..=hi_p {
                     chosen[dim] = part;
-                    let exact = exact_acc
-                        && self.conditional_partition_exact(dim, base_part, part, orig_pred);
+                    let dim_exact =
+                        self.conditional_partition_exact(dim, base_part, part, orig_pred);
                     self.enumerate_cells(
                         order,
                         idx + 1,
                         cell_acc + part * stride,
-                        exact,
+                        exact_acc && dim_exact,
+                        inexact_dims | if dim_exact { 0 } else { dim_bit },
                         eff,
                         query,
                         stride_of,
                         chosen,
                         out,
+                        not_guaranteed,
                     );
                 }
             }

@@ -239,7 +239,13 @@ impl MultiDimIndex for TsunamiIndex {
     }
 
     fn plan(&self, query: &Query) -> ScanPlan {
+        let d = self.store.num_dims();
         let mut plan = ScanPlan::new();
+        // Residual elimination: a predicate needs re-checking only if *some*
+        // planned region fails to guarantee it by construction (through its
+        // grid's visited partitions, or through the Grid Tree region bounds
+        // for unindexed regions).
+        let mut guaranteed = vec![true; d];
         for region_id in self.tree.regions_for_query(query) {
             let region = &self.regions[region_id];
             if region.len == 0 {
@@ -247,17 +253,28 @@ impl MultiDimIndex for TsunamiIndex {
             }
             match &region.grid {
                 Some(grid) => {
-                    for (r, exact) in grid.ranges_for(query) {
+                    let ranges = grid.plan_ranges(query);
+                    for (r, exact) in ranges.ranges {
                         plan.push(region.base + r.start..region.base + r.end, exact);
+                    }
+                    for (g, rg) in guaranteed.iter_mut().zip(&ranges.guaranteed) {
+                        *g &= rg;
                     }
                 }
                 None => {
-                    let exact = self.tree.region(region_id).contained_in(query);
+                    let tree_region = self.tree.region(region_id);
+                    let exact = tree_region.contained_in(query);
                     plan.push(region.base..region.base + region.len, exact);
+                    for p in query.predicates() {
+                        if p.dim < d {
+                            let (lo, hi) = tree_region.bounds[p.dim];
+                            guaranteed[p.dim] &= p.lo <= lo && hi <= p.hi;
+                        }
+                    }
                 }
             }
         }
-        plan
+        plan.with_guaranteed_dims(query, &guaranteed)
     }
 
     fn size_bytes(&self) -> usize {

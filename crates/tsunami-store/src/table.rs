@@ -4,7 +4,7 @@
 use std::ops::Range;
 
 use crate::column::Column;
-use tsunami_core::exec::{self, ScanPlan, ScanSource, BLOCK_ROWS};
+use tsunami_core::exec::{self, BlockScratch, ScanPlan, ScanSource};
 use tsunami_core::{AggAccumulator, AggResult, Dataset, Query, ScanCounters, Value};
 
 /// A column-oriented physical table.
@@ -94,7 +94,7 @@ impl ColumnStore {
         acc: &mut AggAccumulator,
         counters: &mut ScanCounters,
     ) {
-        let mut sel = Vec::with_capacity(BLOCK_ROWS.min(range.len()));
+        let mut scratch = BlockScratch::new();
         exec::scan_range_into(
             self,
             query.predicates(),
@@ -103,7 +103,7 @@ impl ColumnStore {
             true,
             acc,
             counters,
-            &mut sel,
+            &mut scratch,
         );
     }
 

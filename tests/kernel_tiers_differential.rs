@@ -1,0 +1,239 @@
+//! Differential tests for the executor's kernel tiers: the branchless
+//! selection-vector path, the word-packed selection-bitmap path, and the
+//! adaptive per-block switch must all be bit-identical — results *and*
+//! [`ScanCounters`] — to the scalar oracle loop, across a seeded sweep of
+//! selectivities (0%, ~1%, ~50%, ~99%, 100%), predicate counts (1–4), and
+//! block-boundary offsets, for all five aggregations, serial and parallel,
+//! and for all seven index families.
+
+use tsunami_baselines::{ClusteredSingleDimIndex, FullScanIndex, HyperOctree, KdTree, ZOrderIndex};
+use tsunami_core::exec::{
+    execute_plan_parallel_tiered, execute_plan_tiered, KernelTier, ScanPlan, BLOCK_ROWS,
+};
+use tsunami_core::sample::SplitMix;
+use tsunami_core::{Aggregation, CostModel, Dataset, MultiDimIndex, Predicate, Query, Workload};
+use tsunami_flood::{FloodConfig, FloodIndex};
+use tsunami_index::{TsunamiConfig, TsunamiIndex};
+
+const ALL_AGGREGATIONS: [Aggregation; 5] = [
+    Aggregation::Count,
+    Aggregation::Sum(4),
+    Aggregation::Min(4),
+    Aggregation::Max(4),
+    Aggregation::Avg(4),
+];
+
+/// Uniform values below `DOMAIN` on 4 predicate dims plus one aggregation
+/// input dim, deliberately *not* block-aligned in length.
+const DOMAIN: u64 = 1_000;
+
+fn sweep_dataset(rows: usize, seed: u64) -> Dataset {
+    let mut rng = SplitMix::new(seed);
+    let mut cols: Vec<Vec<u64>> = (0..4)
+        .map(|_| (0..rows).map(|_| rng.next_below(DOMAIN)).collect())
+        .collect();
+    cols.push((0..rows).map(|_| rng.next_below(1_000_000)).collect());
+    Dataset::from_columns(cols).unwrap()
+}
+
+/// First-predicate ranges for the selectivity sweep: 0% lies outside the
+/// domain, 100% covers it entirely.
+fn selectivity_ranges() -> [(u64, u64); 5] {
+    [
+        (DOMAIN + 1, DOMAIN + 2),   // 0%
+        (0, DOMAIN / 100 - 1),      // ~1%
+        (0, DOMAIN / 2 - 1),        // ~50%
+        (0, DOMAIN / 100 * 99 - 1), // ~99%
+        (0, DOMAIN),                // 100%
+    ]
+}
+
+/// Plans hitting block boundaries in awkward ways: gaps right at, just
+/// before, and just after multiples of `BLOCK_ROWS`, plus tiny fragments.
+fn boundary_plans(rows: usize) -> Vec<ScanPlan> {
+    let b = BLOCK_ROWS;
+    vec![
+        ScanPlan::full(rows),
+        ScanPlan::from_ranges([
+            (0..b - 1, false),
+            (b..2 * b + 1, false),
+            (2 * b + 3..rows, false),
+        ]),
+        ScanPlan::from_ranges([
+            (1..17, false),
+            (b - 1..b, false),
+            (b + 1..3 * b - 5, false),
+            (3 * b..rows.min(3 * b + 9), false),
+        ]),
+    ]
+}
+
+#[test]
+fn tier_sweep_selectivity_predicates_and_block_offsets() {
+    let rows = 3 * BLOCK_ROWS + 517;
+    let data = sweep_dataset(rows, 0xeca1);
+    for (lo, hi) in selectivity_ranges() {
+        for npreds in 1..=4usize {
+            let mut preds = vec![Predicate::range(0, lo, hi).unwrap()];
+            for dim in 1..npreds {
+                // Wide but not full, so every predicate is genuinely checked.
+                preds.push(Predicate::range(dim, 1, DOMAIN).unwrap());
+            }
+            for plan in boundary_plans(rows) {
+                for agg in ALL_AGGREGATIONS {
+                    let q = Query::new(preds.clone(), agg).unwrap();
+                    // Independent oracle over exactly the planned rows.
+                    let planned: Vec<usize> =
+                        plan.ranges().iter().flat_map(|r| r.range.clone()).collect();
+                    let expected = q.execute_full_scan(&data.select_rows(&planned));
+                    let (scalar, scalar_counters) =
+                        execute_plan_tiered(&data, &q, &plan, KernelTier::Scalar);
+                    assert_eq!(scalar, expected, "scalar vs oracle ({lo}..={hi}, {agg:?})");
+                    for tier in KernelTier::ALL {
+                        let (res, counters) = execute_plan_tiered(&data, &q, &plan, tier);
+                        assert_eq!(res, scalar, "{tier:?} result ({lo}..={hi}, {npreds} preds)");
+                        assert_eq!(
+                            counters, scalar_counters,
+                            "{tier:?} counters ({lo}..={hi}, {npreds} preds)"
+                        );
+                        let (par, par_counters) =
+                            execute_plan_parallel_tiered(&data, &q, &plan, 3, tier);
+                        assert_eq!(par, scalar, "{tier:?} parallel result");
+                        assert_eq!(par_counters, scalar_counters, "{tier:?} parallel counters");
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn build_all(data: &Dataset, workload: &Workload) -> Vec<Box<dyn MultiDimIndex>> {
+    let cost = CostModel::default();
+    vec![
+        Box::new(
+            TsunamiIndex::build_with_cost(data, workload, &cost, &TsunamiConfig::fast()).unwrap(),
+        ),
+        Box::new(FloodIndex::build(
+            data,
+            workload,
+            &cost,
+            &FloodConfig::fast(),
+        )),
+        Box::new(ClusteredSingleDimIndex::build(data, workload)),
+        Box::new(ZOrderIndex::build(data, workload, 128)),
+        Box::new(HyperOctree::build(data, workload, 128)),
+        Box::new(KdTree::build(data, workload, 128)),
+        Box::new(FullScanIndex::build(data)),
+    ]
+}
+
+#[test]
+fn all_seven_indexes_are_bit_identical_across_tiers_serial_and_parallel() {
+    let mut rng = SplitMix::new(0x7157);
+    let data = sweep_dataset(2_400, 0x7158);
+    let workload = Workload::new(
+        (0..8)
+            .map(|i| {
+                let dim = (i % 4) as usize;
+                let lo = rng.next_below(DOMAIN - 200);
+                let width = 1 + rng.next_below(DOMAIN / 2);
+                Query::count(vec![Predicate::range(dim, lo, lo + width).unwrap()]).unwrap()
+            })
+            .collect(),
+    );
+    let indexes = build_all(&data, &workload);
+    for q in workload.queries() {
+        for agg in ALL_AGGREGATIONS {
+            let q = Query::new(q.predicates().to_vec(), agg).unwrap();
+            let expected = q.execute_full_scan(&data);
+            for idx in &indexes {
+                let (scalar, scalar_stats) = idx.execute_tiered(&q, KernelTier::Scalar);
+                assert_eq!(
+                    scalar,
+                    expected,
+                    "{} scalar vs oracle ({agg:?})",
+                    idx.name()
+                );
+                for tier in KernelTier::ALL {
+                    let (res, stats) = idx.execute_tiered(&q, tier);
+                    assert_eq!(res, scalar, "{} {tier:?} ({agg:?})", idx.name());
+                    assert_eq!(
+                        stats,
+                        scalar_stats,
+                        "{} {tier:?} stats ({agg:?})",
+                        idx.name()
+                    );
+                    let (par, par_stats) = idx.execute_parallel_tiered(&q, 4, tier);
+                    assert_eq!(par, scalar, "{} {tier:?} parallel ({agg:?})", idx.name());
+                    assert_eq!(
+                        par_stats,
+                        scalar_stats,
+                        "{} {tier:?} parallel stats ({agg:?})",
+                        idx.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn residual_elimination_keeps_every_planner_consistent_with_the_oracle() {
+    // Queries whose predicates span whole dimension domains are exactly the
+    // ones residual elimination fires on (every visited partition / page
+    // bbox is fully contained): the plans must still answer identically to
+    // the oracle, and whole-domain predicates must actually be dropped from
+    // the residual where the planner supports elimination.
+    let data = sweep_dataset(3_000, 0x9e51);
+    let workload = Workload::new(vec![Query::count(vec![
+        Predicate::range(0, 0, DOMAIN / 4).unwrap()
+    ])
+    .unwrap()]);
+    let indexes = build_all(&data, &workload);
+    let cases = vec![
+        // Whole-domain predicate on dim1 + selective filter on dim0.
+        Query::count(vec![
+            Predicate::range(0, 100, 400).unwrap(),
+            Predicate::range(1, 0, DOMAIN).unwrap(),
+        ])
+        .unwrap(),
+        // Everything whole-domain: plans may drop every residual check.
+        Query::count(vec![
+            Predicate::range(0, 0, DOMAIN).unwrap(),
+            Predicate::range(2, 0, DOMAIN).unwrap(),
+        ])
+        .unwrap(),
+        // Mixed: one selective, one wide, one whole-domain.
+        Query::count(vec![
+            Predicate::range(0, 50, 150).unwrap(),
+            Predicate::range(1, 10, DOMAIN - 10).unwrap(),
+            Predicate::range(3, 0, DOMAIN).unwrap(),
+        ])
+        .unwrap(),
+    ];
+    for q in &cases {
+        let expected = q.execute_full_scan(&data);
+        for idx in &indexes {
+            assert_eq!(idx.execute(q), expected, "{} on {q:?}", idx.name());
+            let plan = idx.plan(q);
+            let residual = plan.residual(q);
+            assert!(
+                residual.len() <= q.predicates().len(),
+                "{} residual grew",
+                idx.name()
+            );
+            // Whole-domain predicates never survive into the residual of the
+            // planners that perform elimination (everything except the plain
+            // full scan, which guarantees nothing by construction).
+            if idx.name() != "FullScan" {
+                for p in residual {
+                    assert!(
+                        !(p.lo == 0 && p.hi >= DOMAIN),
+                        "{} kept a whole-domain predicate in its residual: {p:?}",
+                        idx.name()
+                    );
+                }
+            }
+        }
+    }
+}
