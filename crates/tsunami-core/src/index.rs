@@ -128,6 +128,15 @@ pub trait MultiDimIndex {
 
     /// Build-time breakdown recorded while constructing the index (Fig 9b).
     fn build_timing(&self) -> BuildTiming;
+
+    /// Downcast hook for capabilities beyond this trait (e.g. the engine's
+    /// incremental re-optimization path, which needs the concrete Tsunami
+    /// index behind a `Box<dyn MultiDimIndex>`). Indexes with such
+    /// capabilities override this to return `Some(self)`; the default opts
+    /// out, so plain indexes need no boilerplate.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -4,14 +4,31 @@
 //! owns the catalog of tables (each a dataset + schema + one index built from
 //! an [`IndexSpec`]), validates every query at the boundary, and hands out
 //! cheap [`Table`] handles that the [`crate::Scheduler`]'s workers share.
+//!
+//! Workload shift (§8) is handled at this layer too: [`Database::reindex`]
+//! rebuilds a table's layout from scratch, [`Database::reoptimize`] takes
+//! the cheaper incremental path (Tsunami tables keep their Grid Tree and
+//! sorted data; only regions whose query mix changed are re-optimized), and
+//! [`Database::auto_reoptimize`] closes the loop autonomously from the
+//! queries recorded via [`Table::record_query`].
 
 use std::sync::Arc;
 
 use tsunami_core::{CostModel, Dataset, Result, TsunamiError, Workload};
+use tsunami_index::{ReoptReport, TsunamiConfig, TsunamiIndex, WorkloadMonitor};
 
 use crate::schema::Schema;
 use crate::spec::{IndexSpec, SharedIndex};
 use crate::table::Table;
+
+/// Observation-log capacity for tables built from a spec: Tsunami tables
+/// honor their config's window, everything else gets the default.
+fn observe_cap(spec: &IndexSpec) -> usize {
+    match spec {
+        IndexSpec::Tsunami(config) => config.observation_window,
+        _ => TsunamiConfig::default().observation_window,
+    }
+}
 
 /// A catalog of named, indexed tables. Registration order is preserved for
 /// iteration (benchmark output stays deterministic).
@@ -57,7 +74,14 @@ impl Database {
         let data = data.into();
         let schema = Schema::new(columns.to_vec())?;
         let index = self.build_index(&schema, &data, workload, spec)?;
-        self.register(name, schema, data, index)
+        self.register(
+            name,
+            schema,
+            data,
+            index,
+            workload.clone(),
+            observe_cap(spec),
+        )
     }
 
     /// Like [`Database::create_table`] with auto-generated `col0..colN`
@@ -72,11 +96,19 @@ impl Database {
         let data = data.into();
         let schema = Schema::numbered(data.num_dims());
         let index = self.build_index(&schema, &data, workload, spec)?;
-        self.register(name, schema, data, index)
+        self.register(
+            name,
+            schema,
+            data,
+            index,
+            workload.clone(),
+            observe_cap(spec),
+        )
     }
 
     /// Registers a table around an already-built index (escape hatch for
-    /// custom index construction).
+    /// custom index construction). The reference workload starts empty, so
+    /// shift detection treats every observed query as new.
     pub fn register_table(
         &mut self,
         name: &str,
@@ -91,7 +123,8 @@ impl Database {
                 got: schema.num_columns(),
             });
         }
-        self.register(name, schema, data, index)
+        let cap = TsunamiConfig::default().observation_window;
+        self.register(name, schema, data, index, Workload::default(), cap)
     }
 
     fn build_index(
@@ -119,11 +152,20 @@ impl Database {
         schema: Schema,
         data: Arc<Dataset>,
         index: SharedIndex,
+        reference: Workload,
+        observe_cap: usize,
     ) -> Result<Table> {
         if self.tables.iter().any(|t| t.name() == name) {
             return Err(TsunamiError::DuplicateTable(name.to_string()));
         }
-        let table = Table::new(name.to_string(), schema, data, index);
+        let table = Table::new(
+            name.to_string(),
+            schema,
+            data,
+            index,
+            reference,
+            observe_cap,
+        );
         self.tables.push(table.clone());
         Ok(table)
     }
@@ -161,21 +203,119 @@ impl Database {
     /// shift scenario, Fig 9a): same name, same schema, same data, fresh
     /// layout, same position in the catalog's iteration order. Returns the
     /// new handle; old handles keep answering through the stale layout until
-    /// dropped. On failure the catalog is unchanged.
+    /// dropped — and keep recording into the same observation log, which is
+    /// cleared by the swap (the observations are consumed by the new
+    /// layout's reference workload). On failure the catalog is unchanged.
     pub fn reindex(&mut self, name: &str, workload: &Workload, spec: &IndexSpec) -> Result<Table> {
-        let pos = self
-            .tables
-            .iter()
-            .position(|t| t.name() == name)
-            .ok_or_else(|| TsunamiError::UnknownTable(name.to_string()))?;
+        let pos = self.position(name)?;
         let old = &self.tables[pos];
         let schema = old.schema().clone();
         // Shares the dataset with the old table; only the index is rebuilt.
         let data = Arc::clone(&old.state.data);
         let index = self.build_index(&schema, &data, workload, spec)?;
-        let table = Table::new(name.to_string(), schema, data, index);
+        let table = Table::with_observation_log(
+            name.to_string(),
+            schema,
+            data,
+            index,
+            workload.clone(),
+            observe_cap(spec),
+            Arc::clone(&old.state.observed),
+        );
+        table.clear_observations();
         self.tables[pos] = table.clone();
         Ok(table)
+    }
+
+    /// Adapts a table's index to a new workload *incrementally* where the
+    /// index family supports it, keeping the catalog position. Tsunami
+    /// tables re-optimized with a Tsunami spec go through
+    /// [`TsunamiIndex::reoptimize_with_cost`] — the Grid Tree and sorted
+    /// data are reused and only the regions whose query mix changed are
+    /// re-optimized, which is far cheaper than [`Database::reindex`]. Every
+    /// other (table, spec) combination falls back to a full reindex.
+    ///
+    /// Like `reindex`, old handles keep answering (with the stale layout)
+    /// until dropped, and on failure the catalog is unchanged.
+    pub fn reoptimize(
+        &mut self,
+        name: &str,
+        workload: &Workload,
+        spec: &IndexSpec,
+    ) -> Result<Table> {
+        Ok(self.reoptimize_with_report(name, workload, spec)?.0)
+    }
+
+    /// Like [`Database::reoptimize`], also returning the incremental path's
+    /// [`ReoptReport`] (`None` when the combination fell back to a full
+    /// reindex).
+    pub fn reoptimize_with_report(
+        &mut self,
+        name: &str,
+        workload: &Workload,
+        spec: &IndexSpec,
+    ) -> Result<(Table, Option<ReoptReport>)> {
+        let pos = self.position(name)?;
+        let old = &self.tables[pos];
+        if let IndexSpec::Tsunami(config) = spec {
+            if let Some(stale) = old
+                .index()
+                .as_any()
+                .and_then(|any| any.downcast_ref::<TsunamiIndex>())
+            {
+                let data = Arc::clone(&old.state.data);
+                let (index, report) =
+                    stale.reoptimize_with_cost(&data, workload, &self.cost, config)?;
+                let table = Table::with_observation_log(
+                    name.to_string(),
+                    old.schema().clone(),
+                    data,
+                    Box::new(index),
+                    workload.clone(),
+                    observe_cap(spec),
+                    Arc::clone(&old.state.observed),
+                );
+                table.clear_observations();
+                self.tables[pos] = table.clone();
+                return Ok((table, Some(report)));
+            }
+        }
+        Ok((self.reindex(name, workload, spec)?, None))
+    }
+
+    /// The autonomous monitor → re-optimize loop: compares the queries
+    /// recorded via [`Table::record_query`] (the table's bounded observation
+    /// log is the engine's sliding window) against the workload the table's
+    /// layout was optimized for and, if the mix shifted, re-optimizes for
+    /// the observed workload via [`Database::reoptimize`] — which also
+    /// drains the log, so the consumed observations become the new
+    /// reference. Returns `Ok(None)` when nothing was observed or no shift
+    /// was detected — calling this periodically is cheap.
+    pub fn auto_reoptimize(&mut self, name: &str, spec: &IndexSpec) -> Result<Option<Table>> {
+        let table = self.table(name)?;
+        let observed = table.observed_workload();
+        if observed.is_empty() {
+            return Ok(None);
+        }
+        let config = match spec {
+            IndexSpec::Tsunami(c) => c.clone(),
+            _ => TsunamiConfig::default(),
+        };
+        let monitor = WorkloadMonitor::new(table.dataset(), table.reference_workload(), &config);
+        if !monitor
+            .observe(table.dataset(), &observed, &config)
+            .reoptimize
+        {
+            return Ok(None);
+        }
+        self.reoptimize(name, &observed, spec).map(Some)
+    }
+
+    fn position(&self, name: &str) -> Result<usize> {
+        self.tables
+            .iter()
+            .position(|t| t.name() == name)
+            .ok_or_else(|| TsunamiError::UnknownTable(name.to_string()))
     }
 }
 
@@ -346,5 +486,128 @@ mod tests {
         assert!(db
             .reindex("t", &Workload::default(), &IndexSpec::FullScan)
             .is_err());
+    }
+
+    /// Correlated 3-d data plus two disjoint workloads for shift tests.
+    fn shift_fixture() -> (Dataset, Workload, Workload) {
+        let n = 4_000u64;
+        let data = Dataset::from_columns(vec![
+            (0..n).collect(),
+            (0..n).map(|v| v * 2 + v % 13).collect(),
+            (0..n).map(|v| (v * 7919) % 10_000).collect(),
+        ])
+        .unwrap();
+        let day = Workload::new(
+            (0..30u64)
+                .map(|i| {
+                    Query::count(vec![Predicate::range(0, i * 100, i * 100 + 150).unwrap()])
+                        .unwrap()
+                })
+                .collect(),
+        );
+        let night = Workload::new(
+            (0..30u64)
+                .map(|i| {
+                    Query::count(vec![Predicate::range(2, i * 250, i * 250 + 400).unwrap()])
+                        .unwrap()
+                })
+                .collect(),
+        );
+        (data, day, night)
+    }
+
+    #[test]
+    fn reoptimize_takes_the_incremental_path_for_tsunami_tables() {
+        let (data, day, night) = shift_fixture();
+        let spec = IndexSpec::Tsunami(TsunamiConfig::fast());
+        let mut db = Database::new();
+        db.create_table_unnamed("t", data.clone(), &day, &spec)
+            .unwrap();
+        let stale = db.table("t").unwrap();
+
+        let (fresh, report) = db.reoptimize_with_report("t", &night, &spec).unwrap();
+        let report = report.expect("Tsunami + Tsunami spec uses the incremental path");
+        assert!(!report.escalated, "{report:?}");
+        assert_eq!(fresh.reference_workload().len(), night.len());
+        for q in night.queries().iter().chain(day.queries()).step_by(5) {
+            let expected = q.execute_full_scan(&data);
+            assert_eq!(stale.execute(q).unwrap(), expected);
+            assert_eq!(fresh.execute(q).unwrap(), expected);
+        }
+
+        // Non-Tsunami specs fall back to a full reindex (no report).
+        let (rebuilt, report) = db
+            .reoptimize_with_report("t", &night, &IndexSpec::SingleDim)
+            .unwrap();
+        assert!(report.is_none());
+        assert_eq!(rebuilt.index().name(), "SingleDim");
+    }
+
+    #[test]
+    fn record_query_feeds_a_bounded_observation_log() {
+        let (data, day, _) = shift_fixture();
+        let spec = IndexSpec::Tsunami(TsunamiConfig {
+            observation_window: 4,
+            ..TsunamiConfig::fast()
+        });
+        let mut db = Database::new();
+        let t = db.create_table_unnamed("t", data, &day, &spec).unwrap();
+        assert_eq!(t.observed_len(), 0);
+        for (i, q) in day.queries().iter().enumerate() {
+            t.record_query(q).unwrap();
+            assert_eq!(t.observed_len(), (i + 1).min(4));
+        }
+        // Oldest observations were evicted: the log holds the last 4.
+        let obs = t.observed_workload();
+        assert_eq!(obs.queries(), &day.queries()[day.len() - 4..]);
+        // Out-of-bounds observations are rejected at the boundary.
+        let bad = Query::count(vec![Predicate::range(9, 0, 1).unwrap()]).unwrap();
+        assert!(t.record_query(&bad).is_err());
+        t.clear_observations();
+        assert_eq!(t.observed_len(), 0);
+    }
+
+    #[test]
+    fn auto_reoptimize_triggers_only_on_shift() {
+        let (data, day, night) = shift_fixture();
+        let spec = IndexSpec::Tsunami(TsunamiConfig::fast());
+        let mut db = Database::new();
+        let t = db
+            .create_table_unnamed("t", data.clone(), &day, &spec)
+            .unwrap();
+
+        // Nothing observed: no action.
+        assert!(db.auto_reoptimize("t", &spec).unwrap().is_none());
+
+        // Same-mix observations: still no action.
+        for q in day.queries() {
+            t.record_query(q).unwrap();
+        }
+        assert!(db.auto_reoptimize("t", &spec).unwrap().is_none());
+
+        // Shifted observations: re-optimized for the observed workload.
+        for q in night.queries() {
+            t.record_query(q).unwrap();
+        }
+        for q in night.queries() {
+            t.record_query(q).unwrap();
+        }
+        let fresh = db
+            .auto_reoptimize("t", &spec)
+            .unwrap()
+            .expect("shifted observations must trigger re-optimization");
+        for q in night.queries().iter().step_by(7) {
+            assert_eq!(fresh.execute(q).unwrap(), q.execute_full_scan(&data));
+        }
+
+        // The swap consumed the observation log...
+        assert_eq!(fresh.observed_len(), 0);
+        assert_eq!(t.observed_len(), 0);
+        // ...and the log is shared across table generations: queries
+        // recorded through a pre-swap handle still reach the catalog's
+        // current entry, so the autonomous loop keeps working even when the
+        // recording side never re-fetches its handle.
+        t.record_query(&night.queries()[0]).unwrap();
+        assert_eq!(db.table("t").unwrap().observed_len(), 1);
     }
 }

@@ -17,6 +17,11 @@
 //! * [`Scheduler`] — a worker pool running many independent queries
 //!   concurrently over the `Sync` stores (inter-query parallelism), with
 //!   batch execution and a bounded submit/poll queue with backpressure.
+//! * **Workload-shift adaptation** — [`Table::record_query`] feeds a bounded
+//!   observation log, [`Database::auto_reoptimize`] detects drift from the
+//!   optimized-for workload, and [`Database::reoptimize`] re-optimizes
+//!   Tsunami tables *incrementally* (Grid Tree and sorted data reused; only
+//!   shifted regions re-optimized) instead of rebuilding from scratch.
 //!
 //! # Quick start
 //!
@@ -68,3 +73,6 @@ pub use scheduler::{QueryHandle, Scheduler};
 pub use schema::{ColumnRef, Schema};
 pub use spec::{IndexSpec, PageSize, SharedIndex};
 pub use table::Table;
+// Re-exported so engine users can inspect incremental re-optimization
+// outcomes without depending on `tsunami-index` directly.
+pub use tsunami_index::{ReoptReport, ShiftReport, WorkloadMonitor};

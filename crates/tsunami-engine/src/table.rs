@@ -1,8 +1,15 @@
 //! A registered table: named, schema-carrying, and backed by one built
 //! index. Cheaply cloneable so prepared queries and scheduler workers can
 //! share it across threads.
+//!
+//! A table also carries a bounded **observation log**: callers feed served
+//! queries to [`Table::record_query`], and [`crate::Database`] compares the
+//! recent observations against the workload the index was optimized for to
+//! decide when (incremental) re-optimization is worthwhile — the §8
+//! monitor → re-optimize loop.
 
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 
 use tsunami_core::{AggResult, Dataset, IndexStats, MultiDimIndex, Query, Result, Workload};
 
@@ -14,12 +21,22 @@ use crate::spec::SharedIndex;
 /// Immutable table state shared between the database, prepared queries, and
 /// scheduler workers. The logical dataset is held by `Arc` so registering
 /// the same data under several index families (the benchmark pattern)
-/// shares one copy instead of deep-cloning per table.
+/// shares one copy instead of deep-cloning per table. The observation log is
+/// the only mutable state, guarded by its own mutex so recording stays cheap
+/// and never blocks query execution.
 pub(crate) struct TableState {
     pub(crate) name: String,
     pub(crate) schema: Schema,
     pub(crate) data: Arc<Dataset>,
     pub(crate) index: SharedIndex,
+    /// The workload the current index layout was optimized for.
+    pub(crate) reference: Workload,
+    /// Recently observed queries, oldest first, bounded by `observe_cap`.
+    /// Shared (by `Arc`) across the table generations a `reindex`/
+    /// `reoptimize` swap creates, so old handles keep feeding the same log
+    /// the catalog's current entry reads.
+    pub(crate) observed: Arc<Mutex<VecDeque<Query>>>,
+    pub(crate) observe_cap: usize,
 }
 
 /// A handle to a registered table. Cloning is cheap (`Arc`); all query
@@ -36,6 +53,31 @@ impl Table {
         schema: Schema,
         data: Arc<Dataset>,
         index: SharedIndex,
+        reference: Workload,
+        observe_cap: usize,
+    ) -> Self {
+        Self::with_observation_log(
+            name,
+            schema,
+            data,
+            index,
+            reference,
+            observe_cap,
+            Arc::new(Mutex::new(VecDeque::new())),
+        )
+    }
+
+    /// Like [`Table::new`], continuing an existing observation log — the
+    /// reindex/reoptimize swap path, where handles to the previous
+    /// generation must keep recording into the log the catalog reads.
+    pub(crate) fn with_observation_log(
+        name: String,
+        schema: Schema,
+        data: Arc<Dataset>,
+        index: SharedIndex,
+        reference: Workload,
+        observe_cap: usize,
+        observed: Arc<Mutex<VecDeque<Query>>>,
     ) -> Self {
         Self {
             state: Arc::new(TableState {
@@ -43,6 +85,9 @@ impl Table {
                 schema,
                 data,
                 index,
+                reference,
+                observed,
+                observe_cap: observe_cap.max(1),
             }),
         }
     }
@@ -109,6 +154,50 @@ impl Table {
     pub fn execute_with_stats(&self, query: &Query) -> Result<(AggResult, IndexStats)> {
         query.validate_dims(self.num_columns())?;
         Ok(self.state.index.execute_with_stats(query))
+    }
+
+    /// The workload the current index layout was optimized for.
+    pub fn reference_workload(&self) -> &Workload {
+        &self.state.reference
+    }
+
+    /// Records one served query into the table's bounded observation log
+    /// (oldest observation evicted first). Feed every production query here
+    /// — or a sample of them — and let [`crate::Database::auto_reoptimize`]
+    /// decide when the observed mix has drifted enough to re-optimize.
+    pub fn record_query(&self, query: &Query) -> Result<()> {
+        query.validate_dims(self.num_columns())?;
+        let mut observed = self.lock_observed();
+        if observed.len() == self.state.observe_cap {
+            observed.pop_front();
+        }
+        observed.push_back(query.clone());
+        Ok(())
+    }
+
+    /// Number of queries currently in the observation log.
+    pub fn observed_len(&self) -> usize {
+        self.lock_observed().len()
+    }
+
+    /// The observation log as a workload (oldest observation first).
+    pub fn observed_workload(&self) -> Workload {
+        Workload::new(self.lock_observed().iter().cloned().collect())
+    }
+
+    /// Discards all recorded observations (e.g. after re-optimizing).
+    pub fn clear_observations(&self) {
+        self.lock_observed().clear();
+    }
+
+    fn lock_observed(&self) -> std::sync::MutexGuard<'_, VecDeque<Query>> {
+        // Recording never panics while holding the lock, but recover from
+        // poisoning anyway: a lost observation log must not take the table
+        // down with it.
+        self.state
+            .observed
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }
 

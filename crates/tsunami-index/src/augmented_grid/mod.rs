@@ -10,7 +10,7 @@
 pub mod optimizer;
 pub mod skeleton;
 
-pub use optimizer::{optimize_layout, OptimizedLayout, OptimizerKind};
+pub use optimizer::{optimize_layout, optimize_layout_from, OptimizedLayout, OptimizerKind};
 pub use skeleton::{DimStrategy, Skeleton};
 
 use std::ops::Range;
@@ -36,6 +36,12 @@ pub struct GridRanges {
     /// dimensions are trivially guaranteed; filtered mapped dimensions never
     /// are (the mapping rewrite only over-approximates their filter).
     pub guaranteed: Vec<bool>,
+    /// True when cell enumeration was abandoned because it would have cost
+    /// more than scanning the region (see [`AugmentedGrid::plan_ranges`]):
+    /// `ranges` is then the single whole-region range and `guaranteed` only
+    /// reflects unfiltered dimensions. The owning index can usually do
+    /// better — it knows the region's value bounds, which the grid does not.
+    pub fallback: bool,
 }
 
 /// A built Augmented Grid over one region's data.
@@ -339,6 +345,7 @@ impl AugmentedGrid {
         let empty = GridRanges {
             ranges: Vec::new(),
             guaranteed: vec![true; d],
+            fallback: false,
         };
         let Some((eff, mapped_filter)) = self.effective_predicates(query) else {
             // Proven empty: nothing is scanned, every predicate is trivially
@@ -373,6 +380,14 @@ impl AugmentedGrid {
         // tracking is skipped for >128-dim grids, which do not occur in
         // practice).
         let mut not_guaranteed: u128 = 0;
+        // Planning must never cost more than the scan it prunes: a layout
+        // mismatched to the query (e.g. a grid optimized for a previous
+        // workload) can intersect far more cells than the region has rows,
+        // at which point enumerating them is slower than just scanning the
+        // region. Budget one enumeration step per stored row; on exhaustion
+        // fall back to a single whole-region range with every filtered
+        // dimension left residual.
+        let mut budget = self.num_rows.max(64) as isize;
         self.enumerate_cells(
             &order,
             0,
@@ -385,7 +400,23 @@ impl AugmentedGrid {
             &mut chosen,
             &mut cells,
             &mut not_guaranteed,
+            &mut budget,
         );
+        if budget <= 0 {
+            let guaranteed: Vec<bool> = (0..d)
+                .map(|dim| query.predicate_on(dim).is_none())
+                .collect();
+            let ranges = if self.num_rows == 0 {
+                Vec::new()
+            } else {
+                vec![(0..self.num_rows, false)]
+            };
+            return GridRanges {
+                ranges,
+                guaranteed,
+                fallback: true,
+            };
+        }
 
         cells.sort_unstable_by_key(|&(c, _)| c);
         // Convert cells to physical ranges, merging physically adjacent ones
@@ -424,6 +455,7 @@ impl AugmentedGrid {
         GridRanges {
             ranges: out,
             guaranteed,
+            fallback: false,
         }
     }
 
@@ -441,7 +473,12 @@ impl AugmentedGrid {
         chosen: &mut Vec<usize>,
         out: &mut Vec<(usize, bool)>,
         not_guaranteed: &mut u128,
+        budget: &mut isize,
     ) {
+        *budget -= 1;
+        if *budget <= 0 {
+            return;
+        }
         if idx == order.len() {
             out.push((cell_acc, exact_acc));
             *not_guaranteed |= inexact_dims;
@@ -476,6 +513,7 @@ impl AugmentedGrid {
                         chosen,
                         out,
                         not_guaranteed,
+                        budget,
                     );
                 }
             }
@@ -513,6 +551,7 @@ impl AugmentedGrid {
                         chosen,
                         out,
                         not_guaranteed,
+                        budget,
                     );
                 }
             }

@@ -251,6 +251,24 @@ pub fn optimize_layout(
     config: &TsunamiConfig,
     kind: OptimizerKind,
 ) -> OptimizedLayout {
+    optimize_layout_from(data, workload, cost, config, kind, None)
+}
+
+/// Like [`optimize_layout`], optionally *warm-started* from a known-good
+/// layout — the incremental re-optimization path passes a region's current
+/// `(S, P)` so a mild workload shift converges in few iterations instead of
+/// re-deriving the skeleton from scratch. The warm start competes with the
+/// heuristic initialization on predicted cost and the cheaper of the two
+/// seeds the descent, so a stale layout can never make the outcome worse
+/// than a cold start.
+pub fn optimize_layout_from(
+    data: &Dataset,
+    workload: &Workload,
+    cost: &CostModel,
+    config: &TsunamiConfig,
+    kind: OptimizerKind,
+    warm: Option<(&Skeleton, &[usize])>,
+) -> OptimizedLayout {
     let sample = sample_dataset(data, config.optimizer_sample_size, config.seed);
     let total_rows = data.len();
     let mut evaluations = 0usize;
@@ -283,6 +301,23 @@ pub fn optimize_layout(
         initial_partitions(&sample, &skeleton, workload, config.max_cells_per_grid);
     let mut best_cost = predicted_cost(&sample, total_rows, &skeleton, &partitions, workload, cost);
     evaluations += 1;
+
+    // Warm start: price the caller's existing layout and keep it as the
+    // starting point when it already beats the cold initialization.
+    if let Some((warm_s, warm_p)) = warm {
+        if warm_s.num_dims() == data.num_dims() && warm_s.is_valid() {
+            let mut warm_p = warm_p.to_vec();
+            warm_p.resize(data.num_dims(), 1);
+            clamp_partitions(&mut warm_p, &warm_s.grid_dims(), config.max_cells_per_grid);
+            let c = predicted_cost(&sample, total_rows, warm_s, &warm_p, workload, cost);
+            evaluations += 1;
+            if c < best_cost {
+                best_cost = c;
+                skeleton = warm_s.clone();
+                partitions = warm_p;
+            }
+        }
+    }
 
     if workload.is_empty() || sample.is_empty() {
         return OptimizedLayout {

@@ -1,13 +1,37 @@
 //! The composed Tsunami index: Grid Tree over the data space, with an
 //! independently-optimized Augmented Grid inside every region that receives
 //! queries (§3).
+//!
+//! Besides the from-scratch [`TsunamiIndex::build`], the index supports
+//! **incremental re-optimization** under workload shift (§8):
+//! [`TsunamiIndex::reoptimize`] keeps the sorted data and adapts the
+//! existing structure in place of a rebuild —
+//!
+//! 1. Grid-Tree splits the new workload no longer distinguishes are folded
+//!    back ([`GridTree::collapse_for`]); a subtree's leaves occupy a
+//!    contiguous slice of the store, so merging costs nothing physically.
+//! 2. *Hot* regions — changed query-type mix (per-region
+//!    [`WorkloadMonitor`] comparison), newly queried, or merged by the
+//!    collapse — are re-split by building a local Grid Tree over just their
+//!    rows and grafting it ([`GridTree::with_expanded_leaves`]).
+//! 3. The Augmented-Grid optimizer runs only for hot leaves whose current
+//!    layout prices as stale under the cost model; everything else keeps
+//!    its grid — and its slice of the physical row order — verbatim.
+//!
+//! Re-optimization time is therefore proportional to how much of the
+//! workload moved, not to the index size, and correctness never depends on
+//! layout freshness.
 
 use std::time::Instant;
 
-use crate::augmented_grid::{optimize_layout, AugmentedGrid, OptimizerKind, Skeleton};
+use crate::augmented_grid::optimizer::{heuristic_skeleton, initial_partitions, predicted_cost};
+use crate::augmented_grid::{
+    optimize_layout, optimize_layout_from, AugmentedGrid, OptimizerKind, Skeleton,
+};
 use crate::config::{IndexVariant, TsunamiConfig};
 use crate::grid_tree::GridTree;
 use crate::query_types::cluster_query_types;
+use crate::shift::WorkloadMonitor;
 use tsunami_core::{
     BuildTiming, CostModel, Dataset, MultiDimIndex, Query, Result, ScanPlan, ScanSource,
     TsunamiError, Workload,
@@ -49,6 +73,30 @@ pub struct TsunamiStats {
     pub total_grid_cells: usize,
 }
 
+/// What [`TsunamiIndex::reoptimize_with_cost`] did to adapt the index to a
+/// shifted workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReoptReport {
+    /// Total Grid-Tree leaf regions.
+    pub regions_total: usize,
+    /// Regions whose Augmented Grid was re-optimized (the *hot* regions).
+    pub regions_reoptimized: usize,
+    /// Regions whose existing layout (and physical row order) was kept
+    /// verbatim.
+    pub regions_kept: usize,
+    /// Whether the cheap incremental path was abandoned for a full rebuild
+    /// (data shape changed, index variant changed, or the whole-workload
+    /// drift exceeded [`TsunamiConfig::reopt_rebuild_drift`]).
+    pub escalated: bool,
+    /// Whole-workload frequency drift between the reference workload and the
+    /// new one (0 = identical mix, 2 = fully disjoint mixes). NaN when the
+    /// comparison was skipped because drift-based escalation is disabled
+    /// ([`TsunamiConfig::reopt_rebuild_drift`] ≥ 2.0, the drift maximum) —
+    /// fingerprinting two workloads costs two query-type clusterings, which
+    /// the incremental path does not spend on a report-only number.
+    pub frequency_drift: f64,
+}
+
 /// Tsunami: a learned multi-dimensional index robust to data correlation and
 /// query skew.
 #[derive(Debug)]
@@ -58,6 +106,36 @@ pub struct TsunamiIndex {
     store: ColumnStore,
     timing: BuildTiming,
     name: String,
+    variant: IndexVariant,
+    /// The workload the current layout was optimized for — the reference the
+    /// incremental re-optimization path diffs new workloads against.
+    reference: Workload,
+}
+
+/// Queries counted by the exact set of dimensions they filter — the cheap
+/// first-stage shift fingerprint (different dimension sets ⇒ different query
+/// types, no clustering needed).
+fn dims_mix(queries: &[Query]) -> std::collections::BTreeMap<Vec<usize>, usize> {
+    let mut mix = std::collections::BTreeMap::new();
+    for q in queries {
+        *mix.entry(q.filtered_dims()).or_insert(0) += 1;
+    }
+    mix
+}
+
+/// The configuration and optimizer actually used for a variant: the
+/// Grid-Tree-only ablation disables the correlation-aware strategies so its
+/// per-region grids degenerate to Flood-style all-independent layouts.
+fn effective_build_config(config: &TsunamiConfig) -> (TsunamiConfig, OptimizerKind) {
+    match config.variant {
+        IndexVariant::GridTreeOnly => {
+            let mut c = config.clone();
+            c.fm_error_fraction = 0.0;
+            c.ccdf_empty_fraction = 1.1;
+            (c, OptimizerKind::GradientOnly)
+        }
+        _ => (config.clone(), config.optimizer),
+    }
 }
 
 impl TsunamiIndex {
@@ -86,18 +164,7 @@ impl TsunamiIndex {
         //   (3) optimize each region's Augmented Grid layout.
         // ------------------------------------------------------------------
         let opt_start = Instant::now();
-        let (effective_config, optimizer_kind) = match config.variant {
-            // Grid Tree only: disable the correlation-aware strategies so the
-            // heuristic skeleton degenerates to Flood's all-independent grid,
-            // and skip the skeleton search.
-            IndexVariant::GridTreeOnly => {
-                let mut c = config.clone();
-                c.fm_error_fraction = 0.0;
-                c.ccdf_empty_fraction = 1.1;
-                (c, OptimizerKind::GradientOnly)
-            }
-            _ => (config.clone(), config.optimizer),
-        };
+        let (effective_config, optimizer_kind) = effective_build_config(config);
 
         let types = if config.variant == IndexVariant::AugmentedGridOnly {
             Vec::new()
@@ -184,7 +251,459 @@ impl TsunamiIndex {
                 optimize_secs,
             },
             name: name.to_string(),
+            variant: config.variant,
+            reference: workload.clone(),
         })
+    }
+
+    /// Incrementally re-optimizes the index for a shifted workload with the
+    /// default cost model, discarding the [`ReoptReport`]. See
+    /// [`TsunamiIndex::reoptimize_with_cost`].
+    pub fn reoptimize(
+        &self,
+        data: &Dataset,
+        new_workload: &Workload,
+        config: &TsunamiConfig,
+    ) -> Result<Self> {
+        Ok(self
+            .reoptimize_with_cost(data, new_workload, &CostModel::default(), config)?
+            .0)
+    }
+
+    /// Incrementally re-optimizes the index for a shifted workload (§8).
+    ///
+    /// The sorted data and the Grid-Tree skeleton are reused. Both the
+    /// reference workload (the one the current layout was optimized for) and
+    /// `new_workload` are routed through the existing regions; a region is
+    /// *hot* — and gets its Augmented Grid re-optimized, warm-started from
+    /// its current layout — when a per-region [`WorkloadMonitor`] reports
+    /// that its query-type mix changed, or when a previously unqueried
+    /// region now receives queries. Cold regions keep their grids and their
+    /// slice of the physical row order verbatim, so only hot regions pay
+    /// optimizer and re-sort cost.
+    ///
+    /// A cheap fallback escalates to a full [`TsunamiIndex::build_with_cost`]
+    /// when region reuse would be unsound (the data shape or the index
+    /// variant changed) or when the whole-workload frequency drift exceeds
+    /// [`TsunamiConfig::reopt_rebuild_drift`].
+    ///
+    /// Correctness never depends on the layout: stale, incrementally
+    /// re-optimized, and freshly rebuilt indexes return identical results —
+    /// only scan volume (and therefore latency) differs.
+    pub fn reoptimize_with_cost(
+        &self,
+        data: &Dataset,
+        new_workload: &Workload,
+        cost: &CostModel,
+        config: &TsunamiConfig,
+    ) -> Result<(Self, ReoptReport)> {
+        if data.num_dims() == 0 {
+            return Err(TsunamiError::Build("dataset has no dimensions".into()));
+        }
+        for q in new_workload.queries() {
+            q.validate_dims(data.num_dims())?;
+        }
+
+        // Escalation checks: region reuse is only sound over the same data
+        // (same rows, same width) and the same component line-up; beyond the
+        // configured drift the caller wants a fresh Grid Tree as well. The
+        // whole-workload drift comparison costs two query-type clusterings,
+        // so it is skipped — and the report carries NaN — when the
+        // threshold (≥ 2.0, the drift maximum) can never trigger it.
+        let unsound = data.len() != self.store.len()
+            || data.num_dims() != self.store.num_dims()
+            || config.variant != self.variant;
+        let global_report = if unsound || config.reopt_rebuild_drift >= 2.0 {
+            None
+        } else {
+            Some(WorkloadMonitor::new(data, &self.reference, config).observe(
+                data,
+                new_workload,
+                config,
+            ))
+        };
+        let global_drift = global_report
+            .as_ref()
+            .map_or(f64::NAN, |r| r.frequency_drift);
+        if unsound || global_drift > config.reopt_rebuild_drift {
+            let rebuilt = Self::build_with_cost(data, new_workload, cost, config)?;
+            let regions_total = rebuilt.regions.len();
+            return Ok((
+                rebuilt,
+                ReoptReport {
+                    regions_total,
+                    regions_reoptimized: regions_total,
+                    regions_kept: 0,
+                    escalated: true,
+                    frequency_drift: global_drift,
+                },
+            ));
+        }
+
+        // Nothing-shifted fast path: when the new workload's type mix matches
+        // the reference — same filtered-dimension sets (cheap), and the
+        // monitor's selectivity/frequency fingerprints agree — the current
+        // layout is already optimized for it. Keep every region verbatim and
+        // just adopt the new workload as the reference.
+        let same_mix = dims_mix(self.reference.queries()) == dims_mix(new_workload.queries()) && {
+            let report = global_report.unwrap_or_else(|| {
+                WorkloadMonitor::new(data, &self.reference, config).observe(
+                    data,
+                    new_workload,
+                    config,
+                )
+            });
+            !report.reoptimize
+        };
+        if same_mix {
+            let regions_total = self.regions.len();
+            return Ok((
+                Self {
+                    tree: self.tree.clone(),
+                    regions: self.regions.clone(),
+                    store: self.store.clone(),
+                    timing: BuildTiming::default(),
+                    name: self.name.clone(),
+                    variant: self.variant,
+                    reference: new_workload.clone(),
+                },
+                ReoptReport {
+                    regions_total,
+                    regions_reoptimized: 0,
+                    regions_kept: regions_total,
+                    escalated: false,
+                    frequency_drift: global_drift,
+                },
+            ));
+        }
+
+        // ------------------------------------------------------------------
+        // Incremental optimization. First fold back the Grid-Tree splits the
+        // new workload no longer distinguishes: splits that only served the
+        // old workload's skew provide zero pruning now but tax every plan
+        // with extra region visits. A subtree's leaves occupy a contiguous
+        // slice of the store, so a merged region is just a wider slice.
+        // Then route both workloads through the collapsed tree and
+        // re-optimize only the hot regions. (The AugmentedGridOnly ablation
+        // never assigns queries to its single region at build time — mirror
+        // that here so re-optimization keeps its semantics instead of
+        // silently growing a grid.)
+        // ------------------------------------------------------------------
+        let opt_start = Instant::now();
+        let (effective_config, optimizer_kind) = effective_build_config(config);
+        let route_queries: &[Query] = if config.variant == IndexVariant::AugmentedGridOnly {
+            &[]
+        } else {
+            new_workload.queries()
+        };
+        // The same 1%-of-queries bar the from-scratch build uses to stop
+        // splitting gates both tree merging and per-region optimizer work.
+        let min_queries =
+            ((new_workload.len() as f64 * config.min_region_query_fraction).ceil() as usize).max(1);
+        let (tree, spans) = self.tree.collapse_for(
+            route_queries,
+            config.reopt_collapse_reach.clamp(0.0, 1.0),
+            min_queries,
+        );
+
+        // Region skeletons for the collapsed tree: a span of one old region
+        // keeps its base/len/grid; a merged span concatenates the old
+        // regions' (adjacent) slices and must be re-laid-out.
+        #[derive(Clone)]
+        struct Candidate {
+            base: usize,
+            len: usize,
+            /// The surviving grid (single-region spans only).
+            grid: Option<AugmentedGrid>,
+            /// Merged regions lost their old layouts and must be rebuilt.
+            forced_hot: bool,
+        }
+        let candidates: Vec<Candidate> = spans
+            .iter()
+            .map(|span| {
+                let olds = &self.regions[span.clone()];
+                if olds.len() == 1 {
+                    Candidate {
+                        base: olds[0].base,
+                        len: olds[0].len,
+                        grid: olds[0].grid.clone(),
+                        forced_hot: false,
+                    }
+                } else {
+                    Candidate {
+                        base: olds[0].base,
+                        len: olds.iter().map(|r| r.len).sum(),
+                        grid: None,
+                        forced_hot: true,
+                    }
+                }
+            })
+            .collect();
+        let num_regions = candidates.len();
+
+        let route = |w: &Workload| -> Vec<Vec<Query>> {
+            let mut per_region: Vec<Vec<Query>> = vec![Vec::new(); num_regions];
+            if config.variant != IndexVariant::AugmentedGridOnly {
+                for q in w.queries() {
+                    for rid in tree.regions_for_query(q) {
+                        per_region[rid].push(q.clone());
+                    }
+                }
+            }
+            per_region
+        };
+        let ref_by_region = route(&self.reference);
+        let new_by_region = route(new_workload);
+
+        // A region is hot when its query mix changed: merged by the
+        // collapse, previously unqueried but queried now, or a per-region
+        // comparison reports type shift — first a cheap filtered-dimension
+        // mix check (different dims ⇒ different types, no clustering
+        // needed), then a full per-region WorkloadMonitor for same-dims
+        // selectivity/frequency drift. Regions the new workload never
+        // touches stay cold regardless of their old layout — an unused grid
+        // is harmless.
+        /// One leaf of a hot region's (possibly re-split) local structure:
+        /// the rows it owns (indices into the hot region's dataset) and, when
+        /// it has intersecting queries, its optimized Augmented Grid layout.
+        struct LocalPart {
+            rows: Vec<usize>,
+            layout: Option<(Skeleton, Vec<usize>)>,
+        }
+        /// The optimizer's plan for one hot region.
+        struct HotPlan {
+            region_ds: Dataset,
+            /// Local Grid Tree to graft when the region was re-split into
+            /// more than one part.
+            subtree: Option<GridTree>,
+            parts: Vec<LocalPart>,
+        }
+
+        // A region only earns optimizer time when it matters to the new
+        // workload (`min_queries` again). Rarely-hit regions answer through
+        // their existing layout (or a plain region scan) — their
+        // contribution to total latency is bounded by how rarely they are
+        // hit. Merged regions always qualify: `collapse_for` only merges
+        // subtrees with at least `min_queries` routed queries.
+        let mut pending: Vec<Option<HotPlan>> = (0..num_regions).map(|_| None).collect();
+        for rid in 0..num_regions {
+            let candidate = &candidates[rid];
+            let new_q = &new_by_region[rid];
+            if candidate.len == 0 || new_q.is_empty() {
+                continue;
+            }
+            let hot = (candidate.forced_hot
+                || match &candidate.grid {
+                    None => true,
+                    Some(_) => {
+                        let ref_q = &ref_by_region[rid];
+                        ref_q.is_empty()
+                            || dims_mix(ref_q) != dims_mix(new_q)
+                            || WorkloadMonitor::new(data, &Workload::new(ref_q.clone()), config)
+                                .observe(data, &Workload::new(new_q.clone()), config)
+                                .reoptimize
+                    }
+                })
+                && new_q.len() >= min_queries;
+            if !hot {
+                continue;
+            }
+            let region_ds = self
+                .store
+                .slice_dataset(candidate.base..candidate.base + candidate.len);
+
+            // Layout-fitness gate: a changed query *mix* does not imply the
+            // physical layout is wrong for it. Before paying for gradient
+            // descent, price the region's current layout on the new queries
+            // against the heuristic initialization the optimizer would
+            // otherwise start from; when the current layout is already
+            // competitive, keep the region verbatim — descent would start
+            // from it anyway and buy little.
+            if let (false, Some(grid)) = (candidate.forced_hot, &candidate.grid) {
+                let sample = tsunami_core::sample::sample_dataset(
+                    &region_ds,
+                    effective_config.optimizer_sample_size,
+                    effective_config.seed,
+                );
+                let eval: Workload = new_q
+                    .iter()
+                    .step_by(new_q.len().div_ceil(32))
+                    .cloned()
+                    .collect();
+                let cost_cur = predicted_cost(
+                    &sample,
+                    candidate.len,
+                    grid.skeleton(),
+                    grid.partitions(),
+                    &eval,
+                    cost,
+                );
+                let init_s = heuristic_skeleton(&sample, &effective_config);
+                let init_p = initial_partitions(
+                    &sample,
+                    &init_s,
+                    &eval,
+                    effective_config.max_cells_per_grid,
+                );
+                let cost_init =
+                    predicted_cost(&sample, candidate.len, &init_s, &init_p, &eval, cost);
+                if cost_cur <= cost_init * 1.1 {
+                    continue;
+                }
+            }
+
+            // Re-split the hot region for its new query mix: a local Grid
+            // Tree over just this region's rows, with the global leaf-size
+            // thresholds rescaled so grafting reproduces fresh-build
+            // granularity. Most hot regions don't need a split and stay one
+            // leaf.
+            let mut local_config = effective_config.clone();
+            local_config.min_region_point_fraction = (effective_config.min_region_point_fraction
+                * data.len() as f64
+                / candidate.len.max(1) as f64)
+                .min(1.0);
+            local_config.min_region_query_fraction = (effective_config.min_region_query_fraction
+                * new_workload.len() as f64
+                / new_q.len() as f64)
+                .min(1.0);
+            let local_types = cluster_query_types(
+                &region_ds,
+                &Workload::new(new_q.clone()),
+                local_config.dbscan_eps,
+                local_config.dbscan_min_pts,
+                local_config.optimizer_sample_size,
+                local_config.seed,
+            );
+            let (local_tree, local_data) = GridTree::build(&region_ds, &local_types, &local_config);
+
+            let single_leaf = local_tree.num_regions() == 1;
+            let parts: Vec<LocalPart> = local_data
+                .into_iter()
+                .map(|rd| {
+                    let layout = if rd.queries.is_empty() || rd.rows.is_empty() {
+                        None
+                    } else {
+                        // Warm-start a single-leaf region from its current
+                        // layout (same rows, so the layout transfers
+                        // losslessly); re-split parts cover different row
+                        // sets, where transplanted layouts measurably
+                        // mislead the descent — they start from the
+                        // workload-aware heuristic instead.
+                        let warm = if single_leaf {
+                            candidate
+                                .grid
+                                .as_ref()
+                                .map(|g| (g.skeleton().clone(), g.partitions().to_vec()))
+                        } else {
+                            None
+                        };
+                        let part_ds = region_ds.select_rows(&rd.rows);
+                        let layout = optimize_layout_from(
+                            &part_ds,
+                            &Workload::new(rd.queries),
+                            cost,
+                            &effective_config,
+                            optimizer_kind,
+                            warm.as_ref().map(|(s, p)| (s, p.as_slice())),
+                        );
+                        Some((layout.skeleton, layout.partitions))
+                    };
+                    LocalPart {
+                        rows: rd.rows,
+                        layout,
+                    }
+                })
+                .collect();
+            pending[rid] = Some(HotPlan {
+                region_ds,
+                subtree: (!single_leaf).then_some(local_tree),
+                parts,
+            });
+        }
+        let optimize_secs = opt_start.elapsed().as_secs_f64();
+
+        // ------------------------------------------------------------------
+        // Data organization: graft re-split subtrees into the tree, rebuild
+        // the hot regions' grids, and rewrite only their slices of the
+        // (cloned) store; cold regions — layouts and physical order — are
+        // untouched.
+        // ------------------------------------------------------------------
+        let sort_start = Instant::now();
+        let expansions: Vec<Option<GridTree>> = pending
+            .iter_mut()
+            .map(|p| p.as_mut().and_then(|plan| plan.subtree.take()))
+            .collect();
+        let (tree, provenance) = tree.with_expanded_leaves(&expansions);
+
+        let mut store = self.store.clone();
+        let mut regions: Vec<RegionIndex> = Vec::with_capacity(provenance.len());
+        let mut reoptimized = 0usize;
+        for (rid, plan) in pending.into_iter().enumerate() {
+            let candidate = &candidates[rid];
+            let Some(plan) = plan else {
+                // Cold: layout, data order, and region slice all unchanged.
+                regions.push(RegionIndex {
+                    base: candidate.base,
+                    len: candidate.len,
+                    grid: candidate.grid.clone(),
+                });
+                continue;
+            };
+            // Lay the hot region's parts out back-to-back within its slice,
+            // each sorted by its own grid's cell order.
+            let mut region_perm: Vec<usize> = Vec::with_capacity(candidate.len);
+            for part in plan.parts {
+                let base = candidate.base + region_perm.len();
+                let len = part.rows.len();
+                let grid = match part.layout {
+                    None => {
+                        region_perm.extend_from_slice(&part.rows);
+                        None
+                    }
+                    Some((skeleton, partitions)) => {
+                        let part_ds = plan.region_ds.select_rows(&part.rows);
+                        let (grid, local_perm) =
+                            AugmentedGrid::build(&part_ds, &skeleton, &partitions);
+                        region_perm.extend(local_perm.into_iter().map(|local| part.rows[local]));
+                        // Only parts that actually got an optimized grid
+                        // count as re-optimized; query-less parts of a
+                        // re-split are plain region scans.
+                        reoptimized += 1;
+                        Some(grid)
+                    }
+                };
+                regions.push(RegionIndex { base, len, grid });
+            }
+            debug_assert_eq!(region_perm.len(), candidate.len);
+            store.permute_range(candidate.base, &region_perm);
+        }
+        debug_assert_eq!(regions.len(), tree.num_regions());
+        debug_assert_eq!(regions.len(), provenance.len());
+        let sort_secs = sort_start.elapsed().as_secs_f64();
+
+        let regions_total = regions.len();
+        let report = ReoptReport {
+            regions_total,
+            regions_reoptimized: reoptimized,
+            regions_kept: regions_total - reoptimized,
+            escalated: false,
+            frequency_drift: global_drift,
+        };
+        Ok((
+            Self {
+                tree,
+                regions,
+                store,
+                timing: BuildTiming {
+                    sort_secs,
+                    optimize_secs,
+                },
+                name: self.name.clone(),
+                variant: self.variant,
+                reference: new_workload.clone(),
+            },
+            report,
+        ))
     }
 
     /// The Grid Tree component.
@@ -246,6 +765,23 @@ impl MultiDimIndex for TsunamiIndex {
         // grid's visited partitions, or through the Grid Tree region bounds
         // for unindexed regions).
         let mut guaranteed = vec![true; d];
+        // A whole-region scan (no grid, or the grid's cell enumeration fell
+        // back because it would cost more than the scan): plan the region as
+        // one range, with exactness and guarantees derived from the
+        // Grid-Tree region bounds.
+        let plan_region_scan =
+            |plan: &mut ScanPlan, guaranteed: &mut Vec<bool>, region_id: usize| {
+                let region = &self.regions[region_id];
+                let tree_region = self.tree.region(region_id);
+                let exact = tree_region.contained_in(query);
+                plan.push(region.base..region.base + region.len, exact);
+                for p in query.predicates() {
+                    if p.dim < d {
+                        let (lo, hi) = tree_region.bounds[p.dim];
+                        guaranteed[p.dim] &= p.lo <= lo && hi <= p.hi;
+                    }
+                }
+            };
         for region_id in self.tree.regions_for_query(query) {
             let region = &self.regions[region_id];
             if region.len == 0 {
@@ -254,6 +790,10 @@ impl MultiDimIndex for TsunamiIndex {
             match &region.grid {
                 Some(grid) => {
                     let ranges = grid.plan_ranges(query);
+                    if ranges.fallback {
+                        plan_region_scan(&mut plan, &mut guaranteed, region_id);
+                        continue;
+                    }
                     for (r, exact) in ranges.ranges {
                         plan.push(region.base + r.start..region.base + r.end, exact);
                     }
@@ -261,17 +801,7 @@ impl MultiDimIndex for TsunamiIndex {
                         *g &= rg;
                     }
                 }
-                None => {
-                    let tree_region = self.tree.region(region_id);
-                    let exact = tree_region.contained_in(query);
-                    plan.push(region.base..region.base + region.len, exact);
-                    for p in query.predicates() {
-                        if p.dim < d {
-                            let (lo, hi) = tree_region.bounds[p.dim];
-                            guaranteed[p.dim] &= p.lo <= lo && hi <= p.hi;
-                        }
-                    }
-                }
+                None => plan_region_scan(&mut plan, &mut guaranteed, region_id),
             }
         }
         plan.with_guaranteed_dims(query, &guaranteed)
@@ -291,6 +821,12 @@ impl MultiDimIndex for TsunamiIndex {
 
     fn build_timing(&self) -> BuildTiming {
         self.timing
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        // Exposes the concrete index behind `Box<dyn MultiDimIndex>` so the
+        // engine's `Database::reoptimize` can take the incremental path.
+        Some(self)
     }
 }
 
@@ -461,6 +997,124 @@ mod tests {
         )
         .unwrap();
         assert_eq!(index.execute(&q), q.execute_full_scan(&data));
+    }
+
+    /// A shifted workload over the same data: narrow scans over dim1 (which
+    /// the original workload never filters) plus broad historical dim2 scans.
+    fn shifted_workload(seed: u64) -> Workload {
+        let mut rng = SplitMix::new(seed);
+        let mut qs = Vec::new();
+        for _ in 0..30 {
+            let lo = rng.next_below(90_000);
+            qs.push(Query::count(vec![Predicate::range(1, lo, lo + 4_000).unwrap()]).unwrap());
+        }
+        for _ in 0..30 {
+            let lo = rng.next_below(4_000);
+            qs.push(Query::count(vec![Predicate::range(2, lo, lo + 2_500).unwrap()]).unwrap());
+        }
+        Workload::new(qs)
+    }
+
+    #[test]
+    fn reoptimize_is_incremental_and_preserves_correctness() {
+        let data = dataset(9_000, 130);
+        let old_w = workload(131);
+        let new_w = shifted_workload(132);
+        let config = TsunamiConfig::fast();
+        let stale = TsunamiIndex::build(&data, &old_w, &config).unwrap();
+        let (fresh, report) = stale
+            .reoptimize_with_cost(&data, &new_w, &CostModel::default(), &config)
+            .unwrap();
+
+        assert!(!report.escalated, "{report:?}");
+        // The report describes the adapted index: collapse and re-splitting
+        // may change the region count, but every region is accounted for.
+        assert_eq!(report.regions_total, fresh.grid_tree().num_regions());
+        assert_eq!(
+            report.regions_reoptimized + report.regions_kept,
+            report.regions_total
+        );
+        // Every row is still owned by exactly one region.
+        let total_points: usize = fresh.regions.iter().map(|r| r.len).sum();
+        assert_eq!(total_points, data.len());
+
+        // Correctness never depends on the layout.
+        for q in new_w.queries().iter().chain(old_w.queries()) {
+            let expected = q.execute_full_scan(&data);
+            assert_eq!(stale.execute(q), expected, "stale {q:?}");
+            assert_eq!(fresh.execute(q), expected, "reoptimized {q:?}");
+        }
+    }
+
+    #[test]
+    fn reoptimize_with_the_same_workload_keeps_every_region() {
+        let data = dataset(8_000, 133);
+        let w = workload(134);
+        let config = TsunamiConfig::fast();
+        let index = TsunamiIndex::build(&data, &w, &config).unwrap();
+        let (same, report) = index
+            .reoptimize_with_cost(&data, &w, &CostModel::default(), &config)
+            .unwrap();
+        assert!(!report.escalated);
+        assert_eq!(
+            report.regions_reoptimized, 0,
+            "an unchanged workload must not re-optimize any region: {report:?}"
+        );
+        // Identical layouts: every query scans exactly the same points.
+        for q in w.queries().iter().step_by(5) {
+            assert_eq!(index.execute_with_stats(q), same.execute_with_stats(q));
+        }
+    }
+
+    #[test]
+    fn reoptimize_escalates_on_drift_threshold_and_data_change() {
+        let data = dataset(6_000, 135);
+        let old_w = workload(136);
+        let new_w = shifted_workload(137);
+        let config = TsunamiConfig::fast();
+        let index = TsunamiIndex::build(&data, &old_w, &config).unwrap();
+
+        // A zero threshold turns any drift into a full rebuild.
+        let strict = config.clone().with_reopt_rebuild_drift(0.0);
+        let (rebuilt, report) = index
+            .reoptimize_with_cost(&data, &new_w, &CostModel::default(), &strict)
+            .unwrap();
+        assert!(report.escalated, "{report:?}");
+        assert!(report.frequency_drift > 0.0);
+        for q in new_w.queries().iter().step_by(7) {
+            assert_eq!(rebuilt.execute(q), q.execute_full_scan(&data));
+        }
+
+        // Changed data shape: region reuse is unsound, rebuild over the new
+        // data instead.
+        let grown = dataset(7_000, 138);
+        let (over_grown, report) = index
+            .reoptimize_with_cost(&grown, &new_w, &CostModel::default(), &config)
+            .unwrap();
+        assert!(report.escalated);
+        for q in new_w.queries().iter().step_by(9) {
+            assert_eq!(over_grown.execute(q), q.execute_full_scan(&grown));
+        }
+
+        // Changed variant: also a rebuild.
+        let gt_only = config.clone().with_variant(IndexVariant::GridTreeOnly);
+        let (_, report) = index
+            .reoptimize_with_cost(&data, &new_w, &CostModel::default(), &gt_only)
+            .unwrap();
+        assert!(report.escalated);
+    }
+
+    #[test]
+    fn reoptimize_rejects_out_of_bounds_queries() {
+        let data = dataset(2_000, 139);
+        let index = TsunamiIndex::build(&data, &workload(140), &TsunamiConfig::fast()).unwrap();
+        let bad = Workload::new(vec![Query::count(
+            vec![Predicate::range(9, 0, 10).unwrap()],
+        )
+        .unwrap()]);
+        assert!(index
+            .reoptimize(&data, &bad, &TsunamiConfig::fast())
+            .is_err());
     }
 
     #[test]

@@ -21,6 +21,15 @@
 //! and workload, then builds an independently-optimized Augmented Grid inside
 //! every region that receives queries.
 //!
+//! When the workload later drifts (§8), the index adapts *incrementally*:
+//! [`shift::WorkloadMonitor`] fingerprints observed queries against the
+//! optimized-for workload (with a sliding observation window), and
+//! [`TsunamiIndex::reoptimize`] reuses the sorted data and Grid-Tree
+//! skeleton while re-deriving only what the shift invalidated — folding
+//! back splits the new workload no longer distinguishes, re-splitting hot
+//! regions locally, and re-optimizing grids only where the existing layout
+//! prices as stale. See the [`index`] and [`shift`] module docs.
+//!
 //! # Quick start
 //!
 //! ```
@@ -58,6 +67,6 @@ pub mod shift;
 pub use augmented_grid::{AugmentedGrid, DimStrategy, OptimizerKind, Skeleton};
 pub use config::{IndexVariant, TsunamiConfig};
 pub use grid_tree::GridTree;
-pub use index::{TsunamiIndex, TsunamiStats};
+pub use index::{ReoptReport, TsunamiIndex, TsunamiStats};
 pub use query_types::cluster_query_types;
 pub use shift::{ShiftReport, WorkloadMonitor};

@@ -13,10 +13,21 @@
 //! Query types are matched by their filtered-dimension set and average
 //! per-dimension selectivity (the same embedding used for clustering in
 //! §4.3.1).
+//!
+//! The monitor also carries a bounded **sliding observation window**
+//! ([`WorkloadMonitor::record`] / [`WorkloadMonitor::window_report`]): an
+//! engine front-end feeds it the queries it serves and periodically asks
+//! whether the recent mix has drifted from the reference. A positive
+//! [`ShiftReport::reoptimize`] is what triggers
+//! [`crate::TsunamiIndex::reoptimize`] — the incremental path that keeps the
+//! Grid Tree and sorted data and re-optimizes only the regions whose query
+//! mix actually changed.
+
+use std::collections::VecDeque;
 
 use crate::config::TsunamiConfig;
 use crate::query_types::{cluster_query_types, QueryType};
-use tsunami_core::{Dataset, Workload};
+use tsunami_core::{Dataset, Query, Workload};
 
 /// A fingerprint of one query type: which dimensions it filters, its average
 /// selectivity embedding, and its share of the workload.
@@ -52,18 +63,25 @@ pub struct WorkloadMonitor {
     match_eps: f64,
     /// Frequency drift above which re-optimization is recommended.
     drift_threshold: f64,
+    /// Sliding window of recently observed queries (oldest first).
+    window: VecDeque<Query>,
+    /// Maximum number of queries retained in the window.
+    window_capacity: usize,
 }
 
 impl WorkloadMonitor {
     /// Creates a monitor from the workload the index was optimized for.
     ///
     /// `match_eps` follows the clustering eps (default 0.2);
-    /// `drift_threshold` defaults to 0.5 (half of the workload's mass moved).
+    /// `drift_threshold` defaults to 0.5 (half of the workload's mass moved);
+    /// the sliding window keeps `config.observation_window` queries.
     pub fn new(data: &Dataset, reference: &Workload, config: &TsunamiConfig) -> Self {
         Self {
             reference: signatures(data, reference, config),
             match_eps: config.dbscan_eps,
             drift_threshold: 0.5,
+            window: VecDeque::new(),
+            window_capacity: config.observation_window.max(1),
         }
     }
 
@@ -73,9 +91,57 @@ impl WorkloadMonitor {
         self
     }
 
+    /// Overrides the sliding window capacity (evicting down if needed).
+    pub fn with_window_capacity(mut self, capacity: usize) -> Self {
+        self.window_capacity = capacity.max(1);
+        while self.window.len() > self.window_capacity {
+            self.window.pop_front();
+        }
+        self
+    }
+
     /// The reference type signatures.
     pub fn reference(&self) -> &[TypeSignature] {
         &self.reference
+    }
+
+    /// Records one served query into the sliding observation window,
+    /// evicting the oldest observation once the window is full.
+    pub fn record(&mut self, query: Query) {
+        if self.window.len() == self.window_capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(query);
+    }
+
+    /// Number of queries currently in the observation window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The observation window as a workload (oldest observation first).
+    pub fn window_workload(&self) -> Workload {
+        Workload::new(self.window.iter().cloned().collect())
+    }
+
+    /// Discards all recorded observations.
+    pub fn clear_window(&mut self) {
+        self.window.clear();
+    }
+
+    /// Compares the sliding observation window against the reference —
+    /// [`WorkloadMonitor::observe`] over [`WorkloadMonitor::window_workload`].
+    /// An empty window reports zero drift (nothing observed ≠ shift).
+    pub fn window_report(&self, data: &Dataset, config: &TsunamiConfig) -> ShiftReport {
+        if self.window.is_empty() {
+            return ShiftReport {
+                disappeared_types: 0,
+                new_types: 0,
+                frequency_drift: 0.0,
+                reoptimize: false,
+            };
+        }
+        self.observe(data, &self.window_workload(), config)
     }
 
     /// Compares an observed workload window against the reference.
@@ -138,14 +204,13 @@ fn signatures(data: &Dataset, workload: &Workload, config: &TsunamiConfig) -> Ve
         config.seed,
     );
     let total: usize = types.iter().map(|t| t.queries.len()).sum();
+    // One shared sample: the seed is fixed, so per-type sampling would
+    // produce the identical rows anyway.
+    let sample =
+        tsunami_core::sample::sample_dataset(data, config.optimizer_sample_size, config.seed);
     types
         .iter()
         .map(|t| {
-            let sample = tsunami_core::sample::sample_dataset(
-                data,
-                config.optimizer_sample_size,
-                config.seed,
-            );
             let mean_selectivity: Vec<f64> = t
                 .filtered_dims
                 .iter()
@@ -267,5 +332,116 @@ mod tests {
         let report = strict.observe(&ds, &workload_a(40), &cfg);
         assert!(report.reoptimize || report.frequency_drift == 0.0);
         assert!(!strict.reference().is_empty());
+    }
+
+    /// `n` copies of one fixed dim-0 query and `m` copies of one fixed dim-1
+    /// query: repeating identical queries keeps the clustering deterministic,
+    /// so drift depends only on the mixing fractions.
+    fn mixed(n: usize, m: usize) -> Workload {
+        let a = Query::count(vec![Predicate::range(0, 100, 200).unwrap()]).unwrap();
+        let b = Query::count(vec![Predicate::range(1, 300, 2_300).unwrap()]).unwrap();
+        let mut qs = vec![a; n];
+        qs.extend(std::iter::repeat_n(b, m));
+        Workload::new(qs)
+    }
+
+    #[test]
+    fn mixing_in_a_disjoint_workload_never_decreases_drift() {
+        let ds = data();
+        let cfg = TsunamiConfig::fast();
+        let monitor = WorkloadMonitor::new(&ds, &mixed(40, 0), &cfg);
+        let mut last = -1.0f64;
+        for k in 0..=40usize {
+            let report = monitor.observe(&ds, &mixed(40 - k, k), &cfg);
+            assert!(
+                report.frequency_drift >= last - 1e-9,
+                "drift decreased from {last} to {} at k={k}",
+                report.frequency_drift
+            );
+            // With fully deterministic types the drift is exactly 2k/40:
+            // k/40 of mass left the reference type and arrived in a new one.
+            if k < 40 {
+                assert!(
+                    (report.frequency_drift - 2.0 * k as f64 / 40.0).abs() < 1e-9,
+                    "k={k}: {report:?}"
+                );
+            }
+            last = report.frequency_drift;
+        }
+        // The fully replaced workload is maximally drifted.
+        let full = monitor.observe(&ds, &mixed(0, 40), &cfg);
+        assert!((full.frequency_drift - 2.0).abs() < 1e-9, "{full:?}");
+    }
+
+    #[test]
+    fn disappeared_and_new_type_counts_are_symmetric() {
+        let ds = data();
+        let cfg = TsunamiConfig::fast();
+        let monitor_a = WorkloadMonitor::new(&ds, &workload_a(0), &cfg);
+        let monitor_b = WorkloadMonitor::new(&ds, &workload_b(), &cfg);
+        let a_to_b = monitor_a.observe(&ds, &workload_b(), &cfg);
+        let b_to_a = monitor_b.observe(&ds, &workload_a(0), &cfg);
+        // Types that disappear going A -> B are exactly the types that are
+        // new going B -> A, and vice versa.
+        assert_eq!(a_to_b.disappeared_types, b_to_a.new_types);
+        assert_eq!(a_to_b.new_types, b_to_a.disappeared_types);
+        assert!((a_to_b.frequency_drift - b_to_a.frequency_drift).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest_observations() {
+        let ds = data();
+        let cfg = TsunamiConfig::fast();
+        let mut monitor = WorkloadMonitor::new(&ds, &workload_a(0), &cfg).with_window_capacity(5);
+        assert_eq!(monitor.window_len(), 0);
+        // An empty window never asks for re-optimization.
+        assert!(!monitor.window_report(&ds, &cfg).reoptimize);
+
+        for i in 0..8u64 {
+            monitor.record(Query::count(vec![Predicate::range(0, i, i + 10).unwrap()]).unwrap());
+        }
+        assert_eq!(monitor.window_len(), 5);
+        // The window holds exactly the 5 newest observations, oldest first.
+        let lows: Vec<u64> = monitor
+            .window_workload()
+            .queries()
+            .iter()
+            .map(|q| q.predicates()[0].lo)
+            .collect();
+        assert_eq!(lows, vec![3, 4, 5, 6, 7]);
+
+        // Shrinking the capacity evicts from the front.
+        monitor = monitor.with_window_capacity(2);
+        let lows: Vec<u64> = monitor
+            .window_workload()
+            .queries()
+            .iter()
+            .map(|q| q.predicates()[0].lo)
+            .collect();
+        assert_eq!(lows, vec![6, 7]);
+
+        monitor.clear_window();
+        assert_eq!(monitor.window_len(), 0);
+    }
+
+    #[test]
+    fn window_report_detects_shift_after_enough_observations() {
+        let ds = data();
+        let cfg = TsunamiConfig::fast();
+        let mut monitor = WorkloadMonitor::new(&ds, &workload_a(0), &cfg);
+        // Same-type observations: no shift.
+        for q in workload_a(5).queries() {
+            monitor.record(q.clone());
+        }
+        assert!(!monitor.window_report(&ds, &cfg).reoptimize);
+        // Flood the window with the disjoint workload: shift detected.
+        for q in workload_b().queries() {
+            monitor.record(q.clone());
+        }
+        for q in workload_b().queries() {
+            monitor.record(q.clone());
+        }
+        let report = monitor.window_report(&ds, &cfg);
+        assert!(report.reoptimize, "{report:?}");
     }
 }

@@ -59,6 +59,16 @@ impl Column {
         self.values = new_values;
     }
 
+    /// Permutes only the rows `base..base + perm.len()`: new row `base + i`
+    /// holds the value previously at row `base + perm[i]` (`perm` uses local,
+    /// 0-based indices). Min/max are unchanged by any reordering.
+    pub fn permute_range(&mut self, base: usize, perm: &[usize]) {
+        debug_assert!(base + perm.len() <= self.values.len());
+        let slice = &mut self.values[base..base + perm.len()];
+        let reordered: Vec<Value> = perm.iter().map(|&src| slice[src]).collect();
+        slice.copy_from_slice(&reordered);
+    }
+
     /// Sum of values in `range`, as a wide integer.
     pub fn sum_range(&self, range: std::ops::Range<usize>) -> u128 {
         self.values[range].iter().map(|&v| v as u128).sum()

@@ -74,6 +74,33 @@ impl ColumnStore {
         }
     }
 
+    /// Reorders rows *within* `base..base + perm.len()` only: new row
+    /// `base + i` holds what was at row `base + perm[i]` (local indices).
+    /// Rows outside the range are untouched. This is the incremental
+    /// re-optimization counterpart of [`ColumnStore::permute`]: a re-laid-out
+    /// region rewrites just its own slice of the store.
+    pub fn permute_range(&mut self, base: usize, perm: &[usize]) {
+        assert!(
+            base + perm.len() <= self.len,
+            "range permutation must stay in bounds"
+        );
+        for c in &mut self.columns {
+            c.permute_range(base, perm);
+        }
+    }
+
+    /// Copies a contiguous row range back out as a logical [`Dataset`]
+    /// (store order). Used by incremental re-optimization to rebuild one
+    /// region's grid without keeping a second copy of the data around.
+    pub fn slice_dataset(&self, range: Range<usize>) -> Dataset {
+        let cols: Vec<Vec<Value>> = self
+            .columns
+            .iter()
+            .map(|c| c.values()[range.clone()].to_vec())
+            .collect();
+        Dataset::from_columns(cols).expect("store columns are equal-length")
+    }
+
     /// Scans a contiguous row range, adding matching rows to the accumulator
     /// and folding the work done into `counters`.
     ///

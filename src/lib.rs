@@ -22,6 +22,6 @@
 //! shared scan executor.
 
 pub use tsunami_engine::{
-    ColumnRef, Database, IndexSpec, PageSize, PreparedQuery, QueryBuilder, QueryHandle, Scheduler,
-    Schema, SharedIndex, Table,
+    ColumnRef, Database, IndexSpec, PageSize, PreparedQuery, QueryBuilder, QueryHandle,
+    ReoptReport, Scheduler, Schema, SharedIndex, ShiftReport, Table, WorkloadMonitor,
 };
