@@ -26,6 +26,21 @@ impl FullScanIndex {
             },
         }
     }
+
+    /// Absorbs new rows: a full scan has no layout, so ingest is a plain
+    /// append.
+    pub fn ingest(&self, rows: &Dataset) -> Self {
+        let start = Instant::now();
+        let mut store = self.store.clone();
+        store.append_dataset(rows);
+        Self {
+            store,
+            timing: BuildTiming {
+                sort_secs: start.elapsed().as_secs_f64(),
+                optimize_secs: 0.0,
+            },
+        }
+    }
 }
 
 impl MultiDimIndex for FullScanIndex {
@@ -47,6 +62,12 @@ impl MultiDimIndex for FullScanIndex {
 
     fn build_timing(&self) -> BuildTiming {
         self.timing
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        // Lets the engine's ingestion path reach `FullScanIndex::ingest`
+        // behind a `Box<dyn MultiDimIndex>`.
+        Some(self)
     }
 }
 

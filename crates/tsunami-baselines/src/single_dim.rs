@@ -85,6 +85,45 @@ impl ClusteredSingleDimIndex {
         }
     }
 
+    /// Absorbs new rows **without a rebuild** — the sorted-merge ingest: the
+    /// batch is appended to the store's tail and one stable
+    /// [`ColumnStore::sort_range`] over the sort dimension merges it into
+    /// place (the old rows are already one sorted run, so the sort
+    /// degenerates to a merge). The per-dimension domains backing
+    /// residual-predicate elimination are widened to cover the batch.
+    pub fn ingest(&self, rows: &Dataset) -> Self {
+        assert_eq!(
+            rows.num_dims(),
+            self.store.num_dims(),
+            "ingested rows must match the index width"
+        );
+        let start = Instant::now();
+        let mut store = self.store.clone();
+        store.append_dataset(rows);
+        store.sort_range(0..store.len(), self.sort_dim);
+        let sort_keys: Vec<Value> = store.column(self.sort_dim).values().to_vec();
+        let domains: Vec<(Value, Value)> = self
+            .domains
+            .iter()
+            .enumerate()
+            .map(|(dim, &(lo, hi))| match rows.domain(dim) {
+                Some((blo, bhi)) if !self.store.is_empty() => (lo.min(blo), hi.max(bhi)),
+                Some(fresh) => fresh,
+                None => (lo, hi),
+            })
+            .collect();
+        Self {
+            store,
+            sort_keys,
+            sort_dim: self.sort_dim,
+            domains,
+            timing: BuildTiming {
+                sort_secs: start.elapsed().as_secs_f64(),
+                optimize_secs: 0.0,
+            },
+        }
+    }
+
     /// Whether the whole table already satisfies a predicate (its range
     /// covers the dimension's entire stored value domain), making any
     /// re-check of it redundant.
@@ -144,6 +183,12 @@ impl MultiDimIndex for ClusteredSingleDimIndex {
 
     fn build_timing(&self) -> BuildTiming {
         self.timing
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        // Lets the engine's ingestion path reach
+        // `ClusteredSingleDimIndex::ingest` behind a `Box<dyn MultiDimIndex>`.
+        Some(self)
     }
 }
 
@@ -208,6 +253,44 @@ mod tests {
         let q = Query::count(vec![Predicate::range(1, 100, 150).unwrap()]).unwrap();
         let (_, stats) = idx.execute_with_stats(&q);
         assert_eq!(stats.points_scanned, ds.len());
+    }
+
+    #[test]
+    fn ingest_merges_into_sort_order_and_stays_sound() {
+        let ds = data();
+        let idx = ClusteredSingleDimIndex::build_on_dim(&ds, 0);
+        // Batch including values beyond the build-time domain of both dims.
+        let batch = Dataset::from_columns(vec![
+            vec![5, 500, 999, 5_000, 5_001],
+            vec![1, 2, 3, 4, 5_000],
+        ])
+        .unwrap();
+        let ingested = idx.ingest(&batch);
+
+        let mut merged = ds.clone();
+        for row in batch.rows() {
+            merged.push_row(&row).unwrap();
+        }
+        // Sort keys stay sorted and cover every row.
+        assert!(ingested.sort_keys.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ingested.sort_keys.len(), merged.len());
+
+        for (lo, hi) in [(0u64, 99u64), (400, 600), (990, 6_000)] {
+            let q = Query::count(vec![Predicate::range(0, lo, hi).unwrap()]).unwrap();
+            assert_eq!(ingested.execute(&q), q.execute_full_scan(&merged));
+        }
+        // Residual elimination stays sound: the old whole-domain predicate
+        // no longer covers the widened domain, so it must be re-checked (the
+        // result must exclude the new out-of-domain rows).
+        let (old_lo, old_hi) = ds.domain(1).unwrap();
+        let q = Query::count(vec![Predicate::range(1, old_lo, old_hi).unwrap()]).unwrap();
+        assert_eq!(ingested.execute(&q), q.execute_full_scan(&merged));
+        // And the *new* whole-domain predicate is dropped from the residual.
+        let (lo, hi) = merged.domain(1).unwrap();
+        let q = Query::count(vec![Predicate::range(1, lo, hi).unwrap()]).unwrap();
+        let plan = ingested.plan(&q);
+        assert!(plan.residual(&q).is_empty());
+        assert_eq!(ingested.execute(&q), q.execute_full_scan(&merged));
     }
 
     #[test]

@@ -8,13 +8,20 @@
 //!
 //! `EXPERIMENT` is one of `table3`, `table4`, `fig7`, `fig7par`,
 //! `fig7sched`, `fig8`, `fig9a`, `fig9b`, `fig10`, `fig11a`, `fig11b`,
-//! `fig12a`, `fig12b`, `fig12kern`, or `all` (default). Run in release mode:
-//! `cargo run --release -p tsunami-bench --bin repro -- fig7`.
+//! `fig12a`, `fig12b`, `fig12kern`, `check-bench`, or `all` (default). Run
+//! in release mode: `cargo run --release -p tsunami-bench --bin repro -- fig7`.
 //!
 //! `fig12kern` additionally writes machine-readable `BENCH_scan.json`
 //! (median ns/row per selectivity × predicate count × kernel tier; path
-//! overridable via the `BENCH_SCAN_JSON` env var) so scan-kernel performance
-//! is tracked across PRs.
+//! overridable via the `BENCH_SCAN_JSON` env var) and `fig9b` writes
+//! `BENCH_ingest.json` (ingest-vs-rebuild across batch sizes; override via
+//! `BENCH_INGEST_JSON`) so performance is tracked across PRs.
+//!
+//! `check-bench` is the CI regression gate: it re-runs the `fig12kern`
+//! smoke and exits non-zero if any median ns/row regressed past
+//! `max(2.5x, +0.5 ns/row)` of the checked-in baseline
+//! (`bench-baselines/BENCH_scan.json`, overridable via
+//! `BENCH_BASELINE_JSON`).
 
 use tsunami_bench::experiments;
 use tsunami_bench::HarnessConfig;
@@ -68,6 +75,16 @@ fn main() {
         experiments::all(&config);
         return;
     }
+    if experiment == "check-bench" {
+        match experiments::check_bench(&config) {
+            Ok(summary) => println!("{summary}"),
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     match experiments::experiments()
         .into_iter()
         .find(|(name, _)| *name == experiment)
@@ -85,6 +102,7 @@ fn main() {
 
 fn print_usage() {
     eprintln!("usage: repro [EXPERIMENT] [--rows N] [--queries-per-type N] [--seed N]");
-    eprintln!("experiments: all, table3, table4, fig7, fig7par, fig7sched, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig12kern");
-    eprintln!("fig12kern also writes BENCH_scan.json (override path with BENCH_SCAN_JSON)");
+    eprintln!("experiments: all, table3, table4, fig7, fig7par, fig7sched, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig12kern, check-bench");
+    eprintln!("fig12kern also writes BENCH_scan.json (override path with BENCH_SCAN_JSON); fig9b writes BENCH_ingest.json (BENCH_INGEST_JSON)");
+    eprintln!("check-bench re-runs fig12kern and fails on >2.5x median regressions vs bench-baselines/BENCH_scan.json (BENCH_BASELINE_JSON)");
 }

@@ -320,7 +320,10 @@ pub fn fig9a(config: &HarnessConfig) -> String {
     finish(t)
 }
 
-/// Fig 9b: index creation time, split into data-sorting and optimization.
+/// Fig 9b: index creation time, split into data-sorting and optimization,
+/// plus the incremental-ingestion drill-down — ingest-vs-rebuild time and
+/// post-ingest query latency across batch sizes, written machine-readably to
+/// `BENCH_ingest.json`.
 pub fn fig9b(config: &HarnessConfig) -> String {
     let bundles = standard_bundles(config);
     let mut t = Table::new(
@@ -340,7 +343,168 @@ pub fn fig9b(config: &HarnessConfig) -> String {
             ]);
         }
     }
+    let mut out = finish(t);
+    out.push('\n');
+    let path =
+        std::env::var("BENCH_INGEST_JSON").unwrap_or_else(|_| "BENCH_ingest.json".to_string());
+    out.push_str(&fig9b_ingest_impl(
+        config,
+        Some(std::path::Path::new(&path)),
+    ));
+    out
+}
+
+/// The ingest drill-down: absorb batches of 1/5/10% new TPC-H rows into a
+/// built index (`TsunamiIndex::ingest` / `FloodIndex::ingest`) and compare
+/// against rebuilding from the full dataset — both the adaptation time and
+/// the post-ingest query latency. Every ingested index is cross-checked for
+/// bit-identical results against the rebuilt one while measuring.
+fn fig9b_ingest_impl(config: &HarnessConfig, json_path: Option<&std::path::Path>) -> String {
+    use tsunami_core::Dataset;
+
+    let data = tpch::generate(config.rows, config.seed);
+    let workload = tpch::workload(&data, config.queries_per_type, config.seed ^ 10);
+    let cost = CostModel::default();
+    let tsunami_config = config.tsunami_config();
+    let flood_config = config.flood_config();
+
+    let mut t = Table::new(
+        "Fig 9b (ingest): Incremental ingestion vs rebuild (TPC-H)",
+        &[
+            "index",
+            "batch %",
+            "batch rows",
+            "ingest (s)",
+            "rebuild (s)",
+            "ingest/rebuild",
+            "post-ingest (us)",
+            "rebuilt (us)",
+        ],
+    );
+    // (index, batch %, batch rows, ingest s, rebuild s, ingested us, rebuilt us)
+    let mut entries: Vec<(&'static str, f64, usize, f64, f64, f64, f64)> = Vec::new();
+
+    let tsunami = TsunamiIndex::build_with_cost(&data, &workload, &cost, &tsunami_config)
+        .expect("tsunami build");
+    let flood = FloodIndex::build(&data, &workload, &cost, &flood_config);
+    for &pct in &[1.0f64, 5.0, 10.0] {
+        let m = ((config.rows as f64 * pct / 100.0) as usize).max(1);
+        // New rows from the same generator, later in the stream (a disjoint
+        // seed would change the distribution; real ingest continues it).
+        let grown = tpch::generate(config.rows + m, config.seed);
+        let batch = Dataset::from_columns(
+            (0..grown.num_dims())
+                .map(|d| grown.column(d)[config.rows..].to_vec())
+                .collect(),
+        )
+        .expect("batch columns");
+
+        for family in ["Tsunami", "Flood"] {
+            let (ingested, ingest_secs, rebuilt, rebuild_secs): (
+                Box<dyn tsunami_core::MultiDimIndex>,
+                f64,
+                Box<dyn tsunami_core::MultiDimIndex>,
+                f64,
+            ) = match family {
+                "Tsunami" => {
+                    let t0 = Instant::now();
+                    let (ingested, report) = tsunami
+                        .ingest_with_cost(&batch, &cost, &tsunami_config)
+                        .expect("tsunami ingest");
+                    let ingest_secs = t0.elapsed().as_secs_f64();
+                    assert!(
+                        !report.rebuilt,
+                        "a ≤10% batch must not escalate to a rebuild: {report:?}"
+                    );
+                    let t0 = Instant::now();
+                    let rebuilt =
+                        TsunamiIndex::build_with_cost(&grown, &workload, &cost, &tsunami_config)
+                            .expect("tsunami rebuild");
+                    (
+                        Box::new(ingested),
+                        ingest_secs,
+                        Box::new(rebuilt),
+                        t0.elapsed().as_secs_f64(),
+                    )
+                }
+                _ => {
+                    let t0 = Instant::now();
+                    let ingested = flood.ingest(&batch);
+                    let ingest_secs = t0.elapsed().as_secs_f64();
+                    let t0 = Instant::now();
+                    let rebuilt = FloodIndex::build(&grown, &workload, &cost, &flood_config);
+                    (
+                        Box::new(ingested),
+                        ingest_secs,
+                        Box::new(rebuilt),
+                        t0.elapsed().as_secs_f64(),
+                    )
+                }
+            };
+            // Correctness cross-check doubling as warm-up.
+            for q in workload.queries().iter().step_by(5) {
+                assert_eq!(
+                    ingested.execute(q),
+                    rebuilt.execute(q),
+                    "{family} ingest diverged from rebuild on {q:?}"
+                );
+            }
+            let ingested_us = measure(ingested.as_ref(), &workload).avg_query_us;
+            let rebuilt_us = measure(rebuilt.as_ref(), &workload).avg_query_us;
+            t.add_row(vec![
+                family.to_string(),
+                fmt_f64(pct),
+                m.to_string(),
+                fmt_f64(ingest_secs),
+                fmt_f64(rebuild_secs),
+                fmt_f64(ingest_secs / rebuild_secs.max(1e-12)),
+                fmt_f64(ingested_us),
+                fmt_f64(rebuilt_us),
+            ]);
+            entries.push((
+                family,
+                pct,
+                m,
+                ingest_secs,
+                rebuild_secs,
+                ingested_us,
+                rebuilt_us,
+            ));
+        }
+    }
+    if let Some(path) = json_path {
+        match write_bench_ingest_json(path, config.rows, config.seed, &entries) {
+            Ok(()) => eprintln!("# fig9b: wrote {}", path.display()),
+            Err(e) => eprintln!("# fig9b: could not write {}: {e}", path.display()),
+        }
+    }
     finish(t)
+}
+
+/// Hand-rolled machine-readable dump of the ingest drill-down (the workspace
+/// is offline — no serde).
+#[allow(clippy::type_complexity)]
+fn write_bench_ingest_json(
+    path: &std::path::Path,
+    rows: usize,
+    seed: u64,
+    entries: &[(&'static str, f64, usize, f64, f64, f64, f64)],
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"experiment\": \"fig9b_ingest\",\n  \"rows\": {rows},\n  \"seed\": {seed},\n  \"entries\": [\n"
+    ));
+    for (i, (index, pct, batch, ingest, rebuild, ing_us, reb_us)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"index\": \"{index}\", \"batch_pct\": {pct}, \"batch_rows\": {batch}, \
+             \"ingest_secs\": {ingest:.6}, \"rebuild_secs\": {rebuild:.6}, \
+             \"post_ingest_us\": {ing_us:.4}, \"rebuilt_us\": {reb_us:.4}}}{comma}\n"
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
 }
 
 /// Fig 10: scalability with dimensionality, on uncorrelated and correlated
@@ -649,6 +813,112 @@ fn write_bench_scan_json(
     std::fs::write(path, s)
 }
 
+/// The benchmark-regression gate behind `repro -- check-bench`: re-runs the
+/// fig12kern smoke (writing fresh `BENCH_scan.json` numbers) and compares
+/// every median against the checked-in baseline in
+/// `bench-baselines/BENCH_scan.json` (path overridable via
+/// `BENCH_BASELINE_JSON`). Returns a human-readable summary, or an error
+/// describing every regressed entry — the caller exits non-zero on `Err`.
+pub fn check_bench(config: &HarnessConfig) -> std::result::Result<String, String> {
+    let current_path =
+        std::env::var("BENCH_SCAN_JSON").unwrap_or_else(|_| "BENCH_scan.json".to_string());
+    fig12kern(config);
+    let baseline_path = std::env::var("BENCH_BASELINE_JSON")
+        .unwrap_or_else(|_| "bench-baselines/BENCH_scan.json".to_string());
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("check-bench: cannot read baseline {baseline_path}: {e}"))?;
+    let current = std::fs::read_to_string(&current_path)
+        .map_err(|e| format!("check-bench: cannot read current run {current_path}: {e}"))?;
+    compare_bench_scan(&baseline, &current)
+}
+
+/// One `BENCH_scan.json` entry: (selectivity %, predicates, agg, tier,
+/// median ns/row).
+type ScanEntry = (String, String, String, String, f64);
+
+/// Parses the entries of a `BENCH_scan.json` produced by [`fig12kern`] (the
+/// workspace is offline — no serde — but the writer emits one entry per
+/// line, so per-line field extraction is exact).
+fn parse_bench_scan_entries(json: &str) -> Vec<ScanEntry> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    json.lines()
+        .filter(|l| l.contains("\"median_ns_per_row\""))
+        .filter_map(|l| {
+            Some((
+                field(l, "selectivity_pct")?.to_string(),
+                field(l, "predicates")?.to_string(),
+                field(l, "agg")?.to_string(),
+                field(l, "tier")?.to_string(),
+                field(l, "median_ns_per_row")?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+/// Compares two `BENCH_scan.json` contents entry by entry. An entry fails
+/// when its median exceeds `max(2.5 × baseline, baseline + 0.5 ns/row)`:
+/// the 2.5× bound is deliberately loose — the criterion-shim medians
+/// (median of 5 in a shared CI container) are noisy, and the gate exists to
+/// catch order-of-magnitude kernel regressions, not jitter — and the
+/// 0.5 ns/row absolute slack keeps sub-nanosecond entries (dense bitmap
+/// scans) from flapping on timer granularity. Entries present in the
+/// baseline but missing from the current run fail too (coverage must not
+/// silently shrink).
+fn compare_bench_scan(baseline: &str, current: &str) -> std::result::Result<String, String> {
+    let base = parse_bench_scan_entries(baseline);
+    if base.is_empty() {
+        return Err("check-bench: baseline has no entries".to_string());
+    }
+    let cur: std::collections::HashMap<(String, String, String, String), f64> =
+        parse_bench_scan_entries(current)
+            .into_iter()
+            .map(|(s, p, a, t, ns)| ((s, p, a, t), ns))
+            .collect();
+    let mut failures = Vec::new();
+    let mut worst: Option<(f64, String)> = None;
+    let compared = base.len();
+    for (sel, preds, agg, tier, base_ns) in base {
+        let label = format!("sel={sel}% preds={preds} agg={agg} tier={tier}");
+        let Some(&cur_ns) = cur.get(&(sel, preds, agg, tier)) else {
+            failures.push(format!(
+                "{label}: present in baseline, missing from current run"
+            ));
+            continue;
+        };
+        let limit = (base_ns * 2.5).max(base_ns + 0.5);
+        let ratio = cur_ns / base_ns.max(1e-9);
+        if worst.as_ref().is_none_or(|(w, _)| ratio > *w) {
+            worst = Some((ratio, label.clone()));
+        }
+        if cur_ns > limit {
+            failures.push(format!(
+                "{label}: {cur_ns:.3} ns/row vs baseline {base_ns:.3} \
+                 (limit {limit:.3}, ratio {ratio:.2}x)"
+            ));
+        }
+    }
+    let (worst_ratio, worst_label) = worst.unwrap_or((0.0, "n/a".to_string()));
+    if failures.is_empty() {
+        Ok(format!(
+            "check-bench: OK — {compared} entries within tolerance \
+             (max(2.5x, +0.5 ns/row)); worst ratio {worst_ratio:.2}x at {worst_label}"
+        ))
+    } else {
+        Err(format!(
+            "check-bench: FAILED — {} of {compared} entries regressed past \
+             max(2.5x baseline, baseline + 0.5 ns/row):\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ))
+    }
+}
+
 /// Runs every experiment in sequence and returns the concatenated output.
 pub fn all(config: &HarnessConfig) -> String {
     let mut out = String::new();
@@ -747,6 +1017,41 @@ mod tests {
     }
 
     #[test]
+    fn fig9b_ingest_stays_cheaper_than_rebuild_and_consistent() {
+        // Tiny run, no JSON: the impl itself cross-checks ingested results
+        // against the rebuilt index while measuring.
+        let cfg = HarnessConfig {
+            rows: 4_000,
+            queries_per_type: 3,
+            seed: 11,
+        };
+        let out = fig9b_ingest_impl(&cfg, None);
+        for label in ["Tsunami", "Flood", "ingest/rebuild"] {
+            assert!(out.contains(label), "missing {label} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn bench_ingest_json_is_well_formed() {
+        let dir = std::env::temp_dir().join("tsunami_bench_ingest_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_ingest.json");
+        write_bench_ingest_json(
+            &path,
+            5000,
+            7,
+            &[("Tsunami", 10.0, 500, 0.25, 1.5, 12.5, 11.0)],
+        )
+        .unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains("\"experiment\": \"fig9b_ingest\""));
+        assert!(s.contains("\"index\": \"Tsunami\""));
+        assert!(s.contains("\"batch_pct\": 10"));
+        assert!(s.contains("\"ingest_secs\": 0.250000"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn bench_scan_json_is_well_formed() {
         let dir = std::env::temp_dir().join("tsunami_bench_scan_json_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -757,6 +1062,74 @@ mod tests {
         assert!(s.contains("\"rows\": 1234"));
         assert!(s.contains("\"tier\": \"bitmap\""));
         assert!(s.contains("\"median_ns_per_row\": 1.5000"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn check_bench_comparison_flags_only_real_regressions() {
+        let mut entries = vec![
+            (50.0, 2, "count", "bitmap", 2.0),
+            (0.0, 1, "sum", "vector", 0.1),
+            (99.0, 4, "count", "scalar", 8.0),
+        ];
+        let dir = std::env::temp_dir().join("tsunami_check_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base_path = dir.join("base.json");
+        write_bench_scan_json(&base_path, 1000, 1, &entries).unwrap();
+        let baseline = std::fs::read_to_string(&base_path).unwrap();
+
+        // Identical run passes.
+        let ok = compare_bench_scan(&baseline, &baseline).unwrap();
+        assert!(ok.contains("OK"), "{ok}");
+
+        // Noise within tolerance passes: 2x on a big entry, absolute slack
+        // on a sub-ns entry.
+        entries[0].4 = 4.0;
+        entries[1].4 = 0.55;
+        write_bench_scan_json(&base_path, 1000, 1, &entries).unwrap();
+        let noisy = std::fs::read_to_string(&base_path).unwrap();
+        assert!(compare_bench_scan(&baseline, &noisy).is_ok());
+
+        // A >2.5x regression fails and names the entry.
+        entries[2].4 = 25.0;
+        write_bench_scan_json(&base_path, 1000, 1, &entries).unwrap();
+        let regressed = std::fs::read_to_string(&base_path).unwrap();
+        let err = compare_bench_scan(&baseline, &regressed).unwrap_err();
+        assert!(err.contains("tier=scalar"), "{err}");
+        assert!(err.contains("FAILED"));
+
+        // Shrunken coverage fails.
+        entries.truncate(1);
+        write_bench_scan_json(&base_path, 1000, 1, &entries).unwrap();
+        let shrunk = std::fs::read_to_string(&base_path).unwrap();
+        let err = compare_bench_scan(&baseline, &shrunk).unwrap_err();
+        assert!(err.contains("missing from current run"), "{err}");
+
+        // An empty baseline is an error, not a pass.
+        assert!(compare_bench_scan("{}", &baseline).is_err());
+        std::fs::remove_file(&base_path).unwrap();
+    }
+
+    #[test]
+    fn bench_scan_json_round_trips_through_the_parser() {
+        let dir = std::env::temp_dir().join("tsunami_scan_parse_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scan.json");
+        write_bench_scan_json(
+            &path,
+            1000,
+            1,
+            &[
+                (50.0, 2, "count", "bitmap", 1.25),
+                (0.0, 1, "sum", "scalar", 3.5),
+            ],
+        )
+        .unwrap();
+        let parsed = parse_bench_scan_entries(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].3, "bitmap");
+        assert_eq!(parsed[0].4, 1.25);
+        assert_eq!(parsed[1].2, "sum");
         std::fs::remove_file(&path).unwrap();
     }
 

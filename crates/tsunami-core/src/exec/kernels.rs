@@ -1,7 +1,7 @@
 //! Branchless block kernels for predicate evaluation and aggregation.
 //!
 //! Everything in this module operates on one *block* of at most
-//! [`BLOCK_ROWS`](super::BLOCK_ROWS) contiguous rows of a single column, in
+//! [`BLOCK_ROWS`] contiguous rows of a single column, in
 //! one of two selection representations:
 //!
 //! * a **selection vector** — `u32` in-block row offsets of the matching

@@ -86,7 +86,7 @@
 //! choice, never results.
 //!
 //! Data access is abstracted behind [`ScanSource`] (rows of `u64` columns),
-//! implemented by both the logical [`Dataset`](crate::Dataset) and the
+//! implemented by both the logical [`Dataset`] and the
 //! physical `ColumnStore` in `tsunami-store`. Sources must be `Sync`: scans
 //! never mutate them.
 

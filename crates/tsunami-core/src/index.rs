@@ -97,7 +97,7 @@ pub trait MultiDimIndex {
 
     /// Executes a query with an explicitly pinned [`KernelTier`]. All tiers
     /// are bit-identical in results and counters (see the
-    /// [`exec`](crate::exec) module docs); benchmarks and differential tests
+    /// [`exec`] module docs); benchmarks and differential tests
     /// use this to compare them.
     fn execute_tiered(&self, query: &Query, tier: KernelTier) -> (AggResult, IndexStats) {
         let (result, counters) =

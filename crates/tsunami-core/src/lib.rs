@@ -9,7 +9,7 @@
 //! * [`Predicate`], [`Query`], [`Workload`], [`Aggregation`], [`AggResult`] —
 //!   the query model: conjunctions of per-dimension range filters feeding an
 //!   aggregation (§2).
-//! * [`Histogram`] and [`emd`] — the building blocks of the Grid Tree's query
+//! * [`Histogram`] and [`emd`](crate::emd()) — the building blocks of the Grid Tree's query
 //!   skew definition (§4.2.1).
 //! * [`CostModel`] — the analytic linear cost model used to optimize both
 //!   Flood and the Augmented Grid (§5.3.1).

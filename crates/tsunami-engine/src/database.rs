@@ -14,8 +14,10 @@
 
 use std::sync::Arc;
 
-use tsunami_core::{CostModel, Dataset, Result, TsunamiError, Workload};
-use tsunami_index::{ReoptReport, TsunamiConfig, TsunamiIndex, WorkloadMonitor};
+use tsunami_baselines::{ClusteredSingleDimIndex, FullScanIndex};
+use tsunami_core::{CostModel, Dataset, Point, Result, TsunamiError, Workload};
+use tsunami_flood::FloodIndex;
+use tsunami_index::{IngestReport, ReoptReport, TsunamiConfig, TsunamiIndex, WorkloadMonitor};
 
 use crate::schema::Schema;
 use crate::spec::{IndexSpec, SharedIndex};
@@ -81,6 +83,7 @@ impl Database {
             index,
             workload.clone(),
             observe_cap(spec),
+            Some(spec.clone()),
         )
     }
 
@@ -103,6 +106,7 @@ impl Database {
             index,
             workload.clone(),
             observe_cap(spec),
+            Some(spec.clone()),
         )
     }
 
@@ -124,7 +128,7 @@ impl Database {
             });
         }
         let cap = TsunamiConfig::default().observation_window;
-        self.register(name, schema, data, index, Workload::default(), cap)
+        self.register(name, schema, data, index, Workload::default(), cap, None)
     }
 
     fn build_index(
@@ -146,6 +150,7 @@ impl Database {
         spec.build(data, workload, &self.cost)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn register(
         &mut self,
         name: &str,
@@ -154,6 +159,7 @@ impl Database {
         index: SharedIndex,
         reference: Workload,
         observe_cap: usize,
+        spec: Option<IndexSpec>,
     ) -> Result<Table> {
         if self.tables.iter().any(|t| t.name() == name) {
             return Err(TsunamiError::DuplicateTable(name.to_string()));
@@ -165,6 +171,7 @@ impl Database {
             index,
             reference,
             observe_cap,
+            spec,
         );
         self.tables.push(table.clone());
         Ok(table)
@@ -220,6 +227,8 @@ impl Database {
             index,
             workload.clone(),
             observe_cap(spec),
+            Some(spec.clone()),
+            0,
             Arc::clone(&old.state.observed),
         );
         table.clear_observations();
@@ -273,6 +282,8 @@ impl Database {
                     Box::new(index),
                     workload.clone(),
                     observe_cap(spec),
+                    Some(spec.clone()),
+                    0,
                     Arc::clone(&old.state.observed),
                 );
                 table.clear_observations();
@@ -283,32 +294,143 @@ impl Database {
         Ok((self.reindex(name, workload, spec)?, None))
     }
 
+    /// Inserts one row into a table. See [`Database::insert_batch`].
+    pub fn insert(&mut self, name: &str, row: &[tsunami_core::Value]) -> Result<Table> {
+        self.insert_batch(name, std::slice::from_ref(&row.to_vec()))
+    }
+
+    /// Inserts a batch of rows into a table, absorbing them into the
+    /// existing index **without a rebuild** where the family supports it:
+    /// Tsunami goes through [`TsunamiIndex::ingest_with_cost`] (rows routed
+    /// to their Grid-Tree regions, only touched regions re-gridded), Flood
+    /// and the single-dim/full-scan baselines through their sorted-merge
+    /// ingest. Families without an ingest path (the paged baselines) fall
+    /// back to rebuilding from the table's stored spec.
+    ///
+    /// Rows are validated against the table's schema width. Swap semantics
+    /// match [`Database::reindex`] — scheduler-safe: the catalog entry is
+    /// replaced atomically with a new table generation, outstanding handles
+    /// and prepared queries keep answering over the pre-insert snapshot
+    /// until dropped, and on failure the catalog is unchanged.
+    pub fn insert_batch(&mut self, name: &str, rows: &[Point]) -> Result<Table> {
+        Ok(self.insert_batch_with_report(name, rows)?.0)
+    }
+
+    /// Like [`Database::insert_batch`], also returning the Tsunami ingest
+    /// report (`None` for other index families).
+    pub fn insert_batch_with_report(
+        &mut self,
+        name: &str,
+        rows: &[Point],
+    ) -> Result<(Table, Option<IngestReport>)> {
+        let pos = self.position(name)?;
+        let old = &self.tables[pos];
+        let width = old.schema().num_columns();
+        let batch = Dataset::from_rows(width, rows)?;
+        let mut data = (*old.state.data).clone();
+        for row in rows {
+            data.push_row(row)?;
+        }
+
+        let any = old.index().as_any();
+        let mut report = None;
+        // When the insert itself re-derives the whole layout (the
+        // spec-rebuild fallback, or a Tsunami ingest that escalated), the
+        // drift counter restarts — the fresh layout already covers the
+        // batch, so auto_reoptimize must not fire a second rebuild for it.
+        let mut layout_rederived = false;
+        let index: SharedIndex = if let Some(tsunami) =
+            any.and_then(|a| a.downcast_ref::<TsunamiIndex>())
+        {
+            let config = match &old.state.spec {
+                Some(IndexSpec::Tsunami(c)) => c.clone(),
+                _ => TsunamiConfig::default(),
+            };
+            let (index, r) = tsunami.ingest_with_cost(&batch, &self.cost, &config)?;
+            layout_rederived = r.rebuilt;
+            report = Some(r);
+            Box::new(index)
+        } else if let Some(flood) = any.and_then(|a| a.downcast_ref::<FloodIndex>()) {
+            Box::new(flood.ingest(&batch))
+        } else if let Some(single) = any.and_then(|a| a.downcast_ref::<ClusteredSingleDimIndex>()) {
+            Box::new(single.ingest(&batch))
+        } else if let Some(full) = any.and_then(|a| a.downcast_ref::<FullScanIndex>()) {
+            Box::new(full.ingest(&batch))
+        } else {
+            // No ingest path: rebuild from the stored spec over the grown
+            // dataset (still optimized for the current reference workload).
+            let spec = old.state.spec.clone().ok_or_else(|| {
+                TsunamiError::Build(format!(
+                    "table '{name}' was registered around a pre-built index without a spec; \
+                     reindex it before inserting"
+                ))
+            })?;
+            layout_rederived = true;
+            spec.build(&data, old.reference_workload(), &self.cost)?
+        };
+
+        let old = &self.tables[pos];
+        let inserted_since_reopt = if layout_rederived {
+            0
+        } else {
+            old.state.inserted_since_reopt + rows.len()
+        };
+        let table = Table::with_observation_log(
+            name.to_string(),
+            old.schema().clone(),
+            Arc::new(data),
+            index,
+            old.reference_workload().clone(),
+            old.state.observe_cap,
+            old.state.spec.clone(),
+            inserted_since_reopt,
+            Arc::clone(&old.state.observed),
+        );
+        self.tables[pos] = table.clone();
+        Ok((table, report))
+    }
+
     /// The autonomous monitor → re-optimize loop: compares the queries
     /// recorded via [`Table::record_query`] (the table's bounded observation
     /// log is the engine's sliding window) against the workload the table's
-    /// layout was optimized for and, if the mix shifted, re-optimizes for
-    /// the observed workload via [`Database::reoptimize`] — which also
-    /// drains the log, so the consumed observations become the new
-    /// reference. Returns `Ok(None)` when nothing was observed or no shift
-    /// was detected — calling this periodically is cheap.
+    /// layout was optimized for and re-optimizes via
+    /// [`Database::reoptimize`] — which also drains the log, so the consumed
+    /// observations become the new reference — when either kind of drift is
+    /// detected:
+    ///
+    /// * **workload drift** — the observed query-type mix shifted from the
+    ///   optimized-for reference;
+    /// * **data drift** — the fraction of rows inserted since the layout
+    ///   was last (re)derived ([`Table::data_drift_fraction`]) passed the
+    ///   [`TsunamiConfig::ingest_region_staleness`] bar; ingestion keeps
+    ///   results correct on its own, but accumulated growth eventually
+    ///   earns the optimizer a pass even with an unchanged workload.
+    ///
+    /// Returns `Ok(None)` when neither drift is present — calling this
+    /// periodically is cheap.
     pub fn auto_reoptimize(&mut self, name: &str, spec: &IndexSpec) -> Result<Option<Table>> {
         let table = self.table(name)?;
         let observed = table.observed_workload();
-        if observed.is_empty() {
-            return Ok(None);
-        }
         let config = match spec {
             IndexSpec::Tsunami(c) => c.clone(),
             _ => TsunamiConfig::default(),
         };
-        let monitor = WorkloadMonitor::new(table.dataset(), table.reference_workload(), &config);
-        if !monitor
-            .observe(table.dataset(), &observed, &config)
-            .reoptimize
-        {
+        let data_drift = table.data_drift_fraction() > config.ingest_region_staleness;
+        let workload_drift = !observed.is_empty()
+            && WorkloadMonitor::new(table.dataset(), table.reference_workload(), &config)
+                .observe(table.dataset(), &observed, &config)
+                .reoptimize;
+        if !data_drift && !workload_drift {
             return Ok(None);
         }
-        self.reoptimize(name, &observed, spec).map(Some)
+        // Data drift alone re-optimizes for whatever workload evidence is at
+        // hand: the observation log if any, else the current reference.
+        let target = if observed.is_empty() {
+            table.reference_workload().clone()
+        } else {
+            observed
+        };
+        self.reoptimize(name, &target, spec).map(Some)
     }
 
     fn position(&self, name: &str) -> Result<usize> {
@@ -527,7 +649,7 @@ mod tests {
 
         let (fresh, report) = db.reoptimize_with_report("t", &night, &spec).unwrap();
         let report = report.expect("Tsunami + Tsunami spec uses the incremental path");
-        assert!(!report.escalated, "{report:?}");
+        assert!(!report.escalated(), "{report:?}");
         assert_eq!(fresh.reference_workload().len(), night.len());
         for q in night.queries().iter().chain(day.queries()).step_by(5) {
             let expected = q.execute_full_scan(&data);
@@ -565,6 +687,117 @@ mod tests {
         assert!(t.record_query(&bad).is_err());
         t.clear_observations();
         assert_eq!(t.observed_len(), 0);
+    }
+
+    #[test]
+    fn insert_batch_ingests_across_families_with_swap_semantics() {
+        let (data, day, _) = shift_fixture();
+        let mut db = Database::new();
+        for (name, spec) in [
+            ("tsunami", IndexSpec::Tsunami(TsunamiConfig::fast())),
+            ("flood", IndexSpec::flood()),
+            ("single", IndexSpec::SingleDim),
+            ("full", IndexSpec::FullScan),
+            // No ingest path: rebuilds from the stored spec.
+            ("zorder", IndexSpec::ZOrder(crate::PageSize::Fixed(256))),
+        ] {
+            db.create_table_unnamed(name, data.clone(), &day, &spec)
+                .unwrap();
+            let before = db.table(name).unwrap();
+
+            // In-domain rows plus rows beyond every build-time domain.
+            let mut rows: Vec<Vec<u64>> = (0..150u64).map(|i| vec![i * 3, i * 5, i * 7]).collect();
+            rows.push(vec![1_000_000, 1_000_000, 1_000_000]);
+            let after = db.insert_batch(name, &rows).unwrap();
+
+            let mut merged = data.clone();
+            for row in &rows {
+                merged.push_row(row).unwrap();
+            }
+            assert_eq!(after.num_rows(), merged.len());
+            // Old handles keep answering over the pre-insert snapshot.
+            assert_eq!(before.num_rows(), data.len());
+
+            let probes = [
+                Query::count(vec![Predicate::range(0, 0, 500).unwrap()]).unwrap(),
+                Query::count(vec![Predicate::range(2, 900_000, 2_000_000).unwrap()]).unwrap(),
+                Query::new(
+                    vec![Predicate::range(1, 0, 800).unwrap()],
+                    Aggregation::Sum(2),
+                )
+                .unwrap(),
+            ];
+            for q in &probes {
+                assert_eq!(
+                    after.execute(q).unwrap(),
+                    q.execute_full_scan(&merged),
+                    "{name} diverged on {q:?}"
+                );
+                assert_eq!(before.execute(q).unwrap(), q.execute_full_scan(&data));
+            }
+        }
+        // Single-row convenience + schema validation.
+        db.insert("tsunami", &[1, 2, 3]).unwrap();
+        assert!(db.insert("tsunami", &[1, 2]).is_err());
+        assert!(db.insert_batch("nope", &[vec![1, 2, 3]]).is_err());
+    }
+
+    #[test]
+    fn insert_batch_reports_tsunami_ingest() {
+        let (data, day, _) = shift_fixture();
+        let spec = IndexSpec::Tsunami(TsunamiConfig::fast());
+        let mut db = Database::new();
+        db.create_table_unnamed("t", data, &day, &spec).unwrap();
+        let rows: Vec<Vec<u64>> = (0..100u64).map(|i| vec![i, 2 * i, 3 * i]).collect();
+        let (_, report) = db.insert_batch_with_report("t", &rows).unwrap();
+        let report = report.expect("Tsunami tables report their ingest");
+        assert_eq!(report.rows_ingested, rows.len());
+        assert!(!report.rebuilt);
+        // Non-Tsunami families return no report.
+        let mut db2 = Database::new();
+        let (data2, day2, _) = shift_fixture();
+        db2.create_table_unnamed("f", data2, &day2, &IndexSpec::flood())
+            .unwrap();
+        let (_, report) = db2.insert_batch_with_report("f", &rows).unwrap();
+        assert!(report.is_none());
+    }
+
+    #[test]
+    fn auto_reoptimize_fires_on_data_drift_without_workload_shift() {
+        let (data, day, _) = shift_fixture();
+        // Tight region bar so a modest batch is already "drifted"; huge
+        // rebuild bar so ingest itself never escalates.
+        let config = TsunamiConfig {
+            ingest_region_staleness: 0.02,
+            ingest_rebuild_staleness: 1.0,
+            ..TsunamiConfig::fast()
+        };
+        let spec = IndexSpec::Tsunami(config);
+        let mut db = Database::new();
+        db.create_table_unnamed("t", data.clone(), &day, &spec)
+            .unwrap();
+
+        // Fresh table, nothing observed: no action.
+        assert!(db.auto_reoptimize("t", &spec).unwrap().is_none());
+
+        let rows: Vec<Vec<u64>> = (0..400u64).map(|i| vec![i * 2, i * 4, i * 11]).collect();
+        db.insert_batch("t", &rows).unwrap();
+
+        // No queries observed, but the ingested fraction passed the bar:
+        // the autonomous loop re-optimizes for the reference workload.
+        let fresh = db
+            .auto_reoptimize("t", &spec)
+            .unwrap()
+            .expect("data drift must trigger re-optimization");
+        let mut merged = data;
+        for row in &rows {
+            merged.push_row(row).unwrap();
+        }
+        for q in day.queries().iter().step_by(7) {
+            assert_eq!(fresh.execute(q).unwrap(), q.execute_full_scan(&merged));
+        }
+        // The staleness was repaid: no further action.
+        assert!(db.auto_reoptimize("t", &spec).unwrap().is_none());
     }
 
     #[test]

@@ -73,6 +73,6 @@ pub use scheduler::{QueryHandle, Scheduler};
 pub use schema::{ColumnRef, Schema};
 pub use spec::{IndexSpec, PageSize, SharedIndex};
 pub use table::Table;
-// Re-exported so engine users can inspect incremental re-optimization
-// outcomes without depending on `tsunami-index` directly.
-pub use tsunami_index::{ReoptReport, ShiftReport, WorkloadMonitor};
+// Re-exported so engine users can inspect incremental re-optimization and
+// ingestion outcomes without depending on `tsunami-index` directly.
+pub use tsunami_index::{Escalation, IngestReport, ReoptReport, ShiftReport, WorkloadMonitor};

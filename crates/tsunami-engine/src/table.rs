@@ -16,7 +16,7 @@ use tsunami_core::{AggResult, Dataset, IndexStats, MultiDimIndex, Query, Result,
 use crate::builder::QueryBuilder;
 use crate::prepared::PreparedQuery;
 use crate::schema::Schema;
-use crate::spec::SharedIndex;
+use crate::spec::{IndexSpec, SharedIndex};
 
 /// Immutable table state shared between the database, prepared queries, and
 /// scheduler workers. The logical dataset is held by `Arc` so registering
@@ -37,6 +37,18 @@ pub(crate) struct TableState {
     /// the catalog's current entry reads.
     pub(crate) observed: Arc<Mutex<VecDeque<Query>>>,
     pub(crate) observe_cap: usize,
+    /// The spec the index was built from — what `Database::insert_batch`
+    /// falls back to for index families without an ingest path, and what
+    /// parameterizes the Tsunami ingest. `None` only for tables registered
+    /// around a pre-built index (`Database::register_table`).
+    pub(crate) spec: Option<IndexSpec>,
+    /// Rows inserted since the index layout was last (re)derived for a
+    /// workload (build, reindex, or reoptimize) — the engine's data-drift
+    /// counter, carried forward across insert swaps and reset by the
+    /// re-optimization swaps. Ingestion keeps results correct on its own;
+    /// this counter is what lets `Database::auto_reoptimize` notice that
+    /// enough data landed to earn the optimizer another pass.
+    pub(crate) inserted_since_reopt: usize,
 }
 
 /// A handle to a registered table. Cloning is cheap (`Arc`); all query
@@ -55,6 +67,7 @@ impl Table {
         index: SharedIndex,
         reference: Workload,
         observe_cap: usize,
+        spec: Option<IndexSpec>,
     ) -> Self {
         Self::with_observation_log(
             name,
@@ -63,13 +76,16 @@ impl Table {
             index,
             reference,
             observe_cap,
+            spec,
+            0,
             Arc::new(Mutex::new(VecDeque::new())),
         )
     }
 
     /// Like [`Table::new`], continuing an existing observation log — the
-    /// reindex/reoptimize swap path, where handles to the previous
+    /// reindex/reoptimize/insert swap path, where handles to the previous
     /// generation must keep recording into the log the catalog reads.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn with_observation_log(
         name: String,
         schema: Schema,
@@ -77,6 +93,8 @@ impl Table {
         index: SharedIndex,
         reference: Workload,
         observe_cap: usize,
+        spec: Option<IndexSpec>,
+        inserted_since_reopt: usize,
         observed: Arc<Mutex<VecDeque<Query>>>,
     ) -> Self {
         Self {
@@ -88,8 +106,23 @@ impl Table {
                 reference,
                 observed,
                 observe_cap: observe_cap.max(1),
+                spec,
+                inserted_since_reopt,
             }),
         }
+    }
+
+    /// The spec the table's index was built from (`None` for tables
+    /// registered around a pre-built index).
+    pub fn index_spec(&self) -> Option<&IndexSpec> {
+        self.state.spec.as_ref()
+    }
+
+    /// The fraction of the table's rows inserted since the index layout was
+    /// last (re)derived for a workload — the engine's data-drift signal,
+    /// mirroring the observation log's workload-drift signal.
+    pub fn data_drift_fraction(&self) -> f64 {
+        self.state.inserted_since_reopt as f64 / self.num_rows().max(1) as f64
     }
 
     /// The table's registered name.

@@ -101,6 +101,62 @@ impl FloodIndex {
         }
     }
 
+    /// Absorbs new rows into the existing grid **without a rebuild** — the
+    /// sorted-merge ingest: the layout's per-dimension models are widened to
+    /// cover the batch (so out-of-domain values clamp into partitions with
+    /// truthful value bounds), each row is routed to its cell, and one
+    /// store-wide permutation splices the batch into cell order. No
+    /// optimizer runs; the partition boundaries stay as built, so heavy
+    /// sustained ingest should eventually be followed by a rebuild.
+    pub fn ingest(&self, rows: &Dataset) -> Self {
+        assert_eq!(
+            rows.num_dims(),
+            self.layout.num_dims(),
+            "ingested rows must match the index width"
+        );
+        let start = Instant::now();
+        let n = self.store.len();
+        let mut layout = self.layout.clone();
+        layout.widen_for(rows);
+
+        // Route the batch: new row j (store index n + j) joins cell c.
+        let num_cells = layout.num_cells();
+        let mut per_cell: Vec<Vec<usize>> = vec![Vec::new(); num_cells];
+        let d = rows.num_dims();
+        let mut point = vec![0u64; d];
+        for j in 0..rows.len() {
+            for (dim, coord) in point.iter_mut().enumerate() {
+                *coord = rows.get(j, dim);
+            }
+            per_cell[layout.cell_of(&point)].push(n + j);
+        }
+
+        // Splice: every cell's slice is its old rows followed by its new
+        // rows; offsets shift by the running count of inserted rows.
+        let mut store = self.store.clone();
+        store.append_dataset(rows);
+        let mut perm: Vec<usize> = Vec::with_capacity(n + rows.len());
+        let mut cell_offsets = Vec::with_capacity(self.cell_offsets.len());
+        for (c, news) in per_cell.iter().enumerate() {
+            cell_offsets.push(perm.len());
+            perm.extend(self.cell_offsets[c]..self.cell_offsets[c + 1]);
+            perm.extend(news);
+        }
+        cell_offsets.push(perm.len());
+        store.permute(&perm);
+
+        Self {
+            layout,
+            cell_offsets,
+            store,
+            timing: BuildTiming {
+                sort_secs: start.elapsed().as_secs_f64(),
+                optimize_secs: 0.0,
+            },
+            predicted_cost: self.predicted_cost,
+        }
+    }
+
     /// The grid layout in use.
     pub fn layout(&self) -> &GridLayout {
         &self.layout
@@ -154,6 +210,12 @@ impl MultiDimIndex for FloodIndex {
 
     fn build_timing(&self) -> BuildTiming {
         self.timing
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        // Lets the engine's ingestion path reach `FloodIndex::ingest` behind
+        // a `Box<dyn MultiDimIndex>`.
+        Some(self)
     }
 }
 
@@ -272,6 +334,51 @@ mod tests {
         assert!(index.build_timing().optimize_secs == 0.0);
         let q = Query::count(vec![Predicate::range(0, 0, 4_999).unwrap()]).unwrap();
         assert_eq!(index.execute(&q), q.execute_full_scan(&data));
+    }
+
+    #[test]
+    fn ingest_matches_a_rebuild_including_out_of_domain_values() {
+        let data = random_dataset(4_000, 3, 31);
+        let workload = random_workload(3, 20, 32);
+        let index = FloodIndex::build(
+            &data,
+            &workload,
+            &CostModel::default(),
+            &FloodConfig::fast(),
+        );
+        // Batch with both in-domain rows and rows beyond every build-time
+        // max (bucket clamping + model widening must keep exactness sound).
+        let mut rng = SplitMix::new(33);
+        let mut batch = Dataset::empty(3);
+        for _ in 0..300 {
+            batch
+                .push_row(&[rng.next_below(10_000), rng.next_below(10_000), 1])
+                .unwrap();
+        }
+        for i in 0..20u64 {
+            batch.push_row(&[50_000 + i, 60_000, 70_000 + i]).unwrap();
+        }
+        let ingested = index.ingest(&batch);
+
+        let mut merged = data.clone();
+        for row in batch.rows() {
+            merged.push_row(&row).unwrap();
+        }
+        let mut probes: Vec<Query> = workload.queries().to_vec();
+        probes.push(Query::count(vec![Predicate::range(2, 65_000, 80_000).unwrap()]).unwrap());
+        probes.push(
+            Query::count(vec![
+                Predicate::range(0, 0, 100_000).unwrap(),
+                Predicate::range(1, 0, 100_000).unwrap(),
+            ])
+            .unwrap(),
+        );
+        for q in &probes {
+            assert_eq!(ingested.execute(q), q.execute_full_scan(&merged), "{q:?}");
+        }
+        // Pruning still works after ingest.
+        let (_, stats) = ingested.execute_with_stats(&workload.queries()[0]);
+        assert!(stats.points_scanned < merged.len());
     }
 
     #[test]

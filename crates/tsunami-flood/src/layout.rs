@@ -93,6 +93,21 @@ impl GridLayout {
         &self.models[dim]
     }
 
+    /// Widens every dimension's model to cover `data`'s value domains (outer
+    /// boundaries only — the bucket assignment of already-covered values is
+    /// unchanged). Ingest calls this before routing new rows so that values
+    /// outside the build-time domain clamp into first/last partitions whose
+    /// value bounds remain truthful — which `partition_fully_contained` (the
+    /// exact-range optimization) and [`GridLayout::dim_guaranteed`]
+    /// (residual-predicate elimination) rely on.
+    pub fn widen_for(&mut self, data: &Dataset) {
+        for dim in 0..self.num_dims() {
+            if let Some((lo, hi)) = data.domain(dim) {
+                self.models[dim].widen(lo, hi);
+            }
+        }
+    }
+
     /// Partition index of a value in a dimension.
     #[inline]
     pub fn partition_of(&self, dim: usize, v: Value) -> usize {
@@ -116,15 +131,11 @@ impl GridLayout {
 
     /// Whether partition `p` of dimension `dim` is fully contained in the
     /// predicate's value range (every possible value in the partition
-    /// matches the filter).
+    /// matches the filter). Delegates to
+    /// [`HistogramCdf::bucket_contained_in`], which stays conservative
+    /// about a last boundary saturated at `u64::MAX`.
     pub fn partition_fully_contained(&self, dim: usize, p: usize, pred: &Predicate) -> bool {
-        let b = self.models[dim].boundaries();
-        if p + 1 >= b.len() {
-            // Values can exceed the last boundary only if they were unseen at
-            // build time; be conservative.
-            return false;
-        }
-        pred.lo <= b[p] && b[p + 1] - 1 <= pred.hi
+        self.models[dim].bucket_contained_in(p, pred.lo, pred.hi)
     }
 
     /// Computes the per-dimension partition ranges a query intersects and the

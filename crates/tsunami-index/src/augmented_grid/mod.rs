@@ -291,7 +291,9 @@ impl AugmentedGrid {
     }
 
     /// Whether partition `part` of an independent/base dimension is fully
-    /// contained in the original query predicate on that dimension.
+    /// contained in the original query predicate on that dimension
+    /// ([`HistogramCdf::bucket_contained_in`] — conservative about a last
+    /// boundary saturated at `u64::MAX`).
     fn independent_partition_exact(
         &self,
         dim: usize,
@@ -302,10 +304,7 @@ impl AugmentedGrid {
             None => true,
             Some(p) => match &self.independent[dim] {
                 None => false,
-                Some(m) => {
-                    let b = m.boundaries();
-                    part + 1 < b.len() && p.lo <= b[part] && b[part + 1] - 1 <= p.hi
-                }
+                Some(m) => m.bucket_contained_in(part, p.lo, p.hi),
             },
         }
     }
@@ -321,10 +320,7 @@ impl AugmentedGrid {
             None => true,
             Some(p) => match &self.conditional[dim] {
                 None => false,
-                Some(m) => {
-                    let b = m.model_for(base_part).boundaries();
-                    part + 1 < b.len() && p.lo <= b[part] && b[part + 1] - 1 <= p.hi
-                }
+                Some(m) => m.model_for(base_part).bucket_contained_in(part, p.lo, p.hi),
             },
         }
     }

@@ -22,7 +22,7 @@ pub enum IndexVariant {
     AugmentedGridOnly,
 }
 
-/// Configuration for [`crate::TsunamiIndex::build_with_config`].
+/// Configuration for [`crate::TsunamiIndex::build_with_cost`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TsunamiConfig {
     /// Which components to enable (Fig 12a ablation).
@@ -87,6 +87,22 @@ pub struct TsunamiConfig {
     /// values fold stale structure back more aggressively and rely on the
     /// re-split to restore pruning where it matters.
     pub reopt_collapse_reach: f64,
+
+    // --- Incremental ingestion parameters (data shift) ---
+    /// During [`crate::TsunamiIndex::ingest`], a region whose accumulated
+    /// inserted-row fraction (rows ingested since the region's layout was
+    /// last optimized, over its current size) exceeds this bar gets its
+    /// Augmented-Grid *layout* re-optimized (warm-started from the current
+    /// one) instead of merely re-gridded with the existing layout. The same
+    /// bar is the engine's data-drift trigger: `Database::auto_reoptimize`
+    /// fires once the whole index's ingested fraction passes it.
+    pub ingest_region_staleness: f64,
+    /// [`crate::TsunamiIndex::ingest`] escalates to a full rebuild (fresh
+    /// Grid Tree and layouts, over data + ingested rows) when the whole
+    /// index's ingested-row fraction would exceed this bar. Between the two
+    /// bars the Grid Tree structure is reused and only touched regions pay
+    /// re-grid/re-optimization cost.
+    pub ingest_rebuild_staleness: f64,
 }
 
 impl Default for TsunamiConfig {
@@ -112,6 +128,8 @@ impl Default for TsunamiConfig {
             reopt_rebuild_drift: 2.0,
             observation_window: 1_024,
             reopt_collapse_reach: 0.5,
+            ingest_region_staleness: 0.25,
+            ingest_rebuild_staleness: 0.5,
         }
     }
 }
@@ -147,6 +165,15 @@ impl TsunamiConfig {
     /// threshold (see [`TsunamiConfig::reopt_rebuild_drift`]).
     pub fn with_reopt_rebuild_drift(mut self, drift: f64) -> Self {
         self.reopt_rebuild_drift = drift;
+        self
+    }
+
+    /// Returns a copy using the given ingest staleness bars (see
+    /// [`TsunamiConfig::ingest_region_staleness`] and
+    /// [`TsunamiConfig::ingest_rebuild_staleness`]).
+    pub fn with_ingest_staleness(mut self, region: f64, rebuild: f64) -> Self {
+        self.ingest_region_staleness = region;
+        self.ingest_rebuild_staleness = rebuild;
         self
     }
 }

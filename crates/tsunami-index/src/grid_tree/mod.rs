@@ -657,6 +657,27 @@ impl GridTree {
         }
     }
 
+    /// Routes an *ingested* point to its region and widens that region's
+    /// recorded bounds to cover it, returning the region id.
+    ///
+    /// Routing goes through the internal split values, which partition the
+    /// whole value space — so a point outside the build-time data domain
+    /// still lands in exactly one region. The leaf's recorded bounds,
+    /// however, are clipped to the build-time domain, and both query routing
+    /// ([`GridTree::regions_for_query`]) and region-scan exactness /
+    /// residual elimination rely on them covering every stored row.
+    /// Widening stays within the split constraints along split dimensions
+    /// (the routed point satisfies them by construction), so regions remain
+    /// disjoint there.
+    pub fn absorb_point(&mut self, point: &[Value]) -> usize {
+        let region = self.region_of_point(point);
+        for (dim, bounds) in self.regions[region].bounds.iter_mut().enumerate() {
+            bounds.0 = bounds.0.min(point[dim]);
+            bounds.1 = bounds.1.max(point[dim]);
+        }
+        region
+    }
+
     /// The region containing a point (every point maps to exactly one region).
     pub fn region_of_point(&self, point: &[Value]) -> usize {
         let mut node = self.root;
@@ -846,6 +867,34 @@ mod tests {
         assert_eq!(regions[0].rows.len(), data.len());
         assert_eq!(tree.depth(), 0);
         assert!(tree.size_bytes() > 0);
+    }
+
+    #[test]
+    fn absorb_point_routes_and_widens_bounds() {
+        let data = sales_data(10_000);
+        let workload = sales_workload();
+        let (mut tree, _) = build_tree(&data, &workload);
+        // A point far outside the build-time domain still routes to exactly
+        // one region, whose bounds grow to cover it.
+        let point = vec![1_000_000u64, 999_999];
+        let rid = tree.absorb_point(&point);
+        assert_eq!(rid, tree.region_of_point(&point));
+        let bounds = &tree.region(rid).bounds;
+        assert!(bounds[0].0 <= point[0] && point[0] <= bounds[0].1);
+        assert!(bounds[1].0 <= point[1] && point[1] <= bounds[1].1);
+        // A query matching only the new point now reaches its region.
+        let q = Query::count(vec![
+            Predicate::range(0, 900_000, 1_100_000).unwrap(),
+            Predicate::range(1, 900_000, 1_100_000).unwrap(),
+        ])
+        .unwrap();
+        assert!(tree.regions_for_query(&q).contains(&rid));
+        // An in-domain point leaves its region's bounds unchanged.
+        let inner = data.row(17);
+        let inner_rid = tree.region_of_point(&inner);
+        let before = tree.region(inner_rid).bounds.clone();
+        tree.absorb_point(&inner);
+        assert_eq!(tree.region(inner_rid).bounds, before);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::grid_tree::GridTree;
 use crate::query_types::cluster_query_types;
 use crate::shift::WorkloadMonitor;
 use tsunami_core::{
-    BuildTiming, CostModel, Dataset, MultiDimIndex, Query, Result, ScanPlan, ScanSource,
+    BuildTiming, CostModel, Dataset, MultiDimIndex, Point, Query, Result, ScanPlan, ScanSource,
     TsunamiError, Workload,
 };
 use tsunami_store::ColumnStore;
@@ -48,6 +48,12 @@ struct RegionIndex {
     /// The region's Augmented Grid, or `None` when no query intersects the
     /// region (it is then answered with a plain region scan).
     grid: Option<AugmentedGrid>,
+    /// Rows ingested into the region since its layout was last optimized —
+    /// the per-region staleness counter. Ingested rows are re-gridded into
+    /// the existing layout immediately (correctness never waits), but the
+    /// *layout* only re-earns optimizer time once `inserted / len` passes
+    /// [`TsunamiConfig::ingest_region_staleness`].
+    inserted: usize,
 }
 
 /// Statistics of an optimized Tsunami index (Table 4).
@@ -73,6 +79,27 @@ pub struct TsunamiStats {
     pub total_grid_cells: usize,
 }
 
+/// Why [`TsunamiIndex::reoptimize_with_cost`] abandoned the incremental path
+/// for a full rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Escalation {
+    /// The dataset's shape (row count or width) no longer matches the data
+    /// the index was built over, so region reuse would be unsound. Distinct
+    /// from a plain rebuild so callers can tell "the data changed under me"
+    /// from "the workload drifted": data changes flow through
+    /// [`TsunamiIndex::ingest`] instead of a from-scratch reoptimize.
+    DataChanged,
+    /// The requested index variant differs from the built one.
+    VariantChanged,
+    /// Whole-workload frequency drift exceeded
+    /// [`TsunamiConfig::reopt_rebuild_drift`].
+    WorkloadDrift,
+    /// The fraction of ingested rows exceeded
+    /// [`TsunamiConfig::ingest_rebuild_staleness`]: too much of the data
+    /// post-dates the Grid Tree for structure reuse to stay worthwhile.
+    DataStaleness,
+}
+
 /// What [`TsunamiIndex::reoptimize_with_cost`] did to adapt the index to a
 /// shifted workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,10 +111,10 @@ pub struct ReoptReport {
     /// Regions whose existing layout (and physical row order) was kept
     /// verbatim.
     pub regions_kept: usize,
-    /// Whether the cheap incremental path was abandoned for a full rebuild
-    /// (data shape changed, index variant changed, or the whole-workload
-    /// drift exceeded [`TsunamiConfig::reopt_rebuild_drift`]).
-    pub escalated: bool,
+    /// Why the incremental path was abandoned for a full rebuild (`None`
+    /// when it was not — see [`ReoptReport::escalated`] for the boolean
+    /// view): see [`Escalation`].
+    pub escalation: Option<Escalation>,
     /// Whole-workload frequency drift between the reference workload and the
     /// new one (0 = identical mix, 2 = fully disjoint mixes). NaN when the
     /// comparison was skipped because drift-based escalation is disabled
@@ -95,6 +122,40 @@ pub struct ReoptReport {
     /// fingerprinting two workloads costs two query-type clusterings, which
     /// the incremental path does not spend on a report-only number.
     pub frequency_drift: f64,
+    /// The index's ingested-row fraction *before* re-optimization — the
+    /// ingest staleness counter routed through the report, so the engine's
+    /// autonomous loop can attribute a re-optimization to data drift.
+    pub data_staleness: f64,
+}
+
+impl ReoptReport {
+    /// Whether the cheap incremental path was abandoned for a full rebuild
+    /// (equivalently: [`ReoptReport::escalation`] names a reason).
+    pub fn escalated(&self) -> bool {
+        self.escalation.is_some()
+    }
+}
+
+/// What [`TsunamiIndex::ingest_with_cost`] did to absorb a batch of rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestReport {
+    /// Rows in the ingested batch.
+    pub rows_ingested: usize,
+    /// Regions that received at least one new row (only these paid re-grid
+    /// and re-sort cost).
+    pub regions_touched: usize,
+    /// Touched regions whose accumulated staleness crossed
+    /// [`TsunamiConfig::ingest_region_staleness`] and earned a local layout
+    /// re-optimization (warm-started from the current layout).
+    pub regions_reoptimized: usize,
+    /// Whether the whole index escalated to a from-scratch rebuild — the
+    /// batch would have pushed the ingested fraction past
+    /// [`TsunamiConfig::ingest_rebuild_staleness`] (or the requested variant
+    /// changed).
+    pub rebuilt: bool,
+    /// The whole-index ingested-row fraction including this batch, *before*
+    /// any staleness was repaid by re-optimization or rebuild.
+    pub data_staleness: f64,
 }
 
 /// Tsunami: a learned multi-dimensional index robust to data correlation and
@@ -110,6 +171,10 @@ pub struct TsunamiIndex {
     /// The workload the current layout was optimized for — the reference the
     /// incremental re-optimization path diffs new workloads against.
     reference: Workload,
+    /// Rows ingested since the Grid Tree was last derived from the data
+    /// (build or incremental re-optimization) — the whole-index staleness
+    /// counter behind [`TsunamiIndex::data_staleness`].
+    ingested: usize,
 }
 
 /// Queries counted by the exact set of dimensions they filter — the cheap
@@ -230,6 +295,7 @@ impl TsunamiIndex {
                 base,
                 len: rd.rows.len(),
                 grid,
+                inserted: 0,
             });
         }
         let mut store = ColumnStore::from_dataset(data);
@@ -253,6 +319,7 @@ impl TsunamiIndex {
             name: name.to_string(),
             variant: config.variant,
             reference: workload.clone(),
+            ingested: 0,
         })
     }
 
@@ -305,15 +372,27 @@ impl TsunamiIndex {
         }
 
         // Escalation checks: region reuse is only sound over the same data
-        // (same rows, same width) and the same component line-up; beyond the
-        // configured drift the caller wants a fresh Grid Tree as well. The
+        // (same rows, same width) and the same component line-up; past the
+        // ingest-staleness rebuild bar too much of the data post-dates the
+        // Grid Tree; and beyond the configured drift the caller wants a
+        // fresh Grid Tree as well. Each reason is reported distinctly — a
+        // caller seeing `DataChanged` should be routing data changes through
+        // [`TsunamiIndex::ingest`], not a workload reoptimize. The
         // whole-workload drift comparison costs two query-type clusterings,
         // so it is skipped — and the report carries NaN — when the
         // threshold (≥ 2.0, the drift maximum) can never trigger it.
-        let unsound = data.len() != self.store.len()
-            || data.num_dims() != self.store.num_dims()
-            || config.variant != self.variant;
-        let global_report = if unsound || config.reopt_rebuild_drift >= 2.0 {
+        let data_staleness = self.data_staleness();
+        let escalation =
+            if data.len() != self.store.len() || data.num_dims() != self.store.num_dims() {
+                Some(Escalation::DataChanged)
+            } else if config.variant != self.variant {
+                Some(Escalation::VariantChanged)
+            } else if data_staleness > config.ingest_rebuild_staleness {
+                Some(Escalation::DataStaleness)
+            } else {
+                None
+            };
+        let global_report = if escalation.is_some() || config.reopt_rebuild_drift >= 2.0 {
             None
         } else {
             Some(WorkloadMonitor::new(data, &self.reference, config).observe(
@@ -325,7 +404,10 @@ impl TsunamiIndex {
         let global_drift = global_report
             .as_ref()
             .map_or(f64::NAN, |r| r.frequency_drift);
-        if unsound || global_drift > config.reopt_rebuild_drift {
+        let escalation = escalation.or_else(|| {
+            (global_drift > config.reopt_rebuild_drift).then_some(Escalation::WorkloadDrift)
+        });
+        if let Some(reason) = escalation {
             let rebuilt = Self::build_with_cost(data, new_workload, cost, config)?;
             let regions_total = rebuilt.regions.len();
             return Ok((
@@ -334,8 +416,9 @@ impl TsunamiIndex {
                     regions_total,
                     regions_reoptimized: regions_total,
                     regions_kept: 0,
-                    escalated: true,
+                    escalation: Some(reason),
                     frequency_drift: global_drift,
+                    data_staleness,
                 },
             ));
         }
@@ -344,17 +427,21 @@ impl TsunamiIndex {
         // the reference — same filtered-dimension sets (cheap), and the
         // monitor's selectivity/frequency fingerprints agree — the current
         // layout is already optimized for it. Keep every region verbatim and
-        // just adopt the new workload as the reference.
-        let same_mix = dims_mix(self.reference.queries()) == dims_mix(new_workload.queries()) && {
-            let report = global_report.unwrap_or_else(|| {
-                WorkloadMonitor::new(data, &self.reference, config).observe(
-                    data,
-                    new_workload,
-                    config,
-                )
-            });
-            !report.reoptimize
-        };
+        // just adopt the new workload as the reference. Accumulated ingest
+        // staleness disqualifies the shortcut: the mix may be unchanged, but
+        // stale regions still owe the optimizer a pass below.
+        let same_mix = data_staleness <= config.ingest_region_staleness
+            && dims_mix(self.reference.queries()) == dims_mix(new_workload.queries())
+            && {
+                let report = global_report.unwrap_or_else(|| {
+                    WorkloadMonitor::new(data, &self.reference, config).observe(
+                        data,
+                        new_workload,
+                        config,
+                    )
+                });
+                !report.reoptimize
+            };
         if same_mix {
             let regions_total = self.regions.len();
             return Ok((
@@ -366,13 +453,15 @@ impl TsunamiIndex {
                     name: self.name.clone(),
                     variant: self.variant,
                     reference: new_workload.clone(),
+                    ingested: self.ingested,
                 },
                 ReoptReport {
                     regions_total,
                     regions_reoptimized: 0,
                     regions_kept: regions_total,
-                    escalated: false,
+                    escalation: None,
                     frequency_drift: global_drift,
+                    data_staleness,
                 },
             ));
         }
@@ -417,6 +506,8 @@ impl TsunamiIndex {
             grid: Option<AugmentedGrid>,
             /// Merged regions lost their old layouts and must be rebuilt.
             forced_hot: bool,
+            /// Rows ingested since the span's layouts were last optimized.
+            inserted: usize,
         }
         let candidates: Vec<Candidate> = spans
             .iter()
@@ -428,6 +519,7 @@ impl TsunamiIndex {
                         len: olds[0].len,
                         grid: olds[0].grid.clone(),
                         forced_hot: false,
+                        inserted: olds[0].inserted,
                     }
                 } else {
                     Candidate {
@@ -435,6 +527,7 @@ impl TsunamiIndex {
                         len: olds.iter().map(|r| r.len).sum(),
                         grid: None,
                         forced_hot: true,
+                        inserted: olds.iter().map(|r| r.inserted).sum(),
                     }
                 }
             })
@@ -492,7 +585,13 @@ impl TsunamiIndex {
             if candidate.len == 0 || new_q.is_empty() {
                 continue;
             }
+            // Ingest staleness forces a region hot the same way a merge does:
+            // enough of its rows post-date the layout that the optimizer owes
+            // it a pass regardless of how the query mix compares.
+            let stale = candidate.inserted as f64 / candidate.len.max(1) as f64
+                > config.ingest_region_staleness;
             let hot = (candidate.forced_hot
+                || stale
                 || match &candidate.grid {
                     None => true,
                     Some(_) => {
@@ -519,7 +618,7 @@ impl TsunamiIndex {
             // otherwise start from; when the current layout is already
             // competitive, keep the region verbatim — descent would start
             // from it anyway and buy little.
-            if let (false, Some(grid)) = (candidate.forced_hot, &candidate.grid) {
+            if let (false, false, Some(grid)) = (candidate.forced_hot, stale, &candidate.grid) {
                 let sample = tsunami_core::sample::sample_dataset(
                     &region_ds,
                     effective_config.optimizer_sample_size,
@@ -641,11 +740,13 @@ impl TsunamiIndex {
         for (rid, plan) in pending.into_iter().enumerate() {
             let candidate = &candidates[rid];
             let Some(plan) = plan else {
-                // Cold: layout, data order, and region slice all unchanged.
+                // Cold: layout, data order, region slice, and staleness all
+                // unchanged.
                 regions.push(RegionIndex {
                     base: candidate.base,
                     len: candidate.len,
                     grid: candidate.grid.clone(),
+                    inserted: candidate.inserted,
                 });
                 continue;
             };
@@ -672,7 +773,12 @@ impl TsunamiIndex {
                         Some(grid)
                     }
                 };
-                regions.push(RegionIndex { base, len, grid });
+                regions.push(RegionIndex {
+                    base,
+                    len,
+                    grid,
+                    inserted: 0,
+                });
             }
             debug_assert_eq!(region_perm.len(), candidate.len);
             store.permute_range(candidate.base, &region_perm);
@@ -686,9 +792,13 @@ impl TsunamiIndex {
             regions_total,
             regions_reoptimized: reoptimized,
             regions_kept: regions_total - reoptimized,
-            escalated: false,
+            escalation: None,
             frequency_drift: global_drift,
+            data_staleness,
         };
+        // Staleness that survived (cold regions' counters) stays on the
+        // books; re-optimized regions just repaid theirs.
+        let ingested = regions.iter().map(|r| r.inserted).sum();
         Ok((
             Self {
                 tree,
@@ -701,9 +811,267 @@ impl TsunamiIndex {
                 name: self.name.clone(),
                 variant: self.variant,
                 reference: new_workload.clone(),
+                ingested,
             },
             report,
         ))
+    }
+
+    /// Ingests a batch of rows with the default cost model. See
+    /// [`TsunamiIndex::ingest_with_cost`].
+    pub fn ingest(&self, rows: &[Point], config: &TsunamiConfig) -> Result<(Self, IngestReport)> {
+        let batch = Dataset::from_rows(self.store.num_dims(), rows)?;
+        self.ingest_with_cost(&batch, &CostModel::default(), config)
+    }
+
+    /// Absorbs new rows into the existing index **without a rebuild**.
+    ///
+    /// Each row is routed to its Grid-Tree region (widening the region's
+    /// recorded bounds when the row falls outside the build-time domain) and
+    /// appended into that region's contiguous slice of the store. Only the
+    /// touched regions pay any cost: their Augmented Grids are *re-gridded*
+    /// — per-dimension models re-fit over the merged rows (keeping bucket
+    /// value bounds, and with them exactness and residual elimination,
+    /// truthful for out-of-domain values) and just their slice re-sorted
+    /// into cell order. Untouched regions keep their grids and physical
+    /// order verbatim, so ingest cost is proportional to where the data
+    /// landed, not to the index — and never includes the layout optimizer
+    /// unless staleness escalates:
+    ///
+    /// * a touched region whose accumulated inserted-row fraction passes
+    ///   [`TsunamiConfig::ingest_region_staleness`] gets its layout
+    ///   re-optimized locally (warm-started from the current one);
+    /// * the whole index escalates to a from-scratch
+    ///   [`TsunamiIndex::build_with_cost`] over data + batch when the
+    ///   ingested fraction would pass
+    ///   [`TsunamiConfig::ingest_rebuild_staleness`].
+    ///
+    /// Correctness never depends on staleness: an ingested index returns
+    /// results bit-identical to one rebuilt from the full dataset — only
+    /// scan volume differs.
+    pub fn ingest_with_cost(
+        &self,
+        rows: &Dataset,
+        cost: &CostModel,
+        config: &TsunamiConfig,
+    ) -> Result<(Self, IngestReport)> {
+        if rows.num_dims() != self.store.num_dims() {
+            return Err(TsunamiError::DimensionMismatch {
+                expected: self.store.num_dims(),
+                got: rows.num_dims(),
+            });
+        }
+        let n = self.store.len();
+        let m = rows.len();
+        if m == 0 {
+            return Ok((
+                Self {
+                    tree: self.tree.clone(),
+                    regions: self.regions.clone(),
+                    store: self.store.clone(),
+                    timing: BuildTiming::default(),
+                    name: self.name.clone(),
+                    variant: self.variant,
+                    reference: self.reference.clone(),
+                    ingested: self.ingested,
+                },
+                IngestReport {
+                    rows_ingested: 0,
+                    regions_touched: 0,
+                    regions_reoptimized: 0,
+                    rebuilt: false,
+                    data_staleness: self.data_staleness(),
+                },
+            ));
+        }
+
+        // Whole-index escalation: past the rebuild bar too much of the data
+        // post-dates the Grid Tree for structure reuse to stay worthwhile
+        // (and a changed variant invalidates every component anyway). The
+        // rebuild consumes the merged dataset — physical store order, which
+        // is as good as any for a from-scratch build.
+        let staleness = (self.ingested + m) as f64 / (n + m) as f64;
+        if config.variant != self.variant || staleness > config.ingest_rebuild_staleness {
+            let mut cols = self.store.slice_dataset(0..n).into_columns();
+            for (dim, col) in cols.iter_mut().enumerate() {
+                col.extend_from_slice(rows.column(dim));
+            }
+            let merged = Dataset::from_columns(cols)?;
+            let rebuilt = Self::build_with_cost(&merged, &self.reference, cost, config)?;
+            let regions_touched = rebuilt.regions.len();
+            return Ok((
+                rebuilt,
+                IngestReport {
+                    rows_ingested: m,
+                    regions_touched,
+                    regions_reoptimized: regions_touched,
+                    rebuilt: true,
+                    data_staleness: staleness,
+                },
+            ));
+        }
+
+        let start = Instant::now();
+        let (effective_config, optimizer_kind) = effective_build_config(config);
+
+        // Route each new row to its region, widening recorded bounds so
+        // query routing and region-scan exactness stay sound for
+        // out-of-domain values.
+        let mut tree = self.tree.clone();
+        let mut per_region: Vec<Vec<usize>> = vec![Vec::new(); self.regions.len()];
+        let mut point = vec![0u64; rows.num_dims()];
+        for j in 0..m {
+            for (dim, coord) in point.iter_mut().enumerate() {
+                *coord = rows.get(j, dim);
+            }
+            per_region[tree.absorb_point(&point)].push(j);
+        }
+
+        // The reference workload routed through the (widened) tree — the
+        // per-region workloads any staleness-escalated re-optimization
+        // targets. Routing clones every query once per intersecting region,
+        // so the common hot path (small batches, no region past its
+        // staleness bar) skips it entirely. (The AugmentedGridOnly ablation
+        // never assigns queries to its single region; mirror that.)
+        let any_stale = self.variant != IndexVariant::AugmentedGridOnly
+            && self.regions.iter().enumerate().any(|(rid, region)| {
+                let news = per_region[rid].len();
+                news > 0
+                    && region.grid.is_some()
+                    && (region.inserted + news) as f64 / (region.len + news) as f64
+                        > config.ingest_region_staleness
+            });
+        let mut ref_by_region: Vec<Vec<Query>> = vec![Vec::new(); self.regions.len()];
+        if any_stale {
+            for q in self.reference.queries() {
+                for rid in tree.regions_for_query(q) {
+                    ref_by_region[rid].push(q.clone());
+                }
+            }
+        }
+
+        // Graft: append the batch at the store's tail, then permute it so
+        // every region's slice is contiguous again (rows of untouched
+        // regions only shift; their relative order is untouched).
+        let mut store = self.store.clone();
+        store.append_dataset(rows);
+        let mut perm: Vec<usize> = Vec::with_capacity(n + m);
+        let mut regions: Vec<RegionIndex> = Vec::with_capacity(self.regions.len());
+        let mut regions_touched = 0usize;
+        let mut regions_reoptimized = 0usize;
+        let mut optimize_secs = 0.0f64;
+        for (rid, region) in self.regions.iter().enumerate() {
+            let news = &per_region[rid];
+            let base = perm.len();
+            let old_range = region.base..region.base + region.len;
+            if news.is_empty() {
+                perm.extend(old_range);
+                regions.push(RegionIndex {
+                    base,
+                    len: region.len,
+                    grid: region.grid.clone(),
+                    inserted: region.inserted,
+                });
+                continue;
+            }
+            regions_touched += 1;
+            let len = region.len + news.len();
+            match &region.grid {
+                None => {
+                    // Query-less region (plain region scan): order within
+                    // the slice is irrelevant, the new rows join at its tail.
+                    perm.extend(old_range);
+                    perm.extend(news.iter().map(|&j| n + j));
+                    regions.push(RegionIndex {
+                        base,
+                        len,
+                        grid: None,
+                        inserted: region.inserted + news.len(),
+                    });
+                }
+                Some(grid) => {
+                    // The merged region rows (old slice + new rows), and the
+                    // appended-store indices parallel to them.
+                    let mut cols = self.store.slice_dataset(old_range.clone()).into_columns();
+                    for (dim, col) in cols.iter_mut().enumerate() {
+                        col.extend(news.iter().map(|&j| rows.get(j, dim)));
+                    }
+                    let region_ds = Dataset::from_columns(cols).expect("equal-length columns");
+                    let indices: Vec<usize> =
+                        old_range.chain(news.iter().map(|&j| n + j)).collect();
+
+                    let inserted = region.inserted + news.len();
+                    let stale = inserted as f64 / len as f64 > config.ingest_region_staleness;
+                    let ref_q = &ref_by_region[rid];
+                    let (skeleton, partitions, inserted) = if stale && !ref_q.is_empty() {
+                        let t0 = Instant::now();
+                        let layout = optimize_layout_from(
+                            &region_ds,
+                            &Workload::new(ref_q.clone()),
+                            cost,
+                            &effective_config,
+                            optimizer_kind,
+                            Some((grid.skeleton(), grid.partitions())),
+                        );
+                        optimize_secs += t0.elapsed().as_secs_f64();
+                        regions_reoptimized += 1;
+                        (layout.skeleton, layout.partitions, 0)
+                    } else {
+                        (
+                            grid.skeleton().clone(),
+                            grid.partitions().to_vec(),
+                            inserted,
+                        )
+                    };
+                    // Re-grid over the merged rows and re-sort only this
+                    // region's slice into the grid's cell order.
+                    let (grid, local_perm) =
+                        AugmentedGrid::build(&region_ds, &skeleton, &partitions);
+                    perm.extend(local_perm.into_iter().map(|local| indices[local]));
+                    regions.push(RegionIndex {
+                        base,
+                        len,
+                        grid: Some(grid),
+                        inserted,
+                    });
+                }
+            }
+        }
+        debug_assert_eq!(perm.len(), n + m);
+        store.permute(&perm);
+
+        let ingested = regions.iter().map(|r| r.inserted).sum();
+        let sort_secs = (start.elapsed().as_secs_f64() - optimize_secs).max(0.0);
+        Ok((
+            Self {
+                tree,
+                regions,
+                store,
+                timing: BuildTiming {
+                    sort_secs,
+                    optimize_secs,
+                },
+                name: self.name.clone(),
+                variant: self.variant,
+                reference: self.reference.clone(),
+                ingested,
+            },
+            IngestReport {
+                rows_ingested: m,
+                regions_touched,
+                regions_reoptimized,
+                rebuilt: false,
+                data_staleness: staleness,
+            },
+        ))
+    }
+
+    /// The fraction of stored rows ingested since the Grid Tree was last
+    /// derived from the data (and not yet repaid with optimizer attention) —
+    /// the data-drift signal the engine's autonomous re-optimization loop
+    /// watches, mirroring its workload-drift monitor.
+    pub fn data_staleness(&self) -> f64 {
+        self.ingested as f64 / self.store.len().max(1) as f64
     }
 
     /// The Grid Tree component.
@@ -1026,7 +1394,7 @@ mod tests {
             .reoptimize_with_cost(&data, &new_w, &CostModel::default(), &config)
             .unwrap();
 
-        assert!(!report.escalated, "{report:?}");
+        assert!(!report.escalated(), "{report:?}");
         // The report describes the adapted index: collapse and re-splitting
         // may change the region count, but every region is accounted for.
         assert_eq!(report.regions_total, fresh.grid_tree().num_regions());
@@ -1055,7 +1423,7 @@ mod tests {
         let (same, report) = index
             .reoptimize_with_cost(&data, &w, &CostModel::default(), &config)
             .unwrap();
-        assert!(!report.escalated);
+        assert!(!report.escalated());
         assert_eq!(
             report.regions_reoptimized, 0,
             "an unchanged workload must not re-optimize any region: {report:?}"
@@ -1079,7 +1447,7 @@ mod tests {
         let (rebuilt, report) = index
             .reoptimize_with_cost(&data, &new_w, &CostModel::default(), &strict)
             .unwrap();
-        assert!(report.escalated, "{report:?}");
+        assert!(report.escalated(), "{report:?}");
         assert!(report.frequency_drift > 0.0);
         for q in new_w.queries().iter().step_by(7) {
             assert_eq!(rebuilt.execute(q), q.execute_full_scan(&data));
@@ -1091,7 +1459,7 @@ mod tests {
         let (over_grown, report) = index
             .reoptimize_with_cost(&grown, &new_w, &CostModel::default(), &config)
             .unwrap();
-        assert!(report.escalated);
+        assert!(report.escalated());
         for q in new_w.queries().iter().step_by(9) {
             assert_eq!(over_grown.execute(q), q.execute_full_scan(&grown));
         }
@@ -1101,7 +1469,7 @@ mod tests {
         let (_, report) = index
             .reoptimize_with_cost(&data, &new_w, &CostModel::default(), &gt_only)
             .unwrap();
-        assert!(report.escalated);
+        assert!(report.escalated());
     }
 
     #[test]
@@ -1115,6 +1483,182 @@ mod tests {
         assert!(index
             .reoptimize(&data, &bad, &TsunamiConfig::fast())
             .is_err());
+    }
+
+    /// A batch of rows drawn from the same distribution as `dataset`, plus a
+    /// few rows *outside* the build-time domain (larger dim0/dim2 values).
+    fn ingest_batch(n: usize, seed: u64) -> Vec<tsunami_core::Point> {
+        let mut rng = SplitMix::new(seed);
+        let mut rows: Vec<tsunami_core::Point> = (0..n)
+            .map(|_| {
+                let d0 = rng.next_below(50_000);
+                vec![d0, 2 * d0 + rng.next_below(200), rng.next_below(10_000)]
+            })
+            .collect();
+        for i in 0..(n / 10).max(2) {
+            // Out-of-domain tail: beyond every build-time max.
+            rows.push(vec![120_000 + i as u64, 900_000, 60_000 + i as u64]);
+        }
+        rows
+    }
+
+    /// The ingested index's data, reconstructed from its own store order.
+    fn merged_dataset(data: &Dataset, batch: &[tsunami_core::Point]) -> Dataset {
+        let mut merged = data.clone();
+        for row in batch {
+            merged.push_row(row).unwrap();
+        }
+        merged
+    }
+
+    #[test]
+    fn ingest_matches_an_index_rebuilt_from_the_full_dataset() {
+        let data = dataset(6_000, 150);
+        let w = workload(151);
+        let config = TsunamiConfig::fast();
+        let index = TsunamiIndex::build(&data, &w, &config).unwrap();
+
+        let batch = ingest_batch(400, 152);
+        let (ingested, report) = index.ingest(&batch, &config).unwrap();
+        assert!(!report.rebuilt, "{report:?}");
+        assert_eq!(report.rows_ingested, batch.len());
+        assert!(report.regions_touched >= 1);
+        assert!(ingested.data_staleness() > 0.0);
+
+        let merged = merged_dataset(&data, &batch);
+        // Every row is owned by exactly one region, and the store grew.
+        let total: usize = ingested.regions.iter().map(|r| r.len).sum();
+        assert_eq!(total, merged.len());
+
+        // Results identical to a full rebuild — including queries reaching
+        // only the out-of-domain tail.
+        let rebuilt = TsunamiIndex::build(&merged, &w, &config).unwrap();
+        let mut probes: Vec<Query> = w.queries().to_vec();
+        probes.push(Query::count(vec![Predicate::range(0, 100_000, 200_000).unwrap()]).unwrap());
+        probes.push(
+            Query::new(
+                vec![Predicate::range(2, 55_000, 70_000).unwrap()],
+                tsunami_core::Aggregation::Sum(1),
+            )
+            .unwrap(),
+        );
+        for q in &probes {
+            let expected = q.execute_full_scan(&merged);
+            assert_eq!(ingested.execute(q), expected, "ingested {q:?}");
+            assert_eq!(rebuilt.execute(q), expected, "rebuilt {q:?}");
+        }
+    }
+
+    #[test]
+    fn ingest_accumulates_staleness_and_escalates_to_rebuild() {
+        let data = dataset(3_000, 153);
+        let w = workload(154);
+        let config = TsunamiConfig::fast();
+        let index = TsunamiIndex::build(&data, &w, &config).unwrap();
+
+        // A batch below the rebuild bar keeps the structure...
+        let small = ingest_batch(300, 155);
+        let (after_small, report) = index.ingest(&small, &config).unwrap();
+        assert!(!report.rebuilt);
+        // ...a batch pushing the ingested fraction past the bar rebuilds.
+        let large = ingest_batch(4_000, 156);
+        let (after_large, report) = after_small.ingest(&large, &config).unwrap();
+        assert!(report.rebuilt, "{report:?}");
+        assert!(report.data_staleness > config.ingest_rebuild_staleness);
+        assert_eq!(after_large.data_staleness(), 0.0);
+
+        let merged = merged_dataset(&merged_dataset(&data, &small), &large);
+        for q in w.queries().iter().step_by(7) {
+            assert_eq!(after_large.execute(q), q.execute_full_scan(&merged));
+        }
+    }
+
+    #[test]
+    fn ingest_reoptimizes_stale_regions_locally() {
+        let data = dataset(4_000, 157);
+        let w = workload(158);
+        // A hair-trigger region bar: any touched region re-optimizes.
+        let config = TsunamiConfig::fast().with_ingest_staleness(0.0, 1.0);
+        let index = TsunamiIndex::build(&data, &w, &config).unwrap();
+        let batch = ingest_batch(200, 159);
+        let (ingested, report) = index.ingest(&batch, &config).unwrap();
+        assert!(!report.rebuilt);
+        assert!(
+            report.regions_reoptimized >= 1,
+            "a zero staleness bar must escalate touched regions: {report:?}"
+        );
+        let merged = merged_dataset(&data, &batch);
+        for q in w.queries().iter().step_by(5) {
+            assert_eq!(ingested.execute(q), q.execute_full_scan(&merged));
+        }
+    }
+
+    #[test]
+    fn ingest_rejects_mismatched_rows_and_accepts_empty_batches() {
+        let data = dataset(2_000, 160);
+        let config = TsunamiConfig::fast();
+        let index = TsunamiIndex::build(&data, &workload(161), &config).unwrap();
+        assert!(matches!(
+            index.ingest(&[vec![1, 2]], &config),
+            Err(TsunamiError::DimensionMismatch { .. })
+        ));
+        let (same, report) = index.ingest(&[], &config).unwrap();
+        assert_eq!(report.rows_ingested, 0);
+        assert_eq!(report.regions_touched, 0);
+        let q = Query::count(vec![Predicate::range(0, 0, 25_000).unwrap()]).unwrap();
+        assert_eq!(same.execute(&q), index.execute(&q));
+    }
+
+    #[test]
+    fn reoptimize_reports_distinct_escalation_reasons() {
+        let data = dataset(3_000, 162);
+        let old_w = workload(163);
+        let new_w = shifted_workload(164);
+        let config = TsunamiConfig::fast();
+        let index = TsunamiIndex::build(&data, &old_w, &config).unwrap();
+
+        // Data change.
+        let grown = dataset(3_500, 165);
+        let (_, report) = index
+            .reoptimize_with_cost(&grown, &new_w, &CostModel::default(), &config)
+            .unwrap();
+        assert_eq!(report.escalation, Some(Escalation::DataChanged));
+
+        // Variant change.
+        let gt_only = config.clone().with_variant(IndexVariant::GridTreeOnly);
+        let (_, report) = index
+            .reoptimize_with_cost(&data, &new_w, &CostModel::default(), &gt_only)
+            .unwrap();
+        assert_eq!(report.escalation, Some(Escalation::VariantChanged));
+
+        // Workload drift.
+        let strict = config.clone().with_reopt_rebuild_drift(0.0);
+        let (_, report) = index
+            .reoptimize_with_cost(&data, &new_w, &CostModel::default(), &strict)
+            .unwrap();
+        assert_eq!(report.escalation, Some(Escalation::WorkloadDrift));
+
+        // Data staleness: ingest under a zero rebuild bar... escalates in
+        // ingest itself, so drive it through reoptimize instead — ingest
+        // with permissive bars, then reoptimize with a zero rebuild bar.
+        let permissive = config.clone().with_ingest_staleness(1.0, 1.0);
+        let (stale, report) = index.ingest(&ingest_batch(400, 166), &permissive).unwrap();
+        assert!(!report.rebuilt);
+        let merged_len = stale.regions.iter().map(|r| r.len).sum::<usize>();
+        let merged = stale.store.slice_dataset(0..merged_len);
+        let zero_bar = config.clone().with_ingest_staleness(0.0, 0.0);
+        let (_, report) = stale
+            .reoptimize_with_cost(&merged, &old_w, &CostModel::default(), &zero_bar)
+            .unwrap();
+        assert_eq!(report.escalation, Some(Escalation::DataStaleness));
+        assert!(report.data_staleness > 0.0);
+
+        // No escalation: the incremental path reports `None`.
+        let (_, report) = index
+            .reoptimize_with_cost(&data, &new_w, &CostModel::default(), &config)
+            .unwrap();
+        assert_eq!(report.escalation, None);
+        assert!(!report.escalated());
     }
 
     #[test]

@@ -51,6 +51,25 @@ impl Column {
         self.max
     }
 
+    /// Appends values at the end of the column, extending min/max to cover
+    /// them. This is the storage half of incremental ingestion: appended rows
+    /// land in an append region at the tail and the owning index then grafts
+    /// them into place with [`Column::permute`]/[`Column::permute_range`].
+    pub fn append(&mut self, values: &[Value]) {
+        if values.is_empty() {
+            return;
+        }
+        let (lo, hi) = min_max(values);
+        if self.values.is_empty() {
+            self.min = lo;
+            self.max = hi;
+        } else {
+            self.min = self.min.min(lo);
+            self.max = self.max.max(hi);
+        }
+        self.values.extend_from_slice(values);
+    }
+
     /// Rebuilds the column with rows in permuted order: new row `i` holds the
     /// value previously at row `perm[i]`.
     pub fn permute(&mut self, perm: &[usize]) {
@@ -112,6 +131,20 @@ mod tests {
         let c = Column::new(vec![]);
         assert_eq!((c.min(), c.max()), (0, 0));
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn append_extends_values_and_bounds() {
+        let mut c = Column::new(vec![5, 9]);
+        c.append(&[]);
+        assert_eq!((c.len(), c.min(), c.max()), (2, 5, 9));
+        c.append(&[1, 20]);
+        assert_eq!(c.values(), &[5, 9, 1, 20]);
+        assert_eq!((c.min(), c.max()), (1, 20));
+
+        let mut empty = Column::new(vec![]);
+        empty.append(&[7, 3]);
+        assert_eq!((empty.min(), empty.max()), (3, 7));
     }
 
     #[test]

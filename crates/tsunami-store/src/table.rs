@@ -74,6 +74,41 @@ impl ColumnStore {
         }
     }
 
+    /// Appends a dataset's rows at the end of the store (the *append
+    /// region*). The new rows keep the dataset's order; the owning index is
+    /// expected to graft them into place afterwards with
+    /// [`ColumnStore::permute`] / [`ColumnStore::permute_range`] (or leave
+    /// them at the tail, for layouts where position is irrelevant). Column
+    /// min/max bounds are widened to cover the new values.
+    pub fn append_dataset(&mut self, data: &Dataset) {
+        assert_eq!(
+            data.num_dims(),
+            self.num_dims(),
+            "appended rows must match the store's width"
+        );
+        for (dim, c) in self.columns.iter_mut().enumerate() {
+            c.append(data.column(dim));
+        }
+        self.len += data.len();
+    }
+
+    /// Stably sorts the rows of `range` by their value in dimension `dim`,
+    /// leaving rows outside the range untouched. This is the per-region
+    /// ingest primitive for sorted layouts: after appending rows at the tail
+    /// of a region's slice, one `sort_range` restores the region's order —
+    /// and because the slice is two sorted runs (old rows, then new rows),
+    /// the stable sort degenerates to a cheap merge.
+    pub fn sort_range(&mut self, range: Range<usize>, dim: usize) {
+        assert!(
+            range.end <= self.len && dim < self.num_dims(),
+            "sort range and dimension must be in bounds"
+        );
+        let keys = &self.columns[dim].values()[range.clone()];
+        let mut perm: Vec<usize> = (0..keys.len()).collect();
+        perm.sort_by_key(|&i| keys[i]);
+        self.permute_range(range.start, &perm);
+    }
+
     /// Reorders rows *within* `base..base + perm.len()` only: new row
     /// `base + i` holds what was at row `base + perm[i]` (local indices).
     /// Rows outside the range are untouched. This is the incremental
@@ -316,6 +351,31 @@ mod tests {
         // Query results are unchanged by physical reordering.
         let q = Query::count(vec![Predicate::range(0, 10, 19).unwrap()]).unwrap();
         assert_eq!(s.full_scan(&q), AggResult::Count(10));
+    }
+
+    #[test]
+    fn append_dataset_grows_the_store_and_answers_correctly() {
+        let mut s = store();
+        let extra = Dataset::from_columns(vec![vec![100, 101], vec![200, 202]]).unwrap();
+        s.append_dataset(&extra);
+        assert_eq!(s.len(), 102);
+        assert_eq!(s.get(100, 0), 100);
+        assert_eq!(s.get(101, 1), 202);
+        assert_eq!((s.column(0).min(), s.column(0).max()), (0, 101));
+        let q = Query::count(vec![Predicate::range(0, 95, 200).unwrap()]).unwrap();
+        assert_eq!(s.full_scan(&q), AggResult::Count(7));
+    }
+
+    #[test]
+    fn sort_range_orders_a_slice_by_one_dimension() {
+        let ds =
+            Dataset::from_columns(vec![vec![5, 3, 9, 1, 7], vec![50, 30, 90, 10, 70]]).unwrap();
+        let mut s = ColumnStore::from_dataset(&ds);
+        // Sort only the middle three rows by dim 0; the ends stay put.
+        s.sort_range(1..4, 0);
+        assert_eq!(s.column(0).values(), &[5, 1, 3, 9, 7]);
+        // Rows stay aligned across columns.
+        assert_eq!(s.column(1).values(), &[50, 10, 30, 90, 70]);
     }
 
     #[test]
