@@ -13,9 +13,16 @@
 //!
 //! `fig12kern` additionally writes machine-readable `BENCH_scan.json`
 //! (median ns/row per selectivity × predicate count × kernel tier; path
-//! overridable via the `BENCH_SCAN_JSON` env var) and `fig9b` writes
+//! overridable via the `BENCH_SCAN_JSON` env var), `fig9b` writes
 //! `BENCH_ingest.json` (ingest-vs-rebuild across batch sizes; override via
-//! `BENCH_INGEST_JSON`) so performance is tracked across PRs.
+//! `BENCH_INGEST_JSON`), and `fig7par` writes `BENCH_pool.json`
+//! (serial vs spawn-per-call vs pooled executor latency per dataset × index,
+//! with the pool's worker count and morsel size; override via
+//! `BENCH_POOL_JSON`) so performance is tracked across PRs.
+//!
+//! The pool itself is tunable with `TSUNAMI_POOL_THREADS` (worker count,
+//! default `available_parallelism`) and `TSUNAMI_MORSEL_ROWS` (rows per
+//! cache-resident morsel, default 131072).
 //!
 //! `check-bench` is the CI regression gate: it re-runs the `fig12kern`
 //! smoke and exits non-zero if any median ns/row regressed past
@@ -103,6 +110,7 @@ fn main() {
 fn print_usage() {
     eprintln!("usage: repro [EXPERIMENT] [--rows N] [--queries-per-type N] [--seed N]");
     eprintln!("experiments: all, table3, table4, fig7, fig7par, fig7sched, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig12kern, check-bench");
-    eprintln!("fig12kern also writes BENCH_scan.json (override path with BENCH_SCAN_JSON); fig9b writes BENCH_ingest.json (BENCH_INGEST_JSON)");
+    eprintln!("fig12kern also writes BENCH_scan.json (override path with BENCH_SCAN_JSON); fig9b writes BENCH_ingest.json (BENCH_INGEST_JSON); fig7par writes BENCH_pool.json (BENCH_POOL_JSON)");
+    eprintln!("pool tuning: TSUNAMI_POOL_THREADS (workers), TSUNAMI_MORSEL_ROWS (rows per morsel)");
     eprintln!("check-bench re-runs fig12kern and fails on >2.5x median regressions vs bench-baselines/BENCH_scan.json (BENCH_BASELINE_JSON)");
 }

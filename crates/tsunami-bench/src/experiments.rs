@@ -10,8 +10,8 @@
 //! `MultiDimIndex` surface.
 
 use crate::harness::{
-    database_for, database_for_bundle, database_for_named, measure, measure_parallel, report,
-    variant_specs, HarnessConfig,
+    database_for, database_for_bundle, database_for_named, measure, measure_parallel,
+    measure_spawn, report, variant_specs, HarnessConfig,
 };
 use crate::table::{fmt_f64, Table};
 
@@ -131,56 +131,131 @@ pub fn fig7(config: &HarnessConfig) -> String {
     finish(t)
 }
 
-/// Parallel-executor drill-down: serial vs multi-threaded latency of the
-/// learned indexes, with the executor counter invariant (parallel counters
-/// equal serial counters) checked on every dataset.
+/// Parallel-executor drill-down: serial vs spawn-per-call vs the persistent
+/// work-stealing pool on the learned indexes, with the executor counter
+/// invariant (parallel counters equal serial counters) checked for both
+/// parallel paths on every dataset. The spawn column is the pre-pool
+/// baseline (`execute_plan_spawn_tiered`, kept bench-only); the pooled
+/// column is what `execute_parallel` actually runs in production. The
+/// machine-readable results land in `BENCH_pool.json` (path overridable via
+/// the `BENCH_POOL_JSON` env var) so the pool's perf trajectory is tracked
+/// across PRs.
 pub fn fig7_parallel(config: &HarnessConfig) -> String {
+    let path = std::env::var("BENCH_POOL_JSON").unwrap_or_else(|_| "BENCH_pool.json".to_string());
+    fig7_parallel_impl(config, Some(std::path::Path::new(&path)))
+}
+
+fn fig7_parallel_impl(config: &HarnessConfig, json_path: Option<&std::path::Path>) -> String {
     let bundles = standard_bundles(config);
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let pool = tsunami_core::exec::pool::global();
+    let threads = pool.worker_count();
+    let morsel_rows = pool.morsel_rows();
     let mut t = Table::new(
-        "Fig 7 (parallel): Serial vs parallel executor (avg query us)",
+        "Fig 7 (parallel): Serial vs spawn-per-call vs pooled executor (avg query us)",
         &[
             "dataset",
             "index",
             "serial (us)",
-            "parallel (us)",
-            "threads",
+            "spawn (us)",
+            "pooled (us)",
+            "workers",
+            "morsel rows",
             "avg points scanned",
         ],
     );
+    // (dataset, index, serial us, spawn us, pooled us)
+    let mut entries: Vec<(String, String, f64, f64, f64)> = Vec::new();
     for b in &bundles {
         let db = database_for_bundle(b, &config.learned_specs());
         for table in db.tables() {
             let serial = measure(table.index(), &b.workload);
-            let parallel = measure_parallel(table.index(), &b.workload, threads);
-            assert_eq!(
-                (serial.avg_points_scanned, serial.avg_ranges_scanned),
-                (parallel.avg_points_scanned, parallel.avg_ranges_scanned),
-                "parallel executor counters diverged from serial on {}",
-                b.name
-            );
+            let spawn = measure_spawn(table.index(), &b.workload, threads);
+            let pooled = measure_parallel(table.index(), &b.workload, threads);
+            for (label, parallel) in [("spawn", &spawn), ("pooled", &pooled)] {
+                assert_eq!(
+                    (serial.avg_points_scanned, serial.avg_ranges_scanned),
+                    (parallel.avg_points_scanned, parallel.avg_ranges_scanned),
+                    "{label} executor counters diverged from serial on {}",
+                    b.name
+                );
+            }
             t.add_row(vec![
                 b.name.to_string(),
                 table.name().to_string(),
                 fmt_f64(serial.avg_query_us),
-                fmt_f64(parallel.avg_query_us),
+                fmt_f64(spawn.avg_query_us),
+                fmt_f64(pooled.avg_query_us),
                 threads.to_string(),
+                morsel_rows.to_string(),
                 fmt_f64(serial.avg_points_scanned),
             ]);
+            entries.push((
+                b.name.to_string(),
+                table.name().to_string(),
+                serial.avg_query_us,
+                spawn.avg_query_us,
+                pooled.avg_query_us,
+            ));
+        }
+    }
+    if let Some(path) = json_path {
+        match write_bench_pool_json(
+            path,
+            config.rows,
+            config.seed,
+            threads,
+            morsel_rows,
+            &entries,
+        ) {
+            Ok(()) => eprintln!("# fig7par: wrote {}", path.display()),
+            Err(e) => eprintln!("# fig7par: could not write {}: {e}", path.display()),
         }
     }
     finish(t)
 }
 
+/// Hand-rolled (the workspace is offline — no serde) machine-readable dump
+/// of the parallel-executor benchmark: average query latency per
+/// (dataset, index) under the serial, spawn-per-call, and pooled executors,
+/// plus the pool geometry the run used.
+fn write_bench_pool_json(
+    path: &std::path::Path,
+    rows: usize,
+    seed: u64,
+    workers: usize,
+    morsel_rows: usize,
+    entries: &[(String, String, f64, f64, f64)],
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"experiment\": \"fig7par\",\n  \"rows\": {rows},\n  \"seed\": {seed},\n  \
+         \"workers\": {workers},\n  \"morsel_rows\": {morsel_rows},\n  \"entries\": [\n"
+    ));
+    for (i, (dataset, index, serial, spawn, pooled)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{dataset}\", \"index\": \"{index}\", \
+             \"serial_us\": {serial:.3}, \"spawn_us\": {spawn:.3}, \
+             \"pooled_us\": {pooled:.3}}}{comma}\n"
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
 /// Multi-client throughput: many independent fig7-workload queries executed
 /// concurrently by the engine's [`Scheduler`], sweeping the worker count.
 /// This measures *inter-query* parallelism over the `Sync` store — the
-/// serving-scale complement to `fig7par`'s intra-query parallelism. Speedup
-/// over one worker tracks the host's available cores; a correctness check
+/// serving-scale complement to `fig7par`'s intra-query parallelism. Since
+/// the scheduler became a facade over the process-wide work-stealing pool,
+/// "workers" is the cap on concurrent drainer tasks, not a thread count —
+/// speedup saturates at `min(workers, pool workers)`. A correctness check
 /// compares every scheduler result against serial execution.
 pub fn fig7_scheduler(config: &HarnessConfig) -> String {
     let bundles = standard_bundles(config);
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool_workers = tsunami_core::exec::pool::global().worker_count();
     let mut t = Table::new(
         "Fig 7 (scheduler): Multi-client throughput over a Tsunami table (QPS vs workers)",
         &[
@@ -188,6 +263,7 @@ pub fn fig7_scheduler(config: &HarnessConfig) -> String {
             "workers",
             "batch QPS",
             "speedup vs 1 worker",
+            "pool workers",
             "host cores",
         ],
     );
@@ -225,6 +301,7 @@ pub fn fig7_scheduler(config: &HarnessConfig) -> String {
                 workers.to_string(),
                 fmt_f64(qps),
                 fmt_f64(qps / base_qps),
+                pool_workers.to_string(),
                 host_cores.to_string(),
             ]);
         }
@@ -1152,5 +1229,40 @@ mod tests {
             assert!(out.contains(workers), "missing worker row {workers}");
         }
         assert!(out.contains("QPS"));
+    }
+
+    #[test]
+    fn fig7_parallel_reports_all_three_executors() {
+        // Tiny run, no JSON: the impl itself asserts that both the spawn
+        // baseline's and the pool's counters match serial while measuring.
+        let mut cfg = tiny();
+        cfg.rows = 2_000;
+        let out = fig7_parallel_impl(&cfg, None);
+        for col in ["serial (us)", "spawn (us)", "pooled (us)", "morsel rows"] {
+            assert!(out.contains(col), "missing column {col} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn bench_pool_json_is_well_formed() {
+        let dir = std::env::temp_dir().join("tsunami_bench_pool_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_pool.json");
+        write_bench_pool_json(
+            &path,
+            5000,
+            7,
+            4,
+            131072,
+            &[("Taxi".to_string(), "Tsunami".to_string(), 100.0, 80.0, 60.0)],
+        )
+        .unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains("\"experiment\": \"fig7par\""));
+        assert!(s.contains("\"workers\": 4"));
+        assert!(s.contains("\"morsel_rows\": 131072"));
+        assert!(s.contains("\"index\": \"Tsunami\""));
+        assert!(s.contains("\"pooled_us\": 60.000"));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -137,6 +137,28 @@ pub fn measure_parallel(
     measure_with(workload, |q| index.execute_parallel(q, threads))
 }
 
+/// Like [`measure_parallel`], but through the spawn-per-call baseline
+/// executor ([`tsunami_core::exec::execute_plan_spawn_tiered`]) instead of
+/// the persistent work-stealing pool. Benchmarks use this to quantify what
+/// the pool saves per query; nothing on a query hot path calls it.
+pub fn measure_spawn(
+    index: &dyn MultiDimIndex,
+    workload: &Workload,
+    threads: usize,
+) -> Measurement {
+    use tsunami_core::exec::{execute_plan_spawn_tiered, KernelTier};
+    measure_with(workload, |q| {
+        let (result, counters) = execute_plan_spawn_tiered(
+            index.source(),
+            q,
+            &index.plan(q),
+            threads,
+            KernelTier::default(),
+        );
+        (result, counters.into())
+    })
+}
+
 /// Shared measurement loop: warm-up, one counter-collecting pass, then one
 /// timed pass, all through the provided execution closure so the serial and
 /// parallel measurements stay methodologically identical.

@@ -76,14 +76,26 @@
 //! so concurrent queries against one source can never corrupt each other's
 //! statistics.
 //!
-//! [`execute_plan_parallel`] runs the same plan across worker threads
-//! (std-only; the container has no rayon), splitting ranges into balanced
-//! pieces and merging per-thread [`AggAccumulator`]s with
-//! [`AggAccumulator::merge`]. It returns bit-identical results and counters
-//! to the serial executor: range pieces carved from one plan range count as a
-//! single scanned range. Each worker keeps its own [`BlockScratch`] and its
-//! own adaptive-density estimate; the estimate only steers representation
-//! choice, never results.
+//! # Parallel execution: morsels on one persistent pool
+//!
+//! [`execute_plan_parallel`] runs the same plan across the process-wide
+//! work-stealing pool ([`pool`]; std-only — the container has no rayon). The
+//! plan's ranges are decomposed into fixed-size cache-resident **morsels**
+//! (~[`pool::DEFAULT_MORSEL_ROWS`] rows, tunable via `TSUNAMI_MORSEL_ROWS`)
+//! which the participating workers claim from a shared cursor; each worker
+//! keeps a private [`AggAccumulator`] and [`ScanCounters`], merged once at
+//! the end. Results and counters are bit-identical to the serial executor —
+//! aggregation merging is commutative and associative, and morsels carved
+//! from one plan range count as a single scanned range — regardless of which
+//! worker runs which morsel in which order. Per-worker [`BlockScratch`]
+//! lives in thread-local storage (reused across queries on pool workers),
+//! and each worker keeps its own adaptive-density estimate; the estimate
+//! only steers representation choice, never results.
+//!
+//! The spawn-per-call executor this replaced survives as
+//! [`execute_plan_spawn_tiered`], exclusively as the benchmark baseline that
+//! `fig7par` measures the pool's spawn-amortization win against. No query
+//! hot path calls it.
 //!
 //! Data access is abstracted behind [`ScanSource`] (rows of `u64` columns),
 //! implemented by both the logical [`Dataset`] and the
@@ -91,15 +103,19 @@
 //! never mutate them.
 
 pub mod kernels;
+pub mod pool;
 
 use std::borrow::Cow;
+use std::cell::RefCell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::dataset::{Dataset, Value};
 use crate::query::{AggAccumulator, AggResult, Aggregation, Predicate, Query};
 
 pub use kernels::BlockScratch;
+pub use pool::{PoolConfig, WorkStealingPool, DEFAULT_MORSEL_ROWS};
 
 /// Number of rows per vectorized block. Chosen so one block of one column
 /// (8 KiB) plus the selection vector stays comfortably inside L1.
@@ -358,8 +374,8 @@ pub fn execute_plan_tiered(
     let resolved = ResolvedQuery::new(source, plan.residual(query), query.aggregation());
     let mut acc = AggAccumulator::new(query.aggregation());
     let mut counters = ScanCounters::default();
-    let mut scratch = BlockScratch::new();
     let mut density = Density::default();
+    let mut scratch = BlockScratch::new();
     for sr in plan.ranges() {
         resolved.scan_range(
             sr.range.clone(),
@@ -375,8 +391,29 @@ pub fn execute_plan_tiered(
     (acc.finish(), counters)
 }
 
-/// Executes a plan across `threads` worker threads with the default
-/// [`KernelTier::Adaptive`] kernels.
+thread_local! {
+    /// Per-worker reusable [`BlockScratch`]: pool workers run many morsels
+    /// over their lifetime, so the selection vector and bitmap words are
+    /// allocated once per thread instead of per claimed morsel. The serial
+    /// executor deliberately does NOT use this: funneling its range loop
+    /// through the `with` closure costs measurable vectorization on
+    /// near-empty scans (see `BENCH_scan.json` sel=0% entries), and one
+    /// scratch allocation per query is below timer noise there.
+    static THREAD_SCRATCH: RefCell<BlockScratch> = RefCell::new(BlockScratch::new());
+}
+
+/// Runs `f` with this thread's reusable scratch. Scan kernels never nest,
+/// but if a caller ever re-enters (e.g. an aggregation callback running a
+/// scan), fall back to a fresh scratch rather than panicking on the borrow.
+fn with_thread_scratch<R>(f: impl FnOnce(&mut BlockScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut BlockScratch::new()),
+    })
+}
+
+/// Executes a plan across up to `threads` workers of the process-wide
+/// work-stealing pool with the default [`KernelTier::Adaptive`] kernels.
 pub fn execute_plan_parallel(
     source: &dyn ScanSource,
     query: &Query,
@@ -386,19 +423,63 @@ pub fn execute_plan_parallel(
     execute_plan_parallel_tiered(source, query, plan, threads, KernelTier::default())
 }
 
-/// Executes a plan across `threads` worker threads with an explicit kernel
-/// tier.
+/// Executes a plan across up to `threads` workers of the process-wide
+/// work-stealing pool with an explicit kernel tier.
 ///
-/// The plan's ranges are split into balanced pieces which workers claim from
-/// a shared queue; each worker keeps a private [`AggAccumulator`] and
-/// [`ScanCounters`], merged once at the end. Results and counters are
-/// identical to [`execute_plan`]: aggregation merging is associative, and
-/// pieces carved from one plan range count as a single scanned range.
+/// Routes through [`execute_plan_pooled_tiered`] on [`pool::global`] with
+/// the pool's configured morsel size; see the module docs for the morsel
+/// decomposition and the bit-identity guarantee.
 pub fn execute_plan_parallel_tiered(
     source: &dyn ScanSource,
     query: &Query,
     plan: &ScanPlan,
     threads: usize,
+    tier: KernelTier,
+) -> (AggResult, ScanCounters) {
+    let pool = pool::global();
+    execute_plan_pooled_tiered(source, query, plan, pool, threads, pool.morsel_rows(), tier)
+}
+
+/// Splits a plan's ranges into morsel work units of
+/// `(range, exact, counts_as_new_range)`. Only the first morsel carved from
+/// a plan range increments the range counter, keeping [`ScanCounters`]
+/// identical to the serial executor.
+fn split_morsels(plan: &ScanPlan, morsel_rows: usize) -> Vec<(Range<usize>, bool, bool)> {
+    let mut units = Vec::new();
+    for sr in plan.ranges() {
+        let mut start = sr.range.start;
+        let mut first = true;
+        while start < sr.range.end {
+            let end = (start + morsel_rows).min(sr.range.end);
+            units.push((start..end, sr.exact, first));
+            first = false;
+            start = end;
+        }
+    }
+    units
+}
+
+/// Executes a plan on an explicit [`WorkStealingPool`] with an explicit
+/// morsel size — the fully parameterized form [`execute_plan_parallel_tiered`]
+/// routes through, exposed for the pool stress tests and the morsel-size
+/// sweep in `fig7par`.
+///
+/// The plan is decomposed into cache-resident morsels (clamped to at least
+/// one [`BLOCK_ROWS`] block; shrunk below `morsel_rows` only when the plan
+/// is too small to give every participant a morsel). Up to `threads - 1`
+/// pool workers join the calling thread; every participant claims morsels
+/// from a shared cursor and folds them into a private [`AggAccumulator`] and
+/// [`ScanCounters`] with thread-local [`BlockScratch`], merged once at the
+/// end. Merging is commutative and associative, so results and counters are
+/// bit-identical to [`execute_plan_tiered`] for any worker count, morsel
+/// size, and completion order.
+pub fn execute_plan_pooled_tiered(
+    source: &dyn ScanSource,
+    query: &Query,
+    plan: &ScanPlan,
+    pool: &WorkStealingPool,
+    threads: usize,
+    morsel_rows: usize,
     tier: KernelTier,
 ) -> (AggResult, ScanCounters) {
     let threads = threads.max(1);
@@ -409,24 +490,75 @@ pub fn execute_plan_parallel_tiered(
     if threads == 1 || total < 4 * BLOCK_ROWS {
         return execute_plan_tiered(source, query, plan, tier);
     }
-
-    // Work units: (range, exact, counts_as_new_range). Large ranges are split
-    // so no single unit dominates a thread; only the first piece of a plan
-    // range increments the range counter, keeping counters identical to the
-    // serial executor.
-    let piece = (total / (threads * 4)).max(BLOCK_ROWS);
-    let mut units: Vec<(Range<usize>, bool, bool)> = Vec::new();
-    for sr in plan.ranges() {
-        let mut start = sr.range.start;
-        let mut first = true;
-        while start < sr.range.end {
-            let end = (start + piece).min(sr.range.end);
-            units.push((start..end, sr.exact, first));
-            first = false;
-            start = end;
-        }
+    // Cache-resident fixed-size morsels; for plans smaller than
+    // threads × morsel_rows, shrink so every participant gets work.
+    let configured = morsel_rows.max(BLOCK_ROWS);
+    let morsel = configured.min((total / threads).max(BLOCK_ROWS));
+    let units = split_morsels(plan, morsel);
+    let helpers = threads
+        .min(units.len())
+        .saturating_sub(1)
+        .min(pool.worker_count());
+    if helpers == 0 {
+        return execute_plan_tiered(source, query, plan, tier);
     }
 
+    let agg = query.aggregation();
+    let resolved = ResolvedQuery::new(source, plan.residual(query), agg);
+    let cursor = AtomicUsize::new(0);
+    let merged: Mutex<(AggAccumulator, ScanCounters)> =
+        Mutex::new((AggAccumulator::new(agg), ScanCounters::default()));
+    pool.join_helpers(helpers, &|| {
+        let mut acc = AggAccumulator::new(agg);
+        let mut counters = ScanCounters::default();
+        let mut density = Density::default();
+        with_thread_scratch(|scratch| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some((range, exact, count_range)) = units.get(i).cloned() else {
+                break;
+            };
+            resolved.scan_range(
+                range,
+                exact,
+                count_range,
+                tier,
+                &mut density,
+                &mut acc,
+                &mut counters,
+                scratch,
+            );
+        });
+        let mut m = merged.lock().unwrap();
+        m.0.merge(&acc);
+        m.1.merge(&counters);
+    });
+    let (acc, counters) = merged.into_inner().unwrap();
+    (acc.finish(), counters)
+}
+
+/// The pre-pool executor: spawns fresh scoped threads for every call.
+///
+/// Kept **only** as the benchmark baseline `fig7par` compares the
+/// persistent pool against (spawn latency vs. amortized submission); no
+/// query hot path calls this. Results and counters are bit-identical to
+/// [`execute_plan_tiered`] for the same reasons as the pooled executor.
+pub fn execute_plan_spawn_tiered(
+    source: &dyn ScanSource,
+    query: &Query,
+    plan: &ScanPlan,
+    threads: usize,
+    tier: KernelTier,
+) -> (AggResult, ScanCounters) {
+    let threads = threads.max(1);
+    let plan = plan.clamped(source.num_rows());
+    let plan = plan.as_ref();
+    let total = plan.total_points();
+    if threads == 1 || total < 4 * BLOCK_ROWS {
+        return execute_plan_tiered(source, query, plan, tier);
+    }
+
+    let piece = (total / (threads * 4)).max(BLOCK_ROWS);
+    let units = split_morsels(plan, piece);
     let agg = query.aggregation();
     let resolved = ResolvedQuery::new(source, plan.residual(query), agg);
     let next_unit = AtomicUsize::new(0);
@@ -1045,6 +1177,63 @@ mod tests {
                         "{agg:?} counters with {threads} threads {tier:?}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn spawn_baseline_matches_serial_results_and_counters() {
+        let n = 20_000u64;
+        let ds = Dataset::from_columns(vec![(0..n).collect(), (0..n).map(|v| v % 777).collect()])
+            .unwrap();
+        let q = Query::new(
+            vec![Predicate::range(1, 50, 600).unwrap()],
+            Aggregation::Sum(0),
+        )
+        .unwrap();
+        let plan = ScanPlan::from_ranges([(0..9_000, false), (9_500..20_000, false)]);
+        let (serial, sc) = execute_plan(&ds, &q, &plan);
+        let (spawned, pc) = execute_plan_spawn_tiered(&ds, &q, &plan, 4, KernelTier::default());
+        assert_eq!(serial, spawned);
+        assert_eq!(sc, pc);
+    }
+
+    #[test]
+    fn pooled_executor_matches_serial_across_morsel_sizes() {
+        // Morsel sizes deliberately straddling BLOCK_ROWS boundaries: pieces
+        // that start mid-block re-align blockwise inside scan_range, so
+        // selection (and thus results and counters) must not change.
+        let n = 30_000u64;
+        let ds = Dataset::from_columns(vec![
+            (0..n).collect(),
+            (0..n).map(|v| v * 13 % 509).collect(),
+        ])
+        .unwrap();
+        let plan = ScanPlan::from_ranges([
+            (0..11_111, false),
+            (11_111..12_000, true),
+            (13_001..30_000, false),
+        ]);
+        let q = Query::new(
+            vec![Predicate::range(1, 40, 333).unwrap()],
+            Aggregation::Avg(0),
+        )
+        .unwrap();
+        let (serial, sc) = execute_plan(&ds, &q, &plan);
+        let pool = WorkStealingPool::new(2);
+        for morsel in [BLOCK_ROWS, BLOCK_ROWS + 1, 1_500, 3 * BLOCK_ROWS + 17] {
+            for threads in [2, 5] {
+                let (pooled, pc) = execute_plan_pooled_tiered(
+                    &ds,
+                    &q,
+                    &plan,
+                    &pool,
+                    threads,
+                    morsel,
+                    KernelTier::default(),
+                );
+                assert_eq!(serial, pooled, "morsel={morsel} threads={threads}");
+                assert_eq!(sc, pc, "counters morsel={morsel} threads={threads}");
             }
         }
     }

@@ -86,8 +86,10 @@ pub trait MultiDimIndex {
         (result, counters.into())
     }
 
-    /// Executes a query with the parallel executor, splitting the plan across
-    /// `threads` worker threads. Results and counters are identical to
+    /// Executes a query with the parallel executor: the plan is decomposed
+    /// into cache-resident morsels claimed by up to `threads` workers of the
+    /// process-wide work-stealing pool ([`exec::pool`]) — no threads are
+    /// spawned per call. Results and counters are bit-identical to
     /// [`Self::execute_with_stats`].
     fn execute_parallel(&self, query: &Query, threads: usize) -> (AggResult, IndexStats) {
         let (result, counters) =

@@ -103,15 +103,6 @@ pub enum AggResult {
 }
 
 impl AggResult {
-    /// Convenience accessor for `COUNT` results; panics for other variants.
-    #[deprecated(note = "panics on non-COUNT results; use `as_count()` instead")]
-    pub fn count(&self) -> u64 {
-        match self {
-            AggResult::Count(c) => *c,
-            other => panic!("expected Count result, got {other:?}"),
-        }
-    }
-
     /// The `COUNT` value, or `None` for other variants.
     pub fn as_count(&self) -> Option<u64> {
         match self {
@@ -692,14 +683,6 @@ mod tests {
         ]);
         assert!((w.average_selectivity(&ds) - 0.75).abs() < 1e-9);
         assert!(Workload::default().is_empty());
-    }
-
-    #[test]
-    fn agg_result_count_accessor() {
-        // The deprecated panicking shim still works for old callers.
-        #[allow(deprecated)]
-        let c = AggResult::Count(7).count();
-        assert_eq!(c, 7);
     }
 
     #[test]

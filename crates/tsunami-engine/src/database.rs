@@ -15,10 +15,12 @@
 use std::sync::Arc;
 
 use tsunami_baselines::{ClusteredSingleDimIndex, FullScanIndex};
+use tsunami_core::exec::pool::{self, WorkStealingPool};
 use tsunami_core::{CostModel, Dataset, Point, Result, TsunamiError, Workload};
 use tsunami_flood::FloodIndex;
 use tsunami_index::{IngestReport, ReoptReport, TsunamiConfig, TsunamiIndex, WorkloadMonitor};
 
+use crate::scheduler::{Scheduler, SchedulerConfig};
 use crate::schema::Schema;
 use crate::spec::{IndexSpec, SharedIndex};
 use crate::table::Table;
@@ -37,6 +39,13 @@ fn observe_cap(spec: &IndexSpec) -> usize {
 pub struct Database {
     tables: Vec<Table>,
     cost: CostModel,
+    /// The execution pool shared by every table: schedulers created via
+    /// [`Database::scheduler`] submit into it, and it is the same pool
+    /// [`MultiDimIndex::execute_parallel`](tsunami_core::MultiDimIndex::execute_parallel)
+    /// runs morsels on. Defaults to the process-wide
+    /// [`pool::global`] pool; inject a private one with
+    /// [`Database::set_pool`].
+    pool: Arc<WorkStealingPool>,
 }
 
 impl Database {
@@ -51,12 +60,40 @@ impl Database {
         Self {
             tables: Vec::new(),
             cost,
+            pool: Arc::clone(pool::global()),
         }
     }
 
     /// The cost model used for index builds.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// The work-stealing pool this database's schedulers submit into.
+    pub fn pool(&self) -> &Arc<WorkStealingPool> {
+        &self.pool
+    }
+
+    /// Replaces the execution pool (e.g. a private pool in tests, or a
+    /// dedicated pool per tenant). Schedulers already created keep the pool
+    /// they were built with.
+    pub fn set_pool(&mut self, pool: Arc<WorkStealingPool>) {
+        self.pool = pool;
+    }
+
+    /// A scheduler over this database's pool running up to `workers` queries
+    /// concurrently. Handles from any of this database's tables can be
+    /// submitted to it.
+    pub fn scheduler(&self, workers: usize) -> Scheduler {
+        self.scheduler_with(SchedulerConfig {
+            workers: workers.max(1),
+            ..SchedulerConfig::default()
+        })
+    }
+
+    /// A scheduler over this database's pool with explicit tuning.
+    pub fn scheduler_with(&self, config: SchedulerConfig) -> Scheduler {
+        Scheduler::on_pool(Arc::clone(&self.pool), config)
     }
 
     /// Registers a table: names the dataset's columns, builds the index

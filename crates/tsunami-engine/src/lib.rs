@@ -14,9 +14,10 @@
 //!   not silent mis-scans.
 //! * [`PreparedQuery`] — a validated (table, query) pair that executes
 //!   infallibly, any number of times, from any thread.
-//! * [`Scheduler`] — a worker pool running many independent queries
-//!   concurrently over the `Sync` stores (inter-query parallelism), with
-//!   batch execution and a bounded submit/poll queue with backpressure.
+//! * [`Scheduler`] — inter-query parallelism on the process-wide
+//!   work-stealing pool (the same pool the intra-query morsel executor
+//!   uses), with batch execution and a bounded submit/poll queue with
+//!   backpressure. Tune with [`SchedulerConfig`].
 //! * **Workload-shift adaptation** — [`Table::record_query`] feeds a bounded
 //!   observation log, [`Database::auto_reoptimize`] detects drift from the
 //!   optimized-for workload, and [`Database::reoptimize`] re-optimizes
@@ -69,7 +70,7 @@ pub mod table;
 pub use builder::QueryBuilder;
 pub use database::Database;
 pub use prepared::PreparedQuery;
-pub use scheduler::{QueryHandle, Scheduler};
+pub use scheduler::{QueryHandle, Scheduler, SchedulerConfig};
 pub use schema::{ColumnRef, Schema};
 pub use spec::{IndexSpec, PageSize, SharedIndex};
 pub use table::Table;

@@ -1,12 +1,25 @@
-//! The concurrent query scheduler: a worker pool executing many independent
-//! prepared queries over the `Sync` column stores.
+//! The concurrent query scheduler: inter-query parallelism on the shared
+//! work-stealing pool.
 //!
 //! This complements the intra-query parallel executor (`exec::
-//! execute_plan_parallel`, which splits *one* query's scan plan across
-//! threads) with *inter-query* parallelism: many small queries in flight at
-//! once, which is how serving-scale traffic actually arrives. Queries carry
-//! their table handle ([`PreparedQuery`]), so one scheduler serves every
-//! table in a database.
+//! execute_plan_parallel`, which splits *one* query's scan plan into morsels
+//! across pool workers) with *inter-query* parallelism: many small queries
+//! in flight at once, which is how serving-scale traffic actually arrives.
+//! Queries carry their table handle ([`PreparedQuery`]), so one scheduler
+//! serves every table in a database.
+//!
+//! The scheduler owns **no threads**. It submits drainer tasks into a
+//! [`WorkStealingPool`] — by default the process-wide
+//! [`pool::global`] pool, the same one the
+//! intra-query executor uses — so one saturated box can run one huge
+//! morsel-split scan, or many small queries, or any mix, without idle
+//! workers or spawn overhead. Each drainer pops queued queries until the
+//! queue is empty, then retires; at most
+//! [`SchedulerConfig::workers`] drainers run at once, bounding how many
+//! queries execute concurrently. With
+//! [`SchedulerConfig::intra_query_threads`] > 1, each drained query
+//! additionally fans out into morsels on the same pool — inter- and
+//! intra-query parallelism composing on one substrate.
 //!
 //! Two submission APIs:
 //!
@@ -19,17 +32,17 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
+use tsunami_core::exec::pool::{self, WorkStealingPool};
 use tsunami_core::{AggResult, IndexStats, Result, TsunamiError};
 
 use crate::prepared::PreparedQuery;
 
-/// What a worker writes into a completion slot: the result and counters, or
+/// What a drainer writes into a completion slot: the result and counters, or
 /// the caught panic payload of a query that blew up mid-execution.
 type Outcome = std::result::Result<(AggResult, IndexStats), String>;
 
-/// Completion slot shared between a worker and the submitter's handle.
+/// Completion slot shared between a drainer and the submitter's handle.
 struct Slot {
     result: Mutex<Option<Outcome>>,
     done: Condvar,
@@ -97,74 +110,139 @@ impl QueryHandle {
     }
 }
 
+/// Scheduler tuning knobs. `Default` derives everything from the shared
+/// pool: as many concurrent queries as the pool has workers, the default
+/// queue depth, serial per-query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Maximum queries executing concurrently (drainer tasks in flight).
+    /// `0` means "as many as the pool has workers".
+    pub workers: usize,
+    /// Queue capacity (queries awaiting a drainer). `0` means
+    /// `workers * DEFAULT_QUEUE_PER_WORKER`.
+    pub queue_capacity: usize,
+    /// Intra-query parallelism: each drained query executes across this many
+    /// pool workers via the morsel executor. `1` (the default) runs each
+    /// query serially — the right choice when queries are small and
+    /// plentiful; raise it when queries are few and large.
+    pub intra_query_threads: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_capacity: 0,
+            intra_query_threads: 1,
+        }
+    }
+}
+
 struct QueueState {
     jobs: VecDeque<(PreparedQuery, Arc<Slot>)>,
+    /// Drainer tasks currently submitted and not yet retired.
+    active: usize,
     shutdown: bool,
 }
 
 struct Shared {
     state: Mutex<QueueState>,
-    /// Signals workers that a job (or shutdown) is available.
-    job_ready: Condvar,
     /// Signals blocked submitters that queue space freed up.
     space_ready: Condvar,
+    /// Signals `Drop` that the last drainer retired with an empty queue.
+    idle: Condvar,
     capacity: usize,
+    max_active: usize,
+    intra_query_threads: usize,
     completed: AtomicU64,
+    pool: Arc<WorkStealingPool>,
 }
 
-/// A fixed-size pool of worker threads draining a bounded query queue.
-/// Dropping the scheduler finishes all queued queries, then joins the
-/// workers.
+/// A bounded query queue drained by tasks on the shared work-stealing pool.
+/// Dropping the scheduler finishes all queued queries before returning.
 pub struct Scheduler {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl Scheduler {
-    /// Default queue capacity per worker used by [`Scheduler::new`].
+    /// Default queue capacity per worker used when
+    /// [`SchedulerConfig::queue_capacity`] is zero.
     pub const DEFAULT_QUEUE_PER_WORKER: usize = 64;
 
-    /// Creates a scheduler with `workers` threads (clamped to at least one)
-    /// and a queue of `workers * DEFAULT_QUEUE_PER_WORKER` slots.
+    /// A scheduler running up to `workers` queries concurrently (clamped to
+    /// at least one) on the process-wide pool, with a queue of
+    /// `workers * DEFAULT_QUEUE_PER_WORKER` slots.
     pub fn new(workers: usize) -> Self {
-        let workers = workers.max(1);
-        Self::with_queue_capacity(workers, workers * Self::DEFAULT_QUEUE_PER_WORKER)
+        Self::with_config(SchedulerConfig {
+            workers: workers.max(1),
+            ..SchedulerConfig::default()
+        })
     }
 
-    /// Creates a scheduler with an explicit queue capacity (clamped to at
-    /// least one slot). Smaller capacities apply backpressure sooner.
+    /// A scheduler with an explicit queue capacity (clamped to at least one
+    /// slot). Smaller capacities apply backpressure sooner.
     pub fn with_queue_capacity(workers: usize, capacity: usize) -> Self {
-        let workers = workers.max(1);
-        let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
-            job_ready: Condvar::new(),
-            space_ready: Condvar::new(),
-            capacity: capacity.max(1),
-            completed: AtomicU64::new(0),
-        });
-        let handles = (0..workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
+        Self::with_config(SchedulerConfig {
+            workers: workers.max(1),
+            queue_capacity: capacity.max(1),
+            ..SchedulerConfig::default()
+        })
+    }
+
+    /// A scheduler on the process-wide pool with explicit tuning.
+    pub fn with_config(config: SchedulerConfig) -> Self {
+        Self::on_pool(Arc::clone(pool::global()), config)
+    }
+
+    /// A scheduler submitting into an explicit pool (tests inject private
+    /// pools; a `Database` injects its shared one).
+    pub fn on_pool(pool: Arc<WorkStealingPool>, config: SchedulerConfig) -> Self {
+        let max_active = if config.workers == 0 {
+            pool.worker_count()
+        } else {
+            config.workers
+        };
+        let capacity = if config.queue_capacity == 0 {
+            max_active * Self::DEFAULT_QUEUE_PER_WORKER
+        } else {
+            config.queue_capacity
+        };
         Self {
-            shared,
-            workers: handles,
+            shared: Arc::new(Shared {
+                state: Mutex::new(QueueState {
+                    jobs: VecDeque::new(),
+                    active: 0,
+                    shutdown: false,
+                }),
+                space_ready: Condvar::new(),
+                idle: Condvar::new(),
+                capacity: capacity.max(1),
+                max_active: max_active.max(1),
+                intra_query_threads: config.intra_query_threads.max(1),
+                completed: AtomicU64::new(0),
+                pool,
+            }),
         }
     }
 
-    /// Number of worker threads.
+    /// Maximum queries executing concurrently.
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.shared.max_active
     }
 
-    /// Queue capacity (maximum queries awaiting a worker).
+    /// Queue capacity (maximum queries awaiting execution).
     pub fn queue_capacity(&self) -> usize {
         self.shared.capacity
+    }
+
+    /// Intra-query parallelism each drained query executes with.
+    pub fn intra_query_threads(&self) -> usize {
+        self.shared.intra_query_threads
+    }
+
+    /// The pool this scheduler submits into.
+    pub fn pool(&self) -> &Arc<WorkStealingPool> {
+        &self.shared.pool
     }
 
     /// Total queries completed since the scheduler started.
@@ -199,8 +277,18 @@ impl Scheduler {
         }
         let slot = Slot::new();
         state.jobs.push_back((query, Arc::clone(&slot)));
+        // Spin up another drainer unless the concurrency bound is already
+        // met. The increment happens under the lock so a drainer retiring at
+        // this instant (it also holds the lock to pop) cannot strand the job.
+        let spawn_drainer = state.active < self.shared.max_active;
+        if spawn_drainer {
+            state.active += 1;
+        }
         drop(state);
-        self.shared.job_ready.notify_one();
+        if spawn_drainer {
+            let shared = Arc::clone(&self.shared);
+            self.shared.pool.spawn(move || drain(&shared));
+        }
         Ok(QueryHandle { slot })
     }
 
@@ -218,46 +306,55 @@ impl Scheduler {
 
 impl Drop for Scheduler {
     fn drop(&mut self) {
-        {
-            let mut state = self.shared.state.lock().unwrap();
-            state.shutdown = true;
-        }
-        self.shared.job_ready.notify_all();
+        let mut state = self.shared.state.lock().unwrap();
+        state.shutdown = true;
+        // Wake blocked submitters so they observe the shutdown...
         self.shared.space_ready.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        // ...and wait for the drainers to finish every queued query. Queued
+        // jobs guarantee active >= 1 (enqueue spawns before releasing the
+        // lock), so the last retiring drainer always signals `idle`.
+        while !(state.jobs.is_empty() && state.active == 0) {
+            state = self.shared.idle.wait(state).unwrap();
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// One drainer task: pops queued queries and executes them until the queue
+/// is empty, then retires. Runs on a pool worker.
+fn drain(shared: &Shared) {
     loop {
-        let job = {
+        let (query, slot) = {
             let mut state = shared.state.lock().unwrap();
-            loop {
-                if let Some(job) = state.jobs.pop_front() {
-                    break job;
-                }
-                if state.shutdown {
+            match state.jobs.pop_front() {
+                Some(job) => job,
+                None => {
+                    state.active -= 1;
+                    if state.active == 0 {
+                        shared.idle.notify_all();
+                    }
                     return;
                 }
-                state = shared.job_ready.wait(state).unwrap();
             }
         };
         // A slot freed up; wake one blocked submitter.
         shared.space_ready.notify_one();
-        let (query, slot) = job;
         // Catch panics so a poisoned query can neither hang its waiter (the
-        // slot always gets filled) nor kill the worker thread.
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| query.execute_with_stats()))
-                .map_err(|payload| {
-                    payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".to_string())
-                });
+        // slot always gets filled) nor kill the pool worker.
+        let threads = shared.intra_query_threads;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if threads > 1 {
+                query.execute_parallel(threads)
+            } else {
+                query.execute_with_stats()
+            }
+        }))
+        .map_err(|payload| {
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string())
+        });
         // Count before filling: once `fill` wakes a waiter, the query must
         // already be visible in `completed()`.
         shared.completed.fetch_add(1, Ordering::Relaxed);
@@ -390,11 +487,7 @@ mod tests {
     fn try_submit_applies_backpressure_when_the_queue_is_full() {
         let t = table();
         let q = t.query().prepare().unwrap();
-        // One worker, one queue slot; park the worker on a first job by
-        // filling the queue faster than one thread can drain... Instead,
-        // deterministically: capacity 1 and submit without any worker being
-        // able to keep up is racy, so just check the error surfaces when we
-        // flood a tiny queue.
+        // One drainer, one queue slot: flooding must hit SchedulerQueueFull.
         let scheduler = Scheduler::with_queue_capacity(1, 1);
         let mut saw_full = false;
         let mut handles = Vec::new();
@@ -423,9 +516,37 @@ mod tests {
             .map(|_| scheduler.submit(q.clone()).unwrap())
             .collect();
         drop(scheduler);
-        // Every queued query still completed before the workers exited.
+        // Every queued query still completed before the scheduler released.
         for h in handles {
             assert_eq!(h.wait().unwrap().as_count(), Some(100));
+        }
+    }
+
+    #[test]
+    fn intra_query_parallel_scheduler_matches_serial() {
+        // Inter- and intra-query parallelism composing on one pool: each
+        // drained query fans out into morsels without deadlocking, and
+        // results stay bit-identical to serial execution.
+        let t = table();
+        let queries: Vec<_> = (0..12u64)
+            .map(|i| {
+                t.query()
+                    .range("b", i, i + 40)
+                    .unwrap()
+                    .sum("a")
+                    .unwrap()
+                    .prepare()
+                    .unwrap()
+            })
+            .collect();
+        let scheduler = Scheduler::with_config(SchedulerConfig {
+            workers: 4,
+            intra_query_threads: 4,
+            ..SchedulerConfig::default()
+        });
+        let results = scheduler.execute_batch(&queries).unwrap();
+        for (r, q) in results.iter().zip(&queries) {
+            assert_eq!(*r, q.execute());
         }
     }
 }

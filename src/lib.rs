@@ -23,5 +23,6 @@
 
 pub use tsunami_engine::{
     ColumnRef, Database, IndexSpec, PageSize, PreparedQuery, QueryBuilder, QueryHandle,
-    ReoptReport, Scheduler, Schema, SharedIndex, ShiftReport, Table, WorkloadMonitor,
+    ReoptReport, Scheduler, SchedulerConfig, Schema, SharedIndex, ShiftReport, Table,
+    WorkloadMonitor,
 };
