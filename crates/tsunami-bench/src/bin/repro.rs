@@ -7,9 +7,10 @@
 //! ```
 //!
 //! `EXPERIMENT` is one of `table3`, `table4`, `fig7`, `fig7par`,
-//! `fig7sched`, `fig8`, `fig9a`, `fig9b`, `fig10`, `fig11a`, `fig11b`,
-//! `fig12a`, `fig12b`, `fig12kern`, `check-bench`, or `all` (default). Run
-//! in release mode: `cargo run --release -p tsunami-bench --bin repro -- fig7`.
+//! `fig7sched`, `fig7net`, `fig8`, `fig9a`, `fig9b`, `fig10`, `fig11a`,
+//! `fig11b`, `fig12a`, `fig12b`, `fig12kern`, `check-bench`, or `all`
+//! (default). Run in release mode:
+//! `cargo run --release -p tsunami-bench --bin repro -- fig7`.
 //!
 //! `fig12kern` additionally writes machine-readable `BENCH_scan.json`
 //! (median ns/row per selectivity × predicate count × kernel tier; path
@@ -18,7 +19,11 @@
 //! `BENCH_INGEST_JSON`), and `fig7par` writes `BENCH_pool.json`
 //! (serial vs spawn-per-call vs pooled executor latency per dataset × index,
 //! with the pool's worker count and morsel size; override via
-//! `BENCH_POOL_JSON`) so performance is tracked across PRs.
+//! `BENCH_POOL_JSON`), and `fig7net` writes `BENCH_net.json` (open-loop
+//! QPS sweep over the sharded wire-protocol server: achieved QPS and
+//! p50/p95/p99 latency per target; override via `BENCH_NET_JSON`, tune with
+//! `TSUNAMI_SHARDS`, `TSUNAMI_NET_QPS`, `TSUNAMI_NET_DURATION_MS`,
+//! `TSUNAMI_NET_CONNS`) so performance is tracked across PRs.
 //!
 //! The pool itself is tunable with `TSUNAMI_POOL_THREADS` (worker count,
 //! default `available_parallelism`) and `TSUNAMI_MORSEL_ROWS` (rows per
@@ -109,8 +114,9 @@ fn main() {
 
 fn print_usage() {
     eprintln!("usage: repro [EXPERIMENT] [--rows N] [--queries-per-type N] [--seed N]");
-    eprintln!("experiments: all, table3, table4, fig7, fig7par, fig7sched, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig12kern, check-bench");
-    eprintln!("fig12kern also writes BENCH_scan.json (override path with BENCH_SCAN_JSON); fig9b writes BENCH_ingest.json (BENCH_INGEST_JSON); fig7par writes BENCH_pool.json (BENCH_POOL_JSON)");
+    eprintln!("experiments: all, table3, table4, fig7, fig7par, fig7sched, fig7net, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig12kern, check-bench");
+    eprintln!("fig12kern also writes BENCH_scan.json (override path with BENCH_SCAN_JSON); fig9b writes BENCH_ingest.json (BENCH_INGEST_JSON); fig7par writes BENCH_pool.json (BENCH_POOL_JSON); fig7net writes BENCH_net.json (BENCH_NET_JSON)");
+    eprintln!("fig7net tuning: TSUNAMI_SHARDS, TSUNAMI_NET_QPS (comma-separated sweep), TSUNAMI_NET_DURATION_MS, TSUNAMI_NET_CONNS");
     eprintln!("pool tuning: TSUNAMI_POOL_THREADS (workers), TSUNAMI_MORSEL_ROWS (rows per morsel)");
     eprintln!("check-bench re-runs fig12kern and fails on >2.5x median regressions vs bench-baselines/BENCH_scan.json (BENCH_BASELINE_JSON)");
 }

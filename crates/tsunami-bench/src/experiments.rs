@@ -1016,6 +1016,7 @@ pub fn experiments() -> Vec<(&'static str, fn(&HarnessConfig) -> String)> {
         ("fig7", fig7),
         ("fig7par", fig7_parallel),
         ("fig7sched", fig7_scheduler),
+        ("fig7net", crate::net::fig7net),
         ("fig8", fig8),
         ("fig9a", fig9a),
         ("fig9b", fig9b),
@@ -1028,7 +1029,7 @@ pub fn experiments() -> Vec<(&'static str, fn(&HarnessConfig) -> String)> {
     ]
 }
 
-fn finish(t: Table) -> String {
+pub(crate) fn finish(t: Table) -> String {
     let rendered = t.render();
     println!("{rendered}");
     rendered
@@ -1065,6 +1066,7 @@ mod tests {
                 "fig7",
                 "fig7par",
                 "fig7sched",
+                "fig7net",
                 "fig8",
                 "fig9a",
                 "fig9b",

@@ -14,6 +14,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod net;
 pub mod table;
 
 pub use harness::{HarnessConfig, IndexReport};

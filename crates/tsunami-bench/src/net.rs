@@ -1,0 +1,495 @@
+//! `fig7net`: an open-loop network load generator over the `tsunami-server`
+//! wire protocol — the serving benchmark every later PR gets judged
+//! against.
+//!
+//! A K-shard [`ShardedDatabase`] of TPC-H rows is served on loopback and
+//! swept across target QPS levels with a mixed read/insert workload. The
+//! generator is **open-loop with a closed-form schedule**: operation `i` of
+//! an `N = target_qps × duration` run is due at `t_i = i / target_qps`
+//! regardless of how long earlier operations took, and latency is measured
+//! from the *scheduled* send time, so queueing delay under overload is
+//! charged to the server instead of silently self-throttling the client
+//! (the coordinated-omission trap closed-loop generators fall into).
+//!
+//! Correctness brackets the sweep: before serving, every aggregation is
+//! checked bit-identical between the sharded database and an unsharded
+//! oracle; after serving, the (deterministically generated) inserted rows
+//! are replayed into the oracle and the same bit-identity must hold over
+//! the grown table — sharded scatter-gather through live ingest never
+//! drifts from single-node semantics.
+//!
+//! Results land in `BENCH_net.json` (override with `BENCH_NET_JSON`):
+//! p50/p95/p99 latency and achieved QPS per target. Knobs:
+//! `TSUNAMI_SHARDS`, `TSUNAMI_NET_QPS` (comma-separated sweep),
+//! `TSUNAMI_NET_DURATION_MS`, `TSUNAMI_NET_CONNS`.
+
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use tsunami_core::sample::SplitMix;
+use tsunami_core::{Aggregation, Point, Predicate, Query, Workload};
+use tsunami_engine::{Database, IndexSpec, ShardedDatabase};
+use tsunami_server::{Client, Server, ServerConfig};
+use tsunami_workloads::tpch;
+
+use crate::harness::HarnessConfig;
+use crate::table::Table;
+
+const TABLE: &str = "lineitem";
+/// Every `INSERT_EVERY`-th operation is an insert (a 10% write mix).
+const INSERT_EVERY: usize = 10;
+/// Rows per insert operation.
+const INSERT_BATCH: usize = 8;
+
+/// Load-generator geometry, env-derived by default so CI smokes can shrink
+/// the sweep without touching code.
+#[derive(Debug, Clone)]
+pub struct NetOptions {
+    /// Shards behind the server (`TSUNAMI_SHARDS`, default 4).
+    pub shards: usize,
+    /// Concurrent client connections (`TSUNAMI_NET_CONNS`, default 4).
+    pub connections: usize,
+    /// Sweep duration per QPS target, milliseconds
+    /// (`TSUNAMI_NET_DURATION_MS`, default 1000).
+    pub duration_ms: u64,
+    /// QPS targets (`TSUNAMI_NET_QPS`, default `250,500,1000`).
+    pub targets: Vec<u64>,
+}
+
+impl NetOptions {
+    /// Reads the geometry from the environment.
+    pub fn from_env() -> Self {
+        let parse = |name: &str, default: u64| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(default)
+                .max(1)
+        };
+        let targets = std::env::var("TSUNAMI_NET_QPS")
+            .ok()
+            .map(|v| {
+                v.split(',')
+                    .filter_map(|t| t.trim().parse::<u64>().ok())
+                    .filter(|&t| t > 0)
+                    .collect::<Vec<_>>()
+            })
+            .filter(|t| !t.is_empty())
+            .unwrap_or_else(|| vec![250, 500, 1_000]);
+        Self {
+            shards: parse("TSUNAMI_SHARDS", 4) as usize,
+            connections: parse("TSUNAMI_NET_CONNS", 4) as usize,
+            duration_ms: parse("TSUNAMI_NET_DURATION_MS", 1_000),
+            targets,
+        }
+    }
+}
+
+/// One QPS target's measured outcome.
+#[derive(Debug, Clone)]
+struct SweepEntry {
+    target_qps: u64,
+    achieved_qps: f64,
+    ops: usize,
+    reads: usize,
+    insert_rows: usize,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+/// The registered `fig7net` experiment: env-derived geometry, JSON to
+/// `BENCH_net.json` (or `BENCH_NET_JSON`).
+pub fn fig7net(config: &HarnessConfig) -> String {
+    let path = std::env::var("BENCH_NET_JSON").unwrap_or_else(|_| "BENCH_net.json".to_string());
+    fig7net_impl(
+        config,
+        &NetOptions::from_env(),
+        Some(std::path::Path::new(&path)),
+    )
+}
+
+pub(crate) fn fig7net_impl(
+    config: &HarnessConfig,
+    opts: &NetOptions,
+    json_path: Option<&std::path::Path>,
+) -> String {
+    let data = tpch::generate(config.rows, config.seed);
+    let workload = tpch::workload(&data, config.queries_per_type, config.seed ^ 0x6e65_745f);
+    let spec = IndexSpec::Tsunami(config.tsunami_config());
+    let domains: Vec<u64> = (0..data.num_dims())
+        .map(|d| data.column(d).iter().copied().max().unwrap_or(0) + 1)
+        .collect();
+
+    // The unsharded oracle the sharded results must stay bit-identical to.
+    let mut oracle = Database::new();
+    oracle
+        .create_table(TABLE, &tpch::COLUMNS, data.clone(), &workload, &spec)
+        .expect("build oracle table");
+
+    let mut sharded = ShardedDatabase::new(opts.shards);
+    sharded
+        .create_table(TABLE, &tpch::COLUMNS, &data, &workload, &spec)
+        .expect("build sharded table");
+
+    // Pre-sweep differential: all five aggregations, sharded vs oracle.
+    assert_differential(&oracle, &sharded, &workload, "pre-sweep");
+
+    let db = Arc::new(RwLock::new(sharded));
+    let mut server = Server::spawn(Arc::clone(&db), ServerConfig::default()).expect("bind server");
+    let addr = server.addr();
+
+    let mut t = Table::new(
+        "Fig 7 (network): open-loop QPS sweep over the sharded wire-protocol server",
+        &[
+            "target qps",
+            "achieved qps",
+            "ops",
+            "insert rows",
+            "p50 (us)",
+            "p95 (us)",
+            "p99 (us)",
+        ],
+    );
+    let mut entries = Vec::new();
+    for (sweep, &target) in opts.targets.iter().enumerate() {
+        let entry = run_open_loop(addr, target, opts, sweep, config.seed, &workload, &domains);
+        t.add_row(vec![
+            entry.target_qps.to_string(),
+            format!("{:.1}", entry.achieved_qps),
+            entry.ops.to_string(),
+            entry.insert_rows.to_string(),
+            entry.p50_us.to_string(),
+            entry.p95_us.to_string(),
+            entry.p99_us.to_string(),
+        ]);
+        entries.push(entry);
+    }
+    let daemon_passes = server.daemon().passes();
+    server.shutdown();
+    drop(server);
+
+    // Post-sweep differential *through ingest*: replay the deterministic
+    // insert stream into the oracle and re-check bit-identity over the
+    // grown table.
+    let sharded = Arc::try_unwrap(db)
+        .expect("server released the database")
+        .into_inner()
+        .unwrap();
+    let mut replayed = 0usize;
+    for (sweep, &target) in opts.targets.iter().enumerate() {
+        let n_ops = sweep_ops(target, opts.duration_ms);
+        for op in 0..n_ops {
+            if is_insert(op) {
+                let rows = insert_rows(config.seed, sweep, op, &domains);
+                replayed += rows.len();
+                oracle.insert_batch(TABLE, &rows).expect("oracle ingest");
+            }
+        }
+    }
+    let grown = entries.iter().map(|e| e.insert_rows).sum::<usize>();
+    assert_eq!(
+        replayed, grown,
+        "replayed insert stream diverged from the sweep's"
+    );
+    assert_differential(&oracle, &sharded, &workload, "post-ingest");
+    eprintln!(
+        "# fig7net: {} rows ingested over the wire, {} daemon passes, post-ingest differential ok",
+        grown, daemon_passes
+    );
+
+    if let Some(path) = json_path {
+        match write_bench_net_json(path, config, opts, &entries) {
+            Ok(()) => eprintln!("# fig7net: wrote {}", path.display()),
+            Err(e) => eprintln!("# fig7net: could not write {}: {e}", path.display()),
+        }
+    }
+    crate::experiments::finish(t)
+}
+
+/// Total operations for one sweep: the closed-form `qps × duration`.
+fn sweep_ops(target_qps: u64, duration_ms: u64) -> usize {
+    ((target_qps as u128 * duration_ms as u128) / 1_000).max(1) as usize
+}
+
+/// Operation `op`'s class under the fixed read/insert mix.
+fn is_insert(op: usize) -> bool {
+    op % INSERT_EVERY == INSERT_EVERY - 1
+}
+
+/// The deterministic rows operation `op` of sweep `sweep` inserts — a pure
+/// function of (seed, sweep, op) so the oracle replay regenerates the exact
+/// stream the load generator sent.
+fn insert_rows(seed: u64, sweep: usize, op: usize, domains: &[u64]) -> Vec<Point> {
+    let mut rng = SplitMix::new(
+        seed ^ (sweep as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (op as u64).wrapping_mul(0xff51_afd7_ed55_8ccd),
+    );
+    (0..INSERT_BATCH)
+        .map(|_| domains.iter().map(|&d| rng.next_below(d.max(1))).collect())
+        .collect()
+}
+
+/// The read operation `op` issues: predicates from the reference workload,
+/// aggregation rotated through all five kinds so live traffic exercises
+/// every response variant and every merge rule.
+fn read_op(workload: &Workload, op: usize, num_dims: usize) -> (Vec<Predicate>, Aggregation) {
+    let q = &workload.queries()[op % workload.len()];
+    let dim = op % num_dims;
+    let agg = match op % 5 {
+        0 => Aggregation::Count,
+        1 => Aggregation::Sum(dim),
+        2 => Aggregation::Min(dim),
+        3 => Aggregation::Max(dim),
+        _ => Aggregation::Avg(dim),
+    };
+    (q.predicates().to_vec(), agg)
+}
+
+/// One open-loop sweep at `target` QPS: `connections` client threads share
+/// the schedule round-robin, each op due at `i / target` seconds after the
+/// common epoch, latency charged from the due time.
+fn run_open_loop(
+    addr: std::net::SocketAddr,
+    target: u64,
+    opts: &NetOptions,
+    sweep: usize,
+    seed: u64,
+    workload: &Workload,
+    domains: &[u64],
+) -> SweepEntry {
+    let n_ops = sweep_ops(target, opts.duration_ms);
+    let conns = opts.connections.min(n_ops).max(1);
+    let num_dims = domains.len();
+    let epoch = Instant::now();
+    let results: Vec<(Vec<u64>, usize, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect load client");
+                    let mut latencies = Vec::with_capacity(n_ops / conns + 1);
+                    let mut reads = 0usize;
+                    let mut insert_rows_sent = 0usize;
+                    let mut errors = 0usize;
+                    for op in (c..n_ops).step_by(conns) {
+                        let due = Duration::from_secs_f64(op as f64 / target as f64);
+                        if let Some(wait) = due.checked_sub(epoch.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let ok = if is_insert(op) {
+                            let rows = insert_rows(seed, sweep, op, domains);
+                            insert_rows_sent += rows.len();
+                            client.insert(TABLE, rows).is_ok()
+                        } else {
+                            reads += 1;
+                            let (preds, agg) = read_op(workload, op, num_dims);
+                            client.query(TABLE, preds, agg).is_ok()
+                        };
+                        if !ok {
+                            errors += 1;
+                        }
+                        latencies.push(epoch.elapsed().saturating_sub(due).as_micros() as u64);
+                    }
+                    (latencies, reads, insert_rows_sent, errors)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = epoch.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::with_capacity(n_ops);
+    let (mut reads, mut insert_rows_sent, mut errors) = (0, 0, 0);
+    for (l, r, i, e) in results {
+        latencies.extend(l);
+        reads += r;
+        insert_rows_sent += i;
+        errors += e;
+    }
+    assert_eq!(
+        errors, 0,
+        "the server answered {errors} operations with errors"
+    );
+    latencies.sort_unstable();
+    SweepEntry {
+        target_qps: target,
+        achieved_qps: latencies.len() as f64 / wall.max(f64::EPSILON),
+        ops: latencies.len(),
+        reads,
+        insert_rows: insert_rows_sent,
+        p50_us: percentile(&latencies, 50.0),
+        p95_us: percentile(&latencies, 95.0),
+        p99_us: percentile(&latencies, 99.0),
+    }
+}
+
+/// Nearest-rank percentile over sorted data.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Asserts all five aggregations bit-identical between the oracle table and
+/// the sharded one, over the reference workload's predicate sets.
+fn assert_differential(
+    oracle: &Database,
+    sharded: &ShardedDatabase,
+    workload: &Workload,
+    phase: &str,
+) {
+    let solo = oracle.table(TABLE).expect("oracle table");
+    let wide = sharded.table(TABLE).expect("sharded table");
+    assert_eq!(
+        solo.num_rows(),
+        wide.num_rows(),
+        "{phase}: row counts diverged"
+    );
+    let num_dims = solo.num_columns();
+    for (i, q) in workload.queries().iter().step_by(5).enumerate() {
+        let dim = i % num_dims;
+        for agg in [
+            Aggregation::Count,
+            Aggregation::Sum(dim),
+            Aggregation::Min(dim),
+            Aggregation::Max(dim),
+            Aggregation::Avg(dim),
+        ] {
+            let q = Query::new(q.predicates().to_vec(), agg).unwrap();
+            assert_eq!(
+                wide.execute(&q).unwrap(),
+                solo.execute(&q).unwrap(),
+                "{phase}: sharded result diverged on {q:?}"
+            );
+        }
+    }
+}
+
+/// Hand-rolled (the workspace is offline — no serde) machine-readable dump
+/// of the network sweep: per QPS target, achieved throughput and
+/// p50/p95/p99 latency from the scheduled send time.
+fn write_bench_net_json(
+    path: &std::path::Path,
+    config: &HarnessConfig,
+    opts: &NetOptions,
+    entries: &[SweepEntry],
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"experiment\": \"fig7net\",\n  \"rows\": {},\n  \"seed\": {},\n  \
+         \"shards\": {},\n  \"connections\": {},\n  \"duration_ms\": {},\n  \"entries\": [\n",
+        config.rows, config.seed, opts.shards, opts.connections, opts.duration_ms
+    ));
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"target_qps\": {}, \"achieved_qps\": {:.1}, \"ops\": {}, \
+             \"reads\": {}, \"insert_rows\": {}, \"p50_us\": {}, \"p95_us\": {}, \
+             \"p99_us\": {}}}{comma}\n",
+            e.target_qps,
+            e.achieved_qps,
+            e.ops,
+            e.reads,
+            e.insert_rows,
+            e.p50_us,
+            e.p95_us,
+            e.p99_us
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7net_tiny_sweep_completes_with_bit_identical_results() {
+        // The impl itself asserts the pre-sweep and post-ingest differentials
+        // and zero server errors; a completed run is the assertion.
+        let config = HarnessConfig {
+            rows: 2_500,
+            queries_per_type: 3,
+            seed: 11,
+        };
+        let opts = NetOptions {
+            shards: 4,
+            connections: 2,
+            duration_ms: 200,
+            targets: vec![200],
+        };
+        let out = fig7net_impl(&config, &opts, None);
+        assert!(out.contains("200"), "missing target row in:\n{out}");
+    }
+
+    #[test]
+    fn bench_net_json_is_well_formed() {
+        let dir = std::env::temp_dir().join("tsunami_bench_net_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_net.json");
+        let config = HarnessConfig::default();
+        let opts = NetOptions {
+            shards: 4,
+            connections: 4,
+            duration_ms: 1_000,
+            targets: vec![250, 500],
+        };
+        let entries = vec![
+            SweepEntry {
+                target_qps: 250,
+                achieved_qps: 249.6,
+                ops: 250,
+                reads: 225,
+                insert_rows: 200,
+                p50_us: 120,
+                p95_us: 340,
+                p99_us: 900,
+            },
+            SweepEntry {
+                target_qps: 500,
+                achieved_qps: 498.0,
+                ops: 500,
+                reads: 450,
+                insert_rows: 400,
+                p50_us: 130,
+                p95_us: 400,
+                p99_us: 1_200,
+            },
+        ];
+        write_bench_net_json(&path, &config, &opts, &entries).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains("\"experiment\": \"fig7net\""));
+        assert!(s.contains("\"target_qps\": 500"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert!(!s.contains(",\n  ]"), "trailing comma in entries array");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn percentiles_and_schedule_are_sane() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        // Nearest rank over 0..=99 indices: 49.5 rounds up, 98.01 rounds down.
+        assert_eq!(percentile(&sorted, 50.0), 51);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&[], 99.0), 0);
+        assert_eq!(sweep_ops(1_000, 250), 250);
+        assert_eq!(sweep_ops(1, 1), 1);
+        // The mix is 10% inserts.
+        let inserts = (0..100).filter(|&op| is_insert(op)).count();
+        assert_eq!(inserts, 10);
+        // Insert rows are deterministic.
+        let domains = vec![10, 20, 30];
+        assert_eq!(
+            insert_rows(1, 2, 3, &domains),
+            insert_rows(1, 2, 3, &domains)
+        );
+        assert_ne!(
+            insert_rows(1, 2, 3, &domains),
+            insert_rows(1, 2, 4, &domains)
+        );
+    }
+}

@@ -18,6 +18,11 @@
 //!   work-stealing pool (the same pool the intra-query morsel executor
 //!   uses), with batch execution and a bounded submit/poll queue with
 //!   backpressure. Tune with [`SchedulerConfig`].
+//! * [`ShardedDatabase`] — hash-partitions a table's rows across K
+//!   independent `Database` shards and scatter-gathers queries through the
+//!   shared pool with commutative merges (AVG as exact sum+count pairs), so
+//!   sharded results stay bit-identical to an unsharded table. This is the
+//!   substrate the `tsunami-server` network front-end serves.
 //! * **Workload-shift adaptation** — [`Table::record_query`] feeds a bounded
 //!   observation log, [`Database::auto_reoptimize`] detects drift from the
 //!   optimized-for workload, and [`Database::reoptimize`] re-optimizes
@@ -64,6 +69,7 @@ pub mod database;
 pub mod prepared;
 pub mod scheduler;
 pub mod schema;
+pub mod sharded;
 pub mod spec;
 pub mod table;
 
@@ -72,6 +78,7 @@ pub use database::Database;
 pub use prepared::PreparedQuery;
 pub use scheduler::{QueryHandle, Scheduler, SchedulerConfig};
 pub use schema::{ColumnRef, Schema};
+pub use sharded::{shard_of, ShardedDatabase, ShardedTable};
 pub use spec::{IndexSpec, PageSize, SharedIndex};
 pub use table::Table;
 // Re-exported so engine users can inspect incremental re-optimization and

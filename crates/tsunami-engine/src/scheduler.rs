@@ -38,9 +38,11 @@ use tsunami_core::{AggResult, IndexStats, Result, TsunamiError};
 
 use crate::prepared::PreparedQuery;
 
-/// What a drainer writes into a completion slot: the result and counters, or
-/// the caught panic payload of a query that blew up mid-execution.
-type Outcome = std::result::Result<(AggResult, IndexStats), String>;
+/// What gets written into a completion slot: the result and counters, or the
+/// error the query resolved with — [`TsunamiError::QueryPanicked`] when it
+/// blew up mid-execution, [`TsunamiError::SchedulerShutdown`] when the
+/// scheduler was dropped before a drainer picked it up.
+type Outcome = std::result::Result<(AggResult, IndexStats), TsunamiError>;
 
 /// Completion slot shared between a drainer and the submitter's handle.
 struct Slot {
@@ -64,8 +66,9 @@ impl Slot {
 
 /// A handle to one submitted query. Obtained from [`Scheduler::submit`];
 /// poll for completion or block until the result is ready. A query that
-/// panicked on its worker resolves to [`TsunamiError::QueryPanicked`]
-/// instead of hanging the waiter.
+/// panicked on its worker resolves to [`TsunamiError::QueryPanicked`], and
+/// one still queued when the scheduler dropped resolves to
+/// [`TsunamiError::SchedulerShutdown`] — a handle never hangs its waiter.
 pub struct QueryHandle {
     slot: Arc<Slot>,
 }
@@ -92,7 +95,7 @@ impl QueryHandle {
         let mut guard = self.slot.result.lock().unwrap();
         loop {
             if let Some(outcome) = guard.clone() {
-                return outcome.map_err(TsunamiError::QueryPanicked);
+                return outcome;
             }
             guard = self.slot.done.wait(guard).unwrap();
         }
@@ -100,7 +103,7 @@ impl QueryHandle {
 }
 
 fn to_result(outcome: Outcome) -> Result<AggResult> {
-    outcome.map(|(r, _)| r).map_err(TsunamiError::QueryPanicked)
+    outcome.map(|(r, _)| r)
 }
 
 // Private accessor used by poll/is_done (kept out of the public surface).
@@ -159,7 +162,10 @@ struct Shared {
 }
 
 /// A bounded query queue drained by tasks on the shared work-stealing pool.
-/// Dropping the scheduler finishes all queued queries before returning.
+/// Dropping the scheduler waits for in-flight queries to finish and resolves
+/// still-queued ones with [`TsunamiError::SchedulerShutdown`] — waiters on
+/// their handles (e.g. server connections mid-request) unblock with an error
+/// instead of hanging.
 pub struct Scheduler {
     shared: Arc<Shared>,
 }
@@ -306,14 +312,25 @@ impl Scheduler {
 
 impl Drop for Scheduler {
     fn drop(&mut self) {
+        let cancelled = {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            // Wake blocked submitters so they observe the shutdown.
+            self.shared.space_ready.notify_all();
+            std::mem::take(&mut state.jobs)
+        };
+        // Resolve queued-but-unstarted queries instead of executing them: a
+        // waiter blocked on its handle (a server connection mid-request, say)
+        // gets SchedulerShutdown rather than hanging on work that will never
+        // be drained. Slots are filled outside the lock — in-flight drainers
+        // keep retiring concurrently.
+        for (_query, slot) in cancelled {
+            slot.fill(Err(TsunamiError::SchedulerShutdown));
+        }
+        // Wait only for queries already executing on a drainer; the last one
+        // to retire with an empty queue signals `idle`.
         let mut state = self.shared.state.lock().unwrap();
-        state.shutdown = true;
-        // Wake blocked submitters so they observe the shutdown...
-        self.shared.space_ready.notify_all();
-        // ...and wait for the drainers to finish every queued query. Queued
-        // jobs guarantee active >= 1 (enqueue spawns before releasing the
-        // lock), so the last retiring drainer always signals `idle`.
-        while !(state.jobs.is_empty() && state.active == 0) {
+        while state.active != 0 {
             state = self.shared.idle.wait(state).unwrap();
         }
     }
@@ -349,11 +366,13 @@ fn drain(shared: &Shared) {
             }
         }))
         .map_err(|payload| {
-            payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string())
+            TsunamiError::QueryPanicked(
+                payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string()),
+            )
         });
         // Count before filling: once `fill` wakes a waiter, the query must
         // already be visible in `completed()`.
@@ -508,7 +527,7 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_rejects_new_work_but_finishes_queued_work() {
+    fn shutdown_resolves_every_handle_with_a_result_or_shutdown_error() {
         let t = table();
         let q = t.query().range("a", 0, 99).unwrap().prepare().unwrap();
         let scheduler = Scheduler::new(2);
@@ -516,10 +535,118 @@ mod tests {
             .map(|_| scheduler.submit(q.clone()).unwrap())
             .collect();
         drop(scheduler);
-        // Every queued query still completed before the scheduler released.
+        // Every handle resolved by the time drop returned: in-flight queries
+        // with their real result, still-queued ones with SchedulerShutdown.
         for h in handles {
-            assert_eq!(h.wait().unwrap().as_count(), Some(100));
+            assert!(h.is_done());
+            match h.wait() {
+                Ok(r) => assert_eq!(r.as_count(), Some(100)),
+                Err(TsunamiError::SchedulerShutdown) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
         }
+    }
+
+    #[test]
+    fn drop_resolves_unstarted_handles_instead_of_hanging() {
+        use tsunami_core::exec::pool::WorkStealingPool;
+        use tsunami_core::exec::{ScanPlan, ScanSource};
+        use tsunami_core::{BuildTiming, Dataset, MultiDimIndex, Query};
+
+        /// An index whose planner blocks on an external gate — stands in for
+        /// any long-running query occupying the only drainer. `entered`
+        /// flips when the planner is reached, so the test can tell the
+        /// drainer has actually dequeued the query.
+        struct Gated {
+            data: Dataset,
+            gate: Arc<(Mutex<GateState>, Condvar)>,
+        }
+        #[derive(Default)]
+        struct GateState {
+            entered: bool,
+            open: bool,
+        }
+        impl MultiDimIndex for Gated {
+            fn name(&self) -> &str {
+                "Gated"
+            }
+            fn source(&self) -> &dyn ScanSource {
+                &self.data
+            }
+            fn plan(&self, _query: &Query) -> ScanPlan {
+                let (lock, cv) = &*self.gate;
+                let mut state = lock.lock().unwrap();
+                state.entered = true;
+                cv.notify_all();
+                while !state.open {
+                    state = cv.wait(state).unwrap();
+                }
+                ScanPlan::full(self.data.len())
+            }
+            fn size_bytes(&self) -> usize {
+                0
+            }
+            fn build_timing(&self) -> BuildTiming {
+                BuildTiming::default()
+            }
+        }
+
+        let gate = Arc::new((Mutex::new(GateState::default()), Condvar::new()));
+        let data = Dataset::from_columns(vec![(0..100u64).collect()]).unwrap();
+        let mut db = Database::new();
+        let t = db
+            .register_table(
+                "gated",
+                crate::schema::Schema::numbered(1),
+                data.clone(),
+                Box::new(Gated {
+                    data,
+                    gate: Arc::clone(&gate),
+                }),
+            )
+            .unwrap();
+
+        // One drainer total: the gated query occupies it, so the remaining
+        // submissions stay queued until drop cancels them.
+        let pool = Arc::new(WorkStealingPool::new(1));
+        let scheduler = Scheduler::on_pool(
+            pool,
+            SchedulerConfig {
+                workers: 1,
+                ..SchedulerConfig::default()
+            },
+        );
+        let q = t.query().prepare().unwrap();
+        let blocked = scheduler.submit(q.clone()).unwrap();
+        {
+            // Only once the drainer is provably inside the gated planner are
+            // further submissions guaranteed to stay queued.
+            let (lock, cv) = &*gate;
+            let mut state = lock.lock().unwrap();
+            while !state.entered {
+                state = cv.wait(state).unwrap();
+            }
+        }
+        let queued: Vec<_> = (0..4)
+            .map(|_| scheduler.submit(q.clone()).unwrap())
+            .collect();
+
+        // A waiter holding the queued handles, like a server connection
+        // blocked mid-request. It only opens the gate (letting the in-flight
+        // query and therefore `drop` finish) after all queued handles
+        // resolved with SchedulerShutdown — with the old drop-executes-all
+        // semantics this test deadlocks instead of passing.
+        let waiter = std::thread::spawn(move || {
+            for h in queued {
+                assert!(matches!(h.wait(), Err(TsunamiError::SchedulerShutdown)));
+            }
+            let (lock, cv) = &*gate;
+            lock.lock().unwrap().open = true;
+            cv.notify_all();
+        });
+        drop(scheduler);
+        waiter.join().unwrap();
+        assert_eq!(blocked.wait().unwrap().as_count(), Some(100));
     }
 
     #[test]

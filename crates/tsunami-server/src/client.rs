@@ -1,0 +1,152 @@
+//! A minimal blocking client for the wire protocol — one request in flight
+//! per connection, which is exactly the shape the open-loop load generator
+//! and the tests need.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use tsunami_core::{AggResult, Aggregation, Point, Predicate};
+
+use crate::protocol::{
+    self, read_frame, write_frame, FrameError, FrameRead, Request, Response, WireError,
+};
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, EOF mid-response).
+    Io(std::io::Error),
+    /// The server's bytes did not decode.
+    Wire(WireError),
+    /// The server answered with a typed error.
+    Server {
+        /// One of [`protocol::code`]'s constants.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with the wrong response kind for the request.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected response kind: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Oversized { len, max } => ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response frame of {len} bytes exceeds the {max}-byte limit"),
+            )),
+        }
+    }
+}
+
+/// A blocking connection to a `tsunami-server`.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects with the environment-derived max frame size
+    /// ([`protocol::max_frame_from_env`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with(addr, protocol::max_frame_from_env())
+    }
+
+    /// Connects with an explicit max frame size.
+    pub fn connect_with(addr: impl ToSocketAddrs, max_frame: usize) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, max_frame })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Executes `aggregation` over the rows of `table` matching every
+    /// predicate and returns the typed result.
+    pub fn query(
+        &mut self,
+        table: &str,
+        predicates: Vec<Predicate>,
+        aggregation: Aggregation,
+    ) -> Result<AggResult, ClientError> {
+        let request = Request::Query {
+            table: table.to_string(),
+            predicates,
+            aggregation,
+        };
+        match self.call(&request)? {
+            Response::Result(r) => Ok(r),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Appends rows to `table`; returns the number of rows the server
+    /// acknowledged.
+    pub fn insert(&mut self, table: &str, rows: Vec<Point>) -> Result<u64, ClientError> {
+        let request = Request::Insert {
+            table: table.to_string(),
+            rows,
+        };
+        match self.call(&request)? {
+            Response::Inserted(n) => Ok(n),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Sends one request frame and reads one response frame.
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = request.encode()?;
+        write_frame(&mut self.stream, &payload)?;
+        match read_frame(&mut self.stream, self.max_frame)? {
+            FrameRead::Frame(payload) => Ok(Response::decode(&payload)?),
+            FrameRead::Eof => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ))),
+        }
+    }
+}
+
+fn unexpected(response: Response) -> ClientError {
+    match response {
+        Response::Error { code, message } => ClientError::Server { code, message },
+        Response::Result(_) => ClientError::Unexpected("result"),
+        Response::Pong => ClientError::Unexpected("pong"),
+        Response::Inserted(_) => ClientError::Unexpected("inserted"),
+    }
+}

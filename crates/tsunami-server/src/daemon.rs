@@ -1,0 +1,120 @@
+//! The auto-reoptimize daemon: a watermark-triggered background task on the
+//! shared work-stealing pool.
+//!
+//! Connection handlers call [`ReoptDaemon::notify`] after every served
+//! operation. Once the count of operations since the last pass crosses the
+//! watermark, the daemon spawns **one** task onto the pool that runs
+//! [`ShardedDatabase::auto_reoptimize_all`] — each shard's
+//! `Database::auto_reoptimize` then decides, per table, whether observed
+//! workload drift or ingest-driven data drift actually warrants
+//! re-optimizing. Quiet shards are a cheap no-op, so the watermark only
+//! bounds how often the check runs, not how often indexes rebuild.
+//!
+//! There are no dedicated threads and no polling loop: with no traffic
+//! there are no notifications, hence no work — the "daemon" is latent state
+//! plus an occasional pool task, which is the right shape for a pool that
+//! also carries query morsels.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use tsunami_core::exec::pool::WorkStealingPool;
+use tsunami_engine::ShardedDatabase;
+
+/// Watermark-triggered re-optimization over a shared [`ShardedDatabase`].
+/// Cheap to clone; all clones share one trigger state.
+#[derive(Clone)]
+pub struct ReoptDaemon {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    db: Arc<RwLock<ShardedDatabase>>,
+    pool: Arc<WorkStealingPool>,
+    /// Operations between drift checks; `0` disables the daemon.
+    watermark: u64,
+    /// Operations observed since the last pass was scheduled.
+    since: AtomicU64,
+    /// True while a pass is queued or running — at most one in flight.
+    in_flight: AtomicBool,
+    /// Completed passes (drift checks), for observability and tests.
+    passes: AtomicU64,
+    /// Total shard re-optimizations those passes applied.
+    reoptimized: AtomicU64,
+}
+
+impl ReoptDaemon {
+    /// A daemon over `db` firing every `watermark` operations (`0` = never).
+    pub fn new(db: Arc<RwLock<ShardedDatabase>>, watermark: u64) -> Self {
+        let pool = Arc::clone(db.read().unwrap().pool());
+        Self {
+            inner: Arc::new(Inner {
+                db,
+                pool,
+                watermark,
+                since: AtomicU64::new(0),
+                in_flight: AtomicBool::new(false),
+                passes: AtomicU64::new(0),
+                reoptimized: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records `ops` served operations and, when the watermark is crossed
+    /// and no pass is already in flight, spawns one drift-check pass onto
+    /// the pool. Never blocks: the caller is a connection handler on its
+    /// latency path.
+    pub fn notify(&self, ops: u64) {
+        let inner = &self.inner;
+        if inner.watermark == 0 {
+            return;
+        }
+        if inner.since.fetch_add(ops, Ordering::Relaxed) + ops < inner.watermark {
+            return;
+        }
+        if inner.in_flight.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        inner.since.store(0, Ordering::Relaxed);
+        let task = Arc::clone(inner);
+        inner.pool.spawn(move || {
+            let applied = task.db.write().unwrap().auto_reoptimize_all().unwrap_or(0);
+            task.reoptimized
+                .fetch_add(applied as u64, Ordering::Relaxed);
+            task.passes.fetch_add(1, Ordering::Release);
+            task.in_flight.store(false, Ordering::Release);
+        });
+    }
+
+    /// The configured watermark (`0` = disabled).
+    pub fn watermark(&self) -> u64 {
+        self.inner.watermark
+    }
+
+    /// Completed drift-check passes.
+    pub fn passes(&self) -> u64 {
+        self.inner.passes.load(Ordering::Acquire)
+    }
+
+    /// Total shard re-optimizations applied across all passes.
+    pub fn reoptimized(&self) -> u64 {
+        self.inner.reoptimized.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until any in-flight pass has finished (tests and shutdown).
+    pub fn quiesce(&self) {
+        while self.inner.in_flight.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl std::fmt::Debug for ReoptDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReoptDaemon")
+            .field("watermark", &self.inner.watermark)
+            .field("passes", &self.passes())
+            .field("reoptimized", &self.reoptimized())
+            .finish()
+    }
+}

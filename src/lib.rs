@@ -22,7 +22,7 @@
 //! shared scan executor.
 
 pub use tsunami_engine::{
-    ColumnRef, Database, IndexSpec, PageSize, PreparedQuery, QueryBuilder, QueryHandle,
-    ReoptReport, Scheduler, SchedulerConfig, Schema, SharedIndex, ShiftReport, Table,
-    WorkloadMonitor,
+    shard_of, ColumnRef, Database, IndexSpec, PageSize, PreparedQuery, QueryBuilder, QueryHandle,
+    ReoptReport, Scheduler, SchedulerConfig, Schema, ShardedDatabase, ShardedTable, SharedIndex,
+    ShiftReport, Table, WorkloadMonitor,
 };

@@ -1,0 +1,366 @@
+//! Wire-protocol coverage: a seeded round-trip property loop over every
+//! request/response variant, rejection of truncated/oversized/garbage
+//! frames, and a multi-client loopback differential asserting sharded
+//! results bit-identical to an unsharded `Database` for all five
+//! aggregations, through ingest.
+
+use std::sync::{Arc, RwLock};
+
+use tsunami_core::sample::SplitMix;
+use tsunami_core::{AggResult, Aggregation, Dataset, Point, Predicate, Query, Workload};
+use tsunami_engine::{Database, IndexSpec, ShardedDatabase};
+use tsunami_server::protocol::{
+    read_frame, write_frame, FrameError, FrameRead, WireError, DEFAULT_MAX_FRAME,
+};
+use tsunami_server::{Client, ClientError, Request, Response, Server, ServerConfig};
+
+fn arbitrary_aggregation(rng: &mut SplitMix) -> Aggregation {
+    let dim = rng.next_below(64) as usize;
+    match rng.next_below(5) {
+        0 => Aggregation::Count,
+        1 => Aggregation::Sum(dim),
+        2 => Aggregation::Min(dim),
+        3 => Aggregation::Max(dim),
+        _ => Aggregation::Avg(dim),
+    }
+}
+
+fn arbitrary_string(rng: &mut SplitMix) -> String {
+    let len = rng.next_below(20) as usize;
+    (0..len)
+        .map(|_| char::from(b'a' + rng.next_below(26) as u8))
+        .collect()
+}
+
+fn arbitrary_request(rng: &mut SplitMix) -> Request {
+    match rng.next_below(3) {
+        0 => {
+            let n = rng.next_below(6) as usize;
+            let predicates = (0..n)
+                .map(|_| {
+                    let lo = rng.next_u64();
+                    // Unvalidated on the wire: inverted ranges must survive
+                    // transport so the server can reject them semantically.
+                    Predicate {
+                        dim: rng.next_below(64) as usize,
+                        lo,
+                        hi: lo.wrapping_add(rng.next_below(1 << 20)),
+                    }
+                })
+                .collect();
+            Request::Query {
+                table: arbitrary_string(rng),
+                predicates,
+                aggregation: arbitrary_aggregation(rng),
+            }
+        }
+        1 => {
+            let cols = 1 + rng.next_below(6) as usize;
+            let n = rng.next_below(10) as usize;
+            let rows = (0..n)
+                .map(|_| (0..cols).map(|_| rng.next_u64()).collect::<Point>())
+                .collect();
+            Request::Insert {
+                table: arbitrary_string(rng),
+                rows,
+            }
+        }
+        _ => Request::Ping,
+    }
+}
+
+fn arbitrary_response(rng: &mut SplitMix) -> Response {
+    let opt = |rng: &mut SplitMix| {
+        if rng.next_below(4) == 0 {
+            None
+        } else {
+            Some(rng.next_u64())
+        }
+    };
+    match rng.next_below(4) {
+        0 => Response::Result(match rng.next_below(5) {
+            0 => AggResult::Count(rng.next_u64()),
+            1 => AggResult::Sum((rng.next_u64() as u128) << 64 | rng.next_u64() as u128),
+            2 => AggResult::Min(opt(rng)),
+            3 => AggResult::Max(opt(rng)),
+            _ => AggResult::Avg(opt(rng).map(|v| v as f64 / 7.0)),
+        }),
+        1 => Response::Error {
+            code: rng.next_below(u16::MAX as u64 + 1) as u16,
+            message: arbitrary_string(rng),
+        },
+        2 => Response::Pong,
+        _ => Response::Inserted(rng.next_u64()),
+    }
+}
+
+#[test]
+fn every_message_variant_round_trips_through_its_frame() {
+    let mut rng = SplitMix::new(0xf2a3e);
+    let (mut saw_query, mut saw_insert, mut saw_ping) = (false, false, false);
+    for _ in 0..500 {
+        let request = arbitrary_request(&mut rng);
+        match request {
+            Request::Query { .. } => saw_query = true,
+            Request::Insert { .. } => saw_insert = true,
+            Request::Ping => saw_ping = true,
+        }
+        let payload = request.encode().unwrap();
+        assert_eq!(Request::decode(&payload).unwrap(), request);
+        // Through the framed transport too.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        match read_frame(&mut &buf[..], DEFAULT_MAX_FRAME).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, payload),
+            FrameRead::Eof => panic!("lost the frame"),
+        }
+
+        let response = arbitrary_response(&mut rng);
+        let payload = response.encode().unwrap();
+        assert_eq!(Response::decode(&payload).unwrap(), response);
+    }
+    assert!(saw_query && saw_insert && saw_ping, "variant coverage hole");
+}
+
+#[test]
+fn truncated_frames_are_rejected_at_every_cut_point() {
+    let request = Request::Query {
+        table: "trips".to_string(),
+        predicates: vec![Predicate::range(0, 5, 10).unwrap()],
+        aggregation: Aggregation::Avg(1),
+    };
+    let payload = request.encode().unwrap();
+    for cut in 0..payload.len() {
+        let err = Request::decode(&payload[..cut]).unwrap_err();
+        assert!(
+            matches!(err, WireError::Truncated),
+            "cut at {cut} gave {err:?}"
+        );
+    }
+    let response = Response::Result(AggResult::Sum(u128::MAX - 3));
+    let payload = response.encode().unwrap();
+    for cut in 0..payload.len() {
+        assert!(Response::decode(&payload[..cut]).is_err(), "cut at {cut}");
+    }
+}
+
+#[test]
+fn garbage_and_oversized_frames_are_rejected() {
+    // Deterministic garbage payloads: decoding must error, never panic or
+    // silently accept.
+    let mut rng = SplitMix::new(77);
+    let mut rejected = 0;
+    for _ in 0..300 {
+        let len = rng.next_below(64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_below(256) as u8).collect();
+        if Request::decode(&bytes).is_err() {
+            rejected += 1;
+        }
+    }
+    // Random bytes occasionally spell a valid tiny message (e.g. a Ping);
+    // near-all must be rejected.
+    assert!(
+        rejected >= 295,
+        "only {rejected}/300 garbage frames rejected"
+    );
+
+    // An oversized length prefix fails before the payload is read.
+    let mut buf = Vec::new();
+    buf.extend(((DEFAULT_MAX_FRAME + 1) as u32).to_be_bytes());
+    assert!(matches!(
+        read_frame(&mut &buf[..], DEFAULT_MAX_FRAME),
+        Err(FrameError::Oversized { .. })
+    ));
+}
+
+fn test_dataset(n: u64) -> Dataset {
+    Dataset::from_columns(vec![
+        (0..n).collect(),
+        (0..n).map(|v| v.wrapping_mul(13) % 997).collect(),
+        (0..n).map(|v| v / 3).collect(),
+    ])
+    .unwrap()
+}
+
+fn all_aggregations(dim: usize) -> [Aggregation; 5] {
+    [
+        Aggregation::Count,
+        Aggregation::Sum(dim),
+        Aggregation::Min(dim),
+        Aggregation::Max(dim),
+        Aggregation::Avg(dim),
+    ]
+}
+
+/// The satellite differential: several clients hammer a K=4 sharded server
+/// concurrently, every response is compared bit-for-bit against an
+/// unsharded `Database` over the same rows, for all five aggregations —
+/// then again after rows arrive over the wire.
+#[test]
+fn multi_client_sharded_results_match_unsharded_through_ingest() {
+    let data = test_dataset(4_000);
+    let columns = ["a", "b", "c"];
+    let spec = IndexSpec::FullScan;
+
+    let mut oracle = Database::new();
+    oracle
+        .create_table("t", &columns, data.clone(), &Workload::default(), &spec)
+        .unwrap();
+
+    let mut sharded = ShardedDatabase::new(4);
+    sharded
+        .create_table("t", &columns, &data, &Workload::default(), &spec)
+        .unwrap();
+    let db = Arc::new(RwLock::new(sharded));
+    let mut server = Server::spawn(Arc::clone(&db), ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let check_clients = |oracle: &Database| {
+        let solo = oracle.table("t").unwrap();
+        std::thread::scope(|scope| {
+            for client_id in 0..4u64 {
+                let solo = solo.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut rng = SplitMix::new(0xc11e47 + client_id);
+                    for _ in 0..25 {
+                        let dim = rng.next_below(3) as usize;
+                        let lo = rng.next_below(4_000);
+                        let hi = lo + rng.next_below(2_000);
+                        let preds = vec![Predicate::range(0, lo, hi).unwrap()];
+                        for agg in all_aggregations(dim) {
+                            let expected = solo
+                                .execute(&Query::new(preds.clone(), agg).unwrap())
+                                .unwrap();
+                            let got = client.query("t", preds.clone(), agg).unwrap();
+                            assert_eq!(got, expected, "client {client_id} diverged on {agg:?}");
+                        }
+                    }
+                });
+            }
+        });
+    };
+
+    check_clients(&oracle);
+
+    // Ingest over the wire, mirror into the oracle, re-check.
+    let extra: Vec<Point> = (4_000u64..4_500)
+        .map(|v| vec![v, v.wrapping_mul(13) % 997, v / 3])
+        .collect();
+    let mut writer = Client::connect(addr).unwrap();
+    assert_eq!(writer.insert("t", extra.clone()).unwrap(), 500);
+    oracle.insert_batch("t", &extra).unwrap();
+    assert_eq!(db.read().unwrap().num_rows("t").unwrap(), 4_500);
+
+    check_clients(&oracle);
+
+    server.shutdown();
+}
+
+#[test]
+fn semantic_errors_come_back_typed_and_the_connection_survives() {
+    let data = test_dataset(100);
+    let mut sharded = ShardedDatabase::new(2);
+    sharded
+        .create_table(
+            "t",
+            &["a", "b", "c"],
+            &data,
+            &Workload::default(),
+            &IndexSpec::FullScan,
+        )
+        .unwrap();
+    let mut server =
+        Server::spawn(Arc::new(RwLock::new(sharded)), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Unknown table.
+    match client.query("missing", vec![], Aggregation::Count) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, tsunami_server::protocol::code::UNKNOWN_TABLE)
+        }
+        other => panic!("expected UNKNOWN_TABLE, got {other:?}"),
+    }
+    // Out-of-bounds aggregation dimension.
+    match client.query("t", vec![], Aggregation::Sum(9)) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, tsunami_server::protocol::code::INVALID_QUERY)
+        }
+        other => panic!("expected INVALID_QUERY, got {other:?}"),
+    }
+    // Inverted range survives the wire and is rejected semantically.
+    match client.query(
+        "t",
+        vec![Predicate {
+            dim: 0,
+            lo: 9,
+            hi: 3,
+        }],
+        Aggregation::Count,
+    ) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, tsunami_server::protocol::code::INVALID_QUERY)
+        }
+        other => panic!("expected INVALID_QUERY, got {other:?}"),
+    }
+    // Mismatched insert arity leaves the table untouched.
+    match client.insert("t", vec![vec![1, 2]]) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, tsunami_server::protocol::code::INVALID_QUERY)
+        }
+        other => panic!("expected INVALID_QUERY, got {other:?}"),
+    }
+    // The connection still serves after every rejection.
+    client.ping().unwrap();
+    assert_eq!(
+        client.query("t", vec![], Aggregation::Count).unwrap(),
+        AggResult::Count(100)
+    );
+    assert!(
+        server
+            .stats()
+            .errors
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 4
+    );
+    server.shutdown();
+}
+
+#[test]
+fn reopt_daemon_fires_on_watermark_and_results_stay_correct() {
+    let data = test_dataset(2_000);
+    let mut sharded = ShardedDatabase::new(2);
+    sharded
+        .create_table(
+            "t",
+            &["a", "b", "c"],
+            &data,
+            &Workload::default(),
+            &IndexSpec::FullScan,
+        )
+        .unwrap();
+    let mut server = Server::spawn(
+        Arc::new(RwLock::new(sharded)),
+        ServerConfig {
+            reopt_watermark: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for i in 0..64u64 {
+        let preds = vec![Predicate::range(0, i * 8, i * 8 + 200).unwrap()];
+        client.query("t", preds, Aggregation::Count).unwrap();
+    }
+    server.daemon().quiesce();
+    assert!(
+        server.daemon().passes() >= 1,
+        "watermark 16 never fired over 64 served queries"
+    );
+    // Still answering correctly after any daemon activity.
+    assert_eq!(
+        client.query("t", vec![], Aggregation::Count).unwrap(),
+        AggResult::Count(2_000)
+    );
+    server.shutdown();
+}
