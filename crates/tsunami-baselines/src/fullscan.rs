@@ -41,6 +41,30 @@ impl FullScanIndex {
             },
         }
     }
+
+    /// Tombstones the rows matching `query`'s predicates, returning the new
+    /// index and the number of rows newly deleted. A full scan has no layout
+    /// to protect, so compaction is a simple policy: once the majority of
+    /// rows are dead, the dead rows are physically dropped.
+    pub fn delete_where(&self, query: &Query) -> (Self, usize) {
+        let start = Instant::now();
+        let mut store = self.store.clone();
+        let deleted = store.delete_where(query);
+        if store.tombstones().deleted() * 2 > store.len() {
+            let n = store.len();
+            store.drop_deleted_in(0..n);
+        }
+        (
+            Self {
+                store,
+                timing: BuildTiming {
+                    sort_secs: start.elapsed().as_secs_f64(),
+                    optimize_secs: 0.0,
+                },
+            },
+            deleted,
+        )
+    }
 }
 
 impl MultiDimIndex for FullScanIndex {
@@ -85,6 +109,30 @@ mod tests {
         assert_eq!(idx.execute(&q), q.execute_full_scan(&data));
         assert_eq!(idx.size_bytes(), 0);
         assert_eq!(idx.name(), "FullScan");
+    }
+
+    #[test]
+    fn delete_where_tombstones_then_compacts_past_half_dead() {
+        let data = Dataset::from_columns(vec![(0..100u64).collect(), (0..100u64).rev().collect()])
+            .unwrap();
+        let idx = FullScanIndex::build(&data);
+        // A small delete stays tombstoned...
+        let del = Query::count(vec![Predicate::range(0, 0, 9).unwrap()]).unwrap();
+        let (after, n) = idx.delete_where(&del);
+        assert_eq!(n, 10);
+        assert_eq!(after.store.len(), 100);
+        assert_eq!(after.store.live_len(), 90);
+        let q = Query::count(vec![Predicate::range(0, 0, 19).unwrap()]).unwrap();
+        assert_eq!(after.execute(&q), AggResult::Count(10));
+        // ...a majority-dead store compacts physically.
+        let big = Query::count(vec![Predicate::range(0, 0, 79).unwrap()]).unwrap();
+        let (compacted, n) = after.delete_where(&big);
+        assert_eq!(n, 70);
+        assert_eq!(compacted.store.len(), 20);
+        assert_eq!(compacted.execute(&q), AggResult::Count(0));
+        // Idempotent on the already-deleted band.
+        let (_, n) = compacted.delete_where(&big);
+        assert_eq!(n, 0);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //!
 //! `EXPERIMENT` is one of `table3`, `table4`, `fig7`, `fig7par`,
 //! `fig7sched`, `fig7net`, `fig8`, `fig9a`, `fig9b`, `fig10`, `fig11a`,
-//! `fig11b`, `fig12a`, `fig12b`, `fig12kern`, `check-bench`, or `all`
-//! (default). Run in release mode:
+//! `fig11b`, `fig12a`, `fig12b`, `fig12kern`, `walbench`, `check-bench`,
+//! or `all` (default). Run in release mode:
 //! `cargo run --release -p tsunami-bench --bin repro -- fig7`.
 //!
 //! `fig12kern` additionally writes machine-readable `BENCH_scan.json`
@@ -23,7 +23,10 @@
 //! QPS sweep over the sharded wire-protocol server: achieved QPS and
 //! p50/p95/p99 latency per target; override via `BENCH_NET_JSON`, tune with
 //! `TSUNAMI_SHARDS`, `TSUNAMI_NET_QPS`, `TSUNAMI_NET_DURATION_MS`,
-//! `TSUNAMI_NET_CONNS`) so performance is tracked across PRs.
+//! `TSUNAMI_NET_CONNS`), and `walbench` writes `BENCH_wal.json`
+//! (`Database::open` replay time vs WAL length before/after a checkpoint,
+//! plus scan latency under tombstoned and compacted deletes; override via
+//! `BENCH_WAL_JSON`) so performance is tracked across PRs.
 //!
 //! The pool itself is tunable with `TSUNAMI_POOL_THREADS` (worker count,
 //! default `available_parallelism`) and `TSUNAMI_MORSEL_ROWS` (rows per
@@ -114,8 +117,8 @@ fn main() {
 
 fn print_usage() {
     eprintln!("usage: repro [EXPERIMENT] [--rows N] [--queries-per-type N] [--seed N]");
-    eprintln!("experiments: all, table3, table4, fig7, fig7par, fig7sched, fig7net, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig12kern, check-bench");
-    eprintln!("fig12kern also writes BENCH_scan.json (override path with BENCH_SCAN_JSON); fig9b writes BENCH_ingest.json (BENCH_INGEST_JSON); fig7par writes BENCH_pool.json (BENCH_POOL_JSON); fig7net writes BENCH_net.json (BENCH_NET_JSON)");
+    eprintln!("experiments: all, table3, table4, fig7, fig7par, fig7sched, fig7net, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig12kern, walbench, check-bench");
+    eprintln!("fig12kern also writes BENCH_scan.json (override path with BENCH_SCAN_JSON); fig9b writes BENCH_ingest.json (BENCH_INGEST_JSON); fig7par writes BENCH_pool.json (BENCH_POOL_JSON); fig7net writes BENCH_net.json (BENCH_NET_JSON); walbench writes BENCH_wal.json (BENCH_WAL_JSON)");
     eprintln!("fig7net tuning: TSUNAMI_SHARDS, TSUNAMI_NET_QPS (comma-separated sweep), TSUNAMI_NET_DURATION_MS, TSUNAMI_NET_CONNS");
     eprintln!("pool tuning: TSUNAMI_POOL_THREADS (workers), TSUNAMI_MORSEL_ROWS (rows per morsel)");
     eprintln!("check-bench re-runs fig12kern and fails on >2.5x median regressions vs bench-baselines/BENCH_scan.json (BENCH_BASELINE_JSON)");

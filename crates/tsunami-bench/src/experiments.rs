@@ -1026,6 +1026,7 @@ pub fn experiments() -> Vec<(&'static str, fn(&HarnessConfig) -> String)> {
         ("fig12a", fig12a),
         ("fig12b", fig12b),
         ("fig12kern", fig12kern),
+        ("walbench", crate::wal::walbench),
     ]
 }
 
@@ -1075,7 +1076,8 @@ mod tests {
                 "fig11b",
                 "fig12a",
                 "fig12b",
-                "fig12kern"
+                "fig12kern",
+                "walbench"
             ]
         );
     }

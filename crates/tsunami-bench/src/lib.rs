@@ -16,6 +16,7 @@ pub mod experiments;
 pub mod harness;
 pub mod net;
 pub mod table;
+pub mod wal;
 
 pub use harness::{HarnessConfig, IndexReport};
 pub use table::Table;

@@ -1,0 +1,276 @@
+//! `walbench`: the durability drill-down — what the WAL costs.
+//!
+//! Two questions, two tables:
+//!
+//! 1. **Replay**: how long does [`Database::open`] take as the log grows
+//!    (recovery replays every record through the live mutation paths, so
+//!    this includes index maintenance), and how much of that a
+//!    [`Database::checkpoint`] buys back.
+//! 2. **Delete-heavy scans**: query latency as tombstones accumulate and
+//!    after the staleness escalation re-grids the survivors — the
+//!    mask-don't-move design's read-side bill.
+//!
+//! The machine-readable results land in `BENCH_wal.json` (path overridable
+//! via the `BENCH_WAL_JSON` env var) so the durability layer's perf
+//! trajectory is tracked across PRs.
+
+use std::time::Instant;
+
+use tsunami_core::sample::SplitMix;
+use tsunami_core::{Aggregation, Dataset, Predicate, Query, Workload};
+use tsunami_engine::{Database, IndexSpec};
+
+use crate::harness::HarnessConfig;
+use crate::table::{fmt_f64, Table};
+
+const DOMAIN: u64 = 100_000;
+const DIMS: usize = 3;
+
+fn dataset(rows: usize, seed: u64) -> Dataset {
+    let mut rng = SplitMix::new(seed ^ 0x3a1d);
+    Dataset::from_columns(
+        (0..DIMS)
+            .map(|_| (0..rows).map(|_| rng.next_below(DOMAIN)).collect())
+            .collect(),
+    )
+    .expect("uniform columns")
+}
+
+/// Entry point registered as `walbench`.
+pub fn walbench(config: &HarnessConfig) -> String {
+    let path = std::env::var("BENCH_WAL_JSON").unwrap_or_else(|_| "BENCH_wal.json".to_string());
+    walbench_impl(config, Some(std::path::Path::new(&path)))
+}
+
+pub(crate) fn walbench_impl(config: &HarnessConfig, json_path: Option<&std::path::Path>) -> String {
+    let mut out = replay_sweep(config, json_path);
+    out.push('\n');
+    out.push_str(&delete_scan_sweep(config, json_path));
+    out
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsunami_walbench_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn probe_workload(seed: u64) -> Workload {
+    let mut rng = SplitMix::new(seed ^ 0x9e37);
+    Workload::new(
+        (0..24)
+            .map(|i| {
+                let width = DOMAIN / 8;
+                let lo = rng.next_below(DOMAIN - width);
+                let agg = match i % 3 {
+                    0 => Aggregation::Count,
+                    1 => Aggregation::Sum(1),
+                    _ => Aggregation::Avg(2),
+                };
+                Query::new(vec![Predicate::range(0, lo, lo + width).unwrap()], agg)
+                    .expect("valid probe")
+            })
+            .collect(),
+    )
+}
+
+fn avg_query_us(table: &tsunami_engine::Table, workload: &Workload) -> f64 {
+    // One warm pass, then the measured pass.
+    for q in workload.queries() {
+        std::hint::black_box(table.execute(q).expect("probe executes"));
+    }
+    let start = Instant::now();
+    for q in workload.queries() {
+        std::hint::black_box(table.execute(q).expect("probe executes"));
+    }
+    start.elapsed().as_secs_f64() * 1e6 / workload.queries().len() as f64
+}
+
+fn timed_open(dir: &std::path::Path) -> (Database, f64) {
+    let start = Instant::now();
+    let db = Database::open(dir).expect("recovery succeeds");
+    (db, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Replay sweep entry: (mutation batches, WAL records, WAL KiB, reopen ms,
+/// post-checkpoint reopen ms).
+type ReplayEntry = (usize, usize, f64, f64, f64);
+
+/// Part 1: grow the WAL with interleaved insert/delete batches, time a cold
+/// [`Database::open`] (full replay + index rebuild), checkpoint, and time
+/// the reopen again.
+fn replay_sweep(config: &HarnessConfig, json_path: Option<&std::path::Path>) -> String {
+    let mut t = Table::new(
+        "walbench (replay): Database::open cost vs WAL length, before/after checkpoint",
+        &[
+            "base rows",
+            "mutation batches",
+            "WAL records",
+            "WAL KiB",
+            "reopen (ms)",
+            "reopen after checkpoint (ms)",
+        ],
+    );
+    let rows = config.rows;
+    let data = dataset(rows, config.seed);
+    let workload = probe_workload(config.seed);
+    let spec = IndexSpec::Tsunami(config.tsunami_config());
+    let batch_rows = (rows / 50).max(1);
+    let mut entries: Vec<ReplayEntry> = Vec::new();
+    for &batches in &[4usize, 16, 64] {
+        let dir = temp_dir(&format!("replay_{batches}"));
+        {
+            let mut db = Database::open(&dir).expect("fresh durable db");
+            db.create_table_unnamed("t", data.clone(), &workload, &spec)
+                .expect("create");
+            for b in 0..batches {
+                if b % 4 == 3 {
+                    // Thin disjoint bands so every delete removes live rows.
+                    let width = (DOMAIN / 256).max(1);
+                    let lo = (b as u64 / 4) * width;
+                    db.delete("t", &[Predicate::range(0, lo, lo + width - 1).unwrap()])
+                        .expect("delete batch");
+                } else {
+                    let rows: Vec<Vec<u64>> = (0..batch_rows)
+                        .map(|j| {
+                            let v = (b * batch_rows + j) as u64;
+                            vec![v % DOMAIN, (v * 13) % DOMAIN, (v * 7919) % DOMAIN]
+                        })
+                        .collect();
+                    db.insert_batch("t", &rows).expect("insert batch");
+                }
+            }
+        }
+        let wal_path = dir.join("wal.log");
+        let (records, _) = tsunami_store::wal::replay(&wal_path).expect("readable wal");
+        let wal_kib = std::fs::metadata(&wal_path).map_or(0.0, |m| m.len() as f64 / 1024.0);
+        let (mut db, reopen_ms) = timed_open(&dir);
+        db.checkpoint().expect("checkpoint");
+        drop(db);
+        let (db, post_ckpt_ms) = timed_open(&dir);
+        drop(db);
+        t.add_row(vec![
+            rows.to_string(),
+            batches.to_string(),
+            records.len().to_string(),
+            fmt_f64(wal_kib),
+            fmt_f64(reopen_ms),
+            fmt_f64(post_ckpt_ms),
+        ]);
+        entries.push((batches, records.len(), wal_kib, reopen_ms, post_ckpt_ms));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if let Some(path) = json_path {
+        match write_bench_wal_json(path, rows, config.seed, &entries) {
+            Ok(()) => eprintln!("# walbench: wrote {}", path.display()),
+            Err(e) => eprintln!("# walbench: could not write {}: {e}", path.display()),
+        }
+    }
+    crate::experiments::finish(t)
+}
+
+/// Part 2: scan latency as tombstones pile up, then after the cumulative
+/// deletion fraction crosses the staleness bar and the survivors are
+/// re-gridded. Runs in memory — the read-side cost is index-shape, not WAL.
+fn delete_scan_sweep(config: &HarnessConfig, _json_path: Option<&std::path::Path>) -> String {
+    let mut t = Table::new(
+        "walbench (deletes): scan latency under tombstones, then after compaction",
+        &["phase", "live rows", "drift fraction", "avg query (us)"],
+    );
+    let rows = config.rows;
+    let data = dataset(rows, config.seed ^ 1);
+    let workload = probe_workload(config.seed ^ 1);
+    let spec = IndexSpec::Tsunami(config.tsunami_config());
+    let mut db = Database::new();
+    db.create_table_unnamed("t", data, &workload, &spec)
+        .expect("create");
+    let mut phase = |db: &Database, label: &str| {
+        let table = db.table("t").expect("registered");
+        t.add_row(vec![
+            label.to_string(),
+            table.num_rows().to_string(),
+            fmt_f64(table.data_drift_fraction()),
+            fmt_f64(avg_query_us(&table, &workload)),
+        ]);
+    };
+    phase(&db, "baseline");
+    // ~15% band: tombstones (maybe per-region compaction), no full rebuild.
+    db.delete(
+        "t",
+        &[Predicate::range(0, 0, DOMAIN * 15 / 100 - 1).unwrap()],
+    )
+    .expect("small delete");
+    phase(&db, "after 15% delete");
+    // Cumulative ~55%: crosses the rebuild bar, survivors re-gridded.
+    db.delete(
+        "t",
+        &[Predicate::range(0, DOMAIN * 15 / 100, DOMAIN * 55 / 100 - 1).unwrap()],
+    )
+    .expect("big delete");
+    phase(&db, "after 55% cumulative delete");
+    crate::experiments::finish(t)
+}
+
+/// Hand-rolled (the workspace is offline — no serde) machine-readable dump
+/// of the replay sweep.
+fn write_bench_wal_json(
+    path: &std::path::Path,
+    rows: usize,
+    seed: u64,
+    entries: &[ReplayEntry],
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"experiment\": \"walbench\",\n  \"rows\": {rows},\n  \"seed\": {seed},\n  \"entries\": [\n"
+    ));
+    for (i, (batches, records, kib, reopen, post_ckpt)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"batches\": {batches}, \"wal_records\": {records}, \
+             \"wal_kib\": {kib:.2}, \"reopen_ms\": {reopen:.3}, \
+             \"post_checkpoint_reopen_ms\": {post_ckpt:.3}}}{comma}\n"
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walbench_smoke_covers_replay_and_delete_phases() {
+        let cfg = HarnessConfig {
+            rows: 2_000,
+            queries_per_type: 2,
+            seed: 13,
+        };
+        let out = walbench_impl(&cfg, None);
+        for label in [
+            "WAL records",
+            "reopen after checkpoint (ms)",
+            "baseline",
+            "after 15% delete",
+            "after 55% cumulative delete",
+        ] {
+            assert!(out.contains(label), "missing {label} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn bench_wal_json_is_well_formed() {
+        let dir = std::env::temp_dir().join("tsunami_bench_wal_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_wal.json");
+        write_bench_wal_json(&path, 5000, 7, &[(16, 17, 420.5, 12.25, 3.5)]).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains("\"experiment\": \"walbench\""));
+        assert!(s.contains("\"batches\": 16"));
+        assert!(s.contains("\"wal_records\": 17"));
+        assert!(s.contains("\"reopen_ms\": 12.250"));
+        assert!(s.contains("\"post_checkpoint_reopen_ms\": 3.500"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

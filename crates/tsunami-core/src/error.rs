@@ -54,6 +54,10 @@ pub enum TsunamiError {
     Build(String),
     /// An invalid configuration value was supplied.
     Config(String),
+    /// A durability operation (WAL append/commit, checkpoint, recovery)
+    /// failed. Carries the rendered `io::Error` (or codec detail) so the
+    /// error type stays `Clone + PartialEq` like every other variant.
+    Durability(String),
 }
 
 impl fmt::Display for TsunamiError {
@@ -87,6 +91,7 @@ impl fmt::Display for TsunamiError {
             }
             TsunamiError::Build(msg) => write!(f, "index build error: {msg}"),
             TsunamiError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            TsunamiError::Durability(msg) => write!(f, "durability error: {msg}"),
         }
     }
 }
@@ -145,6 +150,9 @@ mod tests {
         assert!(TsunamiError::QueryPanicked("boom".into())
             .to_string()
             .contains("boom"));
+        assert!(TsunamiError::Durability("fsync failed".into())
+            .to_string()
+            .contains("fsync failed"));
     }
 
     #[test]

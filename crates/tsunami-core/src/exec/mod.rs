@@ -113,6 +113,7 @@ use std::sync::Mutex;
 
 use crate::dataset::{Dataset, Value};
 use crate::query::{AggAccumulator, AggResult, Aggregation, Predicate, Query};
+use crate::tombstone::TombstoneSet;
 
 pub use kernels::BlockScratch;
 pub use pool::{PoolConfig, WorkStealingPool, DEFAULT_MORSEL_ROWS};
@@ -169,6 +170,15 @@ pub trait ScanSource: Sync {
     fn num_dims(&self) -> usize;
     /// The full value slice of one column.
     fn column_values(&self, dim: usize) -> &[Value];
+    /// The source's deletion bitmap, if it supports tombstone deletes.
+    /// Sources that return one with [`TombstoneSet::any`] get liveness
+    /// ANDed into every selection — in all kernel tiers and on the dense
+    /// exact-range path — so tombstoned rows never reach an aggregate.
+    /// [`ScanCounters::matched`] counts live matches only; `ranges` and
+    /// `points` still describe the plan's physical visit.
+    fn tombstones(&self) -> Option<&TombstoneSet> {
+        None
+    }
 }
 
 impl ScanSource for Dataset {
@@ -669,6 +679,9 @@ struct ResolvedQuery<'a> {
     agg: Aggregation,
     agg_col: Option<&'a [Value]>,
     num_rows: usize,
+    /// The source's deletion bitmap, captured only when it actually holds
+    /// tombstones, so delete-free tables keep the zero-cost fast paths.
+    live: Option<&'a TombstoneSet>,
 }
 
 impl<'a> ResolvedQuery<'a> {
@@ -681,6 +694,16 @@ impl<'a> ResolvedQuery<'a> {
             agg,
             agg_col: agg.input_dim().map(|d| source.column_values(d)),
             num_rows: source.num_rows(),
+            live: source.tombstones().filter(|t| t.any()),
+        }
+    }
+
+    /// Whether physical row `row` survives the deletion bitmap.
+    #[inline(always)]
+    fn alive(&self, row: usize) -> bool {
+        match self.live {
+            Some(t) => !t.is_deleted(row),
+            None => true,
         }
     }
 
@@ -714,10 +737,18 @@ impl<'a> ResolvedQuery<'a> {
 
         // An exact range — or a query with no predicates left to check —
         // matches every row: aggregate the whole range without building a
-        // selection.
+        // selection. Tombstones still apply: with deletes present the range
+        // is folded through liveness words instead of the raw-slice path.
         if exact || self.preds.is_empty() {
-            counters.matched += range.len();
-            aggregate_dense(self.agg, self.agg_col, range, acc);
+            match self.live {
+                None => {
+                    counters.matched += range.len();
+                    aggregate_dense(self.agg, self.agg_col, range, acc);
+                }
+                Some(t) => {
+                    counters.matched += self.aggregate_dense_live(t, range, acc, scratch);
+                }
+            }
             return;
         }
 
@@ -740,6 +771,37 @@ impl<'a> ResolvedQuery<'a> {
         }
     }
 
+    /// Aggregates a dense (exact) range under tombstones: liveness words are
+    /// materialized blockwise and fed to the mask-native aggregation
+    /// kernels. Returns the number of live rows aggregated.
+    fn aggregate_dense_live(
+        &self,
+        t: &TombstoneSet,
+        range: Range<usize>,
+        acc: &mut AggAccumulator,
+        scratch: &mut BlockScratch,
+    ) -> usize {
+        let mut matched = 0usize;
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + BLOCK_ROWS).min(range.end);
+            let len = end - start;
+            let nw = len.div_ceil(kernels::WORD_BITS);
+            let words = &mut scratch.words[..nw];
+            for (w, word) in words.iter_mut().enumerate() {
+                *word = t.live_word(start + w * kernels::WORD_BITS);
+            }
+            // Rows past the block tail read as live; trim them off.
+            let tail = len % kernels::WORD_BITS;
+            if tail != 0 {
+                words[nw - 1] &= (1u64 << tail) - 1;
+            }
+            matched += aggregate_mask(self.agg, self.agg_col, start, words, acc);
+            start = end;
+        }
+        matched
+    }
+
     /// Reference branchy selection loop (the oracle tier).
     fn scan_block_scalar(
         &self,
@@ -752,7 +814,7 @@ impl<'a> ResolvedQuery<'a> {
         let (col0, p0) = self.preds[0];
         let mut n = 0usize;
         for (i, &v) in col0[start..end].iter().enumerate() {
-            if p0.matches(v) {
+            if p0.matches(v) && self.alive(start + i) {
                 sel[n] = i as u32;
                 n += 1;
             }
@@ -793,6 +855,17 @@ impl<'a> ResolvedQuery<'a> {
             }
             n = kernels::select_refine(&col[start..end], p, sel, n);
         }
+        // Liveness refine: same branchless compaction as select_refine, with
+        // the tombstone bit standing in for the predicate.
+        if let Some(t) = self.live {
+            let mut out = 0usize;
+            for k in 0..n {
+                let i = sel[k];
+                sel[out] = i;
+                out += !t.is_deleted(start + i as usize) as usize;
+            }
+            n = out;
+        }
         aggregate_selected(self.agg, self.agg_col, start, &sel[..n], acc);
         n
     }
@@ -810,6 +883,17 @@ impl<'a> ResolvedQuery<'a> {
         let words = &mut scratch.words[..len.div_ceil(kernels::WORD_BITS)];
         let (col0, p0) = self.preds[0];
         let mut any = kernels::mask_first(&col0[start..end], p0, words);
+        // The bitmap tier speaks masks natively: liveness is one AND per
+        // word, applied early so refinement can short-circuit on it too.
+        if let Some(t) = self.live {
+            if any != 0 {
+                any = 0;
+                for (w, word) in words.iter_mut().enumerate() {
+                    *word &= t.live_word(start + w * kernels::WORD_BITS);
+                    any |= *word;
+                }
+            }
+        }
         for &(col, p) in &self.preds[1..] {
             if any == 0 {
                 break;
@@ -819,28 +903,7 @@ impl<'a> ResolvedQuery<'a> {
         if any == 0 {
             return 0;
         }
-        match (self.agg, self.agg_col) {
-            (Aggregation::Count, _) | (_, None) => {
-                let n = kernels::mask_count(words);
-                acc.add_bulk(n as u64, 0);
-                n
-            }
-            (Aggregation::Sum(_) | Aggregation::Avg(_), Some(col)) => {
-                let (n, sum) = kernels::mask_sum(&col[start..end], words);
-                acc.add_bulk(n, sum);
-                n as usize
-            }
-            (Aggregation::Min(_), Some(col)) => {
-                let (n, lo) = kernels::mask_min(&col[start..end], words);
-                acc.add_block(n, 0, lo, None);
-                n as usize
-            }
-            (Aggregation::Max(_), Some(col)) => {
-                let (n, hi) = kernels::mask_max(&col[start..end], words);
-                acc.add_block(n, 0, None, hi);
-                n as usize
-            }
-        }
+        aggregate_mask(self.agg, self.agg_col, start, words, acc)
     }
 }
 
@@ -873,6 +936,40 @@ pub fn scan_range_into(
         counters,
         scratch,
     );
+}
+
+/// Mask-native aggregation of one block's selection bitmap, shared by the
+/// bitmap tier and the tombstone-aware dense path. Returns the number of
+/// selected rows.
+fn aggregate_mask(
+    agg: Aggregation,
+    agg_col: Option<&[Value]>,
+    start: usize,
+    words: &[u64],
+    acc: &mut AggAccumulator,
+) -> usize {
+    match (agg, agg_col) {
+        (Aggregation::Count, _) | (_, None) => {
+            let n = kernels::mask_count(words);
+            acc.add_bulk(n as u64, 0);
+            n
+        }
+        (Aggregation::Sum(_) | Aggregation::Avg(_), Some(col)) => {
+            let (n, sum) = kernels::mask_sum(&col[start..], words);
+            acc.add_bulk(n, sum);
+            n as usize
+        }
+        (Aggregation::Min(_), Some(col)) => {
+            let (n, lo) = kernels::mask_min(&col[start..], words);
+            acc.add_block(n, 0, lo, None);
+            n as usize
+        }
+        (Aggregation::Max(_), Some(col)) => {
+            let (n, hi) = kernels::mask_max(&col[start..], words);
+            acc.add_block(n, 0, None, hi);
+            n as usize
+        }
+    }
 }
 
 /// Aggregates every row of a contiguous range (exact-range fast path).
@@ -1256,6 +1353,100 @@ mod tests {
         let (res, counters) = execute_plan(&ds, &q, &ScanPlan::new());
         assert_eq!(res, AggResult::Min(None));
         assert_eq!(counters, ScanCounters::default());
+    }
+
+    /// A dataset with a deletion bitmap bolted on, for exercising the
+    /// executor's liveness paths without the store crate.
+    struct TombSource {
+        ds: Dataset,
+        t: TombstoneSet,
+    }
+
+    impl ScanSource for TombSource {
+        fn num_rows(&self) -> usize {
+            self.ds.len()
+        }
+        fn num_dims(&self) -> usize {
+            self.ds.num_dims()
+        }
+        fn column_values(&self, dim: usize) -> &[Value] {
+            self.ds.column(dim)
+        }
+        fn tombstones(&self) -> Option<&TombstoneSet> {
+            Some(&self.t)
+        }
+    }
+
+    #[test]
+    fn tombstones_are_excluded_by_every_tier_and_path() {
+        let ds = source();
+        let mut t = TombstoneSet::new(ds.len());
+        // A mix of deletions: word-aligned runs, scattered rows, a row
+        // inside the exact range of the plan below.
+        for row in (0..200).chain([255, 256, 300, 511, 512, 513, 850, 999]) {
+            t.mark(row);
+        }
+        let live: Vec<usize> = t.live_rows();
+        let tomb = TombSource { ds: ds.clone(), t };
+        // Oracle: the same plan rows with deleted rows physically absent.
+        let plan = ScanPlan::from_ranges([(0..300, false), (450..700, false), (800..1000, true)]);
+        let plan_rows: Vec<usize> = (0..300)
+            .chain(450..700)
+            .chain(800..1000)
+            .filter(|r| live.binary_search(r).is_ok())
+            .collect();
+        for agg in [
+            Aggregation::Count,
+            Aggregation::Sum(1),
+            Aggregation::Min(1),
+            Aggregation::Max(1),
+            Aggregation::Avg(1),
+        ] {
+            let q = Query::new(
+                vec![
+                    Predicate::range(0, 50, 950).unwrap(),
+                    Predicate::range(2, 5, 95).unwrap(),
+                ],
+                agg,
+            )
+            .unwrap();
+            // Exact ranges trust the plan, so the oracle applies predicates
+            // only to the non-exact prefix rows.
+            let oracle_rows: Vec<usize> = plan_rows
+                .iter()
+                .copied()
+                .filter(|&r| r >= 800 || q.predicates().iter().all(|p| p.matches(ds.get(r, p.dim))))
+                .collect();
+            let no_pred = Query::new(vec![], agg).unwrap();
+            let expected = no_pred.execute_full_scan(&ds.select_rows(&oracle_rows));
+            let (scalar, scalar_counters) =
+                execute_plan_tiered(&tomb, &q, &plan, KernelTier::Scalar);
+            assert_eq!(scalar, expected, "{agg:?} scalar vs rebuilt oracle");
+            assert_eq!(scalar_counters.matched, oracle_rows.len());
+            for tier in KernelTier::ALL {
+                let (res, counters) = execute_plan_tiered(&tomb, &q, &plan, tier);
+                assert_eq!(res, expected, "{agg:?} via {tier:?}");
+                assert_eq!(counters, scalar_counters, "{agg:?} counters via {tier:?}");
+                let (par, par_counters) = execute_plan_parallel_tiered(&tomb, &q, &plan, 4, tier);
+                assert_eq!(par, expected, "{agg:?} parallel via {tier:?}");
+                assert_eq!(par_counters, scalar_counters, "{agg:?} parallel counters");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tombstone_set_changes_nothing() {
+        let ds = source();
+        let tomb = TombSource {
+            ds: ds.clone(),
+            t: TombstoneSet::new(ds.len()),
+        };
+        let q = count(vec![Predicate::range(0, 100, 499).unwrap()]);
+        let plan = ScanPlan::full(ds.len());
+        let (plain, pc) = execute_plan(&ds, &q, &plan);
+        let (with_t, tc) = execute_plan(&tomb, &q, &plan);
+        assert_eq!(plain, with_t);
+        assert_eq!(pc, tc);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod index;
 pub mod query;
 pub mod sample;
 pub mod size;
+pub mod tombstone;
 
 pub use cost::{CostFeatures, CostModel};
 pub use dataset::{Dataset, Point, Value};
@@ -40,3 +41,4 @@ pub use exec::{BlockScratch, KernelTier, ScanCounters, ScanPlan, ScanRange, Scan
 pub use histogram::Histogram;
 pub use index::{BuildTiming, IndexStats, MultiDimIndex};
 pub use query::{AggAccumulator, AggResult, Aggregation, Predicate, Query, Workload};
+pub use tombstone::TombstoneSet;

@@ -12,14 +12,17 @@
 //! [`Database::auto_reoptimize`] closes the loop autonomously from the
 //! queries recorded via [`Table::record_query`].
 
+use std::path::Path;
 use std::sync::Arc;
 
 use tsunami_baselines::{ClusteredSingleDimIndex, FullScanIndex};
 use tsunami_core::exec::pool::{self, WorkStealingPool};
-use tsunami_core::{CostModel, Dataset, Point, Result, TsunamiError, Workload};
+use tsunami_core::{CostModel, Dataset, Point, Predicate, Query, Result, TsunamiError, Workload};
 use tsunami_flood::FloodIndex;
 use tsunami_index::{IngestReport, ReoptReport, TsunamiConfig, TsunamiIndex, WorkloadMonitor};
+use tsunami_store::{CrashPoint, WalRecord};
 
+use crate::durability::{self, Durability};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use crate::schema::Schema;
 use crate::spec::{IndexSpec, SharedIndex};
@@ -46,6 +49,9 @@ pub struct Database {
     /// [`pool::global`] pool; inject a private one with
     /// [`Database::set_pool`].
     pool: Arc<WorkStealingPool>,
+    /// WAL + checkpoint state for databases opened with [`Database::open`];
+    /// `None` for purely in-memory databases ([`Database::new`]).
+    durability: Option<Durability>,
 }
 
 impl Database {
@@ -61,6 +67,124 @@ impl Database {
             tables: Vec::new(),
             cost,
             pool: Arc::clone(pool::global()),
+            durability: None,
+        }
+    }
+
+    /// Opens a **durable** database rooted at `dir` with the default cost
+    /// model. See [`Database::open_with_cost_model`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_cost_model(dir, CostModel::default())
+    }
+
+    /// Opens a durable database rooted at `dir`: recovers the state from
+    /// `checkpoint.db` plus the write-ahead log's valid prefix (see
+    /// [`crate::durability`]), then logs and fsyncs every subsequent
+    /// `create_table` / `insert_batch` / `delete` *before* applying it, so
+    /// committed mutations survive a crash. Recovery rebuilds each table's
+    /// index from its stored [`IndexSpec`] and reference workload: query
+    /// results are bit-identical to the pre-crash state's, while the
+    /// physical layout is re-derived.
+    pub fn open_with_cost_model(dir: impl AsRef<Path>, cost: CostModel) -> Result<Self> {
+        let (durability, records) = Durability::open(dir.as_ref())?;
+        let mut db = Self::with_cost_model(cost);
+        for record in records {
+            db.apply_record(record)?;
+        }
+        db.durability = Some(durability);
+        Ok(db)
+    }
+
+    /// Whether this database was opened with [`Database::open`] and is
+    /// logging mutations durably.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Applies one replayed WAL record to the in-memory catalog. Only called
+    /// while `self.durability` is `None`, so the mutation paths do not log
+    /// the record a second time.
+    fn apply_record(&mut self, record: WalRecord) -> Result<()> {
+        match record {
+            WalRecord::CreateTable {
+                name,
+                columns,
+                spec,
+                workload,
+                data,
+            } => {
+                let spec = durability::decode_spec(&spec)?;
+                self.create_table(&name, &columns, data, &Workload::new(workload), &spec)?;
+            }
+            WalRecord::InsertBatch { table, rows } => {
+                let rows: Vec<Point> = rows.rows().collect();
+                self.insert_batch(&table, &rows)?;
+            }
+            WalRecord::Delete { table, predicates } => {
+                self.delete(&table, &predicates)?;
+            }
+            // Markers carry recovery bookkeeping, not state.
+            WalRecord::Checkpoint { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Appends and fsyncs `record` if this database is durable — called by
+    /// every mutation *before* it changes the in-memory catalog. The record
+    /// is built lazily so in-memory databases pay nothing.
+    fn log_mutation(&mut self, record: impl FnOnce() -> WalRecord) -> Result<()> {
+        match self.durability.as_mut() {
+            Some(durability) => durability.log(&record()),
+            None => Ok(()),
+        }
+    }
+
+    /// Writes a checkpoint: a snapshot of every table (current data, spec,
+    /// and reference workload) replaces `checkpoint.db` atomically, and the
+    /// WAL is reset. Recovery cost becomes proportional to the mutations
+    /// since the last checkpoint instead of since the database was created.
+    /// Errors on in-memory databases.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.durability.is_none() {
+            return Err(TsunamiError::Durability(
+                "checkpoint requires a database opened with Database::open".into(),
+            ));
+        }
+        let mut snapshot = Vec::with_capacity(self.tables.len());
+        let mut names = Vec::with_capacity(self.tables.len());
+        for table in &self.tables {
+            snapshot.push(Self::snapshot_record(table)?);
+            names.push(table.name().to_string());
+        }
+        self.durability
+            .as_mut()
+            .expect("checked above")
+            .checkpoint(&snapshot, names)
+    }
+
+    fn snapshot_record(table: &Table) -> Result<WalRecord> {
+        let spec = table.index_spec().ok_or_else(|| {
+            TsunamiError::Durability(format!(
+                "table '{}' has no index spec and cannot be checkpointed",
+                table.name()
+            ))
+        })?;
+        Ok(WalRecord::CreateTable {
+            name: table.name().to_string(),
+            columns: table.schema().column_names().map(str::to_string).collect(),
+            spec: durability::encode_spec(spec),
+            workload: table.reference_workload().queries().to_vec(),
+            data: table.dataset().clone(),
+        })
+    }
+
+    /// Arms deterministic fault injection on the durability layer (crash
+    /// tests only). The next matching WAL append / commit / checkpoint step
+    /// errors out exactly as a crash at that instant would.
+    #[doc(hidden)]
+    pub fn set_crash_point(&mut self, crash: CrashPoint) {
+        if let Some(durability) = self.durability.as_mut() {
+            durability.set_crash_point(crash);
         }
     }
 
@@ -201,6 +325,22 @@ impl Database {
         if self.tables.iter().any(|t| t.name() == name) {
             return Err(TsunamiError::DuplicateTable(name.to_string()));
         }
+        if self.durability.is_some() {
+            let spec = spec.as_ref().ok_or_else(|| {
+                TsunamiError::Durability(format!(
+                    "table '{name}' was registered around a pre-built index without a spec; \
+                     a durable database cannot replay it — use create_table instead"
+                ))
+            })?;
+            let spec = durability::encode_spec(spec);
+            self.log_mutation(|| WalRecord::CreateTable {
+                name: name.to_string(),
+                columns: schema.column_names().map(str::to_string).collect(),
+                spec,
+                workload: reference.queries().to_vec(),
+                data: (*data).clone(),
+            })?;
+        }
         let table = Table::new(
             name.to_string(),
             schema,
@@ -237,6 +377,13 @@ impl Database {
     /// queries keep working (the state is shared by `Arc`); only the name
     /// becomes free.
     pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        if self.durability.is_some() {
+            // There is no DropTable WAL record: recovery would resurrect the
+            // table. Refuse rather than silently un-persist a drop.
+            return Err(TsunamiError::Durability(
+                "drop_table is not supported on a durable database".into(),
+            ));
+        }
         match self.tables.iter().position(|t| t.name() == name) {
             Some(i) => Ok(self.tables.remove(i)),
             None => Err(TsunamiError::UnknownTable(name.to_string())),
@@ -368,7 +515,13 @@ impl Database {
         for row in rows {
             data.push_row(row)?;
         }
+        // Log-before-apply: the batch is durable before the catalog changes.
+        self.log_mutation(|| WalRecord::InsertBatch {
+            table: name.to_string(),
+            rows: batch.clone(),
+        })?;
 
+        let old = &self.tables[pos];
         let any = old.index().as_any();
         let mut report = None;
         // When the insert itself re-derives the whole layout (the
@@ -425,6 +578,111 @@ impl Database {
         );
         self.tables[pos] = table.clone();
         Ok((table, report))
+    }
+
+    /// Deletes every row matching the conjunction of `predicates` from a
+    /// table. See [`Database::delete_with_count`].
+    pub fn delete(&mut self, name: &str, predicates: &[Predicate]) -> Result<Table> {
+        Ok(self.delete_with_count(name, predicates)?.0)
+    }
+
+    /// Deletes every row matching the conjunction of `predicates`, returning
+    /// the new table handle and the number of rows deleted.
+    ///
+    /// Deletion is **tombstone-first** where the index family supports it:
+    /// Tsunami tables go through
+    /// [`TsunamiIndex::delete_where_with_cost`](tsunami_index::TsunamiIndex::delete_where_with_cost)
+    /// — matching rows are marked in the store's deletion bitmap and every
+    /// scan tier masks them out, while regions whose accumulated mutation
+    /// fraction passes [`TsunamiConfig::ingest_region_staleness`] are
+    /// physically compacted and the whole index is rebuilt over the live
+    /// rows past [`TsunamiConfig::ingest_rebuild_staleness`]. Full-scan
+    /// tables tombstone and compact once majority-dead; every other family
+    /// rebuilds from its stored spec over the live rows.
+    ///
+    /// The table's logical dataset shrinks to the live rows immediately, so
+    /// reoptimize/ingest fallback paths never resurrect deleted rows.
+    /// Deletes feed the same data-drift counter as inserts
+    /// ([`Table::data_drift_fraction`]), so [`Database::auto_reoptimize`]
+    /// eventually re-optimizes a heavily-deleted table. Swap semantics match
+    /// [`Database::insert_batch`]: old handles keep answering over the
+    /// pre-delete snapshot, and on failure the catalog is unchanged.
+    pub fn delete_with_count(
+        &mut self,
+        name: &str,
+        predicates: &[Predicate],
+    ) -> Result<(Table, usize)> {
+        let pos = self.position(name)?;
+        let query = Query::count(predicates.to_vec())?;
+        let old = &self.tables[pos];
+        query.validate_dims(old.schema().num_columns())?;
+
+        let data = &old.state.data;
+        let keep: Vec<usize> = (0..data.len())
+            .filter(|&r| !query.matches_point(&data.row(r)))
+            .collect();
+        let deleted = data.len() - keep.len();
+        if deleted == 0 {
+            // Nothing matched: no WAL record, no swap.
+            return Ok((old.clone(), 0));
+        }
+        let live = Arc::new(data.select_rows(&keep));
+        self.log_mutation(|| WalRecord::Delete {
+            table: name.to_string(),
+            predicates: predicates.to_vec(),
+        })?;
+
+        let old = &self.tables[pos];
+        let any = old.index().as_any();
+        let mut layout_rederived = false;
+        let index: SharedIndex = if let Some(tsunami) =
+            any.and_then(|a| a.downcast_ref::<TsunamiIndex>())
+        {
+            let config = match &old.state.spec {
+                Some(IndexSpec::Tsunami(c)) => c.clone(),
+                _ => TsunamiConfig::default(),
+            };
+            let (index, report) = tsunami.delete_where_with_cost(&query, &self.cost, &config)?;
+            layout_rederived = report.rebuilt;
+            Box::new(index)
+        } else if let Some(full) = any.and_then(|a| a.downcast_ref::<FullScanIndex>()) {
+            let (index, _) = full.delete_where(&query);
+            Box::new(index)
+        } else {
+            // No tombstone path: rebuild from the stored spec over the live
+            // rows (still optimized for the current reference workload).
+            let spec = old.state.spec.clone().ok_or_else(|| {
+                TsunamiError::Build(format!(
+                    "table '{name}' was registered around a pre-built index without a spec; \
+                     reindex it before deleting"
+                ))
+            })?;
+            layout_rederived = true;
+            spec.build(&live, old.reference_workload(), &self.cost)?
+        };
+
+        let old = &self.tables[pos];
+        // Deletes are mutations against the optimized-for layout, exactly
+        // like inserts: they feed the same drift counter unless this delete
+        // itself re-derived the layout.
+        let mutated_since_reopt = if layout_rederived {
+            0
+        } else {
+            old.state.inserted_since_reopt + deleted
+        };
+        let table = Table::with_observation_log(
+            name.to_string(),
+            old.schema().clone(),
+            live,
+            index,
+            old.reference_workload().clone(),
+            old.state.observe_cap,
+            old.state.spec.clone(),
+            mutated_since_reopt,
+            Arc::clone(&old.state.observed),
+        );
+        self.tables[pos] = table.clone();
+        Ok((table, deleted))
     }
 
     /// The autonomous monitor → re-optimize loop: compares the queries
@@ -797,6 +1055,170 @@ mod tests {
             .unwrap();
         let (_, report) = db2.insert_batch_with_report("f", &rows).unwrap();
         assert!(report.is_none());
+    }
+
+    #[test]
+    fn delete_hides_rows_across_families_with_swap_semantics() {
+        let (data, day, _) = shift_fixture();
+        let mut db = Database::new();
+        for (name, spec) in [
+            ("tsunami", IndexSpec::Tsunami(TsunamiConfig::fast())),
+            ("flood", IndexSpec::flood()),
+            ("full", IndexSpec::FullScan),
+            // No tombstone path: rebuilds from the stored spec.
+            ("zorder", IndexSpec::ZOrder(crate::PageSize::Fixed(256))),
+        ] {
+            db.create_table_unnamed(name, data.clone(), &day, &spec)
+                .unwrap();
+            let before = db.table(name).unwrap();
+
+            let band = [Predicate::range(0, 500, 1_499).unwrap()];
+            let (after, deleted) = db.delete_with_count(name, &band).unwrap();
+            assert_eq!(deleted, 1_000, "{name}");
+            assert_eq!(after.num_rows(), data.len() - 1_000, "{name}");
+            // Old handles keep answering over the pre-delete snapshot.
+            assert_eq!(before.num_rows(), data.len());
+
+            let del = Query::count(band.to_vec()).unwrap();
+            let oracle: Dataset = {
+                let keep: Vec<usize> = (0..data.len())
+                    .filter(|&r| !del.matches_point(&data.row(r)))
+                    .collect();
+                data.select_rows(&keep)
+            };
+            let probes = [
+                Query::count(vec![Predicate::range(0, 0, 2_000).unwrap()]).unwrap(),
+                Query::new(
+                    vec![Predicate::range(1, 0, 4_000).unwrap()],
+                    Aggregation::Sum(2),
+                )
+                .unwrap(),
+                Query::new(vec![], Aggregation::Avg(0)).unwrap(),
+            ];
+            for q in &probes {
+                assert_eq!(
+                    after.execute(q).unwrap(),
+                    q.execute_full_scan(&oracle),
+                    "{name} diverged on {q:?}"
+                );
+                assert_eq!(before.execute(q).unwrap(), q.execute_full_scan(&data));
+            }
+
+            // Deleting the same band again is a no-op (no rows match the
+            // already-deleted range in the live data).
+            let (_, again) = db.delete_with_count(name, &band).unwrap();
+            assert_eq!(again, 0, "{name}");
+        }
+        // Deletes feed the engine's data-drift counter (on the tombstoning
+        // families; the spec-rebuild fallback re-derives the layout and so
+        // restarts the counter).
+        assert!(db.table("full").unwrap().data_drift_fraction() > 0.0);
+        assert_eq!(db.table("zorder").unwrap().data_drift_fraction(), 0.0);
+        // Out-of-bounds predicates are rejected at the boundary.
+        assert!(db
+            .delete("flood", &[Predicate::range(9, 0, 1).unwrap()])
+            .is_err());
+        assert!(db.delete("nope", &[]).is_err());
+    }
+
+    fn temp_db_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tsunami_engine_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_database_recovers_all_mutations_on_reopen() {
+        let dir = temp_db_dir("recover");
+        let (data, day, _) = shift_fixture();
+        let probes = [
+            Query::count(vec![Predicate::range(0, 0, 2_000).unwrap()]).unwrap(),
+            Query::new(
+                vec![Predicate::range(1, 0, 4_000).unwrap()],
+                Aggregation::Sum(2),
+            )
+            .unwrap(),
+            Query::new(vec![], Aggregation::Min(1)).unwrap(),
+        ];
+        let expected = {
+            let mut db = Database::open(&dir).unwrap();
+            assert!(db.is_durable());
+            assert_eq!(db.num_tables(), 0);
+            db.create_table_unnamed("t", data.clone(), &day, &IndexSpec::SingleDim)
+                .unwrap();
+            let rows: Vec<Vec<u64>> = (0..64u64).map(|i| vec![i, i * 2, i * 3]).collect();
+            db.insert_batch("t", &rows).unwrap();
+            db.delete("t", &[Predicate::range(0, 100, 299).unwrap()])
+                .unwrap();
+            let t = db.table("t").unwrap();
+            probes
+                .iter()
+                .map(|q| t.execute(q).unwrap())
+                .collect::<Vec<_>>()
+        };
+
+        // A fresh process (nothing shared but the directory) sees the same
+        // logical state, bit-identically.
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.num_tables(), 1);
+        let t = db.table("t").unwrap();
+        let replayed: Vec<_> = probes.iter().map(|q| t.execute(q).unwrap()).collect();
+        assert_eq!(replayed, expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_resets_the_wal_and_survives_reopen() {
+        let dir = temp_db_dir("checkpoint");
+        let (data, day, _) = shift_fixture();
+        let q = Query::count(vec![Predicate::range(0, 0, 2_000).unwrap()]).unwrap();
+        let expected = {
+            let mut db = Database::open(&dir).unwrap();
+            db.create_table_unnamed("t", data, &day, &IndexSpec::FullScan)
+                .unwrap();
+            db.delete("t", &[Predicate::range(0, 0, 99).unwrap()])
+                .unwrap();
+            db.checkpoint().unwrap();
+            // Post-checkpoint mutations land in the fresh WAL.
+            db.insert_batch("t", &[vec![1u64, 2, 3]]).unwrap();
+            db.table("t").unwrap().execute(&q).unwrap()
+        };
+        // The WAL was truncated to just the generation marker + the insert.
+        let (records, _) = tsunami_store::wal::replay(&dir.join("wal.log")).unwrap();
+        assert!(matches!(
+            records.first(),
+            Some(WalRecord::Checkpoint { generation: 1, .. })
+        ));
+        assert_eq!(records.len(), 2);
+
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.table("t").unwrap().execute(&q).unwrap(), expected);
+        // Checkpointing an in-memory database is an error.
+        assert!(Database::new().checkpoint().is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_database_rejects_unreplayable_operations() {
+        let dir = temp_db_dir("rejects");
+        let (data, day, _) = shift_fixture();
+        let mut db = Database::open(&dir).unwrap();
+        db.create_table_unnamed("t", data.clone(), &day, &IndexSpec::FullScan)
+            .unwrap();
+        // register_table has no spec to replay from; drop_table has no
+        // DropTable record. Both must refuse rather than diverge from disk.
+        let index: SharedIndex = Box::new(tsunami_baselines::FullScanIndex::build(&data));
+        assert!(matches!(
+            db.register_table("u", Schema::numbered(3), data, index)
+                .err(),
+            Some(TsunamiError::Durability(_))
+        ));
+        assert!(matches!(
+            db.drop_table("t").err(),
+            Some(TsunamiError::Durability(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

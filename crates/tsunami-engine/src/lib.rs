@@ -66,6 +66,7 @@
 
 pub mod builder;
 pub mod database;
+pub mod durability;
 pub mod prepared;
 pub mod scheduler;
 pub mod schema;
@@ -84,3 +85,6 @@ pub use table::Table;
 // Re-exported so engine users can inspect incremental re-optimization and
 // ingestion outcomes without depending on `tsunami-index` directly.
 pub use tsunami_index::{Escalation, IngestReport, ReoptReport, ShiftReport, WorkloadMonitor};
+// Re-exported so durable-database users (and the crash-test harness) can
+// name the WAL types without depending on `tsunami-store` directly.
+pub use tsunami_store::{CrashPoint, WalRecord};

@@ -158,6 +158,26 @@ pub struct IngestReport {
     pub data_staleness: f64,
 }
 
+/// What [`TsunamiIndex::delete_where_with_cost`] did to absorb a delete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteReport {
+    /// Rows newly tombstoned by this delete (rows already deleted by an
+    /// earlier call do not count again).
+    pub rows_deleted: usize,
+    /// Regions whose accumulated mutation fraction (inserted + tombstoned
+    /// over region rows) crossed [`TsunamiConfig::ingest_region_staleness`]
+    /// and were physically compacted — dead rows dropped, the region
+    /// re-gridded over its live rows.
+    pub regions_compacted: usize,
+    /// Whether the whole index escalated to a from-scratch rebuild over the
+    /// live rows (the delete pushed the mutated fraction past
+    /// [`TsunamiConfig::ingest_rebuild_staleness`]).
+    pub rebuilt: bool,
+    /// The whole-index mutated-row fraction including this delete, *before*
+    /// any staleness was repaid by compaction or rebuild.
+    pub data_staleness: f64,
+}
+
 /// Tsunami: a learned multi-dimensional index robust to data correlation and
 /// query skew.
 #[derive(Debug)]
@@ -382,8 +402,12 @@ impl TsunamiIndex {
         // so it is skipped — and the report carries NaN — when the
         // threshold (≥ 2.0, the drift maximum) can never trigger it.
         let data_staleness = self.data_staleness();
+        // Live length, not physical: the caller hands us the logical (live)
+        // dataset, which tombstoned-but-not-yet-compacted rows are absent
+        // from. Comparing against the physical row count would spuriously
+        // escalate every post-delete reoptimize as `DataChanged`.
         let escalation =
-            if data.len() != self.store.len() || data.num_dims() != self.store.num_dims() {
+            if data.len() != self.store.live_len() || data.num_dims() != self.store.num_dims() {
                 Some(Escalation::DataChanged)
             } else if config.variant != self.variant {
                 Some(Escalation::VariantChanged)
@@ -890,9 +914,12 @@ impl TsunamiIndex {
         // (and a changed variant invalidates every component anyway). The
         // rebuild consumes the merged dataset — physical store order, which
         // is as good as any for a from-scratch build.
-        let staleness = (self.ingested + m) as f64 / (n + m) as f64;
+        let staleness =
+            (self.ingested + self.store.tombstones().deleted() + m) as f64 / (n + m) as f64;
         if config.variant != self.variant || staleness > config.ingest_rebuild_staleness {
-            let mut cols = self.store.slice_dataset(0..n).into_columns();
+            // Rebuild over the *live* rows plus the batch so tombstoned rows
+            // are never resurrected by the merge.
+            let mut cols = self.store.live_slice_dataset(0..n).into_columns();
             for (dim, col) in cols.iter_mut().enumerate() {
                 col.extend_from_slice(rows.column(dim));
             }
@@ -1066,12 +1093,172 @@ impl TsunamiIndex {
         ))
     }
 
-    /// The fraction of stored rows ingested since the Grid Tree was last
-    /// derived from the data (and not yet repaid with optimizer attention) —
-    /// the data-drift signal the engine's autonomous re-optimization loop
-    /// watches, mirroring its workload-drift monitor.
+    /// Tombstones the rows matching `query`'s predicates with the default
+    /// cost model. See [`TsunamiIndex::delete_where_with_cost`].
+    pub fn delete_where(
+        &self,
+        query: &Query,
+        config: &TsunamiConfig,
+    ) -> Result<(Self, DeleteReport)> {
+        self.delete_where_with_cost(query, &CostModel::default(), config)
+    }
+
+    /// Deletes the rows matching `query`'s predicates **without a rebuild**.
+    ///
+    /// Deleted rows are tombstoned in the store's deletion bitmap; every
+    /// kernel tier masks liveness into its selections, so results are
+    /// immediately exact while the physical layout — and every region's grid
+    /// — stays untouched. Tombstones then feed the same staleness machinery
+    /// as ingest:
+    ///
+    /// * a region whose mutation fraction (inserted + tombstoned over region
+    ///   rows) passes [`TsunamiConfig::ingest_region_staleness`] is
+    ///   *compacted*: its dead rows are physically dropped and the region is
+    ///   re-gridded over its live rows with its existing layout (subsequent
+    ///   regions shift down — their grids and relative order are untouched);
+    /// * the whole index escalates to a from-scratch
+    ///   [`TsunamiIndex::build_with_cost`] over the live rows when the
+    ///   mutated fraction passes
+    ///   [`TsunamiConfig::ingest_rebuild_staleness`].
+    ///
+    /// Correctness never depends on compaction: a tombstoned index returns
+    /// results bit-identical to one rebuilt from the live rows — only scan
+    /// volume differs.
+    pub fn delete_where_with_cost(
+        &self,
+        query: &Query,
+        cost: &CostModel,
+        config: &TsunamiConfig,
+    ) -> Result<(Self, DeleteReport)> {
+        query.validate_dims(self.store.num_dims())?;
+        let mut store = self.store.clone();
+        let rows_deleted = store.delete_where(query);
+        let n = store.len();
+        let staleness = (self.ingested + store.tombstones().deleted()) as f64 / n.max(1) as f64;
+        if rows_deleted == 0 {
+            return Ok((
+                Self {
+                    tree: self.tree.clone(),
+                    regions: self.regions.clone(),
+                    store,
+                    timing: BuildTiming::default(),
+                    name: self.name.clone(),
+                    variant: self.variant,
+                    reference: self.reference.clone(),
+                    ingested: self.ingested,
+                },
+                DeleteReport {
+                    rows_deleted: 0,
+                    regions_compacted: 0,
+                    rebuilt: false,
+                    data_staleness: staleness,
+                },
+            ));
+        }
+
+        // Whole-index escalation: past the rebuild bar too much of the data
+        // post-dates (or no longer belongs to) the Grid Tree for structure
+        // reuse to stay worthwhile. The rebuild consumes only the live rows,
+        // so tombstones are physically gone afterwards.
+        if staleness > config.ingest_rebuild_staleness {
+            let live = store.live_slice_dataset(0..n);
+            let rebuilt = Self::build_with_cost(&live, &self.reference, cost, config)?;
+            let regions_compacted = rebuilt.regions.len();
+            return Ok((
+                rebuilt,
+                DeleteReport {
+                    rows_deleted,
+                    regions_compacted,
+                    rebuilt: true,
+                    data_staleness: staleness,
+                },
+            ));
+        }
+
+        // Per-region compaction: regions past the staleness bar drop their
+        // dead rows and re-grid over the survivors (keeping their optimized
+        // skeleton/partitions — compaction repays *physical* staleness, the
+        // layout only re-earns optimizer time through reoptimize/ingest).
+        // Rows after a compacted region shift down; bases are re-derived.
+        let start = Instant::now();
+        let mut regions: Vec<RegionIndex> = Vec::with_capacity(self.regions.len());
+        let mut regions_compacted = 0usize;
+        let mut shift = 0usize;
+        for region in &self.regions {
+            let base = region.base - shift;
+            let range = base..base + region.len;
+            let dead = store.tombstones().count_deleted_in(range.clone());
+            let frac = (region.inserted + dead) as f64 / region.len.max(1) as f64;
+            if dead == 0 || frac <= config.ingest_region_staleness {
+                regions.push(RegionIndex {
+                    base,
+                    len: region.len,
+                    grid: region.grid.clone(),
+                    inserted: region.inserted,
+                });
+                continue;
+            }
+            let removed = store.drop_deleted_in(range);
+            debug_assert_eq!(removed, dead);
+            shift += removed;
+            regions_compacted += 1;
+            let len = region.len - removed;
+            let grid = match &region.grid {
+                Some(grid) if len > 0 => {
+                    // Re-grid the survivors into the existing layout and
+                    // re-sort only this region's slice into cell order.
+                    let region_ds = store.slice_dataset(base..base + len);
+                    let (grid, local_perm) =
+                        AugmentedGrid::build(&region_ds, grid.skeleton(), grid.partitions());
+                    store.permute_range(base, &local_perm);
+                    Some(grid)
+                }
+                _ => None,
+            };
+            regions.push(RegionIndex {
+                base,
+                len,
+                grid,
+                inserted: region.inserted,
+            });
+        }
+        debug_assert_eq!(store.len(), n - shift);
+
+        Ok((
+            Self {
+                tree: self.tree.clone(),
+                regions,
+                store,
+                timing: BuildTiming {
+                    sort_secs: start.elapsed().as_secs_f64(),
+                    optimize_secs: 0.0,
+                },
+                name: self.name.clone(),
+                variant: self.variant,
+                reference: self.reference.clone(),
+                ingested: self.ingested,
+            },
+            DeleteReport {
+                rows_deleted,
+                regions_compacted,
+                rebuilt: false,
+                data_staleness: staleness,
+            },
+        ))
+    }
+
+    /// The fraction of stored rows mutated — ingested or tombstoned — since
+    /// the Grid Tree was last derived from the data (and not yet repaid with
+    /// optimizer attention or compaction) — the data-drift signal the
+    /// engine's autonomous re-optimization loop watches, mirroring its
+    /// workload-drift monitor.
     pub fn data_staleness(&self) -> f64 {
-        self.ingested as f64 / self.store.len().max(1) as f64
+        (self.ingested + self.store.tombstones().deleted()) as f64 / self.store.len().max(1) as f64
+    }
+
+    /// Number of live (non-tombstoned) rows the index answers over.
+    pub fn live_len(&self) -> usize {
+        self.store.live_len()
     }
 
     /// The Grid Tree component.
@@ -1659,6 +1846,143 @@ mod tests {
             .unwrap();
         assert_eq!(report.escalation, None);
         assert!(!report.escalated());
+    }
+
+    /// The live rows of `data` after deleting everything matching `del`.
+    fn live_after(data: &Dataset, del: &Query) -> Dataset {
+        let keep: Vec<usize> = (0..data.len())
+            .filter(|&r| !del.matches_point(data.row(r).as_slice()))
+            .collect();
+        data.select_rows(&keep)
+    }
+
+    /// All five aggregations over the same predicate set.
+    fn all_agg_probes(preds: Vec<Predicate>) -> Vec<Query> {
+        use tsunami_core::Aggregation::*;
+        [Count, Sum(1), Min(1), Max(1), Avg(2)]
+            .into_iter()
+            .map(|agg| Query::new(preds.clone(), agg).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn delete_where_tombstones_and_matches_live_oracle() {
+        let data = dataset(6_000, 170);
+        let w = workload(171);
+        let config = TsunamiConfig::fast();
+        let index = TsunamiIndex::build(&data, &w, &config).unwrap();
+
+        let del = Query::count(vec![Predicate::range(0, 10_000, 13_000).unwrap()]).unwrap();
+        let (after, report) = index.delete_where(&del, &config).unwrap();
+        let live = live_after(&data, &del);
+        assert!(!report.rebuilt, "{report:?}");
+        assert_eq!(report.rows_deleted, data.len() - live.len());
+        assert!(report.rows_deleted > 0);
+        assert_eq!(after.live_len(), live.len());
+        assert!(after.data_staleness() > 0.0);
+
+        // Bit-identical to the live oracle for every aggregation, on probes
+        // overlapping the deleted band, the workload, and the full domain.
+        let mut probes = all_agg_probes(vec![Predicate::range(0, 8_000, 20_000).unwrap()]);
+        probes.extend(all_agg_probes(vec![]));
+        probes.extend(w.queries().iter().step_by(7).cloned());
+        for q in &probes {
+            assert_eq!(after.execute(q), q.execute_full_scan(&live), "{q:?}");
+        }
+
+        // Deleting the same band again is a no-op.
+        let (_, again) = after.delete_where(&del, &config).unwrap();
+        assert_eq!(again.rows_deleted, 0);
+    }
+
+    #[test]
+    fn delete_compaction_and_rebuild_paths_match_tombstoned_results() {
+        let data = dataset(5_000, 172);
+        let w = workload(173);
+        let del = Query::count(vec![Predicate::range(2, 0, 2_500).unwrap()]).unwrap();
+        let live = live_after(&data, &del);
+        let mut probes = all_agg_probes(vec![Predicate::range(2, 0, 6_000).unwrap()]);
+        probes.extend(all_agg_probes(vec![]));
+
+        // Tombstone-only path (bars never trip).
+        let lazy = TsunamiConfig::fast().with_ingest_staleness(1.0, 1.0);
+        let index = TsunamiIndex::build(&data, &w, &lazy).unwrap();
+        let (tombstoned, report) = index.delete_where(&del, &lazy).unwrap();
+        assert!(!report.rebuilt);
+        assert_eq!(report.regions_compacted, 0);
+
+        // Per-region compaction path (zero region bar): dead rows are
+        // physically gone.
+        let eager = TsunamiConfig::fast().with_ingest_staleness(0.0, 1.0);
+        let index = TsunamiIndex::build(&data, &w, &eager).unwrap();
+        let (compacted, report) = index.delete_where(&del, &eager).unwrap();
+        assert!(!report.rebuilt);
+        assert!(report.regions_compacted >= 1, "{report:?}");
+        assert_eq!(compacted.store.len(), live.len());
+        let total: usize = compacted.regions.iter().map(|r| r.len).sum();
+        assert_eq!(total, live.len());
+
+        // Whole-index rebuild path (zero rebuild bar).
+        let rebuild = TsunamiConfig::fast().with_ingest_staleness(1.0, 0.0);
+        let index = TsunamiIndex::build(&data, &w, &rebuild).unwrap();
+        let (rebuilt, report) = index.delete_where(&del, &rebuild).unwrap();
+        assert!(report.rebuilt, "{report:?}");
+        assert_eq!(rebuilt.store.len(), live.len());
+        assert_eq!(rebuilt.data_staleness(), 0.0);
+
+        // All three paths are bit-identical to the live oracle.
+        for q in &probes {
+            let expected = q.execute_full_scan(&live);
+            assert_eq!(tombstoned.execute(q), expected, "tombstoned {q:?}");
+            assert_eq!(compacted.execute(q), expected, "compacted {q:?}");
+            assert_eq!(rebuilt.execute(q), expected, "rebuilt {q:?}");
+        }
+    }
+
+    #[test]
+    fn ingest_after_delete_never_resurrects_tombstoned_rows() {
+        let data = dataset(3_000, 174);
+        let w = workload(175);
+        let lazy = TsunamiConfig::fast().with_ingest_staleness(1.0, 1.0);
+        let index = TsunamiIndex::build(&data, &w, &lazy).unwrap();
+        let del = Query::count(vec![Predicate::range(0, 0, 20_000).unwrap()]).unwrap();
+        let (after, report) = index.delete_where(&del, &lazy).unwrap();
+        assert!(!report.rebuilt);
+        assert!(report.rows_deleted > 0);
+        let live = live_after(&data, &del);
+
+        // An ingest big enough to trip the rebuild bar merges live rows plus
+        // the batch — the tombstoned rows must not come back.
+        let strict = TsunamiConfig::fast().with_ingest_staleness(1.0, 0.0);
+        let batch = ingest_batch(300, 176);
+        let (merged_index, report) = after
+            .ingest_with_cost(
+                &Dataset::from_rows(3, &batch).unwrap(),
+                &CostModel::default(),
+                &strict,
+            )
+            .unwrap();
+        assert!(report.rebuilt, "{report:?}");
+        let merged = merged_dataset(&live, &batch);
+        assert_eq!(merged_index.store.len(), merged.len());
+        for q in all_agg_probes(vec![Predicate::range(0, 0, 30_000).unwrap()]) {
+            assert_eq!(
+                merged_index.execute(&q),
+                q.execute_full_scan(&merged),
+                "{q:?}"
+            );
+        }
+
+        // A post-delete reoptimize over the live dataset must not spuriously
+        // escalate as DataChanged.
+        let (_, report) = after
+            .reoptimize_with_cost(&live, &w, &CostModel::default(), &lazy)
+            .unwrap();
+        assert_ne!(
+            report.escalation,
+            Some(Escalation::DataChanged),
+            "{report:?}"
+        );
     }
 
     #[test]

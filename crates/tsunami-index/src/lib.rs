@@ -67,6 +67,6 @@ pub mod shift;
 pub use augmented_grid::{AugmentedGrid, DimStrategy, OptimizerKind, Skeleton};
 pub use config::{IndexVariant, TsunamiConfig};
 pub use grid_tree::GridTree;
-pub use index::{Escalation, IngestReport, ReoptReport, TsunamiIndex, TsunamiStats};
+pub use index::{DeleteReport, Escalation, IngestReport, ReoptReport, TsunamiIndex, TsunamiStats};
 pub use query_types::cluster_query_types;
 pub use shift::{ShiftReport, WorkloadMonitor};

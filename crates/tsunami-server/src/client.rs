@@ -1,8 +1,17 @@
 //! A minimal blocking client for the wire protocol — one request in flight
 //! per connection, which is exactly the shape the open-loop load generator
 //! and the tests need.
+//!
+//! Connection establishment is the one place the client retries:
+//! *transient* connect failures (refused, reset, timed out — the shapes a
+//! restarting or momentarily overloaded server produces) are retried with
+//! bounded exponential backoff per [`ClientConfig`]. Everything after the
+//! connection is strict: a read timeout or torn response surfaces as a
+//! typed [`ClientError`] and the caller decides, because blindly resending
+//! a non-idempotent request (an insert) could double-apply it.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use tsunami_core::{AggResult, Aggregation, Point, Predicate};
 
@@ -10,11 +19,46 @@ use crate::protocol::{
     self, read_frame, write_frame, FrameError, FrameRead, Request, Response, WireError,
 };
 
+/// Connection tuning for [`Client::connect_with_config`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Maximum accepted response frame payload, bytes.
+    pub max_frame: usize,
+    /// Per-attempt connect timeout; `None` blocks until the OS gives up.
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout for responses; `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Retries after the first failed connect attempt (`0` = single
+    /// attempt). Only transient failures are retried.
+    pub connect_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub retry_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            max_frame: protocol::max_frame_from_env(),
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            connect_retries: 3,
+            retry_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
 /// What a client call can fail with.
 #[derive(Debug)]
 pub enum ClientError {
     /// Transport failure (connect, read, write, EOF mid-response).
     Io(std::io::Error),
+    /// Every connect attempt failed; `last` is the final attempt's error.
+    ConnectExhausted {
+        /// Connect attempts made (1 + retries performed).
+        attempts: u32,
+        /// The last attempt's failure.
+        last: std::io::Error,
+    },
     /// The server's bytes did not decode.
     Wire(WireError),
     /// The server answered with a typed error.
@@ -32,6 +76,9 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::ConnectExhausted { attempts, last } => {
+                write!(f, "connect failed after {attempts} attempts: {last}")
+            }
             ClientError::Wire(e) => write!(f, "protocol error: {e}"),
             ClientError::Server { code, message } => {
                 write!(f, "server error {code}: {message}")
@@ -76,16 +123,62 @@ pub struct Client {
 
 impl Client {
     /// Connects with the environment-derived max frame size
-    /// ([`protocol::max_frame_from_env`]).
+    /// ([`protocol::max_frame_from_env`]) and no timeouts or retries.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         Self::connect_with(addr, protocol::max_frame_from_env())
     }
 
-    /// Connects with an explicit max frame size.
+    /// Connects with an explicit max frame size and no timeouts or retries.
     pub fn connect_with(addr: impl ToSocketAddrs, max_frame: usize) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Self { stream, max_frame })
+    }
+
+    /// Connects with per-attempt connect timeouts, a response read timeout,
+    /// and bounded exponential-backoff retry of **transient** connect
+    /// failures ([`transient_connect_error`]). Address resolution failures
+    /// and non-transient errors (e.g. permission denied) fail immediately;
+    /// exhausting the retry budget yields
+    /// [`ClientError::ConnectExhausted`].
+    pub fn connect_with_config(
+        addr: impl ToSocketAddrs,
+        config: &ClientConfig,
+    ) -> Result<Self, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(ClientError::Io)?.collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            )));
+        }
+        let attempts = config.connect_retries.saturating_add(1);
+        let mut backoff = config.retry_backoff;
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            match connect_once(&addrs, config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).map_err(ClientError::Io)?;
+                    stream
+                        .set_read_timeout(config.read_timeout)
+                        .map_err(ClientError::Io)?;
+                    return Ok(Self {
+                        stream,
+                        max_frame: config.max_frame,
+                    });
+                }
+                Err(e) if transient_connect_error(&e) => last = Some(e),
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+        Err(ClientError::ConnectExhausted {
+            attempts,
+            last: last.expect("at least one attempt ran"),
+        })
     }
 
     /// Liveness probe.
@@ -140,6 +233,37 @@ impl Client {
             ))),
         }
     }
+}
+
+/// One connect pass over every resolved address; the last error wins.
+fn connect_once(addrs: &[SocketAddr], timeout: Option<Duration>) -> std::io::Result<TcpStream> {
+    let mut last = None;
+    for addr in addrs {
+        let attempt = match timeout {
+            Some(t) => TcpStream::connect_timeout(addr, t),
+            None => TcpStream::connect(addr),
+        };
+        match attempt {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("addrs is non-empty"))
+}
+
+/// Whether a connect failure is worth retrying: the server may simply not
+/// be (re)started yet or momentarily overloaded. Everything else — address
+/// errors, permission errors — will not heal with time.
+pub fn transient_connect_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::Interrupted
+    )
 }
 
 fn unexpected(response: Response) -> ClientError {

@@ -51,7 +51,7 @@ pub mod daemon;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{transient_connect_error, Client, ClientConfig, ClientError};
 pub use daemon::ReoptDaemon;
 pub use protocol::{Request, Response, WireError};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};

@@ -31,11 +31,12 @@
 //! finishing any in-flight response (the write side stays open), so clients
 //! never see a torn frame.
 
-use std::io::BufWriter;
+use std::io::{BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use tsunami_core::{Query, TsunamiError};
 use tsunami_engine::ShardedDatabase;
@@ -56,6 +57,11 @@ pub struct ServerConfig {
     /// Re-optimization watermark: served operations between drift checks
     /// (`0` disables the daemon). See [`ReoptDaemon`].
     pub reopt_watermark: u64,
+    /// Per-connection idle read timeout: a connection that sends no frame
+    /// for this long is reaped (socket shut down, reader thread exits).
+    /// `None` keeps silent connections — and their threads — forever.
+    /// Defaults from `TSUNAMI_IDLE_TIMEOUT_MS` (`0` or unset disables).
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +73,11 @@ impl Default for ServerConfig {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(8_192),
+            idle_timeout: std::env::var("TSUNAMI_IDLE_TIMEOUT_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis),
         }
     }
 }
@@ -82,6 +93,9 @@ pub struct ServerStats {
     pub rows_inserted: AtomicU64,
     /// Error responses sent.
     pub errors: AtomicU64,
+    /// Connections reaped by the idle read timeout
+    /// ([`ServerConfig::idle_timeout`]).
+    pub reaped_idle: AtomicU64,
 }
 
 /// Live connections: the stream (for half-close on shutdown) and the
@@ -121,6 +135,7 @@ impl Server {
         let accept_stats = Arc::clone(&stats);
         let accept_daemon = daemon.clone();
         let max_frame = config.max_frame;
+        let idle_timeout = config.idle_timeout;
         let listener_thread = std::thread::Builder::new()
             .name("tsunami-accept".to_string())
             .spawn(move || {
@@ -137,7 +152,14 @@ impl Server {
                     let handle = std::thread::Builder::new()
                         .name("tsunami-conn".to_string())
                         .spawn(move || {
-                            handle_connection(reader, conn_db, conn_daemon, conn_stats, max_frame)
+                            handle_connection(
+                                reader,
+                                conn_db,
+                                conn_daemon,
+                                conn_stats,
+                                max_frame,
+                                idle_timeout,
+                            )
                         })
                         .expect("spawn connection thread");
                     let mut registry = accept_conns.lock().unwrap();
@@ -217,8 +239,12 @@ fn handle_connection(
     daemon: ReoptDaemon,
     stats: Arc<ServerStats>,
     max_frame: usize,
+    idle_timeout: Option<Duration>,
 ) {
     let _ = reader.set_nodelay(true);
+    if reader.set_read_timeout(idle_timeout).is_err() {
+        return;
+    }
     let Ok(writer) = reader.try_clone() else {
         return;
     };
@@ -236,6 +262,17 @@ fn handle_connection(
                     message: format!("frame of {len} bytes exceeds the {max}-byte limit"),
                 };
                 send(&mut writer, &resp);
+                break;
+            }
+            // The idle read timeout fired (WouldBlock on unix, TimedOut on
+            // windows): reap the silent connection.
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                stats.reaped_idle.fetch_add(1, Ordering::Relaxed);
                 break;
             }
             Err(FrameError::Io(_)) => break,
@@ -256,6 +293,11 @@ fn handle_connection(
             break;
         }
     }
+    // Fully close the socket here: the shutdown registry holds another
+    // clone of this stream, so without an explicit shutdown a reaped
+    // connection's peer would never observe EOF.
+    let _ = writer.flush();
+    let _ = reader.shutdown(Shutdown::Both);
 }
 
 fn send(writer: &mut BufWriter<TcpStream>, response: &Response) -> bool {

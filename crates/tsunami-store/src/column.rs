@@ -88,6 +88,26 @@ impl Column {
         slice.copy_from_slice(&reordered);
     }
 
+    /// Removes the rows of `range` that are not listed in `keep` (absolute
+    /// row indices inside `range`, ascending); rows after the range shift
+    /// down to close the gap. This is compaction's storage primitive —
+    /// min/max are recomputed, since removal can tighten them.
+    pub fn drop_range_except(&mut self, range: std::ops::Range<usize>, keep: &[usize]) {
+        debug_assert!(range.end <= self.values.len());
+        debug_assert!(keep.iter().all(|&i| range.contains(&i)));
+        let mut out = range.start;
+        for &i in keep {
+            self.values[out] = self.values[i];
+            out += 1;
+        }
+        self.values.copy_within(range.end.., out);
+        let removed = range.len() - keep.len();
+        self.values.truncate(self.values.len() - removed);
+        let (min, max) = min_max(&self.values);
+        self.min = min;
+        self.max = max;
+    }
+
     /// Sum of values in `range`, as a wide integer.
     pub fn sum_range(&self, range: std::ops::Range<usize>) -> u128 {
         self.values[range].iter().map(|&v| v as u128).sum()
@@ -153,6 +173,19 @@ mod tests {
         c.permute(&[3, 1, 0, 2]);
         assert_eq!(c.values(), &[40, 20, 10, 30]);
         assert_eq!(c.get(0), 40);
+    }
+
+    #[test]
+    fn drop_range_except_compacts_and_retightens_bounds() {
+        let mut c = Column::new(vec![10, 99, 30, 99, 50, 60]);
+        // Drop rows 1 and 3 of range 0..5, keeping 0, 2, 4; the tail (60)
+        // shifts down.
+        c.drop_range_except(0..5, &[0, 2, 4]);
+        assert_eq!(c.values(), &[10, 30, 50, 60]);
+        assert_eq!((c.min(), c.max()), (10, 60));
+        // Keeping everything is a no-op.
+        c.drop_range_except(1..3, &[1, 2]);
+        assert_eq!(c.values(), &[10, 30, 50, 60]);
     }
 
     #[test]

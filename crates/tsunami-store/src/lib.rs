@@ -12,6 +12,8 @@
 //!   execution scans contiguous ranges.
 //! * [`Dictionary`] — string dictionary encoding (§6.1: "any string values
 //!   are dictionary encoded prior to evaluation").
+//! * [`Wal`] — the write-ahead log the engine's durability layer appends
+//!   mutation records to, with strict checksummed replay (see [`wal`]).
 //!
 //! Scanning itself — the vectorized kernels, the exact-range fast path, and
 //! the per-query [`ScanCounters`] — lives in [`tsunami_core::exec`]; the
@@ -21,10 +23,12 @@
 pub mod column;
 pub mod dictionary;
 pub mod table;
+pub mod wal;
 
 pub use column::Column;
 pub use dictionary::Dictionary;
 pub use table::ColumnStore;
+pub use wal::{CrashPoint, Wal, WalRecord};
 // Re-exported for backwards compatibility: counters moved into the shared
 // executor in `tsunami_core::exec`.
 pub use tsunami_core::ScanCounters;

@@ -5,7 +5,7 @@ use std::ops::Range;
 
 use crate::column::Column;
 use tsunami_core::exec::{self, BlockScratch, ScanPlan, ScanSource};
-use tsunami_core::{AggAccumulator, AggResult, Dataset, Query, ScanCounters, Value};
+use tsunami_core::{AggAccumulator, AggResult, Dataset, Query, ScanCounters, TombstoneSet, Value};
 
 /// A column-oriented physical table.
 ///
@@ -21,6 +21,12 @@ use tsunami_core::{AggAccumulator, AggResult, Dataset, Query, ScanCounters, Valu
 pub struct ColumnStore {
     columns: Vec<Column>,
     len: usize,
+    /// Deletion bitmap: one bit per physical row, set = tombstoned. The
+    /// executor ANDs liveness into every selection (see
+    /// [`ScanSource::tombstones`]); bits travel with rows through every
+    /// permutation and are physically dropped only by
+    /// [`ColumnStore::drop_deleted_in`] (compaction).
+    tombstones: TombstoneSet,
 }
 
 impl ColumnStore {
@@ -32,6 +38,7 @@ impl ColumnStore {
         Self {
             columns,
             len: data.len(),
+            tombstones: TombstoneSet::new(data.len()),
         }
     }
 
@@ -72,6 +79,7 @@ impl ColumnStore {
         for c in &mut self.columns {
             c.permute(perm);
         }
+        self.tombstones = self.tombstones.permuted(perm);
     }
 
     /// Appends a dataset's rows at the end of the store (the *append
@@ -90,6 +98,7 @@ impl ColumnStore {
             c.append(data.column(dim));
         }
         self.len += data.len();
+        self.tombstones.extend_live(data.len());
     }
 
     /// Stably sorts the rows of `range` by their value in dimension `dim`,
@@ -122,6 +131,7 @@ impl ColumnStore {
         for c in &mut self.columns {
             c.permute_range(base, perm);
         }
+        self.tombstones.permute_range(base, perm);
     }
 
     /// Copies a contiguous row range back out as a logical [`Dataset`]
@@ -203,6 +213,78 @@ impl ColumnStore {
     pub fn data_bytes(&self) -> usize {
         self.columns.iter().map(Column::size_bytes).sum()
     }
+
+    /// The store's deletion bitmap.
+    pub fn tombstones(&self) -> &TombstoneSet {
+        &self.tombstones
+    }
+
+    /// Number of live (non-tombstoned) rows.
+    pub fn live_len(&self) -> usize {
+        self.tombstones.live()
+    }
+
+    /// Tombstones every live row matching all of the query's predicates.
+    /// Returns the number of rows newly deleted. The rows keep their
+    /// physical slots (scans skip them via the bitmap) until a
+    /// [`ColumnStore::drop_deleted_in`] compaction removes them.
+    pub fn delete_where(&mut self, query: &Query) -> usize {
+        let preds = query.predicates();
+        let mut newly = 0usize;
+        'rows: for row in 0..self.len {
+            if self.tombstones.is_deleted(row) {
+                continue;
+            }
+            for p in preds {
+                if !p.matches(self.columns[p.dim].get(row)) {
+                    continue 'rows;
+                }
+            }
+            newly += self.tombstones.mark(row) as usize;
+        }
+        newly
+    }
+
+    /// Physically removes the tombstoned rows of `range`: live rows inside
+    /// compact down, rows after the range shift left, and the store shrinks.
+    /// Returns the number of rows removed. Callers owning row ranges (region
+    /// indexes) must re-base everything after `range.start` themselves.
+    pub fn drop_deleted_in(&mut self, range: Range<usize>) -> usize {
+        assert!(range.end <= self.len, "compaction range must be in bounds");
+        let keep: Vec<usize> = range
+            .clone()
+            .filter(|&r| !self.tombstones.is_deleted(r))
+            .collect();
+        let removed = range.len() - keep.len();
+        if removed == 0 {
+            return 0;
+        }
+        for c in &mut self.columns {
+            c.drop_range_except(range.clone(), &keep);
+        }
+        let t_removed = self.tombstones.remove_deleted_in(range);
+        debug_assert_eq!(t_removed, removed);
+        self.len -= removed;
+        removed
+    }
+
+    /// Copies the live rows of a contiguous physical range out as a logical
+    /// [`Dataset`], in store order. The tombstone-aware counterpart of
+    /// [`ColumnStore::slice_dataset`], used wherever an index rebuilds from
+    /// its own store — rebuilding from raw slices would resurrect deleted
+    /// rows.
+    pub fn live_slice_dataset(&self, range: Range<usize>) -> Dataset {
+        if !self.tombstones.any() {
+            return self.slice_dataset(range);
+        }
+        let rows: Vec<usize> = range.filter(|&r| !self.tombstones.is_deleted(r)).collect();
+        let cols: Vec<Vec<Value>> = self
+            .columns
+            .iter()
+            .map(|c| rows.iter().map(|&r| c.get(r)).collect())
+            .collect();
+        Dataset::from_columns(cols).expect("store columns are equal-length")
+    }
 }
 
 impl ScanSource for ColumnStore {
@@ -214,6 +296,9 @@ impl ScanSource for ColumnStore {
     }
     fn column_values(&self, dim: usize) -> &[Value] {
         self.columns[dim].values()
+    }
+    fn tombstones(&self) -> Option<&TombstoneSet> {
+        Some(&self.tombstones)
     }
 }
 
@@ -407,6 +492,79 @@ mod tests {
         let (parallel, pc) = s.execute_plan_parallel(&q, &plan, 4);
         assert_eq!(serial, parallel);
         assert_eq!(sc, pc);
+    }
+
+    #[test]
+    fn delete_where_hides_rows_from_every_scan_shape() {
+        let mut s = store();
+        let del = Query::count(vec![Predicate::range(0, 10, 19).unwrap()]).unwrap();
+        assert_eq!(s.delete_where(&del), 10);
+        // Re-deleting is a no-op.
+        assert_eq!(s.delete_where(&del), 0);
+        assert_eq!((s.len(), s.live_len()), (100, 90));
+
+        // Non-exact scan: the deleted band no longer matches.
+        let q = Query::count(vec![Predicate::range(0, 0, 29).unwrap()]).unwrap();
+        assert_eq!(s.full_scan(&q), AggResult::Count(20));
+        // Exact range over the deleted band: liveness still applies.
+        let all = Query::count(vec![]).unwrap();
+        let (res, c) = s.execute_ranges(&all, [(0..30, true)]);
+        assert_eq!(res, AggResult::Count(20));
+        assert_eq!(c.matched, 20);
+        // Aggregations over the store skip tombstoned values.
+        let sum = Query::new(vec![], Aggregation::Sum(1)).unwrap();
+        let expected: u128 = (0..100u128)
+            .filter(|v| !(10..20).contains(v))
+            .map(|v| v * 2)
+            .sum();
+        assert_eq!(s.full_scan(&sum), AggResult::Sum(expected));
+    }
+
+    #[test]
+    fn tombstones_travel_through_permutations() {
+        let mut s = store();
+        let del = Query::count(vec![Predicate::range(0, 0, 4).unwrap()]).unwrap();
+        assert_eq!(s.delete_where(&del), 5);
+        let perm: Vec<usize> = (0..100).rev().collect();
+        s.permute(&perm);
+        let q = Query::count(vec![]).unwrap();
+        assert_eq!(s.full_scan(&q), AggResult::Count(95));
+        // Reorder a slice containing deleted rows; results unchanged.
+        s.sort_range(90..100, 0);
+        assert_eq!(s.full_scan(&q), AggResult::Count(95));
+        assert_eq!(s.tombstones().deleted(), 5);
+    }
+
+    #[test]
+    fn drop_deleted_in_compacts_physically() {
+        let mut s = store();
+        let del = Query::count(vec![Predicate::range(0, 40, 59).unwrap()]).unwrap();
+        assert_eq!(s.delete_where(&del), 20);
+        // Compact only the first half: 10 dead rows (40..50) go away.
+        assert_eq!(s.drop_deleted_in(0..50), 10);
+        assert_eq!((s.len(), s.live_len()), (90, 80));
+        // Full compaction clears the rest.
+        assert_eq!(s.drop_deleted_in(0..90), 10);
+        assert_eq!((s.len(), s.live_len()), (80, 80));
+        assert!(!s.tombstones().any());
+        let q = Query::count(vec![]).unwrap();
+        assert_eq!(s.full_scan(&q), AggResult::Count(80));
+        // Values survived compaction in order.
+        assert_eq!(s.get(39, 0), 39);
+        assert_eq!(s.get(40, 0), 60);
+    }
+
+    #[test]
+    fn live_slice_dataset_excludes_tombstones() {
+        let mut s = store();
+        let del = Query::count(vec![Predicate::range(0, 2, 3).unwrap()]).unwrap();
+        s.delete_where(&del);
+        let ds = s.live_slice_dataset(0..6);
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.column(0), &[0, 1, 4, 5]);
+        // Without tombstones in range the raw slice path is taken.
+        let ds = s.live_slice_dataset(10..12);
+        assert_eq!(ds.column(0), &[10, 11]);
     }
 
     #[test]

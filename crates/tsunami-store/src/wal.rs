@@ -1,0 +1,880 @@
+//! Write-ahead log: length-prefixed, checksummed, versioned mutation records.
+//!
+//! The durability layer logs every mutation before applying it in memory, so
+//! a crash at any instant loses at most the suffix of the log that was never
+//! fsync'd. The engine replays the log on open and rebuilds the exact
+//! in-memory state of the durably committed prefix.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! +----------------+----------------+---------+--------+------------------+
+//! | payload length | FNV-1a of      | version | opcode | body             |
+//! |  u32 BE        | payload, u32 BE|  u8 = 1 |  u8    | opcode-specific  |
+//! +----------------+----------------+---------+--------+------------------+
+//! |<------- 8-byte header -------->|<-------- `length` bytes ----------->|
+//! ```
+//!
+//! All integers are big-endian, mirroring the wire protocol in
+//! `tsunami-server`. The length prefix counts the payload (version + opcode +
+//! body) and is checked against [`MAX_RECORD_BYTES`] before any allocation,
+//! so a corrupt length cannot balloon memory. The checksum covers the whole
+//! payload; it is FNV-1a (32-bit), chosen because it is dependency-free,
+//! byte-order-stable, and catches the torn-write and bit-rot cases a WAL
+//! tail actually sees.
+//!
+//! # Recovery semantics
+//!
+//! [`replay`] is strict-prefix: it decodes records from the front and stops
+//! at the first frame that is truncated, fails its checksum, or does not
+//! decode exactly (unknown version/opcode, trailing bytes in a body). It
+//! returns the well-formed records plus the byte length of the valid prefix;
+//! the engine truncates the log to that length before appending again, so a
+//! torn tail is amputated exactly once and never resurfaces.
+//!
+//! # Crash injection
+//!
+//! [`CrashPoint`] is a deterministic fault hook for tests: it makes the log
+//! stop mid-record, or "lose" everything after the last fsync, modelling the
+//! two ways a real kernel crash shears a log file. Engine-level checkpoint
+//! crash points ride on the same enum.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use tsunami_core::{Aggregation, Dataset, Predicate, Query, Result, TsunamiError, Value};
+
+/// WAL format version carried in every record.
+pub const WAL_VERSION: u8 = 1;
+
+/// Maximum payload size accepted per record (64 MiB). Checked before the
+/// payload is read so a corrupt length prefix cannot trigger a huge
+/// allocation; any real record in this workspace is far smaller.
+pub const MAX_RECORD_BYTES: usize = 64 << 20;
+
+const HEADER_BYTES: usize = 8;
+
+const OP_CREATE_TABLE: u8 = 0x01;
+const OP_INSERT_BATCH: u8 = 0x02;
+const OP_DELETE: u8 = 0x03;
+const OP_CHECKPOINT: u8 = 0x04;
+
+/// FNV-1a, 32-bit. Offset basis and prime per the reference parameters.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// A single durable mutation. Everything the engine needs to rebuild a
+/// table's logical content is expressible as a sequence of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A table was created: its schema, its index specification (encoded by
+    /// the engine — the store treats it as opaque bytes), the workload the
+    /// index was optimized for, and the initial data.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column names, in dimension order.
+        columns: Vec<String>,
+        /// Engine-encoded index specification.
+        spec: Vec<u8>,
+        /// Workload queries the index was optimized against.
+        workload: Vec<Query>,
+        /// Initial rows.
+        data: Dataset,
+    },
+    /// Rows were appended to a table.
+    InsertBatch {
+        /// Target table.
+        table: String,
+        /// Appended rows.
+        rows: Dataset,
+    },
+    /// Rows matching a predicate conjunction were tombstoned.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Conjunctive range predicates selecting the rows to delete.
+        predicates: Vec<Predicate>,
+    },
+    /// A checkpoint completed covering the named tables; records before this
+    /// one are reflected in the checkpoint file.
+    Checkpoint {
+        /// Monotonic checkpoint epoch. The marker at the head of a fresh WAL
+        /// carries the same generation as the checkpoint file it follows, so
+        /// recovery can tell a WAL that belongs to the current checkpoint
+        /// from one the checkpoint already absorbed (crash between rename
+        /// and truncate).
+        generation: u64,
+        /// Tables captured by the checkpoint.
+        tables: Vec<String>,
+    },
+}
+
+/// Deterministic fault-injection points for crash testing.
+///
+/// The engine and the [`Wal`] consult the configured crash point at the
+/// matching step and abort there, leaving the on-disk state exactly as a
+/// kernel crash at that instant would (given the no-reordering model: bytes
+/// written before the last fsync are durable, later bytes may be lost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashPoint {
+    /// No fault injected.
+    #[default]
+    None,
+    /// Crash after writing roughly half of a record's frame: the log ends in
+    /// a torn record.
+    MidRecord,
+    /// Crash after the record is fully written but before fsync: everything
+    /// past the last sync is lost (the file is truncated back to the synced
+    /// length, modelling dropped page cache).
+    BeforeSync,
+    /// Crash while writing the temporary checkpoint file (engine-level): the
+    /// tmp file is left partial, the real checkpoint and WAL untouched.
+    MidCheckpoint,
+    /// Crash after the checkpoint file is atomically renamed into place but
+    /// before the WAL is truncated (engine-level): replay sees both.
+    AfterCheckpointRename,
+}
+
+fn io_err(ctx: &str, e: std::io::Error) -> TsunamiError {
+    TsunamiError::Durability(format!("{ctx}: {e}"))
+}
+
+/// An append-only, checksummed log file.
+///
+/// Writes go through [`Wal::append`]; nothing is durable until
+/// [`Wal::commit`] fsyncs. The struct tracks the last synced length so the
+/// [`CrashPoint::BeforeSync`] fault can model losing unsynced bytes.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    synced_len: u64,
+    crash: CrashPoint,
+}
+
+impl Wal {
+    /// Creates (or truncates) a log at `path`.
+    pub fn create(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err("create wal", e))?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            len: 0,
+            synced_len: 0,
+            crash: CrashPoint::None,
+        })
+    }
+
+    /// Opens an existing log for appending, first truncating it to
+    /// `valid_len` — the well-formed prefix reported by [`replay`] — so a
+    /// torn tail from a previous crash is amputated before new records land.
+    pub fn open_append(path: &Path, valid_len: u64) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err("open wal", e))?;
+        file.set_len(valid_len)
+            .map_err(|e| io_err("truncate wal tail", e))?;
+        file.sync_all().map_err(|e| io_err("sync wal", e))?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            len: valid_len,
+            synced_len: valid_len,
+            crash: CrashPoint::None,
+        })
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes written so far (committed or not).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes made durable by the last [`Wal::commit`].
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
+    }
+
+    /// Arms a fault-injection point. Test hook; [`CrashPoint::None`] (the
+    /// default) is a no-op in every path.
+    pub fn set_crash_point(&mut self, crash: CrashPoint) {
+        self.crash = crash;
+    }
+
+    /// Appends one record to the log. Not durable until [`Wal::commit`].
+    ///
+    /// With [`CrashPoint::MidRecord`] armed, writes only the first half of
+    /// the frame and fails, leaving a torn record at the tail.
+    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+        let frame = encode_record(record);
+        if self.crash == CrashPoint::MidRecord {
+            let half = &frame[..frame.len() / 2];
+            self.write_at_end(half)?;
+            return Err(TsunamiError::Durability(
+                "crash injected mid-record".to_string(),
+            ));
+        }
+        self.write_at_end(&frame)
+    }
+
+    /// Makes every appended record durable (fsync).
+    ///
+    /// With [`CrashPoint::BeforeSync`] armed, instead truncates the file
+    /// back to the last synced length — the deterministic model of a crash
+    /// that drops everything the page cache had not flushed — and fails.
+    pub fn commit(&mut self) -> Result<()> {
+        if self.crash == CrashPoint::BeforeSync {
+            self.file
+                .set_len(self.synced_len)
+                .map_err(|e| io_err("truncate wal (injected crash)", e))?;
+            self.len = self.synced_len;
+            return Err(TsunamiError::Durability(
+                "crash injected before fsync".to_string(),
+            ));
+        }
+        self.file.sync_all().map_err(|e| io_err("fsync wal", e))?;
+        self.synced_len = self.len;
+        Ok(())
+    }
+
+    /// [`Wal::append`] followed by [`Wal::commit`].
+    pub fn append_commit(&mut self, record: &WalRecord) -> Result<()> {
+        self.append(record)?;
+        self.commit()
+    }
+
+    /// Truncates the log to `len` bytes and fsyncs. Used after a checkpoint
+    /// absorbs a prefix of the log.
+    pub fn truncate_to(&mut self, len: u64) -> Result<()> {
+        self.file
+            .set_len(len)
+            .map_err(|e| io_err("truncate wal", e))?;
+        self.file.sync_all().map_err(|e| io_err("fsync wal", e))?;
+        self.len = len;
+        self.synced_len = len;
+        Ok(())
+    }
+
+    fn write_at_end(&mut self, bytes: &[u8]) -> Result<()> {
+        self.file
+            .seek(SeekFrom::Start(self.len))
+            .map_err(|e| io_err("seek wal", e))?;
+        self.file
+            .write_all(bytes)
+            .map_err(|e| io_err("append wal", e))?;
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+}
+
+/// Replays a log file: returns every well-formed record plus the byte
+/// length of the valid prefix (see the module docs for the strict-prefix
+/// rule). A missing file is an empty log, not an error.
+pub fn replay(path: &Path) -> Result<(Vec<WalRecord>, u64)> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(io_err("open wal for replay", e)),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| io_err("read wal", e))?;
+    let (records, valid_len) = decode_frames(&bytes);
+    Ok((records, valid_len as u64))
+}
+
+/// Encodes one record as a complete frame (header + payload).
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.push(WAL_VERSION);
+    match record {
+        WalRecord::CreateTable {
+            name,
+            columns,
+            spec,
+            workload,
+            data,
+        } => {
+            payload.push(OP_CREATE_TABLE);
+            put_string(&mut payload, name);
+            put_u32(&mut payload, columns.len() as u32);
+            for c in columns {
+                put_string(&mut payload, c);
+            }
+            put_u32(&mut payload, spec.len() as u32);
+            payload.extend_from_slice(spec);
+            put_u32(&mut payload, workload.len() as u32);
+            for q in workload {
+                put_query(&mut payload, q);
+            }
+            put_dataset(&mut payload, data);
+        }
+        WalRecord::InsertBatch { table, rows } => {
+            payload.push(OP_INSERT_BATCH);
+            put_string(&mut payload, table);
+            put_dataset(&mut payload, rows);
+        }
+        WalRecord::Delete { table, predicates } => {
+            payload.push(OP_DELETE);
+            put_string(&mut payload, table);
+            put_u32(&mut payload, predicates.len() as u32);
+            for p in predicates {
+                put_predicate(&mut payload, p);
+            }
+        }
+        WalRecord::Checkpoint { generation, tables } => {
+            payload.push(OP_CHECKPOINT);
+            put_u64(&mut payload, *generation);
+            put_u32(&mut payload, tables.len() as u32);
+            for t in tables {
+                put_string(&mut payload, t);
+            }
+        }
+    }
+    let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&checksum(&payload).to_be_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decodes frames from the front of `bytes`, stopping at the first torn or
+/// corrupt one. Returns the records plus the byte length of the valid
+/// prefix.
+pub fn decode_frames(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(header) = bytes.get(pos..pos + HEADER_BYTES) {
+        let len = u32::from_be_bytes(header[..4].try_into().unwrap()) as usize;
+        let sum = u32::from_be_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_RECORD_BYTES {
+            break;
+        }
+        let Some(payload) = bytes.get(pos + HEADER_BYTES..pos + HEADER_BYTES + len) else {
+            break;
+        };
+        if checksum(payload) != sum {
+            break;
+        }
+        let Some(record) = decode_payload(payload) else {
+            break;
+        };
+        records.push(record);
+        pos += HEADER_BYTES + len;
+    }
+    (records, pos)
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    if r.u8()? != WAL_VERSION {
+        return None;
+    }
+    let opcode = r.u8()?;
+    let record = match opcode {
+        OP_CREATE_TABLE => {
+            let name = r.string()?;
+            let ncols = r.u32()? as usize;
+            let mut columns = Vec::with_capacity(ncols.min(4096));
+            for _ in 0..ncols {
+                columns.push(r.string()?);
+            }
+            let spec_len = r.u32()? as usize;
+            let spec = r.bytes(spec_len)?.to_vec();
+            let nq = r.u32()? as usize;
+            let mut workload = Vec::with_capacity(nq.min(4096));
+            for _ in 0..nq {
+                workload.push(r.query()?);
+            }
+            let data = r.dataset()?;
+            WalRecord::CreateTable {
+                name,
+                columns,
+                spec,
+                workload,
+                data,
+            }
+        }
+        OP_INSERT_BATCH => {
+            let table = r.string()?;
+            let rows = r.dataset()?;
+            WalRecord::InsertBatch { table, rows }
+        }
+        OP_DELETE => {
+            let table = r.string()?;
+            let np = r.u32()? as usize;
+            let mut predicates = Vec::with_capacity(np.min(4096));
+            for _ in 0..np {
+                predicates.push(r.predicate()?);
+            }
+            WalRecord::Delete { table, predicates }
+        }
+        OP_CHECKPOINT => {
+            let generation = r.u64()?;
+            let nt = r.u32()? as usize;
+            let mut tables = Vec::with_capacity(nt.min(4096));
+            for _ in 0..nt {
+                tables.push(r.string()?);
+            }
+            WalRecord::Checkpoint { generation, tables }
+        }
+        _ => return None,
+    };
+    // Strict: a payload with trailing bytes after a complete body is corrupt.
+    if r.pos != payload.len() {
+        return None;
+    }
+    Some(record)
+}
+
+// --- body codec -----------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_predicate(out: &mut Vec<u8>, p: &Predicate) {
+    put_u32(out, p.dim as u32);
+    put_u64(out, p.lo);
+    put_u64(out, p.hi);
+}
+
+fn put_query(out: &mut Vec<u8>, q: &Query) {
+    put_u32(out, q.predicates().len() as u32);
+    for p in q.predicates() {
+        put_predicate(out, p);
+    }
+    let (tag, dim) = match q.aggregation() {
+        Aggregation::Count => (0u8, 0usize),
+        Aggregation::Sum(d) => (1, d),
+        Aggregation::Min(d) => (2, d),
+        Aggregation::Max(d) => (3, d),
+        Aggregation::Avg(d) => (4, d),
+    };
+    out.push(tag);
+    put_u32(out, dim as u32);
+}
+
+fn put_dataset(out: &mut Vec<u8>, data: &Dataset) {
+    put_u32(out, data.num_dims() as u32);
+    put_u64(out, data.len() as u64);
+    for d in 0..data.num_dims() {
+        for &v in data.column(d) {
+            put_u64(out, v);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let b = self.bytes(1)?;
+        Some(b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_be_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_be_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let s = self.bytes(len)?;
+        String::from_utf8(s.to_vec()).ok()
+    }
+
+    fn predicate(&mut self) -> Option<Predicate> {
+        let dim = self.u32()? as usize;
+        let lo = self.u64()?;
+        let hi = self.u64()?;
+        Predicate::range(dim, lo, hi).ok()
+    }
+
+    fn query(&mut self) -> Option<Query> {
+        let np = self.u32()? as usize;
+        let mut preds = Vec::with_capacity(np.min(4096));
+        for _ in 0..np {
+            preds.push(self.predicate()?);
+        }
+        let tag = self.u8()?;
+        let dim = self.u32()? as usize;
+        let agg = match tag {
+            0 => Aggregation::Count,
+            1 => Aggregation::Sum(dim),
+            2 => Aggregation::Min(dim),
+            3 => Aggregation::Max(dim),
+            4 => Aggregation::Avg(dim),
+            _ => return None,
+        };
+        Query::new(preds, agg).ok()
+    }
+
+    fn dataset(&mut self) -> Option<Dataset> {
+        let dims = self.u32()? as usize;
+        let rows = self.u64()? as usize;
+        // Reject counts the remaining buffer cannot possibly hold before
+        // allocating columns.
+        let need = dims.checked_mul(rows)?.checked_mul(8)?;
+        if self.buf.len() - self.pos < need {
+            return None;
+        }
+        let mut columns: Vec<Vec<Value>> = Vec::with_capacity(dims);
+        for _ in 0..dims {
+            let mut col = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                col.push(self.u64()?);
+            }
+            columns.push(col);
+        }
+        // `Dataset` requires at least one column, so 0 dims is corrupt.
+        Dataset::from_columns(columns).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsunami_core::Aggregation;
+
+    /// Deterministic splitmix64 so the round-trip loop is seeded and
+    /// reproducible without any external RNG dependency.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn random_dataset(rng: &mut Rng, dims: usize, rows: usize) -> Dataset {
+        let cols = (0..dims)
+            .map(|_| (0..rows).map(|_| rng.below(1_000_000)).collect())
+            .collect();
+        Dataset::from_columns(cols).unwrap()
+    }
+
+    fn random_query(rng: &mut Rng, dims: usize) -> Query {
+        let np = rng.below(dims as u64) as usize + 1;
+        let preds = (0..np)
+            .map(|i| {
+                let lo = rng.below(1000);
+                Predicate::range(i, lo, lo + rng.below(1000)).unwrap()
+            })
+            .collect();
+        let d = rng.below(dims as u64) as usize;
+        let agg = match rng.below(5) {
+            0 => Aggregation::Count,
+            1 => Aggregation::Sum(d),
+            2 => Aggregation::Min(d),
+            3 => Aggregation::Max(d),
+            _ => Aggregation::Avg(d),
+        };
+        Query::new(preds, agg).unwrap()
+    }
+
+    fn random_record(rng: &mut Rng) -> WalRecord {
+        match rng.below(4) {
+            0 => {
+                let dims = rng.below(4) as usize + 1;
+                let nspec = rng.below(40);
+                let nq = rng.below(5);
+                let rows = rng.below(50) as usize;
+                WalRecord::CreateTable {
+                    name: format!("t{}", rng.below(100)),
+                    columns: (0..dims).map(|d| format!("c{d}")).collect(),
+                    spec: (0..nspec).map(|_| rng.next() as u8).collect(),
+                    workload: (0..nq).map(|_| random_query(rng, dims)).collect(),
+                    data: random_dataset(rng, dims, rows),
+                }
+            }
+            1 => {
+                let dims = rng.below(4) as usize + 1;
+                let rows = rng.below(30) as usize + 1;
+                WalRecord::InsertBatch {
+                    table: format!("t{}", rng.below(100)),
+                    rows: random_dataset(rng, dims, rows),
+                }
+            }
+            2 => WalRecord::Delete {
+                table: format!("t{}", rng.below(100)),
+                predicates: (0..rng.below(4) + 1)
+                    .map(|i| {
+                        let lo = rng.below(1000);
+                        Predicate::range(i as usize, lo, lo + rng.below(1000)).unwrap()
+                    })
+                    .collect(),
+            },
+            _ => WalRecord::Checkpoint {
+                generation: rng.next(),
+                tables: (0..rng.below(5)).map(|i| format!("t{i}")).collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips_seeded() {
+        let mut rng = Rng(0xD1CE);
+        for _ in 0..200 {
+            let rec = random_record(&mut rng);
+            let frame = encode_record(&rec);
+            let (decoded, valid) = decode_frames(&frame);
+            assert_eq!(valid, frame.len());
+            assert_eq!(decoded, vec![rec]);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_cut_point_keeps_exact_prefix() {
+        let mut rng = Rng(7);
+        let records: Vec<WalRecord> = (0..4).map(|_| random_record(&mut rng)).collect();
+        let frames: Vec<Vec<u8>> = records.iter().map(encode_record).collect();
+        let mut log = Vec::new();
+        let mut boundaries = vec![0usize];
+        for f in &frames {
+            log.extend_from_slice(f);
+            boundaries.push(log.len());
+        }
+        for cut in 0..=log.len() {
+            let (decoded, valid) = decode_frames(&log[..cut]);
+            // The valid prefix is the last record boundary at or before the
+            // cut; every record before it decodes bit-identically.
+            let expect_n = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(valid, boundaries[expect_n], "cut at {cut}");
+            assert_eq!(decoded.len(), expect_n, "cut at {cut}");
+            assert_eq!(decoded[..], records[..expect_n], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected_everywhere() {
+        let mut rng = Rng(99);
+        let rec = random_record(&mut rng);
+        let good = encode_record(&rec);
+        let follow = encode_record(&WalRecord::Checkpoint {
+            generation: 0,
+            tables: vec![],
+        });
+        for byte in 0..good.len() {
+            for bit in [0u8, 3, 7] {
+                let mut log = good.clone();
+                log[byte] ^= 1 << bit;
+                log.extend_from_slice(&follow);
+                let (decoded, valid) = decode_frames(&log);
+                // Flipping any bit of the first frame must not yield the
+                // original record; the log is truncated at the corruption
+                // (a flipped length prefix may at most resynchronize to
+                // garbage that fails the checksum anyway).
+                assert_ne!(decoded.first(), Some(&rec), "byte {byte} bit {bit}");
+                assert!(
+                    valid == 0 || decoded.first() != Some(&rec),
+                    "byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut frame = vec![0u8; 16];
+        frame[..4].copy_from_slice(&(u32::MAX).to_be_bytes());
+        let (decoded, valid) = decode_frames(&frame);
+        assert!(decoded.is_empty());
+        assert_eq!(valid, 0);
+    }
+
+    #[test]
+    fn unknown_version_and_opcode_truncate() {
+        let rec = WalRecord::Checkpoint {
+            generation: 1,
+            tables: vec!["t".into()],
+        };
+        let mut frame = encode_record(&rec);
+        frame[HEADER_BYTES] = 2; // version byte
+        let sum = checksum(&frame[HEADER_BYTES..]);
+        frame[4..8].copy_from_slice(&sum.to_be_bytes());
+        assert_eq!(decode_frames(&frame), (vec![], 0));
+
+        let mut frame = encode_record(&rec);
+        frame[HEADER_BYTES + 1] = 0x7f; // opcode byte
+        let sum = checksum(&frame[HEADER_BYTES..]);
+        frame[4..8].copy_from_slice(&sum.to_be_bytes());
+        assert_eq!(decode_frames(&frame), (vec![], 0));
+    }
+
+    #[test]
+    fn trailing_bytes_in_body_are_corrupt() {
+        let rec = WalRecord::Checkpoint {
+            generation: 0,
+            tables: vec![],
+        };
+        let mut payload = encode_record(&rec)[HEADER_BYTES..].to_vec();
+        payload.push(0);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&checksum(&payload).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        assert_eq!(decode_frames(&frame), (vec![], 0));
+    }
+
+    fn temp_wal(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tsunami_wal_unit_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.log", std::process::id()))
+    }
+
+    #[test]
+    fn wal_file_append_commit_replay() {
+        let path = temp_wal("roundtrip");
+        let mut rng = Rng(42);
+        let records: Vec<WalRecord> = (0..6).map(|_| random_record(&mut rng)).collect();
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            for r in &records {
+                wal.append_commit(r).unwrap();
+            }
+            assert_eq!(wal.synced_len(), wal.len());
+        }
+        let (replayed, valid) = replay(&path).unwrap();
+        assert_eq!(replayed, records);
+        assert_eq!(valid, std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_of_missing_file_is_empty() {
+        let path = temp_wal("missing_never_created");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(replay(&path).unwrap(), (vec![], 0));
+    }
+
+    #[test]
+    fn mid_record_crash_leaves_recoverable_prefix() {
+        let path = temp_wal("mid_record");
+        let rec = WalRecord::Delete {
+            table: "t".into(),
+            predicates: vec![Predicate::eq(0, 5)],
+        };
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append_commit(&rec).unwrap();
+        let committed = wal.len();
+        wal.set_crash_point(CrashPoint::MidRecord);
+        assert!(matches!(wal.append(&rec), Err(TsunamiError::Durability(_))));
+        drop(wal);
+        // The file ends in a torn record; replay amputates it.
+        assert!(std::fs::metadata(&path).unwrap().len() > committed);
+        let (replayed, valid) = replay(&path).unwrap();
+        assert_eq!(replayed, vec![rec.clone()]);
+        assert_eq!(valid, committed);
+        // Reopening truncates the tail and appending works again.
+        let mut wal = Wal::open_append(&path, valid).unwrap();
+        wal.append_commit(&rec).unwrap();
+        let (replayed, _) = replay(&path).unwrap();
+        assert_eq!(replayed, vec![rec.clone(), rec]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn before_sync_crash_loses_exactly_the_unsynced_suffix() {
+        let path = temp_wal("before_sync");
+        let rec = WalRecord::Checkpoint {
+            generation: 2,
+            tables: vec!["a".into()],
+        };
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append_commit(&rec).unwrap();
+        let committed = wal.len();
+        wal.set_crash_point(CrashPoint::BeforeSync);
+        wal.append(&rec).unwrap();
+        assert!(matches!(wal.commit(), Err(TsunamiError::Durability(_))));
+        drop(wal);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), committed);
+        let (replayed, valid) = replay(&path).unwrap();
+        assert_eq!(replayed, vec![rec]);
+        assert_eq!(valid, committed);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_to_drops_absorbed_prefix() {
+        let path = temp_wal("truncate");
+        let rec = WalRecord::Checkpoint {
+            generation: 0,
+            tables: vec![],
+        };
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append_commit(&rec).unwrap();
+        wal.truncate_to(0).unwrap();
+        assert!(wal.is_empty());
+        assert_eq!(replay(&path).unwrap(), (vec![], 0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_matches_reference_vectors() {
+        // Reference FNV-1a 32-bit values.
+        assert_eq!(checksum(b""), 0x811c_9dc5);
+        assert_eq!(checksum(b"a"), 0xe40c_292c);
+        assert_eq!(checksum(b"foobar"), 0xbf9c_f968);
+    }
+}

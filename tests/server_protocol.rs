@@ -5,6 +5,7 @@
 //! aggregations, through ingest.
 
 use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
 
 use tsunami_core::sample::SplitMix;
 use tsunami_core::{AggResult, Aggregation, Dataset, Point, Predicate, Query, Workload};
@@ -12,7 +13,10 @@ use tsunami_engine::{Database, IndexSpec, ShardedDatabase};
 use tsunami_server::protocol::{
     read_frame, write_frame, FrameError, FrameRead, WireError, DEFAULT_MAX_FRAME,
 };
-use tsunami_server::{Client, ClientError, Request, Response, Server, ServerConfig};
+use tsunami_server::{
+    transient_connect_error, Client, ClientConfig, ClientError, Request, Response, Server,
+    ServerConfig,
+};
 
 fn arbitrary_aggregation(rng: &mut SplitMix) -> Aggregation {
     let dim = rng.next_below(64) as usize;
@@ -361,6 +365,118 @@ fn reopt_daemon_fires_on_watermark_and_results_stay_correct() {
     assert_eq!(
         client.query("t", vec![], Aggregation::Count).unwrap(),
         AggResult::Count(2_000)
+    );
+    server.shutdown();
+}
+
+/// Robustness satellite: a connection that goes silent is reaped by the
+/// server's idle read timeout — its thread exits, its socket closes, and
+/// clients that keep talking are unaffected.
+#[test]
+fn idle_connections_are_reaped_while_active_ones_survive() {
+    let data = test_dataset(100);
+    let mut sharded = ShardedDatabase::new(2);
+    sharded
+        .create_table(
+            "t",
+            &["a", "b", "c"],
+            &data,
+            &Workload::default(),
+            &IndexSpec::FullScan,
+        )
+        .unwrap();
+    let mut server = Server::spawn(
+        Arc::new(RwLock::new(sharded)),
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(60)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut active = Client::connect(server.addr()).unwrap();
+    let mut silent = Client::connect(server.addr()).unwrap();
+
+    // The active client keeps pinging well inside the idle window; the
+    // silent one never sends a frame and must get reaped.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        active.ping().unwrap();
+        let reaped = server
+            .stats()
+            .reaped_idle
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if reaped >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "silent connection was never reaped"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The reaped socket is really closed: the silent client's next call
+    // fails instead of hanging.
+    assert!(silent.ping().is_err());
+    // Staying chatty kept the active connection alive through many windows.
+    active.ping().unwrap();
+    assert_eq!(
+        active.query("t", vec![], Aggregation::Count).unwrap(),
+        AggResult::Count(100)
+    );
+    server.shutdown();
+}
+
+/// Robustness satellite: transient connect failures are retried with
+/// bounded exponential backoff and surface as a typed error once the
+/// budget is exhausted; a live server connects on the first try with the
+/// same configuration, and timeouts ride along on the session.
+#[test]
+fn connect_retry_is_bounded_typed_and_transient_only() {
+    // A freshly released loopback port: connecting gets REFUSED, which is
+    // transient (a restarting server would produce exactly this).
+    let vacant = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let config = ClientConfig {
+        connect_retries: 2,
+        retry_backoff: Duration::from_millis(5),
+        connect_timeout: Some(Duration::from_millis(500)),
+        ..ClientConfig::default()
+    };
+    let start = Instant::now();
+    match Client::connect_with_config(vacant, &config) {
+        Err(ClientError::ConnectExhausted { attempts, last }) => {
+            assert_eq!(attempts, 3, "1 try + 2 retries");
+            assert!(transient_connect_error(&last), "{last:?}");
+        }
+        other => panic!("expected ConnectExhausted, got {other:?}"),
+    }
+    // Backoff 5ms + 10ms actually elapsed (no busy spin-loop).
+    assert!(start.elapsed() >= Duration::from_millis(15));
+
+    // The same config against a live server connects and serves normally,
+    // read timeout and all.
+    let data = test_dataset(50);
+    let mut sharded = ShardedDatabase::new(2);
+    sharded
+        .create_table(
+            "t",
+            &["a", "b", "c"],
+            &data,
+            &Workload::default(),
+            &IndexSpec::FullScan,
+        )
+        .unwrap();
+    let mut server =
+        Server::spawn(Arc::new(RwLock::new(sharded)), ServerConfig::default()).unwrap();
+    let mut client = Client::connect_with_config(server.addr(), &config).unwrap();
+    client.ping().unwrap();
+    assert_eq!(
+        client.query("t", vec![], Aggregation::Count).unwrap(),
+        AggResult::Count(50)
     );
     server.shutdown();
 }
