@@ -17,7 +17,8 @@ impl FullScanIndex {
     /// Builds the full-scan baseline (just copies the data into the store).
     pub fn build(data: &Dataset) -> Self {
         let start = Instant::now();
-        let store = ColumnStore::from_dataset(data);
+        let mut store = ColumnStore::from_dataset(data);
+        store.encode_blocks();
         Self {
             store,
             timing: BuildTiming {
@@ -53,6 +54,7 @@ impl FullScanIndex {
         if store.tombstones().deleted() * 2 > store.len() {
             let n = store.len();
             store.drop_deleted_in(0..n);
+            store.encode_blocks();
         }
         (
             Self {

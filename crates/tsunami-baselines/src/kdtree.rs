@@ -94,6 +94,7 @@ impl KdTree {
         );
         let mut store = ColumnStore::from_dataset(data);
         store.permute(&perm);
+        store.encode_blocks();
         Self {
             root,
             store,

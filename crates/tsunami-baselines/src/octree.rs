@@ -70,6 +70,7 @@ impl HyperOctree {
         );
         let mut store = ColumnStore::from_dataset(data);
         store.permute(&perm);
+        store.encode_blocks();
         Self {
             root,
             store,

@@ -73,6 +73,7 @@ impl ClusteredSingleDimIndex {
             .collect();
         let mut store = ColumnStore::from_dataset(data);
         store.permute(&perm);
+        store.encode_blocks();
         Self {
             store,
             sort_keys,
@@ -101,7 +102,8 @@ impl ClusteredSingleDimIndex {
         let mut store = self.store.clone();
         store.append_dataset(rows);
         store.sort_range(0..store.len(), self.sort_dim);
-        let sort_keys: Vec<Value> = store.column(self.sort_dim).values().to_vec();
+        store.encode_blocks();
+        let sort_keys: Vec<Value> = store.column(self.sort_dim).decode_range(0..store.len());
         let domains: Vec<(Value, Value)> = self
             .domains
             .iter()

@@ -117,6 +117,7 @@ impl ZOrderIndex {
 
         let mut store = ColumnStore::from_dataset(data);
         store.permute(&perm);
+        store.encode_blocks();
         Self {
             store,
             pages,

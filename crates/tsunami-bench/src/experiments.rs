@@ -756,23 +756,28 @@ pub fn fig12b(config: &HarnessConfig) -> String {
 }
 
 /// Fig 12 (kernel drill-down): median ns/row of every executor kernel tier
-/// over a full scan, sweeping selection density × predicate count, with the
-/// speedup over the scalar selection loop. Every tier's result is
-/// cross-checked against the scalar oracle while measuring. The machine-
-/// readable results land in `BENCH_scan.json` (path overridable via the
-/// `BENCH_SCAN_JSON` env var) so the scan-kernel perf trajectory is tracked
-/// across PRs.
+/// over a full scan, sweeping selection density × predicate count ×
+/// storage encoding (the same rows scanned plain and as bit-packed encoded
+/// blocks), with the speedup over the scalar selection loop. Every
+/// tier × encoding result is cross-checked against the scalar oracle on
+/// plain data while measuring. The machine-readable results land in
+/// `BENCH_scan.json` (path overridable via the `BENCH_SCAN_JSON` env var)
+/// so the scan-kernel perf trajectory is tracked across PRs.
 pub fn fig12kern(config: &HarnessConfig) -> String {
     let path = std::env::var("BENCH_SCAN_JSON").unwrap_or_else(|_| "BENCH_scan.json".to_string());
     fig12kern_impl(config, Some(std::path::Path::new(&path)))
 }
 
 fn fig12kern_impl(config: &HarnessConfig, json_path: Option<&std::path::Path>) -> String {
-    use tsunami_core::exec::{execute_plan_tiered, KernelTier, ScanPlan};
+    use tsunami_core::exec::{execute_plan_tiered, KernelTier, ScanPlan, ScanSource};
     use tsunami_core::sample::SplitMix;
     use tsunami_core::{Aggregation, Dataset, Predicate, Query};
+    use tsunami_store::{ColumnStore, EncodePolicy};
 
-    const DOMAIN: u64 = 1_000_000;
+    // A 12-bit domain: every column's frame-of-reference deltas bit-pack,
+    // so the encoded sweep measures the packed SWAR kernels against the
+    // plain kernels on identical data.
+    const DOMAIN: u64 = 4096;
     const PRED_DIMS: usize = 4;
     // At least a handful of blocks so the adaptive tier's estimate settles.
     let rows = config.rows.max(8 * 1024);
@@ -783,6 +788,10 @@ fn fig12kern_impl(config: &HarnessConfig, json_path: Option<&std::path::Path>) -
             .collect(),
     )
     .expect("uniform columns");
+    // The encoded twin: same rows, packed into per-block encodings (an
+    // explicit policy so env knobs can't silently skew the comparison).
+    let mut store = ColumnStore::from_dataset(&data);
+    store.encode_blocks_with(&EncodePolicy::default());
     let plan = ScanPlan::full(rows);
 
     let mut t = Table::new(
@@ -791,13 +800,14 @@ fn fig12kern_impl(config: &HarnessConfig, json_path: Option<&std::path::Path>) -
             "selectivity %",
             "predicates",
             "agg",
+            "encoding",
             "tier",
             "median ns/row",
             "speedup vs scalar",
         ],
     );
-    // (selectivity %, predicate count, agg label, tier label, median ns/row)
-    let mut entries: Vec<(f64, usize, &'static str, &'static str, f64)> = Vec::new();
+    // (selectivity %, predicates, agg label, encoding, tier label, median ns/row)
+    let mut entries: Vec<(f64, usize, &'static str, &'static str, &'static str, f64)> = Vec::new();
     let reps = 5;
     // First-predicate ranges hitting the target selection densities exactly
     // (values are uniform below DOMAIN; the 0% range lies outside it).
@@ -823,35 +833,42 @@ fn fig12kern_impl(config: &HarnessConfig, json_path: Option<&std::path::Path>) -
             ] {
                 let q = Query::new(preds.clone(), agg).expect("valid query");
                 let scalar_result = execute_plan_tiered(&data, &q, &plan, KernelTier::Scalar);
-                let mut scalar_ns = f64::NAN;
-                for tier in KernelTier::ALL {
-                    // Warm-up doubling as the tier cross-check.
-                    assert_eq!(
-                        execute_plan_tiered(&data, &q, &plan, tier),
-                        scalar_result,
-                        "{tier:?} diverged from the scalar oracle"
-                    );
-                    let mut samples: Vec<f64> = (0..reps)
-                        .map(|_| {
-                            let start = Instant::now();
-                            std::hint::black_box(execute_plan_tiered(&data, &q, &plan, tier));
-                            start.elapsed().as_nanos() as f64 / rows as f64
-                        })
-                        .collect();
-                    samples.sort_by(f64::total_cmp);
-                    let median = samples[samples.len() / 2];
-                    if tier == KernelTier::Scalar {
-                        scalar_ns = median;
+                let sources: [(&'static str, &dyn ScanSource); 2] =
+                    [("plain", &data), ("encoded", &store)];
+                for (enc_label, source) in sources {
+                    let mut scalar_ns = f64::NAN;
+                    for tier in KernelTier::ALL {
+                        // Warm-up doubling as the cross-check: every
+                        // tier × encoding must match the plain scalar
+                        // oracle, counters included.
+                        assert_eq!(
+                            execute_plan_tiered(source, &q, &plan, tier),
+                            scalar_result,
+                            "{tier:?} on {enc_label} diverged from the scalar oracle"
+                        );
+                        let mut samples: Vec<f64> = (0..reps)
+                            .map(|_| {
+                                let start = Instant::now();
+                                std::hint::black_box(execute_plan_tiered(source, &q, &plan, tier));
+                                start.elapsed().as_nanos() as f64 / rows as f64
+                            })
+                            .collect();
+                        samples.sort_by(f64::total_cmp);
+                        let median = samples[samples.len() / 2];
+                        if tier == KernelTier::Scalar {
+                            scalar_ns = median;
+                        }
+                        t.add_row(vec![
+                            fmt_f64(sel_pct),
+                            npreds.to_string(),
+                            agg_label.to_string(),
+                            enc_label.to_string(),
+                            tier.label().to_string(),
+                            fmt_f64(median),
+                            fmt_f64(scalar_ns / median),
+                        ]);
+                        entries.push((sel_pct, npreds, agg_label, enc_label, tier.label(), median));
                     }
-                    t.add_row(vec![
-                        fmt_f64(sel_pct),
-                        npreds.to_string(),
-                        agg_label.to_string(),
-                        tier.label().to_string(),
-                        fmt_f64(median),
-                        fmt_f64(scalar_ns / median),
-                    ]);
-                    entries.push((sel_pct, npreds, agg_label, tier.label(), median));
                 }
             }
         }
@@ -872,18 +889,19 @@ fn write_bench_scan_json(
     path: &std::path::Path,
     rows: usize,
     seed: u64,
-    entries: &[(f64, usize, &'static str, &'static str, f64)],
+    entries: &[(f64, usize, &'static str, &'static str, &'static str, f64)],
 ) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!(
         "  \"experiment\": \"fig12kern\",\n  \"rows\": {rows},\n  \"seed\": {seed},\n  \"entries\": [\n"
     ));
-    for (i, (sel, npreds, agg, tier, ns)) in entries.iter().enumerate() {
+    for (i, (sel, npreds, agg, enc, tier, ns)) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };
         s.push_str(&format!(
             "    {{\"selectivity_pct\": {sel}, \"predicates\": {npreds}, \"agg\": \"{agg}\", \
-             \"tier\": \"{tier}\", \"median_ns_per_row\": {ns:.4}}}{comma}\n"
+             \"encoding\": \"{enc}\", \"tier\": \"{tier}\", \
+             \"median_ns_per_row\": {ns:.4}}}{comma}\n"
         ));
     }
     s.push_str("  ]\n}\n");
@@ -909,13 +927,15 @@ pub fn check_bench(config: &HarnessConfig) -> std::result::Result<String, String
     compare_bench_scan(&baseline, &current)
 }
 
-/// One `BENCH_scan.json` entry: (selectivity %, predicates, agg, tier,
-/// median ns/row).
-type ScanEntry = (String, String, String, String, f64);
+/// One `BENCH_scan.json` entry: (selectivity %, predicates, agg, encoding,
+/// tier, median ns/row).
+type ScanEntry = (String, String, String, String, String, f64);
 
 /// Parses the entries of a `BENCH_scan.json` produced by [`fig12kern`] (the
 /// workspace is offline — no serde — but the writer emits one entry per
-/// line, so per-line field extraction is exact).
+/// line, so per-line field extraction is exact). Entries written before the
+/// encoding sweep existed carry no `encoding` field; they parse as
+/// `"plain"` so old baselines stay comparable.
 fn parse_bench_scan_entries(json: &str) -> Vec<ScanEntry> {
     fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
         let pat = format!("\"{key}\": ");
@@ -931,6 +951,7 @@ fn parse_bench_scan_entries(json: &str) -> Vec<ScanEntry> {
                 field(l, "selectivity_pct")?.to_string(),
                 field(l, "predicates")?.to_string(),
                 field(l, "agg")?.to_string(),
+                field(l, "encoding").unwrap_or("plain").to_string(),
                 field(l, "tier")?.to_string(),
                 field(l, "median_ns_per_row")?.parse().ok()?,
             ))
@@ -952,17 +973,17 @@ fn compare_bench_scan(baseline: &str, current: &str) -> std::result::Result<Stri
     if base.is_empty() {
         return Err("check-bench: baseline has no entries".to_string());
     }
-    let cur: std::collections::HashMap<(String, String, String, String), f64> =
+    let cur: std::collections::HashMap<(String, String, String, String, String), f64> =
         parse_bench_scan_entries(current)
             .into_iter()
-            .map(|(s, p, a, t, ns)| ((s, p, a, t), ns))
+            .map(|(s, p, a, e, t, ns)| ((s, p, a, e, t), ns))
             .collect();
     let mut failures = Vec::new();
     let mut worst: Option<(f64, String)> = None;
     let compared = base.len();
-    for (sel, preds, agg, tier, base_ns) in base {
-        let label = format!("sel={sel}% preds={preds} agg={agg} tier={tier}");
-        let Some(&cur_ns) = cur.get(&(sel, preds, agg, tier)) else {
+    for (sel, preds, agg, enc, tier, base_ns) in base {
+        let label = format!("sel={sel}% preds={preds} agg={agg} encoding={enc} tier={tier}");
+        let Some(&cur_ns) = cur.get(&(sel, preds, agg, enc, tier)) else {
             failures.push(format!(
                 "{label}: present in baseline, missing from current run"
             ));
@@ -1095,6 +1116,9 @@ mod tests {
         for tier in ["scalar", "vector", "bitmap", "adaptive"] {
             assert!(out.contains(tier), "missing tier {tier} in:\n{out}");
         }
+        for enc in ["plain", "encoded"] {
+            assert!(out.contains(enc), "missing encoding {enc} in:\n{out}");
+        }
     }
 
     #[test]
@@ -1137,10 +1161,17 @@ mod tests {
         let dir = std::env::temp_dir().join("tsunami_bench_scan_json_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_scan.json");
-        write_bench_scan_json(&path, 1234, 42, &[(50.0, 2, "count", "bitmap", 1.5)]).unwrap();
+        write_bench_scan_json(
+            &path,
+            1234,
+            42,
+            &[(50.0, 2, "count", "encoded", "bitmap", 1.5)],
+        )
+        .unwrap();
         let s = std::fs::read_to_string(&path).unwrap();
         assert!(s.contains("\"experiment\": \"fig12kern\""));
         assert!(s.contains("\"rows\": 1234"));
+        assert!(s.contains("\"encoding\": \"encoded\""));
         assert!(s.contains("\"tier\": \"bitmap\""));
         assert!(s.contains("\"median_ns_per_row\": 1.5000"));
         std::fs::remove_file(&path).unwrap();
@@ -1149,9 +1180,9 @@ mod tests {
     #[test]
     fn check_bench_comparison_flags_only_real_regressions() {
         let mut entries = vec![
-            (50.0, 2, "count", "bitmap", 2.0),
-            (0.0, 1, "sum", "vector", 0.1),
-            (99.0, 4, "count", "scalar", 8.0),
+            (50.0, 2, "count", "plain", "bitmap", 2.0),
+            (0.0, 1, "sum", "encoded", "vector", 0.1),
+            (99.0, 4, "count", "plain", "scalar", 8.0),
         ];
         let dir = std::env::temp_dir().join("tsunami_check_bench_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1165,14 +1196,14 @@ mod tests {
 
         // Noise within tolerance passes: 2x on a big entry, absolute slack
         // on a sub-ns entry.
-        entries[0].4 = 4.0;
-        entries[1].4 = 0.55;
+        entries[0].5 = 4.0;
+        entries[1].5 = 0.55;
         write_bench_scan_json(&base_path, 1000, 1, &entries).unwrap();
         let noisy = std::fs::read_to_string(&base_path).unwrap();
         assert!(compare_bench_scan(&baseline, &noisy).is_ok());
 
         // A >2.5x regression fails and names the entry.
-        entries[2].4 = 25.0;
+        entries[2].5 = 25.0;
         write_bench_scan_json(&base_path, 1000, 1, &entries).unwrap();
         let regressed = std::fs::read_to_string(&base_path).unwrap();
         let err = compare_bench_scan(&baseline, &regressed).unwrap_err();
@@ -1201,16 +1232,23 @@ mod tests {
             1000,
             1,
             &[
-                (50.0, 2, "count", "bitmap", 1.25),
-                (0.0, 1, "sum", "scalar", 3.5),
+                (50.0, 2, "count", "encoded", "bitmap", 1.25),
+                (0.0, 1, "sum", "plain", "scalar", 3.5),
             ],
         )
         .unwrap();
         let parsed = parse_bench_scan_entries(&std::fs::read_to_string(&path).unwrap());
         assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed[0].3, "bitmap");
-        assert_eq!(parsed[0].4, 1.25);
+        assert_eq!(parsed[0].3, "encoded");
+        assert_eq!(parsed[0].4, "bitmap");
+        assert_eq!(parsed[0].5, 1.25);
         assert_eq!(parsed[1].2, "sum");
+        // Pre-encoding baselines have no encoding field: default to plain.
+        let legacy = "    {\"selectivity_pct\": 50, \"predicates\": 1, \"agg\": \"count\", \
+                      \"tier\": \"vector\", \"median_ns_per_row\": 1.0000}\n";
+        let parsed = parse_bench_scan_entries(legacy);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].3, "plain");
         std::fs::remove_file(&path).unwrap();
     }
 

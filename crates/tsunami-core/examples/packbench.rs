@@ -1,0 +1,55 @@
+//! Microbenchmark for the packed scan kernels: median-free, three passes
+//! each, printed as ns/row. Useful when touching `exec/kernels.rs` — the
+//! packed COUNT/SUM paths should stay well under 1 ns/row on
+//! 12-bit-compressible data (see `fig12kern` for the full sweep).
+use std::time::Instant;
+use tsunami_core::{EncodeOptions, EncodedBlock};
+
+fn main() {
+    let rows: usize = 1 << 20;
+    let vals: Vec<u64> = (0..rows as u64)
+        .map(|v| v.wrapping_mul(37) % 4096)
+        .collect();
+    let blocks: Vec<EncodedBlock> = vals
+        .chunks(1024)
+        .map(|c| EncodedBlock::encode(c, |_| true, &EncodeOptions::default()))
+        .collect();
+    println!("block kind: {}", blocks[0].kind_label());
+
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut total = 0usize;
+        for eb in &blocks {
+            match eb.classify(0, 2047) {
+                tsunami_core::BlockTest::Packed { lo, hi } => {
+                    total += tsunami_core::exec::packed_count_for_bench(eb, 0, eb.len(), lo, hi);
+                }
+                t => panic!("unexpected {t:?}"),
+            }
+        }
+        let el = start.elapsed().as_nanos() as f64 / rows as f64;
+        println!("packed_count: {el:.3} ns/row (count {total})");
+    }
+
+    let agg_blocks = blocks.clone();
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut total = (0u64, 0u128);
+        for (eb, ab) in blocks.iter().zip(&agg_blocks) {
+            match eb.classify(0, 2047) {
+                tsunami_core::BlockTest::Packed { lo, hi } => {
+                    let (n, s) =
+                        tsunami_core::exec::packed_sum_for_bench(eb, ab, 0, eb.len(), lo, hi);
+                    total.0 += n;
+                    total.1 += s;
+                }
+                t => panic!("unexpected {t:?}"),
+            }
+        }
+        let el = start.elapsed().as_nanos() as f64 / rows as f64;
+        println!(
+            "packed_sum:   {el:.3} ns/row (n {} sum {})",
+            total.0, total.1
+        );
+    }
+}

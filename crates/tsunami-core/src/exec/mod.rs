@@ -101,6 +101,30 @@
 //! implemented by both the logical [`Dataset`] and the
 //! physical `ColumnStore` in `tsunami-store`. Sources must be `Sync`: scans
 //! never mutate them.
+//!
+//! # Encoded columns
+//!
+//! A source may hand out columns as [`ColumnData::Encoded`]: a prefix of
+//! per-block encoded payloads (frame-of-reference bit-packing or dictionary
+//! codes, see [`crate::encode`]) aligned to the absolute [`BLOCK_ROWS`]
+//! grid, plus a plain unencoded tail that ingest appends to. The scan loop
+//! chunks on that grid, so each chunk sees exactly one representation:
+//!
+//! * the **scalar** tier reads rows one at a time through the per-row
+//!   accessor and uses **no** block metadata — it stays the oracle that
+//!   catches unsound pruning;
+//! * the branchless tiers take one shared **packed** path: per predicate
+//!   the block's metadata first classifies the test (skip-before-decode on
+//!   live min/max, drop-the-predicate when every live row passes), and
+//!   surviving range tests run as SWAR compares directly on the packed
+//!   words — 8/4/2 rows per ALU op — with dedicated no-bitmap fast paths
+//!   for single-predicate `COUNT` and layout-matched `SUM`/`AVG`.
+//!
+//! Tombstone liveness is ANDed into every selection exactly as on plain
+//! columns (block live bounds are computed at encode time and remain sound
+//! because deletes only accrue; physical mutation re-encodes), so results
+//! and counters stay bit-identical across tiers, serial and parallel, for
+//! any mix of encoded, plain, and tombstoned blocks.
 
 pub mod kernels;
 pub mod pool;
@@ -112,15 +136,56 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::dataset::{Dataset, Value};
+use crate::encode::{BlockData, BlockTest, EncodedBlock, PackClass};
 use crate::query::{AggAccumulator, AggResult, Aggregation, Predicate, Query};
 use crate::tombstone::TombstoneSet;
 
 pub use kernels::BlockScratch;
+
+/// Benchmark-only window into [`kernels::packed_count`] (see
+/// `examples/packbench.rs`); not part of the public API contract.
+#[doc(hidden)]
+pub fn packed_count_for_bench(
+    eb: &crate::encode::EncodedBlock,
+    offset: usize,
+    n: usize,
+    lo: u64,
+    hi: Option<u64>,
+) -> usize {
+    let (packed, class) = packed_payload(eb);
+    kernels::packed_count(packed, class, offset, n, lo, hi)
+}
+
+/// Benchmark-only window into [`kernels::packed_sum_same_layout`]; not part
+/// of the public API contract.
+#[doc(hidden)]
+pub fn packed_sum_for_bench(
+    eb: &crate::encode::EncodedBlock,
+    agg: &crate::encode::EncodedBlock,
+    offset: usize,
+    n: usize,
+    lo: u64,
+    hi: Option<u64>,
+) -> (u64, u128) {
+    let (packed, class) = packed_payload(eb);
+    let (agg_packed, agg_class) = packed_payload(agg);
+    assert_eq!(class, agg_class);
+    kernels::packed_sum_same_layout(packed, agg_packed, class, offset, n, lo, hi)
+}
 pub use pool::{PoolConfig, WorkStealingPool, DEFAULT_MORSEL_ROWS};
 
 /// Number of rows per vectorized block. Chosen so one block of one column
 /// (8 KiB) plus the selection vector stays comfortably inside L1.
 pub const BLOCK_ROWS: usize = 1024;
+
+/// End of the absolute-grid block containing `start`, clamped to `limit`.
+/// The executor chunks scans on this grid so one chunk never straddles two
+/// encoded blocks (encoded block `b` always covers rows
+/// `b * BLOCK_ROWS .. (b + 1) * BLOCK_ROWS`).
+#[inline(always)]
+fn grid_block_end(start: usize, limit: usize) -> usize {
+    ((start / BLOCK_ROWS + 1) * BLOCK_ROWS).min(limit)
+}
 
 /// Which block-kernel implementation the executor uses for non-exact ranges.
 /// See the module docs for the full contract; all tiers are bit-identical in
@@ -159,6 +224,82 @@ impl KernelTier {
     }
 }
 
+/// One column's physical representation as seen by the executor.
+///
+/// Plain sources hand out contiguous slices; stores with per-block
+/// encodings hand out their grid-aligned encoded prefix plus the plain
+/// ingest tail. The executor's block loop is aligned to the absolute
+/// [`BLOCK_ROWS`] grid, so one processed chunk never straddles two encoded
+/// blocks (or an encoded block and the tail).
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnData<'a> {
+    /// Every row as one contiguous plain slice.
+    Plain(&'a [Value]),
+    /// Encoded blocks covering rows `0 .. blocks.len() * BLOCK_ROWS`
+    /// (block `b` holds rows `b * BLOCK_ROWS ..`), then `tail` holds the
+    /// remaining (unencoded) rows.
+    Encoded {
+        blocks: &'a [EncodedBlock],
+        tail: &'a [Value],
+    },
+}
+
+impl<'a> ColumnData<'a> {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Plain(s) => s.len(),
+            ColumnData::Encoded { blocks, tail } => blocks.len() * BLOCK_ROWS + tail.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether every row is plain (no encoded blocks).
+    pub fn is_plain(&self) -> bool {
+        matches!(self, ColumnData::Plain(_))
+            || matches!(self, ColumnData::Encoded { blocks, .. } if blocks.is_empty())
+    }
+
+    /// The encoded block covering `row`, if any.
+    #[inline(always)]
+    fn block_at(&self, row: usize) -> Option<&'a EncodedBlock> {
+        match self {
+            ColumnData::Plain(_) => None,
+            ColumnData::Encoded { blocks, .. } => blocks.get(row / BLOCK_ROWS),
+        }
+    }
+
+    /// One row's value, whatever the physical representation (the scalar
+    /// oracle's accessor — data only, never block metadata).
+    #[inline(always)]
+    fn value_at(&self, row: usize) -> Value {
+        match self {
+            ColumnData::Plain(s) => s[row],
+            ColumnData::Encoded { blocks, tail } => match blocks.get(row / BLOCK_ROWS) {
+                Some(eb) => eb.value_at(row % BLOCK_ROWS),
+                None => tail[row - blocks.len() * BLOCK_ROWS],
+            },
+        }
+    }
+
+    /// Plain view of rows `start..end`; rows must not be encoded.
+    #[inline(always)]
+    fn slice(&self, start: usize, end: usize) -> &'a [Value] {
+        match self {
+            ColumnData::Plain(s) => &s[start..end],
+            ColumnData::Encoded { blocks, tail } => {
+                let covered = blocks.len() * BLOCK_ROWS;
+                debug_assert!(start >= covered, "sliced rows must be plain");
+                &tail[start - covered..end - covered]
+            }
+        }
+    }
+}
+
 /// Read-only columnar data that scan plans execute against.
 ///
 /// `Sync` is a supertrait on purpose: executing a plan never mutates the
@@ -168,8 +309,11 @@ pub trait ScanSource: Sync {
     fn num_rows(&self) -> usize;
     /// Number of columns (dimensions).
     fn num_dims(&self) -> usize;
-    /// The full value slice of one column.
-    fn column_values(&self, dim: usize) -> &[Value];
+    /// One column's physical representation. Plain sources wrap their value
+    /// slice in [`ColumnData::Plain`]; encoding stores expose their encoded
+    /// prefix and plain tail, and the executor evaluates predicates directly
+    /// on the packed data.
+    fn column_data(&self, dim: usize) -> ColumnData<'_>;
     /// The source's deletion bitmap, if it supports tombstone deletes.
     /// Sources that return one with [`TombstoneSet::any`] get liveness
     /// ANDed into every selection — in all kernel tiers and on the dense
@@ -188,8 +332,8 @@ impl ScanSource for Dataset {
     fn num_dims(&self) -> usize {
         self.num_dims()
     }
-    fn column_values(&self, dim: usize) -> &[Value] {
-        self.column(dim)
+    fn column_data(&self, dim: usize) -> ColumnData<'_> {
+        ColumnData::Plain(self.column(dim))
     }
 }
 
@@ -647,11 +791,16 @@ impl Density {
     /// * in between — the branchless selection vector: mid selectivities are
     ///   exactly where the scalar loop's branch mispredicts.
     ///
-    /// The first block (no observations yet) takes the vector path as the
-    /// middle ground.
+    /// The first block (no observations yet) is the **scalar probe**: on
+    /// sparse scans the scalar loop is already optimal *and* never touches
+    /// the selection buffers (a vector probe unconditionally stores a full
+    /// block of indexes — on a near-empty scan that cold-buffer traffic was
+    /// the whole cost, which is how adaptive lost to scalar on sparse SUMs
+    /// in `BENCH_scan.json`), while on dense scans one scalar block is
+    /// amortized away by every later block choosing from real observations.
     fn choose(&self, num_preds: usize) -> BlockRepr {
         if self.points == 0 {
-            return BlockRepr::Vector;
+            return BlockRepr::Scalar;
         }
         if self.matched * 16 < self.points {
             BlockRepr::Scalar
@@ -675,27 +824,46 @@ impl Density {
 /// parallel executor) pays no per-range column resolution or allocation.
 struct ResolvedQuery<'a> {
     /// `(column, predicate)` pairs for the residual predicates.
-    preds: Vec<(&'a [Value], Predicate)>,
+    preds: Vec<(ColumnData<'a>, Predicate)>,
     agg: Aggregation,
-    agg_col: Option<&'a [Value]>,
+    agg_col: Option<ColumnData<'a>>,
     num_rows: usize,
     /// The source's deletion bitmap, captured only when it actually holds
     /// tombstones, so delete-free tables keep the zero-cost fast paths.
     live: Option<&'a TombstoneSet>,
+    /// Whether every resolved column is one plain contiguous slice — the
+    /// common case, which keeps the original tight slice kernels with zero
+    /// per-block representation dispatch.
+    all_plain: bool,
 }
 
 impl<'a> ResolvedQuery<'a> {
     fn new(source: &'a dyn ScanSource, residual: &[Predicate], agg: Aggregation) -> Self {
+        let preds: Vec<(ColumnData<'a>, Predicate)> = residual
+            .iter()
+            .map(|&p| (source.column_data(p.dim), p))
+            .collect();
+        let agg_col = agg.input_dim().map(|d| source.column_data(d));
+        let all_plain = preds.iter().all(|(c, _)| c.is_plain())
+            && agg_col.as_ref().is_none_or(|c| c.is_plain());
         Self {
-            preds: residual
-                .iter()
-                .map(|&p| (source.column_values(p.dim), p))
-                .collect(),
+            preds,
             agg,
-            agg_col: agg.input_dim().map(|d| source.column_values(d)),
+            agg_col,
             num_rows: source.num_rows(),
             live: source.tombstones().filter(|t| t.any()),
+            all_plain,
         }
+    }
+
+    /// Whether any resolved column stores the rows at `row`'s block encoded.
+    #[inline(always)]
+    fn chunk_encoded(&self, row: usize) -> bool {
+        self.preds.iter().any(|(c, _)| c.block_at(row).is_some())
+            || self
+                .agg_col
+                .as_ref()
+                .is_some_and(|c| c.block_at(row).is_some())
     }
 
     /// Whether physical row `row` survives the deletion bitmap.
@@ -743,7 +911,7 @@ impl<'a> ResolvedQuery<'a> {
             match self.live {
                 None => {
                     counters.matched += range.len();
-                    aggregate_dense(self.agg, self.agg_col, range, acc);
+                    self.aggregate_dense_range(range, acc);
                 }
                 Some(t) => {
                     counters.matched += self.aggregate_dense_live(t, range, acc, scratch);
@@ -752,11 +920,23 @@ impl<'a> ResolvedQuery<'a> {
             return;
         }
 
+        // Blocks are aligned to the absolute BLOCK_ROWS grid (not to the
+        // range start), so a chunk always falls inside one encoded block.
+        // Selection semantics are per-row, so alignment never changes
+        // results or counters — only which rows share a block.
         let mut start = range.start;
         while start < range.end {
-            let end = (start + BLOCK_ROWS).min(range.end);
+            let end = grid_block_end(start, range.end);
+            let encoded = !self.all_plain && self.chunk_encoded(start);
             let matched = match tier {
+                KernelTier::Scalar if encoded => {
+                    self.scan_chunk_scalar_encoded(start, end, acc, scratch)
+                }
                 KernelTier::Scalar => self.scan_block_scalar(start, end, acc, scratch),
+                // The branchless tiers share one packed path on encoded
+                // chunks: with SWAR compares there is no vector/bitmap
+                // representation split to choose between.
+                _ if encoded => self.scan_chunk_packed(start, end, acc, scratch),
                 KernelTier::Vector => self.scan_block_vector(start, end, acc, scratch),
                 KernelTier::Bitmap => self.scan_block_bitmap(start, end, acc, scratch),
                 KernelTier::Adaptive => match density.choose(self.preds.len()) {
@@ -767,6 +947,45 @@ impl<'a> ResolvedQuery<'a> {
             };
             density.observe(end - start, matched);
             counters.matched += matched;
+            start = end;
+        }
+    }
+
+    /// The aggregation input restricted to grid chunk `start..end` (which
+    /// never straddles an encoded block): a plain slice when the rows are
+    /// plain — including an encoded block with a `Plain` payload, so the
+    /// tight slice kernels keep running — or a fetch view into the packed
+    /// payload.
+    #[inline(always)]
+    fn agg_view(&self, start: usize, end: usize) -> AggView<'a> {
+        let Some(col) = self.agg_col else {
+            return AggView::None;
+        };
+        match col.block_at(start) {
+            None => AggView::Slice(col.slice(start, end)),
+            Some(eb) => {
+                let offset = start % BLOCK_ROWS;
+                match eb.data() {
+                    BlockData::Plain(vals) => AggView::Slice(&vals[offset..offset + (end - start)]),
+                    _ => AggView::Block { eb, offset },
+                }
+            }
+        }
+    }
+
+    /// Aggregates every row of a dense (exact, tombstone-free) range.
+    fn aggregate_dense_range(&self, range: Range<usize>, acc: &mut AggAccumulator) {
+        let Some(col) = self.agg_col else {
+            return aggregate_dense_view(self.agg, &AggView::None, range.len(), acc);
+        };
+        if col.is_plain() {
+            let view = AggView::Slice(col.slice(range.start, range.end));
+            return aggregate_dense_view(self.agg, &view, range.len(), acc);
+        }
+        let mut start = range.start;
+        while start < range.end {
+            let end = grid_block_end(start, range.end);
+            aggregate_dense_view(self.agg, &self.agg_view(start, end), end - start, acc);
             start = end;
         }
     }
@@ -784,7 +1003,7 @@ impl<'a> ResolvedQuery<'a> {
         let mut matched = 0usize;
         let mut start = range.start;
         while start < range.end {
-            let end = (start + BLOCK_ROWS).min(range.end);
+            let end = grid_block_end(start, range.end);
             let len = end - start;
             let nw = len.div_ceil(kernels::WORD_BITS);
             let words = &mut scratch.words[..nw];
@@ -796,13 +1015,13 @@ impl<'a> ResolvedQuery<'a> {
             if tail != 0 {
                 words[nw - 1] &= (1u64 << tail) - 1;
             }
-            matched += aggregate_mask(self.agg, self.agg_col, start, words, acc);
+            matched += aggregate_mask(self.agg, &self.agg_view(start, end), words, acc);
             start = end;
         }
         matched
     }
 
-    /// Reference branchy selection loop (the oracle tier).
+    /// Reference branchy selection loop (the oracle tier) over plain rows.
     fn scan_block_scalar(
         &self,
         start: usize,
@@ -811,19 +1030,19 @@ impl<'a> ResolvedQuery<'a> {
         scratch: &mut BlockScratch,
     ) -> usize {
         let sel = &mut scratch.sel;
-        let (col0, p0) = self.preds[0];
+        let (col0, p0) = &self.preds[0];
         let mut n = 0usize;
-        for (i, &v) in col0[start..end].iter().enumerate() {
+        for (i, &v) in col0.slice(start, end).iter().enumerate() {
             if p0.matches(v) && self.alive(start + i) {
                 sel[n] = i as u32;
                 n += 1;
             }
         }
-        for &(col, p) in &self.preds[1..] {
+        for (col, p) in &self.preds[1..] {
             if n == 0 {
                 break;
             }
-            let block = &col[start..end];
+            let block = col.slice(start, end);
             let mut out = 0usize;
             for k in 0..n {
                 let i = sel[k];
@@ -834,11 +1053,52 @@ impl<'a> ResolvedQuery<'a> {
             }
             n = out;
         }
-        aggregate_selected(self.agg, self.agg_col, start, &sel[..n], acc);
+        let view = self.agg_view(start, end);
+        aggregate_selected(self.agg, &view, &scratch.sel[..n], acc);
         n
     }
 
-    /// Branchless selection-vector kernels.
+    /// The oracle tier on a chunk with encoded columns: the same branchy
+    /// row-at-a-time loop, reading rows through [`ColumnData::value_at`].
+    /// Deliberately uses **no** block metadata — no skip, no all-match — so
+    /// the differential suites catch any unsound pruning in the packed path.
+    fn scan_chunk_scalar_encoded(
+        &self,
+        start: usize,
+        end: usize,
+        acc: &mut AggAccumulator,
+        scratch: &mut BlockScratch,
+    ) -> usize {
+        let sel = &mut scratch.sel;
+        let (col0, p0) = &self.preds[0];
+        let mut n = 0usize;
+        for i in 0..end - start {
+            let row = start + i;
+            if p0.matches(col0.value_at(row)) && self.alive(row) {
+                sel[n] = i as u32;
+                n += 1;
+            }
+        }
+        for (col, p) in &self.preds[1..] {
+            if n == 0 {
+                break;
+            }
+            let mut out = 0usize;
+            for k in 0..n {
+                let i = sel[k];
+                if p.matches(col.value_at(start + i as usize)) {
+                    sel[out] = i;
+                    out += 1;
+                }
+            }
+            n = out;
+        }
+        let view = self.agg_view(start, end);
+        aggregate_selected(self.agg, &view, &scratch.sel[..n], acc);
+        n
+    }
+
+    /// Branchless selection-vector kernels over plain rows.
     fn scan_block_vector(
         &self,
         start: usize,
@@ -847,13 +1107,13 @@ impl<'a> ResolvedQuery<'a> {
         scratch: &mut BlockScratch,
     ) -> usize {
         let sel = &mut scratch.sel;
-        let (col0, p0) = self.preds[0];
-        let mut n = kernels::select_first(&col0[start..end], p0, sel);
-        for &(col, p) in &self.preds[1..] {
+        let (col0, p0) = &self.preds[0];
+        let mut n = kernels::select_first(col0.slice(start, end), *p0, sel);
+        for (col, p) in &self.preds[1..] {
             if n == 0 {
                 break;
             }
-            n = kernels::select_refine(&col[start..end], p, sel, n);
+            n = kernels::select_refine(col.slice(start, end), *p, sel, n);
         }
         // Liveness refine: same branchless compaction as select_refine, with
         // the tombstone bit standing in for the predicate.
@@ -866,12 +1126,13 @@ impl<'a> ResolvedQuery<'a> {
             }
             n = out;
         }
-        aggregate_selected(self.agg, self.agg_col, start, &sel[..n], acc);
+        let view = self.agg_view(start, end);
+        aggregate_selected(self.agg, &view, &scratch.sel[..n], acc);
         n
     }
 
-    /// Branchless word-packed selection-bitmap kernels with mask-native
-    /// aggregation.
+    /// Branchless word-packed selection-bitmap kernels over plain rows, with
+    /// mask-native aggregation.
     fn scan_block_bitmap(
         &self,
         start: usize,
@@ -880,9 +1141,10 @@ impl<'a> ResolvedQuery<'a> {
         scratch: &mut BlockScratch,
     ) -> usize {
         let len = end - start;
-        let words = &mut scratch.words[..len.div_ceil(kernels::WORD_BITS)];
-        let (col0, p0) = self.preds[0];
-        let mut any = kernels::mask_first(&col0[start..end], p0, words);
+        let nw = len.div_ceil(kernels::WORD_BITS);
+        let words = &mut scratch.words[..nw];
+        let (col0, p0) = &self.preds[0];
+        let mut any = kernels::mask_first(col0.slice(start, end), *p0, words);
         // The bitmap tier speaks masks natively: liveness is one AND per
         // word, applied early so refinement can short-circuit on it too.
         if let Some(t) = self.live {
@@ -894,16 +1156,191 @@ impl<'a> ResolvedQuery<'a> {
                 }
             }
         }
-        for &(col, p) in &self.preds[1..] {
+        for (col, p) in &self.preds[1..] {
             if any == 0 {
                 break;
             }
-            any = kernels::mask_refine(&col[start..end], p, words);
+            any = kernels::mask_refine(col.slice(start, end), *p, words);
         }
         if any == 0 {
             return 0;
         }
-        aggregate_mask(self.agg, self.agg_col, start, words, acc)
+        let view = self.agg_view(start, end);
+        aggregate_mask(self.agg, &view, &scratch.words[..nw], acc)
+    }
+
+    /// The packed path every branchless tier takes on a chunk with encoded
+    /// columns. Per predicate, the block's metadata classifies the test
+    /// ([`EncodedBlock::classify`]): a `Skip` ends the chunk before touching
+    /// any payload (skip-before-decode); an `AllLive` drops the predicate
+    /// (every live row passes, and dead rows are masked by liveness below);
+    /// otherwise the predicate is evaluated as a SWAR code-range compare
+    /// directly on the packed words ([`kernels::packed_mask`]) or, for plain
+    /// payloads and plain columns, with the ordinary mask kernels. Liveness
+    /// is ANDed in last, exactly as the plain bitmap tier does.
+    fn scan_chunk_packed(
+        &self,
+        start: usize,
+        end: usize,
+        acc: &mut AggAccumulator,
+        scratch: &mut BlockScratch,
+    ) -> usize {
+        let len = end - start;
+        let nw = len.div_ceil(kernels::WORD_BITS);
+        let offset = start % BLOCK_ROWS;
+
+        // Single packed predicate on a delete-free source: COUNT needs no
+        // bitmap at all, and SUM/AVG whose aggregation block shares the
+        // predicate's field layout reduces straight off the packed words.
+        if self.preds.len() == 1 && self.live.is_none() {
+            let (col, p) = &self.preds[0];
+            if let Some(eb) = col.block_at(start) {
+                match eb.classify(p.lo, p.hi) {
+                    BlockTest::Skip => return 0,
+                    BlockTest::AllLive => {
+                        self.aggregate_dense_range(start..end, acc);
+                        return len;
+                    }
+                    BlockTest::Packed { lo, hi } => {
+                        let (packed, class) = packed_payload(eb);
+                        match (self.agg, self.agg_view(start, end)) {
+                            (_, AggView::None) | (Aggregation::Count, _) => {
+                                let n = kernels::packed_count(packed, class, offset, len, lo, hi);
+                                acc.add_bulk(n as u64, 0);
+                                return n;
+                            }
+                            (
+                                Aggregation::Sum(_) | Aggregation::Avg(_),
+                                AggView::Block { eb: agg_eb, .. },
+                            ) => {
+                                if let BlockData::For {
+                                    class: agg_class,
+                                    packed: agg_packed,
+                                } = agg_eb.data()
+                                {
+                                    if *agg_class == class {
+                                        let (n, code_sum) = kernels::packed_sum_same_layout(
+                                            packed, agg_packed, class, offset, len, lo, hi,
+                                        );
+                                        let reference = agg_eb.bounds().0 as u128;
+                                        acc.add_bulk(n, code_sum + n as u128 * reference);
+                                        return n as usize;
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                        // No aggregation fast path: materialize the bitmap.
+                        let any = kernels::packed_mask(
+                            packed,
+                            class,
+                            offset,
+                            len,
+                            lo,
+                            hi,
+                            kernels::MaskMode::Set,
+                            &mut scratch.words[..nw],
+                        );
+                        if any == 0 {
+                            return 0;
+                        }
+                        let view = self.agg_view(start, end);
+                        return aggregate_mask(self.agg, &view, &scratch.words[..nw], acc);
+                    }
+                    BlockTest::Plain => {} // fall through to the general path
+                }
+            }
+        }
+
+        // General path: fold every predicate into one selection bitmap.
+        let mut first = true;
+        let mut any = 0u64;
+        for (col, p) in &self.preds {
+            let mode = if first {
+                kernels::MaskMode::Set
+            } else {
+                kernels::MaskMode::And
+            };
+            match col.block_at(start) {
+                Some(eb) => match eb.classify(p.lo, p.hi) {
+                    BlockTest::Skip => return 0,
+                    BlockTest::AllLive => continue,
+                    BlockTest::Packed { lo, hi } => {
+                        let (packed, class) = packed_payload(eb);
+                        any = kernels::packed_mask(
+                            packed,
+                            class,
+                            offset,
+                            len,
+                            lo,
+                            hi,
+                            mode,
+                            &mut scratch.words[..nw],
+                        );
+                        first = false;
+                    }
+                    BlockTest::Plain => {
+                        let BlockData::Plain(vals) = eb.data() else {
+                            unreachable!("Plain classification implies plain payload");
+                        };
+                        let block = &vals[offset..offset + len];
+                        let words = &mut scratch.words[..nw];
+                        any = match mode {
+                            kernels::MaskMode::Set => kernels::mask_first(block, *p, words),
+                            kernels::MaskMode::And => kernels::mask_refine(block, *p, words),
+                        };
+                        first = false;
+                    }
+                },
+                None => {
+                    let block = col.slice(start, end);
+                    let words = &mut scratch.words[..nw];
+                    any = match mode {
+                        kernels::MaskMode::Set => kernels::mask_first(block, *p, words),
+                        kernels::MaskMode::And => kernels::mask_refine(block, *p, words),
+                    };
+                    first = false;
+                }
+            }
+            if !first && any == 0 {
+                return 0;
+            }
+        }
+
+        // Every predicate was AllLive: the chunk is dense up to liveness.
+        if first {
+            return match self.live {
+                None => {
+                    self.aggregate_dense_range(start..end, acc);
+                    len
+                }
+                Some(t) => self.aggregate_dense_live(t, start..end, acc, scratch),
+            };
+        }
+
+        if let Some(t) = self.live {
+            any = 0;
+            let words = &mut scratch.words[..nw];
+            for (w, word) in words.iter_mut().enumerate() {
+                *word &= t.live_word(start + w * kernels::WORD_BITS);
+                any |= *word;
+            }
+        }
+        if any == 0 {
+            return 0;
+        }
+        let view = self.agg_view(start, end);
+        aggregate_mask(self.agg, &view, &scratch.words[..nw], acc)
+    }
+}
+
+/// The packed words and class of a FOR or Dict payload.
+#[inline(always)]
+fn packed_payload(eb: &EncodedBlock) -> (&[u64], PackClass) {
+    match eb.data() {
+        BlockData::For { class, packed } => (packed, *class),
+        BlockData::Dict { class, packed, .. } => (packed, *class),
+        BlockData::Plain(_) => unreachable!("packed payload requested for plain block"),
     }
 }
 
@@ -938,94 +1375,149 @@ pub fn scan_range_into(
     );
 }
 
-/// Mask-native aggregation of one block's selection bitmap, shared by the
-/// bitmap tier and the tombstone-aware dense path. Returns the number of
-/// selected rows.
+/// The aggregation input for one grid chunk, with **chunk-local** row
+/// indexing (index `i` = physical row `chunk_start + i`): a plain slice, a
+/// window into an encoded block's packed payload, or nothing (`COUNT`, or
+/// no input column).
+#[derive(Clone, Copy)]
+enum AggView<'a> {
+    None,
+    Slice(&'a [Value]),
+    Block { eb: &'a EncodedBlock, offset: usize },
+}
+
+impl AggView<'_> {
+    /// Chunk-local row `i`'s aggregation input value. Only called on
+    /// [`AggView::Slice`] / [`AggView::Block`].
+    #[inline(always)]
+    fn fetch(&self, i: usize) -> Value {
+        match self {
+            AggView::Slice(s) => s[i],
+            AggView::Block { eb, offset } => eb.value_at(offset + i),
+            AggView::None => unreachable!("no aggregation input to fetch"),
+        }
+    }
+}
+
+/// Mask-native aggregation of one chunk's selection bitmap, shared by the
+/// bitmap tier, the packed path, and the tombstone-aware dense path.
+/// Returns the number of selected rows.
 fn aggregate_mask(
     agg: Aggregation,
-    agg_col: Option<&[Value]>,
-    start: usize,
+    col: &AggView,
     words: &[u64],
     acc: &mut AggAccumulator,
 ) -> usize {
-    match (agg, agg_col) {
-        (Aggregation::Count, _) | (_, None) => {
+    match (agg, col) {
+        (Aggregation::Count, _) | (_, AggView::None) => {
             let n = kernels::mask_count(words);
             acc.add_bulk(n as u64, 0);
             n
         }
-        (Aggregation::Sum(_) | Aggregation::Avg(_), Some(col)) => {
-            let (n, sum) = kernels::mask_sum(&col[start..], words);
+        (Aggregation::Sum(_) | Aggregation::Avg(_), AggView::Slice(s)) => {
+            let (n, sum) = kernels::mask_sum(s, words);
             acc.add_bulk(n, sum);
             n as usize
         }
-        (Aggregation::Min(_), Some(col)) => {
-            let (n, lo) = kernels::mask_min(&col[start..], words);
+        (Aggregation::Min(_), AggView::Slice(s)) => {
+            let (n, lo) = kernels::mask_min(s, words);
             acc.add_block(n, 0, lo, None);
             n as usize
         }
-        (Aggregation::Max(_), Some(col)) => {
-            let (n, hi) = kernels::mask_max(&col[start..], words);
+        (Aggregation::Max(_), AggView::Slice(s)) => {
+            let (n, hi) = kernels::mask_max(s, words);
+            acc.add_block(n, 0, None, hi);
+            n as usize
+        }
+        (Aggregation::Sum(_) | Aggregation::Avg(_), AggView::Block { eb, offset }) => {
+            // FOR-packed aggregation block with word-aligned bitmap groups:
+            // sum the packed codes straight off the selection bitmap.
+            if let BlockData::For { class, packed } = eb.data() {
+                if offset & (class.per_word() - 1) == 0 {
+                    let (n, code_sum) = kernels::mask_sum_packed(words, packed, *class, *offset);
+                    let reference = eb.bounds().0 as u128;
+                    acc.add_bulk(n, code_sum + n as u128 * reference);
+                    return n as usize;
+                }
+            }
+            let (n, sum) = kernels::mask_sum_fetch(words, |i| col.fetch(i));
+            acc.add_bulk(n, sum);
+            n as usize
+        }
+        (Aggregation::Min(_), _) => {
+            let (n, lo) =
+                kernels::mask_extreme_fetch(words, Value::MAX, Value::min, |i| col.fetch(i));
+            acc.add_block(n, 0, lo, None);
+            n as usize
+        }
+        (Aggregation::Max(_), _) => {
+            let (n, hi) =
+                kernels::mask_extreme_fetch(words, Value::MIN, Value::max, |i| col.fetch(i));
             acc.add_block(n, 0, None, hi);
             n as usize
         }
     }
 }
 
-/// Aggregates every row of a contiguous range (exact-range fast path).
-fn aggregate_dense(
-    agg: Aggregation,
-    agg_col: Option<&[Value]>,
-    range: Range<usize>,
-    acc: &mut AggAccumulator,
-) {
-    let n = range.len() as u64;
-    match (agg, agg_col) {
-        (Aggregation::Count, _) | (_, None) => acc.add_bulk(n, 0),
-        (Aggregation::Sum(_) | Aggregation::Avg(_), Some(col)) => {
-            let sum: u128 = col[range].iter().map(|&v| v as u128).sum();
+/// Aggregates every row of one dense chunk (exact-range fast path).
+fn aggregate_dense_view(agg: Aggregation, col: &AggView, len: usize, acc: &mut AggAccumulator) {
+    let n = len as u64;
+    match (agg, col) {
+        (Aggregation::Count, _) | (_, AggView::None) => acc.add_bulk(n, 0),
+        (Aggregation::Sum(_) | Aggregation::Avg(_), AggView::Slice(s)) => {
+            let sum: u128 = s[..len].iter().map(|&v| v as u128).sum();
             acc.add_bulk(n, sum);
         }
         // MIN/MAX cannot use the bulk-sum shortcut: even an exact range needs
         // its values inspected. Fold the slice tightly instead.
-        (Aggregation::Min(_), Some(col)) => {
-            let lo = col[range].iter().copied().min();
-            acc.add_block(n, 0, lo, None);
+        (Aggregation::Min(_), AggView::Slice(s)) => {
+            acc.add_block(n, 0, s[..len].iter().copied().min(), None);
         }
-        (Aggregation::Max(_), Some(col)) => {
-            let hi = col[range].iter().copied().max();
-            acc.add_block(n, 0, None, hi);
+        (Aggregation::Max(_), AggView::Slice(s)) => {
+            acc.add_block(n, 0, None, s[..len].iter().copied().max());
+        }
+        (Aggregation::Sum(_) | Aggregation::Avg(_), AggView::Block { eb, offset }) => {
+            // A FOR block sums without decoding: every field matches the
+            // trivial `code >= 0` test, so the masked-sum kernel degenerates
+            // to a straight lane-wise fold of the packed payloads.
+            if let BlockData::For { class, packed } = eb.data() {
+                let (rows, code_sum) =
+                    kernels::packed_sum_same_layout(packed, packed, *class, *offset, len, 0, None);
+                debug_assert_eq!(rows, n);
+                acc.add_bulk(n, code_sum + n as u128 * eb.bounds().0 as u128);
+                return;
+            }
+            let sum: u128 = (0..len).map(|i| col.fetch(i) as u128).sum();
+            acc.add_bulk(n, sum);
+        }
+        (Aggregation::Min(_), _) => {
+            acc.add_block(n, 0, (0..len).map(|i| col.fetch(i)).min(), None);
+        }
+        (Aggregation::Max(_), _) => {
+            acc.add_block(n, 0, None, (0..len).map(|i| col.fetch(i)).max());
         }
     }
 }
 
-/// Aggregates the selected rows of one block.
-fn aggregate_selected(
-    agg: Aggregation,
-    agg_col: Option<&[Value]>,
-    block_start: usize,
-    sel: &[u32],
-    acc: &mut AggAccumulator,
-) {
+/// Aggregates the selected rows of one chunk (`sel` holds chunk-local
+/// indices).
+fn aggregate_selected(agg: Aggregation, col: &AggView, sel: &[u32], acc: &mut AggAccumulator) {
     if sel.is_empty() {
         return;
     }
     let n = sel.len() as u64;
-    match (agg, agg_col) {
-        (Aggregation::Count, _) | (_, None) => acc.add_bulk(n, 0),
-        (Aggregation::Sum(_) | Aggregation::Avg(_), Some(col)) => {
-            let sum: u128 = sel
-                .iter()
-                .map(|&i| col[block_start + i as usize] as u128)
-                .sum();
+    match (agg, col) {
+        (Aggregation::Count, _) | (_, AggView::None) => acc.add_bulk(n, 0),
+        (Aggregation::Sum(_) | Aggregation::Avg(_), _) => {
+            let sum: u128 = sel.iter().map(|&i| col.fetch(i as usize) as u128).sum();
             acc.add_bulk(n, sum);
         }
-        (Aggregation::Min(_), Some(col)) => {
-            let lo = sel.iter().map(|&i| col[block_start + i as usize]).min();
+        (Aggregation::Min(_), _) => {
+            let lo = sel.iter().map(|&i| col.fetch(i as usize)).min();
             acc.add_block(n, 0, lo, None);
         }
-        (Aggregation::Max(_), Some(col)) => {
-            let hi = sel.iter().map(|&i| col[block_start + i as usize]).max();
+        (Aggregation::Max(_), _) => {
+            let hi = sel.iter().map(|&i| col.fetch(i as usize)).max();
             acc.add_block(n, 0, None, hi);
         }
     }
@@ -1369,8 +1861,8 @@ mod tests {
         fn num_dims(&self) -> usize {
             self.ds.num_dims()
         }
-        fn column_values(&self, dim: usize) -> &[Value] {
-            self.ds.column(dim)
+        fn column_data(&self, dim: usize) -> ColumnData<'_> {
+            ColumnData::Plain(self.ds.column(dim))
         }
         fn tombstones(&self) -> Option<&TombstoneSet> {
             Some(&self.t)
@@ -1454,5 +1946,240 @@ mod tests {
         let labels: Vec<&str> = KernelTier::ALL.iter().map(|t| t.label()).collect();
         assert_eq!(labels, vec!["scalar", "vector", "bitmap", "adaptive"]);
         assert_eq!(KernelTier::default(), KernelTier::Adaptive);
+    }
+
+    #[test]
+    fn adaptive_first_block_probes_with_scalar() {
+        // The probe block must be scalar: a vector probe's unconditional
+        // full-block stores into a cold selection buffer is pure overhead on
+        // sparse scans (the `BENCH_scan.json` sparse-SUM regression), while
+        // the scalar loop is free there and one block is noise on dense
+        // scans.
+        let d = Density::default();
+        for num_preds in 1..=4 {
+            assert_eq!(d.choose(num_preds), BlockRepr::Scalar);
+        }
+        // After a dense observation the estimate takes over as before.
+        let mut d = Density::default();
+        d.observe(1024, 1000);
+        assert_eq!(d.choose(1), BlockRepr::Bitmap);
+        let mut d = Density::default();
+        d.observe(1024, 10);
+        assert_eq!(d.choose(1), BlockRepr::Scalar);
+        let mut d = Density::default();
+        d.observe(1024, 300);
+        assert_eq!(d.choose(1), BlockRepr::Vector);
+    }
+
+    /// A scan source with per-block encoded columns plus a plain tail, for
+    /// exercising the packed executor paths without the store crate.
+    struct EncodedSource {
+        cols: Vec<(Vec<EncodedBlock>, Vec<Value>)>,
+        num_rows: usize,
+        t: Option<TombstoneSet>,
+    }
+
+    impl EncodedSource {
+        /// Encodes every full block of `ds`'s columns, leaving `tail_rows`
+        /// rows plain. Rows already tombstoned in `t` are dead at encode
+        /// time, so block live bounds reflect them.
+        fn encode(ds: &Dataset, tail_rows: usize, t: Option<TombstoneSet>) -> Self {
+            let opts = crate::encode::EncodeOptions::default();
+            let encoded_rows = (ds.len() - tail_rows) / BLOCK_ROWS * BLOCK_ROWS;
+            let cols = (0..ds.num_dims())
+                .map(|d| {
+                    let col = ds.column(d);
+                    let blocks: Vec<EncodedBlock> = (0..encoded_rows / BLOCK_ROWS)
+                        .map(|b| {
+                            let start = b * BLOCK_ROWS;
+                            EncodedBlock::encode(
+                                &col[start..start + BLOCK_ROWS],
+                                |i| t.as_ref().is_none_or(|t| !t.is_deleted(start + i)),
+                                &opts,
+                            )
+                        })
+                        .collect();
+                    (blocks, col[encoded_rows..].to_vec())
+                })
+                .collect();
+            Self {
+                cols,
+                num_rows: ds.len(),
+                t,
+            }
+        }
+    }
+
+    impl ScanSource for EncodedSource {
+        fn num_rows(&self) -> usize {
+            self.num_rows
+        }
+        fn num_dims(&self) -> usize {
+            self.cols.len()
+        }
+        fn column_data(&self, dim: usize) -> ColumnData<'_> {
+            let (blocks, tail) = &self.cols[dim];
+            ColumnData::Encoded { blocks, tail }
+        }
+        fn tombstones(&self) -> Option<&TombstoneSet> {
+            self.t.as_ref()
+        }
+    }
+
+    /// Columns spanning every encoding: dim0 FOR-compressible (12-bit
+    /// domain), dim1 low-cardinality (dict), dim2 incompressible (plain
+    /// fallback), dim3 a second FOR column for same-layout SUM fast paths.
+    fn encodable_dataset(n: u64) -> Dataset {
+        Dataset::from_columns(vec![
+            (0..n).map(|v| v * 37 % 4096).collect(),
+            (0..n).map(|v| (v * 13 % 23) * 1_000_000_007).collect(),
+            (0..n)
+                .map(|v| v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect(),
+            (0..n).map(|v| v * 91 % 4096).collect(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn encoded_source_matches_plain_dataset_across_tiers() {
+        let n = 6 * BLOCK_ROWS as u64 + 700;
+        let ds = encodable_dataset(n);
+        // Mixed: 4 encoded blocks, then 2 full blocks + 700 rows plain tail.
+        for tail in [700, 2 * BLOCK_ROWS + 700] {
+            let src = EncodedSource::encode(&ds, tail, None);
+            let plan = ScanPlan::from_ranges([
+                (3..2_000, false),
+                (2_000..2_500, true),
+                (2_600..ds.len(), false),
+            ]);
+            for agg in [
+                Aggregation::Count,
+                Aggregation::Sum(3),
+                Aggregation::Sum(2),
+                Aggregation::Min(3),
+                Aggregation::Max(2),
+                Aggregation::Avg(0),
+            ] {
+                for preds in [
+                    vec![Predicate::range(0, 1000, 3000).unwrap()],
+                    vec![Predicate::range(1, 5 * 1_000_000_007, 14 * 1_000_000_007).unwrap()],
+                    vec![Predicate::range(2, 0, u64::MAX / 2).unwrap()],
+                    vec![
+                        Predicate::range(0, 100, 3800).unwrap(),
+                        Predicate::range(1, 2 * 1_000_000_007, 20 * 1_000_000_007).unwrap(),
+                        Predicate::range(2, u64::MAX / 4, u64::MAX).unwrap(),
+                    ],
+                    // Out-of-domain bounds: every block classifies Skip /
+                    // AllLive in turn.
+                    vec![Predicate::range(0, 5000, 6000).unwrap()],
+                    vec![Predicate::range(0, 0, 4100).unwrap()],
+                ] {
+                    let q = Query::new(preds.clone(), agg).unwrap();
+                    let (expected, expected_counters) =
+                        execute_plan_tiered(&ds, &q, &plan, KernelTier::Scalar);
+                    for tier in KernelTier::ALL {
+                        let (res, counters) = execute_plan_tiered(&src, &q, &plan, tier);
+                        assert_eq!(res, expected, "tail={tail} {agg:?} {preds:?} via {tier:?}");
+                        assert_eq!(counters, expected_counters, "counters via {tier:?}");
+                        let (par, pc) = execute_plan_parallel_tiered(&src, &q, &plan, 4, tier);
+                        assert_eq!(par, expected, "parallel tail={tail} {agg:?} via {tier:?}");
+                        assert_eq!(pc, expected_counters, "parallel counters via {tier:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_source_respects_tombstones_in_every_tier() {
+        let n = 5 * BLOCK_ROWS as u64 + 321;
+        let ds = encodable_dataset(n);
+        let mut t = TombstoneSet::new(ds.len());
+        // Kill a whole block (its live bounds go None => Skip), the extreme
+        // rows of another, scattered rows, and some tail rows.
+        for row in BLOCK_ROWS..2 * BLOCK_ROWS {
+            t.mark(row);
+        }
+        for row in (0..ds.len()).step_by(97) {
+            t.mark(row);
+        }
+        for row in 5 * BLOCK_ROWS..5 * BLOCK_ROWS + 100 {
+            t.mark(row);
+        }
+        let src = EncodedSource::encode(&ds, 321, Some(t.clone()));
+        let tomb = TombSource { ds: ds.clone(), t };
+        let plan = ScanPlan::from_ranges([(0..4_000, false), (4_000..ds.len(), false)]);
+        for agg in [Aggregation::Count, Aggregation::Sum(3), Aggregation::Min(0)] {
+            let q = Query::new(
+                vec![
+                    Predicate::range(0, 200, 3900).unwrap(),
+                    Predicate::range(1, 1_000_000_007, 21 * 1_000_000_007).unwrap(),
+                ],
+                agg,
+            )
+            .unwrap();
+            let (expected, expected_counters) =
+                execute_plan_tiered(&tomb, &q, &plan, KernelTier::Scalar);
+            for tier in KernelTier::ALL {
+                let (res, counters) = execute_plan_tiered(&src, &q, &plan, tier);
+                assert_eq!(res, expected, "{agg:?} via {tier:?}");
+                assert_eq!(counters, expected_counters, "{agg:?} counters via {tier:?}");
+                let (par, pc) = execute_plan_parallel_tiered(&src, &q, &plan, 4, tier);
+                assert_eq!(par, expected, "{agg:?} parallel via {tier:?}");
+                assert_eq!(pc, expected_counters, "{agg:?} parallel counters");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_dead_encoded_block_is_skipped_but_results_stay_oracle_equal() {
+        // One block entirely tombstoned: the packed path classifies it Skip
+        // without touching payload, and the scalar oracle (which ignores
+        // metadata) must agree because liveness masks every row anyway.
+        let n = 3 * BLOCK_ROWS as u64;
+        let ds = encodable_dataset(n);
+        let mut t = TombstoneSet::new(ds.len());
+        for row in 0..BLOCK_ROWS {
+            t.mark(row);
+        }
+        let src = EncodedSource::encode(&ds, 0, Some(t));
+        let q = Query::new(
+            vec![Predicate::range(0, 0, 4095).unwrap()],
+            Aggregation::Sum(3),
+        )
+        .unwrap();
+        let plan = ScanPlan::full(ds.len());
+        let (expected, ec) = execute_plan_tiered(&src, &q, &plan, KernelTier::Scalar);
+        for tier in KernelTier::ALL {
+            let (res, counters) = execute_plan_tiered(&src, &q, &plan, tier);
+            assert_eq!(res, expected, "via {tier:?}");
+            assert_eq!(counters, ec, "counters via {tier:?}");
+        }
+    }
+
+    #[test]
+    fn encoded_exact_ranges_aggregate_densely() {
+        let n = 4 * BLOCK_ROWS as u64;
+        let ds = encodable_dataset(n);
+        let src = EncodedSource::encode(&ds, 0, None);
+        // Exact ranges deliberately misaligned to the block grid.
+        let plan = ScanPlan::from_ranges([(100..1_500, true), (1_700..3_900, true)]);
+        for agg in [
+            Aggregation::Count,
+            Aggregation::Sum(0),
+            Aggregation::Sum(2),
+            Aggregation::Min(1),
+            Aggregation::Max(3),
+            Aggregation::Avg(2),
+        ] {
+            let q = Query::new(vec![], agg).unwrap();
+            let (expected, ec) = execute_plan_tiered(&ds, &q, &plan, KernelTier::Scalar);
+            for tier in KernelTier::ALL {
+                let (res, counters) = execute_plan_tiered(&src, &q, &plan, tier);
+                assert_eq!(res, expected, "{agg:?} via {tier:?}");
+                assert_eq!(counters, ec, "{agg:?} counters via {tier:?}");
+            }
+        }
     }
 }

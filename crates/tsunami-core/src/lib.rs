@@ -13,6 +13,10 @@
 //!   skew definition (§4.2.1).
 //! * [`CostModel`] — the analytic linear cost model used to optimize both
 //!   Flood and the Augmented Grid (§5.3.1).
+//! * [`EncodedBlock`], [`encode`] — per-block lightweight column encodings
+//!   (frame-of-reference + bit-packing, dictionary codes) with min/max
+//!   metadata; the executor's packed kernels evaluate predicates on them
+//!   without decoding.
 //! * [`ScanPlan`], [`exec`] — the shared scan-execution engine: indexes plan
 //!   queries as ordered lists of contiguous physical ranges (with §6.1
 //!   exact-range flags and residual predicates) and one vectorized executor
@@ -24,6 +28,7 @@
 pub mod cost;
 pub mod dataset;
 pub mod emd;
+pub mod encode;
 pub mod error;
 pub mod exec;
 pub mod histogram;
@@ -36,6 +41,7 @@ pub mod tombstone;
 pub use cost::{CostFeatures, CostModel};
 pub use dataset::{Dataset, Point, Value};
 pub use emd::emd;
+pub use encode::{BlockData, BlockTest, EncodeOptions, EncodedBlock, PackClass};
 pub use error::{Result, TsunamiError};
 pub use exec::{BlockScratch, KernelTier, ScanCounters, ScanPlan, ScanRange, ScanSource};
 pub use histogram::Histogram;

@@ -87,6 +87,7 @@ impl FloodIndex {
 
         let mut store = ColumnStore::from_dataset(data);
         store.permute(&perm);
+        store.encode_blocks();
         let sort_secs = sort_start.elapsed().as_secs_f64();
 
         Self {
@@ -144,6 +145,7 @@ impl FloodIndex {
         }
         cell_offsets.push(perm.len());
         store.permute(&perm);
+        store.encode_blocks();
 
         Self {
             layout,

@@ -320,6 +320,7 @@ impl TsunamiIndex {
         }
         let mut store = ColumnStore::from_dataset(data);
         store.permute(&global_perm);
+        store.encode_blocks();
         let sort_secs = sort_start.elapsed().as_secs_f64();
 
         let name = match config.variant {
@@ -807,6 +808,7 @@ impl TsunamiIndex {
             debug_assert_eq!(region_perm.len(), candidate.len);
             store.permute_range(candidate.base, &region_perm);
         }
+        store.encode_blocks();
         debug_assert_eq!(regions.len(), tree.num_regions());
         debug_assert_eq!(regions.len(), provenance.len());
         let sort_secs = sort_start.elapsed().as_secs_f64();
@@ -1066,6 +1068,7 @@ impl TsunamiIndex {
         }
         debug_assert_eq!(perm.len(), n + m);
         store.permute(&perm);
+        store.encode_blocks();
 
         let ingested = regions.iter().map(|r| r.inserted).sum();
         let sort_secs = (start.elapsed().as_secs_f64() - optimize_secs).max(0.0);
@@ -1222,6 +1225,7 @@ impl TsunamiIndex {
                 inserted: region.inserted,
             });
         }
+        store.encode_blocks();
         debug_assert_eq!(store.len(), n - shift);
 
         Ok((

@@ -1,78 +1,205 @@
-//! A single column of 64-bit integer values with lightweight metadata.
+//! A single column of 64-bit integer values with lightweight metadata and
+//! optional per-block encoding.
+//!
+//! Physically a column is an **encoded prefix** plus a **plain tail**: blocks
+//! of [`BLOCK_ROWS`] rows aligned to the absolute grid may be stored as
+//! [`EncodedBlock`]s (frame-of-reference bit-packing, dictionary codes, or a
+//! plain fallback — see [`tsunami_core::encode`]), while everything after the
+//! prefix stays a raw `Vec<u64>`. Appends go to the plain tail, so ingest
+//! never pays encode cost; [`Column::encode_blocks`] (called by index
+//! build/compaction) packs the accumulated full blocks. Any mutation that
+//! moves rows ([`Column::permute`], [`Column::permute_range`],
+//! [`Column::drop_range_except`]) first decodes the affected suffix, which
+//! also keeps block metadata trivially consistent: an encoded block's
+//! contents never change after encoding.
 
-use tsunami_core::Value;
+use tsunami_core::exec::{ColumnData, BLOCK_ROWS};
+use tsunami_core::{EncodeOptions, EncodedBlock, Value};
 
 /// A dense, in-memory column of `u64` values.
 ///
-/// The column tracks its min/max so scans over a whole column (or index
-/// structures that need per-page metadata) can cheaply prune.
+/// The column tracks its physical min/max so scans over a whole column (or
+/// index structures that need per-page metadata) can cheaply prune. Bounds
+/// are `None` for an empty column — never a `(0, 0)` sentinel, which would
+/// be indistinguishable from a real all-zero column and poison block
+/// skipping.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
+    /// Encoded blocks covering rows `0 .. packed.len() * BLOCK_ROWS`.
+    packed: Vec<EncodedBlock>,
+    /// Plain values for every row after the encoded prefix.
     values: Vec<Value>,
-    min: Value,
-    max: Value,
+    /// Physical min/max over every stored row; `None` when empty.
+    bounds: Option<(Value, Value)>,
 }
 
 impl Column {
-    /// Creates a column from raw values.
+    /// Creates a plain column from raw values.
     pub fn new(values: Vec<Value>) -> Self {
-        let (min, max) = min_max(&values);
-        Self { values, min, max }
+        let bounds = min_max(&values);
+        Self {
+            packed: Vec::new(),
+            values,
+            bounds,
+        }
     }
 
     /// Number of values.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.packed.len() * BLOCK_ROWS + self.values.len()
     }
 
     /// Whether the column is empty.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.packed.is_empty() && self.values.is_empty()
     }
 
-    /// The raw values.
+    /// The raw values of a fully plain column. Panics if any block is
+    /// encoded — callers that may see encoded columns use
+    /// [`Column::decode_range`] or [`Column::data`] instead.
     pub fn values(&self) -> &[Value] {
+        assert!(
+            self.packed.is_empty(),
+            "values() on an encoded column; use decode_range()"
+        );
         &self.values
     }
 
-    /// Value at row `i`.
+    /// The column as the executor sees it.
+    pub fn data(&self) -> ColumnData<'_> {
+        if self.packed.is_empty() {
+            ColumnData::Plain(&self.values)
+        } else {
+            ColumnData::Encoded {
+                blocks: &self.packed,
+                tail: &self.values,
+            }
+        }
+    }
+
+    /// The encoded prefix blocks.
+    pub fn encoded_blocks(&self) -> &[EncodedBlock] {
+        &self.packed
+    }
+
+    /// Number of plain rows after the encoded prefix.
+    pub fn tail_rows(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at row `i`, whatever its representation.
     #[inline]
     pub fn get(&self, i: usize) -> Value {
-        self.values[i]
+        let covered = self.packed.len() * BLOCK_ROWS;
+        if i < covered {
+            self.packed[i / BLOCK_ROWS].value_at(i % BLOCK_ROWS)
+        } else {
+            self.values[i - covered]
+        }
     }
 
-    /// Minimum value (0 for an empty column).
-    pub fn min(&self) -> Value {
-        self.min
+    /// Decodes rows `range` into a fresh vector (store order).
+    pub fn decode_range(&self, range: std::ops::Range<usize>) -> Vec<Value> {
+        debug_assert!(range.end <= self.len());
+        let mut out = vec![0; range.len()];
+        let covered = self.packed.len() * BLOCK_ROWS;
+        let mut row = range.start;
+        while row < range.end {
+            let at = row - range.start;
+            if row >= covered {
+                out[at..].copy_from_slice(&self.values[row - covered..range.end - covered]);
+                break;
+            }
+            let eb = &self.packed[row / BLOCK_ROWS];
+            let off = row % BLOCK_ROWS;
+            let n = (BLOCK_ROWS - off).min(range.end - row);
+            eb.decode_into(off, &mut out[at..at + n]);
+            row += n;
+        }
+        out
     }
 
-    /// Maximum value (0 for an empty column).
-    pub fn max(&self) -> Value {
-        self.max
+    /// Physical minimum value; `None` when empty. Bounds cover every stored
+    /// row including tombstoned ones (per-block *live* bounds live in the
+    /// encoded blocks); physical removal re-tightens them.
+    pub fn min(&self) -> Option<Value> {
+        self.bounds.map(|(lo, _)| lo)
+    }
+
+    /// Physical maximum value; `None` when empty.
+    pub fn max(&self) -> Option<Value> {
+        self.bounds.map(|(_, hi)| hi)
     }
 
     /// Appends values at the end of the column, extending min/max to cover
     /// them. This is the storage half of incremental ingestion: appended rows
-    /// land in an append region at the tail and the owning index then grafts
-    /// them into place with [`Column::permute`]/[`Column::permute_range`].
+    /// land in the **plain tail** — never encoded on the hot insert path —
+    /// and the owning index then grafts them into place with
+    /// [`Column::permute`]/[`Column::permute_range`] (or leaves them, and a
+    /// later [`Column::encode_blocks`] packs them).
     pub fn append(&mut self, values: &[Value]) {
-        if values.is_empty() {
+        let Some((lo, hi)) = min_max(values) else {
             return;
-        }
-        let (lo, hi) = min_max(values);
-        if self.values.is_empty() {
-            self.min = lo;
-            self.max = hi;
-        } else {
-            self.min = self.min.min(lo);
-            self.max = self.max.max(hi);
-        }
+        };
+        self.bounds = Some(match self.bounds {
+            None => (lo, hi),
+            Some((a, b)) => (a.min(lo), b.max(hi)),
+        });
         self.values.extend_from_slice(values);
     }
 
+    /// Encodes every full [`BLOCK_ROWS`] block of the plain tail, extending
+    /// the encoded prefix; a trailing partial block stays plain. `is_live`
+    /// reports whether an **absolute** row is live at encode time, feeding
+    /// the per-block tombstone-aware live bounds that block skipping prunes
+    /// on.
+    pub fn encode_blocks(&mut self, opts: &EncodeOptions, is_live: impl Fn(usize) -> bool) {
+        let full = self.values.len() / BLOCK_ROWS;
+        if full == 0 {
+            return;
+        }
+        let base = self.packed.len() * BLOCK_ROWS;
+        self.packed.reserve(full);
+        for b in 0..full {
+            let start = b * BLOCK_ROWS;
+            let abs = base + start;
+            self.packed.push(EncodedBlock::encode(
+                &self.values[start..start + BLOCK_ROWS],
+                |i| is_live(abs + i),
+                opts,
+            ));
+        }
+        self.values.drain(..full * BLOCK_ROWS);
+    }
+
+    /// Decodes every encoded block back into the plain tail.
+    pub fn make_plain(&mut self) {
+        self.decode_from(0);
+    }
+
+    /// Decodes blocks `k0..` of the encoded prefix into the plain tail
+    /// (the prefix must stay contiguous from row 0, so mutating any row of
+    /// block `k` requires decoding `k` and everything after it).
+    fn decode_from(&mut self, k0: usize) {
+        if k0 >= self.packed.len() {
+            return;
+        }
+        let decoded_rows: usize = self.packed[k0..].iter().map(|eb| eb.len()).sum();
+        let mut plain = Vec::with_capacity(decoded_rows + self.values.len());
+        for eb in self.packed.drain(k0..) {
+            let off = plain.len();
+            plain.resize(off + eb.len(), 0);
+            eb.decode_into(0, &mut plain[off..]);
+        }
+        plain.append(&mut self.values);
+        self.values = plain;
+    }
+
     /// Rebuilds the column with rows in permuted order: new row `i` holds the
-    /// value previously at row `perm[i]`.
+    /// value previously at row `perm[i]`. Decodes the whole column first; the
+    /// owner re-encodes after restructuring.
     pub fn permute(&mut self, perm: &[usize]) {
+        self.make_plain();
         debug_assert_eq!(perm.len(), self.values.len());
         let new_values: Vec<Value> = perm.iter().map(|&src| self.values[src]).collect();
         self.values = new_values;
@@ -80,10 +207,13 @@ impl Column {
 
     /// Permutes only the rows `base..base + perm.len()`: new row `base + i`
     /// holds the value previously at row `base + perm[i]` (`perm` uses local,
-    /// 0-based indices). Min/max are unchanged by any reordering.
+    /// 0-based indices). Min/max are unchanged by any reordering. Encoded
+    /// blocks from the first touched one on are decoded first.
     pub fn permute_range(&mut self, base: usize, perm: &[usize]) {
-        debug_assert!(base + perm.len() <= self.values.len());
-        let slice = &mut self.values[base..base + perm.len()];
+        debug_assert!(base + perm.len() <= self.len());
+        self.decode_from(base / BLOCK_ROWS);
+        let covered = self.packed.len() * BLOCK_ROWS;
+        let slice = &mut self.values[base - covered..base - covered + perm.len()];
         let reordered: Vec<Value> = perm.iter().map(|&src| slice[src]).collect();
         slice.copy_from_slice(&reordered);
     }
@@ -91,46 +221,61 @@ impl Column {
     /// Removes the rows of `range` that are not listed in `keep` (absolute
     /// row indices inside `range`, ascending); rows after the range shift
     /// down to close the gap. This is compaction's storage primitive —
-    /// min/max are recomputed, since removal can tighten them.
+    /// min/max are recomputed, since removal can tighten them (this is where
+    /// bounds staled by tombstone deletes snap back to the live data).
     pub fn drop_range_except(&mut self, range: std::ops::Range<usize>, keep: &[usize]) {
-        debug_assert!(range.end <= self.values.len());
+        debug_assert!(range.end <= self.len());
         debug_assert!(keep.iter().all(|&i| range.contains(&i)));
-        let mut out = range.start;
+        self.decode_from(range.start / BLOCK_ROWS);
+        let covered = self.packed.len() * BLOCK_ROWS;
+        let mut out = range.start - covered;
         for &i in keep {
-            self.values[out] = self.values[i];
+            self.values[out] = self.values[i - covered];
             out += 1;
         }
-        self.values.copy_within(range.end.., out);
+        self.values.copy_within(range.end - covered.., out);
         let removed = range.len() - keep.len();
         self.values.truncate(self.values.len() - removed);
-        let (min, max) = min_max(&self.values);
-        self.min = min;
-        self.max = max;
+        self.recompute_bounds();
+    }
+
+    fn recompute_bounds(&mut self) {
+        let mut bounds = min_max(&self.values);
+        for eb in &self.packed {
+            let (lo, hi) = eb.bounds();
+            bounds = Some(match bounds {
+                None => (lo, hi),
+                Some((a, b)) => (a.min(lo), b.max(hi)),
+            });
+        }
+        self.bounds = bounds;
     }
 
     /// Sum of values in `range`, as a wide integer.
     pub fn sum_range(&self, range: std::ops::Range<usize>) -> u128 {
-        self.values[range].iter().map(|&v| v as u128).sum()
+        range.map(|i| self.get(i) as u128).sum()
     }
 
-    /// Approximate heap size in bytes.
+    /// Approximate heap size in bytes (packed payloads plus the plain tail).
     pub fn size_bytes(&self) -> usize {
-        self.values.len() * std::mem::size_of::<Value>()
+        self.packed
+            .iter()
+            .map(EncodedBlock::size_bytes)
+            .sum::<usize>()
+            + self.values.len() * std::mem::size_of::<Value>()
     }
 }
 
-fn min_max(values: &[Value]) -> (Value, Value) {
+/// Min/max of a slice; `None` when empty (no `(0, 0)` sentinel — see the
+/// regression test below).
+fn min_max(values: &[Value]) -> Option<(Value, Value)> {
     let mut min = Value::MAX;
     let mut max = Value::MIN;
     for &v in values {
         min = min.min(v);
         max = max.max(v);
     }
-    if values.is_empty() {
-        (0, 0)
-    } else {
-        (min, max)
-    }
+    (!values.is_empty()).then_some((min, max))
 }
 
 #[cfg(test)]
@@ -140,31 +285,37 @@ mod tests {
     #[test]
     fn tracks_min_max() {
         let c = Column::new(vec![5, 1, 9, 3]);
-        assert_eq!(c.min(), 1);
-        assert_eq!(c.max(), 9);
+        assert_eq!(c.min(), Some(1));
+        assert_eq!(c.max(), Some(9));
         assert_eq!(c.len(), 4);
         assert!(!c.is_empty());
     }
 
     #[test]
-    fn empty_column_has_zero_bounds() {
+    fn empty_column_has_no_bounds() {
+        // Regression: an empty column used to report the `(0, 0)` sentinel,
+        // indistinguishable from a real all-zero column — block skipping on
+        // those bounds would wrongly prune (or wrongly keep) rows.
         let c = Column::new(vec![]);
-        assert_eq!((c.min(), c.max()), (0, 0));
+        assert_eq!((c.min(), c.max()), (None, None));
         assert!(c.is_empty());
+        let zeros = Column::new(vec![0, 0]);
+        assert_eq!((zeros.min(), zeros.max()), (Some(0), Some(0)));
+        assert_ne!((c.min(), c.max()), (zeros.min(), zeros.max()));
     }
 
     #[test]
     fn append_extends_values_and_bounds() {
         let mut c = Column::new(vec![5, 9]);
         c.append(&[]);
-        assert_eq!((c.len(), c.min(), c.max()), (2, 5, 9));
+        assert_eq!((c.len(), c.min(), c.max()), (2, Some(5), Some(9)));
         c.append(&[1, 20]);
         assert_eq!(c.values(), &[5, 9, 1, 20]);
-        assert_eq!((c.min(), c.max()), (1, 20));
+        assert_eq!((c.min(), c.max()), (Some(1), Some(20)));
 
         let mut empty = Column::new(vec![]);
         empty.append(&[7, 3]);
-        assert_eq!((empty.min(), empty.max()), (3, 7));
+        assert_eq!((empty.min(), empty.max()), (Some(3), Some(7)));
     }
 
     #[test]
@@ -182,7 +333,7 @@ mod tests {
         // shifts down.
         c.drop_range_except(0..5, &[0, 2, 4]);
         assert_eq!(c.values(), &[10, 30, 50, 60]);
-        assert_eq!((c.min(), c.max()), (10, 60));
+        assert_eq!((c.min(), c.max()), (Some(10), Some(60)));
         // Keeping everything is a no-op.
         c.drop_range_except(1..3, &[1, 2]);
         assert_eq!(c.values(), &[10, 30, 50, 60]);
@@ -194,6 +345,66 @@ mod tests {
         assert_eq!(c.sum_range(0..2), 2 * (u64::MAX as u128));
         assert_eq!(c.sum_range(2..3), 1);
         assert_eq!(c.sum_range(1..1), 0);
+    }
+
+    fn encoded_column(n: usize) -> Column {
+        let mut c = Column::new((0..n as u64).map(|v| v * 3 % 2048).collect());
+        c.encode_blocks(&EncodeOptions::default(), |_| true);
+        c
+    }
+
+    #[test]
+    fn encode_blocks_packs_full_blocks_and_leaves_tail_plain() {
+        let n = 2 * BLOCK_ROWS + 100;
+        let c = encoded_column(n);
+        assert_eq!(c.encoded_blocks().len(), 2);
+        assert_eq!(c.tail_rows(), 100);
+        assert_eq!(c.len(), n);
+        // Every row reads back identically.
+        for i in (0..n).step_by(37) {
+            assert_eq!(c.get(i), (i as u64) * 3 % 2048);
+        }
+        // And compressed blocks actually shrink the footprint.
+        assert!(c.size_bytes() < n * 8);
+    }
+
+    #[test]
+    fn decode_range_spans_blocks_and_tail() {
+        let n = 2 * BLOCK_ROWS + 50;
+        let c = encoded_column(n);
+        let plain: Vec<Value> = (0..n as u64).map(|v| v * 3 % 2048).collect();
+        for range in [0..n, 10..BLOCK_ROWS + 5, BLOCK_ROWS - 1..n - 3, n - 20..n] {
+            assert_eq!(c.decode_range(range.clone()), &plain[range]);
+        }
+    }
+
+    #[test]
+    fn mutations_decode_the_touched_suffix() {
+        let n = 3 * BLOCK_ROWS;
+        let mut c = encoded_column(n);
+        assert_eq!(c.encoded_blocks().len(), 3);
+        // Permuting a range inside block 1 decodes blocks 1.. but keeps 0.
+        let perm: Vec<usize> = (0..10).rev().collect();
+        c.permute_range(BLOCK_ROWS + 5, &perm);
+        assert_eq!(c.encoded_blocks().len(), 1);
+        assert_eq!(c.get(BLOCK_ROWS + 5), ((BLOCK_ROWS + 14) as u64) * 3 % 2048);
+        // Unaffected prefix block still reads correctly.
+        assert_eq!(c.get(7), 21);
+        // Re-encoding packs the plain region again.
+        c.encode_blocks(&EncodeOptions::default(), |_| true);
+        assert_eq!(c.encoded_blocks().len(), 3);
+    }
+
+    #[test]
+    fn drop_range_except_works_across_encoded_blocks() {
+        let n = 2 * BLOCK_ROWS;
+        let mut c = encoded_column(n);
+        let keep: Vec<usize> = (0..n).filter(|&i| i % 2 == 0).collect();
+        c.drop_range_except(0..n, &keep);
+        assert_eq!(c.len(), n / 2);
+        for (new_row, &old_row) in keep.iter().enumerate() {
+            assert_eq!(c.get(new_row), (old_row as u64) * 3 % 2048);
+        }
     }
 
     #[test]

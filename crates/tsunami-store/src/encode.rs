@@ -1,0 +1,87 @@
+//! Store-level encoding policy: when block encoding runs and with which
+//! knobs.
+//!
+//! The block formats and the per-block chooser live in
+//! [`tsunami_core::encode`]; this module only decides *whether* a store
+//! encodes at all and how aggressively, controlled by environment variables
+//! so benchmarks and deployments can flip encoding without code changes:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `TSUNAMI_ENCODE` | `1` | `0`/`off`/`false` disables block encoding entirely |
+//! | `TSUNAMI_ENCODE_MIN_BLOCK` | `1` | minimum number of full blocks before encoding kicks in |
+//! | `TSUNAMI_ENCODE_MAX_FOR_BITS` | `31` | FOR deltas needing more bits fall back to Dict/Plain |
+//! | `TSUNAMI_ENCODE_DICT_MAX` | `256` | max distinct values per block for dictionary coding |
+
+use tsunami_core::EncodeOptions;
+
+/// Whether and how a [`crate::ColumnStore`] encodes its blocks.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodePolicy {
+    /// Master switch; when false, `encode_blocks` is a no-op and every
+    /// column stays a plain `Vec<u64>`.
+    pub enabled: bool,
+    /// Stores with fewer than this many full blocks skip encoding — tiny
+    /// tables gain nothing and tests sometimes want guaranteed-plain stores.
+    pub min_blocks: usize,
+    /// Per-block format knobs passed through to the chooser.
+    pub opts: EncodeOptions,
+}
+
+impl Default for EncodePolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            min_blocks: 1,
+            opts: EncodeOptions::default(),
+        }
+    }
+}
+
+impl EncodePolicy {
+    /// The policy configured by the `TSUNAMI_ENCODE*` environment variables
+    /// (see the module table), falling back to defaults on unset or
+    /// unparsable values.
+    pub fn from_env() -> Self {
+        let mut p = Self::default();
+        if let Ok(v) = std::env::var("TSUNAMI_ENCODE") {
+            let v = v.trim().to_ascii_lowercase();
+            p.enabled = !matches!(v.as_str(), "0" | "off" | "false" | "no");
+        }
+        if let Some(v) = parse_env("TSUNAMI_ENCODE_MIN_BLOCK") {
+            p.min_blocks = v;
+        }
+        if let Some(v) = parse_env("TSUNAMI_ENCODE_MAX_FOR_BITS") {
+            p.opts.max_for_bits = v as u32;
+        }
+        if let Some(v) = parse_env("TSUNAMI_ENCODE_DICT_MAX") {
+            p.opts.dict_max = v;
+        }
+        p
+    }
+
+    /// A policy that never encodes (plain `Vec<u64>` storage throughout).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+fn parse_env(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_encoding() {
+        let p = EncodePolicy::default();
+        assert!(p.enabled);
+        assert_eq!(p.min_blocks, 1);
+        assert!(!EncodePolicy::disabled().enabled);
+    }
+}

@@ -6,10 +6,14 @@
 //! range match the query filter, we skip checking each value against the
 //! query filter" (§6.1). This crate provides that substrate:
 //!
-//! * [`Column`] — a single `u64` attribute vector with min/max metadata.
+//! * [`Column`] — a single `u64` attribute vector with min/max metadata and
+//!   optional per-block lightweight encoding (frame-of-reference
+//!   bit-packing, dictionary codes) behind an unencoded ingest tail.
 //! * [`ColumnStore`] — the clustered physical table: all indexes produce a
 //!   row permutation at build time and the store is reordered once, so query
-//!   execution scans contiguous ranges.
+//!   execution scans contiguous ranges. After restructuring, indexes call
+//!   [`ColumnStore::encode_blocks`] to pack full blocks under the
+//!   environment-configured [`EncodePolicy`].
 //! * [`Dictionary`] — string dictionary encoding (§6.1: "any string values
 //!   are dictionary encoded prior to evaluation").
 //! * [`Wal`] — the write-ahead log the engine's durability layer appends
@@ -22,11 +26,13 @@
 
 pub mod column;
 pub mod dictionary;
+pub mod encode;
 pub mod table;
 pub mod wal;
 
 pub use column::Column;
 pub use dictionary::Dictionary;
+pub use encode::EncodePolicy;
 pub use table::ColumnStore;
 pub use wal::{CrashPoint, Wal, WalRecord};
 // Re-exported for backwards compatibility: counters moved into the shared

@@ -4,7 +4,8 @@
 use std::ops::Range;
 
 use crate::column::Column;
-use tsunami_core::exec::{self, BlockScratch, ScanPlan, ScanSource};
+use crate::encode::EncodePolicy;
+use tsunami_core::exec::{self, BlockScratch, ColumnData, ScanPlan, ScanSource, BLOCK_ROWS};
 use tsunami_core::{AggAccumulator, AggResult, Dataset, Query, ScanCounters, TombstoneSet, Value};
 
 /// A column-oriented physical table.
@@ -112,7 +113,7 @@ impl ColumnStore {
             range.end <= self.len && dim < self.num_dims(),
             "sort range and dimension must be in bounds"
         );
-        let keys = &self.columns[dim].values()[range.clone()];
+        let keys = self.columns[dim].decode_range(range.clone());
         let mut perm: Vec<usize> = (0..keys.len()).collect();
         perm.sort_by_key(|&i| keys[i]);
         self.permute_range(range.start, &perm);
@@ -141,9 +142,55 @@ impl ColumnStore {
         let cols: Vec<Vec<Value>> = self
             .columns
             .iter()
-            .map(|c| c.values()[range.clone()].to_vec())
+            .map(|c| c.decode_range(range.clone()))
             .collect();
         Dataset::from_columns(cols).expect("store columns are equal-length")
+    }
+
+    /// Encodes every column's accumulated full blocks with the
+    /// environment-configured [`EncodePolicy`]. Indexes call this after
+    /// build/compaction/re-optimization restructures the store; ingest
+    /// appends stay plain until then.
+    pub fn encode_blocks(&mut self) {
+        self.encode_blocks_with(&EncodePolicy::from_env());
+    }
+
+    /// Encodes every column's accumulated full blocks under an explicit
+    /// policy. Rows tombstoned *now* are dead at encode time, so each block
+    /// records tombstone-aware live bounds: a fully-dead block classifies as
+    /// skip, and a block whose extreme rows are dead prunes on the live
+    /// extremes — never the stale physical ones. Sound forever, because the
+    /// live set only shrinks (deletes accrue; physical mutation re-encodes).
+    pub fn encode_blocks_with(&mut self, policy: &EncodePolicy) {
+        if !policy.enabled || self.len / BLOCK_ROWS < policy.min_blocks {
+            return;
+        }
+        let Self {
+            columns,
+            tombstones,
+            ..
+        } = self;
+        for c in columns.iter_mut() {
+            c.encode_blocks(&policy.opts, |row| !tombstones.is_deleted(row));
+        }
+    }
+
+    /// Per-kind encoded-block counts and plain-tail rows, summed over all
+    /// columns: `(for, dict, plain_blocks, tail_rows)`. For tests and bench
+    /// reporting.
+    pub fn encoding_stats(&self) -> (usize, usize, usize, usize) {
+        let mut stats = (0, 0, 0, 0);
+        for c in &self.columns {
+            for eb in c.encoded_blocks() {
+                match eb.kind_label() {
+                    "for" => stats.0 += 1,
+                    "dict" => stats.1 += 1,
+                    _ => stats.2 += 1,
+                }
+            }
+            stats.3 += c.tail_rows();
+        }
+        stats
     }
 
     /// Scans a contiguous row range, adding matching rows to the accumulator
@@ -294,8 +341,8 @@ impl ScanSource for ColumnStore {
     fn num_dims(&self) -> usize {
         self.columns.len()
     }
-    fn column_values(&self, dim: usize) -> &[Value] {
-        self.columns[dim].values()
+    fn column_data(&self, dim: usize) -> ColumnData<'_> {
+        self.columns[dim].data()
     }
     fn tombstones(&self) -> Option<&TombstoneSet> {
         Some(&self.tombstones)
@@ -446,7 +493,7 @@ mod tests {
         assert_eq!(s.len(), 102);
         assert_eq!(s.get(100, 0), 100);
         assert_eq!(s.get(101, 1), 202);
-        assert_eq!((s.column(0).min(), s.column(0).max()), (0, 101));
+        assert_eq!((s.column(0).min(), s.column(0).max()), (Some(0), Some(101)));
         let q = Query::count(vec![Predicate::range(0, 95, 200).unwrap()]).unwrap();
         assert_eq!(s.full_scan(&q), AggResult::Count(7));
     }
@@ -574,5 +621,154 @@ mod tests {
         assert_eq!(s.num_dims(), 2);
         assert_eq!(s.len(), 100);
         assert!(!s.is_empty());
+    }
+
+    /// dim0 FOR-compressible, dim1 low-cardinality (dict), dim2
+    /// incompressible (plain fallback).
+    fn big_dataset(n: u64) -> Dataset {
+        Dataset::from_columns(vec![
+            (0..n).map(|v| v * 29 % 4096).collect(),
+            (0..n).map(|v| (v * 7 % 19) * 1_000_000_007).collect(),
+            (0..n)
+                .map(|v| v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect(),
+        ])
+        .unwrap()
+    }
+
+    fn queries() -> Vec<Query> {
+        let preds = vec![
+            Predicate::range(0, 500, 2500).unwrap(),
+            Predicate::range(1, 3 * 1_000_000_007, 11 * 1_000_000_007).unwrap(),
+        ];
+        vec![
+            Query::count(preds.clone()).unwrap(),
+            Query::new(preds.clone(), Aggregation::Sum(0)).unwrap(),
+            Query::new(preds.clone(), Aggregation::Sum(2)).unwrap(),
+            Query::new(preds.clone(), Aggregation::Min(2)).unwrap(),
+            Query::new(preds, Aggregation::Max(0)).unwrap(),
+            Query::count(vec![Predicate::range(2, 0, u64::MAX / 3).unwrap()]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn encoded_store_matches_plain_store_bit_for_bit() {
+        let n = 7 * BLOCK_ROWS as u64 + 123;
+        let ds = big_dataset(n);
+        let plain = ColumnStore::from_dataset(&ds);
+        let mut encoded = plain.clone();
+        encoded.encode_blocks_with(&EncodePolicy::default());
+        let (for_b, dict_b, _, tail) = encoded.encoding_stats();
+        assert!(for_b > 0, "dim0 must FOR-encode");
+        assert!(dict_b > 0, "dim1 must dict-encode");
+        assert_eq!(tail, 3 * 123, "partial tail blocks stay plain");
+        assert!(encoded.data_bytes() < plain.data_bytes());
+        let plan = ScanPlan::from_ranges([
+            (0..3_000, false),
+            (3_000..3_500, true),
+            (4_000..plain.len(), false),
+        ]);
+        for q in queries() {
+            let (want, wc) = plain.execute_plan(&q, &plan);
+            let (got, gc) = encoded.execute_plan(&q, &plan);
+            assert_eq!(got, want, "{q:?}");
+            assert_eq!(gc, wc, "counters {q:?}");
+            let (par, pc) = encoded.execute_plan_parallel(&q, &plan, 4);
+            assert_eq!(par, want, "parallel {q:?}");
+            assert_eq!(pc, wc, "parallel counters {q:?}");
+        }
+    }
+
+    #[test]
+    fn encoding_policy_gates_apply() {
+        let ds = big_dataset(3 * BLOCK_ROWS as u64);
+        let mut s = ColumnStore::from_dataset(&ds);
+        s.encode_blocks_with(&EncodePolicy::disabled());
+        assert_eq!(s.encoding_stats().3, s.len() * s.num_dims());
+        let mut s = ColumnStore::from_dataset(&ds);
+        s.encode_blocks_with(&EncodePolicy {
+            min_blocks: 100,
+            ..EncodePolicy::default()
+        });
+        assert_eq!(s.encoding_stats(), (0, 0, 0, 3 * BLOCK_ROWS * 3));
+    }
+
+    #[test]
+    fn ingest_appends_stay_plain_until_next_encode() {
+        let n = 2 * BLOCK_ROWS as u64;
+        let mut s = ColumnStore::from_dataset(&big_dataset(n));
+        s.encode_blocks_with(&EncodePolicy::default());
+        assert_eq!(s.encoding_stats().3, 0);
+        // Appends land in the plain tail: mixed encoded/plain scans.
+        s.append_dataset(&big_dataset(BLOCK_ROWS as u64 + 77));
+        let (_, _, _, tail) = s.encoding_stats();
+        assert_eq!(tail, 3 * (BLOCK_ROWS + 77));
+        let plain = {
+            let mut p = ColumnStore::from_dataset(&big_dataset(n));
+            p.append_dataset(&big_dataset(BLOCK_ROWS as u64 + 77));
+            p
+        };
+        for q in queries() {
+            assert_eq!(s.full_scan(&q), plain.full_scan(&q), "{q:?}");
+        }
+        // The next encode packs the accumulated full blocks.
+        s.encode_blocks_with(&EncodePolicy::default());
+        assert_eq!(s.encoding_stats().3, 3 * 77);
+        for q in queries() {
+            assert_eq!(s.full_scan(&q), plain.full_scan(&q), "{q:?} after encode");
+        }
+    }
+
+    #[test]
+    fn tombstones_then_compaction_keep_encoded_store_oracle_equal() {
+        let n = 4 * BLOCK_ROWS as u64;
+        let mut enc = ColumnStore::from_dataset(&big_dataset(n));
+        let mut plain = enc.clone();
+        // Delete before encoding: blocks record tombstone-aware live bounds
+        // (one band kills whole blocks' extremes; scattered rows elsewhere).
+        let del = Query::count(vec![Predicate::range(0, 0, 64).unwrap()]).unwrap();
+        assert_eq!(enc.delete_where(&del), plain.delete_where(&del));
+        enc.encode_blocks_with(&EncodePolicy::default());
+        for q in queries() {
+            assert_eq!(enc.full_scan(&q), plain.full_scan(&q), "{q:?} deleted");
+        }
+        // More deletes after encoding: live bounds stay sound (only shrink).
+        let del2 = Query::count(vec![Predicate::range(1, 0, 2 * 1_000_000_007).unwrap()]).unwrap();
+        assert_eq!(enc.delete_where(&del2), plain.delete_where(&del2));
+        for q in queries() {
+            assert_eq!(enc.full_scan(&q), plain.full_scan(&q), "{q:?} deleted2");
+        }
+        // Compaction decodes, drops dead rows, and re-encodes.
+        let r1 = enc.drop_deleted_in(0..enc.len());
+        let r2 = plain.drop_deleted_in(0..plain.len());
+        assert_eq!(r1, r2);
+        enc.encode_blocks_with(&EncodePolicy::default());
+        assert!(enc.encoding_stats().0 > 0, "re-encoded after compaction");
+        for q in queries() {
+            assert_eq!(enc.full_scan(&q), plain.full_scan(&q), "{q:?} compacted");
+        }
+        assert_eq!(enc.len(), plain.len());
+    }
+
+    #[test]
+    fn fully_dead_block_skips_but_stays_correct() {
+        let n = 3 * BLOCK_ROWS as u64;
+        let mut s = ColumnStore::from_dataset(&big_dataset(n));
+        // Tombstone one entire block, then encode: its live bounds are None.
+        let mut plain = s.clone();
+        for row in BLOCK_ROWS..2 * BLOCK_ROWS {
+            let q = Query::count(vec![
+                Predicate::range(0, s.get(row, 0), s.get(row, 0)).unwrap(),
+                Predicate::range(2, s.get(row, 2), s.get(row, 2)).unwrap(),
+            ])
+            .unwrap();
+            s.delete_where(&q);
+            plain.delete_where(&q);
+        }
+        assert!(s.tombstones().deleted() >= BLOCK_ROWS);
+        s.encode_blocks_with(&EncodePolicy::default());
+        for q in queries() {
+            assert_eq!(s.full_scan(&q), plain.full_scan(&q), "{q:?}");
+        }
     }
 }

@@ -5,6 +5,15 @@
 //! selectivities (0%, ~1%, ~50%, ~99%, 100%), predicate counts (1–4), and
 //! block-boundary offsets, for all five aggregations, serial and parallel,
 //! and for all seven index families.
+//!
+//! Block encoding rides the same harness: stores built fully plain
+//! ([`EncodePolicy::disabled`]), fully encoded (FOR + Dict + Plain blocks
+//! under the default policy), and mixed (encoded blocks behind a plain
+//! freshly-appended tail) must all answer bit-identically — and stay
+//! bit-identical after tombstone deletes and again after physical
+//! compaction re-encodes the survivors. The seven-family test exercises the
+//! same property end-to-end: every index re-encodes after restructuring, so
+//! its store mixes packed full blocks with a plain partial tail.
 
 use tsunami_baselines::{ClusteredSingleDimIndex, FullScanIndex, HyperOctree, KdTree, ZOrderIndex};
 use tsunami_core::exec::{
@@ -14,6 +23,7 @@ use tsunami_core::sample::SplitMix;
 use tsunami_core::{Aggregation, CostModel, Dataset, MultiDimIndex, Predicate, Query, Workload};
 use tsunami_flood::{FloodConfig, FloodIndex};
 use tsunami_index::{TsunamiConfig, TsunamiIndex};
+use tsunami_store::{ColumnStore, EncodePolicy};
 
 const ALL_AGGREGATIONS: [Aggregation; 5] = [
     Aggregation::Count,
@@ -174,6 +184,174 @@ fn all_seven_indexes_are_bit_identical_across_tiers_serial_and_parallel() {
                 }
             }
         }
+    }
+}
+
+/// Base offset of the FOR-compressible dimension: deltas fit 12 bits, so
+/// the default policy frame-of-reference packs it, but absolute values need
+/// 21 bits — a scan that forgot the reference would be loudly wrong.
+const FOR_BASE: u64 = 1 << 20;
+/// Spread of the dictionary dimension: 6 distinct values `k * DICT_STEP`
+/// span ~53 bits (FOR-ineligible) but dictionary-code down to 3-bit fields.
+const DICT_STEP: u64 = 1 << 50;
+
+/// Four-dim dataset engineered so the default policy picks every block
+/// format at once: dim0 FOR, dim1 Dict, dim2 stays Plain (full-width
+/// high-cardinality values), dim3 is the aggregation input.
+fn encoding_dataset(rows: usize, seed: u64) -> Dataset {
+    let mut rng = SplitMix::new(seed);
+    let d0: Vec<u64> = (0..rows).map(|_| FOR_BASE + rng.next_below(4096)).collect();
+    let d1: Vec<u64> = (0..rows).map(|_| rng.next_below(6) * DICT_STEP).collect();
+    let d2: Vec<u64> = (0..rows).map(|_| rng.next_below(u64::MAX)).collect();
+    let d3: Vec<u64> = (0..rows).map(|_| rng.next_below(1_000_000)).collect();
+    Dataset::from_columns(vec![d0, d1, d2, d3]).unwrap()
+}
+
+/// Queries spanning the interesting encoded-scan shapes: packed-only
+/// predicates at 0% / ~50% / 100% selectivity (the 100% case drives the
+/// exact-range dense paths over packed data), dictionary and plain-block
+/// predicates, and multi-dim combinations that force mask intersection
+/// across differently-encoded columns.
+fn encoding_queries() -> Vec<Vec<Predicate>> {
+    vec![
+        vec![Predicate::range(0, FOR_BASE, FOR_BASE + 2047).unwrap()],
+        vec![Predicate::range(0, 0, 10).unwrap()],
+        vec![Predicate::range(0, 0, FOR_BASE + 4096).unwrap()],
+        vec![Predicate::range(1, 0, 2 * DICT_STEP).unwrap()],
+        vec![
+            Predicate::range(0, FOR_BASE, FOR_BASE + 2047).unwrap(),
+            Predicate::range(1, 0, 4 * DICT_STEP).unwrap(),
+        ],
+        vec![
+            Predicate::range(0, FOR_BASE + 100, FOR_BASE + 3000).unwrap(),
+            Predicate::range(1, DICT_STEP, 4 * DICT_STEP).unwrap(),
+            Predicate::range(2, 0, u64::MAX / 2).unwrap(),
+        ],
+    ]
+}
+
+/// Runs every query × aggregation × plan × tier, serial and parallel, on
+/// `store`, asserting each run bit-identical (result *and* counters) to the
+/// store's own scalar run, and the scalar run equal to an independent
+/// full-scan oracle over the planned live rows.
+fn assert_store_matches_oracle(store: &ColumnStore, label: &str) {
+    let physical = store.slice_dataset(0..store.len());
+    let plans = [
+        ScanPlan::full(store.len()),
+        ScanPlan::from_ranges([
+            (1..BLOCK_ROWS - 1, false),
+            (BLOCK_ROWS..2 * BLOCK_ROWS + 3, false),
+            (2 * BLOCK_ROWS + 5..store.len(), false),
+        ]),
+    ];
+    let aggs = [
+        Aggregation::Count,
+        Aggregation::Sum(3),
+        Aggregation::Min(3),
+        Aggregation::Max(3),
+        Aggregation::Avg(3),
+    ];
+    for preds in encoding_queries() {
+        for agg in aggs {
+            let q = Query::new(preds.clone(), agg).unwrap();
+            for plan in &plans {
+                let planned: Vec<usize> = plan
+                    .ranges()
+                    .iter()
+                    .flat_map(|r| r.range.clone())
+                    .filter(|&row| !store.tombstones().is_deleted(row))
+                    .collect();
+                let expected = q.execute_full_scan(&physical.select_rows(&planned));
+                let (scalar, scalar_counters) =
+                    execute_plan_tiered(store, &q, plan, KernelTier::Scalar);
+                assert_eq!(scalar, expected, "{label} scalar vs oracle ({q:?})");
+                for tier in KernelTier::ALL {
+                    let (res, counters) = execute_plan_tiered(store, &q, plan, tier);
+                    assert_eq!(res, scalar, "{label} {tier:?} result ({q:?})");
+                    assert_eq!(
+                        counters, scalar_counters,
+                        "{label} {tier:?} counters ({q:?})"
+                    );
+                    let (par, par_counters) =
+                        execute_plan_parallel_tiered(store, &q, plan, 3, tier);
+                    assert_eq!(par, scalar, "{label} {tier:?} parallel result ({q:?})");
+                    assert_eq!(
+                        par_counters, scalar_counters,
+                        "{label} {tier:?} parallel counters ({q:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn encoded_plain_and_mixed_stores_stay_bit_identical_under_deletes_and_compaction() {
+    let rows = 3 * BLOCK_ROWS + 517;
+    let data = encoding_dataset(rows, 0xb10c);
+    let tail = encoding_dataset(700, 0xb10d);
+
+    let mut plain = ColumnStore::from_dataset(&data);
+    plain.encode_blocks_with(&EncodePolicy::disabled());
+    let mut encoded = ColumnStore::from_dataset(&data);
+    encoded.encode_blocks_with(&EncodePolicy::default());
+    // Mixed: packed full blocks behind a freshly-appended (plain) tail.
+    let mut mixed = ColumnStore::from_dataset(&data);
+    mixed.encode_blocks_with(&EncodePolicy::default());
+    mixed.append_dataset(&tail);
+
+    // The dataset must actually exercise every format at once.
+    let (nfor, ndict, nplain, _) = plain.encoding_stats();
+    assert_eq!((nfor, ndict, nplain), (0, 0, 0), "disabled policy encoded");
+    let (nfor, ndict, nplain, tail_rows) = encoded.encoding_stats();
+    assert!(nfor > 0, "no FOR blocks chosen");
+    assert!(ndict > 0, "no Dict blocks chosen");
+    assert!(nplain > 0, "no Plain blocks chosen");
+    assert!(
+        tail_rows > 0,
+        "partial trailing block should stay unencoded"
+    );
+    let (_, _, _, mixed_tail) = mixed.encoding_stats();
+    assert!(
+        mixed_tail >= 4 * tail.len(),
+        "appended tail must stay plain"
+    );
+
+    let mut stores = [
+        ("plain", plain, EncodePolicy::disabled()),
+        ("encoded", encoded, EncodePolicy::default()),
+        ("mixed", mixed, EncodePolicy::default()),
+    ];
+
+    for (label, store, _) in &stores {
+        assert_store_matches_oracle(store, label);
+    }
+
+    // Tombstone a band of the FOR dimension — the same logical rows in every
+    // store — and re-run the whole sweep on the live remainder.
+    let del = Query::count(vec![
+        Predicate::range(0, FOR_BASE + 1000, FOR_BASE + 2400).unwrap()
+    ])
+    .unwrap();
+    let deleted = stores[0].1.delete_where(&del);
+    assert!(deleted > 0, "delete band matched nothing");
+    for (label, store, _) in &mut stores[1..] {
+        let d = store.delete_where(&del);
+        assert!(d >= deleted, "{label} deleted fewer rows than plain");
+    }
+    for (label, store, _) in &stores {
+        assert_store_matches_oracle(store, &format!("{label}+tombstones"));
+    }
+
+    // Physically compact and re-encode the survivors: rows shift across
+    // block boundaries, so every block is rebuilt from scratch.
+    for (label, store, policy) in &mut stores {
+        let n = store.len();
+        let removed = store.drop_deleted_in(0..n);
+        assert!(removed > 0, "{label} compaction removed nothing");
+        assert_eq!(store.tombstones().deleted(), 0);
+        store.encode_blocks_with(policy);
+        assert_store_matches_oracle(store, &format!("{label}+compacted"));
     }
 }
 
