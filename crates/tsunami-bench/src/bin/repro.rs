@@ -8,8 +8,8 @@
 //!
 //! `EXPERIMENT` is one of `table3`, `table4`, `fig7`, `fig7par`,
 //! `fig7sched`, `fig7net`, `fig8`, `fig9a`, `fig9b`, `fig10`, `fig11a`,
-//! `fig11b`, `fig12a`, `fig12b`, `fig12kern`, `walbench`, `check-bench`,
-//! or `all` (default). Run in release mode:
+//! `fig11b`, `fig12a`, `fig12b`, `fig12kern`, `figmv`, `walbench`,
+//! `check-bench`, or `all` (default). Run in release mode:
 //! `cargo run --release -p tsunami-bench --bin repro -- fig7`.
 //!
 //! `fig12kern` additionally writes machine-readable `BENCH_scan.json`
@@ -23,7 +23,10 @@
 //! QPS sweep over the sharded wire-protocol server: achieved QPS and
 //! p50/p95/p99 latency per target; override via `BENCH_NET_JSON`, tune with
 //! `TSUNAMI_SHARDS`, `TSUNAMI_NET_QPS`, `TSUNAMI_NET_DURATION_MS`,
-//! `TSUNAMI_NET_CONNS`), and `walbench` writes `BENCH_wal.json`
+//! `TSUNAMI_NET_CONNS`), and `figmv` writes `BENCH_matview.json`
+//! (materialized-aggregate covered-query latency, matview on vs off, per
+//! coverage × aggregation; override via `BENCH_MATVIEW_JSON`, disable the
+//! layer with `TSUNAMI_MATVIEW=off`), and `walbench` writes `BENCH_wal.json`
 //! (`Database::open` replay time vs WAL length before/after a checkpoint,
 //! plus scan latency under tombstoned and compacted deletes; override via
 //! `BENCH_WAL_JSON`) so performance is tracked across PRs.
@@ -32,11 +35,12 @@
 //! default `available_parallelism`) and `TSUNAMI_MORSEL_ROWS` (rows per
 //! cache-resident morsel, default 131072).
 //!
-//! `check-bench` is the CI regression gate: it re-runs the `fig12kern`
-//! smoke and exits non-zero if any median ns/row regressed past
-//! `max(2.5x, +0.5 ns/row)` of the checked-in baseline
-//! (`bench-baselines/BENCH_scan.json`, overridable via
-//! `BENCH_BASELINE_JSON`).
+//! `check-bench` is the CI regression gate: it re-runs the `fig12kern` and
+//! `figmv` smokes and exits non-zero if any median regressed past
+//! `max(2.5x, +slack)` of the checked-in baselines under `bench-baselines/`
+//! (`BENCH_scan.json` overridable via `BENCH_BASELINE_JSON`). Fresh
+//! `BENCH_pool.json` / `BENCH_ingest.json` files from earlier `fig7par` /
+//! `fig9b` steps are gated against their committed baselines when present.
 
 use tsunami_bench::experiments;
 use tsunami_bench::HarnessConfig;
@@ -117,9 +121,9 @@ fn main() {
 
 fn print_usage() {
     eprintln!("usage: repro [EXPERIMENT] [--rows N] [--queries-per-type N] [--seed N]");
-    eprintln!("experiments: all, table3, table4, fig7, fig7par, fig7sched, fig7net, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig12kern, walbench, check-bench");
-    eprintln!("fig12kern also writes BENCH_scan.json (override path with BENCH_SCAN_JSON); fig9b writes BENCH_ingest.json (BENCH_INGEST_JSON); fig7par writes BENCH_pool.json (BENCH_POOL_JSON); fig7net writes BENCH_net.json (BENCH_NET_JSON); walbench writes BENCH_wal.json (BENCH_WAL_JSON)");
+    eprintln!("experiments: all, table3, table4, fig7, fig7par, fig7sched, fig7net, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig12kern, figmv, walbench, check-bench");
+    eprintln!("fig12kern also writes BENCH_scan.json (override path with BENCH_SCAN_JSON); fig9b writes BENCH_ingest.json (BENCH_INGEST_JSON); fig7par writes BENCH_pool.json (BENCH_POOL_JSON); fig7net writes BENCH_net.json (BENCH_NET_JSON); figmv writes BENCH_matview.json (BENCH_MATVIEW_JSON); walbench writes BENCH_wal.json (BENCH_WAL_JSON)");
     eprintln!("fig7net tuning: TSUNAMI_SHARDS, TSUNAMI_NET_QPS (comma-separated sweep), TSUNAMI_NET_DURATION_MS, TSUNAMI_NET_CONNS");
-    eprintln!("pool tuning: TSUNAMI_POOL_THREADS (workers), TSUNAMI_MORSEL_ROWS (rows per morsel)");
-    eprintln!("check-bench re-runs fig12kern and fails on >2.5x median regressions vs bench-baselines/BENCH_scan.json (BENCH_BASELINE_JSON)");
+    eprintln!("pool tuning: TSUNAMI_POOL_THREADS (workers), TSUNAMI_MORSEL_ROWS (rows per morsel); matview: TSUNAMI_MATVIEW=off disables materialized aggregates");
+    eprintln!("check-bench re-runs fig12kern + figmv and fails on >2.5x median regressions vs bench-baselines/ (BENCH_scan.json path via BENCH_BASELINE_JSON); fresh BENCH_pool.json/BENCH_ingest.json are gated too when present");
 }

@@ -908,13 +908,178 @@ fn write_bench_scan_json(
     std::fs::write(path, s)
 }
 
-/// The benchmark-regression gate behind `repro -- check-bench`: re-runs the
-/// fig12kern smoke (writing fresh `BENCH_scan.json` numbers) and compares
-/// every median against the checked-in baseline in
-/// `bench-baselines/BENCH_scan.json` (path overridable via
-/// `BENCH_BASELINE_JSON`). Returns a human-readable summary, or an error
-/// describing every regressed entry — the caller exits non-zero on `Err`.
+/// Fig MV: the materialized-aggregate layer's covered-query speedup. One
+/// Tsunami index, aggregate queries sweeping predicate coverage from the
+/// whole domain (every region *contained* in the query, so the plan is pure
+/// pre-folded per-region partials — near-O(1): zero rows visited) down to a
+/// narrow band (mostly rim scanning, where the cube cannot help). Every
+/// query runs against two otherwise-identical indexes, materialization on
+/// and off, and the answers are cross-checked bit-identical while
+/// measuring. Machine-readable results land in `BENCH_matview.json` (path
+/// overridable via the `BENCH_MATVIEW_JSON` env var) and are gated by
+/// `repro -- check-bench`.
+pub fn figmv(config: &HarnessConfig) -> String {
+    let path =
+        std::env::var("BENCH_MATVIEW_JSON").unwrap_or_else(|_| "BENCH_matview.json".to_string());
+    figmv_impl(config, Some(std::path::Path::new(&path)))
+}
+
+fn figmv_impl(config: &HarnessConfig, json_path: Option<&std::path::Path>) -> String {
+    use tsunami_core::sample::SplitMix;
+    use tsunami_core::{Aggregation, Dataset, MultiDimIndex, Predicate, Query, Workload};
+
+    const DOMAIN: u64 = 1 << 20;
+    const DIMS: usize = 3;
+    let rows = config.rows.max(8 * 1024);
+    let mut rng = SplitMix::new(config.seed ^ 0x317);
+    let data = Dataset::from_columns(
+        (0..DIMS)
+            .map(|_| (0..rows).map(|_| rng.next_below(DOMAIN)).collect())
+            .collect(),
+    )
+    .expect("uniform columns");
+    // Build-time workload: bands on every dimension so the Grid Tree
+    // actually partitions into multiple regions for the cube to pre-fold.
+    let workload = Workload::new(
+        (0..12usize)
+            .map(|i| {
+                let lo = rng.next_below(DOMAIN / 2);
+                Query::count(vec![
+                    Predicate::range(i % DIMS, lo, lo + DOMAIN / 8).expect("band")
+                ])
+                .expect("build query")
+            })
+            .collect(),
+    );
+    let cost = CostModel::default();
+    let tsunami_config = config.tsunami_config();
+    let mut mv = TsunamiIndex::build_with_cost(&data, &workload, &cost, &tsunami_config)
+        .expect("tsunami build");
+    let mut scan = TsunamiIndex::build_with_cost(&data, &workload, &cost, &tsunami_config)
+        .expect("tsunami build");
+    mv.set_matview(true);
+    scan.set_matview(false);
+
+    let mut t = Table::new(
+        "Fig MV: materialized aggregates — covered queries vs scan (median us)",
+        &[
+            "coverage %",
+            "agg",
+            "matview (us)",
+            "scan (us)",
+            "speedup",
+            "rows visited (mv)",
+            "rows visited (scan)",
+        ],
+    );
+    // (coverage %, agg label, mode, median us)
+    let mut entries: Vec<(f64, &'static str, &'static str, f64)> = Vec::new();
+    let reps = 9;
+    let sweeps: [(f64, u64, u64); 4] = [
+        (100.0, 0, u64::MAX),
+        (50.0, 0, DOMAIN / 2 - 1),
+        (10.0, 0, DOMAIN / 10 - 1),
+        (1.0, 0, DOMAIN / 100 - 1),
+    ];
+    for (pct, lo, hi) in sweeps {
+        for (agg_label, agg) in [
+            ("count", Aggregation::Count),
+            ("sum", Aggregation::Sum(1)),
+            ("avg", Aggregation::Avg(2)),
+        ] {
+            let q = Query::new(vec![Predicate::range(0, lo, hi).expect("sweep range")], agg)
+                .expect("sweep query");
+            // Cross-check doubling as warm-up (and as the cube's lazy fold):
+            // materialized and scan answers must be bit-identical.
+            let (mv_res, mv_stats) = mv.execute_with_stats(&q);
+            let (scan_res, scan_stats) = scan.execute_with_stats(&q);
+            assert_eq!(mv_res, scan_res, "matview diverged from scan on {q:?}");
+            if pct == 100.0 {
+                // The near-O(1) claim: a whole-domain query is answered
+                // entirely from partials — no rows visited at all.
+                assert_eq!(
+                    mv_stats.points_scanned, 0,
+                    "a fully covered query must not scan"
+                );
+            }
+            let med = |idx: &TsunamiIndex| {
+                let mut samples: Vec<f64> = (0..reps)
+                    .map(|_| {
+                        let start = Instant::now();
+                        std::hint::black_box(idx.execute(&q));
+                        start.elapsed().as_nanos() as f64 / 1_000.0
+                    })
+                    .collect();
+                samples.sort_by(f64::total_cmp);
+                samples[samples.len() / 2]
+            };
+            let mv_us = med(&mv);
+            let scan_us = med(&scan);
+            t.add_row(vec![
+                fmt_f64(pct),
+                agg_label.to_string(),
+                fmt_f64(mv_us),
+                fmt_f64(scan_us),
+                fmt_f64(scan_us / mv_us.max(1e-9)),
+                mv_stats.points_scanned.to_string(),
+                scan_stats.points_scanned.to_string(),
+            ]);
+            entries.push((pct, agg_label, "matview", mv_us));
+            entries.push((pct, agg_label, "scan", scan_us));
+        }
+    }
+    if let Some(path) = json_path {
+        match write_bench_matview_json(path, rows, config.seed, &entries) {
+            Ok(()) => eprintln!("# figmv: wrote {}", path.display()),
+            Err(e) => eprintln!("# figmv: could not write {}: {e}", path.display()),
+        }
+    }
+    finish(t)
+}
+
+/// Hand-rolled machine-readable dump of the materialized-aggregate sweep
+/// (the workspace is offline — no serde).
+fn write_bench_matview_json(
+    path: &std::path::Path,
+    rows: usize,
+    seed: u64,
+    entries: &[(f64, &'static str, &'static str, f64)],
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"experiment\": \"figmv\",\n  \"rows\": {rows},\n  \"seed\": {seed},\n  \"entries\": [\n"
+    ));
+    for (i, (pct, agg, mode, us)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"coverage_pct\": {pct}, \"agg\": \"{agg}\", \"mode\": \"{mode}\", \
+             \"median_us\": {us:.4}}}{comma}\n"
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+/// The benchmark-regression gate behind `repro -- check-bench`.
+///
+/// Re-runs the fast smokes (fig12kern and figmv, writing fresh
+/// `BENCH_scan.json` / `BENCH_matview.json` numbers) and compares every
+/// median against the checked-in baselines under `bench-baselines/`
+/// (`BENCH_scan.json` path overridable via `BENCH_BASELINE_JSON`). The
+/// slower experiments are not re-run here: when a fresh `BENCH_pool.json` /
+/// `BENCH_ingest.json` from an earlier `fig7par` / `fig9b` step is present
+/// on disk it is gated against its committed baseline too, otherwise that
+/// comparison is skipped with a note in the summary — so the full gate runs
+/// in CI (which runs those experiments first) without making a local
+/// `check-bench` pay for them.
+///
+/// Returns a human-readable summary, or an error describing every regressed
+/// entry — the caller exits non-zero on `Err`.
 pub fn check_bench(config: &HarnessConfig) -> std::result::Result<String, String> {
+    let mut summaries = Vec::new();
+
+    // Scan kernels: ns/row medians, max(2.5x, +0.5 ns/row).
     let current_path =
         std::env::var("BENCH_SCAN_JSON").unwrap_or_else(|_| "BENCH_scan.json".to_string());
     fig12kern(config);
@@ -924,7 +1089,151 @@ pub fn check_bench(config: &HarnessConfig) -> std::result::Result<String, String
         .map_err(|e| format!("check-bench: cannot read baseline {baseline_path}: {e}"))?;
     let current = std::fs::read_to_string(&current_path)
         .map_err(|e| format!("check-bench: cannot read current run {current_path}: {e}"))?;
-    compare_bench_scan(&baseline, &current)
+    summaries.push(compare_bench_scan(&baseline, &current)?);
+
+    // Materialized aggregates: query medians in us. Covered queries sit in
+    // the single-digit-us range where timer granularity dominates, so the
+    // absolute slack is a generous 50 us — the gate exists to catch the
+    // cube silently falling back to full scans (a many-hundred-us jump),
+    // not scheduler jitter.
+    let mv_path =
+        std::env::var("BENCH_MATVIEW_JSON").unwrap_or_else(|_| "BENCH_matview.json".to_string());
+    figmv(config);
+    let mv_baseline = std::fs::read_to_string("bench-baselines/BENCH_matview.json")
+        .map_err(|e| format!("check-bench: cannot read bench-baselines/BENCH_matview.json: {e}"))?;
+    let mv_current = std::fs::read_to_string(&mv_path)
+        .map_err(|e| format!("check-bench: cannot read current run {mv_path}: {e}"))?;
+    summaries.push(compare_bench_generic(
+        "BENCH_matview",
+        &mv_baseline,
+        &mv_current,
+        &["coverage_pct", "agg", "mode"],
+        "median_us",
+        50.0,
+        "us",
+    )?);
+
+    // Pool and ingest: gated only when an earlier step of this run produced
+    // fresh numbers (both are too slow to re-run inside the gate). The same
+    // 2.5x ratio with a 100 us absolute slack — per-query averages over
+    // laptop-scale datasets, noisier than the kernel medians.
+    let optional: [(&str, &str, &str, &[&str], &str); 2] = [
+        (
+            "BENCH_pool",
+            "BENCH_POOL_JSON",
+            "BENCH_pool.json",
+            &["dataset", "index"],
+            "pooled_us",
+        ),
+        (
+            "BENCH_ingest",
+            "BENCH_INGEST_JSON",
+            "BENCH_ingest.json",
+            &["index", "batch_pct"],
+            "post_ingest_us",
+        ),
+    ];
+    for (label, env, default, keys, value_key) in optional {
+        let cur_path = std::env::var(env).unwrap_or_else(|_| default.to_string());
+        let Ok(cur) = std::fs::read_to_string(&cur_path) else {
+            summaries.push(format!(
+                "{label}: skipped — no fresh {cur_path} in this run"
+            ));
+            continue;
+        };
+        let base_path = format!("bench-baselines/{default}");
+        let base = std::fs::read_to_string(&base_path)
+            .map_err(|e| format!("check-bench: cannot read baseline {base_path}: {e}"))?;
+        summaries.push(compare_bench_generic(
+            label, &base, &cur, keys, value_key, 100.0, "us",
+        )?);
+    }
+    Ok(summaries.join("\n"))
+}
+
+/// Parses a one-entry-per-line bench JSON (every writer in this module
+/// emits that shape) into `(label, value)` pairs, where the label joins the
+/// requested key fields. Lines missing any key are skipped.
+fn parse_bench_entries(json: &str, keys: &[&str], value_key: &str) -> Vec<(String, f64)> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    json.lines()
+        .filter(|l| l.contains(&format!("\"{value_key}\"")))
+        .filter_map(|l| {
+            let mut label = Vec::with_capacity(keys.len());
+            for key in keys {
+                label.push(format!("{key}={}", field(l, key)?));
+            }
+            Some((label.join(" "), field(l, value_key)?.parse().ok()?))
+        })
+        .collect()
+}
+
+/// Compares two one-entry-per-line bench JSON contents entry by entry. An
+/// entry fails when its value exceeds `max(2.5 × baseline, baseline +
+/// abs_slack)` — the same tolerance shape as [`compare_bench_scan`]: the
+/// 2.5x ratio is deliberately loose (medians from a shared CI container are
+/// noisy; the gate catches order-of-magnitude regressions, not jitter) and
+/// the absolute slack keeps near-zero entries from flapping on timer
+/// granularity. Entries present in the baseline but missing from the
+/// current run fail too (coverage must not silently shrink).
+fn compare_bench_generic(
+    name: &str,
+    baseline: &str,
+    current: &str,
+    keys: &[&str],
+    value_key: &str,
+    abs_slack: f64,
+    unit: &str,
+) -> std::result::Result<String, String> {
+    let base = parse_bench_entries(baseline, keys, value_key);
+    if base.is_empty() {
+        return Err(format!("check-bench: {name} baseline has no entries"));
+    }
+    let cur: std::collections::HashMap<String, f64> = parse_bench_entries(current, keys, value_key)
+        .into_iter()
+        .collect();
+    let mut failures = Vec::new();
+    let mut worst: Option<(f64, String)> = None;
+    let compared = base.len();
+    for (label, base_v) in base {
+        let Some(&cur_v) = cur.get(&label) else {
+            failures.push(format!(
+                "{label}: present in baseline, missing from current run"
+            ));
+            continue;
+        };
+        let limit = (base_v * 2.5).max(base_v + abs_slack);
+        let ratio = cur_v / base_v.max(1e-9);
+        if worst.as_ref().is_none_or(|(w, _)| ratio > *w) {
+            worst = Some((ratio, label.clone()));
+        }
+        if cur_v > limit {
+            failures.push(format!(
+                "{label}: {cur_v:.3} {unit} vs baseline {base_v:.3} \
+                 (limit {limit:.3}, ratio {ratio:.2}x)"
+            ));
+        }
+    }
+    let (worst_ratio, worst_label) = worst.unwrap_or((0.0, "n/a".to_string()));
+    if failures.is_empty() {
+        Ok(format!(
+            "{name}: OK — {compared} entries within tolerance \
+             (max(2.5x, +{abs_slack} {unit})); worst ratio {worst_ratio:.2}x at {worst_label}"
+        ))
+    } else {
+        Err(format!(
+            "{name}: FAILED — {} of {compared} entries regressed past \
+             max(2.5x baseline, baseline + {abs_slack} {unit}):\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ))
+    }
 }
 
 /// One `BENCH_scan.json` entry: (selectivity %, predicates, agg, encoding,
@@ -1047,6 +1356,7 @@ pub fn experiments() -> Vec<(&'static str, fn(&HarnessConfig) -> String)> {
         ("fig12a", fig12a),
         ("fig12b", fig12b),
         ("fig12kern", fig12kern),
+        ("figmv", figmv),
         ("walbench", crate::wal::walbench),
     ]
 }
@@ -1098,6 +1408,7 @@ mod tests {
                 "fig12a",
                 "fig12b",
                 "fig12kern",
+                "figmv",
                 "walbench"
             ]
         );
@@ -1283,6 +1594,77 @@ mod tests {
         for col in ["serial (us)", "spawn (us)", "pooled (us)", "morsel rows"] {
             assert!(out.contains(col), "missing column {col} in:\n{out}");
         }
+    }
+
+    #[test]
+    fn figmv_covered_queries_skip_scanning_and_stay_consistent() {
+        // Tiny run, no JSON: the impl itself cross-checks every matview
+        // answer against the scan index and asserts the fully covered
+        // queries visit zero rows while measuring.
+        let cfg = HarnessConfig {
+            rows: 1_000, // floored to 8 Ki rows inside
+            queries_per_type: 1,
+            seed: 9,
+        };
+        let out = figmv_impl(&cfg, None);
+        for col in ["coverage %", "matview (us)", "scan (us)", "speedup"] {
+            assert!(out.contains(col), "missing column {col} in:\n{out}");
+        }
+        for agg in ["count", "sum", "avg"] {
+            assert!(out.contains(agg), "missing agg {agg} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn bench_matview_json_is_well_formed() {
+        let dir = std::env::temp_dir().join("tsunami_bench_matview_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_matview.json");
+        write_bench_matview_json(
+            &path,
+            8192,
+            9,
+            &[
+                (100.0, "count", "matview", 1.5),
+                (100.0, "count", "scan", 80.0),
+            ],
+        )
+        .unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains("\"experiment\": \"figmv\""));
+        assert!(s.contains("\"coverage_pct\": 100"));
+        assert!(s.contains("\"mode\": \"matview\""));
+        assert!(s.contains("\"median_us\": 1.5000"));
+        let parsed = parse_bench_entries(&s, &["coverage_pct", "agg", "mode"], "median_us");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "coverage_pct=100 agg=count mode=matview");
+        assert_eq!(parsed[0].1, 1.5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn generic_bench_comparison_flags_only_real_regressions() {
+        let base = "    {\"a\": \"x\", \"b\": 1, \"median_us\": 10.0}\n\
+                    {\"a\": \"y\", \"b\": 2, \"median_us\": 2.0}\n";
+        let keys: &[&str] = &["a", "b"];
+        // Identical run passes.
+        assert!(compare_bench_generic("t", base, base, keys, "median_us", 50.0, "us").is_ok());
+        // Within the absolute slack passes even past 2.5x on a tiny entry.
+        let noisy = "    {\"a\": \"x\", \"b\": 1, \"median_us\": 24.0}\n\
+                     {\"a\": \"y\", \"b\": 2, \"median_us\": 40.0}\n";
+        assert!(compare_bench_generic("t", base, noisy, keys, "median_us", 50.0, "us").is_ok());
+        // Past both bounds fails and names the entry.
+        let bad = "    {\"a\": \"x\", \"b\": 1, \"median_us\": 500.0}\n\
+                   {\"a\": \"y\", \"b\": 2, \"median_us\": 2.0}\n";
+        let err = compare_bench_generic("t", base, bad, keys, "median_us", 50.0, "us").unwrap_err();
+        assert!(err.contains("a=x b=1"), "{err}");
+        // Shrunken coverage fails.
+        let shrunk = "    {\"a\": \"x\", \"b\": 1, \"median_us\": 10.0}\n";
+        let err =
+            compare_bench_generic("t", base, shrunk, keys, "median_us", 50.0, "us").unwrap_err();
+        assert!(err.contains("missing from current run"), "{err}");
+        // An empty baseline is an error, not a pass.
+        assert!(compare_bench_generic("t", "{}", base, keys, "median_us", 50.0, "us").is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! # Format
 //!
 //! A column's encoded region is a sequence of [`EncodedBlock`]s, each
-//! covering exactly [`BLOCK_ROWS`](crate::exec::BLOCK_ROWS) rows aligned to
+//! covering exactly [`crate::exec::BLOCK_ROWS`] rows aligned to
 //! the executor's absolute block grid (block `b` holds physical rows
 //! `b * BLOCK_ROWS .. (b + 1) * BLOCK_ROWS`). Three payloads exist:
 //!

@@ -43,6 +43,10 @@ pub enum TsunamiError {
     DuplicateTable(String),
     /// A column name was not found in the table's schema.
     UnknownColumn(String),
+    /// A materialized-view name was not registered in the database.
+    UnknownView(String),
+    /// A materialized view with the same name is already registered.
+    DuplicateView(String),
     /// The scheduler's bounded submission queue was full (backpressure).
     SchedulerQueueFull,
     /// The scheduler has shut down and no longer accepts queries.
@@ -82,6 +86,10 @@ impl fmt::Display for TsunamiError {
                 write!(f, "table already registered: {name}")
             }
             TsunamiError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            TsunamiError::UnknownView(name) => write!(f, "unknown view: {name}"),
+            TsunamiError::DuplicateView(name) => {
+                write!(f, "view already registered: {name}")
+            }
             TsunamiError::SchedulerQueueFull => {
                 write!(f, "scheduler queue is full (backpressure)")
             }
@@ -141,6 +149,12 @@ mod tests {
         assert!(TsunamiError::UnknownColumn("fare".into())
             .to_string()
             .contains("fare"));
+        assert!(TsunamiError::UnknownView("daily".into())
+            .to_string()
+            .contains("daily"));
+        assert!(TsunamiError::DuplicateView("daily".into())
+            .to_string()
+            .contains("already"));
         assert!(TsunamiError::SchedulerQueueFull
             .to_string()
             .contains("full"));

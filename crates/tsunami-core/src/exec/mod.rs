@@ -347,13 +347,33 @@ pub struct ScanRange {
     pub exact: bool,
 }
 
+/// A pre-folded aggregate contribution attached to a plan instead of a
+/// physical range: `rows` live rows whose SUM/MIN/MAX over the aggregation's
+/// input dimension are already known (e.g. from a per-region aggregate cube).
+/// The executor folds a partial into the accumulator with one
+/// [`AggAccumulator::add_block`] call and never touches the underlying rows.
+/// Only sound when every contributing row is guaranteed to match the query —
+/// the same contract as an exact range, minus the scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanPartial {
+    /// Number of live rows pre-folded into this partial.
+    pub rows: u64,
+    /// Exact sum of the aggregation's input dimension over those rows.
+    pub sum: u128,
+    /// Minimum of the input dimension over those rows (None iff `rows == 0`).
+    pub min: Option<Value>,
+    /// Maximum of the input dimension over those rows (None iff `rows == 0`).
+    pub max: Option<Value>,
+}
+
 /// The ordered list of contiguous physical ranges an index wants scanned for
-/// one query, plus optional residual predicates. See the module docs for the
-/// full contract.
+/// one query, plus optional residual predicates and pre-folded aggregate
+/// partials. See the module docs for the full contract.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScanPlan {
     ranges: Vec<ScanRange>,
     residual: Option<Vec<Predicate>>,
+    partials: Vec<PlanPartial>,
 }
 
 impl ScanPlan {
@@ -424,6 +444,20 @@ impl ScanPlan {
         }
     }
 
+    /// Attaches a pre-folded aggregate partial. Zero-row partials are
+    /// dropped — they contribute nothing and would break the
+    /// `min/max == None iff rows == 0` invariant downstream.
+    pub fn push_partial(&mut self, partial: PlanPartial) {
+        if partial.rows > 0 {
+            self.partials.push(partial);
+        }
+    }
+
+    /// The pre-folded aggregate partials attached to this plan.
+    pub fn partials(&self) -> &[PlanPartial] {
+        &self.partials
+    }
+
     /// The planned ranges in scan order.
     pub fn ranges(&self) -> &[ScanRange] {
         &self.ranges
@@ -465,6 +499,7 @@ impl ScanPlan {
         let mut clamped = ScanPlan {
             ranges: Vec::with_capacity(self.ranges.len()),
             residual: self.residual.clone(),
+            partials: self.partials.clone(),
         };
         for r in &self.ranges {
             clamped.push(
@@ -489,8 +524,14 @@ pub struct ScanCounters {
     pub ranges: usize,
     /// Number of points visited (whether or not they matched).
     pub points: usize,
-    /// Number of points that matched every predicate.
+    /// Number of points that matched every predicate. Includes rows answered
+    /// from pre-folded partials: they matched, they just were not visited.
     pub matched: usize,
+    /// Number of [`PlanPartial`]s folded in without scanning.
+    pub partial_regions: usize,
+    /// Number of matched rows answered from partials instead of a scan —
+    /// always `<= matched`, and excluded from `points`.
+    pub rows_prefolded: usize,
 }
 
 impl ScanCounters {
@@ -499,6 +540,22 @@ impl ScanCounters {
         self.ranges += other.ranges;
         self.points += other.points;
         self.matched += other.matched;
+        self.partial_regions += other.partial_regions;
+        self.rows_prefolded += other.rows_prefolded;
+    }
+}
+
+/// Folds a plan's pre-folded partials into the accumulator and counters.
+/// Every executor calls this exactly once per execution (the parallel
+/// executors only on their non-delegating paths), after the range scans, so
+/// results and counters stay bit-identical across executors: the fold is one
+/// commutative `add_block` per partial.
+fn apply_partials(plan: &ScanPlan, acc: &mut AggAccumulator, counters: &mut ScanCounters) {
+    for p in plan.partials() {
+        acc.add_block(p.rows, p.sum, p.min, p.max);
+        counters.partial_regions += 1;
+        counters.rows_prefolded += p.rows as usize;
+        counters.matched += p.rows as usize;
     }
 }
 
@@ -542,6 +599,7 @@ pub fn execute_plan_tiered(
             &mut scratch,
         );
     }
+    apply_partials(&plan, &mut acc, &mut counters);
     (acc.finish(), counters)
 }
 
@@ -686,7 +744,8 @@ pub fn execute_plan_pooled_tiered(
         m.0.merge(&acc);
         m.1.merge(&counters);
     });
-    let (acc, counters) = merged.into_inner().unwrap();
+    let (mut acc, mut counters) = merged.into_inner().unwrap();
+    apply_partials(plan, &mut acc, &mut counters);
     (acc.finish(), counters)
 }
 
@@ -757,6 +816,7 @@ pub fn execute_plan_spawn_tiered(
             counters.merge(&worker_counters);
         }
     });
+    apply_partials(plan, &mut acc, &mut counters);
     (acc.finish(), counters)
 }
 

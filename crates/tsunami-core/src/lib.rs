@@ -43,7 +43,9 @@ pub use dataset::{Dataset, Point, Value};
 pub use emd::emd;
 pub use encode::{BlockData, BlockTest, EncodeOptions, EncodedBlock, PackClass};
 pub use error::{Result, TsunamiError};
-pub use exec::{BlockScratch, KernelTier, ScanCounters, ScanPlan, ScanRange, ScanSource};
+pub use exec::{
+    BlockScratch, KernelTier, PlanPartial, ScanCounters, ScanPlan, ScanRange, ScanSource,
+};
 pub use histogram::Histogram;
 pub use index::{BuildTiming, IndexStats, MultiDimIndex};
 pub use query::{AggAccumulator, AggResult, Aggregation, Predicate, Query, Workload};

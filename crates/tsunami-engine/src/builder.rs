@@ -102,6 +102,14 @@ impl QueryBuilder {
         Ok(self)
     }
 
+    /// Finalizes into a plain [`Query`] without binding it to the table —
+    /// the handoff for [`Database::register_view`](crate::Database::register_view),
+    /// so views are built with the same named-column fluent API as ad-hoc
+    /// queries.
+    pub fn into_query(self) -> Result<Query> {
+        Query::new(self.predicates, self.aggregation)
+    }
+
     /// Finalizes into a reusable [`PreparedQuery`] (normalizes predicates,
     /// re-checking conjunction consistency).
     pub fn prepare(self) -> Result<PreparedQuery> {

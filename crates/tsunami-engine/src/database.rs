@@ -27,6 +27,8 @@ use crate::scheduler::{Scheduler, SchedulerConfig};
 use crate::schema::Schema;
 use crate::spec::{IndexSpec, SharedIndex};
 use crate::table::Table;
+use crate::view::MaterializedView;
+use tsunami_core::AggResult;
 
 /// Observation-log capacity for tables built from a spec: Tsunami tables
 /// honor their config's window, everything else gets the default.
@@ -41,6 +43,10 @@ fn observe_cap(spec: &IndexSpec) -> usize {
 /// iteration (benchmark output stays deterministic).
 pub struct Database {
     tables: Vec<Table>,
+    /// Registered materialized views (see [`crate::view`]), in registration
+    /// order. Maintained by the mutation paths: inserts fold deltas, deletes
+    /// invalidate, restructures leave state untouched (live rows unchanged).
+    views: Vec<MaterializedView>,
     cost: CostModel,
     /// The execution pool shared by every table: schedulers created via
     /// [`Database::scheduler`] submit into it, and it is the same pool
@@ -65,6 +71,7 @@ impl Database {
     pub fn with_cost_model(cost: CostModel) -> Self {
         Self {
             tables: Vec::new(),
+            views: Vec::new(),
             cost,
             pool: Arc::clone(pool::global()),
             durability: None,
@@ -123,6 +130,9 @@ impl Database {
             WalRecord::Delete { table, predicates } => {
                 self.delete(&table, &predicates)?;
             }
+            WalRecord::RegisterView { table, name, query } => {
+                self.register_view(&table, &name, query)?;
+            }
             // Markers carry recovery bookkeeping, not state.
             WalRecord::Checkpoint { .. } => {}
         }
@@ -150,11 +160,21 @@ impl Database {
                 "checkpoint requires a database opened with Database::open".into(),
             ));
         }
-        let mut snapshot = Vec::with_capacity(self.tables.len());
+        let mut snapshot = Vec::with_capacity(self.tables.len() + self.views.len());
         let mut names = Vec::with_capacity(self.tables.len());
         for table in &self.tables {
             snapshot.push(Self::snapshot_record(table)?);
             names.push(table.name().to_string());
+        }
+        // View specs ride in the snapshot after every table record, so
+        // recovery re-registers them against already-replayed tables. State
+        // is never persisted — it is recomputed from the recovered data.
+        for view in &self.views {
+            snapshot.push(WalRecord::RegisterView {
+                table: view.table().to_string(),
+                name: view.name().to_string(),
+                query: view.query().clone(),
+            });
         }
         self.durability
             .as_mut()
@@ -385,9 +405,63 @@ impl Database {
             ));
         }
         match self.tables.iter().position(|t| t.name() == name) {
-            Some(i) => Ok(self.tables.remove(i)),
+            Some(i) => {
+                // Views over the dropped table go with it; keeping them would
+                // leave reads that can never resolve their table again.
+                self.views.retain(|v| v.table() != name);
+                Ok(self.tables.remove(i))
+            }
             None => Err(TsunamiError::UnknownTable(name.to_string())),
         }
+    }
+
+    /// Registers a named materialized view: an aggregate `query` over table
+    /// `table` whose answer the engine keeps pre-folded and maintains
+    /// incrementally across inserts/deletes/restructures (see
+    /// [`crate::view`]). The query is validated against the table's schema
+    /// width up front. On a durable database the view *spec* is WAL-logged
+    /// (state is recomputed after recovery, so it cannot diverge from the
+    /// durable data). Read the answer with [`Database::view_value`].
+    pub fn register_view(&mut self, table: &str, name: &str, query: Query) -> Result<()> {
+        let owner = self.table(table)?;
+        query.validate_dims(owner.schema().num_columns())?;
+        if self.views.iter().any(|v| v.name() == name) {
+            return Err(TsunamiError::DuplicateView(name.to_string()));
+        }
+        self.log_mutation(|| WalRecord::RegisterView {
+            table: table.to_string(),
+            name: name.to_string(),
+            query: query.clone(),
+        })?;
+        self.views.push(MaterializedView::new(
+            table.to_string(),
+            name.to_string(),
+            query,
+        ));
+        Ok(())
+    }
+
+    /// Looks up a registered view by name.
+    pub fn view(&self, name: &str) -> Result<&MaterializedView> {
+        self.views
+            .iter()
+            .find(|v| v.name() == name)
+            .ok_or_else(|| TsunamiError::UnknownView(name.to_string()))
+    }
+
+    /// All registered views, in registration order.
+    pub fn views(&self) -> impl Iterator<Item = &MaterializedView> {
+        self.views.iter()
+    }
+
+    /// The current answer of a registered view, bit-identical to executing
+    /// its query against the table directly. O(1) while the view's state is
+    /// fresh; pays one lazy re-fold through the table's index after a delete
+    /// or recovery invalidated it.
+    pub fn view_value(&self, name: &str) -> Result<AggResult> {
+        let view = self.view(name)?;
+        let table = self.table(view.table())?;
+        view.value(table.index())
     }
 
     /// Rebuilds a table's index for a new workload (the paper's workload-
@@ -577,6 +651,14 @@ impl Database {
             Arc::clone(&old.state.observed),
         );
         self.tables[pos] = table.clone();
+        // Incremental view maintenance: fold the batch's matching rows into
+        // each registered view on this table as one delta — never a
+        // recompute (see `crate::view`).
+        for view in &self.views {
+            if view.table() == name {
+                view.apply_insert(rows);
+            }
+        }
         Ok((table, report))
     }
 
@@ -682,6 +764,13 @@ impl Database {
             Arc::clone(&old.state.observed),
         );
         self.tables[pos] = table.clone();
+        // Tombstoned rows cannot be un-folded from MIN/MAX state, so views
+        // on this table invalidate and re-fold lazily on their next read.
+        for view in &self.views {
+            if view.table() == name {
+                view.invalidate();
+            }
+        }
         Ok((table, deleted))
     }
 

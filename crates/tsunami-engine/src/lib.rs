@@ -73,6 +73,7 @@ pub mod schema;
 pub mod sharded;
 pub mod spec;
 pub mod table;
+pub mod view;
 
 pub use builder::QueryBuilder;
 pub use database::Database;
@@ -82,6 +83,7 @@ pub use schema::{ColumnRef, Schema};
 pub use sharded::{shard_of, ShardedDatabase, ShardedTable};
 pub use spec::{IndexSpec, PageSize, SharedIndex};
 pub use table::Table;
+pub use view::MaterializedView;
 // Re-exported so engine users can inspect incremental re-optimization and
 // ingestion outcomes without depending on `tsunami-index` directly.
 pub use tsunami_index::{Escalation, IngestReport, ReoptReport, ShiftReport, WorkloadMonitor};

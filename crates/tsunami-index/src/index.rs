@@ -29,6 +29,7 @@ use crate::augmented_grid::{
     optimize_layout, optimize_layout_from, AugmentedGrid, OptimizerKind, Skeleton,
 };
 use crate::config::{IndexVariant, TsunamiConfig};
+use crate::cube::{CubeEntry, RegionCube};
 use crate::grid_tree::GridTree;
 use crate::query_types::cluster_query_types;
 use crate::shift::WorkloadMonitor;
@@ -195,6 +196,28 @@ pub struct TsunamiIndex {
     /// (build or incremental re-optimization) — the whole-index staleness
     /// counter behind [`TsunamiIndex::data_staleness`].
     ingested: usize,
+    /// Per-region materialized aggregates (see [`crate::cube`]); entries are
+    /// maintained incrementally across ingest/delete/reoptimize and folded
+    /// lazily where a restructure dropped them.
+    cube: RegionCube,
+    /// Whether the planner answers fully-covered regions from the cube
+    /// instead of scanning them. Defaults from `TSUNAMI_MATVIEW` at build
+    /// (on unless `off|0|false|no`); toggle per index with
+    /// [`TsunamiIndex::set_matview`]. Purely a performance switch — results
+    /// are bit-identical either way.
+    matview: bool,
+}
+
+/// The `TSUNAMI_MATVIEW` default: materialized region aggregates are on
+/// unless explicitly disabled.
+fn matview_env_enabled() -> bool {
+    match std::env::var("TSUNAMI_MATVIEW") {
+        Ok(v) => !matches!(
+            v.to_ascii_lowercase().as_str(),
+            "off" | "0" | "false" | "no"
+        ),
+        Err(_) => true,
+    }
 }
 
 /// Queries counted by the exact set of dimensions they filter — the cheap
@@ -329,6 +352,7 @@ impl TsunamiIndex {
             IndexVariant::AugmentedGridOnly => "AugmentedGrid-only",
         };
 
+        let num_regions = regions.len();
         Ok(Self {
             tree,
             regions,
@@ -341,6 +365,8 @@ impl TsunamiIndex {
             variant: config.variant,
             reference: workload.clone(),
             ingested: 0,
+            cube: RegionCube::new(num_regions),
+            matview: matview_env_enabled(),
         })
     }
 
@@ -479,6 +505,10 @@ impl TsunamiIndex {
                     variant: self.variant,
                     reference: new_workload.clone(),
                     ingested: self.ingested,
+                    // Nothing moved: every region's live multiset — and with
+                    // it every cube entry — carries verbatim.
+                    cube: RegionCube::from_entries(self.cube.snapshot()),
+                    matview: self.matview,
                 },
                 ReoptReport {
                     regions_total,
@@ -558,6 +588,25 @@ impl TsunamiIndex {
             })
             .collect();
         let num_regions = candidates.len();
+
+        // Cube entries carried per candidate: a single-region span keeps its
+        // entry; a merged span is the multiset union of its old regions'
+        // entries (droppable to lazy re-fold if any constituent was unfolded).
+        let old_entries = self.cube.snapshot();
+        let carried_entries: Vec<Option<CubeEntry>> = spans
+            .iter()
+            .map(|span| {
+                let mut acc: Option<CubeEntry> = None;
+                for rid in span.clone() {
+                    let e = old_entries.get(rid).cloned().flatten()?;
+                    match &mut acc {
+                        None => acc = Some(e),
+                        Some(a) => a.merge(&e),
+                    }
+                }
+                acc
+            })
+            .collect();
 
         let route = |w: &Workload| -> Vec<Vec<Query>> {
             let mut per_region: Vec<Vec<Query>> = vec![Vec::new(); num_regions];
@@ -761,6 +810,7 @@ impl TsunamiIndex {
 
         let mut store = self.store.clone();
         let mut regions: Vec<RegionIndex> = Vec::with_capacity(provenance.len());
+        let mut cube_entries: Vec<Option<CubeEntry>> = Vec::with_capacity(provenance.len());
         let mut reoptimized = 0usize;
         for (rid, plan) in pending.into_iter().enumerate() {
             let candidate = &candidates[rid];
@@ -773,8 +823,13 @@ impl TsunamiIndex {
                     grid: candidate.grid.clone(),
                     inserted: candidate.inserted,
                 });
+                cube_entries.push(carried_entries[rid].clone());
                 continue;
             };
+            // A single-part hot region only permutes rows *within* its slice
+            // — aggregates are order-free, so its entry carries. A re-split
+            // redistributes rows across new regions; those fold lazily.
+            let single_part = plan.parts.len() == 1;
             // Lay the hot region's parts out back-to-back within its slice,
             // each sorted by its own grid's cell order.
             let mut region_perm: Vec<usize> = Vec::with_capacity(candidate.len);
@@ -803,6 +858,11 @@ impl TsunamiIndex {
                     len,
                     grid,
                     inserted: 0,
+                });
+                cube_entries.push(if single_part {
+                    carried_entries[rid].clone()
+                } else {
+                    None
                 });
             }
             debug_assert_eq!(region_perm.len(), candidate.len);
@@ -838,6 +898,8 @@ impl TsunamiIndex {
                 variant: self.variant,
                 reference: new_workload.clone(),
                 ingested,
+                cube: RegionCube::from_entries(cube_entries),
+                matview: self.matview,
             },
             report,
         ))
@@ -900,6 +962,8 @@ impl TsunamiIndex {
                     variant: self.variant,
                     reference: self.reference.clone(),
                     ingested: self.ingested,
+                    cube: RegionCube::from_entries(self.cube.snapshot()),
+                    matview: self.matview,
                 },
                 IngestReport {
                     rows_ingested: 0,
@@ -986,6 +1050,19 @@ impl TsunamiIndex {
         store.append_dataset(rows);
         let mut perm: Vec<usize> = Vec::with_capacity(n + m);
         let mut regions: Vec<RegionIndex> = Vec::with_capacity(self.regions.len());
+        // Incremental cube maintenance: a touched region's new live multiset
+        // is old ∪ routed rows, so its entry absorbs the batch as one folded
+        // delta ([`CubeEntry::merge`]) — never a re-fold over the region.
+        // Untouched regions carry; unfolded entries stay lazy.
+        let mut cube_entries = self.cube.snapshot();
+        for (rid, news) in per_region.iter().enumerate() {
+            if news.is_empty() {
+                continue;
+            }
+            if let Some(entry) = &mut cube_entries[rid] {
+                entry.merge(&CubeEntry::fold_dataset(&rows.select_rows(news)));
+            }
+        }
         let mut regions_touched = 0usize;
         let mut regions_reoptimized = 0usize;
         let mut optimize_secs = 0.0f64;
@@ -1085,6 +1162,8 @@ impl TsunamiIndex {
                 variant: self.variant,
                 reference: self.reference.clone(),
                 ingested,
+                cube: RegionCube::from_entries(cube_entries),
+                matview: self.matview,
             },
             IngestReport {
                 rows_ingested: m,
@@ -1149,6 +1228,9 @@ impl TsunamiIndex {
                     variant: self.variant,
                     reference: self.reference.clone(),
                     ingested: self.ingested,
+                    // No new tombstones: every live multiset is unchanged.
+                    cube: RegionCube::from_entries(self.cube.snapshot()),
+                    matview: self.matview,
                 },
                 DeleteReport {
                     rows_deleted: 0,
@@ -1176,6 +1258,22 @@ impl TsunamiIndex {
                     data_staleness: staleness,
                 },
             ));
+        }
+
+        // Cube maintenance: exactly the regions whose tombstone count grew
+        // lost live rows — drop their entries (re-folded lazily on the next
+        // covered query). Everything else carries: the compaction below only
+        // removes already-dead rows and permutes within regions, neither of
+        // which changes a live multiset. Compared at the *old* bases, before
+        // compaction shifts them.
+        let mut cube_entries = self.cube.snapshot();
+        for (rid, region) in self.regions.iter().enumerate() {
+            let old_range = region.base..region.base + region.len;
+            let before = self.store.tombstones().count_deleted_in(old_range.clone());
+            let after = store.tombstones().count_deleted_in(old_range);
+            if after != before {
+                cube_entries[rid] = None;
+            }
         }
 
         // Per-region compaction: regions past the staleness bar drop their
@@ -1241,6 +1339,8 @@ impl TsunamiIndex {
                 variant: self.variant,
                 reference: self.reference.clone(),
                 ingested: self.ingested,
+                cube: RegionCube::from_entries(cube_entries),
+                matview: self.matview,
             },
             DeleteReport {
                 rows_deleted,
@@ -1263,6 +1363,21 @@ impl TsunamiIndex {
     /// Number of live (non-tombstoned) rows the index answers over.
     pub fn live_len(&self) -> usize {
         self.store.live_len()
+    }
+
+    /// Enables or disables answering fully-covered regions from the
+    /// materialized region cube (see [`crate::cube`]). Purely a performance
+    /// switch — results are bit-identical either way — exposed so benchmarks
+    /// and differential tests can compare both paths without racing on the
+    /// `TSUNAMI_MATVIEW` environment variable. Rebuild escalations re-read
+    /// the environment default.
+    pub fn set_matview(&mut self, on: bool) {
+        self.matview = on;
+    }
+
+    /// Whether the planner currently answers covered regions from the cube.
+    pub fn matview_enabled(&self) -> bool {
+        self.matview
     }
 
     /// The Grid Tree component.
@@ -1341,9 +1456,28 @@ impl MultiDimIndex for TsunamiIndex {
                     }
                 }
             };
+        // The aggregation's input dimension, whose pre-folded SUM/MIN/MAX a
+        // covered region contributes (COUNT only uses the row count; dim 0
+        // stands in, and every dataset has at least one dimension).
+        let agg_dim = query.aggregation().input_dim().unwrap_or(0);
         for region_id in self.tree.regions_for_query(query) {
             let region = &self.regions[region_id];
             if region.len == 0 {
+                continue;
+            }
+            // Materialized-aggregate coverage: a region whose bounds lie
+            // fully inside the query contributes its pre-folded cube entry
+            // as a `PlanPartial` instead of a scan range. Only whole exact
+            // regions qualify — partial overlaps (the rims) still scan.
+            // Containment also means the region cannot weaken any residual
+            // guarantee, so skipping the per-dim flag updates is sound.
+            if self.matview && self.tree.region(region_id).contained_in(query) {
+                let entry = self
+                    .cube
+                    .get_or_fold(region_id, &self.store, region.base, region.len);
+                if let Some(partial) = entry.partial(agg_dim) {
+                    plan.push_partial(partial);
+                }
                 continue;
             }
             match &region.grid {

@@ -59,6 +59,7 @@
 
 pub mod augmented_grid;
 pub mod config;
+pub mod cube;
 pub mod grid_tree;
 pub mod index;
 pub mod query_types;
@@ -66,6 +67,7 @@ pub mod shift;
 
 pub use augmented_grid::{AugmentedGrid, DimStrategy, OptimizerKind, Skeleton};
 pub use config::{IndexVariant, TsunamiConfig};
+pub use cube::{CubeEntry, DimAgg, RegionCube};
 pub use grid_tree::GridTree;
 pub use index::{DeleteReport, Escalation, IngestReport, ReoptReport, TsunamiIndex, TsunamiStats};
 pub use query_types::cluster_query_types;

@@ -59,6 +59,7 @@ const OP_CREATE_TABLE: u8 = 0x01;
 const OP_INSERT_BATCH: u8 = 0x02;
 const OP_DELETE: u8 = 0x03;
 const OP_CHECKPOINT: u8 = 0x04;
+const OP_REGISTER_VIEW: u8 = 0x05;
 
 /// FNV-1a, 32-bit. Offset basis and prime per the reference parameters.
 pub fn checksum(bytes: &[u8]) -> u32 {
@@ -102,6 +103,18 @@ pub enum WalRecord {
         table: String,
         /// Conjunctive range predicates selecting the rows to delete.
         predicates: Vec<Predicate>,
+    },
+    /// A materialized view was registered over a table: a named aggregate
+    /// query whose pre-folded state the engine maintains incrementally.
+    /// Only the *spec* is durable — view state is recomputed from the
+    /// recovered table, so it can never diverge from the data.
+    RegisterView {
+        /// Table the view aggregates over.
+        table: String,
+        /// Unique view name (per database).
+        name: String,
+        /// The aggregate query the view materializes.
+        query: Query,
     },
     /// A checkpoint completed covering the named tables; records before this
     /// one are reflected in the checkpoint file.
@@ -350,6 +363,12 @@ pub fn encode_record(record: &WalRecord) -> Vec<u8> {
                 put_predicate(&mut payload, p);
             }
         }
+        WalRecord::RegisterView { table, name, query } => {
+            payload.push(OP_REGISTER_VIEW);
+            put_string(&mut payload, table);
+            put_string(&mut payload, name);
+            put_query(&mut payload, query);
+        }
         WalRecord::Checkpoint { generation, tables } => {
             payload.push(OP_CHECKPOINT);
             put_u64(&mut payload, *generation);
@@ -439,6 +458,12 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
                 predicates.push(r.predicate()?);
             }
             WalRecord::Delete { table, predicates }
+        }
+        OP_REGISTER_VIEW => {
+            let table = r.string()?;
+            let name = r.string()?;
+            let query = r.query()?;
+            WalRecord::RegisterView { table, name, query }
         }
         OP_CHECKPOINT => {
             let generation = r.u64()?;
@@ -634,7 +659,7 @@ mod tests {
     }
 
     fn random_record(rng: &mut Rng) -> WalRecord {
-        match rng.below(4) {
+        match rng.below(5) {
             0 => {
                 let dims = rng.below(4) as usize + 1;
                 let nspec = rng.below(40);
@@ -665,6 +690,14 @@ mod tests {
                     })
                     .collect(),
             },
+            3 => {
+                let preds = rng.below(4) as usize + 1;
+                WalRecord::RegisterView {
+                    table: format!("t{}", rng.below(100)),
+                    name: format!("v{}", rng.below(100)),
+                    query: random_query(rng, preds),
+                }
+            }
             _ => WalRecord::Checkpoint {
                 generation: rng.next(),
                 tables: (0..rng.below(5)).map(|i| format!("t{i}")).collect(),

@@ -44,6 +44,7 @@ fn spec() -> IndexSpec {
 enum Step {
     Insert(Vec<Vec<u64>>),
     Delete(Vec<Predicate>),
+    RegisterView(&'static str, Query),
     Checkpoint,
 }
 
@@ -52,6 +53,7 @@ impl Step {
         match self {
             Step::Insert(rows) => format!("insert({})", rows.len()),
             Step::Delete(preds) => format!("delete({} preds)", preds.len()),
+            Step::RegisterView(name, _) => format!("register_view({name})"),
             Step::Checkpoint => "checkpoint".to_string(),
         }
     }
@@ -72,11 +74,23 @@ fn steps() -> Vec<Step> {
                 .map(|i| vec![1_500 + i, i * 3, i * 17 % 10_000])
                 .collect(),
         ),
+        // Registered before the checkpoint: this view's spec must survive
+        // via the checkpoint *snapshot*, not the (reset) WAL tail.
+        Step::RegisterView(
+            "v_sum",
+            Query::new(
+                vec![Predicate::range(0, 300, 2_000).unwrap()],
+                Aggregation::Sum(1),
+            )
+            .unwrap(),
+        ),
         // Small band: tombstones, with touched regions compacting past the
         // tight region bar.
         Step::Delete(vec![Predicate::range(0, 100, 219).unwrap()]),
         Step::Checkpoint,
         Step::Insert((0..150u64).map(|i| vec![i * 11, i * 5, i * 13]).collect()),
+        // Registered after the checkpoint: survives via the WAL tail.
+        Step::RegisterView("v_avg", Query::new(vec![], Aggregation::Avg(2)).unwrap()),
         // Big band: escalates to a whole-index rebuild over the live rows.
         Step::Delete(vec![Predicate::range(0, 0, 899).unwrap()]),
     ]
@@ -86,6 +100,7 @@ fn apply(db: &mut Database, step: &Step) -> tsunami_core::Result<()> {
     match step {
         Step::Insert(rows) => db.insert_batch("t", rows).map(|_| ()),
         Step::Delete(preds) => db.delete("t", preds).map(|_| ()),
+        Step::RegisterView(name, q) => db.register_view("t", name, q.clone()),
         Step::Checkpoint => db.checkpoint(),
     }
 }
@@ -100,10 +115,22 @@ fn oracle_after(upto: usize) -> Vec<Vec<u64>> {
                 let q = Query::count(preds.clone()).unwrap();
                 rows.retain(|r| !q.matches_point(r));
             }
-            Step::Checkpoint => {}
+            Step::RegisterView(..) | Step::Checkpoint => {}
         }
     }
     rows
+}
+
+/// The views registered by the durable prefix, in registration order.
+fn views_after(upto: usize) -> Vec<(&'static str, Query)> {
+    steps()
+        .into_iter()
+        .take(upto)
+        .filter_map(|s| match s {
+            Step::RegisterView(name, q) => Some((name, q)),
+            _ => None,
+        })
+        .collect()
 }
 
 fn probes() -> Vec<Query> {
@@ -157,6 +184,27 @@ fn assert_matches_oracle(db: &Database, table: &Table, rows: &[Vec<u64>], ctx: &
     }
 }
 
+/// Asserts the recovered database has exactly the views registered by the
+/// durable prefix, and that each answers bit-identically to its aggregate
+/// freshly computed over the oracle rows (view state is never persisted —
+/// recovery re-registers the spec and the first read re-folds).
+fn assert_views_match_oracle(db: &Database, rows: &[Vec<u64>], upto: usize, ctx: &str) {
+    let expected = views_after(upto);
+    assert_eq!(db.views().count(), expected.len(), "{ctx}: view count");
+    let oracle = Dataset::from_rows(DIMS, rows).unwrap();
+    for (name, q) in &expected {
+        let view = db
+            .view(name)
+            .unwrap_or_else(|_| panic!("{ctx}: lost view {name}"));
+        assert_eq!(view.table(), "t", "{ctx}");
+        assert_eq!(
+            db.view_value(name).unwrap(),
+            q.execute_full_scan(&oracle),
+            "{ctx}: view {name} diverged from the durable prefix"
+        );
+    }
+}
+
 fn temp_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("tsunami_crash_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -195,7 +243,9 @@ fn every_crash_point_recovers_exactly_the_durable_prefix() {
             let recovered = Database::open(&dir).unwrap();
             assert_eq!(recovered.num_tables(), 1, "{ctx}");
             let table = recovered.table("t").unwrap();
-            assert_matches_oracle(&recovered, &table, &oracle_after(k), &ctx);
+            let durable_rows = oracle_after(k);
+            assert_matches_oracle(&recovered, &table, &durable_rows, &ctx);
+            assert_views_match_oracle(&recovered, &durable_rows, k, &ctx);
             std::fs::remove_dir_all(&dir).unwrap();
         }
     }
@@ -234,17 +284,17 @@ fn clean_reopen_replays_the_full_sequence() {
             apply(&mut db, step).unwrap();
         }
         let table = db.table("t").unwrap();
-        assert_matches_oracle(&db, &table, &oracle_after(steps().len()), "pre-crash");
+        let rows = oracle_after(steps().len());
+        assert_matches_oracle(&db, &table, &rows, "pre-crash");
+        assert_views_match_oracle(&db, &rows, steps().len(), "pre-crash");
     }
     for reopen in 0..2 {
         let db = Database::open(&dir).unwrap();
         let table = db.table("t").unwrap();
-        assert_matches_oracle(
-            &db,
-            &table,
-            &oracle_after(steps().len()),
-            &format!("reopen {reopen}"),
-        );
+        let ctx = format!("reopen {reopen}");
+        let rows = oracle_after(steps().len());
+        assert_matches_oracle(&db, &table, &rows, &ctx);
+        assert_views_match_oracle(&db, &rows, steps().len(), &ctx);
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }
